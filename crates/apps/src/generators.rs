@@ -1,0 +1,314 @@
+//! Deterministic workload generators.
+//!
+//! The paper's spouts synthesize their inputs ("Spout continuously generates
+//! new tuple containing a sentence with ten random words"); these generators
+//! reproduce that with seeded RNGs so every run is repeatable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-distributed index sampler (word popularity is famously Zipfian).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// Sentences of `words_per_sentence` words drawn from a Zipfian vocabulary
+/// (the WC workload).
+#[derive(Debug, Clone)]
+pub struct SentenceGenerator {
+    vocabulary: Vec<String>,
+    zipf: Zipf,
+    words_per_sentence: usize,
+    rng: StdRng,
+}
+
+impl SentenceGenerator {
+    /// Generator over a `vocab` word vocabulary.
+    pub fn new(seed: u64, vocab: usize, words_per_sentence: usize) -> SentenceGenerator {
+        let vocabulary = (0..vocab).map(|i| format!("word{i:04}")).collect();
+        SentenceGenerator {
+            vocabulary,
+            zipf: Zipf::new(vocab, 1.0),
+            words_per_sentence,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next sentence.
+    pub fn next_sentence(&mut self) -> String {
+        let mut s = String::with_capacity(self.words_per_sentence * 9);
+        for i in 0..self.words_per_sentence {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&self.vocabulary[self.zipf.sample(&mut self.rng)]);
+        }
+        s
+    }
+}
+
+/// A credit-card style transaction record (the FD workload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transaction {
+    /// Account identifier.
+    pub account: u32,
+    /// Cents.
+    pub amount: i64,
+    /// Merchant category code.
+    pub category: u16,
+    /// Coarse geo bucket.
+    pub location: u16,
+    /// Sequence number within the account.
+    pub seq: u32,
+}
+
+/// Seeded transaction stream; a small fraction follows a "fraudulent"
+/// pattern (rapid high-amount category jumps).
+#[derive(Debug, Clone)]
+pub struct TransactionGenerator {
+    rng: StdRng,
+    accounts: u32,
+    seq: u32,
+}
+
+impl TransactionGenerator {
+    /// Generator over `accounts` distinct accounts.
+    pub fn new(seed: u64, accounts: u32) -> TransactionGenerator {
+        assert!(accounts > 0);
+        TransactionGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            accounts,
+            seq: 0,
+        }
+    }
+
+    /// Next transaction.
+    pub fn next_transaction(&mut self) -> Transaction {
+        self.seq = self.seq.wrapping_add(1);
+        let fraudulent = self.rng.gen_ratio(1, 50);
+        let amount = if fraudulent {
+            self.rng.gen_range(90_000..500_000)
+        } else {
+            self.rng.gen_range(100..20_000)
+        };
+        Transaction {
+            account: self.rng.gen_range(0..self.accounts),
+            amount,
+            category: self.rng.gen_range(0..32),
+            location: if fraudulent {
+                self.rng.gen_range(900..1000)
+            } else {
+                self.rng.gen_range(0..100)
+            },
+            seq: self.seq,
+        }
+    }
+}
+
+/// A sensor reading (the SD workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorReading {
+    /// Device identifier.
+    pub device: u32,
+    /// Measured value; occasional spikes far outside the baseline.
+    pub value: f64,
+}
+
+/// Seeded sensor stream with a configurable spike probability.
+#[derive(Debug, Clone)]
+pub struct SensorGenerator {
+    rng: StdRng,
+    devices: u32,
+}
+
+impl SensorGenerator {
+    /// Generator over `devices` sensors.
+    pub fn new(seed: u64, devices: u32) -> SensorGenerator {
+        assert!(devices > 0);
+        SensorGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            devices,
+        }
+    }
+
+    /// Next reading (≈2% spikes at 10× baseline).
+    pub fn next_reading(&mut self) -> SensorReading {
+        let spike = self.rng.gen_ratio(1, 50);
+        let base: f64 = self.rng.gen_range(20.0..30.0);
+        SensorReading {
+            device: self.rng.gen_range(0..self.devices),
+            value: if spike { base * 10.0 } else { base },
+        }
+    }
+}
+
+/// Linear Road input events (Appendix B / the original LR benchmark).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrEvent {
+    /// A vehicle position report (type 0 in the LR spec): ~99% of input.
+    Position {
+        /// Vehicle id.
+        vehicle: u32,
+        /// Average speed in the last interval, mph.
+        speed: u16,
+        /// Expressway segment (0..100).
+        segment: u16,
+        /// Travel lane.
+        lane: u8,
+    },
+    /// Account-balance query (type 2): rare.
+    AccountBalance {
+        /// Vehicle id.
+        vehicle: u32,
+    },
+    /// Daily-expenditure query (type 3): rare.
+    DailyExpenditure {
+        /// Vehicle id.
+        vehicle: u32,
+    },
+}
+
+/// Seeded Linear Road event stream: ≈99% position reports, the remainder
+/// split between the two query types (Table 8's Dispatcher selectivities).
+#[derive(Debug, Clone)]
+pub struct LrGenerator {
+    rng: StdRng,
+    vehicles: u32,
+}
+
+impl LrGenerator {
+    /// Generator over `vehicles` cars.
+    pub fn new(seed: u64, vehicles: u32) -> LrGenerator {
+        assert!(vehicles > 0);
+        LrGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            vehicles,
+        }
+    }
+
+    /// Next event.
+    pub fn next_event(&mut self) -> LrEvent {
+        let vehicle = self.rng.gen_range(0..self.vehicles);
+        let roll: f64 = self.rng.gen_range(0.0..1.0);
+        if roll < 0.99 {
+            LrEvent::Position {
+                vehicle,
+                speed: self.rng.gen_range(0..100),
+                segment: self.rng.gen_range(0..100),
+                lane: self.rng.gen_range(0..4),
+            }
+        } else if roll < 0.995 {
+            LrEvent::AccountBalance { vehicle }
+        } else {
+            LrEvent::DailyExpenditure { vehicle }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_towards_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+        // Rank 0 of Zipf(1.0, 100) carries ~1/ln(100+γ) ≈ 19% of mass.
+        assert!(counts[0] > 2_500 && counts[0] < 5_000, "{}", counts[0]);
+    }
+
+    #[test]
+    fn sentences_have_requested_arity() {
+        let mut g = SentenceGenerator::new(7, 1000, 10);
+        for _ in 0..50 {
+            let s = g.next_sentence();
+            assert_eq!(s.split(' ').count(), 10);
+        }
+    }
+
+    #[test]
+    fn sentence_generator_is_deterministic() {
+        let mut a = SentenceGenerator::new(42, 100, 10);
+        let mut b = SentenceGenerator::new(42, 100, 10);
+        for _ in 0..10 {
+            assert_eq!(a.next_sentence(), b.next_sentence());
+        }
+    }
+
+    #[test]
+    fn transactions_within_ranges() {
+        let mut g = TransactionGenerator::new(3, 500);
+        let mut fraud = 0;
+        for _ in 0..5000 {
+            let t = g.next_transaction();
+            assert!(t.account < 500);
+            assert!(t.amount > 0);
+            if t.amount >= 90_000 {
+                fraud += 1;
+            }
+        }
+        // ~2% fraud rate.
+        assert!((50..300).contains(&fraud), "fraud count {fraud}");
+    }
+
+    #[test]
+    fn sensor_spikes_are_rare_but_present() {
+        let mut g = SensorGenerator::new(9, 64);
+        let spikes = (0..5000)
+            .filter(|_| g.next_reading().value > 100.0)
+            .count();
+        assert!((30..300).contains(&spikes), "spikes {spikes}");
+    }
+
+    #[test]
+    fn lr_mix_matches_dispatcher_selectivity() {
+        let mut g = LrGenerator::new(11, 1000);
+        let mut pos = 0usize;
+        let mut bal = 0usize;
+        let mut exp = 0usize;
+        for _ in 0..100_000 {
+            match g.next_event() {
+                LrEvent::Position { .. } => pos += 1,
+                LrEvent::AccountBalance { .. } => bal += 1,
+                LrEvent::DailyExpenditure { .. } => exp += 1,
+            }
+        }
+        let pos_frac = pos as f64 / 100_000.0;
+        assert!((pos_frac - 0.99).abs() < 0.005, "position fraction {pos_frac}");
+        assert!(bal > 100 && exp > 100);
+    }
+}

@@ -1,0 +1,66 @@
+//! # brisk-apps
+//!
+//! The four benchmark applications of the paper's evaluation (Section 6.1,
+//! Appendix B), each in two forms:
+//!
+//! * a **logical topology** with per-operator cost profiles calibrated from
+//!   the paper's published measurements (Table 3 per-tuple times, Figure 8
+//!   breakdowns, Table 4 absolute throughputs on Server A) — consumed by the
+//!   performance model, the RLAS optimizer and the simulator;
+//! * a **real executable implementation** ([`brisk_runtime::AppRuntime`])
+//!   whose operators do the actual work (splitting sentences, updating
+//!   hashmaps, scoring transactions, running the Linear Road logic) — run
+//!   by the threaded engine in the examples and integration tests.
+//!
+//! | App | Topology | Character |
+//! |---|---|---|
+//! | [`word_count`] (WC) | spout → parser → splitter → counter → sink | high fan-out (splitter selectivity 10), small tuples |
+//! | [`fraud_detection`] (FD) | spout → parser → predictor → sink | compute-heavy predictor, large tuples |
+//! | [`spike_detection`] (SD) | spout → parser → moving-average → spike-detect → sink | keyed window state |
+//! | [`linear_road`] (LR) | 11 operators, multi-stream (Figure 18c, Table 8) | complex topology, per-stream selectivities |
+
+pub mod fraud_detection;
+pub mod generators;
+pub mod linear_road;
+pub mod spike_detection;
+pub mod word_count;
+
+use brisk_dag::LogicalTopology;
+
+/// The clock (GHz) the paper's published per-tuple nanosecond costs were
+/// measured at: Server A's Xeon E7-8890 runs at 1.2 GHz.
+pub const CALIBRATION_GHZ: f64 = 1.2;
+
+/// All four applications by paper abbreviation, for experiment sweeps.
+pub fn all_topologies() -> Vec<(&'static str, LogicalTopology)> {
+    vec![
+        ("WC", word_count::topology()),
+        ("FD", fraud_detection::topology()),
+        ("SD", spike_detection::topology()),
+        ("LR", linear_road::topology()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_topologies_build_and_validate() {
+        let apps = all_topologies();
+        assert_eq!(apps.len(), 4);
+        for (name, t) in apps {
+            assert!(t.operator_count() >= 4, "{name} too small");
+            assert!(!t.spouts().is_empty(), "{name} has no spout");
+            assert!(!t.sinks().is_empty(), "{name} has no sink");
+        }
+    }
+
+    #[test]
+    fn all_apps_have_runnable_implementations() {
+        assert!(word_count::app().validate().is_ok());
+        assert!(fraud_detection::app().validate().is_ok());
+        assert!(spike_detection::app().validate().is_ok());
+        assert!(linear_road::app().validate().is_ok());
+    }
+}

@@ -1,0 +1,642 @@
+//! Linear Road (LR) — Figure 18c and Table 8 of the paper.
+//!
+//! The most complex benchmark topology: a dispatcher fans position reports
+//! out to five analytics operators; accident detection, vehicle counts and
+//! segment speed statistics all feed the toll notifier; two rare query
+//! streams (account balance, daily expenditure) answer directly to the sink.
+//!
+//! Stream names and per-(input, output) selectivities follow Table 8:
+//! position reports are ≈99% of the input, `detect_stream` has selectivity
+//! ≈0 (accidents are rare), and `Toll_notify` emits one notification per
+//! tuple on each of its four input streams (so the sink sees roughly three
+//! tuples per position report: toll responses to positions, counts and
+//! last-average-speed updates).
+
+use crate::generators::{LrEvent, LrGenerator};
+use crate::CALIBRATION_GHZ;
+use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple};
+use std::collections::{HashMap, HashSet};
+
+/// Output stream names (Table 8).
+pub mod streams {
+    /// Dispatcher → analytics operators: vehicle position reports.
+    pub const POSITION: &str = "position_report";
+    /// Dispatcher → account balance: balance queries.
+    pub const BALANCE: &str = "balance_stream";
+    /// Dispatcher → daily expenditure: expenditure queries.
+    pub const DAILY: &str = "daliy_exp_request"; // (sic) — Table 8 spelling
+    /// Average speed → last average speed.
+    pub const AVG: &str = "avg_stream";
+    /// Last average speed → toll notify.
+    pub const LAS: &str = "las_stream";
+    /// Accident detect → toll notify / accident notify.
+    pub const DETECT: &str = "detect_stream";
+    /// Count vehicles → toll notify.
+    pub const COUNTS: &str = "counts_stream";
+    /// Toll notify → sink.
+    pub const TOLL: &str = "toll_nofity_stream"; // (sic) — Table 8 spelling
+    /// Accident notify → sink.
+    pub const NOTIFY: &str = "notify_stream";
+}
+
+/// Operator names.
+pub const OPERATORS: [&str; 12] = [
+    "spout",
+    "parser",
+    "dispatcher",
+    "avg_speed",
+    "las_avg_speed",
+    "accident_detect",
+    "count_vehicle",
+    "accident_notify",
+    "toll_notify",
+    "daily_expen",
+    "account_balance",
+    "sink",
+];
+
+/// Fraction of input events that are position reports (Table 8: ≈0.99).
+pub const POSITION_SELECTIVITY: f64 = 0.99;
+
+/// The LR logical topology with calibrated cost profiles.
+pub fn topology() -> LogicalTopology {
+    let ghz = CALIBRATION_GHZ;
+    let p = |exec: f64, others: f64, m: f64, n: f64| {
+        CostProfile::from_ns_at_ghz(exec, others, m, n, ghz)
+    };
+    let mut b = TopologyBuilder::new("linear_road");
+    let spout = b.add_spout("spout", p(500.0, 50.0, 160.0, 64.0));
+    let parser = b.add_bolt("parser", p(400.0, 50.0, 128.0, 64.0));
+    let dispatcher = b.add_bolt("dispatcher", p(850.0, 50.0, 128.0, 64.0));
+    let avg_speed = b.add_bolt("avg_speed", p(6900.0, 100.0, 200.0, 32.0));
+    let las_avg_speed = b.add_bolt("las_avg_speed", p(5400.0, 100.0, 160.0, 32.0));
+    let accident_detect = b.add_bolt("accident_detect", p(5900.0, 100.0, 160.0, 32.0));
+    let count_vehicle = b.add_bolt("count_vehicle", p(7400.0, 100.0, 260.0, 32.0));
+    let accident_notify = b.add_bolt("accident_notify", p(3900.0, 100.0, 96.0, 32.0));
+    let toll_notify = b.add_bolt("toll_notify", p(4900.0, 100.0, 160.0, 32.0));
+    let daily_expen = b.add_bolt("daily_expen", p(2000.0, 80.0, 96.0, 32.0));
+    let account_balance = b.add_bolt("account_balance", p(2000.0, 80.0, 96.0, 32.0));
+    let sink = b.add_sink("sink", p(50.0, 10.0, 32.0, 16.0));
+
+    b.connect_shuffle(spout, parser);
+    b.connect_shuffle(parser, dispatcher);
+    // Position reports fan out to the five analytics operators.
+    b.connect(dispatcher, streams::POSITION, avg_speed, Partitioning::KeyBy);
+    b.connect(
+        dispatcher,
+        streams::POSITION,
+        accident_detect,
+        Partitioning::KeyBy,
+    );
+    b.connect(
+        dispatcher,
+        streams::POSITION,
+        count_vehicle,
+        Partitioning::KeyBy,
+    );
+    b.connect(
+        dispatcher,
+        streams::POSITION,
+        accident_notify,
+        Partitioning::KeyBy,
+    );
+    b.connect(
+        dispatcher,
+        streams::POSITION,
+        toll_notify,
+        Partitioning::KeyBy,
+    );
+    // Query streams.
+    b.connect(
+        dispatcher,
+        streams::BALANCE,
+        account_balance,
+        Partitioning::KeyBy,
+    );
+    b.connect(dispatcher, streams::DAILY, daily_expen, Partitioning::KeyBy);
+    // Analytics chains.
+    b.connect(avg_speed, streams::AVG, las_avg_speed, Partitioning::KeyBy);
+    b.connect(las_avg_speed, streams::LAS, toll_notify, Partitioning::KeyBy);
+    b.connect(
+        accident_detect,
+        streams::DETECT,
+        toll_notify,
+        Partitioning::KeyBy,
+    );
+    b.connect(
+        accident_detect,
+        streams::DETECT,
+        accident_notify,
+        Partitioning::KeyBy,
+    );
+    b.connect(
+        count_vehicle,
+        streams::COUNTS,
+        toll_notify,
+        Partitioning::KeyBy,
+    );
+    // Responses to the sink.
+    b.connect(toll_notify, streams::TOLL, sink, Partitioning::Shuffle);
+    b.connect(accident_notify, streams::NOTIFY, sink, Partitioning::Shuffle);
+    b.connect(daily_expen, DEFAULT_STREAM, sink, Partitioning::Shuffle);
+    b.connect(account_balance, DEFAULT_STREAM, sink, Partitioning::Shuffle);
+
+    // Table 8 selectivities.
+    b.set_selectivity(dispatcher, None, streams::POSITION, POSITION_SELECTIVITY);
+    b.set_selectivity(dispatcher, None, streams::BALANCE, 0.005);
+    b.set_selectivity(dispatcher, None, streams::DAILY, 0.005);
+    b.set_selectivity(avg_speed, Some(streams::POSITION), streams::AVG, 1.0);
+    b.set_selectivity(las_avg_speed, Some(streams::AVG), streams::LAS, 1.0);
+    b.set_selectivity(accident_detect, Some(streams::POSITION), streams::DETECT, 0.0);
+    b.set_selectivity(count_vehicle, Some(streams::POSITION), streams::COUNTS, 1.0);
+    b.set_selectivity(
+        accident_notify,
+        Some(streams::DETECT),
+        streams::NOTIFY,
+        0.0,
+    );
+    b.set_selectivity(
+        accident_notify,
+        Some(streams::POSITION),
+        streams::NOTIFY,
+        0.0,
+    );
+    b.set_selectivity(toll_notify, Some(streams::DETECT), streams::TOLL, 0.0);
+    b.set_selectivity(toll_notify, Some(streams::POSITION), streams::TOLL, 1.0);
+    b.set_selectivity(toll_notify, Some(streams::COUNTS), streams::TOLL, 1.0);
+    b.set_selectivity(toll_notify, Some(streams::LAS), streams::TOLL, 1.0);
+    b.set_selectivity(daily_expen, Some(streams::DAILY), DEFAULT_STREAM, 1.0);
+    b.set_selectivity(account_balance, Some(streams::BALANCE), DEFAULT_STREAM, 1.0);
+
+    b.build().expect("LR topology is valid")
+}
+
+// ---- runtime payload types -------------------------------------------------
+
+/// A parsed position report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionReport {
+    /// Vehicle id.
+    pub vehicle: u32,
+    /// Speed, mph.
+    pub speed: u16,
+    /// Expressway segment.
+    pub segment: u16,
+    /// Lane.
+    pub lane: u8,
+}
+
+/// Average speed of a segment (`avg_stream` / `las_stream` payload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentSpeed {
+    /// Segment.
+    pub segment: u16,
+    /// Miles per hour.
+    pub mph: f64,
+}
+
+/// Vehicles seen in a segment (`counts_stream` payload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentCount {
+    /// Segment.
+    pub segment: u16,
+    /// Distinct vehicles observed.
+    pub vehicles: u32,
+}
+
+/// An accident alert (`detect_stream` payload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccidentAlert {
+    /// Segment of the accident.
+    pub segment: u16,
+    /// Stopped vehicle.
+    pub vehicle: u32,
+}
+
+/// A toll charge (`toll_nofity_stream` payload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TollNotification {
+    /// Vehicle charged (0 for statistics-triggered updates).
+    pub vehicle: u32,
+    /// Toll in cents.
+    pub toll: u32,
+}
+
+// ---- operators -------------------------------------------------------------
+
+struct LrSpout {
+    generator: LrGenerator,
+}
+
+impl DynSpout for LrSpout {
+    fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        let event = self.generator.next_event();
+        let now = collector.now_ns();
+        let key = match event {
+            LrEvent::Position { vehicle, .. }
+            | LrEvent::AccountBalance { vehicle }
+            | LrEvent::DailyExpenditure { vehicle } => vehicle as u64,
+        };
+        collector.emit_default(Tuple::keyed(event, now, key));
+        SpoutStatus::Emitted(1)
+    }
+}
+
+struct LrParser;
+
+impl DynBolt for LrParser {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        if tuple.value::<LrEvent>().is_some() {
+            collector.emit_default(tuple.clone());
+        }
+    }
+}
+
+struct LrDispatcher;
+
+impl DynBolt for LrDispatcher {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(event) = tuple.value::<LrEvent>() else {
+            return;
+        };
+        match *event {
+            LrEvent::Position {
+                vehicle,
+                speed,
+                segment,
+                lane,
+            } => collector.emit(
+                streams::POSITION,
+                Tuple::keyed(
+                    PositionReport {
+                        vehicle,
+                        speed,
+                        segment,
+                        lane,
+                    },
+                    tuple.event_ns,
+                    segment as u64,
+                ),
+            ),
+            LrEvent::AccountBalance { vehicle } => collector.emit(
+                streams::BALANCE,
+                Tuple::keyed(vehicle, tuple.event_ns, vehicle as u64),
+            ),
+            LrEvent::DailyExpenditure { vehicle } => collector.emit(
+                streams::DAILY,
+                Tuple::keyed(vehicle, tuple.event_ns, vehicle as u64),
+            ),
+        }
+    }
+}
+
+struct LrAvgSpeed {
+    // segment -> (speed sum, samples) over a tumbling window.
+    acc: HashMap<u16, (f64, u64)>,
+}
+
+impl DynBolt for LrAvgSpeed {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(p) = tuple.value::<PositionReport>() else {
+            return;
+        };
+        let e = self.acc.entry(p.segment).or_insert((0.0, 0));
+        e.0 += p.speed as f64;
+        e.1 += 1;
+        collector.emit(
+            streams::AVG,
+            Tuple::keyed(
+                SegmentSpeed {
+                    segment: p.segment,
+                    mph: e.0 / e.1 as f64,
+                },
+                tuple.event_ns,
+                p.segment as u64,
+            ),
+        );
+    }
+}
+
+struct LrLastAvgSpeed {
+    last: HashMap<u16, f64>,
+}
+
+impl DynBolt for LrLastAvgSpeed {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(s) = tuple.value::<SegmentSpeed>() else {
+            return;
+        };
+        // Exponentially-weighted last average (stands in for the LR
+        // benchmark's 5-minute window).
+        let prev = self.last.get(&s.segment).copied().unwrap_or(s.mph);
+        let smoothed = 0.75 * prev + 0.25 * s.mph;
+        self.last.insert(s.segment, smoothed);
+        collector.emit(
+            streams::LAS,
+            Tuple::keyed(
+                SegmentSpeed {
+                    segment: s.segment,
+                    mph: smoothed,
+                },
+                tuple.event_ns,
+                s.segment as u64,
+            ),
+        );
+    }
+}
+
+struct LrAccidentDetect {
+    // vehicle -> (segment, consecutive zero-speed reports).
+    stopped: HashMap<u32, (u16, u8)>,
+}
+
+impl DynBolt for LrAccidentDetect {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(p) = tuple.value::<PositionReport>() else {
+            return;
+        };
+        if p.speed == 0 {
+            let e = self.stopped.entry(p.vehicle).or_insert((p.segment, 0));
+            if e.0 == p.segment {
+                e.1 = e.1.saturating_add(1);
+                // Four consecutive stopped reports in one segment = accident
+                // (the LR benchmark's rule).
+                if e.1 == 4 {
+                    collector.emit(
+                        streams::DETECT,
+                        Tuple::keyed(
+                            AccidentAlert {
+                                segment: p.segment,
+                                vehicle: p.vehicle,
+                            },
+                            tuple.event_ns,
+                            p.segment as u64,
+                        ),
+                    );
+                }
+            } else {
+                *e = (p.segment, 1);
+            }
+        } else {
+            self.stopped.remove(&p.vehicle);
+        }
+    }
+}
+
+struct LrCountVehicle {
+    seen: HashMap<u16, HashSet<u32>>,
+}
+
+impl DynBolt for LrCountVehicle {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(p) = tuple.value::<PositionReport>() else {
+            return;
+        };
+        let set = self.seen.entry(p.segment).or_default();
+        set.insert(p.vehicle);
+        collector.emit(
+            streams::COUNTS,
+            Tuple::keyed(
+                SegmentCount {
+                    segment: p.segment,
+                    vehicles: set.len() as u32,
+                },
+                tuple.event_ns,
+                p.segment as u64,
+            ),
+        );
+    }
+}
+
+struct LrAccidentNotify {
+    accident_segments: HashSet<u16>,
+}
+
+impl DynBolt for LrAccidentNotify {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        if let Some(a) = tuple.value::<AccidentAlert>() {
+            self.accident_segments.insert(a.segment);
+            return;
+        }
+        if let Some(p) = tuple.value::<PositionReport>() {
+            // Notify vehicles entering a segment with a known accident.
+            if self.accident_segments.contains(&p.segment) {
+                collector.emit(
+                    streams::NOTIFY,
+                    Tuple::keyed(*p, tuple.event_ns, p.vehicle as u64),
+                );
+            }
+        }
+    }
+}
+
+struct LrTollNotify {
+    counts: HashMap<u16, u32>,
+    speeds: HashMap<u16, f64>,
+    accidents: HashSet<u16>,
+}
+
+impl LrTollNotify {
+    fn toll_for(&self, segment: u16) -> u32 {
+        // LR toll formula flavour: free when fast or accident-struck,
+        // otherwise quadratic in congestion.
+        if self.accidents.contains(&segment) {
+            return 0;
+        }
+        let speed = self.speeds.get(&segment).copied().unwrap_or(60.0);
+        if speed >= 40.0 {
+            return 0;
+        }
+        let cars = self.counts.get(&segment).copied().unwrap_or(0) as u64;
+        let over = cars.saturating_sub(50);
+        (2 * over * over).min(10_000) as u32
+    }
+}
+
+impl DynBolt for LrTollNotify {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        if let Some(p) = tuple.value::<PositionReport>() {
+            let toll = self.toll_for(p.segment);
+            collector.emit(
+                streams::TOLL,
+                Tuple::keyed(
+                    TollNotification {
+                        vehicle: p.vehicle,
+                        toll,
+                    },
+                    tuple.event_ns,
+                    p.vehicle as u64,
+                ),
+            );
+            return;
+        }
+        if let Some(c) = tuple.value::<SegmentCount>() {
+            self.counts.insert(c.segment, c.vehicles);
+            collector.emit(
+                streams::TOLL,
+                Tuple::keyed(
+                    TollNotification {
+                        vehicle: 0,
+                        toll: self.toll_for(c.segment),
+                    },
+                    tuple.event_ns,
+                    c.segment as u64,
+                ),
+            );
+            return;
+        }
+        if let Some(s) = tuple.value::<SegmentSpeed>() {
+            self.speeds.insert(s.segment, s.mph);
+            collector.emit(
+                streams::TOLL,
+                Tuple::keyed(
+                    TollNotification {
+                        vehicle: 0,
+                        toll: self.toll_for(s.segment),
+                    },
+                    tuple.event_ns,
+                    s.segment as u64,
+                ),
+            );
+            return;
+        }
+        if let Some(a) = tuple.value::<AccidentAlert>() {
+            self.accidents.insert(a.segment);
+        }
+    }
+}
+
+struct LrDailyExpen {
+    totals: HashMap<u32, u64>,
+}
+
+impl DynBolt for LrDailyExpen {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(vehicle) = tuple.value::<u32>() else {
+            return;
+        };
+        let total = self.totals.entry(*vehicle).or_insert(0);
+        *total += 1;
+        collector.emit_default(Tuple::keyed(*total, tuple.event_ns, *vehicle as u64));
+    }
+}
+
+struct LrAccountBalance {
+    balances: HashMap<u32, i64>,
+}
+
+impl DynBolt for LrAccountBalance {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(vehicle) = tuple.value::<u32>() else {
+            return;
+        };
+        let balance = self.balances.entry(*vehicle).or_insert(10_000);
+        *balance -= 25;
+        collector.emit_default(Tuple::keyed(*balance, tuple.event_ns, *vehicle as u64));
+    }
+}
+
+struct LrSink;
+
+impl DynBolt for LrSink {
+    fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
+}
+
+/// The runnable LR application.
+pub fn app() -> AppRuntime {
+    let t = topology();
+    let id = |n: &str| t.find(n).expect("operator exists");
+    let (spout, parser, dispatcher) = (id("spout"), id("parser"), id("dispatcher"));
+    let (avg, las, detect) = (id("avg_speed"), id("las_avg_speed"), id("accident_detect"));
+    let (count, notify, toll) = (id("count_vehicle"), id("accident_notify"), id("toll_notify"));
+    let (daily, balance, sink) = (id("daily_expen"), id("account_balance"), id("sink"));
+    AppRuntime::new(t)
+        .spout(spout, |ctx| LrSpout {
+            generator: LrGenerator::new(0x14 ^ ctx.replica as u64, 10_000),
+        })
+        .bolt(parser, |_| LrParser)
+        .bolt(dispatcher, |_| LrDispatcher)
+        .bolt(avg, |_| LrAvgSpeed {
+            acc: HashMap::new(),
+        })
+        .bolt(las, |_| LrLastAvgSpeed {
+            last: HashMap::new(),
+        })
+        .bolt(detect, |_| LrAccidentDetect {
+            stopped: HashMap::new(),
+        })
+        .bolt(count, |_| LrCountVehicle {
+            seen: HashMap::new(),
+        })
+        .bolt(notify, |_| LrAccidentNotify {
+            accident_segments: HashSet::new(),
+        })
+        .bolt(toll, |_| LrTollNotify {
+            counts: HashMap::new(),
+            speeds: HashMap::new(),
+            accidents: HashSet::new(),
+        })
+        .bolt(daily, |_| LrDailyExpen {
+            totals: HashMap::new(),
+        })
+        .bolt(balance, |_| LrAccountBalance {
+            balances: HashMap::new(),
+        })
+        .sink(sink, |_| LrSink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_shape() {
+        let t = topology();
+        assert_eq!(t.operator_count(), 12);
+        let toll = t.find("toll_notify").expect("exists");
+        // Toll notify has four producers: dispatcher, las, detect, counts.
+        assert_eq!(t.producers_of(toll).len(), 4);
+        let sink = t.find("sink").expect("exists");
+        assert_eq!(t.producers_of(sink).len(), 4);
+    }
+
+    #[test]
+    fn table8_selectivities() {
+        let t = topology();
+        let d = t.operator(t.find("dispatcher").expect("exists"));
+        assert!((d.selectivity(None, streams::POSITION) - 0.99).abs() < 1e-12);
+        let det = t.operator(t.find("accident_detect").expect("exists"));
+        assert_eq!(det.selectivity(Some(streams::POSITION), streams::DETECT), 0.0);
+        let toll = t.operator(t.find("toll_notify").expect("exists"));
+        assert_eq!(toll.selectivity(Some(streams::POSITION), streams::TOLL), 1.0);
+        assert_eq!(toll.selectivity(Some(streams::DETECT), streams::TOLL), 0.0);
+        assert_eq!(toll.selectivity(Some(streams::COUNTS), streams::TOLL), 1.0);
+        assert_eq!(toll.selectivity(Some(streams::LAS), streams::TOLL), 1.0);
+    }
+
+    #[test]
+    fn toll_formula() {
+        let mut tn = LrTollNotify {
+            counts: HashMap::new(),
+            speeds: HashMap::new(),
+            accidents: HashSet::new(),
+        };
+        // Fast segment: free.
+        tn.speeds.insert(1, 55.0);
+        tn.counts.insert(1, 200);
+        assert_eq!(tn.toll_for(1), 0);
+        // Slow, congested segment: charged.
+        tn.speeds.insert(2, 12.0);
+        tn.counts.insert(2, 80);
+        assert_eq!(tn.toll_for(2), 2 * 30 * 30);
+        // Accident segment: free regardless.
+        tn.accidents.insert(2);
+        assert_eq!(tn.toll_for(2), 0);
+    }
+
+    #[test]
+    fn app_validates() {
+        assert!(app().validate().is_ok());
+    }
+}

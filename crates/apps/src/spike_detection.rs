@@ -1,0 +1,220 @@
+//! Spike Detection (SD) — Figure 18b of the paper.
+//!
+//! `spout → parser → moving-average → spike-detect → sink`, all
+//! selectivities 1 ("a signal is passed to Sink in the Spike detection
+//! operator of SD regardless of whether detection is triggered",
+//! Appendix B). The moving average keeps a per-device sliding window; the
+//! detector compares each reading against its device's average.
+
+use crate::generators::{SensorGenerator, SensorReading};
+use crate::CALIBRATION_GHZ;
+use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple};
+use std::collections::{HashMap, VecDeque};
+
+/// Operator names, in pipeline order.
+pub const OPERATORS: [&str; 5] = ["spout", "parser", "moving_average", "spike_detect", "sink"];
+
+/// Sliding-window length per device.
+pub const WINDOW: usize = 16;
+
+/// Spike threshold: reading > `THRESHOLD` × window average.
+pub const THRESHOLD: f64 = 3.0;
+
+/// The SD logical topology with calibrated cost profiles.
+pub fn topology() -> LogicalTopology {
+    let ghz = CALIBRATION_GHZ;
+    let mut b = TopologyBuilder::new("spike_detection");
+    let spout = b.add_spout(
+        "spout",
+        CostProfile::from_ns_at_ghz(350.0, 45.0, 120.0, 64.0, ghz),
+    );
+    let parser = b.add_bolt(
+        "parser",
+        CostProfile::from_ns_at_ghz(200.0, 40.0, 96.0, 64.0, ghz),
+    );
+    let moving_average = b.add_bolt(
+        "moving_average",
+        CostProfile::from_ns_at_ghz(6200.0, 80.0, 260.0, 72.0, ghz),
+    );
+    let spike_detect = b.add_bolt(
+        "spike_detect",
+        CostProfile::from_ns_at_ghz(3800.0, 80.0, 180.0, 32.0, ghz),
+    );
+    let sink = b.add_sink(
+        "sink",
+        CostProfile::from_ns_at_ghz(45.0, 10.0, 32.0, 16.0, ghz),
+    );
+    b.connect_shuffle(spout, parser);
+    // Window state is per device: key partitioning.
+    b.connect(parser, DEFAULT_STREAM, moving_average, Partitioning::KeyBy);
+    b.connect(
+        moving_average,
+        DEFAULT_STREAM,
+        spike_detect,
+        Partitioning::KeyBy,
+    );
+    b.connect_shuffle(spike_detect, sink);
+    b.build().expect("SD topology is valid")
+}
+
+/// A reading paired with its device's current moving average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AveragedReading {
+    /// The raw reading.
+    pub reading: SensorReading,
+    /// Moving average over the device's window.
+    pub average: f64,
+}
+
+/// Spike verdict (emitted for every reading; selectivity 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeSignal {
+    /// Device that produced the reading.
+    pub device: u32,
+    /// The reading value.
+    pub value: f64,
+    /// Whether the value exceeded `THRESHOLD` × average.
+    pub spike: bool,
+}
+
+struct SdSpout {
+    generator: SensorGenerator,
+}
+
+impl DynSpout for SdSpout {
+    fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        let r = self.generator.next_reading();
+        let now = collector.now_ns();
+        collector.emit_default(Tuple::keyed(r, now, r.device as u64));
+        SpoutStatus::Emitted(1)
+    }
+}
+
+struct SdParser;
+
+impl DynBolt for SdParser {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(r) = tuple.value::<SensorReading>() else {
+            return;
+        };
+        if r.value.is_finite() {
+            collector.emit_default(tuple.clone());
+        }
+    }
+}
+
+struct SdMovingAverage {
+    windows: HashMap<u32, VecDeque<f64>>,
+}
+
+impl DynBolt for SdMovingAverage {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(r) = tuple.value::<SensorReading>() else {
+            return;
+        };
+        let window = self.windows.entry(r.device).or_default();
+        window.push_back(r.value);
+        if window.len() > WINDOW {
+            window.pop_front();
+        }
+        let average = window.iter().sum::<f64>() / window.len() as f64;
+        collector.emit_default(Tuple::keyed(
+            AveragedReading {
+                reading: *r,
+                average,
+            },
+            tuple.event_ns,
+            r.device as u64,
+        ));
+    }
+}
+
+struct SdSpikeDetect;
+
+impl DynBolt for SdSpikeDetect {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+        let Some(a) = tuple.value::<AveragedReading>() else {
+            return;
+        };
+        collector.emit_default(Tuple::keyed(
+            SpikeSignal {
+                device: a.reading.device,
+                value: a.reading.value,
+                spike: a.reading.value > THRESHOLD * a.average,
+            },
+            tuple.event_ns,
+            a.reading.device as u64,
+        ));
+    }
+}
+
+struct SdSink;
+
+impl DynBolt for SdSink {
+    fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
+}
+
+/// The runnable SD application.
+pub fn app() -> AppRuntime {
+    let t = topology();
+    let ids: Vec<_> = OPERATORS
+        .iter()
+        .map(|n| t.find(n).expect("operator exists"))
+        .collect();
+    AppRuntime::new(t)
+        .spout(ids[0], |ctx| SdSpout {
+            generator: SensorGenerator::new(0x5D ^ ctx.replica as u64, 256),
+        })
+        .bolt(ids[1], |_| SdParser)
+        .bolt(ids[2], |_| SdMovingAverage {
+            windows: HashMap::new(),
+        })
+        .bolt(ids[3], |_| SdSpikeDetect)
+        .sink(ids[4], |_| SdSink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_shape() {
+        let t = topology();
+        assert_eq!(t.operator_count(), 5);
+        let ma = t.find("moving_average").expect("exists");
+        assert_eq!(t.producers_of(ma).len(), 1);
+    }
+
+    #[test]
+    fn moving_average_window_math() {
+        let mut windows: HashMap<u32, VecDeque<f64>> = HashMap::new();
+        let w = windows.entry(7).or_default();
+        for v in [10.0, 20.0, 30.0] {
+            w.push_back(v);
+        }
+        let avg = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((avg - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_threshold_semantics() {
+        let quiet = SpikeSignal {
+            device: 0,
+            value: 25.0,
+            spike: 25.0 > THRESHOLD * 25.0,
+        };
+        assert!(!quiet.spike);
+        let loud = SpikeSignal {
+            device: 0,
+            value: 250.0,
+            spike: 250.0 > THRESHOLD * 25.0,
+        };
+        assert!(loud.spike);
+    }
+
+    #[test]
+    fn app_validates() {
+        assert!(app().validate().is_ok());
+    }
+}

@@ -1,0 +1,35 @@
+//! # brisk-baselines
+//!
+//! Models of the systems the paper compares against. Apache Storm 1.1.1,
+//! Apache Flink 1.3.2 and StreamBox cannot be run here, so each is recreated
+//! as a *cost profile + scheduler + engine configuration* over the same DAG
+//! machinery, calibrated against what the paper measured about them:
+//!
+//! * **Storm-like** — Figure 8 shows Storm spending 4–20× BriskStream's time
+//!   in function execution (instruction-cache misses dominate: >40%
+//!   front-end stalls) and ~10× in "Others" (temporary objects, queue
+//!   overheads); on top, each tuple pays (de)serialization and duplicated
+//!   per-tuple headers. Storm's *even scheduler* spreads executors
+//!   round-robin with no NUMA awareness, and its unbounded-ish buffering
+//!   yields multi-second tail latencies under saturation (Table 5: 37.9 s
+//!   p99 on WC).
+//! * **Flink-like** — lighter per-tuple costs than Storm, NUMA-aware only to
+//!   the extent of one task manager per socket (slot spreading). Operators
+//!   with multiple input streams pay a stream-merger (co-flat-map) cost —
+//!   the paper's explanation for Flink's poor LR throughput.
+//! * **StreamBox-like** — a morsel-driven engine: efficient per-tuple costs,
+//!   but every batch dispatch goes through a centralized lock whose cost
+//!   grows with core count, and keyed aggregation requires a data shuffle
+//!   whose remote misses the paper measured at ~67× BriskStream's. Its
+//!   ordered mode adds per-batch epoch sequencing on top (the paper also
+//!   measures an out-of-order variant with that cost removed).
+//!
+//! Every knob is expressed relative to the BriskStream topology, so a
+//! baseline run is: transform the topology costs → pick the system's
+//! scheduler placement → simulate with the system's engine configuration.
+
+pub mod streambox;
+pub mod systems;
+
+pub use streambox::{streambox_run, StreamBoxOptions};
+pub use systems::{baseline_run, BaselineOutcome, System};

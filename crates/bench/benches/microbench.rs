@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the hot paths of every subsystem:
+//! queue operations, model evaluation, B&B placement, simulation event
+//! throughput and workload generation.
+
+use brisk_apps::{generators::SentenceGenerator, word_count};
+use brisk_dag::{ExecutionGraph, Placement};
+use brisk_model::Evaluator;
+use brisk_numa::{Machine, SocketId};
+use brisk_rlas::{optimize_placement, PlacementOptions};
+use brisk_runtime::{BoundedQueue, JumboTuple, Tuple};
+use brisk_sim::{SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let q: BoundedQueue<u64> = BoundedQueue::new(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            q.push(i).expect("open");
+            i += 1;
+            std::hint::black_box(q.try_pop())
+        });
+    });
+    g.bench_function("jumbo_push_pop_64", |b| {
+        let q: BoundedQueue<JumboTuple> = BoundedQueue::new(64);
+        b.iter(|| {
+            let jumbo = JumboTuple {
+                producer: 0,
+                logical_edge: 0,
+                tuples: (0..64).map(|i| Tuple::new(i as u64, 0)).collect(),
+            };
+            q.push(jumbo).expect("open");
+            std::hint::black_box(q.try_pop())
+        });
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    let graph = ExecutionGraph::new(&topology, &[4, 2, 13, 72, 8], 5);
+    let placement = Placement::all_on(graph.vertex_count(), SocketId(0));
+    let evaluator = Evaluator::saturated(&machine);
+    c.bench_function("model/evaluate_wc_99_replicas", |b| {
+        b.iter(|| std::hint::black_box(evaluator.evaluate(&graph, &placement).throughput));
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let machine = Machine::server_a().restrict_sockets(2);
+    let topology = word_count::topology();
+    let graph = ExecutionGraph::new(&topology, &[2, 1, 4, 10, 2], 5);
+    let evaluator = Evaluator::saturated(&machine);
+    c.bench_function("rlas/bb_placement_wc_2_sockets", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                optimize_placement(&evaluator, &graph, &PlacementOptions::default())
+                    .expect("plan")
+                    .throughput,
+            )
+        });
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let machine = Machine::server_a().restrict_sockets(1);
+    let topology = word_count::topology();
+    let graph = ExecutionGraph::new(&topology, &[1, 1, 4, 11, 1], 1);
+    let placement = Placement::all_on(graph.vertex_count(), SocketId(0));
+    let config = SimConfig {
+        horizon_ns: 10_000_000,
+        warmup_ns: 2_000_000,
+        noise_sigma: 0.05,
+        ..SimConfig::default()
+    };
+    c.bench_function("sim/wc_10ms_virtual", |b| {
+        b.iter(|| {
+            let report = Simulator::new(&machine, &graph, &placement, config.clone())
+                .expect("valid")
+                .run();
+            std::hint::black_box(report.sink_events)
+        });
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sentence", |b| {
+        let mut gen = SentenceGenerator::new(7, 1000, 10);
+        b.iter(|| std::hint::black_box(gen.next_sentence()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_model,
+    bench_placement,
+    bench_sim,
+    bench_generators
+);
+criterion_main!(benches);

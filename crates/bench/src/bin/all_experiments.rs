@@ -1,0 +1,80 @@
+//! Runs the full experiment suite (every table and figure of the paper's
+//! evaluation) and writes the results to `EXPERIMENTS.md` at the workspace
+//! root (or the path given as the first argument).
+//!
+//! `cargo run --release -p brisk-bench --bin all_experiments [out.md]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DEVIATIONS: &str = r#"## Reading notes — known deviations from the paper
+
+- **Absolute throughputs** land at 60–75% of the paper's numbers with the
+  correct ordering (WC >> SD > LR > FD); the profiles are calibrated from
+  the few published per-tuple costs (Table 3, Figure 8), not the authors'
+  Java operators.
+- **Figure 6**: WC's order-of-magnitude speedup reproduces; FD/SD/LR land at
+  3–4x (paper: 3.2–18.7x). Our Storm/Flink cost models capture instruction
+  footprint, serialization, headers, buffering and NUMA-blind scheduling but
+  not every real-system pathology (GC pauses, ack amplification). Flink
+  trails Storm on multi-input topologies (LR) via the stream-merger cost,
+  matching the paper's explanation.
+- **Table 5**: the ordering (Brisk << Flink/Storm) and the orders-of-
+  magnitude gap reproduce; the paper's 37-second Storm p99 implies far
+  deeper buffering than our 8192-batch model.
+- **Figure 12**: RLAS dominates fix(U) everywhere (+21%..+103%); fix(L) is
+  within a few percent of RLAS on two apps (paper: 19–39%) — our
+  back-pressure-coupled model narrows the gap because fix(L)'s pessimism
+  yields balanced replication mixes that happen to simulate well.
+- **Table 7**: our r=1 search finds *better* plans than r=5 given its node
+  budget (the paper's r=1 underperforms at much larger solution spaces);
+  the runtime trend (fine granularity is much slower) reproduces.
+- **Model formulation**: rates are back-pressure coupled (see DESIGN.md);
+  this is a deliberate deviation from the paper's Case-1 accumulation
+  semantics and is why our Table 4 relative errors (0.01–0.05) are tighter
+  than the paper's (0.02–0.14).
+"#;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+    let started = Instant::now();
+
+    let mut doc = String::new();
+    let _ = writeln!(
+        doc,
+        "# Experiments — paper vs this reproduction\n\n\
+         Reproduction of every table and figure in the evaluation of\n\
+         *BriskStream: Scaling Data Stream Processing on Shared-Memory Multicore\n\
+         Architectures* (SIGMOD 2019). \"Measured\" numbers come from the\n\
+         discrete-event simulator standing in for the paper's eight-socket\n\
+         servers (see DESIGN.md for the substitution argument); \"estimated\"\n\
+         numbers come from the analytical performance model. Paper values are\n\
+         printed alongside — the comparison targets *shape* (who wins, by what\n\
+         factor, where knees fall), not absolute equality.\n\n\
+         Regenerate with `cargo run --release -p brisk-bench --bin all_experiments`.\n"
+    );
+
+    let mut last = Instant::now();
+    for section in brisk_bench::experiments::run_all() {
+        let md = section.to_markdown();
+        println!("{md}");
+        println!("[{}] +{:.1}s\n", section.id, last.elapsed().as_secs_f64());
+        last = Instant::now();
+        doc.push_str(&md);
+        doc.push('\n');
+    }
+
+    doc.push_str(DEVIATIONS);
+    let _ = writeln!(
+        doc,
+        "\n---\nGenerated in {:.0}s by `all_experiments`.",
+        started.elapsed().as_secs_f64()
+    );
+    std::fs::write(&out_path, doc).expect("write experiments file");
+    eprintln!(
+        "wrote {out_path} in {:.0}s",
+        started.elapsed().as_secs_f64()
+    );
+}

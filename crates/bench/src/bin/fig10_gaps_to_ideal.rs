@@ -1,0 +1,8 @@
+//! Regenerates Figure 10 (gaps to ideal).
+//!
+//! `cargo run --release -p brisk-bench --bin fig10_gaps_to_ideal`
+
+fn main() {
+    let section = brisk_bench::experiments::scalability::fig10_gaps_to_ideal();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 11 (StreamBox comparison).
+//!
+//! `cargo run --release -p brisk-bench --bin fig11_streambox`
+
+fn main() {
+    let section = brisk_bench::experiments::scalability::fig11_streambox();
+    println!("{}", section.to_markdown());
+}

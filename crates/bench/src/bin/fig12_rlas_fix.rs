@@ -1,0 +1,8 @@
+//! Regenerates Figure 12 (fixed-capability ablations).
+//!
+//! `cargo run --release -p brisk-bench --bin fig12_rlas_fix`
+
+fn main() {
+    let section = brisk_bench::experiments::optimizer_eval::fig12_rlas_fix();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 13 (placement strategies).
+//!
+//! `cargo run --release -p brisk-bench --bin fig13_placement_strategies`
+
+fn main() {
+    let section = brisk_bench::experiments::optimizer_eval::fig13_placement_strategies();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 14 (Monte-Carlo random plans).
+//!
+//! `cargo run --release -p brisk-bench --bin fig14_random_plans`
+
+fn main() {
+    let section = brisk_bench::experiments::optimizer_eval::fig14_random_plans();
+    println!("{}", section.to_markdown());
+}

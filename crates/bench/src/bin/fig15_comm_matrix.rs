@@ -1,0 +1,8 @@
+//! Regenerates Figure 15 (communication matrices).
+//!
+//! `cargo run --release -p brisk-bench --bin fig15_comm_matrix`
+
+fn main() {
+    let section = brisk_bench::experiments::optimizer_eval::fig15_comm_matrix();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 16 (factor analysis).
+//!
+//! `cargo run --release -p brisk-bench --bin fig16_factor_analysis`
+
+fn main() {
+    let section = brisk_bench::experiments::optimizer_eval::fig16_factor_analysis();
+    println!("{}", section.to_markdown());
+}

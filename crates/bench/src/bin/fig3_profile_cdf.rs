@@ -1,0 +1,8 @@
+//! Regenerates Figure 3 (profiled execution-cycle CDFs).
+//!
+//! `cargo run --release -p brisk-bench --bin fig3_profile_cdf`
+
+fn main() {
+    let section = brisk_bench::experiments::accuracy::fig3_profile_cdf();
+    println!("{}", section.to_markdown());
+}

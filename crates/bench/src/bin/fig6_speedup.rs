@@ -1,0 +1,8 @@
+//! Regenerates Figure 6 (throughput speedup over Storm/Flink).
+//!
+//! `cargo run --release -p brisk-bench --bin fig6_speedup`
+
+fn main() {
+    let section = brisk_bench::experiments::comparison::fig6_speedup();
+    println!("{}", section.to_markdown());
+}

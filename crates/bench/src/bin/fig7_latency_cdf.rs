@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 (end-to-end latency CDF of WC).
+//!
+//! `cargo run --release -p brisk-bench --bin fig7_latency_cdf`
+
+fn main() {
+    let section = brisk_bench::experiments::comparison::fig7_latency_cdf();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 (per-tuple time breakdown).
+//!
+//! `cargo run --release -p brisk-bench --bin fig8_breakdown`
+
+fn main() {
+    let section = brisk_bench::experiments::comparison::fig8_breakdown();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 9a (LR scalability across systems).
+//!
+//! `cargo run --release -p brisk-bench --bin fig9a_scalability_systems`
+
+fn main() {
+    let section = brisk_bench::experiments::scalability::fig9a_scalability_systems();
+    println!("{}", section.to_markdown());
+}

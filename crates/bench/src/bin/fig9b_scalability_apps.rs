@@ -1,0 +1,8 @@
+//! Regenerates Figure 9b (application scalability).
+//!
+//! `cargo run --release -p brisk-bench --bin fig9b_scalability_apps`
+
+fn main() {
+    let section = brisk_bench::experiments::scalability::fig9b_scalability_apps();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2 (machine characteristics).
+//!
+//! `cargo run --release -p brisk-bench --bin table2_machines`
+
+fn main() {
+    let section = brisk_bench::experiments::accuracy::table2_machines();
+    println!("{}", section.to_markdown());
+}

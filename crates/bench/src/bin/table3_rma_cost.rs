@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (per-tuple cost vs NUMA distance).
+//!
+//! `cargo run --release -p brisk-bench --bin table3_rma_cost`
+
+fn main() {
+    let section = brisk_bench::experiments::accuracy::table3_rma_cost();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4 (model accuracy).
+//!
+//! `cargo run --release -p brisk-bench --bin table4_model_accuracy`
+
+fn main() {
+    let section = brisk_bench::experiments::accuracy::table4_model_accuracy();
+    println!("{}", section.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 5 (99th-percentile latencies).
+//!
+//! `cargo run --release -p brisk-bench --bin table5_tail_latency`
+
+fn main() {
+    let section = brisk_bench::experiments::comparison::table5_tail_latency();
+    println!("{}", section.to_markdown());
+}

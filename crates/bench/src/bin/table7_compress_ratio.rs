@@ -1,0 +1,8 @@
+//! Regenerates Table 7 (compression-ratio sweep).
+//!
+//! `cargo run --release -p brisk-bench --bin table7_compress_ratio`
+
+fn main() {
+    let section = brisk_bench::experiments::optimizer_eval::table7_compress_ratio();
+    println!("{}", section.to_markdown());
+}

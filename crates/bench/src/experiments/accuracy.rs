@@ -1,0 +1,191 @@
+//! Model-accuracy experiments: Table 2 (machines), Figure 3 (profiling
+//! CDFs), Table 3 (per-tuple cost vs NUMA distance), Table 4 (end-to-end
+//! model accuracy).
+
+use super::Section;
+use crate::harness::{fmt_k, markdown_table, plan_for, standard_sim};
+use crate::paper;
+use brisk_apps::{word_count, CALIBRATION_GHZ};
+use brisk_dag::{ExecutionGraph, Placement};
+use brisk_metrics::relative_error;
+use brisk_model::Evaluator;
+use brisk_numa::{Machine, MlcReport, ProbeOptions, SocketId};
+use brisk_sim::{SimConfig, Simulator};
+
+/// Table 2: machine characteristics via the MLC-style probe.
+pub fn table2_machines() -> Section {
+    let mut rows = Vec::new();
+    for machine in [Machine::server_a(), Machine::server_b()] {
+        let probe = MlcReport::probe(&machine, ProbeOptions::default());
+        rows.push(vec![
+            machine.name().to_string(),
+            format!(
+                "{}x{} @ {:.2} GHz",
+                machine.sockets(),
+                machine.cores_per_socket(),
+                machine.clock_hz() / 1e9
+            ),
+            format!("{:.1}", probe.local_latency_ns()),
+            format!("{:.1}", probe.one_hop_latency_ns()),
+            format!("{:.1}", probe.max_hop_latency_ns()),
+            format!("{:.1}", probe.local_bandwidth_bps() / 1e9),
+            format!("{:.1}", probe.one_hop_bandwidth_bps() / 1e9),
+            format!("{:.1}", probe.min_bandwidth_bps() / 1e9),
+            format!("{:.1}", probe.total_local_bandwidth_bps() / 1e9),
+        ]);
+    }
+    Section {
+        id: "table2",
+        title: "Table 2 — machine characteristics (virtual MLC probe)".into(),
+        body: markdown_table(
+            &[
+                "Machine",
+                "Cores",
+                "Local lat (ns)",
+                "1-hop lat (ns)",
+                "Max lat (ns)",
+                "Local B/W (GB/s)",
+                "1-hop B/W (GB/s)",
+                "Min B/W (GB/s)",
+                "Total local B/W (GB/s)",
+            ],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 3: CDF of profiled per-tuple execution cycles of WC's operators.
+pub fn fig3_profile_cdf() -> Section {
+    let topology = word_count::topology();
+    let machine = Machine::server_a();
+    let mut profiles =
+        brisk_core::profiler::synthetic_profile(&topology, machine.clock_hz(), 1000, 0.15, 0xF13);
+    let quantiles = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99];
+    let mut rows = Vec::new();
+    for p in &mut profiles {
+        let mut row = vec![p.name.clone()];
+        for &q in &quantiles {
+            // Report CPU cycles like the paper's x-axis.
+            let cycles = p.te_ns.quantile(q) * machine.clock_hz() / 1e9;
+            row.push(format!("{cycles:.0}"));
+        }
+        rows.push(row);
+    }
+    Section {
+        id: "fig3",
+        title: "Figure 3 — CDF of profiled execution cycles (WC operators, 1000 samples)".into(),
+        body: markdown_table(
+            &["Operator", "p10", "p25", "p50", "p75", "p90", "p99"],
+            &rows,
+        ),
+    }
+}
+
+/// Table 3: measured vs estimated per-tuple processing time of WC's Splitter
+/// and Counter when placed 0..max hops from their producers.
+pub fn table3_rma_cost() -> Section {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    let sockets = [0usize, 1, 3, 4, 7];
+
+    let measure = |target: &str, socket: usize| -> (f64, f64) {
+        let graph = ExecutionGraph::new(&topology, &[1, 1, 1, 1, 1], 1);
+        let target_op = topology.find(target).expect("operator exists");
+        let mut placement = Placement::all_on(graph.vertex_count(), SocketId(0));
+        let v = graph.vertices_of(target_op)[0];
+        placement.place(v, SocketId(socket));
+        // Estimated: the analytical model's T(p) for the vertex.
+        let eval = Evaluator::saturated(&machine).evaluate(&graph, &placement);
+        let estimated = eval.vertices[v.0].total_ns();
+        // Measured: simulate and read the operator's realized ns/tuple.
+        let config = SimConfig {
+            noise_sigma: 0.03,
+            horizon_ns: 40_000_000,
+            warmup_ns: 8_000_000,
+            ..standard_sim()
+        };
+        let report = Simulator::new(&machine, &graph, &placement, config)
+            .expect("valid sim")
+            .run();
+        let measured = report.breakdown(target_op.0).total_ns();
+        (measured, estimated)
+    };
+
+    let mut rows = Vec::new();
+    for (i, &s) in sockets.iter().enumerate() {
+        let (sm, se) = measure("splitter", s);
+        let (cm, ce) = measure("counter", s);
+        rows.push(vec![
+            paper::TABLE3_PAIRS[i].to_string(),
+            format!("{sm:.1}"),
+            format!("{se:.1}"),
+            format!("{:.1}", paper::TABLE3_SPLITTER_MEASURED[i]),
+            format!("{:.1}", paper::TABLE3_SPLITTER_ESTIMATED[i]),
+            format!("{cm:.1}"),
+            format!("{ce:.1}"),
+            format!("{:.1}", paper::TABLE3_COUNTER_MEASURED[i]),
+            format!("{:.1}", paper::TABLE3_COUNTER_ESTIMATED[i]),
+        ]);
+    }
+    Section {
+        id: "table3",
+        title: "Table 3 — per-tuple processing time vs NUMA distance (ns/tuple)".into(),
+        body: markdown_table(
+            &[
+                "From-to",
+                "Splitter meas",
+                "Splitter est",
+                "(paper meas)",
+                "(paper est)",
+                "Counter meas",
+                "Counter est",
+                "(paper meas)",
+                "(paper est)",
+            ],
+            &rows,
+        ),
+    }
+}
+
+/// Table 4: model accuracy for all four applications on Server A.
+pub fn table4_model_accuracy() -> Section {
+    let machine = Machine::server_a();
+    let mut rows = Vec::new();
+    for (i, (name, topology)) in brisk_apps::all_topologies().into_iter().enumerate() {
+        let plan = plan_for(&machine, &topology);
+        let graph = ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
+        let sim = Simulator::new(&machine, &graph, &plan.plan.placement, standard_sim())
+            .expect("valid sim")
+            .run();
+        let measured = sim.throughput;
+        let estimated = plan.throughput;
+        rows.push(vec![
+            name.to_string(),
+            fmt_k(measured),
+            fmt_k(estimated),
+            format!("{:.2}", relative_error(measured, estimated)),
+            format!("{:.1}", paper::TABLE4_MEASURED[i]),
+            format!("{:.1}", paper::TABLE4_ESTIMATED[i]),
+            format!("{:.2}", paper::TABLE4_RELATIVE_ERROR[i]),
+        ]);
+    }
+    Section {
+        id: "table4",
+        title: "Table 4 — model accuracy (k events/s, Server A, 8 sockets)".into(),
+        body: markdown_table(
+            &[
+                "App",
+                "Measured",
+                "Estimated",
+                "Rel err",
+                "(paper meas)",
+                "(paper est)",
+                "(paper err)",
+            ],
+            &rows,
+        ),
+    }
+}
+
+// Calibration constant re-exported for sibling modules.
+pub(crate) const GHZ: f64 = CALIBRATION_GHZ;

@@ -1,0 +1,212 @@
+//! System-comparison experiments: Figure 6 (speedup), Figure 7 (latency
+//! CDF), Table 5 (p99 latency), Figure 8 (per-tuple time breakdown).
+
+use super::accuracy::GHZ;
+use super::Section;
+use crate::harness::{fmt_k, fmt_x, latency_sim, markdown_table, plan_for, standard_sim};
+use crate::paper;
+use brisk_apps::word_count;
+use brisk_baselines::{baseline_run, System};
+use brisk_dag::{ExecutionGraph, Placement};
+use brisk_numa::{Machine, SocketId};
+use brisk_sim::{SimConfig, Simulator};
+
+fn brisk_throughput(machine: &Machine, topology: &brisk_dag::LogicalTopology) -> f64 {
+    let plan = plan_for(machine, topology);
+    let graph = ExecutionGraph::new(topology, &plan.plan.replication, plan.plan.compress_ratio);
+    Simulator::new(machine, &graph, &plan.plan.placement, standard_sim())
+        .expect("valid sim")
+        .run()
+        .throughput
+}
+
+/// Figure 6: BriskStream throughput speedup over Storm-like and Flink-like.
+pub fn fig6_speedup() -> Section {
+    let machine = Machine::server_a();
+    let mut rows = Vec::new();
+    for (i, (name, topology)) in brisk_apps::all_topologies().into_iter().enumerate() {
+        let brisk = brisk_throughput(&machine, &topology);
+        let storm =
+            baseline_run(System::Storm, &machine, &topology, GHZ, standard_sim()).throughput;
+        let flink =
+            baseline_run(System::Flink, &machine, &topology, GHZ, standard_sim()).throughput;
+        rows.push(vec![
+            name.to_string(),
+            fmt_k(brisk),
+            fmt_k(storm),
+            fmt_k(flink),
+            fmt_x(brisk / storm),
+            fmt_x(brisk / flink),
+            fmt_x(paper::FIG6_VS_STORM[i]),
+            fmt_x(paper::FIG6_VS_FLINK[i]),
+        ]);
+    }
+    Section {
+        id: "fig6",
+        title: "Figure 6 — throughput speedup over Storm/Flink (Server A)".into(),
+        body: markdown_table(
+            &[
+                "App",
+                "Brisk (k ev/s)",
+                "Storm (k ev/s)",
+                "Flink (k ev/s)",
+                "vs Storm",
+                "vs Flink",
+                "(paper vs Storm)",
+                "(paper vs Flink)",
+            ],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 7: end-to-end latency CDF of WC on the three systems.
+pub fn fig7_latency_cdf() -> Section {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    let plan = plan_for(&machine, &topology);
+    let graph = ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
+    let brisk = Simulator::new(&machine, &graph, &plan.plan.placement, latency_sim())
+        .expect("valid sim")
+        .run()
+        .latency_ns;
+    let storm =
+        baseline_run(System::Storm, &machine, &topology, GHZ, latency_sim()).latency_ns;
+    let flink =
+        baseline_run(System::Flink, &machine, &topology, GHZ, latency_sim()).latency_ns;
+
+    let percentiles = [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9];
+    let mut rows = Vec::new();
+    for p in percentiles {
+        rows.push(vec![
+            format!("p{p}"),
+            format!("{:.2}", brisk.percentile(p) / 1e6),
+            format!("{:.2}", storm.percentile(p) / 1e6),
+            format!("{:.2}", flink.percentile(p) / 1e6),
+        ]);
+    }
+    Section {
+        id: "fig7",
+        title: "Figure 7 — end-to-end latency CDF of WC (ms)".into(),
+        body: markdown_table(&["Percentile", "BriskStream", "Storm", "Flink"], &rows),
+    }
+}
+
+/// Table 5: 99th-percentile end-to-end latency for all applications.
+pub fn table5_tail_latency() -> Section {
+    let machine = Machine::server_a();
+    let mut rows = Vec::new();
+    for (i, (name, topology)) in brisk_apps::all_topologies().into_iter().enumerate() {
+        let plan = plan_for(&machine, &topology);
+        let graph =
+            ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
+        let brisk = Simulator::new(&machine, &graph, &plan.plan.placement, latency_sim())
+            .expect("valid sim")
+            .run()
+            .latency_ns
+            .percentile(99.0)
+            / 1e6;
+        let storm = baseline_run(System::Storm, &machine, &topology, GHZ, latency_sim())
+            .latency_ns
+            .percentile(99.0)
+            / 1e6;
+        let flink = baseline_run(System::Flink, &machine, &topology, GHZ, latency_sim())
+            .latency_ns
+            .percentile(99.0)
+            / 1e6;
+        rows.push(vec![
+            name.to_string(),
+            format!("{brisk:.1}"),
+            format!("{storm:.1}"),
+            format!("{flink:.1}"),
+            format!("{:.1}", paper::TABLE5_BRISK_MS[i]),
+            format!("{:.1}", paper::TABLE5_STORM_MS[i]),
+            format!("{:.1}", paper::TABLE5_FLINK_MS[i]),
+        ]);
+    }
+    Section {
+        id: "table5",
+        title: "Table 5 — 99th-percentile end-to-end latency (ms)".into(),
+        body: markdown_table(
+            &[
+                "App",
+                "Brisk",
+                "Storm",
+                "Flink",
+                "(paper Brisk)",
+                "(paper Storm)",
+                "(paper Flink)",
+            ],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 8: per-tuple time breakdown (Execute / Others / RMA) of WC's
+/// non-source operators in three configurations: Storm collocated, Brisk
+/// collocated, Brisk max-hop remote.
+pub fn fig8_breakdown() -> Section {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    let ops = ["parser", "splitter", "counter"];
+
+    let run = |topo: &brisk_dag::LogicalTopology, remote: bool| -> Vec<(f64, f64, f64)> {
+        let graph = ExecutionGraph::new(topo, &[1, 1, 1, 1, 1], 1);
+        let placement = if remote {
+            // Alternate sockets so every operator sits max-hops from its
+            // producer (S0 <-> S7 on Server A).
+            let mut p = Placement::empty(graph.vertex_count());
+            for (i, &v) in graph.topological_order().iter().enumerate() {
+                p.place(v, SocketId(if i % 2 == 0 { 0 } else { 7 }));
+            }
+            p
+        } else {
+            Placement::all_on(graph.vertex_count(), SocketId(0))
+        };
+        let config = SimConfig {
+            noise_sigma: 0.03,
+            ..standard_sim()
+        };
+        let report = Simulator::new(&machine, &graph, &placement, config)
+            .expect("valid sim")
+            .run();
+        ops.iter()
+            .map(|o| {
+                let b = report.breakdown(topo.find(o).expect("op").0);
+                (b.execute_ns, b.others_ns, b.rma_ns)
+            })
+            .collect()
+    };
+
+    let storm_topology = System::Storm.transform(&topology, GHZ);
+    let storm_local = run(&storm_topology, false);
+    let brisk_local = run(&topology, false);
+    let brisk_remote = run(&topology, true);
+
+    let mut rows = Vec::new();
+    for (label, data) in [
+        ("Storm (local)", &storm_local),
+        ("Brisk (local)", &brisk_local),
+        ("Brisk (remote)", &brisk_remote),
+    ] {
+        for (i, op) in ops.iter().enumerate() {
+            let (e, o, r) = data[i];
+            rows.push(vec![
+                label.to_string(),
+                op.to_string(),
+                format!("{e:.0}"),
+                format!("{o:.0}"),
+                format!("{r:.0}"),
+                format!("{:.0}", e + o + r),
+            ]);
+        }
+    }
+    Section {
+        id: "fig8",
+        title: "Figure 8 — per-tuple execution time breakdown (ns/tuple, WC)".into(),
+        body: markdown_table(
+            &["Config", "Operator", "Execute", "Others", "RMA", "Total"],
+            &rows,
+        ),
+    }
+}

@@ -1,0 +1,52 @@
+//! One experiment per table/figure of the paper's evaluation.
+//!
+//! Every experiment returns a [`Section`]: a Markdown fragment holding our
+//! numbers next to the paper's. `all_experiments` stitches them into
+//! EXPERIMENTS.md.
+
+pub mod accuracy;
+pub mod comparison;
+pub mod optimizer_eval;
+pub mod scalability;
+
+/// A rendered experiment.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Stable identifier, e.g. `"table4"`.
+    pub id: &'static str,
+    /// Human title, e.g. `"Table 4 — model accuracy"`.
+    pub title: String,
+    /// Markdown body.
+    pub body: String,
+}
+
+impl Section {
+    /// Render as a Markdown section.
+    pub fn to_markdown(&self) -> String {
+        format!("## {}\n\n{}\n", self.title, self.body)
+    }
+}
+
+/// Run every experiment in paper order. Expensive (minutes in release mode).
+pub fn run_all() -> Vec<Section> {
+    vec![
+        accuracy::table2_machines(),
+        accuracy::fig3_profile_cdf(),
+        accuracy::table3_rma_cost(),
+        accuracy::table4_model_accuracy(),
+        comparison::fig6_speedup(),
+        comparison::fig7_latency_cdf(),
+        comparison::table5_tail_latency(),
+        comparison::fig8_breakdown(),
+        scalability::fig9a_scalability_systems(),
+        scalability::fig9b_scalability_apps(),
+        scalability::fig10_gaps_to_ideal(),
+        scalability::fig11_streambox(),
+        optimizer_eval::fig12_rlas_fix(),
+        optimizer_eval::fig13_placement_strategies(),
+        optimizer_eval::fig14_random_plans(),
+        optimizer_eval::fig15_comm_matrix(),
+        optimizer_eval::table7_compress_ratio(),
+        optimizer_eval::fig16_factor_analysis(),
+    ]
+}

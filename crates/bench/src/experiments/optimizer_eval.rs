@@ -1,0 +1,367 @@
+//! Optimizer-evaluation experiments: Figure 12 (fixed-capability
+//! ablations), Figure 13 (placement strategies), Figure 14 (random plans),
+//! Figure 15 (communication matrices), Table 7 (compression ratio),
+//! Figure 16 (factor analysis).
+
+use super::accuracy::GHZ;
+use super::Section;
+use crate::harness::{fmt_k, markdown_table, plan_for, standard_options, standard_sim};
+use crate::paper;
+use brisk_apps::word_count;
+use brisk_baselines::System;
+use brisk_dag::{ExecutionGraph, LogicalTopology, Placement};
+use brisk_model::{comm_cost_matrix, Evaluator, TfPolicy};
+use brisk_numa::Machine;
+use brisk_rlas::{
+    optimize, optimize_with_policy, place_with_strategy, random_plans, PlacementStrategy,
+    RandomPlanOptions, ScalingOptions,
+};
+use brisk_sim::{SimConfig, Simulator};
+use std::time::Instant;
+
+fn simulate(
+    machine: &Machine,
+    topology: &LogicalTopology,
+    replication: &[usize],
+    compress: usize,
+    placement: &Placement,
+    config: SimConfig,
+) -> f64 {
+    let graph = ExecutionGraph::new(topology, replication, compress);
+    Simulator::new(machine, &graph, placement, config)
+        .expect("valid sim")
+        .run()
+        .throughput
+}
+
+/// Figure 12: RLAS against the fixed-capability ablations, measured.
+pub fn fig12_rlas_fix() -> Section {
+    let machine = Machine::server_a();
+    let mut rows = Vec::new();
+    for (name, topology) in brisk_apps::all_topologies() {
+        let opts = standard_options();
+        let rlas = plan_for(&machine, &topology);
+        let fix_l = optimize_with_policy(&machine, &topology, TfPolicy::AlwaysRemote, &opts)
+            .expect("fix(L) plan");
+        let fix_u = optimize_with_policy(&machine, &topology, TfPolicy::NeverRemote, &opts)
+            .expect("fix(U) plan");
+        let measure = |p: &brisk_rlas::OptimizedPlan| {
+            simulate(
+                &machine,
+                &topology,
+                &p.plan.replication,
+                p.plan.compress_ratio,
+                &p.plan.placement,
+                standard_sim(),
+            )
+        };
+        let (r, l, u) = (measure(&rlas), measure(&fix_l), measure(&fix_u));
+        rows.push(vec![
+            name.to_string(),
+            fmt_k(r),
+            fmt_k(l),
+            fmt_k(u),
+            format!("{:+.0}%", (r / l - 1.0) * 100.0),
+            format!("{:+.0}%", (r / u - 1.0) * 100.0),
+        ]);
+    }
+    let mut body = markdown_table(
+        &[
+            "App",
+            "RLAS",
+            "RLAS_fix(L)",
+            "RLAS_fix(U)",
+            "RLAS over fix(L)",
+            "RLAS over fix(U)",
+        ],
+        &rows,
+    );
+    body.push_str(&format!(
+        "\nPaper: RLAS beats fix(L) by {:.0}%–{:.0}% and fix(U) by {:.0}%–{:.0}%.\n",
+        paper::FIG12_OVER_FIX_L.0 * 100.0,
+        paper::FIG12_OVER_FIX_L.1 * 100.0,
+        paper::FIG12_OVER_FIX_U.0 * 100.0,
+        paper::FIG12_OVER_FIX_U.1 * 100.0,
+    ));
+    Section {
+        id: "fig12",
+        title: "Figure 12 — RLAS vs fixed-capability ablations (k events/s, measured)".into(),
+        body,
+    }
+}
+
+/// Figure 13: placement strategies under the RLAS replication configuration,
+/// on both servers, normalized to RLAS.
+pub fn fig13_placement_strategies() -> Section {
+    let mut rows = Vec::new();
+    for machine in [Machine::server_a(), Machine::server_b()] {
+        for (name, topology) in brisk_apps::all_topologies() {
+            let plan = plan_for(&machine, &topology);
+            let rlas = simulate(
+                &machine,
+                &topology,
+                &plan.plan.replication,
+                plan.plan.compress_ratio,
+                &plan.plan.placement,
+                standard_sim(),
+            );
+            let graph = ExecutionGraph::new(
+                &topology,
+                &plan.plan.replication,
+                plan.plan.compress_ratio,
+            );
+            let mut row = vec![machine.name().to_string(), name.to_string()];
+            for strategy in [
+                PlacementStrategy::Os { seed: 0x05 },
+                PlacementStrategy::FirstFit,
+                PlacementStrategy::RoundRobin,
+            ] {
+                let placement = place_with_strategy(&graph, &machine, strategy);
+                let t = simulate(
+                    &machine,
+                    &topology,
+                    &plan.plan.replication,
+                    plan.plan.compress_ratio,
+                    &placement,
+                    standard_sim(),
+                );
+                row.push(format!("{:.2}", t / rlas));
+            }
+            row.push(fmt_k(rlas));
+            rows.push(row);
+        }
+    }
+    Section {
+        id: "fig13",
+        title: "Figure 13 — placement strategies normalized to RLAS (same replication)".into(),
+        body: markdown_table(
+            &["Machine", "App", "OS", "FF", "RR", "RLAS (k ev/s)"],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 14: 1000 Monte-Carlo random plans per application vs RLAS.
+pub fn fig14_random_plans() -> Section {
+    let machine = Machine::server_a();
+    let mut rows = Vec::new();
+    for (name, topology) in brisk_apps::all_topologies() {
+        let rlas = plan_for(&machine, &topology).throughput;
+        let plans = random_plans(
+            &machine,
+            &topology,
+            &RandomPlanOptions {
+                count: 1000,
+                seed: 0x314,
+                ..RandomPlanOptions::default()
+            },
+        );
+        let mut ts: Vec<f64> = plans.iter().map(|(_, t)| *t).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let beat = ts.iter().filter(|&&t| t > rlas).count();
+        rows.push(vec![
+            name.to_string(),
+            fmt_k(ts[0]),
+            fmt_k(ts[ts.len() / 2]),
+            fmt_k(*ts.last().expect("non-empty")),
+            fmt_k(rlas),
+            format!("{:.2}", ts.last().expect("non-empty") / rlas),
+            beat.to_string(),
+        ]);
+    }
+    Section {
+        id: "fig14",
+        title: "Figure 14 — 1000 random plans vs RLAS (k events/s, modelled)".into(),
+        body: markdown_table(
+            &[
+                "App",
+                "Random min",
+                "Random median",
+                "Random max",
+                "RLAS",
+                "Best random / RLAS",
+                "# beating RLAS",
+            ],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 15: communication-pattern matrices of WC on both servers.
+pub fn fig15_comm_matrix() -> Section {
+    let topology = word_count::topology();
+    let mut body = String::new();
+    for machine in [Machine::server_a(), Machine::server_b()] {
+        let plan = plan_for(&machine, &topology);
+        let graph =
+            ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
+        let evaluator = Evaluator::saturated(&machine);
+        let eval = evaluator.evaluate(&graph, &plan.plan.placement);
+        let matrix = comm_cost_matrix(&evaluator, &graph, &plan.plan.placement, &eval);
+        body.push_str(&format!(
+            "\n**{}** (fetch-stall ms/s, producer socket = row):\n\n",
+            machine.name()
+        ));
+        let header: Vec<String> = (0..machine.sockets()).map(|j| format!("S{j}")).collect();
+        let mut hdr = vec!["from\\to".to_string()];
+        hdr.extend(header);
+        let hdr_refs: Vec<&str> = hdr.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = matrix
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut r = vec![format!("S{i}")];
+                r.extend(row.iter().map(|v| format!("{:.1}", v / 1e6)));
+                r
+            })
+            .collect();
+        body.push_str(&markdown_table(&hdr_refs, &rows));
+    }
+    Section {
+        id: "fig15",
+        title: "Figure 15 — communication pattern matrices of WC".into(),
+        body,
+    }
+}
+
+/// Table 7: the compression-ratio trade-off on WC.
+pub fn table7_compress_ratio() -> Section {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    let mut rows = Vec::new();
+    for (i, r) in [1usize, 3, 5, 10, 15].into_iter().enumerate() {
+        let t0 = Instant::now();
+        let plan = optimize(
+            &machine,
+            &topology,
+            &ScalingOptions {
+                compress_ratio: r,
+                ..standard_options()
+            },
+        );
+        let runtime = t0.elapsed().as_secs_f64();
+        let (paper_r, paper_t, paper_s) = paper::TABLE7[i];
+        debug_assert_eq!(paper_r, r);
+        match plan {
+            Some(p) => rows.push(vec![
+                r.to_string(),
+                fmt_k(p.throughput),
+                format!("{runtime:.1}"),
+                format!("{paper_t:.1}"),
+                format!("{paper_s:.1}"),
+            ]),
+            None => rows.push(vec![
+                r.to_string(),
+                "-".into(),
+                format!("{runtime:.1}"),
+                format!("{paper_t:.1}"),
+                format!("{paper_s:.1}"),
+            ]),
+        }
+    }
+    Section {
+        id: "table7",
+        title: "Table 7 — compression ratio r: throughput vs optimization runtime (WC)".into(),
+        body: markdown_table(
+            &[
+                "r",
+                "Throughput (k ev/s)",
+                "Runtime (s)",
+                "(paper k ev/s)",
+                "(paper s)",
+            ],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 16: factor analysis — Storm-grade engine, then instruction
+/// footprint removed, then jumbo tuples, then RLAS placement. Cumulative.
+pub fn fig16_factor_analysis() -> Section {
+    let machine = Machine::server_a();
+    let mut rows = Vec::new();
+    for (name, topology) in brisk_apps::all_topologies() {
+        let opts = standard_options();
+        // Plans under RLAS_fix(L) for the first three stages (the paper
+        // optimizes them without relative-location awareness).
+        let storm_topology = System::Storm.transform(&topology, GHZ);
+        let fix_l_storm =
+            optimize_with_policy(&machine, &storm_topology, TfPolicy::AlwaysRemote, &opts)
+                .expect("plan");
+        let fix_l = optimize_with_policy(&machine, &topology, TfPolicy::AlwaysRemote, &opts)
+            .expect("plan");
+        let rlas = plan_for(&machine, &topology);
+
+        // Without jumbo tuples every tuple pays its own queue insertion and
+        // header (Section 5.2); with batching that cost amortizes across
+        // the whole jumbo.
+        let queue_op_ns = 250.0;
+        let one_tuple_batches = SimConfig {
+            batch_size: 1,
+            dispatch_overhead_ns: queue_op_ns,
+            ..standard_sim()
+        };
+        // "simple": Storm-grade per-tuple costs, per-tuple queue operations.
+        let simple = simulate(
+            &machine,
+            &storm_topology,
+            &fix_l_storm.plan.replication,
+            fix_l_storm.plan.compress_ratio,
+            &fix_l_storm.plan.placement,
+            one_tuple_batches.clone(),
+        );
+        // "-Instr.footprint": BriskStream per-tuple costs, still no jumbo.
+        let instr = simulate(
+            &machine,
+            &topology,
+            &fix_l.plan.replication,
+            fix_l.plan.compress_ratio,
+            &fix_l.plan.placement,
+            one_tuple_batches,
+        );
+        // "+JumboTuple": batching on; the queue cost amortizes per batch.
+        let jumbo = simulate(
+            &machine,
+            &topology,
+            &fix_l.plan.replication,
+            fix_l.plan.compress_ratio,
+            &fix_l.plan.placement,
+            SimConfig {
+                dispatch_overhead_ns: queue_op_ns,
+                ..standard_sim()
+            },
+        );
+        // "+RLAS": NUMA-aware plan.
+        let full = simulate(
+            &machine,
+            &topology,
+            &rlas.plan.replication,
+            rlas.plan.compress_ratio,
+            &rlas.plan.placement,
+            standard_sim(),
+        );
+        rows.push(vec![
+            name.to_string(),
+            fmt_k(simple),
+            fmt_k(instr),
+            fmt_k(jumbo),
+            fmt_k(full),
+            format!("{:.1}x", full / simple),
+        ]);
+    }
+    Section {
+        id: "fig16",
+        title: "Figure 16 — factor analysis, cumulative left to right (k events/s)".into(),
+        body: markdown_table(
+            &[
+                "App",
+                "simple",
+                "-Instr.footprint",
+                "+JumboTuple",
+                "+RLAS",
+                "total gain",
+            ],
+            &rows,
+        ),
+    }
+}

@@ -1,0 +1,194 @@
+//! Scalability experiments: Figure 9a (systems), Figure 9b (applications),
+//! Figure 10 (gaps to ideal), Figure 11 (StreamBox comparison).
+
+use super::accuracy::GHZ;
+use super::Section;
+use crate::harness::{fmt_k, markdown_table, plan_for, standard_sim};
+use brisk_apps::{linear_road, word_count};
+use brisk_baselines::{baseline_run, streambox_run, StreamBoxOptions, System};
+use brisk_dag::ExecutionGraph;
+use brisk_model::{Evaluator, TfPolicy};
+use brisk_numa::Machine;
+use brisk_sim::{SimConfig, Simulator};
+
+const SOCKET_STEPS: [usize; 4] = [1, 2, 4, 8];
+
+fn brisk_measured(machine: &Machine, topology: &brisk_dag::LogicalTopology) -> f64 {
+    let plan = plan_for(machine, topology);
+    let graph = ExecutionGraph::new(topology, &plan.plan.replication, plan.plan.compress_ratio);
+    Simulator::new(machine, &graph, &plan.plan.placement, standard_sim())
+        .expect("valid sim")
+        .run()
+        .throughput
+}
+
+/// Figure 9a: LR throughput as sockets grow, across systems.
+pub fn fig9a_scalability_systems() -> Section {
+    let topology = linear_road::topology();
+    let mut rows = Vec::new();
+    for sockets in SOCKET_STEPS {
+        let machine = Machine::server_a().restrict_sockets(sockets);
+        let brisk = brisk_measured(&machine, &topology);
+        let storm =
+            baseline_run(System::Storm, &machine, &topology, GHZ, standard_sim()).throughput;
+        let flink =
+            baseline_run(System::Flink, &machine, &topology, GHZ, standard_sim()).throughput;
+        rows.push(vec![
+            sockets.to_string(),
+            fmt_k(brisk),
+            fmt_k(storm),
+            fmt_k(flink),
+        ]);
+    }
+    Section {
+        id: "fig9a",
+        title: "Figure 9a — LR scalability across systems (k events/s, Server A)".into(),
+        body: markdown_table(
+            &["Sockets", "BriskStream", "Storm", "Flink"],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 9b: per-application throughput normalized to the 1-socket plan.
+pub fn fig9b_scalability_apps() -> Section {
+    let mut rows = Vec::new();
+    for (name, topology) in brisk_apps::all_topologies() {
+        let mut base = 0.0;
+        let mut row = vec![name.to_string()];
+        for sockets in SOCKET_STEPS {
+            let machine = Machine::server_a().restrict_sockets(sockets);
+            let t = brisk_measured(&machine, &topology);
+            if sockets == 1 {
+                base = t;
+            }
+            row.push(format!("{:.0}%", t / base * 100.0));
+        }
+        rows.push(row);
+    }
+    Section {
+        id: "fig9b",
+        title: "Figure 9b — BriskStream scalability by application (normalized to 1 socket)"
+            .into(),
+        body: markdown_table(&["App", "1 socket", "2 sockets", "4 sockets", "8 sockets"], &rows),
+    }
+}
+
+/// Figure 10: measured vs theoretical no-RMA vs linear-scaling ideal.
+pub fn fig10_gaps_to_ideal() -> Section {
+    let machine = Machine::server_a();
+    let mut rows = Vec::new();
+    for (name, topology) in brisk_apps::all_topologies() {
+        let measured = brisk_measured(&machine, &topology);
+        // W/o RMA: the same 8-socket plan re-evaluated with fetch cost zero.
+        let plan = plan_for(&machine, &topology);
+        let graph =
+            ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
+        let no_rma = Evaluator::saturated(&machine)
+            .with_policy(TfPolicy::NeverRemote)
+            .evaluate(&graph, &plan.plan.placement)
+            .throughput;
+        // Ideal: the 1-socket plan scaled linearly to eight sockets.
+        let one = Machine::server_a().restrict_sockets(1);
+        let ideal = brisk_measured(&one, &topology) * 8.0;
+        rows.push(vec![
+            name.to_string(),
+            fmt_k(measured),
+            fmt_k(no_rma),
+            fmt_k(ideal),
+            format!("{:.0}%", no_rma / ideal * 100.0),
+            format!("{:.0}%", measured / ideal * 100.0),
+        ]);
+    }
+    Section {
+        id: "fig10",
+        title: "Figure 10 — gaps to ideal on 8 sockets (k events/s, Server A)".into(),
+        body: markdown_table(
+            &[
+                "App",
+                "Measured",
+                "W/o RMA",
+                "Ideal (8x1-socket)",
+                "No-RMA/Ideal",
+                "Measured/Ideal",
+            ],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 11: WC throughput vs core count — BriskStream against the
+/// StreamBox-like morsel engine (ordered and out-of-order).
+pub fn fig11_streambox() -> Section {
+    let topology = word_count::topology();
+    let cores_steps = [2usize, 4, 8, 16, 32, 72, 144];
+    let full = Machine::server_a();
+    let mut rows = Vec::new();
+    for cores in cores_steps {
+        // BriskStream: restrict the machine, cap the replica budget at the
+        // core count, simulate with partial last socket.
+        let (machine, last_usable) = full.restrict_cores(cores);
+        let mut usable = vec![machine.cores_per_socket(); machine.sockets()];
+        if let Some(l) = usable.last_mut() {
+            *l = last_usable;
+        }
+        let options = brisk_rlas::ScalingOptions {
+            max_total_replicas: Some(cores),
+            ..crate::harness::standard_options()
+        };
+        let brisk = match brisk_rlas::optimize(&machine, &topology, &options) {
+            Some(plan) => {
+                let graph = ExecutionGraph::new(
+                    &topology,
+                    &plan.plan.replication,
+                    plan.plan.compress_ratio,
+                );
+                let config = SimConfig {
+                    usable_cores: Some(usable),
+                    ..standard_sim()
+                };
+                Simulator::new(&machine, &graph, &plan.plan.placement, config)
+                    .expect("valid sim")
+                    .run()
+                    .throughput
+            }
+            None => 0.0,
+        };
+        let ordered = streambox_run(
+            &full,
+            &topology,
+            cores,
+            StreamBoxOptions::default(),
+            standard_sim(),
+        );
+        let ooo = streambox_run(
+            &full,
+            &topology,
+            cores,
+            StreamBoxOptions {
+                ordered: false,
+                ..StreamBoxOptions::default()
+            },
+            standard_sim(),
+        );
+        rows.push(vec![
+            cores.to_string(),
+            fmt_k(brisk),
+            fmt_k(ordered),
+            fmt_k(ooo),
+        ]);
+    }
+    Section {
+        id: "fig11",
+        title: "Figure 11 — WC vs StreamBox across core counts (k events/s)".into(),
+        body: markdown_table(
+            &[
+                "Cores",
+                "BriskStream",
+                "StreamBox",
+                "StreamBox (out-of-order)",
+            ],
+            &rows,
+        ),
+    }
+}

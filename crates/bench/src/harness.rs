@@ -1,0 +1,167 @@
+//! Shared experiment plumbing: plan caching, standard configurations and
+//! table formatting.
+
+use brisk_dag::LogicalTopology;
+use brisk_numa::Machine;
+use brisk_rlas::{optimize, OptimizedPlan, PlacementOptions, ScalingOptions};
+use brisk_sim::SimConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Node budget for B&B searches inside experiments: large enough for
+/// near-optimal plans on the biggest (LR) graphs, small enough that the full
+/// suite finishes in minutes.
+pub const PLAN_NODE_BUDGET: usize = 60_000;
+
+/// Standard RLAS settings for experiments (the paper's compression ratio 5).
+pub fn standard_options() -> ScalingOptions {
+    ScalingOptions {
+        compress_ratio: 5,
+        placement: PlacementOptions {
+            max_nodes: PLAN_NODE_BUDGET,
+            ..PlacementOptions::default()
+        },
+        ..ScalingOptions::default()
+    }
+}
+
+/// Standard simulation window for throughput experiments.
+pub fn standard_sim() -> SimConfig {
+    SimConfig {
+        horizon_ns: 100_000_000,
+        warmup_ns: 20_000_000,
+        seed: 0xB1235,
+        ..SimConfig::default()
+    }
+}
+
+/// Longer window for latency experiments: deep baseline buffers need
+/// virtual seconds to reach their steady state (Storm's p99 in the paper is
+/// 37 *seconds*).
+pub fn latency_sim() -> SimConfig {
+    SimConfig {
+        horizon_ns: 3_000_000_000,
+        warmup_ns: 1_500_000_000,
+        seed: 0x7A11,
+        ..SimConfig::default()
+    }
+}
+
+type PlanKey = (String, String, usize);
+
+fn plan_cache() -> &'static Mutex<HashMap<PlanKey, OptimizedPlan>> {
+    static CACHE: OnceLock<Mutex<HashMap<PlanKey, OptimizedPlan>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// RLAS plan for (`topology`, `machine`), memoized process-wide — several
+/// experiments reuse the same plans and LR's search is the expensive one.
+///
+/// Scalability sanity: any plan that fits `k` sockets also fits `2k`
+/// sockets, so when a cached smaller-machine plan (same base machine)
+/// out-predicts the fresh search, the smaller plan is kept — enabling more
+/// sockets can never *reduce* achievable throughput.
+pub fn plan_for(machine: &Machine, topology: &LogicalTopology) -> OptimizedPlan {
+    let base_name = machine
+        .name()
+        .split(" [")
+        .next()
+        .unwrap_or(machine.name())
+        .to_string();
+    let key = (base_name.clone(), topology.name().to_string(), machine.sockets());
+    if let Some(hit) = plan_cache().lock().get(&key) {
+        return hit.clone();
+    }
+    let mut plan = optimize(machine, topology, &standard_options())
+        .unwrap_or_else(|| panic!("no feasible plan for {} on {}", topology.name(), machine.name()));
+    {
+        let cache = plan_cache().lock();
+        for smaller in 1..machine.sockets() {
+            let smaller_key = (base_name.clone(), topology.name().to_string(), smaller);
+            if let Some(prev) = cache.get(&smaller_key) {
+                if prev.throughput > plan.throughput {
+                    plan = prev.clone();
+                }
+            }
+        }
+    }
+    plan_cache().lock().insert(key, plan.clone());
+    plan
+}
+
+/// Render rows as a fixed-width Markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// `"12345.6"` style thousands of events per second.
+pub fn fmt_k(events_per_sec: f64) -> String {
+    format!("{:.1}", events_per_sec / 1e3)
+}
+
+/// Ratio like `"12.3x"`.
+pub fn fmt_x(ratio: f64) -> String {
+    format!("{ratio:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_is_aligned() {
+        let t = markdown_table(
+            &["App", "Value"],
+            &[
+                vec!["WC".into(), "1".into()],
+                vec!["LongName".into(), "123456".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(t.contains("| WC "));
+    }
+
+    #[test]
+    fn plan_cache_returns_identical_plans() {
+        let machine = Machine::server_b().restrict_sockets(1);
+        let topology = brisk_core::profiler::demo_pipeline();
+        let a = plan_for(&machine, &topology);
+        let b = plan_for(&machine, &topology);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.throughput, b.throughput);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_k(96_390_800.0), "96390.8");
+        assert_eq!(fmt_x(20.24), "20.2x");
+    }
+}

@@ -1,0 +1,74 @@
+//! Numbers the paper reports, kept next to our reproductions so every table
+//! prints "paper vs here" side by side.
+
+/// Application names in the paper's order.
+pub const APPS: [&str; 4] = ["WC", "FD", "SD", "LR"];
+
+/// Table 4 — measured throughput on Server A (k events/s).
+pub const TABLE4_MEASURED: [f64; 4] = [96_390.8, 7_172.5, 12_767.6, 8_738.3];
+
+/// Table 4 — model-estimated throughput (k events/s).
+pub const TABLE4_ESTIMATED: [f64; 4] = [104_843.3, 8_193.9, 12_530.2, 9_298.7];
+
+/// Table 4 — relative error.
+pub const TABLE4_RELATIVE_ERROR: [f64; 4] = [0.08, 0.14, 0.02, 0.06];
+
+/// Figure 6 — BriskStream/Storm throughput speedup.
+pub const FIG6_VS_STORM: [f64; 4] = [20.2, 4.6, 3.2, 18.7];
+
+/// Figure 6 — BriskStream/Flink throughput speedup.
+pub const FIG6_VS_FLINK: [f64; 4] = [11.2, 8.4, 2.8, 12.8];
+
+/// Table 5 — 99th-percentile end-to-end latency (ms): BriskStream.
+pub const TABLE5_BRISK_MS: [f64; 4] = [21.9, 12.5, 13.5, 204.8];
+
+/// Table 5 — 99th-percentile end-to-end latency (ms): Storm.
+pub const TABLE5_STORM_MS: [f64; 4] = [37_881.3, 14_949.8, 12_733.8, 16_747.8];
+
+/// Table 5 — 99th-percentile end-to-end latency (ms): Flink.
+pub const TABLE5_FLINK_MS: [f64; 4] = [5_689.2, 261.3, 350.5, 4_886.2];
+
+/// Table 3 — Splitter measured/estimated T (ns/tuple) at S0→{S0,S1,S3,S4,S7}.
+pub const TABLE3_SPLITTER_MEASURED: [f64; 5] = [1_612.8, 1_666.5, 1_708.2, 2_050.6, 2_371.3];
+/// Table 3 — Splitter estimated.
+pub const TABLE3_SPLITTER_ESTIMATED: [f64; 5] = [1_612.8, 1_991.1, 1_994.9, 2_923.7, 3_196.4];
+/// Table 3 — Counter measured.
+pub const TABLE3_COUNTER_MEASURED: [f64; 5] = [612.3, 611.4, 623.1, 889.9, 870.2];
+/// Table 3 — Counter estimated.
+pub const TABLE3_COUNTER_ESTIMATED: [f64; 5] = [612.3, 665.2, 665.9, 837.9, 888.4];
+
+/// Table 3 — the socket pairs probed.
+pub const TABLE3_PAIRS: [&str; 5] = ["S0-S0", "S0-S1", "S0-S3", "S0-S4", "S0-S7"];
+
+/// Table 7 — compression ratio sweep on WC: (r, throughput k ev/s, runtime s).
+pub const TABLE7: [(usize, f64, f64); 5] = [
+    (1, 10_140.2, 93.4),
+    (3, 10_079.5, 48.3),
+    (5, 96_390.8, 23.0),
+    (10, 84_955.9, 46.5),
+    (15, 77_773.6, 45.3),
+];
+
+/// Figure 12 — RLAS improvement over RLAS_fix(L): 19%..39%.
+pub const FIG12_OVER_FIX_L: (f64, f64) = (0.19, 0.39);
+
+/// Figure 12 — RLAS improvement over RLAS_fix(U): 119%..455%.
+pub const FIG12_OVER_FIX_U: (f64, f64) = (1.19, 4.55);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_errors_match_published_table4() {
+        for i in 0..4 {
+            let derived = (TABLE4_MEASURED[i] - TABLE4_ESTIMATED[i]).abs() / TABLE4_MEASURED[i];
+            assert!(
+                (derived - TABLE4_RELATIVE_ERROR[i]).abs() < 0.02,
+                "app {} derived {derived} vs published {}",
+                APPS[i],
+                TABLE4_RELATIVE_ERROR[i]
+            );
+        }
+    }
+}

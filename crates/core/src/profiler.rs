@@ -1,0 +1,239 @@
+//! Operator profiling — model instantiation (Section 3.1, Figure 3).
+//!
+//! The paper instantiates its model by profiling each operator **in
+//! isolation**: a single profiling thread, sample input tuples resident in
+//! local memory (prepared by pre-executing all upstream operators), and
+//! per-tuple statistics gathered over many executions. The profiled `Te`
+//! distributions are stable (Figure 3); the 50th percentile feeds the model.
+//!
+//! Two profilers live here:
+//!
+//! * [`synthetic_profile`] — draws per-tuple costs from the calibrated cost
+//!   profile with lognormal dispersion, reproducing the Figure 3 CDFs for
+//!   the virtual machine whose "hardware" is the simulator.
+//! * [`live_profile`] — times the *real* Rust operators of an
+//!   [`AppRuntime`] on the host: upstream operators pre-execute to produce
+//!   the sample input, then the target operator runs alone while wall-clock
+//!   per-tuple times are recorded. The median can be written back into the
+//!   topology (`instantiate`), closing the profile → model → plan loop on
+//!   real hardware.
+
+use brisk_dag::{CostProfile, LogicalTopology, OperatorId, OperatorKind, TopologyBuilder};
+use brisk_metrics::Cdf;
+use brisk_runtime::{AppRuntime, Collector, OperatorRuntime, SpoutStatus, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Profiled distribution of one operator's per-tuple execution time.
+#[derive(Debug, Clone)]
+pub struct OperatorProfile {
+    /// Operator name.
+    pub name: String,
+    /// Per-tuple `Te` samples in nanoseconds.
+    pub te_ns: Cdf,
+}
+
+impl OperatorProfile {
+    /// The model input the paper uses: the 50th percentile.
+    pub fn median_ns(&mut self) -> f64 {
+        self.te_ns.quantile(0.5)
+    }
+}
+
+/// Draw `samples` synthetic per-tuple execution times for every operator of
+/// `topology` at the machine clock `clock_hz`, with lognormal dispersion
+/// `sigma` (Figure 3 shows this shape for WC's operators).
+pub fn synthetic_profile(
+    topology: &LogicalTopology,
+    clock_hz: f64,
+    samples: usize,
+    sigma: f64,
+    seed: u64,
+) -> Vec<OperatorProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    topology
+        .operators()
+        .map(|(_, spec)| {
+            let base = spec.cost.exec_cycles / clock_hz * 1e9;
+            let mut cdf = Cdf::new();
+            for _ in 0..samples {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                cdf.add(base * (sigma * z - sigma * sigma / 2.0).exp());
+            }
+            OperatorProfile {
+                name: spec.name.clone(),
+                te_ns: cdf,
+            }
+        })
+        .collect()
+}
+
+/// Time the real operators of `app` on the host, one at a time.
+///
+/// Sample input for each operator is prepared by pre-executing all upstream
+/// operators on the spout's output (the paper's exact methodology), so the
+/// profiled operator runs alone with its input already materialized in local
+/// memory.
+pub fn live_profile(app: &AppRuntime, samples: usize) -> Vec<OperatorProfile> {
+    let topology = &app.topology;
+    // Materialize per-operator input tuples in topological order.
+    let mut inputs: Vec<Vec<Tuple>> = vec![Vec::new(); topology.operator_count()];
+    let mut profiles: Vec<Option<OperatorProfile>> =
+        (0..topology.operator_count()).map(|_| None).collect();
+
+    for &op in topology.topological_order() {
+        let spec = topology.operator(op);
+        let ctx = brisk_runtime::BoltContext {
+            replica: 0,
+            replicas: 1,
+        };
+        let (mut collector, taps) = Collector::capture(topology, op, samples * 16 + 16);
+        let mut cdf = Cdf::new();
+        match app.runtime(op) {
+            OperatorRuntime::Spout(factory) => {
+                let mut spout = factory(ctx);
+                let mut produced = 0usize;
+                while produced < samples {
+                    let t0 = std::time::Instant::now();
+                    match spout.next(&mut collector) {
+                        SpoutStatus::Emitted(n) => {
+                            cdf.add(t0.elapsed().as_nanos() as f64);
+                            produced += n;
+                        }
+                        SpoutStatus::Idle => continue,
+                        SpoutStatus::Exhausted => break,
+                    }
+                }
+            }
+            OperatorRuntime::Bolt(factory) | OperatorRuntime::Sink(factory) => {
+                let mut bolt = factory(ctx);
+                let sample_input = &inputs[op.0];
+                for tuple in sample_input.iter().take(samples) {
+                    let t0 = std::time::Instant::now();
+                    bolt.execute(tuple, &mut collector);
+                    cdf.add(t0.elapsed().as_nanos() as f64);
+                }
+            }
+        }
+        collector.flush_all();
+        // Captured emissions become downstream sample inputs.
+        for (stream, queue) in taps {
+            let consumers: Vec<OperatorId> = topology
+                .outgoing_edges(op)
+                .filter(|e| e.stream == stream)
+                .map(|e| e.to)
+                .collect();
+            while let Some(jumbo) = queue.try_pop() {
+                for c in &consumers {
+                    inputs[c.0].extend(jumbo.tuples.iter().cloned());
+                }
+            }
+        }
+        profiles[op.0] = Some(OperatorProfile {
+            name: spec.name.clone(),
+            te_ns: cdf,
+        });
+    }
+    profiles.into_iter().map(|p| p.expect("profiled")).collect()
+}
+
+/// Write live-profiled medians back into a topology's cost profiles
+/// (overriding `Te` while keeping overheads, `M` and `N`), expressed at the
+/// target machine's clock.
+pub fn instantiate(
+    topology: &LogicalTopology,
+    profiles: &mut [OperatorProfile],
+    clock_hz: f64,
+) -> LogicalTopology {
+    let mut out = topology.clone();
+    for (i, (op, spec)) in topology.operators().enumerate() {
+        if profiles[i].te_ns.is_empty() {
+            continue;
+        }
+        let te_ns = profiles[i].median_ns();
+        let cost = CostProfile::new(
+            te_ns * clock_hz / 1e9,
+            spec.cost.overhead_cycles,
+            spec.cost.mem_bytes_per_tuple,
+            spec.cost.output_bytes,
+        );
+        out.set_cost(op, cost);
+    }
+    out
+}
+
+/// A small three-operator pipeline used by doctests and examples.
+pub fn demo_pipeline() -> LogicalTopology {
+    let mut b = TopologyBuilder::new("demo");
+    let s = b.add_spout("source", CostProfile::new(150.0, 20.0, 32.0, 64.0));
+    let x = b.add_bolt("transform", CostProfile::new(450.0, 30.0, 32.0, 64.0));
+    let k = b.add_sink("sink", CostProfile::new(50.0, 10.0, 16.0, 16.0));
+    b.connect_shuffle(s, x);
+    b.connect_shuffle(x, k);
+    b.build().expect("demo pipeline is valid")
+}
+
+/// Kind of an operator by name, for experiment display.
+pub fn operator_kind(topology: &LogicalTopology, name: &str) -> Option<OperatorKind> {
+    topology.find(name).map(|id| topology.operator(id).kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_profiles_center_on_spec() {
+        let t = demo_pipeline();
+        let mut profiles = synthetic_profile(&t, 1e9, 2000, 0.1, 42);
+        // transform: 450 cycles @ 1 GHz = 450 ns median (±10%).
+        let median = profiles[1].median_ns();
+        assert!(
+            (median - 450.0).abs() / 450.0 < 0.1,
+            "median {median} should be near 450"
+        );
+        assert_eq!(profiles[1].name, "transform");
+    }
+
+    #[test]
+    fn synthetic_profiles_are_deterministic() {
+        let t = demo_pipeline();
+        let mut a = synthetic_profile(&t, 1e9, 100, 0.1, 7);
+        let mut b = synthetic_profile(&t, 1e9, 100, 0.1, 7);
+        assert_eq!(a[0].median_ns(), b[0].median_ns());
+    }
+
+    #[test]
+    fn live_profile_times_real_operators() {
+        let app = brisk_apps::word_count::app();
+        let mut profiles = live_profile(&app, 200);
+        assert_eq!(profiles.len(), 5);
+        // Every operator that received input produced samples; the splitter
+        // (heaviest WC bolt) must be measurably slower than the sink.
+        let by_name = |ps: &mut [OperatorProfile], n: &str| -> f64 {
+            let i = ps.iter().position(|p| p.name == n).expect("present");
+            ps[i].median_ns()
+        };
+        let split = by_name(&mut profiles, "splitter");
+        let sink = by_name(&mut profiles, "sink");
+        assert!(split > 0.0 && sink >= 0.0);
+        assert!(
+            split > sink,
+            "splitter ({split} ns) should out-cost sink ({sink} ns)"
+        );
+    }
+
+    #[test]
+    fn instantiate_overrides_te() {
+        let app = brisk_apps::word_count::app();
+        let mut profiles = live_profile(&app, 100);
+        let t = instantiate(&app.topology, &mut profiles, 1.2e9);
+        // Te now reflects host timing, while N (tuple bytes) is untouched.
+        for (id, spec) in t.operators() {
+            let original = app.topology.operator(id);
+            assert_eq!(spec.cost.output_bytes, original.cost.output_bytes);
+        }
+    }
+}

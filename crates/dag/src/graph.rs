@@ -1,0 +1,382 @@
+//! The execution graph: a logical topology expanded by a replication
+//! configuration.
+//!
+//! Each operator is replicated into one or more replicas running in parallel
+//! threads (Section 2.2). For placement purposes RLAS optionally *compresses*
+//! the graph (heuristic 3, Section 4): up to `compress_ratio` replicas of the
+//! same operator fuse into one **execution vertex** (scheduling unit) that is
+//! placed atomically. A vertex therefore has a `multiplicity` — the number
+//! of replicas it bundles — and ratio 1 recovers the most fine-grained graph.
+
+use crate::topology::{LogicalTopology, OperatorId, OperatorSpec, Partitioning};
+
+/// Index of a vertex within an [`ExecutionGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub usize);
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One scheduling unit: `multiplicity` replicas of operator `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecVertex {
+    /// The logical operator this vertex replicates.
+    pub op: OperatorId,
+    /// Position of this vertex among the operator's vertices.
+    pub group_index: usize,
+    /// Number of fused replicas (1 unless the graph is compressed).
+    pub multiplicity: usize,
+}
+
+/// A producer→consumer connection between two execution vertices, tagged
+/// with the logical edge it instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecEdge {
+    /// Producer vertex.
+    pub from: VertexId,
+    /// Consumer vertex.
+    pub to: VertexId,
+    /// Index into [`LogicalTopology::edges`].
+    pub logical_edge: usize,
+}
+
+/// Borrowed view of an edge with its endpoints resolved.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeRef<'g> {
+    /// The underlying edge.
+    pub edge: &'g ExecEdge,
+    /// Index of this edge in the graph's edge list.
+    pub index: usize,
+}
+
+/// The expanded (and possibly compressed) execution graph.
+#[derive(Debug, Clone)]
+pub struct ExecutionGraph<'t> {
+    topology: &'t LogicalTopology,
+    replication: Vec<usize>,
+    compress_ratio: usize,
+    vertices: Vec<ExecVertex>,
+    edges: Vec<ExecEdge>,
+    incoming: Vec<Vec<usize>>,
+    outgoing: Vec<Vec<usize>>,
+    op_vertices: Vec<Vec<VertexId>>,
+    topo_order: Vec<VertexId>,
+}
+
+impl<'t> ExecutionGraph<'t> {
+    /// Expand `topology` with `replication[op]` replicas per operator,
+    /// fusing up to `compress_ratio` replicas per vertex.
+    ///
+    /// # Panics
+    /// Panics if `replication` has the wrong length, any level is zero, or
+    /// `compress_ratio` is zero.
+    pub fn new(
+        topology: &'t LogicalTopology,
+        replication: &[usize],
+        compress_ratio: usize,
+    ) -> ExecutionGraph<'t> {
+        assert_eq!(
+            replication.len(),
+            topology.operator_count(),
+            "replication must cover every operator"
+        );
+        assert!(
+            replication.iter().all(|&r| r > 0),
+            "replication level must be at least 1"
+        );
+        assert!(compress_ratio > 0, "compress ratio must be at least 1");
+
+        let mut vertices = Vec::new();
+        let mut op_vertices = vec![Vec::new(); topology.operator_count()];
+        for (op, _) in topology.operators() {
+            let mut remaining = replication[op.0];
+            let mut group_index = 0;
+            while remaining > 0 {
+                let m = remaining.min(compress_ratio);
+                let vid = VertexId(vertices.len());
+                vertices.push(ExecVertex {
+                    op,
+                    group_index,
+                    multiplicity: m,
+                });
+                op_vertices[op.0].push(vid);
+                remaining -= m;
+                group_index += 1;
+            }
+        }
+
+        let mut edges = Vec::new();
+        let mut incoming = vec![Vec::new(); vertices.len()];
+        let mut outgoing = vec![Vec::new(); vertices.len()];
+        for (lei, le) in topology.edges().iter().enumerate() {
+            let producers = &op_vertices[le.from.0];
+            let consumers: &[VertexId] = match le.partitioning {
+                Partitioning::Global => &op_vertices[le.to.0][..1],
+                _ => &op_vertices[le.to.0],
+            };
+            for &pv in producers {
+                for &cv in consumers {
+                    let ei = edges.len();
+                    edges.push(ExecEdge {
+                        from: pv,
+                        to: cv,
+                        logical_edge: lei,
+                    });
+                    outgoing[pv.0].push(ei);
+                    incoming[cv.0].push(ei);
+                }
+            }
+        }
+
+        // Vertices inherit the operator topological order; within an
+        // operator, group order is arbitrary but deterministic.
+        let mut topo_order = Vec::with_capacity(vertices.len());
+        for &op in topology.topological_order() {
+            topo_order.extend(op_vertices[op.0].iter().copied());
+        }
+
+        ExecutionGraph {
+            topology,
+            replication: replication.to_vec(),
+            compress_ratio,
+            vertices,
+            edges,
+            incoming,
+            outgoing,
+            op_vertices,
+            topo_order,
+        }
+    }
+
+    /// The underlying logical topology.
+    pub fn topology(&self) -> &'t LogicalTopology {
+        self.topology
+    }
+
+    /// Replication level per operator.
+    pub fn replication(&self) -> &[usize] {
+        &self.replication
+    }
+
+    /// The compression ratio the graph was built with.
+    pub fn compress_ratio(&self) -> usize {
+        self.compress_ratio
+    }
+
+    /// Total replicas across all operators (n in the paper's complexity
+    /// analysis).
+    pub fn total_replicas(&self) -> usize {
+        self.replication.iter().sum()
+    }
+
+    /// Number of scheduling units.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Vertex by id.
+    pub fn vertex(&self, id: VertexId) -> &ExecVertex {
+        &self.vertices[id.0]
+    }
+
+    /// Iterate `(id, vertex)`.
+    pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &ExecVertex)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VertexId(i), v))
+    }
+
+    /// The operator spec behind a vertex.
+    pub fn spec_of(&self, id: VertexId) -> &'t OperatorSpec {
+        self.topology.operator(self.vertices[id.0].op)
+    }
+
+    /// Display name of a vertex, e.g. `splitter#2`.
+    pub fn vertex_name(&self, id: VertexId) -> String {
+        let v = &self.vertices[id.0];
+        format!("{}#{}", self.topology.operator(v.op).name, v.group_index)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[ExecEdge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges entering `id`.
+    pub fn incoming_edges(&self, id: VertexId) -> impl Iterator<Item = EdgeRef<'_>> {
+        self.incoming[id.0].iter().map(move |&e| EdgeRef {
+            edge: &self.edges[e],
+            index: e,
+        })
+    }
+
+    /// Edges leaving `id`.
+    pub fn outgoing_edges(&self, id: VertexId) -> impl Iterator<Item = EdgeRef<'_>> {
+        self.outgoing[id.0].iter().map(move |&e| EdgeRef {
+            edge: &self.edges[e],
+            index: e,
+        })
+    }
+
+    /// Producer vertices of `id` (deduplicated, sorted).
+    pub fn producers_of(&self, id: VertexId) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = self.incoming_edges(id).map(|e| e.edge.from).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Consumer vertices of `id` (deduplicated, sorted).
+    pub fn consumers_of(&self, id: VertexId) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = self.outgoing_edges(id).map(|e| e.edge.to).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Vertices belonging to operator `op`.
+    pub fn vertices_of(&self, op: OperatorId) -> &[VertexId] {
+        &self.op_vertices[op.0]
+    }
+
+    /// Vertices of sink operators.
+    pub fn sink_vertices(&self) -> Vec<VertexId> {
+        self.topology
+            .sinks()
+            .iter()
+            .flat_map(|&s| self.op_vertices[s.0].iter().copied())
+            .collect()
+    }
+
+    /// Vertices of spout operators.
+    pub fn spout_vertices(&self) -> Vec<VertexId> {
+        self.topology
+            .spouts()
+            .iter()
+            .flat_map(|&s| self.op_vertices[s.0].iter().copied())
+            .collect()
+    }
+
+    /// Vertices in producer-before-consumer order.
+    pub fn topological_order(&self) -> &[VertexId] {
+        &self.topo_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostProfile;
+    use crate::topology::{TopologyBuilder, DEFAULT_STREAM};
+
+    fn diamond() -> LogicalTopology {
+        let mut b = TopologyBuilder::new("diamond");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let y = b.add_bolt("y", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(s, y);
+        b.connect_shuffle(x, k);
+        b.connect_shuffle(y, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn expansion_counts() {
+        let t = diamond();
+        let g = ExecutionGraph::new(&t, &[1, 2, 3, 1], 1);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.total_replicas(), 7);
+        // s->x: 1*2, s->y: 1*3, x->k: 2*1, y->k: 3*1 = 10 edges.
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn compression_groups_replicas() {
+        let t = diamond();
+        let g = ExecutionGraph::new(&t, &[1, 7, 1, 1], 3);
+        // 7 replicas at ratio 3 -> groups of 3,3,1.
+        let xs = g.vertices_of(OperatorId(1));
+        assert_eq!(xs.len(), 3);
+        let mult: Vec<usize> = xs.iter().map(|&v| g.vertex(v).multiplicity).collect();
+        assert_eq!(mult, vec![3, 3, 1]);
+        assert_eq!(g.total_replicas(), 10);
+    }
+
+    #[test]
+    fn compression_ratio_one_is_identity() {
+        let t = diamond();
+        let g = ExecutionGraph::new(&t, &[2, 2, 2, 2], 1);
+        assert!(g.vertices().all(|(_, v)| v.multiplicity == 1));
+        assert_eq!(g.vertex_count(), 8);
+    }
+
+    #[test]
+    fn global_partitioning_funnels_to_first_vertex() {
+        let mut b = TopologyBuilder::new("glob");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, k, Partitioning::Global);
+        let t = b.build().expect("valid");
+        let g = ExecutionGraph::new(&t, &[3, 2], 1);
+        // All three spout vertices connect only to the sink's first vertex.
+        let sink_first = g.vertices_of(OperatorId(1))[0];
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.edges().iter().all(|e| e.to == sink_first));
+    }
+
+    #[test]
+    fn topological_order_is_consistent() {
+        let t = diamond();
+        let g = ExecutionGraph::new(&t, &[2, 3, 1, 2], 2);
+        let order = g.topological_order();
+        assert_eq!(order.len(), g.vertex_count());
+        let pos = |v: VertexId| order.iter().position(|&o| o == v).expect("present");
+        for e in g.edges() {
+            assert!(pos(e.from) < pos(e.to), "edge order violated");
+        }
+    }
+
+    #[test]
+    fn producers_consumers_dedup() {
+        let t = diamond();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let k = g.vertices_of(OperatorId(3))[0];
+        assert_eq!(g.producers_of(k).len(), 2);
+        let s = g.vertices_of(OperatorId(0))[0];
+        assert_eq!(g.consumers_of(s).len(), 2);
+    }
+
+    #[test]
+    fn vertex_names() {
+        let t = diamond();
+        let g = ExecutionGraph::new(&t, &[1, 2, 1, 1], 1);
+        let xs = g.vertices_of(OperatorId(1));
+        assert_eq!(g.vertex_name(xs[0]), "x#0");
+        assert_eq!(g.vertex_name(xs[1]), "x#1");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_replication_rejected() {
+        let t = diamond();
+        ExecutionGraph::new(&t, &[1, 0, 1, 1], 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_replication_len_rejected() {
+        let t = diamond();
+        ExecutionGraph::new(&t, &[1, 1], 1);
+    }
+}

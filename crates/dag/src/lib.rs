@@ -1,0 +1,33 @@
+//! # brisk-dag
+//!
+//! The streaming application data model shared by every BriskStream
+//! component:
+//!
+//! * [`topology`] — the **logical topology**: a DAG of operators (spouts,
+//!   bolts, sinks) connected by named streams with per-stream selectivities
+//!   and partitioning strategies, built through a Storm-style
+//!   [`TopologyBuilder`].
+//! * [`cost`] — per-operator **cost profiles** (`Te`, `Others`, `M`, `N` from
+//!   Table 1), the operator-specification inputs of the performance model.
+//! * [`graph`] — the **execution graph**: the logical DAG expanded by a
+//!   replication configuration, optionally *compressed* by grouping several
+//!   replicas of one operator into a single scheduling unit (heuristic 3 of
+//!   the RLAS placement algorithm).
+//! * [`plan`] — **execution plans**: replication + placement of every
+//!   execution vertex onto CPU sockets.
+//!
+//! Nothing here executes tuples; the runtime, model, optimizer and simulator
+//! all build on these types.
+
+pub mod cost;
+pub mod graph;
+pub mod plan;
+pub mod topology;
+
+pub use cost::CostProfile;
+pub use graph::{EdgeRef, ExecEdge, ExecVertex, ExecutionGraph, VertexId};
+pub use plan::{ExecutionPlan, Placement};
+pub use topology::{
+    LogicalEdge, LogicalTopology, OperatorId, OperatorKind, OperatorSpec, Partitioning,
+    TopologyBuilder, TopologyError, DEFAULT_STREAM,
+};

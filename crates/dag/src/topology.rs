@@ -1,0 +1,589 @@
+//! Logical streaming topologies.
+//!
+//! A streaming application is a DAG where vertices are continuously running
+//! operators and edges are named data streams (Section 2.2). Operators are
+//! one of three kinds: **spouts** (sources), **bolts** (transformations) and
+//! **sinks** (terminal consumers whose output rate defines application
+//! throughput). Each edge carries a partitioning strategy deciding how
+//! tuples spread across the consumer's replicas, and each operator carries
+//! per-(input stream, output stream) selectivities (Appendix B, Table 8).
+
+use crate::cost::CostProfile;
+
+/// Name of the implicit stream used when an operator has a single output.
+pub const DEFAULT_STREAM: &str = "default";
+
+/// Index of an operator within its [`LogicalTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatorId(pub usize);
+
+impl std::fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The role of an operator in the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Source operator; ingests the external stream at rate `I`.
+    Spout,
+    /// Intermediate operator.
+    Bolt,
+    /// Terminal operator; the sum of sink output rates is the application
+    /// throughput `R`.
+    Sink,
+}
+
+/// How tuples on an edge are distributed across consumer replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partitioning {
+    /// Round-robin / random spread; every consumer replica receives an equal
+    /// share.
+    Shuffle,
+    /// Hash partitioning on a key (e.g. the word in WC). Under the uniform
+    /// key assumption each replica receives an equal share, but the mapping
+    /// is sticky, which matters to executors that keep keyed state.
+    KeyBy,
+    /// Every tuple is duplicated to every consumer replica.
+    Broadcast,
+    /// All tuples funnel into replica 0 of the consumer.
+    Global,
+}
+
+/// A selectivity rule: tuples arriving on `input_stream` produce
+/// `ratio` tuples on `output_stream` (Table 8 lists these per LR operator).
+/// `input_stream = None` matches any input (and is the only form that makes
+/// sense for spouts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectivityRule {
+    /// Matching input stream; `None` matches all inputs.
+    pub input_stream: Option<String>,
+    /// Output stream the rule applies to.
+    pub output_stream: String,
+    /// Output tuples emitted per matching input tuple.
+    pub ratio: f64,
+}
+
+/// Static description of one operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpec {
+    /// Unique operator name.
+    pub name: String,
+    /// Spout / bolt / sink.
+    pub kind: OperatorKind,
+    /// Profiled cost (Te, Others, M, N).
+    pub cost: CostProfile,
+    selectivity: Vec<SelectivityRule>,
+}
+
+impl OperatorSpec {
+    /// Selectivity from `input_stream` to `output_stream`.
+    ///
+    /// Resolution order: an exact input-stream match wins, then a wildcard
+    /// (`None`) rule, then the default of `1.0`.
+    pub fn selectivity(&self, input_stream: Option<&str>, output_stream: &str) -> f64 {
+        let mut wildcard = None;
+        for rule in &self.selectivity {
+            if rule.output_stream != output_stream {
+                continue;
+            }
+            match (&rule.input_stream, input_stream) {
+                (Some(rs), Some(is)) if rs == is => return rule.ratio,
+                (None, _) => wildcard = Some(rule.ratio),
+                _ => {}
+            }
+        }
+        wildcard.unwrap_or(1.0)
+    }
+
+    /// All explicit selectivity rules.
+    pub fn selectivity_rules(&self) -> &[SelectivityRule] {
+        &self.selectivity
+    }
+}
+
+/// A directed edge: `from`'s output stream `stream` feeds `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalEdge {
+    /// Producer operator.
+    pub from: OperatorId,
+    /// Name of the producer's output stream carried by this edge.
+    pub stream: String,
+    /// Consumer operator.
+    pub to: OperatorId,
+    /// Distribution of tuples across the consumer's replicas.
+    pub partitioning: Partitioning,
+}
+
+/// Errors detected while building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Two operators share a name.
+    DuplicateName(String),
+    /// The DAG contains a directed cycle through the named operator.
+    Cycle(String),
+    /// A spout has an incoming edge.
+    SpoutWithInput(String),
+    /// A sink has an outgoing edge.
+    SinkWithOutput(String),
+    /// A non-spout operator has no producers.
+    Unreachable(String),
+    /// No spout present.
+    NoSpout,
+    /// No sink present.
+    NoSink,
+    /// Self-loop edge.
+    SelfLoop(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DuplicateName(n) => write!(f, "duplicate operator name '{n}'"),
+            TopologyError::Cycle(n) => write!(f, "cycle detected through operator '{n}'"),
+            TopologyError::SpoutWithInput(n) => write!(f, "spout '{n}' has an incoming edge"),
+            TopologyError::SinkWithOutput(n) => write!(f, "sink '{n}' has an outgoing edge"),
+            TopologyError::Unreachable(n) => write!(f, "operator '{n}' has no producers"),
+            TopologyError::NoSpout => write!(f, "topology has no spout"),
+            TopologyError::NoSink => write!(f, "topology has no sink"),
+            TopologyError::SelfLoop(n) => write!(f, "operator '{n}' feeds itself"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated logical topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalTopology {
+    name: String,
+    operators: Vec<OperatorSpec>,
+    edges: Vec<LogicalEdge>,
+    /// Edge indices entering each operator.
+    incoming: Vec<Vec<usize>>,
+    /// Edge indices leaving each operator.
+    outgoing: Vec<Vec<usize>>,
+    topo_order: Vec<OperatorId>,
+}
+
+impl LogicalTopology {
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operators.
+    pub fn operator_count(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Operator spec by id.
+    pub fn operator(&self, id: OperatorId) -> &OperatorSpec {
+        &self.operators[id.0]
+    }
+
+    /// Iterate `(id, spec)` pairs.
+    pub fn operators(&self) -> impl Iterator<Item = (OperatorId, &OperatorSpec)> {
+        self.operators
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (OperatorId(i), s))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[LogicalEdge] {
+        &self.edges
+    }
+
+    /// Edges entering `id`.
+    pub fn incoming_edges(&self, id: OperatorId) -> impl Iterator<Item = &LogicalEdge> {
+        self.incoming[id.0].iter().map(|&e| &self.edges[e])
+    }
+
+    /// Edges leaving `id`.
+    pub fn outgoing_edges(&self, id: OperatorId) -> impl Iterator<Item = &LogicalEdge> {
+        self.outgoing[id.0].iter().map(|&e| &self.edges[e])
+    }
+
+    /// Edges leaving `id`, with their indices into [`LogicalTopology::edges`].
+    pub fn outgoing_edge_refs(&self, id: OperatorId) -> impl Iterator<Item = (usize, &LogicalEdge)> {
+        self.outgoing[id.0].iter().map(|&e| (e, &self.edges[e]))
+    }
+
+    /// Producer operators of `id` (deduplicated).
+    pub fn producers_of(&self, id: OperatorId) -> Vec<OperatorId> {
+        let mut v: Vec<OperatorId> = self.incoming_edges(id).map(|e| e.from).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Consumer operators of `id` (deduplicated).
+    pub fn consumers_of(&self, id: OperatorId) -> Vec<OperatorId> {
+        let mut v: Vec<OperatorId> = self.outgoing_edges(id).map(|e| e.to).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// All spouts.
+    pub fn spouts(&self) -> Vec<OperatorId> {
+        self.operators()
+            .filter(|(_, s)| s.kind == OperatorKind::Spout)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All sinks.
+    pub fn sinks(&self) -> Vec<OperatorId> {
+        self.operators()
+            .filter(|(_, s)| s.kind == OperatorKind::Sink)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Operators in a topological order (producers before consumers).
+    pub fn topological_order(&self) -> &[OperatorId] {
+        &self.topo_order
+    }
+
+    /// Look up an operator by name.
+    pub fn find(&self, name: &str) -> Option<OperatorId> {
+        self.operators()
+            .find(|(_, s)| s.name == name)
+            .map(|(i, _)| i)
+    }
+
+    /// Replace an operator's cost profile (used by profiling, which fills in
+    /// measured statistics, and by baseline engine configs, which inflate
+    /// costs).
+    pub fn set_cost(&mut self, id: OperatorId, cost: CostProfile) {
+        self.operators[id.0].cost = cost;
+    }
+
+    /// A copy with every operator's cost transformed by `f` — baseline
+    /// engines derive their topologies this way.
+    pub fn map_costs(&self, mut f: impl FnMut(&OperatorSpec) -> CostProfile) -> LogicalTopology {
+        let mut t = self.clone();
+        for i in 0..t.operators.len() {
+            t.operators[i].cost = f(&self.operators[i]);
+        }
+        t
+    }
+}
+
+/// Storm-style builder for [`LogicalTopology`].
+///
+/// ```
+/// use brisk_dag::{TopologyBuilder, CostProfile, Partitioning, DEFAULT_STREAM};
+///
+/// let mut b = TopologyBuilder::new("demo");
+/// let spout = b.add_spout("spout", CostProfile::trivial());
+/// let sink = b.add_sink("sink", CostProfile::trivial());
+/// b.connect(spout, DEFAULT_STREAM, sink, Partitioning::Shuffle);
+/// let topology = b.build().expect("valid DAG");
+/// assert_eq!(topology.operator_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    operators: Vec<OperatorSpec>,
+    edges: Vec<LogicalEdge>,
+}
+
+impl TopologyBuilder {
+    /// Start a topology named `name`.
+    pub fn new(name: impl Into<String>) -> TopologyBuilder {
+        TopologyBuilder {
+            name: name.into(),
+            operators: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, name: impl Into<String>, kind: OperatorKind, cost: CostProfile) -> OperatorId {
+        let id = OperatorId(self.operators.len());
+        self.operators.push(OperatorSpec {
+            name: name.into(),
+            kind,
+            cost,
+            selectivity: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a source operator.
+    pub fn add_spout(&mut self, name: impl Into<String>, cost: CostProfile) -> OperatorId {
+        self.add(name, OperatorKind::Spout, cost)
+    }
+
+    /// Add an intermediate operator.
+    pub fn add_bolt(&mut self, name: impl Into<String>, cost: CostProfile) -> OperatorId {
+        self.add(name, OperatorKind::Bolt, cost)
+    }
+
+    /// Add a terminal operator.
+    pub fn add_sink(&mut self, name: impl Into<String>, cost: CostProfile) -> OperatorId {
+        self.add(name, OperatorKind::Sink, cost)
+    }
+
+    /// Declare that `ratio` tuples leave on `output_stream` per tuple
+    /// arriving on `input_stream` (`None` = any input).
+    pub fn set_selectivity(
+        &mut self,
+        op: OperatorId,
+        input_stream: Option<&str>,
+        output_stream: &str,
+        ratio: f64,
+    ) -> &mut Self {
+        assert!(ratio >= 0.0, "selectivity cannot be negative");
+        self.operators[op.0].selectivity.push(SelectivityRule {
+            input_stream: input_stream.map(str::to_string),
+            output_stream: output_stream.to_string(),
+            ratio,
+        });
+        self
+    }
+
+    /// Connect `from`'s output stream `stream` to `to`.
+    pub fn connect(
+        &mut self,
+        from: OperatorId,
+        stream: &str,
+        to: OperatorId,
+        partitioning: Partitioning,
+    ) -> &mut Self {
+        self.edges.push(LogicalEdge {
+            from,
+            stream: stream.to_string(),
+            to,
+            partitioning,
+        });
+        self
+    }
+
+    /// Shorthand: connect on the default stream with shuffle partitioning.
+    pub fn connect_shuffle(&mut self, from: OperatorId, to: OperatorId) -> &mut Self {
+        self.connect(from, DEFAULT_STREAM, to, Partitioning::Shuffle)
+    }
+
+    /// Validate and freeze the topology.
+    pub fn build(self) -> Result<LogicalTopology, TopologyError> {
+        let n = self.operators.len();
+        // Unique names.
+        for (i, a) in self.operators.iter().enumerate() {
+            for b in &self.operators[i + 1..] {
+                if a.name == b.name {
+                    return Err(TopologyError::DuplicateName(a.name.clone()));
+                }
+            }
+        }
+        let mut incoming = vec![Vec::new(); n];
+        let mut outgoing = vec![Vec::new(); n];
+        for (ei, e) in self.edges.iter().enumerate() {
+            if e.from == e.to {
+                return Err(TopologyError::SelfLoop(
+                    self.operators[e.from.0].name.clone(),
+                ));
+            }
+            outgoing[e.from.0].push(ei);
+            incoming[e.to.0].push(ei);
+        }
+        let mut has_spout = false;
+        let mut has_sink = false;
+        for (i, op) in self.operators.iter().enumerate() {
+            match op.kind {
+                OperatorKind::Spout => {
+                    has_spout = true;
+                    if !incoming[i].is_empty() {
+                        return Err(TopologyError::SpoutWithInput(op.name.clone()));
+                    }
+                }
+                OperatorKind::Sink => {
+                    has_sink = true;
+                    if !outgoing[i].is_empty() {
+                        return Err(TopologyError::SinkWithOutput(op.name.clone()));
+                    }
+                    if incoming[i].is_empty() {
+                        return Err(TopologyError::Unreachable(op.name.clone()));
+                    }
+                }
+                OperatorKind::Bolt => {
+                    if incoming[i].is_empty() {
+                        return Err(TopologyError::Unreachable(op.name.clone()));
+                    }
+                }
+            }
+        }
+        if !has_spout {
+            return Err(TopologyError::NoSpout);
+        }
+        if !has_sink {
+            return Err(TopologyError::NoSink);
+        }
+        // Kahn's algorithm for topological order / cycle detection.
+        let mut indegree: Vec<usize> = incoming.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(OperatorId(u));
+            for &ei in &outgoing[u] {
+                let v = self.edges[ei].to.0;
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.operators[i].name.clone())
+                .unwrap_or_default();
+            return Err(TopologyError::Cycle(stuck));
+        }
+        Ok(LogicalTopology {
+            name: self.name,
+            operators: self.operators,
+            edges: self.edges,
+            incoming,
+            outgoing,
+            topo_order: order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear3() -> LogicalTopology {
+        let mut b = TopologyBuilder::new("lin");
+        let s = b.add_spout("spout", CostProfile::trivial());
+        let m = b.add_bolt("mid", CostProfile::trivial());
+        let k = b.add_sink("sink", CostProfile::trivial());
+        b.connect_shuffle(s, m);
+        b.connect_shuffle(m, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn linear_topology_builds() {
+        let t = linear3();
+        assert_eq!(t.operator_count(), 3);
+        assert_eq!(t.spouts(), vec![OperatorId(0)]);
+        assert_eq!(t.sinks(), vec![OperatorId(2)]);
+        assert_eq!(t.producers_of(OperatorId(1)), vec![OperatorId(0)]);
+        assert_eq!(t.consumers_of(OperatorId(1)), vec![OperatorId(2)]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let t = linear3();
+        let order = t.topological_order();
+        let pos =
+            |id: OperatorId| order.iter().position(|&o| o == id).expect("present");
+        for e in t.edges() {
+            assert!(pos(e.from) < pos(e.to));
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = TopologyBuilder::new("cyc");
+        let s = b.add_spout("spout", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let y = b.add_bolt("y", CostProfile::trivial());
+        let k = b.add_sink("sink", CostProfile::trivial());
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, y);
+        b.connect_shuffle(y, x); // cycle x -> y -> x
+        b.connect_shuffle(y, k);
+        assert!(matches!(b.build(), Err(TopologyError::Cycle(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = TopologyBuilder::new("dup");
+        b.add_spout("a", CostProfile::trivial());
+        b.add_sink("a", CostProfile::trivial());
+        assert!(matches!(b.build(), Err(TopologyError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn spout_with_input_rejected() {
+        let mut b = TopologyBuilder::new("bad");
+        let s1 = b.add_spout("s1", CostProfile::trivial());
+        let s2 = b.add_spout("s2", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s1, s2);
+        b.connect_shuffle(s2, k);
+        assert!(matches!(b.build(), Err(TopologyError::SpoutWithInput(_))));
+    }
+
+    #[test]
+    fn orphan_bolt_rejected() {
+        let mut b = TopologyBuilder::new("orphan");
+        let s = b.add_spout("s", CostProfile::trivial());
+        b.add_bolt("floating", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s, k);
+        assert!(matches!(b.build(), Err(TopologyError::Unreachable(_))));
+    }
+
+    #[test]
+    fn no_sink_rejected() {
+        let mut b = TopologyBuilder::new("nosink");
+        b.add_spout("s", CostProfile::trivial());
+        assert!(matches!(b.build(), Err(TopologyError::NoSink)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TopologyBuilder::new("loop");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, x);
+        b.connect_shuffle(x, k);
+        assert!(matches!(b.build(), Err(TopologyError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn selectivity_resolution_order() {
+        let mut b = TopologyBuilder::new("sel");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, "reports", x, Partitioning::Shuffle);
+        b.connect(x, "out", k, Partitioning::Shuffle);
+        b.set_selectivity(x, Some("reports"), "out", 0.25);
+        b.set_selectivity(x, None, "out", 0.5);
+        let t = b.build().expect("valid");
+        let xo = t.find("x").expect("exists");
+        // Exact match wins over wildcard.
+        assert_eq!(t.operator(xo).selectivity(Some("reports"), "out"), 0.25);
+        // Unknown input falls to wildcard.
+        assert_eq!(t.operator(xo).selectivity(Some("other"), "out"), 0.5);
+        // Unknown output defaults to 1.
+        assert_eq!(t.operator(xo).selectivity(Some("reports"), "nope"), 1.0);
+    }
+
+    #[test]
+    fn multi_stream_lookup() {
+        let t = linear3();
+        assert!(t.find("mid").is_some());
+        assert!(t.find("nothere").is_none());
+    }
+
+    #[test]
+    fn map_costs_produces_copy() {
+        let t = linear3();
+        let t2 = t.map_costs(|spec| spec.cost.scaled(10.0, 1.0));
+        let before = t.operator(OperatorId(0)).cost.exec_cycles;
+        let after = t2.operator(OperatorId(0)).cost.exec_cycles;
+        assert_eq!(after, before * 10.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Exact empirical CDFs over collected samples.
+//!
+//! Where the [`Histogram`](crate::Histogram) trades accuracy for bounded
+//! memory, [`Cdf`] keeps every sample — appropriate for the profiling CDFs
+//! (Figure 3, ~1000 samples) and Monte-Carlo plan studies (Figure 14, 1000
+//! plans).
+
+/// An exact empirical cumulative distribution function.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+    dirty: bool,
+}
+
+impl Cdf {
+    /// Empty CDF.
+    pub fn new() -> Cdf {
+        Cdf::default()
+    }
+
+    /// Build from a sample.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut cdf = Cdf::new();
+        for s in samples {
+            cdf.add(s);
+        }
+        cdf
+    }
+
+    /// Add one observation (non-finite values are ignored).
+    pub fn add(&mut self, value: f64) {
+        if value.is_finite() {
+            self.sorted.push(value);
+            self.dirty = true;
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values only"));
+            self.dirty = false;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether any observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X <= value): fraction of observations at or below `value`.
+    pub fn probability_at(&mut self, value: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.sorted.partition_point(|&x| x <= value);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile: smallest observation `x` with P(X <= x) >= q, `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on an empty CDF or `q` outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Evenly spaced `(value, cumulative probability)` points for plotting,
+    /// at most `max_points` of them.
+    pub fn points(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        let step = (n / max_points).max(1);
+        let mut pts = Vec::new();
+        let mut i = step - 1;
+        while i < n {
+            pts.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if pts.last().map(|p| p.1) != Some(1.0) {
+            pts.push((self.sorted[n - 1], 1.0));
+        }
+        pts
+    }
+
+    /// Minimum observation.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.sorted.first().copied()
+    }
+
+    /// Maximum observation.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.sorted.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform() {
+        let mut cdf = Cdf::from_samples((1..=100).map(|i| i as f64));
+        assert_eq!(cdf.quantile(0.5), 50.0);
+        assert_eq!(cdf.quantile(0.99), 99.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn probability_at_value() {
+        let mut cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.probability_at(0.5), 0.0);
+        assert_eq!(cdf.probability_at(2.0), 0.5);
+        assert_eq!(cdf.probability_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let mut cdf = Cdf::from_samples((0..1000).map(|i| ((i * 7919) % 1000) as f64));
+        let pts = cdf.points(50);
+        assert!(pts.len() <= 51);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1 + 1e-12);
+        }
+        assert_eq!(pts.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut cdf = Cdf::new();
+        cdf.add(f64::NAN);
+        cdf.add(f64::NEG_INFINITY);
+        assert!(cdf.is_empty());
+    }
+
+    #[test]
+    fn interleaved_add_and_query() {
+        let mut cdf = Cdf::new();
+        cdf.add(5.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+        cdf.add(1.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_quantile_panics() {
+        Cdf::new().quantile(0.5);
+    }
+}

@@ -1,0 +1,287 @@
+//! A log-bucketed histogram for latency-style measurements.
+//!
+//! Values (typically nanoseconds) are recorded into exponentially sized
+//! buckets with bounded relative error, so recording is O(1), memory is
+//! bounded, and percentile queries are cheap. This backs the end-to-end
+//! latency CDFs (Figure 7) and 99th-percentile tables (Table 5).
+
+/// Log-bucketed histogram with ~3% relative bucket width.
+///
+/// Buckets: value `v` maps to bucket `floor(log(v) / log(1 + EPS))`, clamped
+/// to a configurable maximum so pathological outliers cannot allocate
+/// unbounded memory.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    growth: f64,
+}
+
+const DEFAULT_GROWTH: f64 = 1.03;
+const MAX_BUCKETS: usize = 2048;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram with the default 3% bucket growth.
+    pub fn new() -> Histogram {
+        Self::with_growth(DEFAULT_GROWTH)
+    }
+
+    /// Empty histogram with custom bucket growth factor (> 1).
+    ///
+    /// # Panics
+    /// Panics if `growth <= 1.0`.
+    pub fn with_growth(growth: f64) -> Histogram {
+        assert!(growth > 1.0, "bucket growth must exceed 1");
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            growth,
+        }
+    }
+
+    fn bucket_of(&self, value: f64) -> usize {
+        if value <= 1.0 {
+            return 0;
+        }
+        let b = (value.ln() / self.growth.ln()).floor() as usize;
+        b.min(MAX_BUCKETS - 1)
+    }
+
+    fn bucket_upper(&self, bucket: usize) -> f64 {
+        self.growth.powi(bucket as i32 + 1)
+    }
+
+    /// Record one observation. Non-finite or negative values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            return;
+        }
+        let b = self.bucket_of(value);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record `n` identical observations.
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if !value.is_finite() || value < 0.0 || n == 0 {
+            return;
+        }
+        let b = self.bucket_of(value);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += n;
+        self.total += n;
+        self.sum += value * n as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of recorded values (exact, not bucketed). `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (exact). `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact). `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate percentile (0..=100). Returns the upper edge of the bucket
+    /// containing the requested rank, clamped to the exact min/max.
+    ///
+    /// Returns `0.0` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0 * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    /// Panics if the growth factors differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            (self.growth - other.growth).abs() < 1e-12,
+            "histogram growth mismatch"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (b, &c) in other.counts.iter().enumerate() {
+            self.counts[b] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Export (value, cumulative fraction) pairs, one per non-empty bucket —
+    /// the raw material for CDF plots like Figure 7.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        let mut points = Vec::new();
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            points.push((
+                self.bucket_upper(b).clamp(self.min, self.max),
+                seen as f64 / self.total as f64,
+            ));
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.05, "p50={p50}");
+        let p99 = h.percentile(99.0);
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.05, "p99={p99}");
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let mut h = Histogram::new();
+        h.record(3.5);
+        h.record(900.0);
+        h.record(41.0);
+        assert_eq!(h.min(), 3.5);
+        assert_eq!(h.max(), 900.0);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-1.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(123.0, 7);
+        for _ in 0..7 {
+            b.record(123.0);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.percentile(50.0), b.percentile(50.0));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10.0);
+        b.record(1000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10.0);
+        assert_eq!(a.max(), 1000.0);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.record((i * 13 % 977) as f64 + 1.0);
+        }
+        let pts = h.cdf_points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((pts.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_zero_and_hundred() {
+        let mut h = Histogram::new();
+        for v in [5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        assert!(h.percentile(0.0) >= 5.0);
+        assert_eq!(h.percentile(100.0), 500.0);
+    }
+}

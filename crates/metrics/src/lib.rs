@@ -1,0 +1,18 @@
+//! # brisk-metrics
+//!
+//! Measurement primitives shared by the runtime, the simulator and the
+//! experiment harness: percentile sketches, CDFs, throughput meters and
+//! small statistics helpers. The paper reports throughput (k events/s),
+//! end-to-end latency CDFs (Figure 7), 99th-percentile latencies (Table 5)
+//! and profiled cost CDFs (Figure 3); everything needed to regenerate those
+//! lives here.
+
+pub mod cdf;
+pub mod histogram;
+pub mod stats;
+pub mod throughput;
+
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use stats::{mean, percentile_sorted, relative_error, stddev, Summary};
+pub use throughput::ThroughputMeter;

@@ -1,0 +1,163 @@
+//! Small statistics helpers used across the experiment harness.
+
+/// Arithmetic mean of a sample; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator); `0.0` for fewer than two
+/// points.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Percentile (0..=100) of an already **sorted** sample using linear
+/// interpolation between closest ranks.
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if xs.len() == 1 {
+        return xs[0];
+    }
+    let rank = p / 100.0 * (xs.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let w = rank - lo as f64;
+        xs[lo] * (1.0 - w) + xs[hi] * w
+    }
+}
+
+/// Relative error between a measurement and an estimate, as defined in the
+/// paper (Section 6.2): `|measured - estimated| / measured`.
+pub fn relative_error(measured: f64, estimated: f64) -> f64 {
+    if measured == 0.0 {
+        return if estimated == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (measured - estimated).abs() / measured.abs()
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (copied and sorted internally).
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Some(Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: mean(&sorted),
+            median: percentile_sorted(&sorted, 50.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            stddev: stddev(&sorted),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.2} mean={:.2} median={:.2} p99={:.2} max={:.2} sd={:.2}",
+            self.count, self.min, self.mean, self.median, self.p99, self.max, self.stddev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 40.0);
+        assert!((percentile_sorted(&xs, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_singleton() {
+        assert_eq!(percentile_sorted(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn relative_error_matches_paper_definition() {
+        // Table 4 WC row: measured 96390.8, estimated 104843.3 -> 0.08.
+        let e = relative_error(96390.8, 104843.3);
+        assert!((e - 0.0877).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relative_error_zero_measured() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(0.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).expect("non-empty");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! Communication-pattern matrices (Figure 15).
+//!
+//! Each entry `[i][j]` aggregates the data-fetch cost `Tf` paid per second by
+//! consumers on socket `j` for tuples produced on socket `i` — the quantity
+//! the paper plots to contrast how RLAS spreads traffic on the glue-less
+//! Server A (hot spots around S0) versus the glue-assisted Server B (nearly
+//! uniform).
+
+use crate::evaluator::{Evaluation, Evaluator};
+use brisk_dag::{ExecutionGraph, Placement};
+
+/// Aggregate fetch cost matrix in fetch-nanoseconds per second of execution;
+/// entry `[i][j]` is the summed `rate × Tf` over all edges from socket `i`
+/// to socket `j`.
+pub fn comm_cost_matrix(
+    evaluator: &Evaluator<'_>,
+    graph: &ExecutionGraph<'_>,
+    placement: &Placement,
+    eval: &Evaluation,
+) -> Vec<Vec<f64>> {
+    let n = evaluator.machine.sockets();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (ei, edge) in graph.edges().iter().enumerate() {
+        let (Some(from), Some(to)) = (
+            placement.socket_of(edge.from),
+            placement.socket_of(edge.to),
+        ) else {
+            continue;
+        };
+        let bytes = graph.spec_of(edge.from).cost.output_bytes;
+        let tf = evaluator.fetch_ns(bytes, Some(from), Some(to));
+        matrix[from.0][to.0] += eval.edge_rates[ei] * tf;
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use brisk_dag::{CostProfile, TopologyBuilder};
+    use brisk_numa::{MachineBuilder, SocketId};
+
+    #[test]
+    fn matrix_localizes_traffic() {
+        let m = MachineBuilder::new("toy")
+            .sockets(2)
+            .cores_per_socket(4)
+            .clock_ghz(1.0)
+            .build();
+        let mut b = TopologyBuilder::new("p");
+        let s = b.add_spout("s", CostProfile::new(100.0, 0.0, 8.0, 64.0));
+        let k = b.add_sink("k", CostProfile::new(100.0, 0.0, 8.0, 64.0));
+        b.connect_shuffle(s, k);
+        let t = b.build().expect("valid");
+        let g = ExecutionGraph::new(&t, &[1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+
+        // Collocated: no fetch cost anywhere.
+        let local = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = ev.evaluate(&g, &local);
+        let mx = comm_cost_matrix(&ev, &g, &local, &eval);
+        assert!(mx.iter().flatten().all(|&v| v == 0.0));
+
+        // Split: all fetch cost lands in [0][1].
+        let mut split = Placement::empty(g.vertex_count());
+        split.place(brisk_dag::VertexId(0), SocketId(0));
+        split.place(brisk_dag::VertexId(1), SocketId(1));
+        let eval = ev.evaluate(&g, &split);
+        let mx = comm_cost_matrix(&ev, &g, &split, &eval);
+        assert!(mx[0][1] > 0.0);
+        assert_eq!(mx[1][0], 0.0);
+        assert_eq!(mx[0][0], 0.0);
+    }
+}

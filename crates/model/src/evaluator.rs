@@ -1,0 +1,726 @@
+//! Output-rate propagation: the core of the performance model.
+//!
+//! The evaluator derives, for every execution vertex, its per-tuple
+//! processing time `T(p) = Te + Others + Tf(p)` (the fetch cost `Tf`
+//! averaged over producers weighted by their input shares, Formula 2) and
+//! from it the vertex's processing **capacity**.
+//!
+//! Rates are then *back-pressure coupled*: in a system of bounded queues,
+//! a saturated operator blocks its producers, which ultimately throttles
+//! the spout (the paper's footnote 2), so the sustainable steady state is
+//!
+//! ```text
+//! p* = min over operators of  ( pooled capacity / input factor )
+//! ```
+//!
+//! where the input factor is the operator's input rate per unit of spout
+//! output (pure selectivity propagation) and the pooled capacity sums the
+//! operator's replicas (shuffle/key-by routing is work-conserving, so a slow
+//! remote replica does not gate its faster siblings). Every vertex then
+//! processes exactly its share of `p*` — the "just fulfilled" (`ro = ri`)
+//! state the paper observes in optimized plans.
+//!
+//! Operators whose capacity would be exceeded were the spout unthrottled
+//! are reported as **bottlenecks** together with their over-supply ratio —
+//! the signal the scaling algorithm grows replication by (Case 1 of the
+//! paper, expressed against the spout-saturated demand).
+
+use brisk_dag::{ExecutionGraph, OperatorKind, Partitioning, Placement, VertexId};
+use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
+
+/// An input rate is a bottleneck when it exceeds capacity by this relative
+/// tolerance (guards against float jitter at exact saturation).
+pub const BOTTLENECK_TOLERANCE: f64 = 1e-6;
+
+/// External ingress configuration for the spouts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ingress {
+    /// `I` is sufficiently large to keep the system busy: spouts run at
+    /// their processing capacity (modulo back-pressure). This is the
+    /// configuration used to examine maximum system capacity (Section 5.3).
+    Saturated,
+    /// A finite total external rate in tuples/sec, split across spout
+    /// replicas evenly.
+    Rate(f64),
+}
+
+/// How the fetch cost `Tf` reacts to relative location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TfPolicy {
+    /// Formula 2: zero when collocated with the producer, otherwise
+    /// `ceil(N/S) * L(i,j)`.
+    RelativeLocation,
+    /// `RLAS_fix(L)`: always pay the machine's worst-case latency, as if
+    /// anti-collocated from every producer.
+    AlwaysRemote,
+    /// `RLAS_fix(U)`: never pay any fetch cost.
+    NeverRemote,
+}
+
+/// Modelled rates for one execution vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VertexRates {
+    /// Arriving tuples/sec (`ri`) in the back-pressured steady state.
+    pub input_rate: f64,
+    /// Maximum input tuples/sec this vertex can process under the placement.
+    pub capacity: f64,
+    /// Tuples/sec actually processed (spouts: generation rate).
+    pub processed_rate: f64,
+    /// Total emitted tuples/sec across all output streams (`ro`).
+    pub output_rate: f64,
+    /// Average execution time `Te` per tuple, ns.
+    pub exec_ns: f64,
+    /// Average engine overhead ("Others") per tuple, ns.
+    pub overhead_ns: f64,
+    /// Average remote-fetch time `Tf` per tuple under this placement, ns.
+    pub tf_ns: f64,
+    /// Whether the operator this vertex belongs to would be over-supplied
+    /// were the spouts unthrottled (Case 1) — a pipeline bottleneck.
+    pub bottleneck: bool,
+}
+
+impl VertexRates {
+    /// Full per-tuple handling time `T(p)` in ns.
+    pub fn total_ns(&self) -> f64 {
+        self.exec_ns + self.overhead_ns + self.tf_ns
+    }
+}
+
+/// Result of evaluating a (possibly partial) placement.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Application throughput `R = Σ_sink ro` in tuples/sec.
+    pub throughput: f64,
+    /// Per-vertex rates, indexed by `VertexId`.
+    pub vertices: Vec<VertexRates>,
+    /// Tuples/sec flowing on each execution edge, indexed like
+    /// [`ExecutionGraph::edges`].
+    pub edge_rates: Vec<f64>,
+    /// Over-supply ratio per operator against spout-saturated demand
+    /// (`> 1` means the operator throttles the pipeline).
+    pub operator_pressure: Vec<f64>,
+}
+
+impl Evaluation {
+    /// Vertices belonging to over-supplied operators.
+    pub fn bottlenecks(&self) -> Vec<VertexId> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.bottleneck)
+            .map(|(i, _)| VertexId(i))
+            .collect()
+    }
+
+    /// For each bottlenecked operator, the over-supply ratio (demand at
+    /// spout saturation / pooled capacity). The scaling algorithm grows the
+    /// replication level by `ceil(ratio)`.
+    pub fn bottleneck_operators(&self, graph: &ExecutionGraph<'_>) -> Vec<(usize, f64)> {
+        let _ = graph;
+        self.operator_pressure
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r > 1.0 + BOTTLENECK_TOLERANCE)
+            .map(|(op, &r)| (op, r))
+            .collect()
+    }
+
+    /// Throughput in the paper's unit, thousands of events per second.
+    pub fn k_events_per_sec(&self) -> f64 {
+        self.throughput / 1e3
+    }
+}
+
+/// The model evaluator: machine + ingress + fetch-cost policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'m> {
+    /// Machine specification supplying `C`, `B`, `Q(i,j)`, `L(i,j)`, `S`.
+    pub machine: &'m Machine,
+    /// External ingress configuration.
+    pub ingress: Ingress,
+    /// Fetch-cost policy (RLAS vs the fixed-capability ablations).
+    pub tf_policy: TfPolicy,
+}
+
+impl<'m> Evaluator<'m> {
+    /// Evaluator with the standard RLAS policy and saturated ingress.
+    pub fn saturated(machine: &'m Machine) -> Evaluator<'m> {
+        Evaluator {
+            machine,
+            ingress: Ingress::Saturated,
+            tf_policy: TfPolicy::RelativeLocation,
+        }
+    }
+
+    /// Same evaluator with a different fetch policy.
+    pub fn with_policy(self, tf_policy: TfPolicy) -> Evaluator<'m> {
+        Evaluator { tf_policy, ..self }
+    }
+
+    /// Same evaluator with a finite ingress rate.
+    pub fn with_ingress(self, ingress: Ingress) -> Evaluator<'m> {
+        Evaluator { ingress, ..self }
+    }
+
+    /// Fetch cost in ns for one tuple of `bytes` bytes produced on `from`
+    /// and consumed on `to` (Formula 2), under the active policy.
+    ///
+    /// `None` for either socket means "unplaced"; the bounding function
+    /// treats unplaced endpoints as collocated (`Tf = 0`), which is exactly
+    /// how the paper computes the upper bound of a live node.
+    pub fn fetch_ns(&self, bytes: f64, from: Option<SocketId>, to: Option<SocketId>) -> f64 {
+        let lines = (bytes / CACHE_LINE_BYTES as f64).ceil().max(1.0);
+        match self.tf_policy {
+            TfPolicy::NeverRemote => 0.0,
+            TfPolicy::AlwaysRemote => lines * self.worst_latency_ns(),
+            TfPolicy::RelativeLocation => match (from, to) {
+                (Some(i), Some(j)) if i != j => lines * self.machine.latency_ns(i, j),
+                _ => 0.0,
+            },
+        }
+    }
+
+    fn worst_latency_ns(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in self.machine.socket_ids() {
+            for j in self.machine.socket_ids() {
+                if i != j {
+                    worst = worst.max(self.machine.latency_ns(i, j));
+                }
+            }
+        }
+        worst
+    }
+
+    /// Evaluate the model over `graph` with `placement`.
+    ///
+    /// The placement may be partial: unplaced vertices are treated as
+    /// collocated with all of their producers and consumers (the bounding
+    /// relaxation). For complete placements this *is* the performance model;
+    /// for partial ones the returned throughput is the bounding-function
+    /// value (a true upper bound on any completion — see the property tests).
+    pub fn evaluate(&self, graph: &ExecutionGraph<'_>, placement: &Placement) -> Evaluation {
+        assert_eq!(
+            placement.len(),
+            graph.vertex_count(),
+            "placement must cover the graph"
+        );
+        let clock = self.machine.clock_hz();
+        let nv = graph.vertex_count();
+        let n_ops = graph.topology().operator_count();
+
+        // ---- Pass 1: relative flow factors (per unit of aggregate spout
+        // output) and fetch-cost mixes. ----
+        let spout_vertices = graph.spout_vertices();
+        let total_spout_mult: usize = spout_vertices
+            .iter()
+            .map(|&v| graph.vertex(v).multiplicity)
+            .sum();
+        let mut in_factor = vec![0.0f64; nv]; // input per unit spout output
+        let mut out_factor = vec![0.0f64; nv]; // output per unit spout output
+        let mut edge_factor = vec![0.0f64; graph.edge_count()];
+        let mut weighted_tf = vec![0.0f64; nv]; // Σ factor × Tf(producer)
+
+        for &v in &spout_vertices {
+            out_factor[v.0] = graph.vertex(v).multiplicity as f64 / total_spout_mult.max(1) as f64;
+        }
+
+        for &vid in graph.topological_order() {
+            let vertex = graph.vertex(vid);
+            let spec = graph.spec_of(vid);
+            let is_spout = spec.kind == OperatorKind::Spout;
+
+            // Output per logical stream from this vertex's processed flow.
+            // (For non-spouts, per-input-edge factors with exact Table 8
+            // selectivities were accumulated below as edges arrived; here we
+            // just forward them.)
+            for (lei, out) in graph.topology().outgoing_edge_refs(vertex.op) {
+                let stream = out.stream.as_str();
+                let stream_factor: f64 = if is_spout {
+                    out_factor[vid.0] * spec.selectivity(None, stream)
+                } else {
+                    graph
+                        .incoming_edges(vid)
+                        .map(|e| {
+                            let in_stream =
+                                graph.topology().edges()[e.edge.logical_edge].stream.as_str();
+                            edge_factor[e.index] * spec.selectivity(Some(in_stream), stream)
+                        })
+                        .sum()
+                };
+                if stream_factor <= 0.0 {
+                    continue;
+                }
+                out_factor[vid.0] += if is_spout { 0.0 } else { stream_factor };
+                // Distribute over the consumer vertices of this logical edge.
+                let to_op = out.to;
+                let consumers = graph.vertices_of(to_op);
+                let total_mult: usize =
+                    consumers.iter().map(|&c| graph.vertex(c).multiplicity).sum();
+                let bytes = spec.cost.output_bytes;
+                let from_socket = placement.socket_of(vid);
+                for e in graph.outgoing_edges(vid) {
+                    if e.edge.logical_edge != lei {
+                        continue;
+                    }
+                    let cv = e.edge.to;
+                    let cmult = graph.vertex(cv).multiplicity as f64;
+                    let share = match out.partitioning {
+                        Partitioning::Shuffle | Partitioning::KeyBy => {
+                            stream_factor * cmult / total_mult as f64
+                        }
+                        Partitioning::Broadcast => stream_factor * cmult,
+                        Partitioning::Global => stream_factor,
+                    };
+                    edge_factor[e.index] += share;
+                    in_factor[cv.0] += share;
+                    let tf = self.fetch_ns(bytes, from_socket, placement.socket_of(cv));
+                    weighted_tf[cv.0] += share * tf;
+                }
+            }
+        }
+
+        // ---- Pass 2: per-vertex capacities. ----
+        let mut socket_replicas = vec![0usize; self.machine.sockets()];
+        for (vid, vertex) in graph.vertices() {
+            if let Some(s) = placement.socket_of(vid) {
+                socket_replicas[s.0] += vertex.multiplicity;
+            }
+        }
+        let cores = self.machine.cores_per_socket();
+        let share_factor = |socket: Option<SocketId>| -> f64 {
+            match socket {
+                Some(s) if socket_replicas[s.0] > cores => {
+                    cores as f64 / socket_replicas[s.0] as f64
+                }
+                _ => 1.0,
+            }
+        };
+
+        let mut exec_ns = vec![0.0f64; nv];
+        let mut overhead_ns = vec![0.0f64; nv];
+        let mut tf_ns = vec![0.0f64; nv];
+        let mut capacity = vec![0.0f64; nv];
+        for (vid, vertex) in graph.vertices() {
+            let spec = graph.spec_of(vid);
+            exec_ns[vid.0] = spec.cost.exec_cycles / clock * 1e9;
+            overhead_ns[vid.0] = spec.cost.overhead_cycles / clock * 1e9;
+            tf_ns[vid.0] = if in_factor[vid.0] > 0.0 {
+                weighted_tf[vid.0] / in_factor[vid.0]
+            } else {
+                0.0
+            };
+            let t = exec_ns[vid.0] + overhead_ns[vid.0] + tf_ns[vid.0];
+            capacity[vid.0] = if t > 0.0 {
+                vertex.multiplicity as f64 * 1e9 / t * share_factor(placement.socket_of(vid))
+            } else {
+                f64::INFINITY
+            };
+        }
+
+        // ---- Pass 3: the sustainable spout output p*. ----
+        // Pool capacity and demand per operator: shuffle/key-by routing is
+        // work-conserving, so replicas of one operator share load.
+        let mut op_capacity = vec![0.0f64; n_ops];
+        let mut op_in_factor = vec![0.0f64; n_ops];
+        let mut op_gen_capacity = vec![0.0f64; n_ops]; // spouts
+        let mut op_gen_factor = vec![0.0f64; n_ops];
+        for (vid, vertex) in graph.vertices() {
+            let op = vertex.op.0;
+            if graph.spec_of(vid).kind == OperatorKind::Spout {
+                op_gen_capacity[op] += capacity[vid.0];
+                op_gen_factor[op] += out_factor[vid.0];
+            } else {
+                op_capacity[op] += capacity[vid.0];
+                op_in_factor[op] += in_factor[vid.0];
+            }
+        }
+        // Spout-saturated demand: what the spouts would emit unthrottled.
+        let mut p_sat = f64::INFINITY;
+        for op in 0..n_ops {
+            if op_gen_factor[op] > 0.0 {
+                p_sat = p_sat.min(op_gen_capacity[op] / op_gen_factor[op]);
+            }
+        }
+        if let Ingress::Rate(r) = self.ingress {
+            p_sat = p_sat.min(r.max(0.0));
+        }
+        // Back-pressure: the slowest operator (capacity per unit of demand)
+        // sets the steady state.
+        let mut p_star = p_sat;
+        for op in 0..n_ops {
+            if op_in_factor[op] > BOTTLENECK_TOLERANCE && op_capacity[op].is_finite() {
+                p_star = p_star.min(op_capacity[op] / op_in_factor[op]);
+            }
+        }
+        if !p_star.is_finite() {
+            p_star = 0.0;
+        }
+
+        // Over-supply pressure per operator against the saturated demand.
+        let mut pressure = vec![0.0f64; n_ops];
+        for op in 0..n_ops {
+            if op_in_factor[op] > BOTTLENECK_TOLERANCE && op_capacity[op] > 0.0 {
+                pressure[op] = op_in_factor[op] * p_sat / op_capacity[op];
+            } else if op_gen_factor[op] > 0.0 {
+                // A spout is "pressured" when external input outpaces it —
+                // always true in the saturated regime handled by the scaler.
+                pressure[op] = 0.0;
+            }
+        }
+
+        // ---- Final rates. ----
+        let mut rates = vec![
+            VertexRates {
+                input_rate: 0.0,
+                capacity: 0.0,
+                processed_rate: 0.0,
+                output_rate: 0.0,
+                exec_ns: 0.0,
+                overhead_ns: 0.0,
+                tf_ns: 0.0,
+                bottleneck: false,
+            };
+            nv
+        ];
+        let mut edge_rates = vec![0.0f64; graph.edge_count()];
+        for (ei, f) in edge_factor.iter().enumerate() {
+            edge_rates[ei] = f * p_star;
+        }
+        let mut throughput = 0.0;
+        for (vid, vertex) in graph.vertices() {
+            let spec = graph.spec_of(vid);
+            let is_spout = spec.kind == OperatorKind::Spout;
+            let input = in_factor[vid.0] * p_star;
+            let processed = if is_spout {
+                out_factor[vid.0] * p_star
+            } else {
+                input.min(capacity[vid.0])
+            };
+            let output = if spec.kind == OperatorKind::Sink {
+                processed
+            } else if is_spout {
+                // Spout output across streams (selectivities applied).
+                graph
+                    .topology()
+                    .outgoing_edges(vertex.op)
+                    .map(|e| processed * spec.selectivity(None, &e.stream))
+                    .sum()
+            } else {
+                out_factor[vid.0] * p_star
+            };
+            if spec.kind == OperatorKind::Sink {
+                throughput += processed;
+            }
+            rates[vid.0] = VertexRates {
+                input_rate: input,
+                capacity: capacity[vid.0],
+                processed_rate: processed,
+                output_rate: output,
+                exec_ns: exec_ns[vid.0],
+                overhead_ns: overhead_ns[vid.0],
+                tf_ns: tf_ns[vid.0],
+                bottleneck: pressure[vertex.op.0] > 1.0 + BOTTLENECK_TOLERANCE,
+            };
+        }
+
+        Evaluation {
+            throughput,
+            vertices: rates,
+            edge_rates,
+            operator_pressure: pressure,
+        }
+    }
+
+    /// The bounding function of the B&B search: the throughput upper bound
+    /// for any completion of `placement` (unplaced vertices collocated with
+    /// all producers, their constraints relaxed).
+    pub fn bound(&self, graph: &ExecutionGraph<'_>, placement: &Placement) -> f64 {
+        self.evaluate(graph, placement).throughput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_dag::{CostProfile, TopologyBuilder, DEFAULT_STREAM};
+    use brisk_numa::MachineBuilder;
+
+    /// 2-socket, 4-core machine with easy numbers: 1 GHz clock, local 50 ns,
+    /// remote 200 ns.
+    fn toy_machine() -> Machine {
+        MachineBuilder::new("toy")
+            .sockets(2)
+            .tray_size(4)
+            .cores_per_socket(4)
+            .clock_ghz(1.0)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(200.0)
+            .max_hop_latency_ns(200.0)
+            .local_bandwidth_gbps(100.0)
+            .one_hop_bandwidth_gbps(50.0)
+            .max_hop_bandwidth_gbps(50.0)
+            .build()
+    }
+
+    /// spout(100cy) -> bolt(200cy) -> sink(50cy), 64-byte tuples.
+    fn linear_topology() -> brisk_dag::LogicalTopology {
+        let mut b = TopologyBuilder::new("lin");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let x = b.add_bolt("bolt", CostProfile::new(200.0, 0.0, 64.0, 64.0));
+        let k = b.add_sink("sink", CostProfile::new(50.0, 0.0, 64.0, 64.0));
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn collocated_rates_match_hand_calculation() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        // Bolt capacity 5M gates the pipeline; back-pressure throttles the
+        // 10M-capable spout down to 5M.
+        let spout = &eval.vertices[0];
+        assert!((spout.processed_rate - 5e6).abs() < 1.0);
+        let bolt = &eval.vertices[1];
+        assert!(bolt.bottleneck);
+        assert!((bolt.capacity - 5e6).abs() < 1.0);
+        assert!((bolt.processed_rate - 5e6).abs() < 1.0);
+        // Sink: capacity 20M, sees 5M.
+        let sink = &eval.vertices[2];
+        assert!(!sink.bottleneck);
+        assert!((sink.output_rate - 5e6).abs() < 1.0);
+        assert!((eval.throughput - 5e6).abs() < 1.0);
+        // Over-supply pressure of the bolt against the unthrottled spout:
+        // 10M demand / 5M capacity = 2.
+        let bn = eval.bottleneck_operators(&g);
+        assert_eq!(bn.len(), 1);
+        assert!((bn[0].1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remote_placement_pays_fetch_cost() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let mut placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        // Move the bolt to socket 1: it now pays ceil(64/64)*200 = 200 ns per
+        // tuple -> T = 400 ns -> capacity 2.5M.
+        placement.place(brisk_dag::VertexId(1), SocketId(1));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        let bolt = &eval.vertices[1];
+        assert!((bolt.tf_ns - 200.0).abs() < 1e-9);
+        assert!((bolt.capacity - 2.5e6).abs() < 1.0);
+        assert!((eval.throughput - 2.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn never_remote_policy_ignores_distance() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let mut placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        placement.place(brisk_dag::VertexId(1), SocketId(1));
+        let eval = Evaluator::saturated(&m)
+            .with_policy(TfPolicy::NeverRemote)
+            .evaluate(&g, &placement);
+        assert_eq!(eval.vertices[1].tf_ns, 0.0);
+        assert!((eval.throughput - 5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn always_remote_policy_charges_even_when_collocated() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m)
+            .with_policy(TfPolicy::AlwaysRemote)
+            .evaluate(&g, &placement);
+        assert!((eval.vertices[1].tf_ns - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_placement_is_upper_bound() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+
+        let mut partial = Placement::empty(g.vertex_count());
+        partial.place(brisk_dag::VertexId(0), SocketId(0));
+        let bound = ev.bound(&g, &partial);
+
+        // Any completion of the placement must not beat the bound.
+        for bolt_socket in 0..2 {
+            for sink_socket in 0..2 {
+                let mut full = partial.clone();
+                full.place(brisk_dag::VertexId(1), SocketId(bolt_socket));
+                full.place(brisk_dag::VertexId(2), SocketId(sink_socket));
+                let got = ev.evaluate(&g, &full).throughput;
+                assert!(
+                    got <= bound + 1e-6,
+                    "completion beat the bound: {got} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replication_removes_bottleneck() {
+        let m = toy_machine();
+        let t = linear_topology();
+        // Two bolt replicas double bolt capacity to 10M = spout rate.
+        let g = ExecutionGraph::new(&t, &[1, 2, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        assert!((eval.throughput - 1e7).abs() < 10.0);
+        let bn = eval.bottleneck_operators(&g);
+        assert!(bn.is_empty(), "no operator should be over-supplied: {bn:?}");
+    }
+
+    #[test]
+    fn side_branch_saturation_throttles_the_whole_pipeline() {
+        // spout -> {fast_path -> sink, slow_branch -> sink}: in a bounded
+        // queue system the saturated slow branch back-pressures the spout,
+        // so the fast path cannot race ahead (the LR trap).
+        let m = toy_machine();
+        let mut b = TopologyBuilder::new("branch");
+        let s = b.add_spout("s", CostProfile::new(100.0, 0.0, 16.0, 64.0));
+        let fast = b.add_bolt("fast", CostProfile::new(100.0, 0.0, 16.0, 64.0));
+        let slow = b.add_bolt("slow", CostProfile::new(1000.0, 0.0, 16.0, 64.0));
+        let k = b.add_sink("k", CostProfile::new(10.0, 0.0, 16.0, 64.0));
+        b.connect(s, DEFAULT_STREAM, fast, brisk_dag::Partitioning::Shuffle);
+        b.connect(s, DEFAULT_STREAM, slow, brisk_dag::Partitioning::Shuffle);
+        b.connect_shuffle(fast, k);
+        b.connect_shuffle(slow, k);
+        let t = b.build().expect("valid");
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        // Slow branch capacity 1M gates everything: sink sees 2 x 1M.
+        assert!((eval.throughput - 2e6).abs() < 10.0, "{}", eval.throughput);
+        let slow_v = &eval.vertices[2];
+        assert!(slow_v.bottleneck);
+        let fast_v = &eval.vertices[1];
+        assert!(!fast_v.bottleneck);
+        assert!((fast_v.processed_rate - 1e6).abs() < 1.0, "fast path throttled");
+    }
+
+    #[test]
+    fn finite_ingress_throttles_spout() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 2, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m)
+            .with_ingress(Ingress::Rate(1e6))
+            .evaluate(&g, &placement);
+        assert!((eval.throughput - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn selectivity_multiplies_stream_rate() {
+        let m = toy_machine();
+        let mut b = TopologyBuilder::new("sel");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let x = b.add_bolt("split", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let k = b.add_sink("sink", CostProfile::new(1.0, 0.0, 64.0, 64.0));
+        b.connect_shuffle(s, x);
+        b.connect(x, DEFAULT_STREAM, k, brisk_dag::Partitioning::Shuffle);
+        b.set_selectivity(x, None, DEFAULT_STREAM, 10.0);
+        let t = b.build().expect("valid");
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        // Splitter emits 10 words per sentence: sink sees 10x the split rate.
+        let split = &eval.vertices[1];
+        assert!((split.output_rate - split.processed_rate * 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn broadcast_duplicates_to_every_replica() {
+        let m = toy_machine();
+        let mut b = TopologyBuilder::new("bc");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let k = b.add_sink("sink", CostProfile::new(10.0, 0.0, 64.0, 64.0));
+        b.connect(s, DEFAULT_STREAM, k, brisk_dag::Partitioning::Broadcast);
+        let t = b.build().expect("valid");
+        let g = ExecutionGraph::new(&t, &[1, 3], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        let spout_rate = eval.vertices[0].processed_rate;
+        let total_sink_in: f64 = (1..4).map(|i| eval.vertices[i].input_rate).sum();
+        assert!((total_sink_in - 3.0 * spout_rate).abs() < 1.0);
+    }
+
+    #[test]
+    fn multiplicity_scales_capacity() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g1 = ExecutionGraph::new(&t, &[1, 4, 1], 1);
+        let g2 = ExecutionGraph::new(&t, &[1, 4, 1], 4); // fused into one vertex
+        let ev = Evaluator::saturated(&m);
+        let e1 = ev.evaluate(&g1, &Placement::all_on(g1.vertex_count(), SocketId(0)));
+        let e2 = ev.evaluate(&g2, &Placement::all_on(g2.vertex_count(), SocketId(0)));
+        assert!((e1.throughput - e2.throughput).abs() < 1.0);
+    }
+
+    #[test]
+    fn heterogeneous_replicas_pool_their_capacity() {
+        // One bolt replica local, one remote: the pooled operator capacity
+        // (not the slowest replica) gates throughput — work-conserving
+        // shuffle lets the local replica absorb more load.
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[2, 2, 1], 1);
+        let mut placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        placement.place(brisk_dag::VertexId(3), SocketId(1)); // one bolt remote
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        // Local bolt 5M + remote bolt 2.5M = 7.5M pooled.
+        let pooled: f64 = eval.vertices[2].capacity + eval.vertices[3].capacity;
+        assert!((pooled - 7.5e6).abs() < 1.0);
+        // The sink fetches half its tuples from the remote bolt:
+        // T = 50 + 0.5*200 = 150 ns -> capacity 6.67M, which binds.
+        assert!((eval.throughput - 1e9 / 150.0).abs() < 10.0, "{}", eval.throughput);
+    }
+
+    #[test]
+    fn oversubscription_time_shares_cores() {
+        let m = MachineBuilder::new("1core")
+            .sockets(2)
+            .cores_per_socket(1)
+            .clock_ghz(1.0)
+            .build();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        // All three replicas fight over a single core: aggregate processed
+        // work cannot exceed one core's worth.
+        let p = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &p);
+        let busy_ns: f64 = eval
+            .vertices
+            .iter()
+            .map(|v| v.processed_rate * v.total_ns())
+            .sum();
+        assert!(busy_ns <= 1e9 * 1.01, "more than one core used: {busy_ns}");
+        // Spreading over two sockets strictly helps.
+        let mut spread = p.clone();
+        spread.place(brisk_dag::VertexId(1), SocketId(1));
+        let eval2 = Evaluator::saturated(&m).evaluate(&g, &spread);
+        assert!(eval2.throughput > eval.throughput);
+    }
+
+    #[test]
+    fn k_events_unit() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let eval = Evaluator::saturated(&m)
+            .evaluate(&g, &Placement::all_on(g.vertex_count(), SocketId(0)));
+        assert!((eval.k_events_per_sec() - eval.throughput / 1e3).abs() < 1e-9);
+    }
+}

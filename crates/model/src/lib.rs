@@ -1,0 +1,39 @@
+//! # brisk-model
+//!
+//! The NUMA-aware, rate-based performance model of BriskStream (Section 3).
+//!
+//! Given an execution graph (operators expanded into replicas) and a —
+//! possibly partial — placement of its vertices onto CPU sockets, the model
+//! predicts the **output rate of every operator** and hence the application
+//! throughput `R = Σ_sink ro`. The crucial difference from classic rate-based
+//! optimization (Viglas & Naughton) is that an operator's processing
+//! capability is *not* a constant: the per-tuple cost
+//!
+//! ```text
+//! T(p) = Te + Tf,    Tf = ceil(N / S) * L(i, j)   (Formula 2)
+//! ```
+//!
+//! depends on the NUMA distance `L(i,j)` between the operator and each of its
+//! producers under plan `p`. The same replica is up to ~9× slower when
+//! fetching across CPU trays than when collocated (Figure 8).
+//!
+//! The model also checks the three resource-constraint families the
+//! optimizer must respect (Eq. 3–5): per-socket CPU cycles, per-socket local
+//! DRAM bandwidth and per-link remote channel bandwidth — plus the physical
+//! one-replica-per-core limit implied by the paper's core-isolated execution.
+//!
+//! Three fetch-cost policies support the Figure 12 ablation:
+//!
+//! * [`TfPolicy::RelativeLocation`] — the real RLAS model.
+//! * [`TfPolicy::AlwaysRemote`] — `RLAS_fix(L)`: every operator
+//!   pessimistically pays the worst-case (max-hop) fetch penalty.
+//! * [`TfPolicy::NeverRemote`] — `RLAS_fix(U)`: remote memory access is
+//!   ignored entirely.
+
+pub mod comm;
+pub mod constraints;
+pub mod evaluator;
+
+pub use comm::comm_cost_matrix;
+pub use constraints::{ConstraintReport, Violation};
+pub use evaluator::{Evaluation, Evaluator, Ingress, TfPolicy, VertexRates, BOTTLENECK_TOLERANCE};

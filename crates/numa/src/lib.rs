@@ -1,0 +1,35 @@
+//! # brisk-numa
+//!
+//! Virtual NUMA machine substrate for BriskStream.
+//!
+//! The paper's evaluation runs on two eight-socket servers (Table 2):
+//!
+//! * **Server A** — HUAWEI KunLun, 8 × 18-core Intel Xeon E7-8890 @ 1.2 GHz,
+//!   *glue-less* topology (sockets wired directly/indirectly via QPI). Remote
+//!   latency and bandwidth degrade sharply with NUMA distance, especially
+//!   across the two 4-socket CPU trays.
+//! * **Server B** — HP ProLiant DL980 G7, 8 × 8-core Intel Xeon E7-2860 @
+//!   2.27 GHz, *glue-assisted*: an eXternal Node Controller (XNC) connects the
+//!   trays and keeps remote bandwidth nearly uniform regardless of distance.
+//!
+//! Neither machine is available here, so this crate models them: socket/core
+//! layout, per-pair worst-case memory latency `L(i,j)`, local DRAM bandwidth
+//! `B`, per-link remote channel bandwidth `Q(i,j)` and per-socket CPU cycle
+//! budget `C`. These are exactly the machine-specification inputs of the
+//! paper's performance model (Table 1), so every downstream component — the
+//! analytical model, the RLAS optimizer and the discrete-event simulator —
+//! consumes the same numbers the real hardware would have supplied via Intel
+//! MLC.
+//!
+//! The [`mlc`] module mimics the Intel Memory Latency Checker: it "probes"
+//! a [`Machine`] and reports the latency/bandwidth matrices (optionally with
+//! measurement noise), which is how model instantiation acquires machine
+//! statistics in the paper (Section 3.1).
+
+pub mod machine;
+pub mod mlc;
+pub mod topology;
+
+pub use machine::{CoreId, Machine, MachineBuilder, SocketId, CACHE_LINE_BYTES};
+pub use mlc::{MlcReport, ProbeOptions};
+pub use topology::{Interconnect, Topology};

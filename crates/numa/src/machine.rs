@@ -1,0 +1,568 @@
+//! The virtual NUMA machine: sockets, cores, clocks, latency and bandwidth.
+//!
+//! A [`Machine`] supplies the *machine specification* inputs of the paper's
+//! performance model (Table 1):
+//!
+//! | Symbol | Meaning | Accessor |
+//! |---|---|---|
+//! | `C` | attainable CPU cycles per socket per second | [`Machine::cycles_per_socket`] |
+//! | `B` | attainable local DRAM bandwidth (bytes/s) | [`Machine::local_bandwidth`] |
+//! | `Q(i,j)` | attainable remote channel bandwidth from socket i to j | [`Machine::remote_bandwidth`] |
+//! | `L(i,j)` | worst-case memory access latency from socket i to j (ns) | [`Machine::latency_ns`] |
+//! | `S` | cache line size | [`CACHE_LINE_BYTES`] |
+
+use crate::topology::{Interconnect, Topology};
+
+/// Cache line size `S` in bytes (both servers in the paper use 64 B lines).
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Identifier of a CPU socket (NUMA node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketId(pub usize);
+
+impl std::fmt::Display for SocketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of a physical core: socket plus index within the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId {
+    /// Socket this core belongs to.
+    pub socket: SocketId,
+    /// Index of the core within its socket.
+    pub index: usize,
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.c{}", self.socket, self.index)
+    }
+}
+
+/// A virtual shared-memory multi-socket machine.
+///
+/// Construct the two paper machines with [`Machine::server_a`] /
+/// [`Machine::server_b`], or arbitrary ones with [`MachineBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    name: String,
+    topology: Topology,
+    cores_per_socket: usize,
+    clock_hz: f64,
+    /// Worst-case access latency L(i,j) in nanoseconds, dense matrix.
+    latency_ns: Vec<f64>,
+    /// Attainable channel bandwidth Q(i,j) in bytes/sec, dense matrix.
+    /// The diagonal holds the local DRAM bandwidth B.
+    bandwidth_bps: Vec<f64>,
+    memory_per_socket_bytes: u64,
+    power_governor: String,
+}
+
+impl Machine {
+    /// Server A of the paper: HUAWEI KunLun, 8 sockets × 18 cores,
+    /// Intel Xeon E7-8890 @ 1.2 GHz (power-save governor), glue-less
+    /// interconnect, 1 TB memory per socket.
+    ///
+    /// Latency/bandwidth figures come from Table 2 (measured with Intel MLC):
+    /// local 50 ns / 54.3 GB/s, one hop 307.7 ns / 13.2 GB/s, max hops
+    /// 548.0 ns / 5.8 GB/s.
+    pub fn server_a() -> Machine {
+        MachineBuilder::new("Server A (HUAWEI KunLun)")
+            .sockets(8)
+            .tray_size(4)
+            .interconnect(Interconnect::GlueLess)
+            .cores_per_socket(18)
+            .clock_ghz(1.2)
+            .power_governor("powersave")
+            .memory_per_socket_gb(1024)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(307.7)
+            .max_hop_latency_ns(548.0)
+            .local_bandwidth_gbps(54.3)
+            .one_hop_bandwidth_gbps(13.2)
+            .max_hop_bandwidth_gbps(5.8)
+            .build()
+    }
+
+    /// Server B of the paper: HP ProLiant DL980 G7, 8 sockets × 8 cores,
+    /// Intel Xeon E7-2860 @ 2.27 GHz (performance governor), XNC
+    /// glue-assisted interconnect, 256 GB memory per socket.
+    ///
+    /// Table 2: local 50 ns / 24.2 GB/s, one hop 185.2 ns / 10.6 GB/s, max
+    /// hops 349.6 ns / 10.8 GB/s — remote bandwidth is nearly uniform thanks
+    /// to the XNC.
+    pub fn server_b() -> Machine {
+        MachineBuilder::new("Server B (HP ProLiant DL980 G7)")
+            .sockets(8)
+            .tray_size(4)
+            .interconnect(Interconnect::GlueAssisted)
+            .cores_per_socket(8)
+            .clock_ghz(2.27)
+            .power_governor("performance")
+            .memory_per_socket_gb(256)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(185.2)
+            .max_hop_latency_ns(349.6)
+            .local_bandwidth_gbps(24.2)
+            .one_hop_bandwidth_gbps(10.6)
+            .max_hop_bandwidth_gbps(10.8)
+            .build()
+    }
+
+    /// Human-readable machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The socket arrangement.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.topology.sockets()
+    }
+
+    /// All socket ids.
+    pub fn socket_ids(&self) -> impl Iterator<Item = SocketId> {
+        (0..self.sockets()).map(SocketId)
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Total cores across all sockets.
+    pub fn total_cores(&self) -> usize {
+        self.sockets() * self.cores_per_socket
+    }
+
+    /// Core clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// `C`: maximum attainable CPU cycles per second on one socket.
+    pub fn cycles_per_socket(&self) -> f64 {
+        self.cores_per_socket as f64 * self.clock_hz
+    }
+
+    /// Aggregate cycles per second across the machine.
+    pub fn total_cycles(&self) -> f64 {
+        self.cycles_per_socket() * self.sockets() as f64
+    }
+
+    /// `B`: maximum attainable local DRAM bandwidth of one socket, bytes/sec.
+    pub fn local_bandwidth(&self) -> f64 {
+        self.bandwidth_bps[0]
+    }
+
+    /// `L(i,j)`: worst-case memory access latency from socket `i` to `j`, ns.
+    /// `L(i,i)` is the local (LLC-miss-to-DRAM) latency.
+    pub fn latency_ns(&self, i: SocketId, j: SocketId) -> f64 {
+        self.latency_ns[i.0 * self.sockets() + j.0]
+    }
+
+    /// `Q(i,j)`: maximum attainable channel bandwidth from socket `i` to `j`
+    /// in bytes/sec. `Q(i,i)` equals the local DRAM bandwidth `B`.
+    pub fn remote_bandwidth(&self, i: SocketId, j: SocketId) -> f64 {
+        self.bandwidth_bps[i.0 * self.sockets() + j.0]
+    }
+
+    /// Memory capacity per socket in bytes.
+    pub fn memory_per_socket_bytes(&self) -> u64 {
+        self.memory_per_socket_bytes
+    }
+
+    /// Linux CPU frequency governor in force ("powersave"/"performance").
+    pub fn power_governor(&self) -> &str {
+        &self.power_governor
+    }
+
+    /// Hop distance between sockets (see [`Topology::hops`]).
+    pub fn hops(&self, i: SocketId, j: SocketId) -> u32 {
+        self.topology.hops(i.0, j.0)
+    }
+
+    /// Whether two sockets share a physical tray.
+    pub fn same_tray(&self, i: SocketId, j: SocketId) -> bool {
+        self.topology.same_tray(i.0, j.0)
+    }
+
+    /// Convert CPU cycles to nanoseconds on this machine's clock.
+    pub fn cycles_to_ns(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz * 1e9
+    }
+
+    /// Convert nanoseconds to CPU cycles on this machine's clock.
+    pub fn ns_to_cycles(&self, ns: f64) -> f64 {
+        ns * self.clock_hz / 1e9
+    }
+
+    /// A copy of this machine restricted to its first `n` sockets
+    /// (scalability experiments enable 1, 2, 4, 8 sockets).
+    pub fn restrict_sockets(&self, n: usize) -> Machine {
+        assert!(n >= 1 && n <= self.sockets(), "invalid socket count");
+        let old = self.sockets();
+        let mut latency = Vec::with_capacity(n * n);
+        let mut bandwidth = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                latency.push(self.latency_ns[i * old + j]);
+                bandwidth.push(self.bandwidth_bps[i * old + j]);
+            }
+        }
+        Machine {
+            name: format!("{} [{}S]", self.name, n),
+            topology: self.topology.restrict(n),
+            cores_per_socket: self.cores_per_socket,
+            clock_hz: self.clock_hz,
+            latency_ns: latency,
+            bandwidth_bps: bandwidth,
+            memory_per_socket_bytes: self.memory_per_socket_bytes,
+            power_governor: self.power_governor.clone(),
+        }
+    }
+
+    /// A copy of this machine restricted to `n` total cores, filling sockets
+    /// in order (used by the StreamBox comparison, Figure 11, which sweeps
+    /// core counts 2..144). Returns the restricted machine and the number of
+    /// usable cores on its last (possibly partial) socket.
+    pub fn restrict_cores(&self, n: usize) -> (Machine, usize) {
+        assert!(n >= 1 && n <= self.total_cores(), "invalid core count");
+        let full_sockets = n / self.cores_per_socket;
+        let partial = n % self.cores_per_socket;
+        let sockets = (full_sockets + usize::from(partial > 0)).max(1);
+        let m = self.restrict_sockets(sockets);
+        let last_usable = if partial == 0 {
+            self.cores_per_socket
+        } else {
+            partial
+        };
+        (m, last_usable)
+    }
+}
+
+impl std::fmt::Display for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} sockets x {} cores @ {:.2} GHz ({})",
+            self.name,
+            self.sockets(),
+            self.cores_per_socket,
+            self.clock_hz / 1e9,
+            self.power_governor
+        )?;
+        writeln!(
+            f,
+            "  local latency {:.1} ns, local B/W {:.1} GB/s, total local B/W {:.1} GB/s",
+            self.latency_ns(SocketId(0), SocketId(0)),
+            self.local_bandwidth() / 1e9,
+            self.local_bandwidth() * self.sockets() as f64 / 1e9,
+        )
+    }
+}
+
+/// Builder for custom [`Machine`]s.
+///
+/// Latency/bandwidth matrices are derived from hop classes: local (0 hops),
+/// one hop (same tray), and cross-tray (2 hops interpolated, 3 hops = max).
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    name: String,
+    sockets: usize,
+    tray_size: usize,
+    interconnect: Interconnect,
+    cores_per_socket: usize,
+    clock_hz: f64,
+    local_latency_ns: f64,
+    one_hop_latency_ns: f64,
+    max_hop_latency_ns: f64,
+    local_bandwidth_bps: f64,
+    one_hop_bandwidth_bps: f64,
+    max_hop_bandwidth_bps: f64,
+    memory_per_socket_bytes: u64,
+    power_governor: String,
+}
+
+impl MachineBuilder {
+    /// Start building a machine with sane single-socket defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            sockets: 1,
+            tray_size: 4,
+            interconnect: Interconnect::GlueLess,
+            cores_per_socket: 4,
+            clock_hz: 2.0e9,
+            local_latency_ns: 50.0,
+            one_hop_latency_ns: 150.0,
+            max_hop_latency_ns: 300.0,
+            local_bandwidth_bps: 20.0e9,
+            one_hop_bandwidth_bps: 10.0e9,
+            max_hop_bandwidth_bps: 5.0e9,
+            memory_per_socket_bytes: 64 << 30,
+            power_governor: "performance".to_string(),
+        }
+    }
+
+    /// Number of sockets.
+    pub fn sockets(mut self, n: usize) -> Self {
+        self.sockets = n;
+        self
+    }
+
+    /// Sockets per tray.
+    pub fn tray_size(mut self, n: usize) -> Self {
+        self.tray_size = n;
+        self
+    }
+
+    /// Interconnect family.
+    pub fn interconnect(mut self, ic: Interconnect) -> Self {
+        self.interconnect = ic;
+        self
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(mut self, n: usize) -> Self {
+        self.cores_per_socket = n;
+        self
+    }
+
+    /// Core clock in GHz.
+    pub fn clock_ghz(mut self, ghz: f64) -> Self {
+        self.clock_hz = ghz * 1e9;
+        self
+    }
+
+    /// Local (same-socket) memory latency in ns.
+    pub fn local_latency_ns(mut self, ns: f64) -> Self {
+        self.local_latency_ns = ns;
+        self
+    }
+
+    /// One-hop (same-tray remote) latency in ns.
+    pub fn one_hop_latency_ns(mut self, ns: f64) -> Self {
+        self.one_hop_latency_ns = ns;
+        self
+    }
+
+    /// Max-hop (cross-tray) latency in ns.
+    pub fn max_hop_latency_ns(mut self, ns: f64) -> Self {
+        self.max_hop_latency_ns = ns;
+        self
+    }
+
+    /// Local DRAM bandwidth in GB/s.
+    pub fn local_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        self.local_bandwidth_bps = gbps * 1e9;
+        self
+    }
+
+    /// One-hop channel bandwidth in GB/s.
+    pub fn one_hop_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        self.one_hop_bandwidth_bps = gbps * 1e9;
+        self
+    }
+
+    /// Max-hop channel bandwidth in GB/s.
+    pub fn max_hop_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        self.max_hop_bandwidth_bps = gbps * 1e9;
+        self
+    }
+
+    /// Memory per socket in GiB.
+    pub fn memory_per_socket_gb(mut self, gb: u64) -> Self {
+        self.memory_per_socket_bytes = gb << 30;
+        self
+    }
+
+    /// CPU frequency governor label.
+    pub fn power_governor(mut self, g: impl Into<String>) -> Self {
+        self.power_governor = g.into();
+        self
+    }
+
+    /// Latency for a given hop count. Two-hop accesses (cross-tray, aligned
+    /// socket) are interpolated between one-hop and max-hop.
+    fn latency_for_hops(&self, hops: u32) -> f64 {
+        match hops {
+            0 => self.local_latency_ns,
+            1 => self.one_hop_latency_ns,
+            2 => 0.5 * (self.one_hop_latency_ns + self.max_hop_latency_ns),
+            _ => self.max_hop_latency_ns,
+        }
+    }
+
+    /// Bandwidth for a given hop count. Glue-assisted machines keep remote
+    /// bandwidth flat (the XNC effect); glue-less machines interpolate.
+    fn bandwidth_for_hops(&self, hops: u32) -> f64 {
+        match (self.interconnect, hops) {
+            (_, 0) => self.local_bandwidth_bps,
+            (Interconnect::GlueAssisted, 1) => self.one_hop_bandwidth_bps,
+            (Interconnect::GlueAssisted, _) => self.max_hop_bandwidth_bps,
+            (Interconnect::GlueLess, 1) => self.one_hop_bandwidth_bps,
+            (Interconnect::GlueLess, 2) => {
+                0.5 * (self.one_hop_bandwidth_bps + self.max_hop_bandwidth_bps)
+            }
+            (Interconnect::GlueLess, _) => self.max_hop_bandwidth_bps,
+        }
+    }
+
+    /// Finalize the machine.
+    ///
+    /// # Panics
+    /// Panics on zero sockets/cores or non-positive clock.
+    pub fn build(self) -> Machine {
+        assert!(self.sockets > 0, "need at least one socket");
+        assert!(self.cores_per_socket > 0, "need at least one core");
+        assert!(self.clock_hz > 0.0, "clock must be positive");
+        let topology = Topology::new(self.sockets, self.tray_size, self.interconnect);
+        let n = self.sockets;
+        let mut latency = Vec::with_capacity(n * n);
+        let mut bandwidth = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let hops = topology.hops(i, j);
+                latency.push(self.latency_for_hops(hops));
+                bandwidth.push(self.bandwidth_for_hops(hops));
+            }
+        }
+        Machine {
+            name: self.name,
+            topology,
+            cores_per_socket: self.cores_per_socket,
+            clock_hz: self.clock_hz,
+            latency_ns: latency,
+            bandwidth_bps: bandwidth,
+            memory_per_socket_bytes: self.memory_per_socket_bytes,
+            power_governor: self.power_governor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_a_matches_table_2() {
+        let m = Machine::server_a();
+        assert_eq!(m.sockets(), 8);
+        assert_eq!(m.cores_per_socket(), 18);
+        assert_eq!(m.total_cores(), 144);
+        assert!((m.clock_hz() - 1.2e9).abs() < 1.0);
+        assert!((m.latency_ns(SocketId(0), SocketId(0)) - 50.0).abs() < 1e-9);
+        assert!((m.latency_ns(SocketId(0), SocketId(1)) - 307.7).abs() < 1e-9);
+        assert!((m.latency_ns(SocketId(0), SocketId(7)) - 548.0).abs() < 1e-9);
+        assert!((m.local_bandwidth() - 54.3e9).abs() < 1.0);
+        assert!((m.remote_bandwidth(SocketId(0), SocketId(1)) - 13.2e9).abs() < 1.0);
+        assert!((m.remote_bandwidth(SocketId(0), SocketId(7)) - 5.8e9).abs() < 1.0);
+        // Total local bandwidth: 434.4 GB/s (Table 2).
+        let total = m.local_bandwidth() * m.sockets() as f64;
+        assert!((total - 434.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn server_b_remote_bandwidth_nearly_uniform() {
+        let m = Machine::server_b();
+        assert_eq!(m.total_cores(), 64);
+        let near = m.remote_bandwidth(SocketId(0), SocketId(1));
+        let far = m.remote_bandwidth(SocketId(0), SocketId(7));
+        // Glue-assisted: remote bandwidth roughly independent of distance.
+        assert!((near - far).abs() / near < 0.05);
+        // But latency still grows across trays.
+        assert!(m.latency_ns(SocketId(0), SocketId(7)) > m.latency_ns(SocketId(0), SocketId(1)));
+    }
+
+    #[test]
+    fn latency_monotone_in_hops() {
+        for m in [Machine::server_a(), Machine::server_b()] {
+            for i in m.socket_ids() {
+                for j in m.socket_ids() {
+                    for k in m.socket_ids() {
+                        if m.hops(i, j) < m.hops(i, k) {
+                            assert!(
+                                m.latency_ns(i, j) <= m.latency_ns(i, k),
+                                "latency must grow with hops on {}",
+                                m.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrices_symmetric() {
+        for m in [Machine::server_a(), Machine::server_b()] {
+            for i in m.socket_ids() {
+                for j in m.socket_ids() {
+                    assert_eq!(m.latency_ns(i, j), m.latency_ns(j, i));
+                    assert_eq!(m.remote_bandwidth(i, j), m.remote_bandwidth(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_per_socket_server_a() {
+        let m = Machine::server_a();
+        // 18 cores * 1.2 GHz = 21.6e9 cycles/s.
+        assert!((m.cycles_per_socket() - 21.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cycle_ns_round_trip() {
+        let m = Machine::server_b();
+        let cycles = 1234.5;
+        let ns = m.cycles_to_ns(cycles);
+        assert!((m.ns_to_cycles(ns) - cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restrict_sockets_preserves_submatrix() {
+        let m = Machine::server_a();
+        let r = m.restrict_sockets(4);
+        assert_eq!(r.sockets(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    r.latency_ns(SocketId(i), SocketId(j)),
+                    m.latency_ns(SocketId(i), SocketId(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_cores_partial_socket() {
+        let m = Machine::server_a();
+        let (r, usable) = m.restrict_cores(2);
+        assert_eq!(r.sockets(), 1);
+        assert_eq!(usable, 2);
+        let (r, usable) = m.restrict_cores(72);
+        assert_eq!(r.sockets(), 4);
+        assert_eq!(usable, 18);
+        let (r, usable) = m.restrict_cores(144);
+        assert_eq!(r.sockets(), 8);
+        assert_eq!(usable, 18);
+        let (r, usable) = m.restrict_cores(20);
+        assert_eq!(r.sockets(), 2);
+        assert_eq!(usable, 2);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let m = Machine::server_a();
+        let s = format!("{m}");
+        assert!(s.contains("KunLun"));
+    }
+}

@@ -1,0 +1,224 @@
+//! An Intel Memory Latency Checker (MLC) stand-in.
+//!
+//! The paper instantiates its performance model with machine statistics
+//! "measured by Intel Memory Latency Checker" (Section 3.1). This module
+//! plays that role for virtual machines: [`probe`](MlcReport::probe) walks
+//! every socket pair and reports idle latencies and peak bandwidths, with
+//! optional multiplicative measurement noise so that "measured" matrices are
+//! not bit-identical to the ground truth the machine was built from.
+
+use crate::machine::{Machine, SocketId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options controlling a probe run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeOptions {
+    /// RNG seed for measurement noise.
+    pub seed: u64,
+    /// Relative noise amplitude (e.g. `0.02` = ±2% uniform). Zero disables
+    /// noise and reproduces the machine matrices exactly.
+    pub noise: f64,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0x4d4c43, // "MLC"
+            noise: 0.0,
+        }
+    }
+}
+
+/// Result of probing a machine: latency (ns) and bandwidth (bytes/s)
+/// matrices, indexed `[from][to]`.
+#[derive(Debug, Clone)]
+pub struct MlcReport {
+    machine_name: String,
+    sockets: usize,
+    /// Idle latency matrix in nanoseconds.
+    pub latency_ns: Vec<Vec<f64>>,
+    /// Peak bandwidth matrix in bytes/sec (diagonal = local DRAM bandwidth).
+    pub bandwidth_bps: Vec<Vec<f64>>,
+}
+
+impl MlcReport {
+    /// Probe `machine`, producing Table-2-style statistics.
+    pub fn probe(machine: &Machine, options: ProbeOptions) -> MlcReport {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let n = machine.sockets();
+        let mut latency = vec![vec![0.0; n]; n];
+        let mut bandwidth = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let jitter = |rng: &mut StdRng| {
+                    if options.noise == 0.0 {
+                        1.0
+                    } else {
+                        1.0 + rng.gen_range(-options.noise..=options.noise)
+                    }
+                };
+                latency[i][j] = machine.latency_ns(SocketId(i), SocketId(j)) * jitter(&mut rng);
+                bandwidth[i][j] =
+                    machine.remote_bandwidth(SocketId(i), SocketId(j)) * jitter(&mut rng);
+            }
+        }
+        MlcReport {
+            machine_name: machine.name().to_string(),
+            sockets: n,
+            latency_ns: latency,
+            bandwidth_bps: bandwidth,
+        }
+    }
+
+    /// Name of the probed machine.
+    pub fn machine_name(&self) -> &str {
+        &self.machine_name
+    }
+
+    /// Number of sockets covered by the report.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Local (same-socket) latency averaged over sockets, ns.
+    pub fn local_latency_ns(&self) -> f64 {
+        let n = self.sockets as f64;
+        (0..self.sockets).map(|i| self.latency_ns[i][i]).sum::<f64>() / n
+    }
+
+    /// Smallest non-local latency observed, ns ("1 hop latency" in Table 2).
+    pub fn one_hop_latency_ns(&self) -> f64 {
+        self.off_diagonal(&self.latency_ns)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest latency observed, ns ("Max hops latency" in Table 2).
+    pub fn max_hop_latency_ns(&self) -> f64 {
+        self.off_diagonal(&self.latency_ns).fold(0.0, f64::max)
+    }
+
+    /// Local DRAM bandwidth averaged over sockets, bytes/s.
+    pub fn local_bandwidth_bps(&self) -> f64 {
+        let n = self.sockets as f64;
+        (0..self.sockets)
+            .map(|i| self.bandwidth_bps[i][i])
+            .sum::<f64>()
+            / n
+    }
+
+    /// Aggregate local bandwidth across sockets ("Total local B/W").
+    pub fn total_local_bandwidth_bps(&self) -> f64 {
+        (0..self.sockets).map(|i| self.bandwidth_bps[i][i]).sum()
+    }
+
+    /// Largest remote channel bandwidth, bytes/s.
+    pub fn one_hop_bandwidth_bps(&self) -> f64 {
+        self.off_diagonal(&self.bandwidth_bps).fold(0.0, f64::max)
+    }
+
+    /// Smallest remote channel bandwidth, bytes/s.
+    pub fn min_bandwidth_bps(&self) -> f64 {
+        self.off_diagonal(&self.bandwidth_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn off_diagonal<'a>(&'a self, m: &'a [Vec<f64>]) -> impl Iterator<Item = f64> + 'a {
+        (0..self.sockets).flat_map(move |i| {
+            (0..self.sockets)
+                .filter(move |&j| j != i)
+                .map(move |j| m[i][j])
+        })
+    }
+}
+
+impl std::fmt::Display for MlcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "MLC report for {}", self.machine_name)?;
+        writeln!(f, "  Local latency      {:>8.1} ns", self.local_latency_ns())?;
+        writeln!(
+            f,
+            "  1 hop latency      {:>8.1} ns",
+            self.one_hop_latency_ns()
+        )?;
+        writeln!(
+            f,
+            "  Max hops latency   {:>8.1} ns",
+            self.max_hop_latency_ns()
+        )?;
+        writeln!(
+            f,
+            "  Local B/W          {:>8.1} GB/s",
+            self.local_bandwidth_bps() / 1e9
+        )?;
+        writeln!(
+            f,
+            "  1 hop B/W          {:>8.1} GB/s",
+            self.one_hop_bandwidth_bps() / 1e9
+        )?;
+        writeln!(
+            f,
+            "  Min remote B/W     {:>8.1} GB/s",
+            self.min_bandwidth_bps() / 1e9
+        )?;
+        writeln!(
+            f,
+            "  Total local B/W    {:>8.1} GB/s",
+            self.total_local_bandwidth_bps() / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_probe_reproduces_machine() {
+        let m = Machine::server_a();
+        let r = MlcReport::probe(&m, ProbeOptions::default());
+        assert!((r.local_latency_ns() - 50.0).abs() < 1e-9);
+        assert!((r.one_hop_latency_ns() - 307.7).abs() < 1e-9);
+        assert!((r.max_hop_latency_ns() - 548.0).abs() < 1e-9);
+        assert!((r.total_local_bandwidth_bps() - 434.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn noisy_probe_stays_within_bounds() {
+        let m = Machine::server_b();
+        let r = MlcReport::probe(
+            &m,
+            ProbeOptions {
+                seed: 7,
+                noise: 0.02,
+            },
+        );
+        for i in 0..8 {
+            for j in 0..8 {
+                let truth = m.latency_ns(SocketId(i), SocketId(j));
+                let meas = r.latency_ns[i][j];
+                assert!((meas - truth).abs() <= truth * 0.02 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_is_deterministic_per_seed() {
+        let m = Machine::server_a();
+        let opts = ProbeOptions {
+            seed: 42,
+            noise: 0.05,
+        };
+        let a = MlcReport::probe(&m, opts);
+        let b = MlcReport::probe(&m, opts);
+        assert_eq!(a.latency_ns, b.latency_ns);
+        assert_eq!(a.bandwidth_bps, b.bandwidth_bps);
+    }
+
+    #[test]
+    fn display_renders() {
+        let r = MlcReport::probe(&Machine::server_b(), ProbeOptions::default());
+        let s = format!("{r}");
+        assert!(s.contains("Max hops latency"));
+    }
+}

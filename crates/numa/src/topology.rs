@@ -1,0 +1,186 @@
+//! Interconnect topologies for multi-socket servers.
+//!
+//! Two topology families appear in the paper (Figure 1):
+//!
+//! * [`Interconnect::GlueLess`] — sockets connected directly or indirectly
+//!   through QPI/vendor links; latency and bandwidth depend on hop count, and
+//!   crossing the tray boundary is significantly more expensive.
+//! * [`Interconnect::GlueAssisted`] — an eXternal Node Controller (XNC) with
+//!   a cache directory bridges the trays; remote bandwidth is nearly uniform
+//!   regardless of distance.
+
+/// The interconnect family of a multi-socket server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interconnect {
+    /// CPUs connected directly/indirectly through QPI or vendor custom data
+    /// interconnects (Server A). Cost grows with hop distance.
+    GlueLess,
+    /// An eXternal Node Controller (XNC) interconnects the CPU trays and
+    /// keeps a directory of each processor's cache contents (Server B).
+    /// Remote access cost is nearly flat beyond the first hop.
+    GlueAssisted,
+}
+
+/// Physical socket arrangement: `sockets` sockets grouped into trays of
+/// `tray_size`, wired by `interconnect`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Topology {
+    sockets: usize,
+    tray_size: usize,
+    interconnect: Interconnect,
+}
+
+impl Topology {
+    /// Create a topology of `sockets` sockets in trays of `tray_size`.
+    ///
+    /// # Panics
+    /// Panics if `sockets == 0` or `tray_size == 0`.
+    pub fn new(sockets: usize, tray_size: usize, interconnect: Interconnect) -> Self {
+        assert!(sockets > 0, "topology needs at least one socket");
+        assert!(tray_size > 0, "tray size must be positive");
+        Self {
+            sockets,
+            tray_size,
+            interconnect,
+        }
+    }
+
+    /// Number of sockets in the machine.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Number of sockets per physical tray.
+    pub fn tray_size(&self) -> usize {
+        self.tray_size
+    }
+
+    /// The interconnect family.
+    pub fn interconnect(&self) -> Interconnect {
+        self.interconnect
+    }
+
+    /// Tray index of a socket.
+    pub fn tray_of(&self, socket: usize) -> usize {
+        socket / self.tray_size
+    }
+
+    /// Whether two sockets share a tray.
+    pub fn same_tray(&self, a: usize, b: usize) -> bool {
+        self.tray_of(a) == self.tray_of(b)
+    }
+
+    /// Hop distance between two sockets.
+    ///
+    /// * `0` — same socket (local access).
+    /// * `1` — different sockets on the same tray (one QPI hop).
+    /// * `2` — different trays, vertically adjacent position (a direct
+    ///   tray-to-tray link, e.g. S0–S4 on an 8-socket 2-tray machine).
+    /// * `3` — different trays, different position (longest route).
+    ///
+    /// For glue-assisted machines the XNC flattens cross-tray routing, so the
+    /// distinction between `2` and `3` hops collapses in *bandwidth* but a
+    /// latency difference remains (Table 2 of the paper shows 185.2 ns for
+    /// one hop vs 349.6 ns max on Server B).
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        if a == b {
+            0
+        } else if self.same_tray(a, b) {
+            1
+        } else if a % self.tray_size == b % self.tray_size {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Maximum hop distance realized on this machine.
+    pub fn max_hops(&self) -> u32 {
+        let mut m = 0;
+        for a in 0..self.sockets {
+            for b in 0..self.sockets {
+                m = m.max(self.hops(a, b));
+            }
+        }
+        m
+    }
+
+    /// Restrict the topology to its first `n` sockets (used by the
+    /// scalability experiments that enable 1, 2, 4, 8 sockets).
+    pub fn restrict(&self, n: usize) -> Topology {
+        assert!(n >= 1 && n <= self.sockets, "invalid socket restriction");
+        Topology {
+            sockets: n,
+            tray_size: self.tray_size,
+            interconnect: self.interconnect,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eight_socket() -> Topology {
+        Topology::new(8, 4, Interconnect::GlueLess)
+    }
+
+    #[test]
+    fn tray_assignment() {
+        let t = eight_socket();
+        for s in 0..4 {
+            assert_eq!(t.tray_of(s), 0);
+        }
+        for s in 4..8 {
+            assert_eq!(t.tray_of(s), 1);
+        }
+    }
+
+    #[test]
+    fn hop_classes() {
+        let t = eight_socket();
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(0, 3), 1);
+        assert_eq!(t.hops(0, 4), 2); // vertical neighbour across trays
+        assert_eq!(t.hops(0, 7), 3); // diagonal across trays
+        assert_eq!(t.max_hops(), 3);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let t = eight_socket();
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_keeps_tray_structure() {
+        let t = eight_socket().restrict(4);
+        assert_eq!(t.sockets(), 4);
+        assert_eq!(t.max_hops(), 1); // single tray left
+        let t2 = eight_socket().restrict(8);
+        assert_eq!(t2.max_hops(), 3);
+    }
+
+    #[test]
+    fn single_socket_has_no_remote() {
+        let t = eight_socket().restrict(1);
+        assert_eq!(t.max_hops(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sockets_rejected() {
+        Topology::new(0, 4, Interconnect::GlueLess);
+    }
+
+    #[test]
+    #[should_panic]
+    fn restrict_above_size_rejected() {
+        eight_socket().restrict(9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # brisk-rlas
+//!
+//! **Relative-Location Aware Scheduling** — the paper's primary
+//! contribution (Section 4): a branch-and-bound placement optimizer and an
+//! iterative scaling loop that together choose, for every operator, *how
+//! many replicas* to run and *which CPU socket* each replica lives on,
+//! maximizing modelled application throughput under the NUMA-aware
+//! performance model.
+//!
+//! The search implements the paper's three heuristics:
+//!
+//! 1. **Collocation (edge) branching** — branch on producer/consumer pairs
+//!    instead of single vertices; decisions whose endpoints are both placed
+//!    are discarded as irrelevant.
+//! 2. **Best-fit & redundancy elimination** — once every predecessor of a
+//!    pair is placed, the pair's output rate is fully determined, so only the
+//!    single best assignment is branched (ties broken towards the socket with
+//!    the least remaining cores); visited partial placements are deduplicated
+//!    and interchangeable empty sockets are symmetry-broken.
+//! 3. **Graph compression** — up to `compress_ratio` replicas of an operator
+//!    fuse into one scheduling unit, trading optimization granularity for
+//!    search-space size (Table 7 sweeps this knob).
+//!
+//! On top of placement, [`scaling::optimize`] runs Algorithm 1: starting
+//! from one replica per operator, it repeatedly optimizes placement,
+//! identifies over-supplied ("bottleneck") operators and grows their
+//! replication level by the over-supply ratio, until the machine is full or
+//! nothing is over-supplied.
+//!
+//! The [`strategies`] module implements the competing placement policies the
+//! paper evaluates against (Table 6): OS (unmanaged), First-Fit and
+//! Round-Robin. [`random`] generates the Monte-Carlo random plans of
+//! Figure 14. The `RLAS_fix(L)`/`RLAS_fix(U)` ablations of Figure 12 fall
+//! out of running the optimizer under a fixed [`TfPolicy`] and re-evaluating
+//! the resulting plan under the true relative-location model
+//! ([`scaling::optimize_with_policy`]).
+
+pub mod placement;
+pub mod random;
+pub mod scaling;
+pub mod strategies;
+
+pub use brisk_model::TfPolicy;
+pub use placement::{optimize_placement, PlacementOptions, PlacementResult};
+pub use random::{random_plans, RandomPlanOptions};
+pub use scaling::{balanced_replication, optimize, optimize_with_policy, OptimizedPlan, ScalingOptions};
+pub use strategies::{place_with_strategy, PlacementStrategy};

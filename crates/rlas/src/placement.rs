@@ -1,0 +1,600 @@
+//! Branch-and-bound placement optimization (Algorithm 2 of the paper).
+//!
+//! The search enumerates a tree whose nodes are *partial placements* of the
+//! execution graph's vertices onto sockets. Branching follows the
+//! **collocation heuristic**: each step resolves one producer→consumer
+//! *collocation decision* — either the pair ends up on the same socket
+//! (decision satisfied) or on different sockets. The **bounding function**
+//! evaluates the performance model with every unplaced vertex treated as
+//! collocated with all of its producers; this upper-bounds any completion,
+//! so a node whose bound does not beat the incumbent solution is pruned
+//! together with its whole subtree.
+//!
+//! Additional pruning per the paper:
+//!
+//! * **Best-fit**: when all predecessors of a decision's operators are
+//!   already placed, the pair's output rate is fully determined and only the
+//!   single best assignment is explored (ties → socket with least remaining
+//!   cores, then lowest index).
+//! * **Redundancy elimination**: identical partial placements reached along
+//!   different decision paths are explored once.
+//! * **Symmetry breaking**: all currently-empty sockets are interchangeable,
+//!   so only the lowest-indexed empty socket is branched ("S1 is identical
+//!   to S0 at this point", Figure 5).
+
+use brisk_dag::{ExecutionGraph, Placement, VertexId};
+use brisk_model::{ConstraintReport, Evaluation, Evaluator};
+use brisk_numa::SocketId;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Tuning knobs for the B&B search.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementOptions {
+    /// Hard cap on explored nodes; the best solution found so far is
+    /// returned when the budget runs out.
+    pub max_nodes: usize,
+    /// Enable the best-fit heuristic (heuristic 2, first half).
+    pub best_fit: bool,
+    /// Enable visited-state deduplication (heuristic 2, second half).
+    pub redundancy_elimination: bool,
+    /// Seed the incumbent with a first-fit solution before searching
+    /// (the Appendix D variant; sometimes prunes earlier, sometimes pays
+    /// more than it saves).
+    pub seed_first_fit: bool,
+}
+
+impl Default for PlacementOptions {
+    fn default() -> Self {
+        PlacementOptions {
+            max_nodes: 200_000,
+            best_fit: true,
+            redundancy_elimination: true,
+            seed_first_fit: false,
+        }
+    }
+}
+
+/// Outcome of a placement search.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// The best valid placement found.
+    pub placement: Placement,
+    /// Modelled throughput of that placement (tuples/sec).
+    pub throughput: f64,
+    /// Full model evaluation of the final placement (bottleneck info feeds
+    /// the scaling algorithm).
+    pub evaluation: Evaluation,
+    /// Nodes expanded.
+    pub explored: usize,
+    /// Nodes pruned by the bounding function.
+    pub pruned: usize,
+    /// Valid solution nodes encountered.
+    pub solutions: usize,
+}
+
+struct Node {
+    placement: Placement,
+    bound: f64,
+}
+
+/// Searches for the throughput-maximizing placement of `graph` on the
+/// evaluator's machine. Returns `None` when no placement satisfies the
+/// resource constraints (the signal that makes the scaling loop stop).
+pub fn optimize_placement(
+    evaluator: &Evaluator<'_>,
+    graph: &ExecutionGraph<'_>,
+    options: &PlacementOptions,
+) -> Option<PlacementResult> {
+    let machine = evaluator.machine;
+    let cores = machine.cores_per_socket();
+    let sockets = machine.sockets();
+
+    // Quick infeasibility check: total replicas cannot exceed total cores.
+    if graph.total_replicas() > cores * sockets {
+        return None;
+    }
+
+    // Collocation decision list: every directly connected vertex pair, in
+    // deterministic (producer-topo, consumer-topo) order.
+    let decisions = build_decisions(graph);
+
+    let mut best: Option<(Placement, f64, Evaluation)> = None;
+    let mut explored = 0usize;
+    let mut pruned = 0usize;
+    let mut solutions = 0usize;
+
+    if options.seed_first_fit {
+        if let Some(p) = crate::strategies::first_fit(graph, machine) {
+            let eval = evaluator.evaluate(graph, &p);
+            if ConstraintReport::check(machine, graph, &p, &eval).ok() {
+                solutions += 1;
+                best = Some((p, eval.throughput, eval));
+            }
+        }
+    }
+
+    let root = Node {
+        bound: evaluator.bound(graph, &Placement::empty(graph.vertex_count())),
+        placement: Placement::empty(graph.vertex_count()),
+    };
+    let mut stack = vec![root];
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    while let Some(node) = stack.pop() {
+        if explored >= options.max_nodes {
+            break;
+        }
+        explored += 1;
+        if let Some((_, incumbent, _)) = &best {
+            if node.bound <= *incumbent {
+                pruned += 1;
+                continue;
+            }
+        }
+
+        // Find the first unresolved decision (both endpoints placed =>
+        // resolved and discarded).
+        let next = decisions
+            .iter()
+            .find(|&&(p, c)| {
+                node.placement.socket_of(p).is_none() || node.placement.socket_of(c).is_none()
+            })
+            .copied();
+
+        let Some((p, c)) = next else {
+            // No decisions left. Mop up isolated vertices, then treat as a
+            // solution candidate.
+            let mut placement = node.placement;
+            place_leftovers(graph, machine, &mut placement);
+            if !placement.is_complete() {
+                continue; // could not fit the leftovers
+            }
+            let eval = evaluator.evaluate(graph, &placement);
+            if !ConstraintReport::check(machine, graph, &placement, &eval).ok() {
+                continue;
+            }
+            solutions += 1;
+            let better = best
+                .as_ref()
+                .map(|&(_, t, _)| eval.throughput > t)
+                .unwrap_or(true);
+            if better {
+                best = Some((placement, eval.throughput, eval));
+            }
+            continue;
+        };
+
+        // Generate candidate child placements resolving (p, c).
+        let mut children = candidate_placements(graph, machine, &node.placement, p, c);
+        if children.is_empty() {
+            continue; // dead end: no socket can host the pair
+        }
+
+        // Best-fit: if every predecessor of p (and of c except p) is placed,
+        // the pair's rate is determined — keep only the best child.
+        if options.best_fit && best_fit_applies(graph, &node.placement, p, c) {
+            let mut ranked: Vec<(f64, usize, usize)> = children
+                .iter()
+                .enumerate()
+                .map(|(i, cand)| {
+                    let eval = evaluator.evaluate(graph, cand);
+                    let out = eval.vertices[c.0].output_rate;
+                    let remaining = remaining_cores_on(
+                        graph,
+                        machine,
+                        cand,
+                        cand.socket_of(c).expect("candidate places c"),
+                    );
+                    (out, remaining, i)
+                })
+                .collect();
+            // Max output rate; tie-break least remaining cores.
+            ranked.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("rates are finite")
+                    .then(a.1.cmp(&b.1))
+            });
+            let keep = ranked[0].2;
+            children = vec![children.swap_remove(keep)];
+        }
+
+        // Push children ordered by ascending bound so the most promising is
+        // explored first (DFS pops the top of the stack).
+        let mut scored: Vec<Node> = Vec::with_capacity(children.len());
+        for cand in children {
+            if options.redundancy_elimination {
+                let sig = placement_signature(&cand);
+                if !seen.insert(sig) {
+                    continue;
+                }
+            }
+            let bound = evaluator.bound(graph, &cand);
+            if let Some((_, incumbent, _)) = &best {
+                if bound <= *incumbent {
+                    pruned += 1;
+                    continue;
+                }
+            }
+            scored.push(Node {
+                placement: cand,
+                bound,
+            });
+        }
+        scored.sort_by(|a, b| a.bound.partial_cmp(&b.bound).expect("finite bounds"));
+        stack.extend(scored);
+    }
+
+    best.map(|(placement, throughput, evaluation)| PlacementResult {
+        placement,
+        throughput,
+        evaluation,
+        explored,
+        pruned,
+        solutions,
+    })
+}
+
+/// All producer→consumer vertex pairs, deduplicated, in topo order.
+fn build_decisions(graph: &ExecutionGraph<'_>) -> Vec<(VertexId, VertexId)> {
+    let mut topo_pos = vec![0usize; graph.vertex_count()];
+    for (i, &v) in graph.topological_order().iter().enumerate() {
+        topo_pos[v.0] = i;
+    }
+    let mut pairs: Vec<(VertexId, VertexId)> = graph
+        .edges()
+        .iter()
+        .map(|e| (e.from, e.to))
+        .collect();
+    pairs.sort_by_key(|&(p, c)| (topo_pos[p.0], topo_pos[c.0]));
+    pairs.dedup();
+    pairs
+}
+
+/// Free cores on `socket` under `placement`.
+fn remaining_cores_on(
+    graph: &ExecutionGraph<'_>,
+    machine: &brisk_numa::Machine,
+    placement: &Placement,
+    socket: SocketId,
+) -> usize {
+    let used: usize = placement
+        .vertices_on(socket)
+        .map(|v| graph.vertex(v).multiplicity)
+        .sum();
+    machine.cores_per_socket().saturating_sub(used)
+}
+
+/// Sockets able to host `need` more replicas, with empty-socket symmetry
+/// breaking: of all sockets currently hosting nothing, only the first is
+/// offered.
+fn feasible_sockets(
+    graph: &ExecutionGraph<'_>,
+    machine: &brisk_numa::Machine,
+    placement: &Placement,
+    need: usize,
+) -> Vec<SocketId> {
+    let mut result = Vec::new();
+    let mut offered_empty = false;
+    for s in machine.socket_ids() {
+        let used: usize = placement
+            .vertices_on(s)
+            .map(|v| graph.vertex(v).multiplicity)
+            .sum();
+        if used == 0 {
+            if !offered_empty && need <= machine.cores_per_socket() {
+                result.push(s);
+                offered_empty = true;
+            }
+            continue;
+        }
+        if used + need <= machine.cores_per_socket() {
+            result.push(s);
+        }
+    }
+    result
+}
+
+/// Child placements resolving decision `(p, c)` from `base`.
+fn candidate_placements(
+    graph: &ExecutionGraph<'_>,
+    machine: &brisk_numa::Machine,
+    base: &Placement,
+    p: VertexId,
+    c: VertexId,
+) -> Vec<Placement> {
+    let pm = graph.vertex(p).multiplicity;
+    let cm = graph.vertex(c).multiplicity;
+    let mut out = Vec::new();
+    match (base.socket_of(p), base.socket_of(c)) {
+        (Some(_), Some(_)) => {}
+        (Some(sp), None) => {
+            for s in feasible_sockets(graph, machine, base, cm) {
+                let mut cand = base.clone();
+                cand.place(c, s);
+                out.push(cand);
+            }
+            // Collocation onto sp is already covered when sp is feasible;
+            // nothing extra to add.
+            let _ = sp;
+        }
+        (None, Some(sc)) => {
+            for s in feasible_sockets(graph, machine, base, pm) {
+                let mut cand = base.clone();
+                cand.place(p, s);
+                out.push(cand);
+            }
+            let _ = sc;
+        }
+        (None, None) => {
+            for s1 in feasible_sockets(graph, machine, base, pm) {
+                let mut with_p = base.clone();
+                with_p.place(p, s1);
+                for s2 in feasible_sockets(graph, machine, &with_p, cm) {
+                    let mut cand = with_p.clone();
+                    cand.place(c, s2);
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Heuristic-2 precondition: placing this pair cannot affect any
+/// predecessor's rate, because all predecessors of `p`, and all predecessors
+/// of `c` other than `p`, are already placed.
+fn best_fit_applies(
+    graph: &ExecutionGraph<'_>,
+    placement: &Placement,
+    p: VertexId,
+    c: VertexId,
+) -> bool {
+    graph
+        .producers_of(p)
+        .iter()
+        .all(|&q| placement.socket_of(q).is_some())
+        && graph
+            .producers_of(c)
+            .iter()
+            .filter(|&&q| q != p)
+            .all(|&q| placement.socket_of(q).is_some())
+}
+
+/// Place vertices untouched by any collocation decision (e.g. extra replicas
+/// of a `Global`-partitioned consumer) on the emptiest feasible socket.
+fn place_leftovers(
+    graph: &ExecutionGraph<'_>,
+    machine: &brisk_numa::Machine,
+    placement: &mut Placement,
+) {
+    for (vid, vertex) in graph.vertices() {
+        if placement.socket_of(vid).is_some() {
+            continue;
+        }
+        let best = machine
+            .socket_ids()
+            .map(|s| (remaining_cores_on(graph, machine, placement, s), s))
+            .filter(|&(free, _)| free >= vertex.multiplicity)
+            .max_by_key(|&(free, s)| (free, std::cmp::Reverse(s)));
+        if let Some((_, s)) = best {
+            placement.place(vid, s);
+        }
+    }
+}
+
+fn placement_signature(placement: &Placement) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for i in 0..placement.len() {
+        placement.socket_of(VertexId(i)).map(|s| s.0 as i64).unwrap_or(-1).hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_dag::{CostProfile, TopologyBuilder};
+    use brisk_model::{Ingress, TfPolicy};
+    use brisk_numa::{Machine, MachineBuilder};
+
+    fn machine(sockets: usize, cores: usize) -> Machine {
+        MachineBuilder::new("bb")
+            .sockets(sockets)
+            .tray_size(4)
+            .cores_per_socket(cores)
+            .clock_ghz(1.0)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(300.0)
+            .max_hop_latency_ns(500.0)
+            .local_bandwidth_gbps(50.0)
+            .one_hop_bandwidth_gbps(10.0)
+            .max_hop_bandwidth_gbps(5.0)
+            .build()
+    }
+
+    fn pipeline(n_bolts: usize) -> brisk_dag::LogicalTopology {
+        let mut b = TopologyBuilder::new("p");
+        let mut prev = b.add_spout("spout", CostProfile::new(200.0, 0.0, 32.0, 64.0));
+        for i in 0..n_bolts {
+            let bolt = b.add_bolt(format!("b{i}"), CostProfile::new(400.0, 0.0, 32.0, 64.0));
+            b.connect_shuffle(prev, bolt);
+            prev = bolt;
+        }
+        let k = b.add_sink("sink", CostProfile::new(100.0, 0.0, 32.0, 64.0));
+        b.connect_shuffle(prev, k);
+        b.build().expect("valid")
+    }
+
+    /// Exhaustive baseline: enumerate every complete placement.
+    fn brute_force(
+        evaluator: &Evaluator<'_>,
+        graph: &ExecutionGraph<'_>,
+    ) -> Option<(Placement, f64)> {
+        let n = graph.vertex_count();
+        let m = evaluator.machine.sockets();
+        let mut best: Option<(Placement, f64)> = None;
+        let mut assignment = vec![0usize; n];
+        loop {
+            let mut p = Placement::empty(n);
+            for (i, &s) in assignment.iter().enumerate() {
+                p.place(VertexId(i), SocketId(s));
+            }
+            let eval = evaluator.evaluate(graph, &p);
+            if ConstraintReport::check(evaluator.machine, graph, &p, &eval).ok() {
+                let better = best.as_ref().map(|&(_, t)| eval.throughput > t).unwrap_or(true);
+                if better {
+                    best = Some((p, eval.throughput));
+                }
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return best;
+                }
+                assignment[i] += 1;
+                if assignment[i] < m {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instance() {
+        let m = machine(2, 2);
+        let t = pipeline(2); // spout, b0, b1, sink = 4 vertices, 2^4 = 16 plans
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let bb = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        let bf = brute_force(&ev, &g).expect("plan");
+        assert!(
+            (bb.throughput - bf.1).abs() / bf.1 < 1e-9,
+            "B&B {} vs brute force {}",
+            bb.throughput,
+            bf.1
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_without_best_fit() {
+        let m = machine(3, 2);
+        let t = pipeline(1);
+        let g = ExecutionGraph::new(&t, &[1, 2, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let options = PlacementOptions {
+            best_fit: false,
+            ..PlacementOptions::default()
+        };
+        let bb = optimize_placement(&ev, &g, &options).expect("plan");
+        let bf = brute_force(&ev, &g).expect("plan");
+        assert!((bb.throughput - bf.1).abs() / bf.1 < 1e-9);
+    }
+
+    #[test]
+    fn collocates_when_it_fits() {
+        // Plenty of cores on one socket: optimal plan is fully collocated
+        // (no fetch cost at all).
+        let m = machine(2, 8);
+        let t = pipeline(2);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let r = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        let sockets = r.placement.sockets_used();
+        assert_eq!(sockets.len(), 1, "expected full collocation: {:?}", sockets);
+        assert!(r.evaluation.vertices.iter().all(|v| v.tf_ns == 0.0));
+    }
+
+    #[test]
+    fn spreads_when_socket_too_small() {
+        // 2 cores per socket force the 4 replicas across >= 2 sockets.
+        let m = machine(4, 2);
+        let t = pipeline(2);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let r = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        assert!(r.placement.is_complete());
+        assert!(r.placement.sockets_used().len() >= 2);
+        // Feasible w.r.t. cores.
+        for s in m.socket_ids() {
+            let used: usize = r
+                .placement
+                .vertices_on(s)
+                .map(|v| g.vertex(v).multiplicity)
+                .sum();
+            assert!(used <= 2);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_replicas_exceed_cores() {
+        let m = machine(2, 1);
+        let t = pipeline(2); // 4 replicas > 2 cores total
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        assert!(optimize_placement(&ev, &g, &PlacementOptions::default()).is_none());
+    }
+
+    #[test]
+    fn respects_node_budget() {
+        let m = machine(4, 4);
+        let t = pipeline(3);
+        let g = ExecutionGraph::new(&t, &[2, 2, 2, 2, 2], 1);
+        let ev = Evaluator::saturated(&m);
+        let options = PlacementOptions {
+            max_nodes: 50,
+            ..PlacementOptions::default()
+        };
+        let r = optimize_placement(&ev, &g, &options);
+        if let Some(r) = r {
+            assert!(r.explored <= 51);
+        }
+    }
+
+    #[test]
+    fn never_remote_policy_collapses_distance() {
+        // Under RLAS_fix(U) any feasible spread looks equally good to the
+        // optimizer; the plan is still valid, just potentially bad when
+        // re-evaluated with the true model.
+        let m = machine(2, 2);
+        let t = pipeline(2);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m).with_policy(TfPolicy::NeverRemote);
+        let r = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        assert!(r.placement.is_complete());
+    }
+
+    #[test]
+    fn finite_ingress_plan_found() {
+        let m = machine(2, 4);
+        let t = pipeline(1);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m).with_ingress(Ingress::Rate(1e5));
+        let r = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        assert!((r.throughput - 1e5).abs() < 1.0);
+    }
+
+    #[test]
+    fn seeded_search_not_worse() {
+        let m = machine(4, 2);
+        let t = pipeline(2);
+        let g = ExecutionGraph::new(&t, &[1, 2, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let plain =
+            optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        let seeded = optimize_placement(
+            &ev,
+            &g,
+            &PlacementOptions {
+                seed_first_fit: true,
+                ..PlacementOptions::default()
+            },
+        )
+        .expect("plan");
+        assert!((seeded.throughput - plain.throughput).abs() / plain.throughput < 1e-9);
+    }
+}

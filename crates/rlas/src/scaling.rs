@@ -1,0 +1,551 @@
+//! Topologically sorted iterative scaling (Algorithm 1 of the paper).
+//!
+//! RLAS optimizes replication and placement *together*: placement determines
+//! each operator's capacity (via NUMA distances), and capacities determine
+//! which operators are over-supplied bottlenecks whose replication must
+//! grow. The loop:
+//!
+//! 1. Start with one replica per operator (Figure 4, label (0)), or a caller
+//!    supplied warm start (the Appendix D speed-up).
+//! 2. Optimize placement with the B&B search; remember the plan if it beats
+//!    the best one seen.
+//! 3. Walk operators in **reverse topological order** (sink towards spout);
+//!    grow the first bottleneck's replication by its over-supply ratio
+//!    `ceil(ri / ro)`.
+//! 4. Repeat until placement fails (machine full), nothing is over-supplied,
+//!    or the replica budget is exhausted.
+
+use crate::placement::{optimize_placement, PlacementOptions, PlacementResult};
+use brisk_dag::{ExecutionGraph, ExecutionPlan, LogicalTopology};
+use brisk_model::{Evaluation, Evaluator, TfPolicy};
+use brisk_numa::Machine;
+
+/// Options for the full RLAS optimization.
+#[derive(Debug, Clone)]
+pub struct ScalingOptions {
+    /// Replicas fused per scheduling unit (heuristic 3). The paper uses 5
+    /// as a good throughput/runtime trade-off (Table 7).
+    pub compress_ratio: usize,
+    /// Replica budget; defaults to the machine's total core count.
+    pub max_total_replicas: Option<usize>,
+    /// Maximum scaling iterations (safety bound; the replica budget normally
+    /// terminates the loop first).
+    pub max_iterations: usize,
+    /// Warm-start replication per operator (Appendix D: "start from a
+    /// reasonably large DAG configuration").
+    pub initial_replication: Option<Vec<usize>>,
+    /// Final refinement: up to this many single-replica moves from
+    /// low-pressure operators towards the binding one (0 disables).
+    pub hill_climb_steps: usize,
+    /// B&B options forwarded to every placement call.
+    pub placement: PlacementOptions,
+}
+
+impl Default for ScalingOptions {
+    fn default() -> Self {
+        ScalingOptions {
+            compress_ratio: 5,
+            max_total_replicas: None,
+            max_iterations: 256,
+            initial_replication: None,
+            hill_climb_steps: 4,
+            placement: PlacementOptions::default(),
+        }
+    }
+}
+
+/// A fully optimized execution plan with its model evaluation.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// Replication + placement.
+    pub plan: ExecutionPlan,
+    /// Modelled throughput in tuples/sec under the *relative-location*
+    /// policy (even for the `RLAS_fix` ablations, so numbers are
+    /// comparable).
+    pub throughput: f64,
+    /// Evaluation backing `throughput`.
+    pub evaluation: Evaluation,
+    /// Scaling iterations executed.
+    pub iterations: usize,
+    /// Total B&B nodes explored across iterations.
+    pub explored_nodes: usize,
+}
+
+impl OptimizedPlan {
+    /// Rebuild the execution graph this plan was optimized over.
+    pub fn graph<'t>(&self, topology: &'t LogicalTopology) -> ExecutionGraph<'t> {
+        ExecutionGraph::new(topology, &self.plan.replication, self.plan.compress_ratio)
+    }
+}
+
+/// Run full RLAS (scaling + placement) for `topology` on `machine`.
+pub fn optimize(
+    machine: &Machine,
+    topology: &LogicalTopology,
+    options: &ScalingOptions,
+) -> Option<OptimizedPlan> {
+    optimize_with_policy(machine, topology, TfPolicy::RelativeLocation, options)
+}
+
+/// Run RLAS but let the optimizer believe a fixed fetch-cost policy
+/// (`RLAS_fix(L)` = [`TfPolicy::AlwaysRemote`], `RLAS_fix(U)` =
+/// [`TfPolicy::NeverRemote`]); the returned plan is **re-evaluated** under
+/// the true relative-location model so ablations are compared on actual
+/// predicted performance (Figure 12's methodology).
+pub fn optimize_with_policy(
+    machine: &Machine,
+    topology: &LogicalTopology,
+    policy: TfPolicy,
+    options: &ScalingOptions,
+) -> Option<OptimizedPlan> {
+    let evaluator = Evaluator::saturated(machine).with_policy(policy);
+    let truth = Evaluator::saturated(machine);
+    let budget = options
+        .max_total_replicas
+        .unwrap_or_else(|| machine.total_cores());
+
+    let mut replication = options
+        .initial_replication
+        .clone()
+        .unwrap_or_else(|| vec![1; topology.operator_count()]);
+    assert_eq!(replication.len(), topology.operator_count());
+
+    let mut best: Option<OptimizedPlan> = None;
+    let mut explored_total = 0usize;
+
+    for iteration in 0..options.max_iterations {
+        let graph = ExecutionGraph::new(topology, &replication, options.compress_ratio);
+        let Some(result) = optimize_placement(&evaluator, &graph, &options.placement) else {
+            break; // no valid placement: machine is full
+        };
+        explored_total += result.explored;
+
+        // Score the plan under the true model (identical when the policy is
+        // already RelativeLocation).
+        let (true_throughput, true_eval) = if policy == TfPolicy::RelativeLocation {
+            (result.throughput, result.evaluation.clone())
+        } else {
+            let eval = truth.evaluate(&graph, &result.placement);
+            (eval.throughput, eval)
+        };
+
+        let better = best
+            .as_ref()
+            .map(|b| true_throughput > b.throughput)
+            .unwrap_or(true);
+        if better {
+            best = Some(OptimizedPlan {
+                plan: ExecutionPlan {
+                    replication: replication.clone(),
+                    compress_ratio: options.compress_ratio,
+                    placement: result.placement.clone(),
+                },
+                throughput: true_throughput,
+                evaluation: true_eval,
+                iterations: iteration + 1,
+                explored_nodes: explored_total,
+            });
+        }
+
+        match next_replication(topology, &graph, &result, &replication, budget) {
+            Some(next) => replication = next,
+            None => break, // no bottleneck to scale or budget exhausted
+        }
+    }
+
+    // Final candidate: a rate-balanced replication (budget split across
+    // operators proportionally to modelled load). The iterative greedy can
+    // paint itself into a corner on tight budgets; this candidate is cheap
+    // insurance and the better of the two plans wins.
+    if let Some(balanced) = balanced_replication(topology, budget) {
+        try_candidate(
+            topology,
+            balanced,
+            options,
+            &evaluator,
+            &truth,
+            policy,
+            &options.placement,
+            &mut best,
+            &mut explored_total,
+        );
+    }
+
+    // Bounded hill-climb: shift single replicas from the least pressured
+    // operators towards the binding one. Catches mixes the ceil-ratio
+    // growth steps jump over.
+    let reduced = PlacementOptions {
+        max_nodes: (options.placement.max_nodes / 6).max(500),
+        ..options.placement
+    };
+    for _ in 0..options.hill_climb_steps {
+        let Some(current) = best.clone() else { break };
+        let pressure = &current.evaluation.operator_pressure;
+        let mut by_pressure: Vec<usize> = (0..topology.operator_count()).collect();
+        by_pressure.sort_by(|&a, &b| {
+            pressure[b]
+                .partial_cmp(&pressure[a])
+                .expect("finite pressure")
+        });
+        let mut improved = false;
+        'moves: for &dst in by_pressure.iter().take(2) {
+            for &src in by_pressure.iter().rev() {
+                if src == dst || current.plan.replication[src] <= 1 {
+                    continue;
+                }
+                let mut candidate = current.plan.replication.clone();
+                candidate[src] -= 1;
+                candidate[dst] += 1;
+                if try_candidate(
+                    topology,
+                    candidate,
+                    options,
+                    &evaluator,
+                    &truth,
+                    policy,
+                    &reduced,
+                    &mut best,
+                    &mut explored_total,
+                ) {
+                    improved = true;
+                    break 'moves;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    best
+}
+
+/// Evaluate one replication candidate end to end; adopt it when it beats the
+/// incumbent. Returns whether it was adopted.
+#[allow(clippy::too_many_arguments)]
+fn try_candidate(
+    topology: &LogicalTopology,
+    replication: Vec<usize>,
+    options: &ScalingOptions,
+    evaluator: &Evaluator<'_>,
+    truth: &Evaluator<'_>,
+    policy: TfPolicy,
+    placement_options: &PlacementOptions,
+    best: &mut Option<OptimizedPlan>,
+    explored_total: &mut usize,
+) -> bool {
+    let graph = ExecutionGraph::new(topology, &replication, options.compress_ratio);
+    let Some(result) = optimize_placement(evaluator, &graph, placement_options) else {
+        return false;
+    };
+    *explored_total += result.explored;
+    let (true_throughput, true_eval) = if policy == TfPolicy::RelativeLocation {
+        (result.throughput, result.evaluation.clone())
+    } else {
+        let eval = truth.evaluate(&graph, &result.placement);
+        (eval.throughput, eval)
+    };
+    let better = best
+        .as_ref()
+        .map(|b| true_throughput > b.throughput)
+        .unwrap_or(true);
+    if better {
+        let iterations = best.as_ref().map(|b| b.iterations).unwrap_or(0) + 1;
+        *best = Some(OptimizedPlan {
+            plan: ExecutionPlan {
+                replication,
+                compress_ratio: options.compress_ratio,
+                placement: result.placement,
+            },
+            throughput: true_throughput,
+            evaluation: true_eval,
+            iterations,
+            explored_nodes: *explored_total,
+        });
+    }
+    better
+}
+
+/// Budget split across operators proportionally to `relative input rate ×
+/// local per-tuple cycles` (selectivities propagated from a unit spout
+/// rate), at least one replica each. `None` when the budget cannot cover
+/// one replica per operator.
+pub fn balanced_replication(topology: &LogicalTopology, budget: usize) -> Option<Vec<usize>> {
+    let n = topology.operator_count();
+    if budget < n {
+        return None;
+    }
+    // Propagate relative rates through selectivities.
+    let mut rate = vec![0.0f64; n];
+    for &op in topology.topological_order() {
+        let spec = topology.operator(op);
+        if topology.incoming_edges(op).next().is_none() {
+            rate[op.0] = 1.0;
+        }
+        for (_, edge) in topology.outgoing_edge_refs(op) {
+            let sel = spec.selectivity(None, &edge.stream);
+            rate[edge.to.0] += rate[op.0] * sel;
+        }
+    }
+    let weight: Vec<f64> = topology
+        .operators()
+        .map(|(id, spec)| (rate[id.0] * spec.cost.local_cycles()).max(1e-9))
+        .collect();
+    let total_weight: f64 = weight.iter().sum();
+    let mut replication = vec![1usize; n];
+    let extra = budget - n;
+    let mut assigned = 0usize;
+    for i in 0..n {
+        let share = (extra as f64 * weight[i] / total_weight).floor() as usize;
+        replication[i] += share;
+        assigned += share;
+    }
+    // Hand leftovers to the heaviest operators.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| weight[b].partial_cmp(&weight[a]).expect("finite weights"));
+    let mut i = 0;
+    while assigned < extra {
+        replication[order[i % n]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    Some(replication)
+}
+
+/// One scaling step: find the bottleneck operator closest to the sinks and
+/// grow its replication by `ceil(ri / ro)`.
+fn next_replication(
+    topology: &LogicalTopology,
+    graph: &ExecutionGraph<'_>,
+    result: &PlacementResult,
+    replication: &[usize],
+    budget: usize,
+) -> Option<Vec<usize>> {
+    let total: usize = replication.iter().sum();
+    if total >= budget {
+        return None;
+    }
+    let bottlenecks = result.evaluation.bottleneck_operators(graph);
+
+    // Reverse topological order: scale from sink towards spout.
+    for &op in topology.topological_order().iter().rev() {
+        let Some(&(_, ratio)) = bottlenecks.iter().find(|&&(o, _)| o == op.0) else {
+            continue;
+        };
+        let current = replication[op.0];
+        let target = (current as f64 * ratio).ceil() as usize;
+        let grown = target.max(current + 1);
+        // Never hand one operator more than half the remaining budget in a
+        // single step: the greedy ceil(ri/ro) growth otherwise exhausts the
+        // machine on the first bottleneck and starves the ones behind it.
+        let step_cap = (budget - total).div_ceil(2);
+        let capped = grown.min(current + step_cap);
+        if capped <= current {
+            continue;
+        }
+        let mut next = replication.to_vec();
+        next[op.0] = capped;
+        return Some(next);
+    }
+
+    // No operator is over-supplied. Under the saturated-ingress regime the
+    // external rate always exceeds spout capacity (back-pressure is what
+    // throttles it, Section 6.1), so the spout itself is the remaining
+    // bottleneck: grow it geometrically while budget remains (the best plan
+    // seen so far is kept, so overshooting is harmless).
+    for &op in topology.topological_order() {
+        if topology.operator(op).kind == brisk_dag::OperatorKind::Spout {
+            let current = replication[op.0];
+            let step = (current / 2).max(1).min(budget - total);
+            if step == 0 {
+                continue;
+            }
+            let mut next = replication.to_vec();
+            next[op.0] = current + step;
+            return Some(next);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_dag::{CostProfile, TopologyBuilder};
+    use brisk_numa::MachineBuilder;
+
+    fn machine(sockets: usize, cores: usize) -> Machine {
+        MachineBuilder::new("scale")
+            .sockets(sockets)
+            .tray_size(4)
+            .cores_per_socket(cores)
+            .clock_ghz(1.0)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(300.0)
+            .max_hop_latency_ns(500.0)
+            .local_bandwidth_gbps(50.0)
+            .one_hop_bandwidth_gbps(10.0)
+            .max_hop_bandwidth_gbps(5.0)
+            .build()
+    }
+
+    /// Fast spout, slow bolt: the bolt is the bottleneck until it gets
+    /// several replicas.
+    fn unbalanced() -> LogicalTopology {
+        let mut b = TopologyBuilder::new("u");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 16.0, 64.0));
+        let x = b.add_bolt("bolt", CostProfile::new(400.0, 0.0, 16.0, 64.0));
+        let k = b.add_sink("sink", CostProfile::new(50.0, 0.0, 16.0, 64.0));
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn scaling_grows_bottleneck_operator() {
+        let m = machine(2, 8);
+        let t = unbalanced();
+        let opts = ScalingOptions {
+            compress_ratio: 1,
+            ..ScalingOptions::default()
+        };
+        let plan = optimize(&m, &t, &opts).expect("plan");
+        let bolt = t.find("bolt").expect("exists");
+        let spout = t.find("spout").expect("exists");
+        assert!(
+            plan.plan.replication[bolt.0] > plan.plan.replication[spout.0],
+            "bolt ({}x) should out-replicate spout ({}x)",
+            plan.plan.replication[bolt.0],
+            plan.plan.replication[spout.0]
+        );
+        // The bolt needs ~4 replicas per spout replica.
+        assert!(plan.plan.replication[bolt.0] >= 3);
+    }
+
+    #[test]
+    fn scaled_plan_beats_singleton_plan() {
+        let m = machine(2, 8);
+        let t = unbalanced();
+        let opts = ScalingOptions {
+            compress_ratio: 1,
+            ..ScalingOptions::default()
+        };
+        let scaled = optimize(&m, &t, &opts).expect("plan");
+        let singleton = optimize(
+            &m,
+            &t,
+            &ScalingOptions {
+                compress_ratio: 1,
+                max_total_replicas: Some(3), // pin to one replica each
+                ..ScalingOptions::default()
+            },
+        )
+        .expect("plan");
+        assert!(scaled.throughput > singleton.throughput * 1.5);
+    }
+
+    #[test]
+    fn replica_budget_respected() {
+        let m = machine(2, 4); // 8 cores
+        let t = unbalanced();
+        let plan = optimize(
+            &m,
+            &t,
+            &ScalingOptions {
+                compress_ratio: 1,
+                ..ScalingOptions::default()
+            },
+        )
+        .expect("plan");
+        assert!(plan.plan.total_replicas() <= m.total_cores());
+    }
+
+    #[test]
+    fn explicit_budget_respected() {
+        let m = machine(2, 8);
+        let t = unbalanced();
+        let plan = optimize(
+            &m,
+            &t,
+            &ScalingOptions {
+                compress_ratio: 1,
+                max_total_replicas: Some(5),
+                ..ScalingOptions::default()
+            },
+        )
+        .expect("plan");
+        assert!(plan.plan.total_replicas() <= 5);
+    }
+
+    #[test]
+    fn warm_start_converges_to_similar_plan() {
+        let m = machine(2, 8);
+        let t = unbalanced();
+        let cold = optimize(
+            &m,
+            &t,
+            &ScalingOptions {
+                compress_ratio: 1,
+                ..ScalingOptions::default()
+            },
+        )
+        .expect("plan");
+        let warm = optimize(
+            &m,
+            &t,
+            &ScalingOptions {
+                compress_ratio: 1,
+                initial_replication: Some(vec![1, 3, 1]),
+                ..ScalingOptions::default()
+            },
+        )
+        .expect("plan");
+        assert!(warm.iterations <= cold.iterations);
+        assert!(warm.throughput >= cold.throughput * 0.9);
+    }
+
+    #[test]
+    fn fix_u_ablation_not_better_than_rlas() {
+        // Optimizing while ignoring RMA can only tie or lose once the plan
+        // is scored with the real model.
+        let m = machine(4, 2);
+        let t = unbalanced();
+        let opts = ScalingOptions {
+            compress_ratio: 1,
+            ..ScalingOptions::default()
+        };
+        let rlas = optimize(&m, &t, &opts).expect("plan");
+        let fix_u =
+            optimize_with_policy(&m, &t, TfPolicy::NeverRemote, &opts).expect("plan");
+        assert!(fix_u.throughput <= rlas.throughput * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn compression_reduces_vertex_count() {
+        let m = machine(2, 6);
+        let t = unbalanced();
+        let fine = optimize(
+            &m,
+            &t,
+            &ScalingOptions {
+                compress_ratio: 1,
+                ..ScalingOptions::default()
+            },
+        )
+        .expect("plan");
+        let coarse = optimize(
+            &m,
+            &t,
+            &ScalingOptions {
+                compress_ratio: 4,
+                ..ScalingOptions::default()
+            },
+        )
+        .expect("plan");
+        let fine_graph = fine.graph(&t);
+        let coarse_graph = coarse.graph(&t);
+        if coarse.plan.total_replicas() >= fine.plan.total_replicas() {
+            assert!(coarse_graph.vertex_count() <= fine_graph.vertex_count());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Competing placement strategies (Table 6 of the paper).
+//!
+//! All three place a *fixed* replication configuration — the Figure 13
+//! experiment reuses the RLAS-optimized replication and varies only the
+//! placement policy:
+//!
+//! * **OS** — "the placement is left to the operating system": threads
+//!   float, so operators land on sockets with no regard for data locality.
+//!   Modelled as a seeded uniform-random assignment (capacity-aware, like
+//!   the Linux scheduler's load balancing, but locality-blind).
+//! * **FF** — first-fit after a topological sort, starting from the spout;
+//!   a minimizing-traffic greedy (neighbours tend to collocate until a
+//!   socket fills). When no socket can take a vertex the constraints are
+//!   gradually relaxed — the paper notes this oversubscribes a few sockets.
+//! * **RR** — round-robin across sockets: balances load but ignores remote
+//!   memory cost entirely.
+
+use brisk_dag::{ExecutionGraph, Placement};
+use brisk_numa::{Machine, SocketId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The heuristic placement policies the paper compares against RLAS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementStrategy {
+    /// Unmanaged (operating-system default) placement.
+    Os {
+        /// RNG seed for the scheduler's arbitrary choices.
+        seed: u64,
+    },
+    /// Topologically sorted first-fit.
+    FirstFit,
+    /// Round-robin over sockets.
+    RoundRobin,
+}
+
+impl std::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementStrategy::Os { .. } => write!(f, "OS"),
+            PlacementStrategy::FirstFit => write!(f, "FF"),
+            PlacementStrategy::RoundRobin => write!(f, "RR"),
+        }
+    }
+}
+
+/// Place every vertex of `graph` on `machine` using `strategy`.
+///
+/// Unlike RLAS, these strategies always produce a complete placement: when
+/// the core-capacity constraint cannot be met it is relaxed (the model then
+/// charges oversubscription via time-sharing).
+pub fn place_with_strategy(
+    graph: &ExecutionGraph<'_>,
+    machine: &Machine,
+    strategy: PlacementStrategy,
+) -> Placement {
+    match strategy {
+        PlacementStrategy::Os { seed } => os_random(graph, machine, seed),
+        PlacementStrategy::FirstFit => {
+            first_fit(graph, machine).unwrap_or_else(|| first_fit_relaxed(graph, machine))
+        }
+        PlacementStrategy::RoundRobin => round_robin(graph, machine),
+    }
+}
+
+fn used_cores(graph: &ExecutionGraph<'_>, placement: &Placement, socket: SocketId) -> usize {
+    placement
+        .vertices_on(socket)
+        .map(|v| graph.vertex(v).multiplicity)
+        .sum()
+}
+
+/// Strict first-fit: `None` when some vertex fits on no socket.
+pub(crate) fn first_fit(graph: &ExecutionGraph<'_>, machine: &Machine) -> Option<Placement> {
+    let mut placement = Placement::empty(graph.vertex_count());
+    for &v in graph.topological_order() {
+        let need = graph.vertex(v).multiplicity;
+        let slot = machine
+            .socket_ids()
+            .find(|&s| used_cores(graph, &placement, s) + need <= machine.cores_per_socket())?;
+        placement.place(v, slot);
+    }
+    Some(placement)
+}
+
+/// First-fit with gradually relaxed capacity: each pass allows one more
+/// replica per core until everything fits ("it has to relax the resource
+/// constraints and repack the whole topology").
+fn first_fit_relaxed(graph: &ExecutionGraph<'_>, machine: &Machine) -> Placement {
+    for slack in 1..=graph.total_replicas().max(1) {
+        let cap = machine.cores_per_socket() * (1 + slack);
+        let mut placement = Placement::empty(graph.vertex_count());
+        let mut ok = true;
+        for &v in graph.topological_order() {
+            let need = graph.vertex(v).multiplicity;
+            match machine
+                .socket_ids()
+                .find(|&s| used_cores(graph, &placement, s) + need <= cap)
+            {
+                Some(s) => placement.place(v, s),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return placement;
+        }
+    }
+    // Everything on socket 0 as the final fallback.
+    Placement::all_on(graph.vertex_count(), SocketId(0))
+}
+
+fn round_robin(graph: &ExecutionGraph<'_>, machine: &Machine) -> Placement {
+    let mut placement = Placement::empty(graph.vertex_count());
+    let m = machine.sockets();
+    for (i, &v) in graph.topological_order().iter().enumerate() {
+        placement.place(v, SocketId(i % m));
+    }
+    placement
+}
+
+fn os_random(graph: &ExecutionGraph<'_>, machine: &Machine, seed: u64) -> Placement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut placement = Placement::empty(graph.vertex_count());
+    for (v, vertex) in graph.vertices() {
+        // The kernel balances run-queue length, not memory locality: prefer
+        // sockets with room, chosen at random; oversubscribe at random when
+        // nothing has room.
+        let need = vertex.multiplicity;
+        let with_room: Vec<SocketId> = machine
+            .socket_ids()
+            .filter(|&s| used_cores(graph, &placement, s) + need <= machine.cores_per_socket())
+            .collect();
+        let socket = if with_room.is_empty() {
+            SocketId(rng.gen_range(0..machine.sockets()))
+        } else {
+            with_room[rng.gen_range(0..with_room.len())]
+        };
+        placement.place(v, socket);
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_dag::{CostProfile, TopologyBuilder};
+    use brisk_numa::MachineBuilder;
+
+    fn machine() -> Machine {
+        MachineBuilder::new("strat")
+            .sockets(4)
+            .cores_per_socket(2)
+            .clock_ghz(1.0)
+            .build()
+    }
+
+    fn topology(bolts: usize) -> brisk_dag::LogicalTopology {
+        let mut b = TopologyBuilder::new("t");
+        let mut prev = b.add_spout("s", CostProfile::trivial());
+        for i in 0..bolts {
+            let x = b.add_bolt(format!("b{i}"), CostProfile::trivial());
+            b.connect_shuffle(prev, x);
+            prev = x;
+        }
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(prev, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn first_fit_packs_in_order() {
+        let m = machine();
+        let t = topology(2);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let p = place_with_strategy(&g, &m, PlacementStrategy::FirstFit);
+        assert!(p.is_complete());
+        // 4 replicas on 2-core sockets: first two on S0, next two on S1.
+        assert_eq!(used_cores(&g, &p, SocketId(0)), 2);
+        assert_eq!(used_cores(&g, &p, SocketId(1)), 2);
+        assert_eq!(used_cores(&g, &p, SocketId(2)), 0);
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let m = machine();
+        let t = topology(2);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let p = place_with_strategy(&g, &m, PlacementStrategy::RoundRobin);
+        for s in m.socket_ids() {
+            assert_eq!(used_cores(&g, &p, s), 1);
+        }
+    }
+
+    #[test]
+    fn os_placement_is_deterministic_per_seed() {
+        let m = machine();
+        let t = topology(3);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1, 1], 1);
+        let a = place_with_strategy(&g, &m, PlacementStrategy::Os { seed: 9 });
+        let b = place_with_strategy(&g, &m, PlacementStrategy::Os { seed: 9 });
+        assert_eq!(a, b);
+        let c = place_with_strategy(&g, &m, PlacementStrategy::Os { seed: 10 });
+        // Almost surely different somewhere (5 vertices, 4 sockets).
+        let _ = c;
+    }
+
+    #[test]
+    fn relaxation_handles_oversized_graphs() {
+        let m = MachineBuilder::new("tiny")
+            .sockets(2)
+            .cores_per_socket(1)
+            .clock_ghz(1.0)
+            .build();
+        let t = topology(4); // 6 replicas, 2 cores
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1, 1, 1], 1);
+        for strat in [
+            PlacementStrategy::FirstFit,
+            PlacementStrategy::RoundRobin,
+            PlacementStrategy::Os { seed: 1 },
+        ] {
+            let p = place_with_strategy(&g, &m, strat);
+            assert!(p.is_complete(), "{strat} must always place everything");
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(format!("{}", PlacementStrategy::FirstFit), "FF");
+        assert_eq!(format!("{}", PlacementStrategy::RoundRobin), "RR");
+        assert_eq!(format!("{}", PlacementStrategy::Os { seed: 0 }), "OS");
+    }
+}

@@ -1,0 +1,648 @@
+//! The threaded execution engine.
+//!
+//! One OS thread per operator replica, wired by bounded queues carrying
+//! jumbo tuples. Shutdown cascades topologically: the run deadline stops the
+//! spouts; a bolt exits once every producer operator has finished *and* its
+//! input queues are drained, so no tuple in flight is lost.
+//!
+//! On a development host there is no 8-socket NUMA machine to pin against,
+//! so the engine keeps placement as bookkeeping and can optionally *inject*
+//! the remote-fetch penalty of a virtual machine ([`NumaPenalty`]): when a
+//! consumer pops a jumbo produced on a different (virtual) socket it spins
+//! for `tuples × ceil(N/S) × L(i,j)` nanoseconds — the exact Formula 2 cost
+//! the real hardware would charge. This keeps execution-plan shapes
+//! meaningful end to end.
+
+use crate::operator::{
+    AppRuntime, BoltContext, Collector, EngineClock, OperatorRuntime, OutputEdge, SpoutStatus,
+};
+use crate::partition::Partitioner;
+use crate::queue::BoundedQueue;
+use crate::tuple::JumboTuple;
+use brisk_dag::{ExecutionGraph, ExecutionPlan, OperatorKind, Partitioning};
+use brisk_metrics::Histogram;
+use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Injected NUMA fetch costs for a virtual machine.
+#[derive(Debug, Clone)]
+pub struct NumaPenalty {
+    /// The virtual machine whose latency matrix is charged.
+    pub machine: Machine,
+    /// Virtual socket of every global replica index.
+    pub replica_socket: Vec<SocketId>,
+    /// Scale factor on the injected spin (1.0 = charge full Formula 2 cost).
+    pub scale: f64,
+}
+
+impl NumaPenalty {
+    fn fetch_ns(&self, producer: usize, consumer: usize, bytes: f64, tuples: usize) -> u64 {
+        let (i, j) = (self.replica_socket[producer], self.replica_socket[consumer]);
+        if i == j {
+            return 0;
+        }
+        let lines = (bytes / CACHE_LINE_BYTES as f64).ceil().max(1.0);
+        (lines * self.machine.latency_ns(i, j) * self.scale * tuples as f64) as u64
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Queue capacity in jumbo tuples.
+    pub queue_capacity: usize,
+    /// Tuples batched per jumbo tuple (1 disables the jumbo optimization).
+    pub jumbo_size: usize,
+    /// Idle executor back-off.
+    pub poll_backoff: Duration,
+    /// Emit-side flush cadence, in operator invocations.
+    pub flush_every: u32,
+    /// Optional virtual-NUMA fetch penalty.
+    pub numa_penalty: Option<NumaPenalty>,
+    /// Artificial extra cost per consumed tuple, in nanoseconds — lets tests
+    /// and examples emulate heavier (distributed-style) engines.
+    pub extra_cost_ns_per_tuple: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_capacity: 64,
+            jumbo_size: 64,
+            poll_backoff: Duration::from_micros(100),
+            flush_every: 256,
+            numa_penalty: None,
+            extra_cost_ns_per_tuple: 0,
+        }
+    }
+}
+
+/// Aggregated results of one engine run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Wall-clock run time (including drain).
+    pub elapsed: Duration,
+    /// Tuples received by sink operators.
+    pub sink_events: u64,
+    /// `sink_events / elapsed` in events per second.
+    pub throughput: f64,
+    /// End-to-end latency (spout emit → sink receive), nanoseconds.
+    pub latency_ns: Histogram,
+    /// Tuples processed per operator (input side; spouts count emissions).
+    pub processed: Vec<u64>,
+}
+
+impl RunReport {
+    /// Throughput in the paper's unit (k events/s).
+    pub fn k_events_per_sec(&self) -> f64 {
+        self.throughput / 1e3
+    }
+}
+
+struct SinkMetrics {
+    events: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+struct InputPort {
+    queue: Arc<BoundedQueue<JumboTuple>>,
+    producer_replica: usize,
+    producer_bytes: f64,
+}
+
+/// The wired, ready-to-run engine.
+pub struct Engine {
+    app: Arc<AppRuntime>,
+    replication: Vec<usize>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Build an engine running `replication[op]` replicas of each operator.
+    pub fn new(app: AppRuntime, replication: Vec<usize>, config: EngineConfig) -> Result<Engine, String> {
+        app.validate()?;
+        if replication.len() != app.topology.operator_count() {
+            return Err("replication must cover every operator".into());
+        }
+        if replication.contains(&0) {
+            return Err("replication level must be at least 1".into());
+        }
+        let total: usize = replication.iter().sum();
+        if total > 512 {
+            return Err(format!("{total} replicas exceed the 512-thread safety cap"));
+        }
+        Ok(Engine {
+            app: Arc::new(app),
+            replication,
+            config,
+        })
+    }
+
+    /// Build an engine from an optimized [`ExecutionPlan`], charging the
+    /// plan's NUMA fetch costs against `machine`'s latency matrix.
+    pub fn with_plan(
+        app: AppRuntime,
+        plan: &ExecutionPlan,
+        machine: &Machine,
+        mut config: EngineConfig,
+    ) -> Result<Engine, String> {
+        let graph = ExecutionGraph::new(&app.topology, &plan.replication, plan.compress_ratio);
+        let mut replica_socket = vec![SocketId(0); plan.total_replicas()];
+        let mut base = 0usize;
+        for (op, _) in app.topology.operators() {
+            for &v in graph.vertices_of(op) {
+                let socket = plan.placement.socket_of(v).unwrap_or(SocketId(0));
+                for r in 0..graph.vertex(v).multiplicity {
+                    replica_socket[base + r] = socket;
+                }
+                base += graph.vertex(v).multiplicity;
+            }
+        }
+        config.numa_penalty = Some(NumaPenalty {
+            machine: machine.clone(),
+            replica_socket,
+            scale: 1.0,
+        });
+        Engine::new(app, plan.replication.clone(), config)
+    }
+
+    /// Total replica threads this engine will spawn.
+    pub fn total_replicas(&self) -> usize {
+        self.replication.iter().sum()
+    }
+
+    /// Run until `deadline` elapses, then drain and report.
+    pub fn run_for(&self, deadline: Duration) -> RunReport {
+        self.run_inner(StopCondition::After(deadline))
+    }
+
+    /// Run until the sinks have received at least `events` tuples (or
+    /// `timeout` elapses), then drain and report. Deterministic-ish runs for
+    /// tests.
+    pub fn run_until_events(&self, events: u64, timeout: Duration) -> RunReport {
+        self.run_inner(StopCondition::Events { events, timeout })
+    }
+
+    fn run_inner(&self, condition: StopCondition) -> RunReport {
+        let topology = &self.app.topology;
+        let n_ops = topology.operator_count();
+        let replica_base: Vec<usize> = {
+            let mut base = vec![0usize; n_ops];
+            let mut acc = 0;
+            for (i, b) in base.iter_mut().enumerate() {
+                *b = acc;
+                acc += self.replication[i];
+            }
+            base
+        };
+        let total_replicas: usize = self.replication.iter().sum();
+
+        // Queues per logical edge: [producer replica][consumer replica].
+        let mut inputs: Vec<Vec<InputPort>> = (0..total_replicas).map(|_| Vec::new()).collect();
+        let mut outputs: Vec<Vec<OutputEdge>> = (0..total_replicas).map(|_| Vec::new()).collect();
+        for (lei, edge) in topology.edges().iter().enumerate() {
+            let np = self.replication[edge.from.0];
+            let nc = match edge.partitioning {
+                Partitioning::Global => 1,
+                _ => self.replication[edge.to.0],
+            };
+            let producer_bytes = topology.operator(edge.from).cost.output_bytes;
+            for p in 0..np {
+                let pg = replica_base[edge.from.0] + p;
+                let mut queues = Vec::with_capacity(nc);
+                for c in 0..nc {
+                    let cg = replica_base[edge.to.0] + c;
+                    let q = Arc::new(BoundedQueue::new(self.config.queue_capacity));
+                    inputs[cg].push(InputPort {
+                        queue: Arc::clone(&q),
+                        producer_replica: pg,
+                        producer_bytes,
+                    });
+                    queues.push(q);
+                }
+                outputs[pg].push(OutputEdge {
+                    logical_edge: lei,
+                    stream: edge.stream.clone(),
+                    partitioner: Partitioner::new(edge.partitioning, nc),
+                    queues,
+                    buffers: (0..nc).map(|_| Vec::new()).collect(),
+                });
+            }
+        }
+
+        // Shared run state.
+        let clock = Arc::new(EngineClock::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let op_done: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n_ops).map(|_| AtomicBool::new(false)).collect());
+        let op_live: Arc<Vec<AtomicUsize>> = Arc::new(
+            self.replication
+                .iter()
+                .map(|&r| AtomicUsize::new(r))
+                .collect(),
+        );
+        let processed: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
+        let sink_metrics = Arc::new(SinkMetrics {
+            events: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::new()),
+        });
+
+        let started = Instant::now();
+        let mut handles = Vec::with_capacity(total_replicas);
+
+        // Spawn in reverse topological order so consumers are polling before
+        // producers start pushing (not required for correctness, helps
+        // startup latency).
+        let spawn_order: Vec<brisk_dag::OperatorId> =
+            topology.topological_order().iter().rev().copied().collect();
+        let mut outputs_by_replica: Vec<Option<Vec<OutputEdge>>> =
+            outputs.into_iter().map(Some).collect();
+        let mut inputs_by_replica: Vec<Option<Vec<InputPort>>> =
+            inputs.into_iter().map(Some).collect();
+
+        for op in spawn_order {
+            let spec = topology.operator(op);
+            for r in 0..self.replication[op.0] {
+                let global = replica_base[op.0] + r;
+                let collector = Collector::new(
+                    global,
+                    self.config.jumbo_size,
+                    outputs_by_replica[global].take().expect("outputs once"),
+                    Arc::clone(&clock),
+                );
+                let ports = inputs_by_replica[global].take().expect("inputs once");
+                let ctx = BoltContext {
+                    replica: r,
+                    replicas: self.replication[op.0],
+                };
+                let app = Arc::clone(&self.app);
+                let stop = Arc::clone(&stop);
+                let op_done = Arc::clone(&op_done);
+                let op_live = Arc::clone(&op_live);
+                let processed = Arc::clone(&processed);
+                let sink_metrics = Arc::clone(&sink_metrics);
+                let clock = Arc::clone(&clock);
+                let config = self.config.clone();
+                let kind = spec.kind;
+                let op_index = op.0;
+                let producer_ops: Vec<usize> =
+                    topology.producers_of(op).iter().map(|p| p.0).collect();
+                let name = format!("{}#{r}", spec.name);
+
+                let handle = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || {
+                        run_replica(ReplicaArgs {
+                            app,
+                            kind,
+                            op_index,
+                            ctx,
+                            collector,
+                            ports,
+                            producer_ops,
+                            stop,
+                            op_done,
+                            op_live,
+                            processed,
+                            sink_metrics,
+                            clock,
+                            config,
+                        });
+                    })
+                    .expect("thread spawn");
+                handles.push(handle);
+            }
+        }
+
+        // Drive the stop condition.
+        match condition {
+            StopCondition::After(d) => std::thread::sleep(d),
+            StopCondition::Events { events, timeout } => {
+                let deadline = Instant::now() + timeout;
+                while sink_metrics.events.load(Ordering::Relaxed) < events
+                    && Instant::now() < deadline
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().expect("replica thread panicked");
+        }
+
+        let elapsed = started.elapsed();
+        let sink_events = sink_metrics.events.load(Ordering::Relaxed);
+        let latency_ns = sink_metrics.latency.lock().clone();
+        RunReport {
+            elapsed,
+            sink_events,
+            throughput: sink_events as f64 / elapsed.as_secs_f64(),
+            latency_ns,
+            processed: processed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+enum StopCondition {
+    After(Duration),
+    Events { events: u64, timeout: Duration },
+}
+
+struct ReplicaArgs {
+    app: Arc<AppRuntime>,
+    kind: OperatorKind,
+    op_index: usize,
+    ctx: BoltContext,
+    collector: Collector,
+    ports: Vec<InputPort>,
+    producer_ops: Vec<usize>,
+    stop: Arc<AtomicBool>,
+    op_done: Arc<Vec<AtomicBool>>,
+    op_live: Arc<Vec<AtomicUsize>>,
+    processed: Arc<Vec<AtomicU64>>,
+    sink_metrics: Arc<SinkMetrics>,
+    clock: Arc<EngineClock>,
+    config: EngineConfig,
+}
+
+fn run_replica(mut args: ReplicaArgs) {
+    match args.kind {
+        OperatorKind::Spout => run_spout(&mut args),
+        OperatorKind::Bolt | OperatorKind::Sink => run_bolt(&mut args),
+    }
+    args.collector.flush_all();
+    // Last replica out marks the operator done, releasing consumers.
+    if args.op_live[args.op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
+        args.op_done[args.op_index].store(true, Ordering::Release);
+    }
+}
+
+fn run_spout(args: &mut ReplicaArgs) {
+    let op = brisk_dag::OperatorId(args.op_index);
+    let mut spout = match args.app.runtime(op) {
+        OperatorRuntime::Spout(f) => f(args.ctx),
+        _ => unreachable!("kind checked by validate()"),
+    };
+    let mut since_flush = 0u32;
+    loop {
+        if args.stop.load(Ordering::Relaxed) || args.collector.output_closed {
+            break;
+        }
+        match spout.next(&mut args.collector) {
+            SpoutStatus::Emitted(n) => {
+                args.processed[args.op_index].fetch_add(n as u64, Ordering::Relaxed);
+                since_flush += 1;
+                if since_flush >= args.config.flush_every {
+                    args.collector.flush_all();
+                    since_flush = 0;
+                }
+            }
+            SpoutStatus::Idle => {
+                args.collector.flush_all();
+                since_flush = 0;
+                std::thread::sleep(args.config.poll_backoff);
+            }
+            SpoutStatus::Exhausted => break,
+        }
+    }
+}
+
+fn run_bolt(args: &mut ReplicaArgs) {
+    let op = brisk_dag::OperatorId(args.op_index);
+    let mut bolt = match args.app.runtime(op) {
+        OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(args.ctx),
+        OperatorRuntime::Spout(_) => unreachable!("kind checked by validate()"),
+    };
+    let is_sink = args.kind == OperatorKind::Sink;
+    let n_ports = args.ports.len();
+    let mut cursor = 0usize;
+    let mut since_flush = 0u32;
+    loop {
+        let mut jumbo: Option<(usize, JumboTuple)> = None;
+        for off in 0..n_ports {
+            let idx = (cursor + off) % n_ports.max(1);
+            if let Some(j) = args.ports[idx].queue.try_pop() {
+                jumbo = Some((idx, j));
+                cursor = (idx + 1) % n_ports.max(1);
+                break;
+            }
+        }
+        match jumbo {
+            Some((port_idx, jumbo)) => {
+                let port = &args.ports[port_idx];
+                // Injected virtual-NUMA fetch penalty (Formula 2).
+                if let Some(p) = &args.config.numa_penalty {
+                    let ns = p.fetch_ns(
+                        port.producer_replica,
+                        args.collector_replica(),
+                        port.producer_bytes,
+                        jumbo.len(),
+                    );
+                    spin_ns(ns);
+                }
+                if args.config.extra_cost_ns_per_tuple > 0 {
+                    spin_ns(args.config.extra_cost_ns_per_tuple * jumbo.len() as u64);
+                }
+                if is_sink {
+                    let now = args.clock.now_ns();
+                    let mut latency = args.sink_metrics.latency.lock();
+                    for t in &jumbo.tuples {
+                        latency.record(now.saturating_sub(t.event_ns) as f64);
+                    }
+                    args.sink_metrics
+                        .events
+                        .fetch_add(jumbo.len() as u64, Ordering::Relaxed);
+                }
+                for t in &jumbo.tuples {
+                    bolt.execute(t, &mut args.collector);
+                }
+                args.processed[args.op_index].fetch_add(jumbo.len() as u64, Ordering::Relaxed);
+                since_flush += 1;
+                if since_flush >= args.config.flush_every {
+                    args.collector.flush_all();
+                    since_flush = 0;
+                }
+            }
+            None => {
+                args.collector.flush_all();
+                since_flush = 0;
+                let producers_done = args
+                    .producer_ops
+                    .iter()
+                    .all(|&p| args.op_done[p].load(Ordering::Acquire));
+                if producers_done {
+                    let drained = args.ports.iter().all(|p| p.queue.is_empty());
+                    if drained {
+                        break;
+                    }
+                } else {
+                    std::thread::sleep(args.config.poll_backoff);
+                }
+            }
+        }
+    }
+    bolt.finish(&mut args.collector);
+}
+
+impl ReplicaArgs {
+    fn collector_replica(&self) -> usize {
+        self.collector.replica()
+    }
+}
+
+/// Busy-wait for approximately `ns` nanoseconds.
+fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    let target = Duration::from_nanos(ns);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{DynBolt, DynSpout, SpoutStatus};
+    use crate::tuple::Tuple;
+    use brisk_dag::{CostProfile, TopologyBuilder, DEFAULT_STREAM};
+
+    struct CountingSpout {
+        next: u64,
+        limit: u64,
+    }
+    impl DynSpout for CountingSpout {
+        fn next(&mut self, c: &mut Collector) -> SpoutStatus {
+            if self.next >= self.limit {
+                return SpoutStatus::Exhausted;
+            }
+            let now = c.now_ns();
+            c.emit(DEFAULT_STREAM, Tuple::keyed(self.next, now, self.next));
+            self.next += 1;
+            SpoutStatus::Emitted(1)
+        }
+    }
+
+    struct DoublingBolt;
+    impl DynBolt for DoublingBolt {
+        fn execute(&mut self, t: &Tuple, c: &mut Collector) {
+            let v = *t.value::<u64>().expect("u64 payload");
+            c.emit(DEFAULT_STREAM, Tuple::keyed(v, t.event_ns, t.key));
+            c.emit(DEFAULT_STREAM, Tuple::keyed(v, t.event_ns, t.key));
+        }
+    }
+
+    struct NullSink;
+    impl DynBolt for NullSink {
+        fn execute(&mut self, _t: &Tuple, _c: &mut Collector) {}
+    }
+
+    fn app(limit: u64) -> AppRuntime {
+        let mut b = TopologyBuilder::new("t");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, k);
+        let t = b.build().expect("valid");
+        let (s, x, k) = (
+            t.find("s").expect("s"),
+            t.find("x").expect("x"),
+            t.find("k").expect("k"),
+        );
+        AppRuntime::new(t)
+            .spout(s, move |_| CountingSpout { next: 0, limit })
+            .bolt(x, |_| DoublingBolt)
+            .sink(k, |_| NullSink)
+    }
+
+    #[test]
+    fn pipeline_delivers_every_tuple_exactly_doubled() {
+        let engine = Engine::new(app(1000), vec![1, 2, 2], EngineConfig::default())
+            .expect("valid engine");
+        let report = engine.run_until_events(2000, Duration::from_secs(20));
+        assert_eq!(report.sink_events, 2000, "1000 inputs doubled");
+        assert_eq!(report.processed[0], 1000);
+        assert_eq!(report.processed[1], 1000);
+        assert_eq!(report.processed[2], 2000);
+    }
+
+    #[test]
+    fn latency_is_recorded() {
+        let engine =
+            Engine::new(app(500), vec![1, 1, 1], EngineConfig::default()).expect("valid engine");
+        let report = engine.run_until_events(1000, Duration::from_secs(20));
+        assert_eq!(report.latency_ns.count(), 1000);
+        assert!(report.latency_ns.percentile(99.0) > 0.0);
+    }
+
+    #[test]
+    fn small_jumbo_still_correct() {
+        let config = EngineConfig {
+            jumbo_size: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(app(300), vec![1, 1, 1], config).expect("valid engine");
+        let report = engine.run_until_events(600, Duration::from_secs(20));
+        assert_eq!(report.sink_events, 600);
+    }
+
+    #[test]
+    fn numa_penalty_slows_remote_plans() {
+        // Same app, same replication; one plan collocated, one split across
+        // virtual sockets with a large latency. The remote plan must be
+        // measurably slower.
+        let machine = brisk_numa::MachineBuilder::new("virt")
+            .sockets(2)
+            .cores_per_socket(8)
+            .clock_ghz(1.0)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(20000.0) // exaggerated for test signal
+            .max_hop_latency_ns(20000.0)
+            .build();
+        let mk_engine = |sockets: [usize; 3]| {
+            let penalty = NumaPenalty {
+                machine: machine.clone(),
+                replica_socket: sockets.iter().map(|&s| SocketId(s)).collect(),
+                scale: 1.0,
+            };
+            let config = EngineConfig {
+                numa_penalty: Some(penalty),
+                ..EngineConfig::default()
+            };
+            Engine::new(app(3000), vec![1, 1, 1], config).expect("valid engine")
+        };
+        let local = mk_engine([0, 0, 0]).run_until_events(6000, Duration::from_secs(30));
+        let remote = mk_engine([0, 1, 0]).run_until_events(6000, Duration::from_secs(30));
+        assert_eq!(local.sink_events, 6000);
+        assert_eq!(remote.sink_events, 6000);
+        assert!(
+            remote.elapsed > local.elapsed,
+            "remote {:?} should exceed local {:?}",
+            remote.elapsed,
+            local.elapsed
+        );
+    }
+
+    #[test]
+    fn rejects_bad_replication() {
+        assert!(Engine::new(app(10), vec![1, 1], EngineConfig::default()).is_err());
+        assert!(Engine::new(app(10), vec![1, 0, 1], EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn run_for_duration_terminates() {
+        let engine =
+            Engine::new(app(u64::MAX), vec![1, 1, 1], EngineConfig::default()).expect("valid");
+        let report = engine.run_for(Duration::from_millis(200));
+        assert!(report.sink_events > 0);
+        assert!(report.throughput > 0.0);
+    }
+}

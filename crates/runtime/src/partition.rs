@@ -1,0 +1,124 @@
+//! Partition controllers: route emitted tuples to consumer replicas.
+//!
+//! Mirrors the paper's task anatomy (Figure 17): after an executor runs the
+//! operator's core logic, the partition controller decides which consumer
+//! replica's queue every output tuple lands in, per the edge's partitioning
+//! strategy.
+
+use crate::tuple::Tuple;
+use brisk_dag::Partitioning;
+
+/// Stateful router for one (producer replica, logical edge) pair.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    strategy: Partitioning,
+    consumers: usize,
+    rr_cursor: usize,
+}
+
+impl Partitioner {
+    /// Router over `consumers` replicas using `strategy`.
+    ///
+    /// # Panics
+    /// Panics if `consumers` is zero.
+    pub fn new(strategy: Partitioning, consumers: usize) -> Partitioner {
+        assert!(consumers > 0, "need at least one consumer replica");
+        Partitioner {
+            strategy,
+            consumers,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of consumer replicas routed over.
+    pub fn consumers(&self) -> usize {
+        self.consumers
+    }
+
+    /// Consumer replica indices for `tuple`. At most one target except for
+    /// broadcast, which returns all of them.
+    pub fn route(&mut self, tuple: &Tuple) -> RouteTargets {
+        match self.strategy {
+            Partitioning::Shuffle => {
+                let t = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.consumers;
+                RouteTargets::One(t)
+            }
+            Partitioning::KeyBy => RouteTargets::One((tuple.key % self.consumers as u64) as usize),
+            Partitioning::Broadcast => RouteTargets::All(self.consumers),
+            Partitioning::Global => RouteTargets::One(0),
+        }
+    }
+}
+
+/// Targets chosen by [`Partitioner::route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTargets {
+    /// Exactly one consumer replica.
+    One(usize),
+    /// Every consumer replica `0..n`.
+    All(usize),
+}
+
+impl RouteTargets {
+    /// Iterate over the chosen replica indices.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let (start, end) = match self {
+            RouteTargets::One(i) => (i, i + 1),
+            RouteTargets::All(n) => (0, n),
+        };
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple_with_key(key: u64) -> Tuple {
+        Tuple::keyed((), 0, key)
+    }
+
+    #[test]
+    fn shuffle_round_robins_evenly() {
+        let mut p = Partitioner::new(Partitioning::Shuffle, 3);
+        let mut counts = [0usize; 3];
+        for _ in 0..99 {
+            match p.route(&tuple_with_key(0)) {
+                RouteTargets::One(i) => counts[i] += 1,
+                RouteTargets::All(_) => panic!("shuffle routes to one"),
+            }
+        }
+        assert_eq!(counts, [33, 33, 33]);
+    }
+
+    #[test]
+    fn keyby_is_sticky() {
+        let mut p = Partitioner::new(Partitioning::KeyBy, 4);
+        let a1 = p.route(&tuple_with_key(42));
+        let _ = p.route(&tuple_with_key(7));
+        let a2 = p.route(&tuple_with_key(42));
+        assert_eq!(a1, a2, "same key must hit the same replica");
+    }
+
+    #[test]
+    fn broadcast_hits_everyone() {
+        let mut p = Partitioner::new(Partitioning::Broadcast, 5);
+        let targets: Vec<usize> = p.route(&tuple_with_key(1)).iter().collect();
+        assert_eq!(targets, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn global_always_zero() {
+        let mut p = Partitioner::new(Partitioning::Global, 7);
+        for k in 0..20 {
+            assert_eq!(p.route(&tuple_with_key(k)), RouteTargets::One(0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_consumers_rejected() {
+        Partitioner::new(Partitioning::Shuffle, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # brisk-sim
+//!
+//! A discrete-event simulator that *executes* streaming execution plans on a
+//! virtual NUMA machine — the measurement substrate of this reproduction.
+//!
+//! The paper measures BriskStream on two real eight-socket servers. Those
+//! machines are unavailable here, so every "measured" number in the
+//! experiment harness comes from this simulator instead. It models the parts
+//! of the system the analytical performance model abstracts away, which is
+//! precisely why "measured vs estimated" comparisons (Tables 3 and 4) remain
+//! meaningful:
+//!
+//! * **Core scheduling** — replicas are pinned to cores of their assigned
+//!   socket; replicas sharing a core round-robin at batch granularity.
+//! * **Queue dynamics and back-pressure** — bounded per-consumer queues;
+//!   full queues block producers, and the blocking propagates upstream until
+//!   the spout throttles (exactly the paper's footnote-2 mechanism).
+//! * **Batch (jumbo tuple) granularity** — tuples move in batches; one queue
+//!   operation ships a whole batch.
+//! * **NUMA fetch costs** — a consumer pays `ceil(N/S) × L(i,j)` ns per
+//!   tuple fetched from a producer on another socket (Formula 2), using the
+//!   machine's latency matrix.
+//! * **Stochastic service times** — lognormal noise around each operator's
+//!   profiled cost (the dispersion Figure 3 shows for real operators).
+//! * **Bandwidth saturation** — optional epoch-based ledgers throttle
+//!   transfers when per-link traffic exceeds `Q(i,j)` or local traffic
+//!   exceeds `B` (Eq. 4–5 made dynamic).
+//!
+//! Outputs: sink throughput, end-to-end latency histograms, and per-replica
+//! time breakdowns (execute / overhead / remote-fetch) that regenerate the
+//! paper's Figure 8.
+
+pub mod report;
+pub mod simulator;
+
+pub use report::{OperatorBreakdown, ReplicaStats, SimReport};
+pub use simulator::{SimConfig, Simulator};

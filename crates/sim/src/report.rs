@@ -1,0 +1,175 @@
+//! Simulation results: throughput, latency and time breakdowns.
+
+use brisk_metrics::Histogram;
+
+/// Accumulated statistics for one replica.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaStats {
+    /// Operator index this replica belongs to.
+    pub operator: usize,
+    /// Socket the replica was pinned to.
+    pub socket: usize,
+    /// Input tuples processed (spouts: tuples generated).
+    pub processed: u64,
+    /// Time spent in operator function execution (`Te`), ns.
+    pub exec_ns: u64,
+    /// Time spent in engine overhead ("Others"), ns.
+    pub overhead_ns: u64,
+    /// Time spent stalled on remote fetches (`Tf` / RMA), ns.
+    pub fetch_ns: u64,
+    /// Time blocked on full downstream queues (back-pressure), ns.
+    pub blocked_ns: u64,
+    /// Time idle waiting for input, ns.
+    pub waiting_ns: u64,
+}
+
+impl ReplicaStats {
+    /// Average per-tuple processing time (execute + overhead + fetch), ns.
+    pub fn avg_t_ns(&self) -> f64 {
+        if self.processed == 0 {
+            return 0.0;
+        }
+        (self.exec_ns + self.overhead_ns + self.fetch_ns) as f64 / self.processed as f64
+    }
+
+    /// Average per-tuple remote-fetch time, ns.
+    pub fn avg_fetch_ns(&self) -> f64 {
+        if self.processed == 0 {
+            return 0.0;
+        }
+        self.fetch_ns as f64 / self.processed as f64
+    }
+}
+
+/// Per-operator time breakdown (averaged over replicas), the Figure 8 data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorBreakdown {
+    /// Average `Te` per tuple, ns.
+    pub execute_ns: f64,
+    /// Average "Others" per tuple, ns.
+    pub others_ns: f64,
+    /// Average RMA stall per tuple, ns.
+    pub rma_ns: f64,
+}
+
+impl OperatorBreakdown {
+    /// Total per-tuple time, ns.
+    pub fn total_ns(&self) -> f64 {
+        self.execute_ns + self.others_ns + self.rma_ns
+    }
+}
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual nanoseconds simulated after warm-up.
+    pub measured_window_ns: u64,
+    /// Tuples received by sink replicas inside the measured window.
+    pub sink_events: u64,
+    /// Events per second over the measured window.
+    pub throughput: f64,
+    /// End-to-end latency (spout generation → sink receipt), ns.
+    pub latency_ns: Histogram,
+    /// Per-replica statistics (indexed by global replica id).
+    pub replicas: Vec<ReplicaStats>,
+}
+
+impl SimReport {
+    /// Throughput in the paper's unit (k events/s).
+    pub fn k_events_per_sec(&self) -> f64 {
+        self.throughput / 1e3
+    }
+
+    /// Per-tuple time breakdown for one operator, averaged across its
+    /// replicas (weighted by processed tuples).
+    pub fn breakdown(&self, operator: usize) -> OperatorBreakdown {
+        let mut processed = 0u64;
+        let (mut exec, mut others, mut rma) = (0u64, 0u64, 0u64);
+        for r in self.replicas.iter().filter(|r| r.operator == operator) {
+            processed += r.processed;
+            exec += r.exec_ns;
+            others += r.overhead_ns;
+            rma += r.fetch_ns;
+        }
+        if processed == 0 {
+            return OperatorBreakdown {
+                execute_ns: 0.0,
+                others_ns: 0.0,
+                rma_ns: 0.0,
+            };
+        }
+        OperatorBreakdown {
+            execute_ns: exec as f64 / processed as f64,
+            others_ns: others as f64 / processed as f64,
+            rma_ns: rma as f64 / processed as f64,
+        }
+    }
+
+    /// Tuples processed by all replicas of `operator`.
+    pub fn operator_processed(&self, operator: usize) -> u64 {
+        self.replicas
+            .iter()
+            .filter(|r| r.operator == operator)
+            .map(|r| r.processed)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_averages() {
+        let r = ReplicaStats {
+            operator: 0,
+            socket: 0,
+            processed: 100,
+            exec_ns: 5000,
+            overhead_ns: 1000,
+            fetch_ns: 4000,
+            blocked_ns: 0,
+            waiting_ns: 0,
+        };
+        assert!((r.avg_t_ns() - 100.0).abs() < 1e-12);
+        assert!((r.avg_fetch_ns() - 40.0).abs() < 1e-12);
+        let empty = ReplicaStats::default();
+        assert_eq!(empty.avg_t_ns(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_weights_by_processed() {
+        let report = SimReport {
+            measured_window_ns: 1_000_000,
+            sink_events: 0,
+            throughput: 0.0,
+            latency_ns: Histogram::new(),
+            replicas: vec![
+                ReplicaStats {
+                    operator: 1,
+                    processed: 100,
+                    exec_ns: 10_000,
+                    ..Default::default()
+                },
+                ReplicaStats {
+                    operator: 1,
+                    processed: 300,
+                    exec_ns: 60_000,
+                    ..Default::default()
+                },
+                ReplicaStats {
+                    operator: 2,
+                    processed: 10,
+                    exec_ns: 70,
+                    ..Default::default()
+                },
+            ],
+        };
+        let b = report.breakdown(1);
+        // (10000 + 60000) / (100 + 300) = 175.
+        assert!((b.execute_ns - 175.0).abs() < 1e-12);
+        assert_eq!(report.operator_processed(1), 400);
+        let none = report.breakdown(5);
+        assert_eq!(none.total_ns(), 0.0);
+    }
+}

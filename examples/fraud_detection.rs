@@ -1,0 +1,74 @@
+//! Fraud detection with live profiling: time the real Rust operators on
+//! this host (the paper's model-instantiation methodology), rebuild the
+//! model inputs from the measurements, and compare plans.
+//!
+//! ```sh
+//! cargo run --release --example fraud_detection
+//! ```
+
+use briskstream::apps::fraud_detection;
+use briskstream::core::profiler;
+use briskstream::core::BriskStream;
+use briskstream::numa::Machine;
+use briskstream::runtime::EngineConfig;
+use std::time::Duration;
+
+fn main() {
+    let app = fraud_detection::app();
+    println!("== Fraud Detection ==");
+
+    // 1. Profile the real operators in isolation (upstream operators
+    //    pre-execute to create each operator's sample input).
+    let mut profiles = profiler::live_profile(&app, 2000);
+    println!("live profile of this host (median Te per tuple):");
+    for p in &mut profiles {
+        let median = p.median_ns();
+        println!("  {:<12} {:>10.0} ns", p.name, median);
+    }
+
+    // 2. Instantiate a topology from the measurements, as if this host's
+    //    cores were Server A's, and optimize.
+    let machine = Machine::server_a();
+    let calibrated = profiler::instantiate(&app.topology, &mut profiles, machine.clock_hz());
+    let mut system = BriskStream::new(machine);
+    let live_plan = system.submit(&calibrated).expect("feasible plan");
+    println!(
+        "plan from live profile: {:.1}k events/s predicted, replication {:?}",
+        live_plan.predicted_throughput / 1e3,
+        live_plan.plan.replication
+    );
+
+    // 3. For reference, the paper-calibrated plan.
+    let paper_plan = system
+        .submit(&fraud_detection::topology())
+        .expect("feasible plan");
+    println!(
+        "plan from paper calibration: {:.1}k events/s predicted, replication {:?}",
+        paper_plan.predicted_throughput / 1e3,
+        paper_plan.plan.replication
+    );
+
+    // 4. Execute the real predictor pipeline briefly on this host.
+    let mut host = BriskStream::with_options(
+        Machine::server_a().restrict_sockets(1),
+        briskstream::rlas::ScalingOptions {
+            compress_ratio: 1,
+            max_total_replicas: Some(8),
+            ..Default::default()
+        },
+    );
+    let host_plan = host.submit(&app.topology).expect("feasible host plan");
+    let run = host
+        .execute(
+            fraud_detection::app(),
+            &host_plan.plan,
+            EngineConfig::default(),
+            Duration::from_millis(500),
+        )
+        .expect("engine runs");
+    println!(
+        "threaded on this host: {:.1}k transactions scored/s (p99 latency {:.2} ms)",
+        run.k_events_per_sec(),
+        run.latency_ns.percentile(99.0) / 1e6
+    );
+}

@@ -1,0 +1,66 @@
+//! Linear Road on both paper machines: the same application optimized for a
+//! glue-less and a glue-assisted NUMA server produces very different plans
+//! (Section 6.4's communication-pattern observation).
+//!
+//! ```sh
+//! cargo run --release --example linear_road
+//! ```
+
+use briskstream::apps::linear_road;
+use briskstream::core::BriskStream;
+use briskstream::dag::ExecutionGraph;
+use briskstream::model::{comm_cost_matrix, Evaluator};
+use briskstream::numa::Machine;
+use briskstream::sim::SimConfig;
+
+fn main() {
+    let topology = linear_road::topology();
+    println!(
+        "== Linear Road ({} operators, {} streams) ==",
+        topology.operator_count(),
+        topology.edges().len()
+    );
+
+    for machine in [Machine::server_a(), Machine::server_b()] {
+        println!("\n-- {} --", machine.name());
+        let mut system = BriskStream::new(machine.clone());
+        let report = system.submit(&topology).expect("feasible plan");
+        println!(
+            "RLAS: {:.1}k events/s predicted, {} replicas over {} sockets",
+            report.predicted_throughput / 1e3,
+            report.plan.total_replicas(),
+            report.plan.placement.sockets_used().len()
+        );
+        let sim = system
+            .simulate(&topology, &report.plan, SimConfig::default())
+            .expect("simulates");
+        println!(
+            "measured (simulator): {:.1}k events/s, p99 latency {:.2} ms",
+            sim.k_events_per_sec(),
+            sim.latency_ns.percentile(99.0) / 1e6
+        );
+
+        // Communication pattern (Figure 15): fetch-cost ns/sec between
+        // socket pairs.
+        let graph = ExecutionGraph::new(
+            &topology,
+            &report.plan.replication,
+            report.plan.compress_ratio,
+        );
+        let evaluator = Evaluator::saturated(&machine);
+        let matrix = comm_cost_matrix(&evaluator, &graph, &report.plan.placement, &report.evaluation);
+        println!("cross-socket fetch cost (ms of stall per second, from row to column):");
+        print!("      ");
+        for j in 0..machine.sockets() {
+            print!("   S{j}  ");
+        }
+        println!();
+        for (i, row) in matrix.iter().enumerate() {
+            print!("  S{i}  ");
+            for v in row {
+                print!(" {:>5.1} ", v / 1e6);
+            }
+            println!();
+        }
+    }
+}

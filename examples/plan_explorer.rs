@@ -1,0 +1,82 @@
+//! Plan explorer: look inside the RLAS search — branch-and-bound statistics,
+//! the compression-ratio trade-off (Table 7), and the fixed-capability
+//! ablations (Figure 12) on Spike Detection.
+//!
+//! ```sh
+//! cargo run --release --example plan_explorer
+//! ```
+
+use briskstream::apps::spike_detection;
+use briskstream::numa::Machine;
+use briskstream::rlas::{
+    optimize, optimize_with_policy, random_plans, RandomPlanOptions, ScalingOptions, TfPolicy,
+};
+use std::time::Instant;
+
+fn main() {
+    let machine = Machine::server_a();
+    let topology = spike_detection::topology();
+    println!("== Plan explorer: Spike Detection on {} ==", machine.name());
+
+    // Compression-ratio sweep (Table 7's trade-off).
+    println!("\ncompress ratio r -> throughput, optimizer runtime:");
+    for r in [1usize, 3, 5, 10, 15] {
+        let t0 = Instant::now();
+        let plan = optimize(
+            &machine,
+            &topology,
+            &ScalingOptions {
+                compress_ratio: r,
+                ..Default::default()
+            },
+        );
+        match plan {
+            Some(p) => println!(
+                "  r={r:<3} {:>10.1}k ev/s   {} B&B nodes, {} iterations, {:.2}s",
+                p.throughput / 1e3,
+                p.explored_nodes,
+                p.iterations,
+                t0.elapsed().as_secs_f64()
+            ),
+            None => println!("  r={r:<3} no feasible plan"),
+        }
+    }
+
+    // Fixed-capability ablations (Figure 12).
+    println!("\nfetch-cost policy ablation (all re-scored with the true model):");
+    let opts = ScalingOptions::default();
+    let rlas = optimize(&machine, &topology, &opts).expect("plan");
+    let fix_l =
+        optimize_with_policy(&machine, &topology, TfPolicy::AlwaysRemote, &opts).expect("plan");
+    let fix_u =
+        optimize_with_policy(&machine, &topology, TfPolicy::NeverRemote, &opts).expect("plan");
+    println!("  RLAS        {:>10.1}k ev/s", rlas.throughput / 1e3);
+    println!(
+        "  RLAS_fix(L) {:>10.1}k ev/s ({:+.0}% vs RLAS)",
+        fix_l.throughput / 1e3,
+        (fix_l.throughput / rlas.throughput - 1.0) * 100.0
+    );
+    println!(
+        "  RLAS_fix(U) {:>10.1}k ev/s ({:+.0}% vs RLAS)",
+        fix_u.throughput / 1e3,
+        (fix_u.throughput / rlas.throughput - 1.0) * 100.0
+    );
+
+    // Monte-Carlo: how do 200 random plans compare (Figure 14)?
+    let plans = random_plans(
+        &machine,
+        &topology,
+        &RandomPlanOptions {
+            count: 200,
+            ..Default::default()
+        },
+    );
+    let best = plans.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    let beat = plans.iter().filter(|(_, t)| *t > rlas.throughput).count();
+    println!(
+        "\n200 random plans: best {:.1}k ev/s ({:.0}% of RLAS); {} beat RLAS",
+        best / 1e3,
+        best / rlas.throughput * 100.0,
+        beat
+    );
+}

@@ -1,0 +1,80 @@
+//! Word Count at paper scale: RLAS vs the heuristic schedulers on the
+//! virtual Server A, plus a real threaded run on this host.
+//!
+//! ```sh
+//! cargo run --release --example word_count
+//! ```
+
+use briskstream::apps::word_count;
+use briskstream::core::BriskStream;
+use briskstream::dag::ExecutionGraph;
+use briskstream::model::Evaluator;
+use briskstream::numa::Machine;
+use briskstream::rlas::{place_with_strategy, PlacementStrategy, ScalingOptions};
+use briskstream::runtime::EngineConfig;
+use briskstream::sim::SimConfig;
+use std::time::Duration;
+
+fn main() {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    println!("== Word Count on {} ==", machine.name());
+
+    // RLAS plan.
+    let mut system = BriskStream::new(machine.clone());
+    let report = system.submit(&topology).expect("feasible plan");
+    println!(
+        "RLAS: {:.1}k events/s predicted, {} replicas",
+        report.predicted_throughput / 1e3,
+        report.plan.total_replicas()
+    );
+    let sim = system
+        .simulate(&topology, &report.plan, SimConfig::default())
+        .expect("simulates");
+    println!("RLAS measured (simulator): {:.1}k events/s", sim.k_events_per_sec());
+
+    // Same replication, heuristic placements (the Figure 13 comparison).
+    let graph = ExecutionGraph::new(
+        &topology,
+        &report.plan.replication,
+        report.plan.compress_ratio,
+    );
+    let evaluator = Evaluator::saturated(&machine);
+    for strategy in [
+        PlacementStrategy::Os { seed: 1 },
+        PlacementStrategy::FirstFit,
+        PlacementStrategy::RoundRobin,
+    ] {
+        let placement = place_with_strategy(&graph, &machine, strategy);
+        let eval = evaluator.evaluate(&graph, &placement);
+        println!(
+            "{strategy}: {:.1}k events/s predicted ({:.0}% of RLAS)",
+            eval.throughput / 1e3,
+            eval.throughput / report.predicted_throughput * 100.0
+        );
+    }
+
+    // Threaded run of the real operators on this host (small plan).
+    let mut host = BriskStream::with_options(
+        Machine::server_a().restrict_sockets(1),
+        ScalingOptions {
+            compress_ratio: 1,
+            max_total_replicas: Some(8),
+            ..Default::default()
+        },
+    );
+    let host_plan = host.submit(&topology).expect("feasible host plan");
+    let run = host
+        .execute(
+            word_count::app(),
+            &host_plan.plan,
+            EngineConfig::default(),
+            Duration::from_millis(500),
+        )
+        .expect("engine runs");
+    println!(
+        "threaded on this host: {:.1}k words counted/s ({} sink events)",
+        run.k_events_per_sec(),
+        run.sink_events
+    );
+}

@@ -1,0 +1,49 @@
+//! # BriskStream
+//!
+//! A Rust reproduction of *BriskStream: Scaling Data Stream Processing on
+//! Shared-Memory Multicore Architectures* (Zhang et al., SIGMOD 2019).
+//!
+//! BriskStream is an in-memory data stream processing system designed for
+//! NUMA multicore servers. Its key contribution is **RLAS**
+//! (Relative-Location Aware Scheduling): an execution-plan optimizer that
+//! accounts for the NUMA distance between every producer/consumer pair when
+//! choosing how many replicas each operator gets and which CPU socket each
+//! replica is pinned to.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! - [`numa`] — virtual NUMA machines (Server A / Server B from the paper).
+//! - [`dag`] — logical topologies, execution graphs and execution plans.
+//! - [`model`] — the rate-based NUMA-aware performance model (Section 3).
+//! - [`rlas`] — branch-and-bound placement + iterative scaling (Section 4).
+//! - [`runtime`] — the threaded shared-memory engine (Section 5).
+//! - [`sim`] — a discrete-event simulator standing in for 8-socket hardware.
+//! - [`apps`] — the four benchmark applications (WC, FD, SD, LR).
+//! - [`baselines`] — Storm-like / Flink-like / StreamBox-like comparators.
+//! - [`core`] — the `BriskStream` system facade tying it all together.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use briskstream::core::BriskStream;
+//! use briskstream::apps::word_count;
+//! use briskstream::numa::Machine;
+//!
+//! let machine = Machine::server_a();
+//! let app = word_count::topology();
+//! let mut system = BriskStream::new(machine);
+//! let report = system.submit(&app).expect("plan found");
+//! assert!(report.plan.total_replicas() >= app.operator_count());
+//! assert!(report.predicted_throughput > 0.0);
+//! ```
+
+pub use brisk_apps as apps;
+pub use brisk_baselines as baselines;
+pub use brisk_core as core;
+pub use brisk_dag as dag;
+pub use brisk_metrics as metrics;
+pub use brisk_model as model;
+pub use brisk_numa as numa;
+pub use brisk_rlas as rlas;
+pub use brisk_runtime as runtime;
+pub use brisk_sim as sim;

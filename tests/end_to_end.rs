@@ -1,0 +1,176 @@
+//! End-to-end integration: the full submit → optimize → simulate → execute
+//! loop across every crate, at host-friendly scale (two virtual sockets).
+
+use briskstream::apps::{fraud_detection, spike_detection, word_count};
+use briskstream::core::BriskStream;
+use briskstream::dag::ExecutionGraph;
+use briskstream::model::Evaluator;
+use briskstream::numa::Machine;
+use briskstream::rlas::{PlacementOptions, ScalingOptions};
+use briskstream::runtime::EngineConfig;
+use briskstream::sim::SimConfig;
+use std::time::Duration;
+
+fn small_options() -> ScalingOptions {
+    ScalingOptions {
+        compress_ratio: 2,
+        placement: PlacementOptions {
+            max_nodes: 5_000,
+            ..PlacementOptions::default()
+        },
+        ..ScalingOptions::default()
+    }
+}
+
+fn quiet_sim() -> SimConfig {
+    SimConfig {
+        noise_sigma: 0.0,
+        horizon_ns: 50_000_000,
+        warmup_ns: 10_000_000,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn wc_plan_simulates_close_to_model() {
+    let machine = Machine::server_a().restrict_sockets(2);
+    let mut system = BriskStream::with_options(machine, small_options());
+    let topology = word_count::topology();
+    let report = system.submit(&topology).expect("feasible plan");
+    assert!(report.plan.placement.is_complete());
+    let sim = system
+        .simulate(&topology, &report.plan, quiet_sim())
+        .expect("simulates");
+    let rel = (sim.throughput - report.predicted_throughput).abs() / report.predicted_throughput;
+    assert!(
+        rel < 0.15,
+        "model {} vs sim {} (rel {rel})",
+        report.predicted_throughput,
+        sim.throughput
+    );
+}
+
+#[test]
+fn every_app_gets_a_feasible_plan_on_both_servers() {
+    for machine in [
+        Machine::server_a().restrict_sockets(2),
+        Machine::server_b().restrict_sockets(2),
+    ] {
+        for (name, topology) in briskstream::apps::all_topologies() {
+            let mut system = BriskStream::with_options(machine.clone(), small_options());
+            let report = system
+                .submit(&topology)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", machine.name()));
+            assert!(
+                report.predicted_throughput > 0.0,
+                "{name} predicted zero throughput"
+            );
+            assert!(report.plan.total_replicas() <= machine.total_cores());
+        }
+    }
+}
+
+#[test]
+fn rlas_plan_beats_heuristic_placements_under_the_model() {
+    let machine = Machine::server_a().restrict_sockets(2);
+    let topology = word_count::topology();
+    let mut system = BriskStream::with_options(machine.clone(), small_options());
+    let report = system.submit(&topology).expect("feasible plan");
+    let graph = ExecutionGraph::new(
+        &topology,
+        &report.plan.replication,
+        report.plan.compress_ratio,
+    );
+    let evaluator = Evaluator::saturated(&machine);
+    for strategy in [
+        briskstream::rlas::PlacementStrategy::Os { seed: 3 },
+        briskstream::rlas::PlacementStrategy::FirstFit,
+        briskstream::rlas::PlacementStrategy::RoundRobin,
+    ] {
+        let placement = briskstream::rlas::place_with_strategy(&graph, &machine, strategy);
+        let alt = evaluator.evaluate(&graph, &placement).throughput;
+        assert!(
+            alt <= report.predicted_throughput * (1.0 + 1e-9),
+            "{strategy} beat RLAS: {alt} > {}",
+            report.predicted_throughput
+        );
+    }
+}
+
+#[test]
+fn threaded_engine_runs_the_real_word_count() {
+    let machine = Machine::server_a().restrict_sockets(1);
+    let mut system = BriskStream::with_options(
+        machine,
+        ScalingOptions {
+            compress_ratio: 1,
+            max_total_replicas: Some(6),
+            ..small_options()
+        },
+    );
+    let topology = word_count::topology();
+    let report = system.submit(&topology).expect("feasible plan");
+    let run = system
+        .execute(
+            word_count::app(),
+            &report.plan,
+            EngineConfig::default(),
+            Duration::from_millis(300),
+        )
+        .expect("engine runs");
+    // Real sentences were split into real words and counted.
+    assert!(run.sink_events > 1000, "only {} events", run.sink_events);
+    assert!(run.latency_ns.count() > 0);
+    let spout = topology.find("spout").expect("spout exists");
+    let splitter = topology.find("splitter").expect("splitter exists");
+    // Selectivity 10 shows up in the real tuple counts.
+    let ratio = run.processed[splitter.0] as f64 / run.processed[spout.0].max(1) as f64;
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "splitter processes each sentence once (ratio {ratio})"
+    );
+}
+
+#[test]
+fn threaded_engine_runs_fraud_detection_and_spike_detection() {
+    for (app, topology) in [
+        (fraud_detection::app(), fraud_detection::topology()),
+        (spike_detection::app(), spike_detection::topology()),
+    ] {
+        let mut system = BriskStream::with_options(
+            Machine::server_b().restrict_sockets(1),
+            ScalingOptions {
+                compress_ratio: 1,
+                max_total_replicas: Some(6),
+                ..small_options()
+            },
+        );
+        let report = system.submit(&topology).expect("feasible plan");
+        let run = system
+            .execute(
+                app,
+                &report.plan,
+                EngineConfig::default(),
+                Duration::from_millis(250),
+            )
+            .expect("engine runs");
+        assert!(
+            run.sink_events > 100,
+            "{}: only {} events reached the sink",
+            topology.name(),
+            run.sink_events
+        );
+    }
+}
+
+#[test]
+fn live_profiling_feeds_back_into_planning() {
+    let app = word_count::app();
+    let mut profiles = briskstream::core::profiler::live_profile(&app, 300);
+    let machine = Machine::server_a().restrict_sockets(2);
+    let calibrated =
+        briskstream::core::profiler::instantiate(&app.topology, &mut profiles, machine.clock_hz());
+    let mut system = BriskStream::with_options(machine, small_options());
+    let report = system.submit(&calibrated).expect("feasible plan");
+    assert!(report.predicted_throughput > 0.0);
+}

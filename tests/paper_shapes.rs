@@ -1,0 +1,222 @@
+//! Shape assertions for the paper's headline findings, at a scale that runs
+//! inside `cargo test`. The full-size regenerations live in
+//! `crates/bench` (`all_experiments`); these tests pin the *directions* the
+//! paper reports so regressions in any subsystem trip them.
+
+use briskstream::apps::{word_count, CALIBRATION_GHZ};
+use briskstream::baselines::{baseline_run, streambox_run, StreamBoxOptions, System};
+use briskstream::dag::ExecutionGraph;
+use briskstream::model::TfPolicy;
+use briskstream::numa::{Machine, SocketId};
+use briskstream::rlas::{
+    optimize, optimize_with_policy, random_plans, PlacementOptions, RandomPlanOptions,
+    ScalingOptions,
+};
+use briskstream::sim::{SimConfig, Simulator};
+
+fn options() -> ScalingOptions {
+    ScalingOptions {
+        compress_ratio: 2,
+        placement: PlacementOptions {
+            max_nodes: 5_000,
+            ..PlacementOptions::default()
+        },
+        ..ScalingOptions::default()
+    }
+}
+
+fn sim() -> SimConfig {
+    SimConfig {
+        horizon_ns: 40_000_000,
+        warmup_ns: 8_000_000,
+        ..SimConfig::default()
+    }
+}
+
+fn measure(machine: &Machine, topology: &briskstream::dag::LogicalTopology) -> f64 {
+    let plan = optimize(machine, topology, &options()).expect("plan");
+    let graph = ExecutionGraph::new(topology, &plan.plan.replication, plan.plan.compress_ratio);
+    Simulator::new(machine, &graph, &plan.plan.placement, sim())
+        .expect("valid")
+        .run()
+        .throughput
+}
+
+/// Figure 6's direction: BriskStream beats the Storm-like and Flink-like
+/// systems by a wide margin on WC.
+#[test]
+fn brisk_beats_storm_and_flink_on_wc() {
+    let machine = Machine::server_a().restrict_sockets(2);
+    let topology = word_count::topology();
+    let brisk = measure(&machine, &topology);
+    let storm = baseline_run(System::Storm, &machine, &topology, CALIBRATION_GHZ, sim()).throughput;
+    let flink = baseline_run(System::Flink, &machine, &topology, CALIBRATION_GHZ, sim()).throughput;
+    assert!(
+        brisk > storm * 3.0,
+        "Brisk {brisk} should be >3x Storm {storm}"
+    );
+    assert!(
+        brisk > flink * 2.0,
+        "Brisk {brisk} should be >2x Flink {flink}"
+    );
+    assert!(flink > storm, "Flink should beat Storm on single-input WC");
+}
+
+/// Table 5's direction: BriskStream's tail latency is orders of magnitude
+/// below the deep-buffered baselines.
+#[test]
+fn brisk_latency_is_far_below_baselines() {
+    let machine = Machine::server_a().restrict_sockets(1);
+    let topology = word_count::topology();
+    let latency_config = SimConfig {
+        horizon_ns: 1_500_000_000,
+        warmup_ns: 700_000_000,
+        ..SimConfig::default()
+    };
+    let plan = optimize(&machine, &topology, &options()).expect("plan");
+    let graph = ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
+    let brisk = Simulator::new(&machine, &graph, &plan.plan.placement, latency_config.clone())
+        .expect("valid")
+        .run()
+        .latency_ns
+        .percentile(99.0);
+    let storm = baseline_run(
+        System::Storm,
+        &machine,
+        &topology,
+        CALIBRATION_GHZ,
+        latency_config,
+    )
+    .latency_ns
+    .percentile(99.0);
+    assert!(
+        storm > brisk * 10.0,
+        "Storm p99 {:.1}ms should dwarf Brisk p99 {:.1}ms",
+        storm / 1e6,
+        brisk / 1e6
+    );
+}
+
+/// Figure 12's direction: ignoring NUMA in the optimizer (fix(U)) costs by
+/// far the most; pessimistic fixed costs (fix(L)) also lose to RLAS.
+#[test]
+fn fixed_capability_ablations_lose_to_rlas() {
+    let machine = Machine::server_a().restrict_sockets(4);
+    let topology = word_count::topology();
+    let opts = options();
+    let rlas = optimize(&machine, &topology, &opts).expect("plan");
+    let fix_l =
+        optimize_with_policy(&machine, &topology, TfPolicy::AlwaysRemote, &opts).expect("plan");
+    let fix_u =
+        optimize_with_policy(&machine, &topology, TfPolicy::NeverRemote, &opts).expect("plan");
+    assert!(rlas.throughput >= fix_l.throughput * (1.0 - 1e-9));
+    assert!(rlas.throughput >= fix_u.throughput * (1.0 - 1e-9));
+    assert!(
+        fix_u.throughput < rlas.throughput,
+        "ignoring RMA entirely must hurt: fix(U) {} vs RLAS {}",
+        fix_u.throughput,
+        rlas.throughput
+    );
+}
+
+/// Figure 14's direction: at experiment scale no random plan beats RLAS.
+#[test]
+fn no_random_plan_beats_rlas_at_scale() {
+    let machine = Machine::server_a().restrict_sockets(4);
+    let topology = briskstream::apps::spike_detection::topology();
+    let rlas = optimize(&machine, &topology, &options()).expect("plan");
+    let plans = random_plans(
+        &machine,
+        &topology,
+        &RandomPlanOptions {
+            count: 150,
+            seed: 0xCAFE,
+            ..RandomPlanOptions::default()
+        },
+    );
+    let beat = plans
+        .iter()
+        .filter(|(_, t)| *t > rlas.throughput * (1.0 + 1e-9))
+        .count();
+    assert_eq!(beat, 0, "{beat} random plans beat RLAS");
+}
+
+/// Figure 11's direction: the StreamBox-like morsel engine is competitive at
+/// small core counts but collapses against BriskStream at multi-socket
+/// scale; out-of-order always beats ordered.
+#[test]
+fn streambox_scaling_collapses_at_multi_socket() {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    let ordered_16 = streambox_run(&machine, &topology, 16, StreamBoxOptions::default(), sim());
+    let ordered_144 = streambox_run(&machine, &topology, 144, StreamBoxOptions::default(), sim());
+    let ooo_16 = streambox_run(
+        &machine,
+        &topology,
+        16,
+        StreamBoxOptions {
+            ordered: false,
+            ..StreamBoxOptions::default()
+        },
+        sim(),
+    );
+    assert!(ooo_16 > ordered_16, "out-of-order must beat ordered");
+    // 9x the cores must yield far less than 9x the throughput.
+    assert!(
+        ordered_144 < ordered_16 * 5.0,
+        "dispatch lock must cap scaling: {ordered_16} -> {ordered_144}"
+    );
+}
+
+/// Table 3's direction: measured per-tuple time grows with NUMA distance,
+/// jumps across the tray boundary, and the model's estimate upper-bounds the
+/// measurement for multi-line tuples (hardware prefetching).
+#[test]
+fn per_tuple_cost_grows_with_numa_distance() {
+    let machine = Machine::server_a();
+    let topology = word_count::topology();
+    let graph = ExecutionGraph::new(&topology, &[1, 1, 1, 1, 1], 1);
+    let splitter = topology.find("splitter").expect("exists");
+    let v = graph.vertices_of(splitter)[0];
+    let mut totals = Vec::new();
+    for socket in [0usize, 1, 4, 7] {
+        let mut placement =
+            briskstream::dag::Placement::all_on(graph.vertex_count(), SocketId(0));
+        placement.place(v, SocketId(socket));
+        let config = SimConfig {
+            noise_sigma: 0.0,
+            horizon_ns: 20_000_000,
+            warmup_ns: 4_000_000,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(&machine, &graph, &placement, config)
+            .expect("valid")
+            .run();
+        totals.push(report.breakdown(splitter.0).total_ns());
+    }
+    assert!(totals[0] < totals[1], "local < one hop: {totals:?}");
+    assert!(totals[1] < totals[2], "one hop < cross-tray: {totals:?}");
+    assert!(totals[2] < totals[3], "vertical < diagonal: {totals:?}");
+    // Cross-tray jump is pronounced (the paper's scalability knee).
+    assert!(totals[3] > totals[1] * 1.15);
+}
+
+/// Figure 13's direction: on the glue-assisted Server B the same
+/// application sustains plans with near-uniform remote bandwidth, and RLAS
+/// still produces a valid plan that the heuristics cannot beat.
+#[test]
+fn server_b_plans_are_feasible_and_rlas_dominates() {
+    let machine = Machine::server_b().restrict_sockets(2);
+    let topology = word_count::topology();
+    let rlas = optimize(&machine, &topology, &options()).expect("plan");
+    let graph = ExecutionGraph::new(&topology, &rlas.plan.replication, rlas.plan.compress_ratio);
+    let evaluator = briskstream::model::Evaluator::saturated(&machine);
+    for strategy in [
+        briskstream::rlas::PlacementStrategy::Os { seed: 11 },
+        briskstream::rlas::PlacementStrategy::RoundRobin,
+    ] {
+        let placement = briskstream::rlas::place_with_strategy(&graph, &machine, strategy);
+        let alt = evaluator.evaluate(&graph, &placement).throughput;
+        assert!(alt <= rlas.throughput * (1.0 + 1e-9));
+    }
+}
