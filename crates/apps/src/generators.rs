@@ -288,9 +288,7 @@ mod tests {
     #[test]
     fn sensor_spikes_are_rare_but_present() {
         let mut g = SensorGenerator::new(9, 64);
-        let spikes = (0..5000)
-            .filter(|_| g.next_reading().value > 100.0)
-            .count();
+        let spikes = (0..5000).filter(|_| g.next_reading().value > 100.0).count();
         assert!((30..300).contains(&spikes), "spikes {spikes}");
     }
 
@@ -308,7 +306,10 @@ mod tests {
             }
         }
         let pos_frac = pos as f64 / 100_000.0;
-        assert!((pos_frac - 0.99).abs() < 0.005, "position fraction {pos_frac}");
+        assert!(
+            (pos_frac - 0.99).abs() < 0.005,
+            "position fraction {pos_frac}"
+        );
         assert!(bal > 100 && exp > 100);
     }
 }

@@ -82,7 +82,12 @@ pub fn topology() -> LogicalTopology {
     b.connect_shuffle(spout, parser);
     b.connect_shuffle(parser, dispatcher);
     // Position reports fan out to the five analytics operators.
-    b.connect(dispatcher, streams::POSITION, avg_speed, Partitioning::KeyBy);
+    b.connect(
+        dispatcher,
+        streams::POSITION,
+        avg_speed,
+        Partitioning::KeyBy,
+    );
     b.connect(
         dispatcher,
         streams::POSITION,
@@ -117,7 +122,12 @@ pub fn topology() -> LogicalTopology {
     b.connect(dispatcher, streams::DAILY, daily_expen, Partitioning::KeyBy);
     // Analytics chains.
     b.connect(avg_speed, streams::AVG, las_avg_speed, Partitioning::KeyBy);
-    b.connect(las_avg_speed, streams::LAS, toll_notify, Partitioning::KeyBy);
+    b.connect(
+        las_avg_speed,
+        streams::LAS,
+        toll_notify,
+        Partitioning::KeyBy,
+    );
     b.connect(
         accident_detect,
         streams::DETECT,
@@ -138,7 +148,12 @@ pub fn topology() -> LogicalTopology {
     );
     // Responses to the sink.
     b.connect(toll_notify, streams::TOLL, sink, Partitioning::Shuffle);
-    b.connect(accident_notify, streams::NOTIFY, sink, Partitioning::Shuffle);
+    b.connect(
+        accident_notify,
+        streams::NOTIFY,
+        sink,
+        Partitioning::Shuffle,
+    );
     b.connect(daily_expen, DEFAULT_STREAM, sink, Partitioning::Shuffle);
     b.connect(account_balance, DEFAULT_STREAM, sink, Partitioning::Shuffle);
 
@@ -148,14 +163,14 @@ pub fn topology() -> LogicalTopology {
     b.set_selectivity(dispatcher, None, streams::DAILY, 0.005);
     b.set_selectivity(avg_speed, Some(streams::POSITION), streams::AVG, 1.0);
     b.set_selectivity(las_avg_speed, Some(streams::AVG), streams::LAS, 1.0);
-    b.set_selectivity(accident_detect, Some(streams::POSITION), streams::DETECT, 0.0);
-    b.set_selectivity(count_vehicle, Some(streams::POSITION), streams::COUNTS, 1.0);
     b.set_selectivity(
-        accident_notify,
-        Some(streams::DETECT),
-        streams::NOTIFY,
+        accident_detect,
+        Some(streams::POSITION),
+        streams::DETECT,
         0.0,
     );
+    b.set_selectivity(count_vehicle, Some(streams::POSITION), streams::COUNTS, 1.0);
+    b.set_selectivity(accident_notify, Some(streams::DETECT), streams::NOTIFY, 0.0);
     b.set_selectivity(
         accident_notify,
         Some(streams::POSITION),
@@ -549,7 +564,11 @@ pub fn app() -> AppRuntime {
     let id = |n: &str| t.find(n).expect("operator exists");
     let (spout, parser, dispatcher) = (id("spout"), id("parser"), id("dispatcher"));
     let (avg, las, detect) = (id("avg_speed"), id("las_avg_speed"), id("accident_detect"));
-    let (count, notify, toll) = (id("count_vehicle"), id("accident_notify"), id("toll_notify"));
+    let (count, notify, toll) = (
+        id("count_vehicle"),
+        id("accident_notify"),
+        id("toll_notify"),
+    );
     let (daily, balance, sink) = (id("daily_expen"), id("account_balance"), id("sink"));
     AppRuntime::new(t)
         .spout(spout, |ctx| LrSpout {
@@ -607,9 +626,15 @@ mod tests {
         let d = t.operator(t.find("dispatcher").expect("exists"));
         assert!((d.selectivity(None, streams::POSITION) - 0.99).abs() < 1e-12);
         let det = t.operator(t.find("accident_detect").expect("exists"));
-        assert_eq!(det.selectivity(Some(streams::POSITION), streams::DETECT), 0.0);
+        assert_eq!(
+            det.selectivity(Some(streams::POSITION), streams::DETECT),
+            0.0
+        );
         let toll = t.operator(t.find("toll_notify").expect("exists"));
-        assert_eq!(toll.selectivity(Some(streams::POSITION), streams::TOLL), 1.0);
+        assert_eq!(
+            toll.selectivity(Some(streams::POSITION), streams::TOLL),
+            1.0
+        );
         assert_eq!(toll.selectivity(Some(streams::DETECT), streams::TOLL), 0.0);
         assert_eq!(toll.selectivity(Some(streams::COUNTS), streams::TOLL), 1.0);
         assert_eq!(toll.selectivity(Some(streams::LAS), streams::TOLL), 1.0);

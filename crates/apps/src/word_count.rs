@@ -111,7 +111,11 @@ impl DynBolt for WcCounter {
         };
         let count = self.counts.entry(word.clone()).or_insert(0);
         *count += 1;
-        collector.emit_default(Tuple::keyed((word.clone(), *count), tuple.event_ns, tuple.key));
+        collector.emit_default(Tuple::keyed(
+            (word.clone(), *count),
+            tuple.event_ns,
+            tuple.key,
+        ));
     }
 }
 
@@ -130,7 +134,11 @@ pub fn app() -> AppRuntime {
         .collect();
     AppRuntime::new(t)
         .spout(ids[0], |ctx| WcSpout {
-            generator: SentenceGenerator::new(0x5747_u64 ^ ctx.replica as u64, 1000, WORDS_PER_SENTENCE),
+            generator: SentenceGenerator::new(
+                0x5747_u64 ^ ctx.replica as u64,
+                1000,
+                WORDS_PER_SENTENCE,
+            ),
         })
         .bolt(ids[1], |_| WcParser)
         .bolt(ids[2], |_| WcSplitter)
@@ -154,12 +162,12 @@ mod tests {
             WORDS_PER_SENTENCE as f64
         );
         // Splitter's local time matches Table 3: 1612.8 ns at 1.2 GHz.
-        let total_ns = t.operator(splitter).cost.exec_ns(1.2e9)
-            + t.operator(splitter).cost.overhead_ns(1.2e9);
+        let total_ns =
+            t.operator(splitter).cost.exec_ns(1.2e9) + t.operator(splitter).cost.overhead_ns(1.2e9);
         assert!((total_ns - 1612.8).abs() < 0.1);
         let counter = t.find("counter").expect("exists");
-        let counter_ns = t.operator(counter).cost.exec_ns(1.2e9)
-            + t.operator(counter).cost.overhead_ns(1.2e9);
+        let counter_ns =
+            t.operator(counter).cost.exec_ns(1.2e9) + t.operator(counter).cost.overhead_ns(1.2e9);
         assert!((counter_ns - 612.3).abs() < 0.1);
     }
 

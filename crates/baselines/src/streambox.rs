@@ -200,6 +200,9 @@ mod tests {
         let opts = StreamBoxOptions::default();
         let t16 = streambox_run(&m, &t, 16, opts, fast_config());
         let t144 = streambox_run(&m, &t, 144, opts, fast_config());
-        assert!(t144 < t16 * 5.0, "lock contention should cap scaling: {t16} -> {t144}");
+        assert!(
+            t144 < t16 * 5.0,
+            "lock contention should cap scaling: {t16} -> {t144}"
+        );
     }
 }

@@ -230,7 +230,10 @@ mod tests {
         // streams) pays the merger.
         let dx = flink.operator(x).cost.overhead_cycles - base_x.overhead_cycles * 8.0;
         let dj = flink.operator(join).cost.overhead_cycles - base_join.overhead_cycles * 8.0;
-        assert!((dx - 1800.0).abs() < 1e-9, "x pays only the flat cost: {dx}");
+        assert!(
+            (dx - 1800.0).abs() < 1e-9,
+            "x pays only the flat cost: {dx}"
+        );
         assert!((dj - 4400.0).abs() < 1e-9, "join pays flat + merger: {dj}");
     }
 

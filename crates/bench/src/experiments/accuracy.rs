@@ -153,7 +153,8 @@ pub fn table4_model_accuracy() -> Section {
     let mut rows = Vec::new();
     for (i, (name, topology)) in brisk_apps::all_topologies().into_iter().enumerate() {
         let plan = plan_for(&machine, &topology);
-        let graph = ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
+        let graph =
+            ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
         let sim = Simulator::new(&machine, &graph, &plan.plan.placement, standard_sim())
             .expect("valid sim")
             .run();

@@ -70,10 +70,8 @@ pub fn fig7_latency_cdf() -> Section {
         .expect("valid sim")
         .run()
         .latency_ns;
-    let storm =
-        baseline_run(System::Storm, &machine, &topology, GHZ, latency_sim()).latency_ns;
-    let flink =
-        baseline_run(System::Flink, &machine, &topology, GHZ, latency_sim()).latency_ns;
+    let storm = baseline_run(System::Storm, &machine, &topology, GHZ, latency_sim()).latency_ns;
+    let flink = baseline_run(System::Flink, &machine, &topology, GHZ, latency_sim()).latency_ns;
 
     let percentiles = [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9];
     let mut rows = Vec::new();

@@ -105,11 +105,8 @@ pub fn fig13_placement_strategies() -> Section {
                 &plan.plan.placement,
                 standard_sim(),
             );
-            let graph = ExecutionGraph::new(
-                &topology,
-                &plan.plan.replication,
-                plan.plan.compress_ratio,
-            );
+            let graph =
+                ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
             let mut row = vec![machine.name().to_string(), name.to_string()];
             for strategy in [
                 PlacementStrategy::Os { seed: 0x05 },
@@ -288,8 +285,8 @@ pub fn fig16_factor_analysis() -> Section {
         let fix_l_storm =
             optimize_with_policy(&machine, &storm_topology, TfPolicy::AlwaysRemote, &opts)
                 .expect("plan");
-        let fix_l = optimize_with_policy(&machine, &topology, TfPolicy::AlwaysRemote, &opts)
-            .expect("plan");
+        let fix_l =
+            optimize_with_policy(&machine, &topology, TfPolicy::AlwaysRemote, &opts).expect("plan");
         let rlas = plan_for(&machine, &topology);
 
         // Without jumbo tuples every tuple pays its own queue insertion and

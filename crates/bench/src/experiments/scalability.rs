@@ -43,10 +43,7 @@ pub fn fig9a_scalability_systems() -> Section {
     Section {
         id: "fig9a",
         title: "Figure 9a — LR scalability across systems (k events/s, Server A)".into(),
-        body: markdown_table(
-            &["Sockets", "BriskStream", "Storm", "Flink"],
-            &rows,
-        ),
+        body: markdown_table(&["Sockets", "BriskStream", "Storm", "Flink"], &rows),
     }
 }
 
@@ -68,9 +65,11 @@ pub fn fig9b_scalability_apps() -> Section {
     }
     Section {
         id: "fig9b",
-        title: "Figure 9b — BriskStream scalability by application (normalized to 1 socket)"
-            .into(),
-        body: markdown_table(&["App", "1 socket", "2 sockets", "4 sockets", "8 sockets"], &rows),
+        title: "Figure 9b — BriskStream scalability by application (normalized to 1 socket)".into(),
+        body: markdown_table(
+            &["App", "1 socket", "2 sockets", "4 sockets", "8 sockets"],
+            &rows,
+        ),
     }
 }
 

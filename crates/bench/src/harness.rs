@@ -69,12 +69,21 @@ pub fn plan_for(machine: &Machine, topology: &LogicalTopology) -> OptimizedPlan 
         .next()
         .unwrap_or(machine.name())
         .to_string();
-    let key = (base_name.clone(), topology.name().to_string(), machine.sockets());
+    let key = (
+        base_name.clone(),
+        topology.name().to_string(),
+        machine.sockets(),
+    );
     if let Some(hit) = plan_cache().lock().get(&key) {
         return hit.clone();
     }
-    let mut plan = optimize(machine, topology, &standard_options())
-        .unwrap_or_else(|| panic!("no feasible plan for {} on {}", topology.name(), machine.name()));
+    let mut plan = optimize(machine, topology, &standard_options()).unwrap_or_else(|| {
+        panic!(
+            "no feasible plan for {} on {}",
+            topology.name(),
+            machine.name()
+        )
+    });
     {
         let cache = plan_cache().lock();
         for smaller in 1..machine.sockets() {

@@ -119,8 +119,8 @@ impl BriskStream {
         config: EngineConfig,
         duration: Duration,
     ) -> Result<RunReport, PlanError> {
-        let engine = Engine::with_plan(app, plan, &self.machine, config)
-            .map_err(PlanError::Engine)?;
+        let engine =
+            Engine::with_plan(app, plan, &self.machine, config).map_err(PlanError::Engine)?;
         Ok(engine.run_for(duration))
     }
 }
@@ -186,8 +186,8 @@ mod tests {
                 },
             )
             .expect("simulates");
-        let rel = (sim.throughput - report.predicted_throughput).abs()
-            / report.predicted_throughput;
+        let rel =
+            (sim.throughput - report.predicted_throughput).abs() / report.predicted_throughput;
         assert!(
             rel < 0.15,
             "sim {} vs predicted {} (rel {rel})",

@@ -194,7 +194,10 @@ mod tests {
         p.place(VertexId(2), SocketId(0));
         p.place(VertexId(3), SocketId(2));
         assert!(p.is_complete());
-        assert_eq!(p.sockets_used(), vec![SocketId(0), SocketId(1), SocketId(2)]);
+        assert_eq!(
+            p.sockets_used(),
+            vec![SocketId(0), SocketId(1), SocketId(2)]
+        );
         p.unplace(VertexId(3));
         assert!(!p.is_complete());
     }

@@ -207,7 +207,10 @@ impl LogicalTopology {
     }
 
     /// Edges leaving `id`, with their indices into [`LogicalTopology::edges`].
-    pub fn outgoing_edge_refs(&self, id: OperatorId) -> impl Iterator<Item = (usize, &LogicalEdge)> {
+    pub fn outgoing_edge_refs(
+        &self,
+        id: OperatorId,
+    ) -> impl Iterator<Item = (usize, &LogicalEdge)> {
         self.outgoing[id.0].iter().map(|&e| (e, &self.edges[e]))
     }
 
@@ -302,7 +305,12 @@ impl TopologyBuilder {
         }
     }
 
-    fn add(&mut self, name: impl Into<String>, kind: OperatorKind, cost: CostProfile) -> OperatorId {
+    fn add(
+        &mut self,
+        name: impl Into<String>,
+        kind: OperatorKind,
+        cost: CostProfile,
+    ) -> OperatorId {
         let id = OperatorId(self.operators.len());
         self.operators.push(OperatorSpec {
             name: name.into(),
@@ -482,8 +490,7 @@ mod tests {
     fn topo_order_respects_edges() {
         let t = linear3();
         let order = t.topological_order();
-        let pos =
-            |id: OperatorId| order.iter().position(|&o| o == id).expect("present");
+        let pos = |id: OperatorId| order.iter().position(|&o| o == id).expect("present");
         for e in t.edges() {
             assert!(pos(e.from) < pos(e.to));
         }

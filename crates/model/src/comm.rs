@@ -21,10 +21,8 @@ pub fn comm_cost_matrix(
     let n = evaluator.machine.sockets();
     let mut matrix = vec![vec![0.0; n]; n];
     for (ei, edge) in graph.edges().iter().enumerate() {
-        let (Some(from), Some(to)) = (
-            placement.socket_of(edge.from),
-            placement.socket_of(edge.to),
-        ) else {
+        let (Some(from), Some(to)) = (placement.socket_of(edge.from), placement.socket_of(edge.to))
+        else {
             continue;
         };
         let bytes = graph.spec_of(edge.from).cost.output_bytes;

@@ -148,10 +148,9 @@ impl ConstraintReport {
         }
 
         for (ei, edge) in graph.edges().iter().enumerate() {
-            let (Some(from), Some(to)) = (
-                placement.socket_of(edge.from),
-                placement.socket_of(edge.to),
-            ) else {
+            let (Some(from), Some(to)) =
+                (placement.socket_of(edge.from), placement.socket_of(edge.to))
+            else {
                 continue;
             };
             if from == to {
@@ -231,8 +230,14 @@ mod tests {
 
     fn pipeline(mem_per_tuple: f64, tuple_bytes: f64) -> brisk_dag::LogicalTopology {
         let mut b = TopologyBuilder::new("p");
-        let s = b.add_spout("s", CostProfile::new(100.0, 0.0, mem_per_tuple, tuple_bytes));
-        let k = b.add_sink("k", CostProfile::new(100.0, 0.0, mem_per_tuple, tuple_bytes));
+        let s = b.add_spout(
+            "s",
+            CostProfile::new(100.0, 0.0, mem_per_tuple, tuple_bytes),
+        );
+        let k = b.add_sink(
+            "k",
+            CostProfile::new(100.0, 0.0, mem_per_tuple, tuple_bytes),
+        );
         b.connect_shuffle(s, k);
         b.build().expect("valid")
     }

@@ -242,8 +242,9 @@ impl<'m> Evaluator<'m> {
                     graph
                         .incoming_edges(vid)
                         .map(|e| {
-                            let in_stream =
-                                graph.topology().edges()[e.edge.logical_edge].stream.as_str();
+                            let in_stream = graph.topology().edges()[e.edge.logical_edge]
+                                .stream
+                                .as_str();
                             edge_factor[e.index] * spec.selectivity(Some(in_stream), stream)
                         })
                         .sum()
@@ -255,8 +256,10 @@ impl<'m> Evaluator<'m> {
                 // Distribute over the consumer vertices of this logical edge.
                 let to_op = out.to;
                 let consumers = graph.vertices_of(to_op);
-                let total_mult: usize =
-                    consumers.iter().map(|&c| graph.vertex(c).multiplicity).sum();
+                let total_mult: usize = consumers
+                    .iter()
+                    .map(|&c| graph.vertex(c).multiplicity)
+                    .sum();
                 let bytes = spec.cost.output_bytes;
                 let from_socket = placement.socket_of(vid);
                 for e in graph.outgoing_edges(vid) {
@@ -607,7 +610,10 @@ mod tests {
         assert!(slow_v.bottleneck);
         let fast_v = &eval.vertices[1];
         assert!(!fast_v.bottleneck);
-        assert!((fast_v.processed_rate - 1e6).abs() < 1.0, "fast path throttled");
+        assert!(
+            (fast_v.processed_rate - 1e6).abs() < 1.0,
+            "fast path throttled"
+        );
     }
 
     #[test]
@@ -685,7 +691,11 @@ mod tests {
         assert!((pooled - 7.5e6).abs() < 1.0);
         // The sink fetches half its tuples from the remote bolt:
         // T = 50 + 0.5*200 = 150 ns -> capacity 6.67M, which binds.
-        assert!((eval.throughput - 1e9 / 150.0).abs() < 10.0, "{}", eval.throughput);
+        assert!(
+            (eval.throughput - 1e9 / 150.0).abs() < 10.0,
+            "{}",
+            eval.throughput
+        );
     }
 
     #[test]

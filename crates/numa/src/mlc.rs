@@ -84,7 +84,10 @@ impl MlcReport {
     /// Local (same-socket) latency averaged over sockets, ns.
     pub fn local_latency_ns(&self) -> f64 {
         let n = self.sockets as f64;
-        (0..self.sockets).map(|i| self.latency_ns[i][i]).sum::<f64>() / n
+        (0..self.sockets)
+            .map(|i| self.latency_ns[i][i])
+            .sum::<f64>()
+            / n
     }
 
     /// Smallest non-local latency observed, ns ("1 hop latency" in Table 2).
@@ -135,7 +138,11 @@ impl MlcReport {
 impl std::fmt::Display for MlcReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "MLC report for {}", self.machine_name)?;
-        writeln!(f, "  Local latency      {:>8.1} ns", self.local_latency_ns())?;
+        writeln!(
+            f,
+            "  Local latency      {:>8.1} ns",
+            self.local_latency_ns()
+        )?;
         writeln!(
             f,
             "  1 hop latency      {:>8.1} ns",

@@ -242,11 +242,8 @@ fn build_decisions(graph: &ExecutionGraph<'_>) -> Vec<(VertexId, VertexId)> {
     for (i, &v) in graph.topological_order().iter().enumerate() {
         topo_pos[v.0] = i;
     }
-    let mut pairs: Vec<(VertexId, VertexId)> = graph
-        .edges()
-        .iter()
-        .map(|e| (e.from, e.to))
-        .collect();
+    let mut pairs: Vec<(VertexId, VertexId)> =
+        graph.edges().iter().map(|e| (e.from, e.to)).collect();
     pairs.sort_by_key(|&(p, c)| (topo_pos[p.0], topo_pos[c.0]));
     pairs.dedup();
     pairs
@@ -387,7 +384,11 @@ fn place_leftovers(
 fn placement_signature(placement: &Placement) -> u64 {
     let mut hasher = DefaultHasher::new();
     for i in 0..placement.len() {
-        placement.socket_of(VertexId(i)).map(|s| s.0 as i64).unwrap_or(-1).hash(&mut hasher);
+        placement
+            .socket_of(VertexId(i))
+            .map(|s| s.0 as i64)
+            .unwrap_or(-1)
+            .hash(&mut hasher);
     }
     hasher.finish()
 }
@@ -443,7 +444,10 @@ mod tests {
             }
             let eval = evaluator.evaluate(graph, &p);
             if ConstraintReport::check(evaluator.machine, graph, &p, &eval).ok() {
-                let better = best.as_ref().map(|&(_, t)| eval.throughput > t).unwrap_or(true);
+                let better = best
+                    .as_ref()
+                    .map(|&(_, t)| eval.throughput > t)
+                    .unwrap_or(true);
                 if better {
                     best = Some((p, eval.throughput));
                 }
@@ -584,8 +588,7 @@ mod tests {
         let t = pipeline(2);
         let g = ExecutionGraph::new(&t, &[1, 2, 1, 1], 1);
         let ev = Evaluator::saturated(&m);
-        let plain =
-            optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        let plain = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
         let seeded = optimize_placement(
             &ev,
             &g,

@@ -191,10 +191,7 @@ mod tests {
         // (no random plan beats RLAS on the 144-core machine, Figure 14) is
         // asserted by the integration tests. Here we require RLAS to stay
         // within 10% of the best of 200 random plans.
-        let best_random = plans
-            .iter()
-            .map(|(_, t)| *t)
-            .fold(0.0f64, f64::max);
+        let best_random = plans.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
         assert!(
             best_random <= rlas.throughput * 1.10,
             "random search found a plan more than 10% better: {best_random} vs {}",

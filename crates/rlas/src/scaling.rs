@@ -34,8 +34,10 @@ pub struct ScalingOptions {
     /// Warm-start replication per operator (Appendix D: "start from a
     /// reasonably large DAG configuration").
     pub initial_replication: Option<Vec<usize>>,
-    /// Final refinement: up to this many single-replica moves from
-    /// low-pressure operators towards the binding one (0 disables).
+    /// Final refinement: up to this many hill-climb steps, each either a
+    /// single-replica shift from a low-pressure operator towards the
+    /// binding one, or — when no shift improves and budget remains — a
+    /// single-replica growth of a binding operator (0 disables).
     pub hill_climb_steps: usize,
     /// B&B options forwarded to every placement call.
     pub placement: PlacementOptions,
@@ -99,7 +101,6 @@ pub fn optimize_with_policy(
     options: &ScalingOptions,
 ) -> Option<OptimizedPlan> {
     let evaluator = Evaluator::saturated(machine).with_policy(policy);
-    let truth = Evaluator::saturated(machine);
     let budget = options
         .max_total_replicas
         .unwrap_or_else(|| machine.total_cores());
@@ -110,6 +111,11 @@ pub fn optimize_with_policy(
         .unwrap_or_else(|| vec![1; topology.operator_count()]);
     assert_eq!(replication.len(), topology.operator_count());
 
+    // The whole search — greedy scaling, balanced candidate, hill-climb —
+    // scores plans under the *search policy's own* model, so every policy
+    // gets identical search machinery and the ablations measure the cost
+    // model, not unequal search effort. Only the final winner is re-scored
+    // under the true relative-location model (Figure 12's methodology).
     let mut best: Option<OptimizedPlan> = None;
     let mut explored_total = 0usize;
 
@@ -120,18 +126,9 @@ pub fn optimize_with_policy(
         };
         explored_total += result.explored;
 
-        // Score the plan under the true model (identical when the policy is
-        // already RelativeLocation).
-        let (true_throughput, true_eval) = if policy == TfPolicy::RelativeLocation {
-            (result.throughput, result.evaluation.clone())
-        } else {
-            let eval = truth.evaluate(&graph, &result.placement);
-            (eval.throughput, eval)
-        };
-
         let better = best
             .as_ref()
-            .map(|b| true_throughput > b.throughput)
+            .map(|b| result.throughput > b.throughput)
             .unwrap_or(true);
         if better {
             best = Some(OptimizedPlan {
@@ -140,8 +137,8 @@ pub fn optimize_with_policy(
                     compress_ratio: options.compress_ratio,
                     placement: result.placement.clone(),
                 },
-                throughput: true_throughput,
-                evaluation: true_eval,
+                throughput: result.throughput,
+                evaluation: result.evaluation.clone(),
                 iterations: iteration + 1,
                 explored_nodes: explored_total,
             });
@@ -163,30 +160,56 @@ pub fn optimize_with_policy(
             balanced,
             options,
             &evaluator,
-            &truth,
-            policy,
             &options.placement,
+            Acceptance::StrictlyBetter,
             &mut best,
             &mut explored_total,
         );
     }
 
     // Bounded hill-climb: shift single replicas from the least pressured
-    // operators towards the binding one. Catches mixes the ceil-ratio
-    // growth steps jump over.
+    // operators towards the binding one, and — only when no shift improves —
+    // spend leftover budget growing the most pressured operator. Catches
+    // mixes the ceil-ratio growth steps jump over. Growth is allowed to
+    // accept throughput *plateaus* (the extra replica buys headroom a later
+    // step cashes in, e.g. one sink replica per socket); trying shifts first
+    // keeps flat growth from starving strictly-improving moves, and the
+    // climb still terminates because plateau moves strictly grow the
+    // replica total, which is capped by the budget.
     let reduced = PlacementOptions {
         max_nodes: (options.placement.max_nodes / 6).max(500),
         ..options.placement
     };
     for _ in 0..options.hill_climb_steps {
         let Some(current) = best.clone() else { break };
-        let pressure = &current.evaluation.operator_pressure;
-        let mut by_pressure: Vec<usize> = (0..topology.operator_count()).collect();
-        by_pressure.sort_by(|&a, &b| {
-            pressure[b]
-                .partial_cmp(&pressure[a])
-                .expect("finite pressure")
-        });
+        // Rank operators by how close to binding they are. `operator_pressure`
+        // alone won't do: it is defined as 0 for spouts (their demand is
+        // external), yet in the saturated regime the spout is often exactly
+        // the operator worth growing. Saturation (processed / capacity,
+        // pooled over replicas) is 1.0 for every binding operator including
+        // spouts, and pressure still ranks over-supplied operators (> 1)
+        // first.
+        let n_ops = topology.operator_count();
+        let graph = current.graph(topology);
+        let mut processed = vec![0.0f64; n_ops];
+        let mut capacity = vec![0.0f64; n_ops];
+        for (vid, vertex) in graph.vertices() {
+            let rates = &current.evaluation.vertices[vid.0];
+            processed[vertex.op.0] += rates.processed_rate;
+            capacity[vertex.op.0] += rates.capacity;
+        }
+        let score: Vec<f64> = (0..n_ops)
+            .map(|op| {
+                let saturation = if capacity[op] > 0.0 {
+                    processed[op] / capacity[op]
+                } else {
+                    0.0
+                };
+                current.evaluation.operator_pressure[op].max(saturation)
+            })
+            .collect();
+        let mut by_pressure: Vec<usize> = (0..n_ops).collect();
+        by_pressure.sort_by(|&a, &b| score[b].partial_cmp(&score[a]).expect("finite pressure"));
         let mut improved = false;
         'moves: for &dst in by_pressure.iter().take(2) {
             for &src in by_pressure.iter().rev() {
@@ -201,9 +224,8 @@ pub fn optimize_with_policy(
                     candidate,
                     options,
                     &evaluator,
-                    &truth,
-                    policy,
                     &reduced,
+                    Acceptance::StrictlyBetter,
                     &mut best,
                     &mut explored_total,
                 ) {
@@ -212,25 +234,69 @@ pub fn optimize_with_policy(
                 }
             }
         }
+        if !improved && current.plan.total_replicas() < budget {
+            // No shift helps: grow toward the binding operators instead.
+            for &dst in by_pressure.iter().take(2) {
+                let mut candidate = current.plan.replication.clone();
+                candidate[dst] += 1;
+                if try_candidate(
+                    topology,
+                    candidate,
+                    options,
+                    &evaluator,
+                    &reduced,
+                    Acceptance::AllowPlateauGrowth,
+                    &mut best,
+                    &mut explored_total,
+                ) {
+                    improved = true;
+                    break;
+                }
+            }
+        }
         if !improved {
             break;
+        }
+    }
+
+    // Re-score the winner under the true relative-location model so
+    // ablation plans are compared on actual predicted performance.
+    if policy != TfPolicy::RelativeLocation {
+        if let Some(b) = best.as_mut() {
+            let truth = Evaluator::saturated(machine);
+            let graph = b.graph(topology);
+            let eval = truth.evaluate(&graph, &b.plan.placement);
+            b.throughput = eval.throughput;
+            b.evaluation = eval;
         }
     }
 
     best
 }
 
-/// Evaluate one replication candidate end to end; adopt it when it beats the
-/// incumbent. Returns whether it was adopted.
+/// How [`try_candidate`] decides whether a candidate replaces the incumbent.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Acceptance {
+    /// Adopt only on strictly higher modelled throughput.
+    StrictlyBetter,
+    /// Also adopt on *equal* throughput when the candidate uses strictly
+    /// more replicas: the extra capacity often unlocks a strictly better
+    /// neighbour on the next climb step, and the growing total guarantees
+    /// termination.
+    AllowPlateauGrowth,
+}
+
+/// Evaluate one replication candidate end to end under the search policy's
+/// model; adopt it when it beats the incumbent under `acceptance`. Returns
+/// whether it was adopted.
 #[allow(clippy::too_many_arguments)]
 fn try_candidate(
     topology: &LogicalTopology,
     replication: Vec<usize>,
     options: &ScalingOptions,
     evaluator: &Evaluator<'_>,
-    truth: &Evaluator<'_>,
-    policy: TfPolicy,
     placement_options: &PlacementOptions,
+    acceptance: Acceptance,
     best: &mut Option<OptimizedPlan>,
     explored_total: &mut usize,
 ) -> bool {
@@ -239,16 +305,15 @@ fn try_candidate(
         return false;
     };
     *explored_total += result.explored;
-    let (true_throughput, true_eval) = if policy == TfPolicy::RelativeLocation {
-        (result.throughput, result.evaluation.clone())
-    } else {
-        let eval = truth.evaluate(&graph, &result.placement);
-        (eval.throughput, eval)
+    let better = match best.as_ref() {
+        None => true,
+        Some(b) => {
+            result.throughput > b.throughput
+                || (acceptance == Acceptance::AllowPlateauGrowth
+                    && result.throughput >= b.throughput * (1.0 - 1e-12)
+                    && replication.iter().sum::<usize>() > b.plan.total_replicas())
+        }
     };
-    let better = best
-        .as_ref()
-        .map(|b| true_throughput > b.throughput)
-        .unwrap_or(true);
     if better {
         let iterations = best.as_ref().map(|b| b.iterations).unwrap_or(0) + 1;
         *best = Some(OptimizedPlan {
@@ -257,8 +322,8 @@ fn try_candidate(
                 compress_ratio: options.compress_ratio,
                 placement: result.placement,
             },
-            throughput: true_throughput,
-            evaluation: true_eval,
+            throughput: result.throughput,
+            evaluation: result.evaluation,
             iterations,
             explored_nodes: *explored_total,
         });
@@ -515,8 +580,7 @@ mod tests {
             ..ScalingOptions::default()
         };
         let rlas = optimize(&m, &t, &opts).expect("plan");
-        let fix_u =
-            optimize_with_policy(&m, &t, TfPolicy::NeverRemote, &opts).expect("plan");
+        let fix_u = optimize_with_policy(&m, &t, TfPolicy::NeverRemote, &opts).expect("plan");
         assert!(fix_u.throughput <= rlas.throughput * (1.0 + 1e-9));
     }
 

@@ -122,7 +122,11 @@ pub struct Engine {
 
 impl Engine {
     /// Build an engine running `replication[op]` replicas of each operator.
-    pub fn new(app: AppRuntime, replication: Vec<usize>, config: EngineConfig) -> Result<Engine, String> {
+    pub fn new(
+        app: AppRuntime,
+        replication: Vec<usize>,
+        config: EngineConfig,
+    ) -> Result<Engine, String> {
         app.validate()?;
         if replication.len() != app.topology.operator_count() {
             return Err("replication must cover every operator".into());
@@ -343,7 +347,10 @@ impl Engine {
             sink_events,
             throughput: sink_events as f64 / elapsed.as_secs_f64(),
             latency_ns,
-            processed: processed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            processed: processed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -565,8 +572,8 @@ mod tests {
 
     #[test]
     fn pipeline_delivers_every_tuple_exactly_doubled() {
-        let engine = Engine::new(app(1000), vec![1, 2, 2], EngineConfig::default())
-            .expect("valid engine");
+        let engine =
+            Engine::new(app(1000), vec![1, 2, 2], EngineConfig::default()).expect("valid engine");
         let report = engine.run_until_events(2000, Duration::from_secs(20));
         assert_eq!(report.sink_events, 2000, "1000 inputs doubled");
         assert_eq!(report.processed[0], 1000);

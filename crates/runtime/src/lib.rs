@@ -34,7 +34,9 @@ pub mod queue;
 pub mod tuple;
 
 pub use engine::{Engine, EngineConfig, NumaPenalty, RunReport};
-pub use operator::{AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus};
+pub use operator::{
+    AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
+};
 pub use partition::Partitioner;
 pub use queue::BoundedQueue;
 pub use tuple::{JumboTuple, Tuple};

@@ -362,7 +362,9 @@ mod tests {
         let t = topology();
         let s = t.find("s").expect("exists");
         let k = t.find("k").expect("exists");
-        let app = AppRuntime::new(t).spout(s, |_| NullSpout).sink(k, |_| NullBolt);
+        let app = AppRuntime::new(t)
+            .spout(s, |_| NullSpout)
+            .sink(k, |_| NullBolt);
         assert!(app.validate().is_ok());
     }
 

@@ -634,8 +634,10 @@ impl<'a> World<'a> {
         if kind == OperatorKind::Sink {
             if measured {
                 self.sink_events += batch.tuples as u64;
-                self.latency
-                    .record_n(now.saturating_sub(batch.created_ns) as f64, batch.tuples as u64);
+                self.latency.record_n(
+                    now.saturating_sub(batch.created_ns) as f64,
+                    batch.tuples as u64,
+                );
             }
         } else {
             self.accumulate_outputs(rid, &batch, kind, now);
@@ -779,7 +781,9 @@ impl<'a> World<'a> {
                     }
                 }
             };
-            self.replicas[target as usize].input.push_back(pending.batch);
+            self.replicas[target as usize]
+                .input
+                .push_back(pending.batch);
             self.replicas[rid as usize].undelivered.remove(0);
             // Wake the consumer if it was parked.
             if self.replicas[target as usize].state == State::WaitingInput {
@@ -948,7 +952,11 @@ mod tests {
         };
         let report = Simulator::new(&m, &g, &p, config).expect("valid").run();
         let rel = (report.throughput - 1e6).abs() / 1e6;
-        assert!(rel < 0.1, "throughput {} should track 1M/s", report.throughput);
+        assert!(
+            rel < 0.1,
+            "throughput {} should track 1M/s",
+            report.throughput
+        );
     }
 
     #[test]
@@ -977,7 +985,9 @@ mod tests {
             noise_sigma: 0.1,
             ..quiet_config()
         };
-        let a = Simulator::new(&m, &g, &p, config.clone()).expect("valid").run();
+        let a = Simulator::new(&m, &g, &p, config.clone())
+            .expect("valid")
+            .run();
         let b = Simulator::new(&m, &g, &p, config).expect("valid").run();
         assert_eq!(a.sink_events, b.sink_events);
         assert_eq!(a.throughput, b.throughput);

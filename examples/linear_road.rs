@@ -48,7 +48,12 @@ fn main() {
             report.plan.compress_ratio,
         );
         let evaluator = Evaluator::saturated(&machine);
-        let matrix = comm_cost_matrix(&evaluator, &graph, &report.plan.placement, &report.evaluation);
+        let matrix = comm_cost_matrix(
+            &evaluator,
+            &graph,
+            &report.plan.placement,
+            &report.evaluation,
+        );
         println!("cross-socket fetch cost (ms of stall per second, from row to column):");
         print!("      ");
         for j in 0..machine.sockets() {

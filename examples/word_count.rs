@@ -31,7 +31,10 @@ fn main() {
     let sim = system
         .simulate(&topology, &report.plan, SimConfig::default())
         .expect("simulates");
-    println!("RLAS measured (simulator): {:.1}k events/s", sim.k_events_per_sec());
+    println!(
+        "RLAS measured (simulator): {:.1}k events/s",
+        sim.k_events_per_sec()
+    );
 
     // Same replication, heuristic placements (the Figure 13 comparison).
     let graph = ExecutionGraph::new(

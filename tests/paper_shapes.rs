@@ -75,11 +75,16 @@ fn brisk_latency_is_far_below_baselines() {
     };
     let plan = optimize(&machine, &topology, &options()).expect("plan");
     let graph = ExecutionGraph::new(&topology, &plan.plan.replication, plan.plan.compress_ratio);
-    let brisk = Simulator::new(&machine, &graph, &plan.plan.placement, latency_config.clone())
-        .expect("valid")
-        .run()
-        .latency_ns
-        .percentile(99.0);
+    let brisk = Simulator::new(
+        &machine,
+        &graph,
+        &plan.plan.placement,
+        latency_config.clone(),
+    )
+    .expect("valid")
+    .run()
+    .latency_ns
+    .percentile(99.0);
     let storm = baseline_run(
         System::Storm,
         &machine,
@@ -180,8 +185,7 @@ fn per_tuple_cost_grows_with_numa_distance() {
     let v = graph.vertices_of(splitter)[0];
     let mut totals = Vec::new();
     for socket in [0usize, 1, 4, 7] {
-        let mut placement =
-            briskstream::dag::Placement::all_on(graph.vertex_count(), SocketId(0));
+        let mut placement = briskstream::dag::Placement::all_on(graph.vertex_count(), SocketId(0));
         placement.place(v, SocketId(socket));
         let config = SimConfig {
             noise_sigma: 0.0,

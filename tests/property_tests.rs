@@ -18,10 +18,10 @@ use proptest::prelude::*;
 /// A random small pipeline: spout -> bolts... -> sink with random costs.
 fn arb_topology() -> impl Strategy<Value = LogicalTopology> {
     (
-        1usize..=3,                            // bolts
+        1usize..=3,                                // bolts
         prop::collection::vec(50.0f64..2000.0, 5), // costs
         prop::collection::vec(16.0f64..256.0, 5),  // tuple sizes
-        0usize..3,                             // partitioning selector
+        0usize..3,                                 // partitioning selector
     )
         .prop_map(|(bolts, costs, sizes, part)| {
             let partitioning = match part {

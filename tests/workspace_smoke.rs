@@ -1,0 +1,55 @@
+//! Workspace smoke test: the exact quickstart path promised by the
+//! `src/lib.rs` doctest — build the paper's Server A, submit the WordCount
+//! topology, and get back an optimized plan with positive predicted
+//! throughput. If this breaks, the README's first code sample is lying.
+
+use briskstream::apps::word_count;
+use briskstream::core::BriskStream;
+use briskstream::numa::Machine;
+
+#[test]
+fn quickstart_path_produces_positive_plan() {
+    let machine = Machine::server_a();
+    let app = word_count::topology();
+    let mut system = BriskStream::new(machine);
+    let report = system.submit(&app).expect("plan found");
+
+    assert!(
+        report.plan.total_replicas() >= app.operator_count(),
+        "every operator needs at least one replica: {} replicas for {} operators",
+        report.plan.total_replicas(),
+        app.operator_count()
+    );
+    assert!(
+        report.predicted_throughput > 0.0,
+        "predicted throughput must be positive, got {}",
+        report.predicted_throughput
+    );
+    assert!(
+        report.predicted_throughput.is_finite(),
+        "predicted throughput must be finite, got {}",
+        report.predicted_throughput
+    );
+    assert!(
+        report.plan.placement.is_complete(),
+        "submit must return a fully placed plan"
+    );
+}
+
+#[test]
+fn quickstart_is_deterministic() {
+    let report_a = BriskStream::new(Machine::server_a())
+        .submit(&word_count::topology())
+        .expect("plan found");
+    let report_b = BriskStream::new(Machine::server_a())
+        .submit(&word_count::topology())
+        .expect("plan found");
+    assert_eq!(
+        report_a.predicted_throughput, report_b.predicted_throughput,
+        "submitting the same app to the same machine must be deterministic"
+    );
+    assert_eq!(
+        report_a.plan.replication, report_b.plan.replication,
+        "replication decisions must be deterministic"
+    );
+}

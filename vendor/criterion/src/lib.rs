@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of the criterion 0.5 API that `crates/bench/benches/microbench.rs`
+//! uses: [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`Throughput`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (used with `harness = false`).
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed batches
+//! until a wall-clock budget is spent, reporting mean ns/iter (plus
+//! elements/s when a throughput is set). No statistics, plots, or baselines —
+//! enough to keep hot paths honest and the bench target compiling in CI.
+
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark. Kept small so `cargo bench` finishes in
+/// seconds; CI only compiles benches (`cargo bench --no-run`).
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly inside the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_end = Instant::now() + WARMUP;
+        while Instant::now() < warmup_end {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let deadline = start + MEASURE;
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            // Check the clock in batches so timing overhead stays small on
+            // nanosecond-scale bodies.
+            if iters.is_multiple_of(64) && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<40} (no iterations recorded)");
+            return;
+        }
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        let rate = throughput.map(|t| {
+            let per_iter = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            let unit = match t {
+                Throughput::Elements(_) => "elem/s",
+                Throughput::Bytes(_) => "B/s",
+            };
+            format!(" ({:.3e} {unit})", per_iter * 1e9 / ns_per_iter)
+        });
+        println!(
+            "{id:<40} {ns_per_iter:>12.1} ns/iter  [{} iters]{}",
+            b.iters,
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_iters() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| std::hint::black_box(3 * 7)));
+        g.finish();
+    }
+}
