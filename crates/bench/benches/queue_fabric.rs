@@ -1,0 +1,78 @@
+//! A/B micro-benchmark of the two queue fabrics ([`QueueKind`]) on the
+//! engine's hottest path: moving jumbo tuples across a single
+//! producer→consumer replica pair.
+//!
+//! Methodology: each iteration ping-pongs a **pre-built** payload through
+//! the queue (push then pop), so the numbers isolate pure queue overhead —
+//! no tuple allocation noise, exactly the per-jumbo synchronization cost
+//! the engine pays per queue crossing. Three shapes per fabric:
+//!
+//! * `push_pop_u64` — minimal element, the raw fabric floor.
+//! * `jumbo_push_pop_64` — one [`JumboTuple`] of 64 tuples per crossing
+//!   (the default `jumbo_size`); throughput is reported per *tuple*.
+//! * `batch8_jumbo64` — `push_n`/`pop_n` moving 8 jumbos per index
+//!   publish, the grouped flush/drain path.
+//!
+//! Results are recorded in `BENCH_queue.json` at the repo root; the SPSC
+//! ring must beat the mutex queue by ≥2× on `jumbo_push_pop_64`.
+
+use brisk_runtime::{JumboTuple, QueueKind, ReplicaQueue, Tuple};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn jumbo(n: usize) -> JumboTuple {
+    JumboTuple {
+        producer: 0,
+        logical_edge: 0,
+        tuples: (0..n).map(|i| Tuple::new(i as u64, 0)).collect(),
+    }
+}
+
+fn bench_kind(c: &mut Criterion, kind: QueueKind) {
+    let name = format!("queue_fabric/{kind}");
+    let mut g = c.benchmark_group(&name);
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_u64", |b| {
+        let q: ReplicaQueue<u64> = ReplicaQueue::new(kind, 1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            q.push(i).expect("open");
+            i = i.wrapping_add(1);
+            std::hint::black_box(q.try_pop())
+        });
+    });
+
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("jumbo_push_pop_64", |b| {
+        let q: ReplicaQueue<JumboTuple> = ReplicaQueue::new(kind, 64);
+        // Ping-pong one pre-built jumbo: measures queue overhead per
+        // 64-tuple group, not tuple construction.
+        let mut carried = Some(jumbo(64));
+        b.iter(|| {
+            q.push(carried.take().expect("carried")).expect("open");
+            carried = q.try_pop();
+            std::hint::black_box(carried.is_some())
+        });
+    });
+
+    g.throughput(Throughput::Elements(8 * 64));
+    g.bench_function("batch8_jumbo64", |b| {
+        let q: ReplicaQueue<JumboTuple> = ReplicaQueue::new(kind, 64);
+        let mut carried: Vec<JumboTuple> = (0..8).map(|_| jumbo(64)).collect();
+        b.iter(|| {
+            q.push_n(std::mem::take(&mut carried)).expect("open");
+            q.pop_n(&mut carried, 8);
+            std::hint::black_box(carried.len())
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_queue_fabric(c: &mut Criterion) {
+    bench_kind(c, QueueKind::Mutex);
+    bench_kind(c, QueueKind::Spsc);
+}
+
+criterion_group!(benches, bench_queue_fabric);
+criterion_main!(benches);

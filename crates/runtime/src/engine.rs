@@ -17,12 +17,12 @@ use crate::operator::{
     AppRuntime, BoltContext, Collector, EngineClock, OperatorRuntime, OutputEdge, SpoutStatus,
 };
 use crate::partition::Partitioner;
-use crate::queue::BoundedQueue;
+use crate::queue::{QueueKind, ReplicaQueue};
+use crate::spsc::Backoff;
 use crate::tuple::JumboTuple;
 use brisk_dag::{ExecutionGraph, ExecutionPlan, OperatorKind, Partitioning};
 use brisk_metrics::Histogram;
 use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,11 +52,15 @@ impl NumaPenalty {
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
+    /// Which queue fabric wires replica pairs (default: lock-free SPSC).
+    pub queue_kind: QueueKind,
     /// Queue capacity in jumbo tuples.
     pub queue_capacity: usize,
     /// Tuples batched per jumbo tuple (1 disables the jumbo optimization).
     pub jumbo_size: usize,
-    /// Idle executor back-off.
+    /// Park interval ceiling for the adaptive spin → yield → park back-off
+    /// ladder (see [`Backoff`]) — governs both idle executors polling
+    /// empty inputs and producers blocked on a full SPSC ring.
     pub poll_backoff: Duration,
     /// Emit-side flush cadence, in operator invocations.
     pub flush_every: u32,
@@ -70,6 +74,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
+            queue_kind: QueueKind::default(),
             queue_capacity: 64,
             jumbo_size: 64,
             poll_backoff: Duration::from_micros(100),
@@ -102,13 +107,24 @@ impl RunReport {
     }
 }
 
-struct SinkMetrics {
+/// Shared, relaxed sink progress counter — only used so `run_until_events`
+/// can poll from the driver thread. The authoritative per-replica metrics
+/// ([`SinkLocal`]) are thread-local and merged after join, so sink replicas
+/// never contend on a shared histogram lock.
+struct SinkProgress {
     events: AtomicU64,
-    latency: Mutex<Histogram>,
+}
+
+/// Per-sink-replica metrics, owned by the replica thread for the whole run
+/// and merged into the [`RunReport`] after the thread joins.
+#[derive(Default)]
+struct SinkLocal {
+    events: u64,
+    latency: Histogram,
 }
 
 struct InputPort {
-    queue: Arc<BoundedQueue<JumboTuple>>,
+    queue: Arc<ReplicaQueue<JumboTuple>>,
     producer_replica: usize,
     producer_bytes: f64,
 }
@@ -219,7 +235,13 @@ impl Engine {
                 let mut queues = Vec::with_capacity(nc);
                 for c in 0..nc {
                     let cg = replica_base[edge.to.0] + c;
-                    let q = Arc::new(BoundedQueue::new(self.config.queue_capacity));
+                    // One producer replica, one consumer replica: the SPSC
+                    // fabric's contract holds by construction.
+                    let q = Arc::new(ReplicaQueue::with_park(
+                        self.config.queue_kind,
+                        self.config.queue_capacity,
+                        self.config.poll_backoff,
+                    ));
                     inputs[cg].push(InputPort {
                         queue: Arc::clone(&q),
                         producer_replica: pg,
@@ -250,9 +272,8 @@ impl Engine {
         );
         let processed: Arc<Vec<AtomicU64>> =
             Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
-        let sink_metrics = Arc::new(SinkMetrics {
+        let sink_progress = Arc::new(SinkProgress {
             events: AtomicU64::new(0),
-            latency: Mutex::new(Histogram::new()),
         });
 
         let started = Instant::now();
@@ -288,7 +309,7 @@ impl Engine {
                 let op_done = Arc::clone(&op_done);
                 let op_live = Arc::clone(&op_live);
                 let processed = Arc::clone(&processed);
-                let sink_metrics = Arc::clone(&sink_metrics);
+                let sink_progress = Arc::clone(&sink_progress);
                 let clock = Arc::clone(&clock);
                 let config = self.config.clone();
                 let kind = spec.kind;
@@ -312,10 +333,10 @@ impl Engine {
                             op_done,
                             op_live,
                             processed,
-                            sink_metrics,
+                            sink_progress,
                             clock,
                             config,
-                        });
+                        })
                     })
                     .expect("thread spawn");
                 handles.push(handle);
@@ -327,7 +348,7 @@ impl Engine {
             StopCondition::After(d) => std::thread::sleep(d),
             StopCondition::Events { events, timeout } => {
                 let deadline = Instant::now() + timeout;
-                while sink_metrics.events.load(Ordering::Relaxed) < events
+                while sink_progress.events.load(Ordering::Relaxed) < events
                     && Instant::now() < deadline
                 {
                     std::thread::sleep(Duration::from_millis(1));
@@ -335,13 +356,18 @@ impl Engine {
             }
         }
         stop.store(true, Ordering::SeqCst);
+        // Merge each sink replica's thread-local metrics after join — the
+        // run itself never serialized replicas on a shared histogram.
+        let mut sink_events = 0u64;
+        let mut latency_ns = Histogram::new();
         for h in handles {
-            h.join().expect("replica thread panicked");
+            if let Some(local) = h.join().expect("replica thread panicked") {
+                sink_events += local.events;
+                latency_ns.merge(&local.latency);
+            }
         }
 
         let elapsed = started.elapsed();
-        let sink_events = sink_metrics.events.load(Ordering::Relaxed);
-        let latency_ns = sink_metrics.latency.lock().clone();
         RunReport {
             elapsed,
             sink_events,
@@ -372,21 +398,25 @@ struct ReplicaArgs {
     op_done: Arc<Vec<AtomicBool>>,
     op_live: Arc<Vec<AtomicUsize>>,
     processed: Arc<Vec<AtomicU64>>,
-    sink_metrics: Arc<SinkMetrics>,
+    sink_progress: Arc<SinkProgress>,
     clock: Arc<EngineClock>,
     config: EngineConfig,
 }
 
-fn run_replica(mut args: ReplicaArgs) {
-    match args.kind {
-        OperatorKind::Spout => run_spout(&mut args),
+fn run_replica(mut args: ReplicaArgs) -> Option<SinkLocal> {
+    let sink_local = match args.kind {
+        OperatorKind::Spout => {
+            run_spout(&mut args);
+            None
+        }
         OperatorKind::Bolt | OperatorKind::Sink => run_bolt(&mut args),
-    }
+    };
     args.collector.flush_all();
     // Last replica out marks the operator done, releasing consumers.
     if args.op_live[args.op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
         args.op_done[args.op_index].store(true, Ordering::Release);
     }
+    sink_local
 }
 
 fn run_spout(args: &mut ReplicaArgs) {
@@ -396,12 +426,14 @@ fn run_spout(args: &mut ReplicaArgs) {
         _ => unreachable!("kind checked by validate()"),
     };
     let mut since_flush = 0u32;
+    let mut backoff = Backoff::new(args.config.poll_backoff);
     loop {
         if args.stop.load(Ordering::Relaxed) || args.collector.output_closed {
             break;
         }
         match spout.next(&mut args.collector) {
             SpoutStatus::Emitted(n) => {
+                backoff.reset();
                 args.processed[args.op_index].fetch_add(n as u64, Ordering::Relaxed);
                 since_flush += 1;
                 if since_flush >= args.config.flush_every {
@@ -412,67 +444,105 @@ fn run_spout(args: &mut ReplicaArgs) {
             SpoutStatus::Idle => {
                 args.collector.flush_all();
                 since_flush = 0;
-                std::thread::sleep(args.config.poll_backoff);
+                backoff.snooze();
             }
             SpoutStatus::Exhausted => break,
         }
     }
 }
 
-fn run_bolt(args: &mut ReplicaArgs) {
+/// Jumbos drained from one port per consumer poll: enough to amortize the
+/// ring's index publish, small enough to keep round-robin port fairness.
+const POP_BATCH: usize = 4;
+
+/// Round-robin scan state over a replica's input ports, shared by the poll
+/// loop and the shutdown drain check.
+struct PortCursor {
+    n_ports: usize,
+    next: usize,
+}
+
+impl PortCursor {
+    fn new(n_ports: usize) -> PortCursor {
+        PortCursor { n_ports, next: 0 }
+    }
+
+    /// Pop up to `max` jumbos from the first non-empty port at or after the
+    /// cursor. Returns the port index served, advancing the cursor past it.
+    fn poll(
+        &mut self,
+        ports: &[InputPort],
+        out: &mut Vec<JumboTuple>,
+        max: usize,
+    ) -> Option<usize> {
+        for off in 0..self.n_ports {
+            let idx = (self.next + off) % self.n_ports;
+            if ports[idx].queue.pop_n(out, max) > 0 {
+                self.next = (idx + 1) % self.n_ports;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Whether every port is empty (lock-free reads; exact once the
+    /// producers have finished).
+    fn drained(&self, ports: &[InputPort]) -> bool {
+        ports.iter().all(|p| p.queue.is_empty())
+    }
+}
+
+fn run_bolt(args: &mut ReplicaArgs) -> Option<SinkLocal> {
     let op = brisk_dag::OperatorId(args.op_index);
     let mut bolt = match args.app.runtime(op) {
         OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(args.ctx),
         OperatorRuntime::Spout(_) => unreachable!("kind checked by validate()"),
     };
-    let is_sink = args.kind == OperatorKind::Sink;
-    let n_ports = args.ports.len();
-    let mut cursor = 0usize;
+    let mut sink_local = (args.kind == OperatorKind::Sink).then(SinkLocal::default);
+    let mut cursor = PortCursor::new(args.ports.len());
+    let mut backoff = Backoff::new(args.config.poll_backoff);
+    let mut batch: Vec<JumboTuple> = Vec::with_capacity(POP_BATCH);
     let mut since_flush = 0u32;
     loop {
-        let mut jumbo: Option<(usize, JumboTuple)> = None;
-        for off in 0..n_ports {
-            let idx = (cursor + off) % n_ports.max(1);
-            if let Some(j) = args.ports[idx].queue.try_pop() {
-                jumbo = Some((idx, j));
-                cursor = (idx + 1) % n_ports.max(1);
-                break;
-            }
-        }
-        match jumbo {
-            Some((port_idx, jumbo)) => {
-                let port = &args.ports[port_idx];
-                // Injected virtual-NUMA fetch penalty (Formula 2).
-                if let Some(p) = &args.config.numa_penalty {
-                    let ns = p.fetch_ns(
-                        port.producer_replica,
-                        args.collector_replica(),
-                        port.producer_bytes,
-                        jumbo.len(),
-                    );
-                    spin_ns(ns);
-                }
-                if args.config.extra_cost_ns_per_tuple > 0 {
-                    spin_ns(args.config.extra_cost_ns_per_tuple * jumbo.len() as u64);
-                }
-                if is_sink {
-                    let now = args.clock.now_ns();
-                    let mut latency = args.sink_metrics.latency.lock();
-                    for t in &jumbo.tuples {
-                        latency.record(now.saturating_sub(t.event_ns) as f64);
+        match cursor.poll(&args.ports, &mut batch, POP_BATCH) {
+            Some(port_idx) => {
+                backoff.reset();
+                let producer_replica = args.ports[port_idx].producer_replica;
+                let producer_bytes = args.ports[port_idx].producer_bytes;
+                for jumbo in batch.drain(..) {
+                    // Injected virtual-NUMA fetch penalty (Formula 2).
+                    if let Some(p) = &args.config.numa_penalty {
+                        let ns = p.fetch_ns(
+                            producer_replica,
+                            args.collector.replica(),
+                            producer_bytes,
+                            jumbo.len(),
+                        );
+                        spin_ns(ns);
                     }
-                    args.sink_metrics
-                        .events
-                        .fetch_add(jumbo.len() as u64, Ordering::Relaxed);
-                }
-                for t in &jumbo.tuples {
-                    bolt.execute(t, &mut args.collector);
-                }
-                args.processed[args.op_index].fetch_add(jumbo.len() as u64, Ordering::Relaxed);
-                since_flush += 1;
-                if since_flush >= args.config.flush_every {
-                    args.collector.flush_all();
-                    since_flush = 0;
+                    if args.config.extra_cost_ns_per_tuple > 0 {
+                        spin_ns(args.config.extra_cost_ns_per_tuple * jumbo.len() as u64);
+                    }
+                    if let Some(local) = sink_local.as_mut() {
+                        let now = args.clock.now_ns();
+                        for t in &jumbo.tuples {
+                            local.latency.record(now.saturating_sub(t.event_ns) as f64);
+                        }
+                        local.events += jumbo.len() as u64;
+                        // Relaxed aggregate so `run_until_events` can poll.
+                        args.sink_progress
+                            .events
+                            .fetch_add(jumbo.len() as u64, Ordering::Relaxed);
+                    }
+                    for t in &jumbo.tuples {
+                        bolt.execute(t, &mut args.collector);
+                    }
+                    args.processed[args.op_index].fetch_add(jumbo.len() as u64, Ordering::Relaxed);
+                    since_flush += 1;
+                    if since_flush >= args.config.flush_every {
+                        args.collector.flush_all();
+                        since_flush = 0;
+                    }
                 }
             }
             None => {
@@ -483,23 +553,17 @@ fn run_bolt(args: &mut ReplicaArgs) {
                     .iter()
                     .all(|&p| args.op_done[p].load(Ordering::Acquire));
                 if producers_done {
-                    let drained = args.ports.iter().all(|p| p.queue.is_empty());
-                    if drained {
+                    if cursor.drained(&args.ports) {
                         break;
                     }
                 } else {
-                    std::thread::sleep(args.config.poll_backoff);
+                    backoff.snooze();
                 }
             }
         }
     }
     bolt.finish(&mut args.collector);
-}
-
-impl ReplicaArgs {
-    fn collector_replica(&self) -> usize {
-        self.collector.replica()
-    }
+    sink_local
 }
 
 /// Busy-wait for approximately `ns` nanoseconds.

@@ -16,7 +16,12 @@
 //! * **Bounded queues with back-pressure**: when a consumer falls behind,
 //!   its input queues fill and producers block, eventually throttling the
 //!   spout so the system settles at its maximum sustainable rate
-//!   (Section 6.1, footnote 2).
+//!   (Section 6.1, footnote 2). Because the engine wires exactly one
+//!   producer replica to each queue, the default fabric is a **lock-free
+//!   cache-conscious SPSC ring** ([`SpscQueue`]); the mutex+condvar
+//!   [`BoundedQueue`] remains available via [`QueueKind`] for A/B
+//!   comparison. Idle executors and blocked producers wait on an adaptive
+//!   **spin → yield → park** ladder ([`Backoff`]) instead of fixed sleeps.
 //! * **Partition controller**: every task routes each emitted tuple to one
 //!   output buffer per consumer replica according to the edge's partitioning
 //!   strategy (shuffle / key-by / broadcast / global).
@@ -31,6 +36,7 @@ pub mod engine;
 pub mod operator;
 pub mod partition;
 pub mod queue;
+pub mod spsc;
 pub mod tuple;
 
 pub use engine::{Engine, EngineConfig, NumaPenalty, RunReport};
@@ -38,5 +44,6 @@ pub use operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
 };
 pub use partition::Partitioner;
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, QueueKind, ReplicaQueue};
+pub use spsc::{Backoff, PushError, SpscQueue};
 pub use tuple::{JumboTuple, Tuple};

@@ -8,7 +8,7 @@
 //! accumulated into jumbo tuples that are flushed to the consumer queues.
 
 use crate::partition::Partitioner;
-use crate::queue::BoundedQueue;
+use crate::queue::{QueueKind, ReplicaQueue};
 use crate::tuple::{JumboTuple, Tuple};
 use brisk_dag::{LogicalTopology, OperatorId, OperatorKind};
 use std::sync::Arc;
@@ -163,8 +163,9 @@ pub(crate) struct OutputEdge {
     pub partitioner: Partitioner,
     /// One queue per consumer replica (empty slots for `Global` non-zero
     /// replicas are simply absent: queue list is indexed by consumer
-    /// replica).
-    pub queues: Vec<Arc<BoundedQueue<JumboTuple>>>,
+    /// replica). Each queue has this task as its only producer, which is
+    /// what makes the SPSC fabric exact.
+    pub queues: Vec<Arc<ReplicaQueue<JumboTuple>>>,
     /// Per-consumer accumulation buffers.
     pub buffers: Vec<Vec<Tuple>>,
 }
@@ -260,7 +261,7 @@ impl Collector {
 
 /// Capture taps returned by [`Collector::capture`]: one `(stream name,
 /// queue)` pair per outgoing edge of the captured operator.
-pub type CaptureTaps = Vec<(String, Arc<BoundedQueue<JumboTuple>>)>;
+pub type CaptureTaps = Vec<(String, Arc<ReplicaQueue<JumboTuple>>)>;
 
 impl Collector {
     /// A standalone collector that *captures* emissions instead of shipping
@@ -281,7 +282,7 @@ impl Collector {
             if edge.from != op {
                 continue;
             }
-            let queue = Arc::new(BoundedQueue::new(capacity));
+            let queue = Arc::new(ReplicaQueue::new(QueueKind::default(), capacity));
             taps.push((edge.stream.clone(), Arc::clone(&queue)));
             edges.push(OutputEdge {
                 logical_edge: lei,
@@ -370,7 +371,7 @@ mod tests {
 
     #[test]
     fn collector_batches_into_jumbos() {
-        let q = Arc::new(BoundedQueue::new(16));
+        let q = Arc::new(ReplicaQueue::new(QueueKind::default(), 16));
         let edge = OutputEdge {
             logical_edge: 0,
             stream: DEFAULT_STREAM.to_string(),

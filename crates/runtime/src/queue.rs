@@ -3,10 +3,21 @@
 //! Every producer→consumer replica pair owns one queue. `push` blocks when
 //! the queue is full — that blocking *is* the back-pressure mechanism that
 //! ultimately slows the spout to the system's sustainable rate. `pop` never
-//! blocks (executors poll their input queues round-robin and park briefly
-//! when everything is empty); `close` wakes all blocked producers so the
+//! blocks (executors poll their input queues round-robin and back off when
+//! everything is empty); `close` wakes all blocked producers so the
 //! engine can shut down cleanly.
+//!
+//! Two interchangeable fabrics implement these semantics, selected by
+//! [`QueueKind`] and dispatched through [`ReplicaQueue`]:
+//!
+//! * [`SpscQueue`](crate::spsc::SpscQueue) — the default: a lock-free
+//!   cache-conscious ring exploiting the engine's one-producer /
+//!   one-consumer wiring (see `crate::spsc` for the design).
+//! * [`BoundedQueue`] — the original mutex + condvar MPSC queue, kept for
+//!   A/B benchmarking and for callers that genuinely need multiple
+//!   producers on one queue.
 
+use crate::spsc::SpscQueue;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -62,9 +73,13 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Push with a deadline. `Err(item)` on close *or* timeout.
+    ///
+    /// The deadline is computed **before** acquiring the lock, so time
+    /// spent waiting behind a slow consumer's lock hold counts against the
+    /// caller's timeout budget consistently.
     pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), T> {
-        let mut inner = self.inner.lock();
         let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
         loop {
             if inner.closed {
                 return Err(item);
@@ -77,6 +92,47 @@ impl<T> BoundedQueue<T> {
                 return Err(item);
             }
         }
+    }
+
+    /// Blocking batch push: enqueues every item under a single lock
+    /// acquisition per free run. `Err(remaining)` if the queue closes
+    /// mid-batch.
+    pub fn push_n(&self, items: Vec<T>) -> Result<(), Vec<T>> {
+        let mut iter = items.into_iter();
+        if iter.len() == 0 {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.closed {
+                return Err(iter.collect());
+            }
+            while inner.items.len() < self.capacity {
+                match iter.next() {
+                    Some(x) => inner.items.push_back(x),
+                    None => return Ok(()),
+                }
+            }
+            // The batch may have *exactly* filled the queue — don't wait
+            // for space nobody will need.
+            if iter.len() == 0 {
+                return Ok(());
+            }
+            self.not_full.wait(&mut inner);
+        }
+    }
+
+    /// Batch pop: moves up to `max` items into `out` under one lock
+    /// acquisition. Returns how many were popped.
+    pub fn pop_n(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let n = max.min(inner.items.len());
+        if n > 0 {
+            out.extend(inner.items.drain(..n));
+            // Slots opened; wake blocked producers.
+            self.not_full.notify_all();
+        }
+        n
     }
 
     /// Non-blocking pop.
@@ -111,6 +167,158 @@ impl<T> BoundedQueue<T> {
     /// Whether [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
         self.inner.lock().closed
+    }
+}
+
+/// Which queue fabric the engine wires between replica pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The original mutex + condvar [`BoundedQueue`] (MPSC-capable).
+    Mutex,
+    /// The lock-free cache-conscious [`SpscQueue`] — the default fabric,
+    /// exact for the engine's one-queue-per-replica-pair wiring.
+    #[default]
+    Spsc,
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueKind::Mutex => write!(f, "mutex"),
+            QueueKind::Spsc => write!(f, "spsc"),
+        }
+    }
+}
+
+/// A replica-pair queue of either fabric, dispatching each operation to the
+/// selected implementation. Both fabrics share identical blocking
+/// back-pressure and close/drain semantics, so the engine (and tests) can
+/// A/B them via [`QueueKind`] alone.
+// The variants differ in size because the ring pads its index pairs to
+// whole cache lines; the engine holds every queue behind an `Arc`, and
+// boxing the ring would put a second pointer hop on every push/pop.
+#[allow(clippy::large_enum_variant)]
+pub enum ReplicaQueue<T> {
+    /// Mutex + condvar fabric.
+    Mutex(BoundedQueue<T>),
+    /// Lock-free SPSC ring fabric.
+    Spsc(SpscQueue<T>),
+}
+
+impl<T> ReplicaQueue<T> {
+    /// Queue of the given fabric holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(kind: QueueKind, capacity: usize) -> ReplicaQueue<T> {
+        match kind {
+            QueueKind::Mutex => ReplicaQueue::Mutex(BoundedQueue::new(capacity)),
+            QueueKind::Spsc => ReplicaQueue::Spsc(SpscQueue::new(capacity)),
+        }
+    }
+
+    /// Queue with an explicit park interval for blocked producers (the
+    /// deepest rung of the SPSC fabric's wait ladder; the mutex fabric
+    /// wakes producers via condvar and ignores it). The engine passes its
+    /// `poll_backoff` here.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_park(kind: QueueKind, capacity: usize, park: Duration) -> ReplicaQueue<T> {
+        match kind {
+            QueueKind::Mutex => ReplicaQueue::Mutex(BoundedQueue::new(capacity)),
+            QueueKind::Spsc => ReplicaQueue::Spsc(SpscQueue::with_park(capacity, park)),
+        }
+    }
+
+    /// Which fabric this queue uses.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            ReplicaQueue::Mutex(_) => QueueKind::Mutex,
+            ReplicaQueue::Spsc(_) => QueueKind::Spsc,
+        }
+    }
+
+    /// Capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        match self {
+            ReplicaQueue::Mutex(q) => q.capacity(),
+            ReplicaQueue::Spsc(q) => q.capacity(),
+        }
+    }
+
+    /// Blocking push (back-pressure). `Err(item)` if closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        match self {
+            ReplicaQueue::Mutex(q) => q.push(item),
+            ReplicaQueue::Spsc(q) => q.push(item),
+        }
+    }
+
+    /// Push with a deadline computed before any waiting. `Err(item)` on
+    /// close or timeout.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), T> {
+        match self {
+            ReplicaQueue::Mutex(q) => q.push_timeout(item, timeout),
+            ReplicaQueue::Spsc(q) => q.push_timeout(item, timeout),
+        }
+    }
+
+    /// Blocking batch push. `Err(remaining)` if the queue closes mid-batch.
+    pub fn push_n(&self, items: Vec<T>) -> Result<(), Vec<T>> {
+        match self {
+            ReplicaQueue::Mutex(q) => q.push_n(items),
+            ReplicaQueue::Spsc(q) => q.push_n(items),
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        match self {
+            ReplicaQueue::Mutex(q) => q.try_pop(),
+            ReplicaQueue::Spsc(q) => q.try_pop(),
+        }
+    }
+
+    /// Batch pop of up to `max` items into `out`; returns how many.
+    pub fn pop_n(&self, out: &mut Vec<T>, max: usize) -> usize {
+        match self {
+            ReplicaQueue::Mutex(q) => q.pop_n(out, max),
+            ReplicaQueue::Spsc(q) => q.pop_n(out, max),
+        }
+    }
+
+    /// Number of queued items right now.
+    pub fn len(&self) -> usize {
+        match self {
+            ReplicaQueue::Mutex(q) => q.len(),
+            ReplicaQueue::Spsc(q) => q.len(),
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ReplicaQueue::Mutex(q) => q.is_empty(),
+            ReplicaQueue::Spsc(q) => q.is_empty(),
+        }
+    }
+
+    /// Close the queue: subsequent pushes fail, blocked producers wake,
+    /// queued items remain poppable (drain-on-shutdown).
+    pub fn close(&self) {
+        match self {
+            ReplicaQueue::Mutex(q) => q.close(),
+            ReplicaQueue::Spsc(q) => q.close(),
+        }
+    }
+
+    /// Whether [`ReplicaQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            ReplicaQueue::Mutex(q) => q.is_closed(),
+            ReplicaQueue::Spsc(q) => q.is_closed(),
+        }
     }
 }
 
@@ -184,6 +392,37 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.try_pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn batch_ops_single_lock_roundtrip() {
+        let q = BoundedQueue::new(8);
+        q.push_n((0..6).collect()).expect("open");
+        assert_eq!(q.len(), 6);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_n(&mut out, 4), 4);
+        assert_eq!(q.pop_n(&mut out, 4), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn replica_queue_dispatches_both_fabrics() {
+        for kind in [QueueKind::Mutex, QueueKind::Spsc] {
+            let q: ReplicaQueue<u32> = ReplicaQueue::new(kind, 4);
+            assert_eq!(q.kind(), kind);
+            assert_eq!(q.capacity(), 4);
+            q.push(7).expect("open");
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+            assert_eq!(q.try_pop(), Some(7));
+            q.push_n(vec![1, 2, 3]).expect("open");
+            let mut out = Vec::new();
+            assert_eq!(q.pop_n(&mut out, 8), 3);
+            q.close();
+            assert!(q.is_closed());
+            assert!(q.push(9).is_err());
+        }
+        assert_eq!(QueueKind::default(), QueueKind::Spsc);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Property + stress tests for the queue fabrics.
+//!
+//! Both [`QueueKind`]s must agree on the contract the engine depends on:
+//! FIFO order, a hard capacity bound (back-pressure), and close/drain
+//! semantics (pushes fail after close, queued items still pop). The
+//! properties replay randomized push/pop interleavings against a
+//! `VecDeque` model; the stress test moves 100k tuples across a real
+//! 2-thread producer/consumer pair under each fabric.
+
+use brisk_runtime::{QueueKind, ReplicaQueue};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const KINDS: [QueueKind; 2] = [QueueKind::Mutex, QueueKind::Spsc];
+
+/// Apply a randomized op sequence to a queue and a `VecDeque` model,
+/// checking they agree step by step. Ops: even = try-style push (via
+/// `push_timeout` with a zero budget so a full queue refuses instead of
+/// blocking), odd = pop.
+fn check_against_model(kind: QueueKind, capacity: usize, ops: &[u8]) -> Result<(), TestCaseError> {
+    let q: ReplicaQueue<u64> = ReplicaQueue::new(kind, capacity);
+    let mut model = std::collections::VecDeque::new();
+    let mut next_value = 0u64;
+    for &op in ops {
+        if op % 2 == 0 {
+            let full = model.len() == capacity;
+            let outcome = q.push_timeout(next_value, std::time::Duration::ZERO);
+            prop_assert!(
+                outcome.is_err() == full,
+                "push on {} at len {} (capacity {}) returned {:?}",
+                kind,
+                model.len(),
+                capacity,
+                outcome.is_err()
+            );
+            if !full {
+                model.push_back(next_value);
+                next_value += 1;
+            }
+        } else {
+            prop_assert_eq!(q.try_pop(), model.pop_front());
+        }
+        prop_assert_eq!(q.len(), model.len());
+        prop_assert_eq!(q.is_empty(), model.is_empty());
+        prop_assert!(q.len() <= capacity, "capacity bound violated");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FIFO order + exact capacity bound under random interleavings.
+    #[test]
+    fn fifo_and_capacity_match_model(
+        capacity in 1usize..20,
+        ops in prop::collection::vec(0u8..4, 1..200),
+    ) {
+        for kind in KINDS {
+            check_against_model(kind, capacity, &ops)?;
+        }
+    }
+
+    /// Batch push_n/pop_n preserve FIFO order and count every item once.
+    #[test]
+    fn batch_ops_match_item_ops(
+        capacity in 1usize..16,
+        chunks in prop::collection::vec(1usize..12, 1..20),
+    ) {
+        for kind in KINDS {
+            let q: ReplicaQueue<u64> = ReplicaQueue::new(kind, capacity);
+            let mut next = 0u64;
+            let mut popped = Vec::new();
+            for &chunk in &chunks {
+                // Keep each batch within the free space so push_n cannot
+                // block (single-threaded test).
+                let free = capacity - q.len();
+                let n = chunk.min(free);
+                let batch: Vec<u64> = (next..next + n as u64).collect();
+                next += n as u64;
+                prop_assert!(q.push_n(batch).is_ok());
+                q.pop_n(&mut popped, chunk / 2 + 1);
+            }
+            while q.pop_n(&mut popped, 8) > 0 {}
+            prop_assert_eq!(popped.len() as u64, next);
+            // FIFO end to end: popped must be exactly 0..next in order.
+            let expect: Vec<u64> = (0..next).collect();
+            prop_assert_eq!(popped, expect);
+            prop_assert!(q.is_empty());
+        }
+    }
+
+    /// Close/drain semantics: after close, pushes fail and every item
+    /// enqueued before close still pops, in order.
+    #[test]
+    fn close_preserves_drain(
+        capacity in 1usize..16,
+        pre_close in 0usize..16,
+        pop_before_close in 0usize..8,
+    ) {
+        for kind in KINDS {
+            let q: ReplicaQueue<u64> = ReplicaQueue::new(kind, capacity);
+            let pushed = pre_close.min(capacity);
+            for i in 0..pushed {
+                prop_assert!(q.push(i as u64).is_ok());
+            }
+            let expect = pushed as u64;
+            let mut seen = 0u64;
+            for _ in 0..pop_before_close.min(pushed) {
+                prop_assert_eq!(q.try_pop(), Some(seen));
+                seen += 1;
+            }
+            q.close();
+            prop_assert!(q.is_closed());
+            prop_assert!(q.push(999).is_err(), "push after close must fail");
+            prop_assert!(q.push_n(vec![1, 2]).is_err());
+            while let Some(v) = q.try_pop() {
+                prop_assert_eq!(v, seen);
+                seen += 1;
+            }
+            prop_assert!(seen == expect, "drain lost or invented items: {seen} != {expect}");
+        }
+    }
+}
+
+/// 2-thread stress: exactly-once, in-order delivery of 100k tuples through
+/// a small ring under both fabrics, with blocking back-pressure on the
+/// producer side and batch pops on the consumer side.
+#[test]
+fn two_thread_stress_exactly_once_100k() {
+    const N: u64 = 100_000;
+    for kind in KINDS {
+        let q: Arc<ReplicaQueue<u64>> = Arc::new(ReplicaQueue::new(kind, 32));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while i < N {
+                    // Mix single and batch pushes to cover both paths.
+                    if i % 3 == 0 {
+                        let hi = (i + 16).min(N);
+                        q.push_n((i..hi).collect()).expect("open");
+                        i = hi;
+                    } else {
+                        q.push(i).expect("open");
+                        i += 1;
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got: Vec<u64> = Vec::with_capacity(N as usize);
+                let mut idle = 0u32;
+                while (got.len() as u64) < N {
+                    if q.pop_n(&mut got, 8) == 0 {
+                        idle += 1;
+                        if idle % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    } else {
+                        idle = 0;
+                    }
+                }
+                got
+            })
+        };
+        producer.join().expect("producer ok");
+        let got = consumer.join().expect("consumer ok");
+        assert_eq!(got.len() as u64, N, "{kind}: exactly-once count");
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, i as u64, "{kind}: order violated at {i}");
+        }
+        assert!(q.is_empty(), "{kind}: ring should be fully drained");
+    }
+}

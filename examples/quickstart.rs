@@ -9,7 +9,7 @@ use briskstream::core::BriskStream;
 use briskstream::dag::{CostProfile, TopologyBuilder};
 use briskstream::numa::Machine;
 use briskstream::runtime::{
-    AppRuntime, Collector, DynBolt, DynSpout, EngineConfig, SpoutStatus, Tuple,
+    AppRuntime, Collector, DynBolt, DynSpout, EngineConfig, QueueKind, SpoutStatus, Tuple,
 };
 use briskstream::sim::SimConfig;
 use std::time::Duration;
@@ -82,10 +82,6 @@ fn main() {
 
     // 4. Run the real threaded engine on this host for half a second, with
     //    a small host-friendly plan.
-    let app = AppRuntime::new(topology.clone())
-        .spout(spout, |_| NumberSpout { next: 0 })
-        .bolt(square, |_| SquareBolt)
-        .sink(sink, |_| NullSink);
     let host_machine = Machine::server_a().restrict_sockets(1);
     let mut host = BriskStream::with_options(
         host_machine,
@@ -96,19 +92,30 @@ fn main() {
         },
     );
     let host_plan = host.submit(&topology).expect("feasible host plan");
-    let run = host
-        .execute(
-            app,
-            &host_plan.plan,
-            EngineConfig::default(),
-            Duration::from_millis(500),
-        )
-        .expect("engine runs");
-    println!(
-        "threaded on this host: {:.1}k events/s over {:?} ({} tuples, p99 {:.2} ms)",
-        run.k_events_per_sec(),
-        run.elapsed,
-        run.sink_events,
-        run.latency_ns.percentile(99.0) / 1e6
-    );
+    // Run the same plan under both queue fabrics: the lock-free SPSC ring
+    // (default) and the mutex queue kept for comparison.
+    for queue_kind in [QueueKind::Spsc, QueueKind::Mutex] {
+        let app = AppRuntime::new(topology.clone())
+            .spout(spout, |_| NumberSpout { next: 0 })
+            .bolt(square, |_| SquareBolt)
+            .sink(sink, |_| NullSink);
+        let run = host
+            .execute(
+                app,
+                &host_plan.plan,
+                EngineConfig {
+                    queue_kind,
+                    ..EngineConfig::default()
+                },
+                Duration::from_millis(500),
+            )
+            .expect("engine runs");
+        println!(
+            "threaded on this host [{queue_kind} queues]: {:.1}k events/s over {:?} ({} tuples, p99 {:.2} ms)",
+            run.k_events_per_sec(),
+            run.elapsed,
+            run.sink_events,
+            run.latency_ns.percentile(99.0) / 1e6
+        );
+    }
 }

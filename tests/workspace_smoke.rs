@@ -2,10 +2,15 @@
 //! `src/lib.rs` doctest — build the paper's Server A, submit the WordCount
 //! topology, and get back an optimized plan with positive predicted
 //! throughput. If this breaks, the README's first code sample is lying.
+//! Also runs the quickstart pipeline once under **each** queue fabric so CI
+//! exercises both the lock-free SPSC ring and the mutex queue end to end.
 
 use briskstream::apps::word_count;
 use briskstream::core::BriskStream;
 use briskstream::numa::Machine;
+use briskstream::rlas::ScalingOptions;
+use briskstream::runtime::{EngineConfig, QueueKind};
+use std::time::Duration;
 
 #[test]
 fn quickstart_path_produces_positive_plan() {
@@ -52,4 +57,40 @@ fn quickstart_is_deterministic() {
         report_a.plan.replication, report_b.plan.replication,
         "replication decisions must be deterministic"
     );
+}
+
+#[test]
+fn quickstart_pipeline_runs_under_each_queue_fabric() {
+    for queue_kind in [QueueKind::Mutex, QueueKind::Spsc] {
+        let mut system = BriskStream::with_options(
+            Machine::server_a().restrict_sockets(1),
+            ScalingOptions {
+                compress_ratio: 1,
+                max_total_replicas: Some(6),
+                ..ScalingOptions::default()
+            },
+        );
+        let topology = word_count::topology();
+        let report = system.submit(&topology).expect("feasible plan");
+        let run = system
+            .execute(
+                word_count::app(),
+                &report.plan,
+                EngineConfig {
+                    queue_kind,
+                    ..EngineConfig::default()
+                },
+                Duration::from_millis(250),
+            )
+            .expect("engine runs");
+        assert!(
+            run.sink_events > 100,
+            "{queue_kind}: only {} events reached the sink",
+            run.sink_events
+        );
+        assert!(
+            run.latency_ns.count() > 0,
+            "{queue_kind}: no latency samples recorded"
+        );
+    }
 }
