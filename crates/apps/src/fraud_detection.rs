@@ -50,10 +50,15 @@ pub fn topology() -> LogicalTopology {
 
 struct FdSpout {
     generator: TransactionGenerator,
+    remaining: u64,
 }
 
 impl DynSpout for FdSpout {
     fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        if self.remaining == 0 {
+            return SpoutStatus::Exhausted;
+        }
+        self.remaining -= 1;
         let txn = self.generator.next_transaction();
         let key = txn.account as u64;
         let now = collector.now_ns();
@@ -148,16 +153,23 @@ impl DynBolt for FdSink {
     fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
 }
 
-/// The runnable FD application.
+/// The runnable FD application, generating transactions until stopped.
 pub fn app() -> AppRuntime {
+    app_sized(u64::MAX)
+}
+
+/// The runnable FD application with a deterministic input budget of
+/// `total_events` transactions split across spout replicas.
+pub fn app_sized(total_events: u64) -> AppRuntime {
     let t = topology();
     let ids: Vec<_> = OPERATORS
         .iter()
         .map(|n| t.find(n).expect("operator exists"))
         .collect();
     AppRuntime::new(t)
-        .spout(ids[0], |ctx| FdSpout {
+        .spout(ids[0], move |ctx| FdSpout {
             generator: TransactionGenerator::new(0xFD ^ ctx.replica as u64, 4096),
+            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
         })
         .bolt(ids[1], |_| FdParser)
         .bolt(ids[2], |_| FdPredictor {

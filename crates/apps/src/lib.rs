@@ -26,6 +26,7 @@ pub mod spike_detection;
 pub mod word_count;
 
 use brisk_dag::LogicalTopology;
+use brisk_runtime::AppRuntime;
 
 /// The clock (GHz) the paper's published per-tuple nanosecond costs were
 /// measured at: Server A's Xeon E7-8890 runs at 1.2 GHz.
@@ -39,6 +40,31 @@ pub fn all_topologies() -> Vec<(&'static str, LogicalTopology)> {
         ("SD", spike_detection::topology()),
         ("LR", linear_road::topology()),
     ]
+}
+
+/// This replica's share of a total input-event budget: `total / replicas`
+/// plus one unit of the remainder for the lowest replica indices, so the
+/// shares sum to exactly `total` under any replication level. Spouts use
+/// this to make sized runs reproduce the same workload regardless of the
+/// execution plan.
+pub fn replica_share(total: u64, replica: usize, replicas: usize) -> u64 {
+    let n = replicas.max(1) as u64;
+    total / n + u64::from((replica as u64) < total % n)
+}
+
+/// A runnable, *size-parameterized* application by paper abbreviation: the
+/// spouts generate exactly `total_events` input events (split across
+/// replicas via [`replica_share`]) and then exhaust, so a run drains
+/// deterministically — the reproducible workload behind the e2e
+/// measured-vs-predicted harness.
+pub fn app_sized(abbrev: &str, total_events: u64) -> Option<AppRuntime> {
+    match abbrev {
+        "WC" => Some(word_count::app_sized(total_events)),
+        "FD" => Some(fraud_detection::app_sized(total_events)),
+        "SD" => Some(spike_detection::app_sized(total_events)),
+        "LR" => Some(linear_road::app_sized(total_events)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +88,52 @@ mod tests {
         assert!(fraud_detection::app().validate().is_ok());
         assert!(spike_detection::app().validate().is_ok());
         assert!(linear_road::app().validate().is_ok());
+    }
+
+    #[test]
+    fn replica_shares_sum_to_total() {
+        for total in [0u64, 1, 7, 100, 101] {
+            for replicas in 1..=5usize {
+                let sum: u64 = (0..replicas)
+                    .map(|r| replica_share(total, r, replicas))
+                    .sum();
+                assert_eq!(sum, total, "total {total} over {replicas} replicas");
+            }
+        }
+        // Guard against the unbounded sentinel overflowing.
+        assert!(replica_share(u64::MAX, 0, 3) > 0);
+    }
+
+    #[test]
+    fn app_sized_resolves_every_abbreviation() {
+        for (abbrev, _) in all_topologies() {
+            let app = app_sized(abbrev, 100).expect("known app");
+            assert!(app.validate().is_ok(), "{abbrev}");
+        }
+        assert!(app_sized("nope", 100).is_none());
+    }
+
+    #[test]
+    fn sized_spout_exhausts_after_its_share() {
+        use brisk_runtime::{Collector, OperatorRuntime, SpoutStatus};
+        let app = word_count::app_sized(5);
+        let spout_id = app.topology.find("spout").expect("exists");
+        let OperatorRuntime::Spout(factory) = app.runtime(spout_id) else {
+            panic!("spout expected");
+        };
+        let mut spout = factory(brisk_runtime::BoltContext {
+            replica: 0,
+            replicas: 1,
+        });
+        let (mut collector, _taps) = Collector::capture(&app.topology, spout_id, 64);
+        let mut emitted = 0;
+        loop {
+            match spout.next(&mut collector) {
+                SpoutStatus::Emitted(n) => emitted += n,
+                SpoutStatus::Exhausted => break,
+                SpoutStatus::Idle => {}
+            }
+        }
+        assert_eq!(emitted, 5);
     }
 }

@@ -242,10 +242,15 @@ pub struct TollNotification {
 
 struct LrSpout {
     generator: LrGenerator,
+    remaining: u64,
 }
 
 impl DynSpout for LrSpout {
     fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        if self.remaining == 0 {
+            return SpoutStatus::Exhausted;
+        }
+        self.remaining -= 1;
         let event = self.generator.next_event();
         let now = collector.now_ns();
         let key = match event {
@@ -558,8 +563,14 @@ impl DynBolt for LrSink {
     fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
 }
 
-/// The runnable LR application.
+/// The runnable LR application, generating events until stopped.
 pub fn app() -> AppRuntime {
+    app_sized(u64::MAX)
+}
+
+/// The runnable LR application with a deterministic input budget of
+/// `total_events` road events split across spout replicas.
+pub fn app_sized(total_events: u64) -> AppRuntime {
     let t = topology();
     let id = |n: &str| t.find(n).expect("operator exists");
     let (spout, parser, dispatcher) = (id("spout"), id("parser"), id("dispatcher"));
@@ -571,8 +582,9 @@ pub fn app() -> AppRuntime {
     );
     let (daily, balance, sink) = (id("daily_expen"), id("account_balance"), id("sink"));
     AppRuntime::new(t)
-        .spout(spout, |ctx| LrSpout {
+        .spout(spout, move |ctx| LrSpout {
             generator: LrGenerator::new(0x14 ^ ctx.replica as u64, 10_000),
+            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
         })
         .bolt(parser, |_| LrParser)
         .bolt(dispatcher, |_| LrDispatcher)

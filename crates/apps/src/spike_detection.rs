@@ -80,10 +80,15 @@ pub struct SpikeSignal {
 
 struct SdSpout {
     generator: SensorGenerator,
+    remaining: u64,
 }
 
 impl DynSpout for SdSpout {
     fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        if self.remaining == 0 {
+            return SpoutStatus::Exhausted;
+        }
+        self.remaining -= 1;
         let r = self.generator.next_reading();
         let now = collector.now_ns();
         collector.emit_default(Tuple::keyed(r, now, r.device as u64));
@@ -155,16 +160,23 @@ impl DynBolt for SdSink {
     fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
 }
 
-/// The runnable SD application.
+/// The runnable SD application, generating readings until stopped.
 pub fn app() -> AppRuntime {
+    app_sized(u64::MAX)
+}
+
+/// The runnable SD application with a deterministic input budget of
+/// `total_events` sensor readings split across spout replicas.
+pub fn app_sized(total_events: u64) -> AppRuntime {
     let t = topology();
     let ids: Vec<_> = OPERATORS
         .iter()
         .map(|n| t.find(n).expect("operator exists"))
         .collect();
     AppRuntime::new(t)
-        .spout(ids[0], |ctx| SdSpout {
+        .spout(ids[0], move |ctx| SdSpout {
             generator: SensorGenerator::new(0x5D ^ ctx.replica as u64, 256),
+            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
         })
         .bolt(ids[1], |_| SdParser)
         .bolt(ids[2], |_| SdMovingAverage {

@@ -61,10 +61,15 @@ pub fn topology() -> LogicalTopology {
 
 struct WcSpout {
     generator: SentenceGenerator,
+    remaining: u64,
 }
 
 impl DynSpout for WcSpout {
     fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        if self.remaining == 0 {
+            return SpoutStatus::Exhausted;
+        }
+        self.remaining -= 1;
         let sentence = self.generator.next_sentence();
         let now = collector.now_ns();
         collector.emit_default(Tuple::new(sentence, now));
@@ -125,20 +130,29 @@ impl DynBolt for WcSink {
     fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
 }
 
-/// The runnable WC application (threaded engine form).
+/// The runnable WC application (threaded engine form), generating sentences
+/// until stopped.
 pub fn app() -> AppRuntime {
+    app_sized(u64::MAX)
+}
+
+/// The runnable WC application with a deterministic input budget: the
+/// spouts emit exactly `total_events` sentences in total (split across
+/// replicas), then exhaust.
+pub fn app_sized(total_events: u64) -> AppRuntime {
     let t = topology();
     let ids: Vec<_> = OPERATORS
         .iter()
         .map(|n| t.find(n).expect("operator exists"))
         .collect();
     AppRuntime::new(t)
-        .spout(ids[0], |ctx| WcSpout {
+        .spout(ids[0], move |ctx| WcSpout {
             generator: SentenceGenerator::new(
                 0x5747_u64 ^ ctx.replica as u64,
                 1000,
                 WORDS_PER_SENTENCE,
             ),
+            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
         })
         .bolt(ids[1], |_| WcParser)
         .bolt(ids[2], |_| WcSplitter)

@@ -12,12 +12,19 @@
 //!   (the default `jumbo_size`); throughput is reported per *tuple*.
 //! * `batch8_jumbo64` — `push_n`/`pop_n` moving 8 jumbos per index
 //!   publish, the grouped flush/drain path.
+//! * `xcore_pingpong_jumbo64` — the **2-thread** variant: a dedicated
+//!   consumer thread echoes each jumbo back on a second queue, so every
+//!   iteration is a genuine cross-thread round trip (two queue crossings
+//!   with real cache-line traffic between cores). On a 1-vCPU container
+//!   the two threads time-share, so treat those numbers as a smoke signal
+//!   there and as a real cross-core measurement only on multi-core hosts.
 //!
 //! Results are recorded in `BENCH_queue.json` at the repo root; the SPSC
 //! ring must beat the mutex queue by ≥2× on `jumbo_push_pop_64`.
 
 use brisk_runtime::{JumboTuple, QueueKind, ReplicaQueue, Tuple};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
 
 fn jumbo(n: usize) -> JumboTuple {
     JumboTuple {
@@ -64,6 +71,50 @@ fn bench_kind(c: &mut Criterion, kind: QueueKind) {
             q.pop_n(&mut carried, 8);
             std::hint::black_box(carried.len())
         });
+    });
+
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("xcore_pingpong_jumbo64", |b| {
+        // Producer (bench thread) → `up` → echo thread → `down` → bench
+        // thread: each queue keeps exactly one producer and one consumer,
+        // so the SPSC contract holds across real threads.
+        let up: Arc<ReplicaQueue<JumboTuple>> = Arc::new(ReplicaQueue::new(kind, 64));
+        let down: Arc<ReplicaQueue<JumboTuple>> = Arc::new(ReplicaQueue::new(kind, 64));
+        let echo = {
+            let up = Arc::clone(&up);
+            let down = Arc::clone(&down);
+            std::thread::spawn(move || loop {
+                match up.try_pop() {
+                    Some(jumbo) => {
+                        if down.push(jumbo).is_err() {
+                            break;
+                        }
+                    }
+                    None => {
+                        if up.is_closed() {
+                            break;
+                        }
+                        // Yield, not spin: keeps the bench honest on
+                        // single-vCPU hosts where the threads time-share.
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut carried = Some(jumbo(64));
+        b.iter(|| {
+            up.push(carried.take().expect("carried")).expect("open");
+            loop {
+                if let Some(back) = down.try_pop() {
+                    carried = Some(back);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+        up.close();
+        down.close();
+        echo.join().expect("echo thread");
     });
 
     g.finish();

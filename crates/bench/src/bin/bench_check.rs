@@ -1,0 +1,132 @@
+//! `bench_check` — the e2e perf-regression guard.
+//!
+//! Compares a freshly measured `BENCH_e2e.json` (produced by the `e2e`
+//! binary earlier in the same CI job) against the committed baseline's
+//! `"guard"` section, app by app. A fresh throughput below
+//! `baseline × (1 - tolerance)` fails the check. The tolerance is generous
+//! by default because CI hosts differ from the machine the baseline was
+//! recorded on; the guard exists to catch order-of-magnitude regressions in
+//! the engine hot path, not single-digit noise.
+//!
+//! Escape hatches, for intentional perf changes that re-baseline:
+//! * a commit message containing `[bench-reset]` in the last few commits,
+//! * the `BENCH_RESET` environment variable,
+//! * the `--reset` flag.
+//!
+//! ```text
+//! cargo run --release -p brisk-bench --bin bench_check -- \
+//!     [--baseline BENCH_e2e.json] [--fresh BENCH_e2e.ci.json] \
+//!     [--tolerance 0.5] [--reset]
+//! ```
+
+use brisk_bench::e2e::extract_guard;
+
+fn reset_requested(flag: bool) -> Option<&'static str> {
+    if flag {
+        return Some("--reset flag");
+    }
+    if std::env::var("BENCH_RESET").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return Some("BENCH_RESET environment variable");
+    }
+    // Scan recent commit messages for the marker; on PR merge refs the
+    // marker lives on the head commit, hence the small window.
+    let log = std::process::Command::new("git")
+        .args(["log", "-5", "--pretty=%B"])
+        .output();
+    if let Ok(out) = log {
+        if String::from_utf8_lossy(&out.stdout).contains("[bench-reset]") {
+            return Some("[bench-reset] commit marker");
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = "BENCH_e2e.json".to_string();
+    let mut fresh_path = "BENCH_e2e.ci.json".to_string();
+    let mut tolerance = 0.5f64;
+    let mut reset_flag = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = it.next().expect("--baseline needs a path").clone(),
+            "--fresh" => fresh_path = it.next().expect("--fresh needs a path").clone(),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("--tolerance needs a number")
+                    .parse()
+                    .expect("tolerance must be a fraction like 0.5");
+            }
+            "--reset" => reset_flag = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_check [--baseline PATH] [--fresh PATH] [--tolerance F] [--reset]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(why) = reset_requested(reset_flag) {
+        println!(
+            "bench_check: skipped ({why}) — commit a regenerated {baseline_path} to re-baseline"
+        );
+        return;
+    }
+
+    let read_guard = |path: &str| -> Vec<(String, f64)> {
+        let content = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run the e2e binary first)"));
+        let guard = extract_guard(&content);
+        assert!(!guard.is_empty(), "{path} has no guard section");
+        guard
+    };
+    let baseline = read_guard(&baseline_path);
+    let fresh = read_guard(&fresh_path);
+
+    println!(
+        "bench_check: fresh {fresh_path} vs baseline {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    let mut failures = Vec::new();
+    for (app, base) in &baseline {
+        let Some((_, now)) = fresh.iter().find(|(a, _)| a == app) else {
+            failures.push(format!("{app}: missing from fresh results"));
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let verdict = if *now >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "  {app}: baseline {:.1}k ev/s, fresh {:.1}k ev/s (floor {:.1}k) {verdict}",
+            base / 1e3,
+            now / 1e3,
+            floor / 1e3
+        );
+        if *now < floor {
+            failures.push(format!(
+                "{app}: {:.1}k ev/s is below the {:.1}k ev/s floor ({:.0}% of baseline {:.1}k)",
+                now / 1e3,
+                floor / 1e3,
+                (1.0 - tolerance) * 100.0,
+                base / 1e3
+            ));
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\ne2e throughput regressed (or hosts differ too much):");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        eprintln!(
+            "If this change intentionally shifts performance, regenerate the baseline\n\
+             (cargo run --release -p brisk-bench --bin e2e -- --full --out {baseline_path})\n\
+             and include [bench-reset] in the commit message."
+        );
+        std::process::exit(1);
+    }
+    println!("bench_check: all apps within tolerance");
+}

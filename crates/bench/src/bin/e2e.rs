@@ -1,0 +1,131 @@
+//! `e2e` — the end-to-end measured-vs-predicted harness driver.
+//!
+//! Runs the profile → optimize → execute → compare loop
+//! ([`brisk_bench::e2e`]) for the four paper applications, prints a summary
+//! table, and writes `BENCH_e2e.json`. Exits non-zero when any app fails to
+//! plan, panics, or measures zero throughput — the CI smoke gate.
+//!
+//! ```text
+//! cargo run --release -p brisk-bench --bin e2e -- [--smoke|--full] \
+//!     [--out PATH] [--apps WC,FD,SD,LR]
+//! ```
+
+use brisk_bench::e2e::{run_app, to_json, AppE2e, E2eOptions, APPS};
+use brisk_bench::harness::markdown_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = "smoke".to_string();
+    let mut out_path = "BENCH_e2e.json".to_string();
+    let mut apps: Vec<&'static str> = APPS.to_vec();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => mode = "smoke".into(),
+            "--full" => mode = "full".into(),
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--apps" => {
+                let list = it.next().expect("--apps needs a list");
+                apps = list
+                    .split(',')
+                    .map(|a| {
+                        *APPS
+                            .iter()
+                            .find(|k| k.eq_ignore_ascii_case(a.trim()))
+                            .unwrap_or_else(|| panic!("unknown app '{a}' (use WC,FD,SD,LR)"))
+                    })
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: e2e [--smoke|--full] [--out PATH] [--apps WC,FD,SD,LR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let opts = match mode.as_str() {
+        "full" => E2eOptions::full(),
+        _ => E2eOptions::smoke(),
+    };
+
+    println!(
+        "# e2e measured vs predicted ({mode} mode, {} input events/app, machine: {})\n",
+        opts.event_budget,
+        opts.machine.name()
+    );
+
+    let mut results: Vec<AppE2e> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for app in apps {
+        print!("{app}: profiling + optimizing + executing... ");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match run_app(app, &opts) {
+            Ok(r) => {
+                println!(
+                    "measured {:.1}k ev/s (predicted {:.1}k, rlas/rr {:.2})",
+                    r.measured.first().map(|m| m.throughput).unwrap_or(0.0) / 1e3,
+                    r.predicted_throughput / 1e3,
+                    r.rlas_over_rr
+                );
+                for m in &r.measured {
+                    if m.throughput <= 0.0 || !m.throughput.is_finite() {
+                        failures.push(format!("{app}: zero throughput under {}", m.queue_kind));
+                    }
+                }
+                results.push(r);
+            }
+            Err(e) => {
+                println!("FAILED");
+                failures.push(format!("{app}: {e}"));
+            }
+        }
+    }
+
+    if !results.is_empty() {
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                let spsc = r.measured.first();
+                vec![
+                    r.app.to_string(),
+                    format!("{}", r.replication.iter().sum::<usize>()),
+                    format!("{:.1}", r.predicted_throughput / 1e3),
+                    spsc.map(|m| format!("{:.1}", m.throughput / 1e3))
+                        .unwrap_or_default(),
+                    spsc.map(|m| format!("{:.2}", m.measured_over_predicted))
+                        .unwrap_or_default(),
+                    format!("{:.1}", r.rr_throughput / 1e3),
+                    format!("{:.2}", r.rlas_over_rr),
+                ]
+            })
+            .collect();
+        println!();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "App",
+                    "replicas",
+                    "predicted k ev/s",
+                    "measured k ev/s",
+                    "meas/pred",
+                    "RR k ev/s",
+                    "RLAS/RR"
+                ],
+                &rows
+            )
+        );
+        let json = to_json(&results, &mode, &opts);
+        std::fs::write(&out_path, &json).expect("write bench json");
+        println!("wrote {out_path}");
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\ne2e harness failures:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,498 @@
+//! End-to-end **measured vs predicted** harness.
+//!
+//! The paper's central claim (Sections 3–5, Figure 14) is that the
+//! rate-based NUMA-aware model predicts real execution well enough for RLAS
+//! to pick winning plans. This module closes that loop on the real engine,
+//! for each of the four benchmark applications:
+//!
+//! 1. **Profile** — time the real Rust operators in isolation
+//!    ([`brisk_core::profiler::live_profile`]) and write the medians back
+//!    into the topology's cost profiles at the virtual machine's clock
+//!    ([`brisk_core::profiler::instantiate`]), so the model sees the host's
+//!    actual per-tuple costs.
+//! 2. **Optimize** — run RLAS on the calibrated topology against a virtual
+//!    NUMA machine, producing an [`ExecutionPlan`].
+//! 3. **Execute** — run the plan on the threaded engine
+//!    ([`Engine::with_plan`], which injects the plan's Formula-2 fetch
+//!    costs) under each [`QueueKind`], with a deterministic sized workload
+//!    ([`brisk_apps::app_sized`]).
+//! 4. **Compare** — line up measured throughput/latency and per-operator
+//!    output rates against [`predict_for_plan`]'s numbers, plus a
+//!    round-robin placement of the *same* replication as the paper's
+//!    directional baseline (RLAS must not lose to RR).
+//!
+//! Results serialize to `BENCH_e2e.json` (see [`to_json`]); CI re-runs the
+//! harness in smoke mode on every PR and `bench_check` gates regressions
+//! against the committed baseline.
+//!
+//! Absolute prediction error is expected to be large on small shared
+//! development hosts — the model assumes each replica owns a core, while a
+//! 1-vCPU CI container time-shares all of them — so the JSON reports the
+//! honest `measured_over_predicted` ratio and the *ordering* claims are
+//! what the gates assert.
+
+use brisk_apps::app_sized;
+use brisk_core::profiler::{instantiate, live_profile};
+use brisk_dag::{ExecutionGraph, ExecutionPlan, OperatorKind};
+use brisk_model::{predict_for_plan, PlanPrediction};
+use brisk_numa::Machine;
+use brisk_rlas::{
+    optimize, place_with_strategy, PlacementOptions, PlacementStrategy, ScalingOptions,
+};
+use brisk_runtime::{Engine, EngineConfig, QueueKind, RunReport};
+use std::time::Duration;
+
+/// The four paper applications, in harness order.
+pub const APPS: [&str; 4] = ["WC", "FD", "SD", "LR"];
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct E2eOptions {
+    /// The virtual NUMA machine plans are optimized for (and whose fetch
+    /// costs the engine injects).
+    pub machine: Machine,
+    /// Total input events each run generates (split across spout replicas;
+    /// see [`brisk_apps::replica_share`]).
+    pub event_budget: u64,
+    /// Per-operator samples for live profiling.
+    pub profile_samples: usize,
+    /// Replica budget floor for RLAS; each app gets at least
+    /// `operator_count + 1` so every operator can be replicated.
+    pub replica_budget: usize,
+    /// Per-run wall-clock cap (runs normally end by draining the sized
+    /// spouts well before this).
+    pub timeout: Duration,
+    /// Queue fabrics to measure.
+    pub queue_kinds: Vec<QueueKind>,
+    /// B&B node budget per placement call.
+    pub plan_node_budget: usize,
+    /// RLAS graph compression ratio.
+    pub compress_ratio: usize,
+}
+
+impl E2eOptions {
+    /// CI smoke configuration: small deterministic budgets, both fabrics.
+    pub fn smoke() -> E2eOptions {
+        E2eOptions {
+            machine: Machine::server_a().restrict_sockets(2),
+            event_budget: 5_000,
+            profile_samples: 200,
+            replica_budget: 8,
+            timeout: Duration::from_secs(60),
+            queue_kinds: vec![QueueKind::Spsc, QueueKind::Mutex],
+            plan_node_budget: 2_500,
+            compress_ratio: 2,
+        }
+    }
+
+    /// Baseline configuration for the committed `BENCH_e2e.json`.
+    pub fn full() -> E2eOptions {
+        E2eOptions {
+            event_budget: 25_000,
+            profile_samples: 400,
+            plan_node_budget: 6_000,
+            timeout: Duration::from_secs(180),
+            ..E2eOptions::smoke()
+        }
+    }
+
+    /// Minimal configuration for tests: one fabric, tiny budgets.
+    pub fn tiny() -> E2eOptions {
+        E2eOptions {
+            event_budget: 800,
+            profile_samples: 100,
+            plan_node_budget: 800,
+            timeout: Duration::from_secs(30),
+            queue_kinds: vec![QueueKind::Spsc],
+            ..E2eOptions::smoke()
+        }
+    }
+
+    fn scaling_options(&self, operator_count: usize) -> ScalingOptions {
+        ScalingOptions {
+            compress_ratio: self.compress_ratio,
+            max_total_replicas: Some(self.replica_budget.max(operator_count + 1)),
+            placement: PlacementOptions {
+                max_nodes: self.plan_node_budget,
+                ..PlacementOptions::default()
+            },
+            ..ScalingOptions::default()
+        }
+    }
+}
+
+/// One engine execution of a plan under one queue fabric.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// Fabric the engine was wired with.
+    pub queue_kind: QueueKind,
+    /// Input events the spouts generated.
+    pub input_events: u64,
+    /// Tuples the sinks received.
+    pub sink_events: u64,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+    /// Sink events per second.
+    pub throughput: f64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_latency_us: f64,
+    /// Tail end-to-end latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Back-pressure stalls summed over all operators.
+    pub queue_full_events: u64,
+    /// Measured output rate per operator (tuples/sec), topology order.
+    pub per_operator_output_rate: Vec<(String, f64)>,
+    /// `throughput / predicted_throughput` — the prediction-accuracy ratio
+    /// (1.0 = perfect; < 1 means the host under-delivers the model).
+    pub measured_over_predicted: f64,
+}
+
+/// Full measured-vs-predicted result for one application.
+#[derive(Debug, Clone)]
+pub struct AppE2e {
+    /// Paper abbreviation (WC/FD/SD/LR).
+    pub app: &'static str,
+    /// Operator names in topology order.
+    pub operators: Vec<String>,
+    /// RLAS-chosen replication per operator.
+    pub replication: Vec<usize>,
+    /// Distinct sockets the RLAS placement uses.
+    pub sockets_used: usize,
+    /// The model's prediction for the RLAS plan.
+    pub predicted_throughput: f64,
+    /// Predicted output rate per operator (tuples/sec), topology order.
+    pub predicted_output_rates: Vec<(String, f64)>,
+    /// Name of the operator the model flags as the bottleneck, if any.
+    pub predicted_bottleneck: Option<String>,
+    /// One measured run per requested queue fabric (RLAS plan).
+    pub measured: Vec<MeasuredRun>,
+    /// Measured throughput of the round-robin placement of the same
+    /// replication, default fabric.
+    pub rr_throughput: f64,
+    /// RLAS measured throughput over RR measured throughput (default
+    /// fabric) — the paper's directional claim is that this is ≥ 1.
+    pub rlas_over_rr: f64,
+}
+
+fn measure(
+    abbrev: &'static str,
+    plan: &ExecutionPlan,
+    prediction: &PlanPrediction,
+    kind: QueueKind,
+    opts: &E2eOptions,
+) -> Result<MeasuredRun, String> {
+    let app =
+        app_sized(abbrev, opts.event_budget).ok_or_else(|| format!("unknown app {abbrev}"))?;
+    let topology = app.topology.clone();
+    let config = EngineConfig {
+        queue_kind: kind,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::with_plan(app, plan, &opts.machine, config)?;
+    let report: RunReport = engine.run_until_events(u64::MAX, opts.timeout);
+    let input_events: u64 = topology
+        .operators()
+        .filter(|(_, spec)| spec.kind == OperatorKind::Spout)
+        .map(|(id, _)| report.emitted[id.0])
+        .sum();
+    let per_operator_output_rate = topology
+        .operators()
+        .map(|(id, spec)| (spec.name.clone(), report.output_rate(id.0)))
+        .collect();
+    Ok(MeasuredRun {
+        queue_kind: kind,
+        input_events,
+        sink_events: report.sink_events,
+        elapsed: report.elapsed,
+        throughput: report.throughput,
+        p50_latency_us: report.latency_ns.percentile(50.0) / 1e3,
+        p99_latency_us: report.latency_ns.percentile(99.0) / 1e3,
+        queue_full_events: report.queue_full_events.iter().sum(),
+        per_operator_output_rate,
+        measured_over_predicted: report.throughput / prediction.throughput.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Run the profile → optimize → execute → compare loop for one application.
+pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String> {
+    let topology = brisk_apps::all_topologies()
+        .into_iter()
+        .find(|(a, _)| *a == abbrev)
+        .map(|(_, t)| t)
+        .ok_or_else(|| format!("unknown app {abbrev}"))?;
+
+    // 1. Profile the real operators and calibrate the model's inputs.
+    let profiling_app = app_sized(abbrev, u64::MAX).expect("known app");
+    let mut profiles = live_profile(&profiling_app, opts.profile_samples);
+    let calibrated = instantiate(&topology, &mut profiles, opts.machine.clock_hz());
+
+    // 2. Optimize under the virtual machine.
+    let scaling = opts.scaling_options(calibrated.operator_count());
+    let rlas = optimize(&opts.machine, &calibrated, &scaling)
+        .ok_or_else(|| format!("{abbrev}: no feasible plan"))?;
+
+    // 3/4. Predict, then execute the plan under every requested fabric.
+    let prediction = predict_for_plan(&opts.machine, &calibrated, &rlas.plan);
+    let mut measured = Vec::new();
+    for &kind in &opts.queue_kinds {
+        measured.push(measure(abbrev, &rlas.plan, &prediction, kind, opts)?);
+    }
+
+    // Round-robin placement of the same replication: the paper's
+    // directional baseline (Table 6 / Figure 13), measured for real.
+    let graph = ExecutionGraph::new(
+        &calibrated,
+        &rlas.plan.replication,
+        rlas.plan.compress_ratio,
+    );
+    let rr_plan = ExecutionPlan {
+        replication: rlas.plan.replication.clone(),
+        compress_ratio: rlas.plan.compress_ratio,
+        placement: place_with_strategy(&graph, &opts.machine, PlacementStrategy::RoundRobin),
+    };
+    let rr_kind = *opts.queue_kinds.first().unwrap_or(&QueueKind::Spsc);
+    let rr = measure(abbrev, &rr_plan, &prediction, rr_kind, opts)?;
+    let rlas_default = measured.first().map(|m| m.throughput).unwrap_or(f64::NAN);
+
+    Ok(AppE2e {
+        app: abbrev,
+        operators: topology.operators().map(|(_, s)| s.name.clone()).collect(),
+        replication: rlas.plan.replication.clone(),
+        sockets_used: rlas.plan.placement.sockets_used().len(),
+        predicted_throughput: prediction.throughput,
+        predicted_output_rates: prediction
+            .operators
+            .iter()
+            .map(|o| (o.name.clone(), o.output_rate))
+            .collect(),
+        predicted_bottleneck: prediction
+            .operators
+            .iter()
+            .find(|o| o.bottleneck)
+            .map(|o| o.name.clone()),
+        measured,
+        rr_throughput: rr.throughput,
+        rlas_over_rr: rlas_default / rr.throughput.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Run the harness over all four applications.
+pub fn run_all(opts: &E2eOptions) -> Result<Vec<AppE2e>, String> {
+    APPS.iter().map(|a| run_app(a, opts)).collect()
+}
+
+// ---- JSON serialization ----------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn ratio(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn rate_map(rates: &[(String, f64)]) -> String {
+    let entries: Vec<String> = rates
+        .iter()
+        .map(|(n, r)| format!("\"{}\": {}", json_escape(n), num(*r)))
+        .collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
+/// Serialize harness results as the `BENCH_e2e.json` document.
+pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"e2e_measured_vs_predicted\",\n");
+    out.push_str(
+        "  \"description\": \"Profile -> optimize -> execute -> compare loop on the real \
+         threaded engine: per app, live-profiled operator costs calibrate the model, RLAS \
+         picks a plan under a virtual NUMA machine, the engine executes that plan (with \
+         Formula-2 fetch costs injected) under each queue fabric, and measured throughput/\
+         latency is reported next to the model's prediction. round_robin is the same \
+         replication placed round-robin across sockets; the paper's directional claim is \
+         rlas_over_rr >= 1. measured_over_predicted < 1 on shared hosts is expected: the \
+         model assumes one core per replica.\",\n",
+    );
+    out.push_str(&format!(
+        "  \"command\": \"cargo run --release -p brisk-bench --bin e2e -- --{mode} --out BENCH_e2e.json\",\n"
+    ));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(mode)));
+    out.push_str(&format!(
+        "  \"machine\": \"{}\",\n",
+        json_escape(opts.machine.name())
+    ));
+    out.push_str(&format!("  \"event_budget\": {},\n", opts.event_budget));
+    out.push_str("  \"apps\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"app\": \"{}\",\n", r.app));
+        out.push_str(&format!(
+            "      \"plan\": {{\"replication\": [{}], \"total_replicas\": {}, \"sockets_used\": {}}},\n",
+            r.replication
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.replication.iter().sum::<usize>(),
+            r.sockets_used
+        ));
+        out.push_str(&format!(
+            "      \"predicted\": {{\"throughput\": {}, \"bottleneck\": {}, \"per_operator_output_rate\": {}}},\n",
+            num(r.predicted_throughput),
+            match &r.predicted_bottleneck {
+                Some(b) => format!("\"{}\"", json_escape(b)),
+                None => "null".to_string(),
+            },
+            rate_map(&r.predicted_output_rates)
+        ));
+        out.push_str("      \"measured\": {\n");
+        for (j, m) in r.measured.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {{\"throughput\": {}, \"input_events\": {}, \"sink_events\": {}, \
+                 \"elapsed_secs\": {:.3}, \"p50_latency_us\": {}, \"p99_latency_us\": {}, \
+                 \"queue_full_events\": {}, \"measured_over_predicted\": {}, \
+                 \"per_operator_output_rate\": {}}}{}\n",
+                m.queue_kind,
+                num(m.throughput),
+                m.input_events,
+                m.sink_events,
+                m.elapsed.as_secs_f64(),
+                num(m.p50_latency_us),
+                num(m.p99_latency_us),
+                m.queue_full_events,
+                ratio(m.measured_over_predicted),
+                rate_map(&m.per_operator_output_rate),
+                if j + 1 < r.measured.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      },\n");
+        out.push_str(&format!(
+            "      \"round_robin\": {{\"throughput\": {}, \"rlas_over_rr\": {}}}\n",
+            num(r.rr_throughput),
+            ratio(r.rlas_over_rr)
+        ));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Flat per-app guard numbers (default-fabric measured throughput) for
+    // the bench_check regression gate.
+    let guard: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let t = r.measured.first().map(|m| m.throughput).unwrap_or(0.0);
+            format!("\"{}\": {}", r.app.to_lowercase(), num(t))
+        })
+        .collect();
+    out.push_str(&format!("  \"guard\": {{{}}},\n", guard.join(", ")));
+    let ok = results.iter().all(|r| r.rlas_over_rr >= 1.0);
+    out.push_str(&format!(
+        "  \"acceptance\": \"RLAS measured >= RR measured on every app: {}\"\n",
+        if ok { "PASS" } else { "FAIL" }
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Extract the flat `"guard"` object of a `BENCH_e2e.json` document as
+/// `(app, throughput)` pairs. A deliberately narrow scanner — the repo has
+/// no JSON dependency and controls the writer ([`to_json`]).
+pub fn extract_guard(json: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find("\"guard\"") else {
+        return Vec::new();
+    };
+    let rest = &json[start..];
+    let Some(open) = rest.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find('}') else {
+        return Vec::new();
+    };
+    let body = &rest[open + 1..open + close];
+    body.split(',')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once(':')?;
+            let key = k.trim().trim_matches('"').to_string();
+            let value: f64 = v.trim().parse().ok()?;
+            Some((key, value))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_guard_roundtrip() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let fake = AppE2e {
+            app: "WC",
+            operators: vec!["spout".into(), "sink".into()],
+            replication: vec![1, 1],
+            sockets_used: 1,
+            predicted_throughput: 1234.5,
+            predicted_output_rates: vec![("spout".into(), 1234.5)],
+            predicted_bottleneck: Some("spout".into()),
+            measured: vec![MeasuredRun {
+                queue_kind: QueueKind::Spsc,
+                input_events: 100,
+                sink_events: 100,
+                elapsed: Duration::from_millis(10),
+                throughput: 999.25,
+                p50_latency_us: 1.0,
+                p99_latency_us: 2.0,
+                queue_full_events: 0,
+                per_operator_output_rate: vec![("spout".into(), 999.25)],
+                measured_over_predicted: 0.81,
+            }],
+            rr_throughput: 500.0,
+            rlas_over_rr: 1.99,
+        };
+        let json = to_json(&[fake], "smoke", &E2eOptions::tiny());
+        assert!(json.contains("\"guard\": {\"wc\": 999.2}"), "{json}");
+        let guard = extract_guard(&json);
+        assert_eq!(guard.len(), 1);
+        assert_eq!(guard[0].0, "wc");
+        assert!((guard[0].1 - 999.2).abs() < 1e-9);
+        // Balanced braces — a cheap well-formedness check without a parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+    }
+
+    #[test]
+    fn extract_guard_tolerates_garbage() {
+        assert!(extract_guard("not json at all").is_empty());
+        assert!(extract_guard("{\"guard\": oops").is_empty());
+        let partial = extract_guard("{\"guard\": {\"wc\": 1.0, \"bad\": x}}");
+        assert_eq!(partial.len(), 1);
+    }
+}

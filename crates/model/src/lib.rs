@@ -33,7 +33,9 @@
 pub mod comm;
 pub mod constraints;
 pub mod evaluator;
+pub mod predict;
 
 pub use comm::comm_cost_matrix;
 pub use constraints::{ConstraintReport, Violation};
 pub use evaluator::{Evaluation, Evaluator, Ingress, TfPolicy, VertexRates, BOTTLENECK_TOLERANCE};
+pub use predict::{predict_for_plan, OperatorPrediction, PlanPrediction};

@@ -1,0 +1,175 @@
+//! Plan-level prediction: the model's answer to "what will this exact plan
+//! do on this machine", in the shape measurements come in.
+//!
+//! [`Evaluator::evaluate`] speaks in execution-graph vertices; real engine
+//! runs report per *operator* (a `RunReport` has one counter slot per
+//! logical operator). [`predict_for_plan`] bridges the two: it evaluates a
+//! complete [`ExecutionPlan`] and pools the per-vertex rates into
+//! per-operator predictions, so a measured-vs-predicted harness can line up
+//! the model's output rates against an engine's counters row by row instead
+//! of comparing only the scalar throughput score.
+
+use crate::evaluator::{Evaluation, Evaluator};
+use brisk_dag::{ExecutionGraph, ExecutionPlan, LogicalTopology, OperatorKind};
+use brisk_numa::Machine;
+
+/// Modelled steady-state rates for one logical operator, pooled over all of
+/// its replicas under a concrete plan.
+#[derive(Debug, Clone)]
+pub struct OperatorPrediction {
+    /// Operator name (from the topology).
+    pub name: String,
+    /// Operator kind.
+    pub kind: OperatorKind,
+    /// Replicas the plan runs for this operator.
+    pub replicas: usize,
+    /// Arriving tuples/sec across all replicas (spouts: 0).
+    pub input_rate: f64,
+    /// Tuples/sec actually processed (spouts: generation rate).
+    pub processed_rate: f64,
+    /// Tuples/sec emitted across all output streams and replicas.
+    pub output_rate: f64,
+    /// Maximum input tuples/sec the operator could absorb under this
+    /// placement (pooled replica capacity; infinite for zero-cost ops).
+    pub capacity: f64,
+    /// Whether the model flags this operator as the pipeline bottleneck.
+    pub bottleneck: bool,
+}
+
+/// The model's full prediction for one execution plan.
+#[derive(Debug, Clone)]
+pub struct PlanPrediction {
+    /// Application throughput `R = Σ_sink ro`, tuples/sec.
+    pub throughput: f64,
+    /// Per-operator rates, indexed by `OperatorId`.
+    pub operators: Vec<OperatorPrediction>,
+    /// The vertex-granular evaluation the pooled numbers come from.
+    pub evaluation: Evaluation,
+}
+
+impl PlanPrediction {
+    /// Predicted output rate of the operator named `name`, if present.
+    pub fn output_rate_of(&self, name: &str) -> Option<f64> {
+        self.operators
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| o.output_rate)
+    }
+
+    /// Throughput in the paper's unit (k events/s).
+    pub fn k_events_per_sec(&self) -> f64 {
+        self.throughput / 1e3
+    }
+}
+
+/// Evaluate `plan` for `topology` on `machine` under the standard
+/// relative-location model with saturated ingress, returning per-operator
+/// output rates rather than just the scalar score.
+pub fn predict_for_plan(
+    machine: &Machine,
+    topology: &LogicalTopology,
+    plan: &ExecutionPlan,
+) -> PlanPrediction {
+    let graph = ExecutionGraph::new(topology, &plan.replication, plan.compress_ratio);
+    let evaluation = Evaluator::saturated(machine).evaluate(&graph, &plan.placement);
+    let mut operators: Vec<OperatorPrediction> = topology
+        .operators()
+        .map(|(id, spec)| OperatorPrediction {
+            name: spec.name.clone(),
+            kind: spec.kind,
+            replicas: plan.replication[id.0],
+            input_rate: 0.0,
+            processed_rate: 0.0,
+            output_rate: 0.0,
+            capacity: 0.0,
+            bottleneck: false,
+        })
+        .collect();
+    for (vid, vertex) in graph.vertices() {
+        let rates = &evaluation.vertices[vid.0];
+        let op = &mut operators[vertex.op.0];
+        op.input_rate += rates.input_rate;
+        op.processed_rate += rates.processed_rate;
+        op.output_rate += rates.output_rate;
+        op.capacity += rates.capacity;
+        op.bottleneck |= rates.bottleneck;
+    }
+    PlanPrediction {
+        throughput: evaluation.throughput,
+        operators,
+        evaluation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_dag::{CostProfile, Placement, TopologyBuilder};
+    use brisk_numa::{MachineBuilder, SocketId};
+
+    fn toy_machine() -> Machine {
+        MachineBuilder::new("toy")
+            .sockets(2)
+            .cores_per_socket(4)
+            .clock_ghz(1.0)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(200.0)
+            .max_hop_latency_ns(200.0)
+            .build()
+    }
+
+    /// spout(100cy) -> bolt(200cy) -> sink(50cy), 64-byte tuples.
+    fn linear_topology() -> LogicalTopology {
+        let mut b = TopologyBuilder::new("lin");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let x = b.add_bolt("bolt", CostProfile::new(200.0, 0.0, 64.0, 64.0));
+        let k = b.add_sink("sink", CostProfile::new(50.0, 0.0, 64.0, 64.0));
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn pools_vertex_rates_per_operator() {
+        let m = toy_machine();
+        let t = linear_topology();
+        // Two bolt replicas, uncompressed: two bolt vertices pool into one
+        // operator row whose capacity is the 10M sum.
+        let plan = ExecutionPlan {
+            replication: vec![1, 2, 1],
+            compress_ratio: 1,
+            placement: Placement::all_on(4, SocketId(0)),
+        };
+        let p = predict_for_plan(&m, &t, &plan);
+        assert_eq!(p.operators.len(), 3);
+        let bolt = &p.operators[1];
+        assert_eq!(bolt.name, "bolt");
+        assert_eq!(bolt.replicas, 2);
+        assert!((bolt.capacity - 1e7).abs() < 10.0, "{}", bolt.capacity);
+        // Spout at capacity 10M feeds both bolt replicas; everything flows
+        // through to the sink.
+        assert!((p.throughput - 1e7).abs() < 10.0, "{}", p.throughput);
+        assert!((bolt.input_rate - 1e7).abs() < 10.0);
+        assert!((p.output_rate_of("spout").expect("spout") - 1e7).abs() < 10.0);
+        assert_eq!(p.output_rate_of("nope"), None);
+        assert!((p.k_events_per_sec() - p.throughput / 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_scalar_evaluation() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let plan = ExecutionPlan {
+            replication: vec![1, 1, 1],
+            compress_ratio: 1,
+            placement: Placement::all_on(3, SocketId(0)),
+        };
+        let p = predict_for_plan(&m, &t, &plan);
+        let graph = ExecutionGraph::new(&t, &plan.replication, plan.compress_ratio);
+        let eval = Evaluator::saturated(&m).evaluate(&graph, &plan.placement);
+        assert_eq!(p.throughput, eval.throughput);
+        // The bottleneck flag survives pooling (bolt gates this pipeline).
+        assert!(p.operators[1].bottleneck);
+        assert!(!p.operators[2].bottleneck);
+    }
+}

@@ -39,7 +39,7 @@ pub mod queue;
 pub mod spsc;
 pub mod tuple;
 
-pub use engine::{Engine, EngineConfig, NumaPenalty, RunReport};
+pub use engine::{plan_replica_sockets, Engine, EngineConfig, NumaPenalty, RunReport};
 pub use operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
 };

@@ -178,6 +178,10 @@ pub struct Collector {
     clock: Arc<EngineClock>,
     /// Tuples emitted by this task (all streams).
     pub emitted: u64,
+    /// Queue-pressure counter: jumbo flushes that found their destination
+    /// queue already full, i.e. moments this task was (about to be) blocked
+    /// by back-pressure from a slow consumer.
+    pub stalled_flushes: u64,
     /// True once any destination queue is closed (engine shutting down).
     pub output_closed: bool,
 }
@@ -195,6 +199,7 @@ impl Collector {
             edges,
             clock,
             emitted: 0,
+            stalled_flushes: 0,
             output_closed: false,
         }
     }
@@ -243,8 +248,10 @@ impl Collector {
             logical_edge: e.logical_edge,
             tuples,
         };
-        if e.queues[consumer].push(jumbo).is_err() {
-            self.output_closed = true;
+        match e.queues[consumer].push_tracked(jumbo) {
+            Ok(true) => self.stalled_flushes += 1,
+            Ok(false) => {}
+            Err(_) => self.output_closed = true,
         }
     }
 

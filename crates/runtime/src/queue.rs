@@ -59,15 +59,24 @@ impl<T> BoundedQueue<T> {
     /// Blocking push: waits while the queue is full (back-pressure).
     /// Returns `Err(item)` if the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), T> {
+        self.push_tracked(item).map(|_| ())
+    }
+
+    /// Blocking push that additionally reports whether it found the queue
+    /// full and had to wait (`Ok(true)`) — the engine's queue-pressure
+    /// signal, observed under the lock the push takes anyway.
+    pub fn push_tracked(&self, item: T) -> Result<bool, T> {
         let mut inner = self.inner.lock();
+        let mut stalled = false;
         loop {
             if inner.closed {
                 return Err(item);
             }
             if inner.items.len() < self.capacity {
                 inner.items.push_back(item);
-                return Ok(());
+                return Ok(stalled);
             }
+            stalled = true;
             self.not_full.wait(&mut inner);
         }
     }
@@ -255,6 +264,15 @@ impl<T> ReplicaQueue<T> {
         }
     }
 
+    /// Blocking push that reports whether it stalled on a full queue
+    /// (`Ok(true)`). `Err(item)` if closed.
+    pub fn push_tracked(&self, item: T) -> Result<bool, T> {
+        match self {
+            ReplicaQueue::Mutex(q) => q.push_tracked(item),
+            ReplicaQueue::Spsc(q) => q.push_tracked(item),
+        }
+    }
+
     /// Push with a deadline computed before any waiting. `Err(item)` on
     /// close or timeout.
     pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), T> {
@@ -423,6 +441,26 @@ mod tests {
             assert!(q.push(9).is_err());
         }
         assert_eq!(QueueKind::default(), QueueKind::Spsc);
+    }
+
+    #[test]
+    fn push_tracked_reports_stalls_on_both_fabrics() {
+        for kind in [QueueKind::Mutex, QueueKind::Spsc] {
+            let q: Arc<ReplicaQueue<u32>> = Arc::new(ReplicaQueue::new(kind, 1));
+            // Uncontended push: no stall.
+            assert!(!q.push_tracked(1).expect("open"), "{kind}");
+            // Queue full: the push must block until the consumer drains,
+            // and report that it stalled.
+            let q2 = Arc::clone(&q);
+            let handle = std::thread::spawn(move || q2.push_tracked(2));
+            std::thread::sleep(Duration::from_millis(30));
+            assert_eq!(q.try_pop(), Some(1));
+            assert!(
+                handle.join().expect("no panic").expect("open"),
+                "{kind}: full-queue push should report a stall"
+            );
+            assert_eq!(q.try_pop(), Some(2));
+        }
     }
 
     #[test]

@@ -219,16 +219,26 @@ impl<T> SpscQueue<T> {
     /// is full (back-pressure). Returns `Err(item)` if the queue is closed.
     /// Producer-side only.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut item = item;
+        self.push_tracked(item).map(|_| ())
+    }
+
+    /// Blocking push that additionally reports whether it found the ring
+    /// full and had to wait (`Ok(true)`) — the engine's queue-pressure
+    /// signal, measured inside the push path so the uncontended fast path
+    /// costs nothing extra. Producer-side only.
+    pub fn push_tracked(&self, item: T) -> Result<bool, T> {
+        let mut item = match self.try_push(item) {
+            Ok(()) => return Ok(false),
+            Err(PushError::Closed(i)) => return Err(i),
+            Err(PushError::Full(i)) => i,
+        };
         let mut backoff = Backoff::new(self.park);
         loop {
+            backoff.snooze();
             match self.try_push(item) {
-                Ok(()) => return Ok(()),
+                Ok(()) => return Ok(true),
                 Err(PushError::Closed(i)) => return Err(i),
-                Err(PushError::Full(i)) => {
-                    item = i;
-                    backoff.snooze();
-                }
+                Err(PushError::Full(i)) => item = i,
             }
         }
     }

@@ -123,11 +123,23 @@ fn threaded_engine_runs_the_real_word_count() {
     assert!(run.latency_ns.count() > 0);
     let spout = topology.find("spout").expect("spout exists");
     let splitter = topology.find("splitter").expect("splitter exists");
-    // Selectivity 10 shows up in the real tuple counts.
-    let ratio = run.processed[splitter.0] as f64 / run.processed[spout.0].max(1) as f64;
+    let sink = topology.find("sink").expect("sink exists");
+    // Spout emission and sink consumption are reported separately: the
+    // spout emits sentences (no input side), the sink consumes words.
+    assert_eq!(run.processed[spout.0], 0, "spouts have no input side");
+    assert!(run.emitted[spout.0] > 0, "spout emissions recorded");
+    assert_eq!(run.processed[sink.0], run.sink_events);
+    // The splitter consumes each sentence once...
+    let consumed = run.processed[splitter.0] as f64 / run.emitted[spout.0] as f64;
     assert!(
-        (0.5..=1.5).contains(&ratio),
-        "splitter processes each sentence once (ratio {ratio})"
+        (0.5..=1.5).contains(&consumed),
+        "splitter consumes each sentence once (ratio {consumed})"
+    );
+    // ...and its measured selectivity is the paper's 10 words/sentence.
+    let selectivity = run.emitted[splitter.0] as f64 / run.processed[splitter.0].max(1) as f64;
+    assert!(
+        (9.0..=11.0).contains(&selectivity),
+        "splitter fan-out should be ~10 (measured {selectivity})"
     );
 }
 
