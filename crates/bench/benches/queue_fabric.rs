@@ -19,8 +19,11 @@
 //!   the two threads time-share, so treat those numbers as a smoke signal
 //!   there and as a real cross-core measurement only on multi-core hosts.
 //!
-//! Results are recorded in `BENCH_queue.json` at the repo root; the SPSC
-//! ring must beat the mutex queue by ≥2× on `jumbo_push_pop_64`.
+//! All three fabrics run the same shapes — the CAS-claimed MPSC ring's
+//! single-producer numbers sit between mutex and SPSC, pricing the fan-in
+//! wiring the engine auto-selects for multi-producer (Global funnel)
+//! edges. Results are recorded in `BENCH_queue.json` at the repo root; the
+//! SPSC ring must beat the mutex queue by ≥2× on `jumbo_push_pop_64`.
 
 use brisk_runtime::{JumboTuple, QueueKind, ReplicaQueue, Tuple};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -123,6 +126,7 @@ fn bench_kind(c: &mut Criterion, kind: QueueKind) {
 fn bench_queue_fabric(c: &mut Criterion) {
     bench_kind(c, QueueKind::Mutex);
     bench_kind(c, QueueKind::Spsc);
+    bench_kind(c, QueueKind::Mpsc);
 }
 
 criterion_group!(benches, bench_queue_fabric);

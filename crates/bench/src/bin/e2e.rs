@@ -63,15 +63,34 @@ fn main() {
         match run_app(app, &opts) {
             Ok(r) => {
                 println!(
-                    "measured {:.1}k ev/s (predicted {:.1}k, rlas/rr {:.2})",
+                    "measured {:.1}k ev/s (predicted {:.1}k, rlas/rr {:.2}, fused/unfused {:.2})",
                     r.measured.first().map(|m| m.throughput).unwrap_or(0.0) / 1e3,
                     r.predicted_throughput / 1e3,
-                    r.rlas_over_rr
+                    r.rlas_over_rr,
+                    r.fusion.fused_over_unfused
                 );
+                // Zero-throughput smoke covers every fused run (the
+                // per-fabric measurements) AND the fusion-disabled A/B leg.
                 for m in &r.measured {
                     if m.throughput <= 0.0 || !m.throughput.is_finite() {
-                        failures.push(format!("{app}: zero throughput under {}", m.queue_kind));
+                        failures.push(format!(
+                            "{app}: zero throughput under {} (fusion on)",
+                            m.queue_kind
+                        ));
                     }
+                }
+                if r.fusion.unfused_throughput <= 0.0 || !r.fusion.unfused_throughput.is_finite() {
+                    failures.push(format!("{app}: zero throughput with fusion disabled"));
+                }
+                // Deterministic gate: fully fused producers must have
+                // pushed nothing. (The total-crossings delta also appears
+                // in the JSON, but it carries partial-flush timing noise
+                // on unfused edges, so it is reported rather than gated.)
+                if r.fusion.fused_ops > 0 && !r.fusion.fused_edges_silent {
+                    failures.push(format!(
+                        "{app}: fusion did not silence fused edges ({} fused ops, crossings {} vs {})",
+                        r.fusion.fused_ops, r.fusion.fused_crossings, r.fusion.unfused_crossings
+                    ));
                 }
                 results.push(r);
             }
@@ -97,6 +116,8 @@ fn main() {
                         .unwrap_or_default(),
                     format!("{:.1}", r.rr_throughput / 1e3),
                     format!("{:.2}", r.rlas_over_rr),
+                    format!("{}", r.fusion.fused_ops),
+                    format!("{:.2}", r.fusion.fused_over_unfused),
                 ]
             })
             .collect();
@@ -111,7 +132,9 @@ fn main() {
                     "measured k ev/s",
                     "meas/pred",
                     "RR k ev/s",
-                    "RLAS/RR"
+                    "RLAS/RR",
+                    "fused ops",
+                    "fused/unfused"
                 ],
                 &rows
             )

@@ -33,13 +33,13 @@
 
 use brisk_apps::app_sized;
 use brisk_core::profiler::{instantiate, live_profile};
-use brisk_dag::{ExecutionGraph, ExecutionPlan, OperatorKind};
+use brisk_dag::{ExecutionGraph, ExecutionPlan, FusionPlan, OperatorKind};
 use brisk_model::{predict_for_plan, PlanPrediction};
 use brisk_numa::Machine;
 use brisk_rlas::{
     optimize, place_with_strategy, PlacementOptions, PlacementStrategy, ScalingOptions,
 };
-use brisk_runtime::{Engine, EngineConfig, QueueKind, RunReport};
+use brisk_runtime::{plan_replica_sockets, Engine, EngineConfig, QueueKind, RunReport};
 use std::time::Duration;
 
 /// The four paper applications, in harness order.
@@ -140,11 +140,42 @@ pub struct MeasuredRun {
     pub p99_latency_us: f64,
     /// Back-pressure stalls summed over all operators.
     pub queue_full_events: u64,
+    /// Queue crossings (jumbo pushes) summed over all operators — the
+    /// traffic operator fusion removes from fused edges.
+    pub queue_crossings: u64,
     /// Measured output rate per operator (tuples/sec), topology order.
     pub per_operator_output_rate: Vec<(String, f64)>,
+    /// Per-operator queue crossings (not serialized; feeds the
+    /// deterministic fusion gate).
+    pub per_operator_queue_pushes: Vec<u64>,
     /// `throughput / predicted_throughput` — the prediction-accuracy ratio
     /// (1.0 = perfect; < 1 means the host under-delivers the model).
     pub measured_over_predicted: f64,
+}
+
+/// The fused-vs-unfused A/B for one application: the same RLAS plan run on
+/// the default fabric with operator fusion on (the engine default) and
+/// forced off.
+#[derive(Debug, Clone)]
+pub struct FusionAB {
+    /// Operators the plan's [`FusionPlan`] fuses away (0 = no fusable
+    /// chain under this replication/placement).
+    pub fused_ops: usize,
+    /// Measured throughput with fusion on.
+    pub fused_throughput: f64,
+    /// Measured throughput with fusion forced off.
+    pub unfused_throughput: f64,
+    /// `fused_throughput / unfused_throughput` (> 1 = fusion wins).
+    pub fused_over_unfused: f64,
+    /// Queue crossings with fusion on.
+    pub fused_crossings: u64,
+    /// Queue crossings with fusion off.
+    pub unfused_crossings: u64,
+    /// Deterministic fusion proof: in the fused run, every operator whose
+    /// outgoing edges are all fused pushed **zero** jumbos. Unlike the
+    /// total-crossings delta (which carries partial-flush timing noise on
+    /// unfused edges), this is exact, so it is what CI gates on.
+    pub fused_edges_silent: bool,
 }
 
 /// Full measured-vs-predicted result for one application.
@@ -164,8 +195,10 @@ pub struct AppE2e {
     pub predicted_output_rates: Vec<(String, f64)>,
     /// Name of the operator the model flags as the bottleneck, if any.
     pub predicted_bottleneck: Option<String>,
-    /// One measured run per requested queue fabric (RLAS plan).
+    /// One measured run per requested queue fabric (RLAS plan, fusion on).
     pub measured: Vec<MeasuredRun>,
+    /// The fused-vs-unfused A/B on the default fabric.
+    pub fusion: FusionAB,
     /// Measured throughput of the round-robin placement of the same
     /// replication, default fabric.
     pub rr_throughput: f64,
@@ -179,6 +212,7 @@ fn measure(
     plan: &ExecutionPlan,
     prediction: &PlanPrediction,
     kind: QueueKind,
+    fusion: bool,
     opts: &E2eOptions,
 ) -> Result<MeasuredRun, String> {
     let app =
@@ -186,6 +220,7 @@ fn measure(
     let topology = app.topology.clone();
     let config = EngineConfig {
         queue_kind: kind,
+        fusion,
         ..EngineConfig::default()
     };
     let engine = Engine::with_plan(app, plan, &opts.machine, config)?;
@@ -208,6 +243,8 @@ fn measure(
         p50_latency_us: report.latency_ns.percentile(50.0) / 1e3,
         p99_latency_us: report.latency_ns.percentile(99.0) / 1e3,
         queue_full_events: report.queue_full_events.iter().sum(),
+        queue_crossings: report.queue_pushes.iter().sum(),
+        per_operator_queue_pushes: report.queue_pushes.clone(),
         per_operator_output_rate,
         measured_over_predicted: report.throughput / prediction.throughput.max(f64::MIN_POSITIVE),
     })
@@ -231,12 +268,47 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
     let rlas = optimize(&opts.machine, &calibrated, &scaling)
         .ok_or_else(|| format!("{abbrev}: no feasible plan"))?;
 
-    // 3/4. Predict, then execute the plan under every requested fabric.
+    // 3/4. Predict, then execute the plan under every requested fabric
+    // (operator fusion on — the engine default).
     let prediction = predict_for_plan(&opts.machine, &calibrated, &rlas.plan);
     let mut measured = Vec::new();
     for &kind in &opts.queue_kinds {
-        measured.push(measure(abbrev, &rlas.plan, &prediction, kind, opts)?);
+        measured.push(measure(abbrev, &rlas.plan, &prediction, kind, true, opts)?);
     }
+
+    // Fused-vs-unfused A/B: same plan, default fabric, fusion forced off.
+    let ab_kind = *opts.queue_kinds.first().unwrap_or(&QueueKind::Spsc);
+    let unfused = measure(abbrev, &rlas.plan, &prediction, ab_kind, false, opts)?;
+    let fused = measured.first().cloned().unwrap_or_else(|| unfused.clone());
+    let fusion_plan = FusionPlan::compute(
+        &calibrated,
+        &rlas.plan.replication,
+        Some(&plan_replica_sockets(&calibrated, &rlas.plan)),
+    );
+    // Exact gate: an operator with outgoing edges that are ALL fused must
+    // push nothing in the fused run — if fusion silently stopped rewiring,
+    // this trips deterministically, with no run-to-run flush noise.
+    let fused_edges_silent = calibrated
+        .operators()
+        .filter(|&(op, _)| {
+            let mut out = calibrated
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.from == op)
+                .peekable();
+            out.peek().is_some() && out.all(|(lei, _)| fusion_plan.is_edge_fused(lei))
+        })
+        .all(|(op, _)| fused.per_operator_queue_pushes[op.0] == 0);
+    let fusion = FusionAB {
+        fused_ops: fusion_plan.fused_op_count(),
+        fused_throughput: fused.throughput,
+        unfused_throughput: unfused.throughput,
+        fused_over_unfused: fused.throughput / unfused.throughput.max(f64::MIN_POSITIVE),
+        fused_crossings: fused.queue_crossings,
+        unfused_crossings: unfused.queue_crossings,
+        fused_edges_silent,
+    };
 
     // Round-robin placement of the same replication: the paper's
     // directional baseline (Table 6 / Figure 13), measured for real.
@@ -250,8 +322,7 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
         compress_ratio: rlas.plan.compress_ratio,
         placement: place_with_strategy(&graph, &opts.machine, PlacementStrategy::RoundRobin),
     };
-    let rr_kind = *opts.queue_kinds.first().unwrap_or(&QueueKind::Spsc);
-    let rr = measure(abbrev, &rr_plan, &prediction, rr_kind, opts)?;
+    let rr = measure(abbrev, &rr_plan, &prediction, ab_kind, true, opts)?;
     let rlas_default = measured.first().map(|m| m.throughput).unwrap_or(f64::NAN);
 
     Ok(AppE2e {
@@ -271,6 +342,7 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
             .find(|o| o.bottleneck)
             .map(|o| o.name.clone()),
         measured,
+        fusion,
         rr_throughput: rr.throughput,
         rlas_over_rr: rlas_default / rr.throughput.max(f64::MIN_POSITIVE),
     })
@@ -373,7 +445,8 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
             out.push_str(&format!(
                 "        \"{}\": {{\"throughput\": {}, \"input_events\": {}, \"sink_events\": {}, \
                  \"elapsed_secs\": {:.3}, \"p50_latency_us\": {}, \"p99_latency_us\": {}, \
-                 \"queue_full_events\": {}, \"measured_over_predicted\": {}, \
+                 \"queue_full_events\": {}, \"queue_crossings\": {}, \
+                 \"measured_over_predicted\": {}, \
                  \"per_operator_output_rate\": {}}}{}\n",
                 m.queue_kind,
                 num(m.throughput),
@@ -383,12 +456,26 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
                 num(m.p50_latency_us),
                 num(m.p99_latency_us),
                 m.queue_full_events,
+                m.queue_crossings,
                 ratio(m.measured_over_predicted),
                 rate_map(&m.per_operator_output_rate),
                 if j + 1 < r.measured.len() { "," } else { "" }
             ));
         }
         out.push_str("      },\n");
+        out.push_str(&format!(
+            "      \"fusion\": {{\"fused_ops\": {}, \"fused_throughput\": {}, \
+             \"unfused_throughput\": {}, \"fused_over_unfused\": {}, \
+             \"queue_crossings\": {{\"fused\": {}, \"unfused\": {}}}, \
+             \"fused_edges_silent\": {}}},\n",
+            r.fusion.fused_ops,
+            num(r.fusion.fused_throughput),
+            num(r.fusion.unfused_throughput),
+            ratio(r.fusion.fused_over_unfused),
+            r.fusion.fused_crossings,
+            r.fusion.unfused_crossings,
+            r.fusion.fused_edges_silent,
+        ));
         out.push_str(&format!(
             "      \"round_robin\": {{\"throughput\": {}, \"rlas_over_rr\": {}}}\n",
             num(r.rr_throughput),
@@ -412,8 +499,19 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
     out.push_str(&format!("  \"guard\": {{{}}},\n", guard.join(", ")));
     let ok = results.iter().all(|r| r.rlas_over_rr >= 1.0);
     out.push_str(&format!(
-        "  \"acceptance\": \"RLAS measured >= RR measured on every app: {}\"\n",
+        "  \"acceptance\": \"RLAS measured >= RR measured on every app: {}\",\n",
         if ok { "PASS" } else { "FAIL" }
+    ));
+    // Fusion is only required to cut crossings where a fusable chain
+    // exists; apps whose RLAS replication leaves no 1:1 chain pass
+    // vacuously.
+    let fusion_ok = results
+        .iter()
+        .all(|r| r.fusion.fused_ops == 0 || r.fusion.fused_crossings < r.fusion.unfused_crossings);
+    out.push_str(&format!(
+        "  \"fusion_acceptance\": \"fusion reduces queue crossings on every app with a \
+         fusable chain: {}\"\n",
+        if fusion_ok { "PASS" } else { "FAIL" }
     ));
     out.push_str("}\n");
     out
@@ -468,9 +566,20 @@ mod tests {
                 p50_latency_us: 1.0,
                 p99_latency_us: 2.0,
                 queue_full_events: 0,
+                queue_crossings: 7,
+                per_operator_queue_pushes: vec![7, 0],
                 per_operator_output_rate: vec![("spout".into(), 999.25)],
                 measured_over_predicted: 0.81,
             }],
+            fusion: FusionAB {
+                fused_ops: 1,
+                fused_throughput: 999.25,
+                unfused_throughput: 800.0,
+                fused_over_unfused: 1.25,
+                fused_crossings: 7,
+                unfused_crossings: 11,
+                fused_edges_silent: true,
+            },
             rr_throughput: 500.0,
             rlas_over_rr: 1.99,
         };

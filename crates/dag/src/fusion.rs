@@ -1,0 +1,386 @@
+//! Operator-chain fusion groups.
+//!
+//! The paper's execution-graph compression (heuristic 3) groups co-located
+//! replicas to shrink the placement search space; fusion takes the same
+//! idea to the *execution* layer. When a producer→consumer pair is wired
+//! 1:1 at the replica level — one producer replica feeding one consumer
+//! replica — and both replicas sit on the same (virtual) socket, the queue
+//! crossing between them buys nothing: the engine can run the consumer
+//! *inline* inside the producer's executor, eliminating the per-jumbo
+//! push/pop, the consumer's poll/back-off loop, and the fetch-cost
+//! injection on that edge.
+//!
+//! A [`FusionPlan`] is the plan-level answer to "which edges collapse":
+//! it is derived from a topology plus a replication configuration (and,
+//! when available, the per-replica socket assignment of an
+//! [`crate::ExecutionPlan`]), and is consumed by both the runtime (to
+//! rewire executors) and the model (to drop the Formula-2 communication
+//! term on fused edges).
+//!
+//! # Eligibility
+//!
+//! An operator `v` fuses into its producer `u` when **all** of:
+//!
+//! * every incoming edge of `v` originates at `u` (single upstream
+//!   operator — otherwise `v` would need to live in two executors);
+//! * `u` and `v` both run exactly one replica, so each fused edge is a
+//!   genuine 1:1 replica pairing. With one consumer replica every
+//!   partitioning strategy (Shuffle, KeyBy, Broadcast, Global) degenerates
+//!   to "deliver to replica 0", so routing semantics are preserved
+//!   verbatim;
+//! * the two replicas are placed on the same socket (unplaced replicas
+//!   count as collocated, matching the model's bounding relaxation).
+//!
+//! Chains compose transitively: if `s → a` and `a → b` both fuse, the
+//! three operators form one executor rooted at `s` (the chain *host*).
+//! Spouts are never fused away (they have no producer); sinks may be.
+
+use crate::graph::ExecutionGraph;
+use crate::plan::Placement;
+use crate::topology::{LogicalTopology, OperatorId};
+use brisk_numa::SocketId;
+
+/// Which operators fuse into which producers, and which logical edges
+/// consequently carry no queue. See the [module docs](self) for the
+/// eligibility rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPlan {
+    /// Direct host per operator: the producer an operator fuses into, or
+    /// itself when it keeps its own executor.
+    host: Vec<usize>,
+    /// Per logical edge: whether the edge is fused (inline, no queue).
+    fused_edges: Vec<bool>,
+}
+
+impl FusionPlan {
+    /// The identity plan: nothing fuses (fusion disabled).
+    pub fn disabled(topology: &LogicalTopology) -> FusionPlan {
+        FusionPlan {
+            host: (0..topology.operator_count()).collect(),
+            fused_edges: vec![false; topology.edges().len()],
+        }
+    }
+
+    /// Compute fusion groups for `topology` under `replication`.
+    ///
+    /// `replica_sockets`, when given, assigns a socket to every global
+    /// replica index (operator-major, as produced by the runtime's
+    /// `plan_replica_sockets`); `None` means placement is unknown and all
+    /// replicas count as collocated.
+    ///
+    /// # Panics
+    /// Panics if `replication` does not cover every operator or
+    /// `replica_sockets` (when given) does not cover every replica.
+    pub fn compute(
+        topology: &LogicalTopology,
+        replication: &[usize],
+        replica_sockets: Option<&[SocketId]>,
+    ) -> FusionPlan {
+        assert_eq!(
+            replication.len(),
+            topology.operator_count(),
+            "replication must cover every operator"
+        );
+        let total: usize = replication.iter().sum();
+        if let Some(sockets) = replica_sockets {
+            assert_eq!(sockets.len(), total, "sockets must cover every replica");
+        }
+        let mut replica_base = vec![0usize; replication.len()];
+        let mut acc = 0;
+        for (op, base) in replica_base.iter_mut().enumerate() {
+            *base = acc;
+            acc += replication[op];
+        }
+        // Socket of an operator's replica 0 (only queried for single-replica
+        // operators below).
+        let socket_of = |op: usize| -> Option<SocketId> {
+            replica_sockets.map(|sockets| sockets[replica_base[op]])
+        };
+
+        let mut plan = FusionPlan::disabled(topology);
+        for (v, _) in topology.operators() {
+            let mut incoming = topology
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.to == v);
+            let Some((first_lei, first)) = incoming.next() else {
+                continue; // spout: no producer to fuse into
+            };
+            let u = first.from;
+            let mut edge_indices = vec![first_lei];
+            let mut single_upstream = true;
+            for (lei, e) in incoming {
+                if e.from != u {
+                    single_upstream = false;
+                    break;
+                }
+                edge_indices.push(lei);
+            }
+            if !single_upstream || replication[u.0] != 1 || replication[v.0] != 1 {
+                continue;
+            }
+            // Same-socket check; unplaced/unknown counts as collocated.
+            if let (Some(su), Some(sv)) = (socket_of(u.0), socket_of(v.0)) {
+                if su != sv {
+                    continue;
+                }
+            }
+            plan.host[v.0] = u.0;
+            for lei in edge_indices {
+                plan.fused_edges[lei] = true;
+            }
+        }
+        plan
+    }
+
+    /// Compute fusion groups from a (possibly compressed, possibly
+    /// partially placed) execution graph — the model-side entry point.
+    /// Unplaced vertices count as collocated, matching the evaluator's
+    /// bounding relaxation.
+    pub fn from_graph(graph: &ExecutionGraph<'_>, placement: &Placement) -> FusionPlan {
+        let topology = graph.topology();
+        let sockets: Option<Vec<SocketId>> = {
+            // Per-replica sockets exist only when every single-replica
+            // operator's vertex is placed; rather than require that, map
+            // unplaced vertices to a sentinel handled as collocated by
+            // running the per-operator check here and passing `None`
+            // upward when anything is unplaced.
+            let mut sockets = Vec::with_capacity(graph.total_replicas());
+            let mut all_placed = true;
+            for (op, _) in topology.operators() {
+                for &v in graph.vertices_of(op) {
+                    match placement.socket_of(v) {
+                        Some(s) => {
+                            for _ in 0..graph.vertex(v).multiplicity {
+                                sockets.push(s);
+                            }
+                        }
+                        None => {
+                            all_placed = false;
+                            for _ in 0..graph.vertex(v).multiplicity {
+                                sockets.push(SocketId(0));
+                            }
+                        }
+                    }
+                }
+            }
+            all_placed.then_some(sockets)
+        };
+        FusionPlan::compute(topology, graph.replication(), sockets.as_deref())
+    }
+
+    /// Whether logical edge `lei` is fused (travels inline, no queue).
+    pub fn is_edge_fused(&self, lei: usize) -> bool {
+        self.fused_edges[lei]
+    }
+
+    /// Whether `op` was fused away into a producer (it spawns no executor
+    /// of its own).
+    pub fn is_fused_away(&self, op: OperatorId) -> bool {
+        self.host[op.0] != op.0
+    }
+
+    /// The direct producer hosting `op` (itself when not fused away).
+    pub fn direct_host_of(&self, op: OperatorId) -> OperatorId {
+        OperatorId(self.host[op.0])
+    }
+
+    /// The executor that ultimately runs `op`: the root of its fusion
+    /// chain (itself when not fused away).
+    pub fn root_host_of(&self, op: OperatorId) -> OperatorId {
+        let mut cur = op.0;
+        while self.host[cur] != cur {
+            cur = self.host[cur];
+        }
+        OperatorId(cur)
+    }
+
+    /// Number of operators fused away (executors saved).
+    pub fn fused_op_count(&self) -> usize {
+        self.host
+            .iter()
+            .enumerate()
+            .filter(|&(i, &h)| h != i)
+            .count()
+    }
+
+    /// Number of logical edges carried inline.
+    pub fn fused_edge_count(&self) -> usize {
+        self.fused_edges.iter().filter(|&&f| f).count()
+    }
+
+    /// Fusion chains with more than one operator, each listed root-first.
+    pub fn chains(&self) -> Vec<Vec<OperatorId>> {
+        let n = self.host.len();
+        let mut members: Vec<Vec<OperatorId>> = vec![Vec::new(); n];
+        for op in 0..n {
+            if self.host[op] != op {
+                members[self.root_host_of(OperatorId(op)).0].push(OperatorId(op));
+            }
+        }
+        members
+            .into_iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(root, mut m)| {
+                m.sort();
+                let mut chain = vec![OperatorId(root)];
+                chain.append(&mut m);
+                chain
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostProfile;
+    use crate::plan::ExecutionPlan;
+    use crate::topology::{Partitioning, TopologyBuilder, DEFAULT_STREAM};
+    use crate::VertexId;
+
+    /// spout -> a -> b -> sink, all shuffle.
+    fn linear4() -> LogicalTopology {
+        let mut b = TopologyBuilder::new("lin");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let a = b.add_bolt("a", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s, a);
+        b.connect_shuffle(a, x);
+        b.connect_shuffle(x, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn single_replica_chain_fuses_end_to_end() {
+        let t = linear4();
+        let plan = FusionPlan::compute(&t, &[1, 1, 1, 1], None);
+        assert_eq!(plan.fused_op_count(), 3);
+        assert_eq!(plan.fused_edge_count(), 3);
+        assert!(!plan.is_fused_away(OperatorId(0)), "spouts never fuse away");
+        for op in 1..4 {
+            assert!(plan.is_fused_away(OperatorId(op)));
+            assert_eq!(plan.root_host_of(OperatorId(op)), OperatorId(0));
+        }
+        assert_eq!(plan.direct_host_of(OperatorId(2)), OperatorId(1));
+        assert_eq!(
+            plan.chains(),
+            vec![vec![
+                OperatorId(0),
+                OperatorId(1),
+                OperatorId(2),
+                OperatorId(3)
+            ]]
+        );
+    }
+
+    #[test]
+    fn replication_breaks_the_chain() {
+        let t = linear4();
+        // a has 2 replicas: s->a (1:2) and a->x (2:1) both stay queued; the
+        // x->k tail (1:1) still fuses.
+        let plan = FusionPlan::compute(&t, &[1, 2, 1, 1], None);
+        assert!(!plan.is_fused_away(OperatorId(1)));
+        assert!(!plan.is_fused_away(OperatorId(2)));
+        assert!(plan.is_fused_away(OperatorId(3)));
+        assert_eq!(plan.direct_host_of(OperatorId(3)), OperatorId(2));
+        assert_eq!(plan.fused_edge_count(), 1);
+        assert!(plan.is_edge_fused(2));
+        assert!(!plan.is_edge_fused(0));
+    }
+
+    #[test]
+    fn cross_socket_placement_blocks_fusion() {
+        use brisk_numa::SocketId;
+        let t = linear4();
+        // s,a on socket 0; x,k on socket 1: only s->a and x->k collocate.
+        let sockets = [0, 0, 1, 1].map(SocketId);
+        let plan = FusionPlan::compute(&t, &[1, 1, 1, 1], Some(&sockets));
+        assert!(plan.is_fused_away(OperatorId(1)));
+        assert!(!plan.is_fused_away(OperatorId(2)), "a->x crosses sockets");
+        assert!(plan.is_fused_away(OperatorId(3)));
+        assert_eq!(
+            plan.chains(),
+            vec![
+                vec![OperatorId(0), OperatorId(1)],
+                vec![OperatorId(2), OperatorId(3)]
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_upstream_consumer_never_fuses() {
+        // diamond: s -> {a, b} -> k; k has two upstream operators.
+        let mut b = TopologyBuilder::new("dia");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let a = b.add_bolt("a", CostProfile::trivial());
+        let x = b.add_bolt("b", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s, a);
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(a, k);
+        b.connect_shuffle(x, k);
+        let t = b.build().expect("valid");
+        let plan = FusionPlan::compute(&t, &[1, 1, 1, 1], None);
+        assert!(plan.is_fused_away(a));
+        assert!(plan.is_fused_away(x));
+        assert!(!plan.is_fused_away(k), "two upstream operators");
+        assert_eq!(plan.fused_edge_count(), 2);
+    }
+
+    #[test]
+    fn global_edge_fuses_only_from_a_single_producer_replica() {
+        let mut b = TopologyBuilder::new("glob");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, k, Partitioning::Global);
+        let t = b.build().expect("valid");
+        let fused = FusionPlan::compute(&t, &[1, 1], None);
+        assert!(fused.is_fused_away(t.find("k").expect("k")));
+        // Three spout replicas funnel into one sink replica: 3:1, not 1:1.
+        let unfused = FusionPlan::compute(&t, &[3, 1], None);
+        assert_eq!(unfused.fused_op_count(), 0);
+    }
+
+    #[test]
+    fn disabled_plan_is_identity() {
+        let t = linear4();
+        let plan = FusionPlan::disabled(&t);
+        assert_eq!(plan.fused_op_count(), 0);
+        assert_eq!(plan.fused_edge_count(), 0);
+        assert!(plan.chains().is_empty());
+        for op in 0..4 {
+            assert_eq!(plan.root_host_of(OperatorId(op)), OperatorId(op));
+        }
+    }
+
+    #[test]
+    fn from_graph_matches_compute_and_respects_partial_placements() {
+        use brisk_numa::SocketId;
+        let t = linear4();
+        let graph = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let mut placement = Placement::all_on(graph.vertex_count(), SocketId(0));
+        placement.place(VertexId(2), SocketId(1));
+        let plan = FusionPlan::from_graph(&graph, &placement);
+        let sockets = [0, 0, 1, 0].map(SocketId);
+        assert_eq!(plan, FusionPlan::compute(&t, &[1, 1, 1, 1], Some(&sockets)));
+        // Partial placement: unplaced vertices count as collocated.
+        let partial = Placement::empty(graph.vertex_count());
+        let relaxed = FusionPlan::from_graph(&graph, &partial);
+        assert_eq!(relaxed.fused_op_count(), 3);
+        // Round-trip via an ExecutionPlan, multiplicity > 1 on one op.
+        let graph2 = ExecutionGraph::new(&t, &[1, 3, 1, 1], 3);
+        let plan2 = ExecutionPlan {
+            replication: vec![1, 3, 1, 1],
+            compress_ratio: 3,
+            placement: Placement::all_on(graph2.vertex_count(), SocketId(0)),
+        };
+        let fused2 = FusionPlan::from_graph(&graph2, &plan2.placement);
+        assert!(!fused2.is_fused_away(OperatorId(1)));
+        assert!(!fused2.is_fused_away(OperatorId(2)));
+        assert!(fused2.is_fused_away(OperatorId(3)));
+    }
+}

@@ -15,16 +15,21 @@
 //!   the RLAS placement algorithm).
 //! * [`plan`] — **execution plans**: replication + placement of every
 //!   execution vertex onto CPU sockets.
+//! * [`fusion`] — **operator-chain fusion groups**: which 1:1 collocated
+//!   producer→consumer edges collapse into a single executor, shared by
+//!   the runtime (executor rewiring) and the model (communication terms).
 //!
 //! Nothing here executes tuples; the runtime, model, optimizer and simulator
 //! all build on these types.
 
 pub mod cost;
+pub mod fusion;
 pub mod graph;
 pub mod plan;
 pub mod topology;
 
 pub use cost::CostProfile;
+pub use fusion::FusionPlan;
 pub use graph::{EdgeRef, ExecEdge, ExecVertex, ExecutionGraph, VertexId};
 pub use plan::{ExecutionPlan, Placement};
 pub use topology::{

@@ -25,7 +25,7 @@
 //! the signal the scaling algorithm grows replication by (Case 1 of the
 //! paper, expressed against the spout-saturated demand).
 
-use brisk_dag::{ExecutionGraph, OperatorKind, Partitioning, Placement, VertexId};
+use brisk_dag::{ExecutionGraph, FusionPlan, OperatorKind, Partitioning, Placement, VertexId};
 use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
 
 /// An input rate is a bottleneck when it exceeds capacity by this relative
@@ -140,6 +140,14 @@ pub struct Evaluator<'m> {
     pub ingress: Ingress,
     /// Fetch-cost policy (RLAS vs the fixed-capability ablations).
     pub tf_policy: TfPolicy,
+    /// Model operator-chain fusion: edges a [`FusionPlan`] collapses
+    /// travel inside one executor and drop their Formula-2 communication
+    /// term entirely, regardless of `tf_policy`. Off by default so the
+    /// RLAS search keeps its (cheaper, identical under
+    /// [`TfPolicy::RelativeLocation`] + collocation) evaluation; the
+    /// plan-level prediction path turns it on to stay honest about what
+    /// the fused engine executes.
+    pub fusion: bool,
 }
 
 impl<'m> Evaluator<'m> {
@@ -149,6 +157,7 @@ impl<'m> Evaluator<'m> {
             machine,
             ingress: Ingress::Saturated,
             tf_policy: TfPolicy::RelativeLocation,
+            fusion: false,
         }
     }
 
@@ -160,6 +169,11 @@ impl<'m> Evaluator<'m> {
     /// Same evaluator with a finite ingress rate.
     pub fn with_ingress(self, ingress: Ingress) -> Evaluator<'m> {
         Evaluator { ingress, ..self }
+    }
+
+    /// Same evaluator with fusion modelling switched on or off.
+    pub fn with_fusion(self, fusion: bool) -> Evaluator<'m> {
+        Evaluator { fusion, ..self }
     }
 
     /// Fetch cost in ns for one tuple of `bytes` bytes produced on `from`
@@ -208,6 +222,11 @@ impl<'m> Evaluator<'m> {
         let clock = self.machine.clock_hz();
         let nv = graph.vertex_count();
         let n_ops = graph.topology().operator_count();
+        // Fused edges are delivered inline inside one executor: no queue
+        // crossing, no fetch — their Formula-2 term is dropped outright.
+        let fusion = self
+            .fusion
+            .then(|| FusionPlan::from_graph(graph, placement));
 
         // ---- Pass 1: relative flow factors (per unit of aggregate spout
         // output) and fetch-cost mixes. ----
@@ -277,7 +296,14 @@ impl<'m> Evaluator<'m> {
                     };
                     edge_factor[e.index] += share;
                     in_factor[cv.0] += share;
-                    let tf = self.fetch_ns(bytes, from_socket, placement.socket_of(cv));
+                    let fused = fusion
+                        .as_ref()
+                        .is_some_and(|f| f.is_edge_fused(e.edge.logical_edge));
+                    let tf = if fused {
+                        0.0
+                    } else {
+                        self.fetch_ns(bytes, from_socket, placement.socket_of(cv))
+                    };
                     weighted_tf[cv.0] += share * tf;
                 }
             }
@@ -544,6 +570,39 @@ mod tests {
             .with_policy(TfPolicy::AlwaysRemote)
             .evaluate(&g, &placement);
         assert!((eval.vertices[1].tf_ns - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_edges_drop_the_communication_term() {
+        // The [1,1,1] collocated chain fuses end to end: with fusion
+        // modelled, no edge pays a fetch cost even under the AlwaysRemote
+        // ablation, because fused edges never cross a queue at all.
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let base = Evaluator::saturated(&m).with_policy(TfPolicy::AlwaysRemote);
+        let unfused = base.evaluate(&g, &placement);
+        let fused = base.with_fusion(true).evaluate(&g, &placement);
+        assert!((unfused.vertices[1].tf_ns - 200.0).abs() < 1e-9);
+        assert_eq!(fused.vertices[1].tf_ns, 0.0);
+        assert_eq!(fused.vertices[2].tf_ns, 0.0);
+        assert!(fused.throughput > unfused.throughput);
+        // Under the standard relative-location policy fusion coincides
+        // with collocation: same numbers with the flag on or off.
+        let rl = Evaluator::saturated(&m);
+        let a = rl.evaluate(&g, &placement);
+        let b = rl.with_fusion(true).evaluate(&g, &placement);
+        assert_eq!(a.throughput, b.throughput);
+        // A replicated bolt breaks the chain: fusion must not drop the
+        // fetch term on unfused (1:2) edges.
+        let g2 = ExecutionGraph::new(&t, &[1, 2, 1], 1);
+        let p2 = Placement::all_on(g2.vertex_count(), SocketId(0));
+        let fused2 = base.with_fusion(true).evaluate(&g2, &p2);
+        assert!(
+            (fused2.vertices[1].tf_ns - 200.0).abs() < 1e-9,
+            "unfused edge keeps paying AlwaysRemote"
+        );
     }
 
     #[test]

@@ -65,13 +65,27 @@ impl PlanPrediction {
 /// Evaluate `plan` for `topology` on `machine` under the standard
 /// relative-location model with saturated ingress, returning per-operator
 /// output rates rather than just the scalar score.
+///
+/// Fusion modelling is on, matching the engine's default: edges the
+/// [`brisk_dag::FusionPlan`] collapses drop their Formula-2 communication
+/// term. Under the relative-location policy this coincides with plain
+/// collocation (fused edges are same-socket, so `Tf` was already zero) —
+/// the distinction only shows under the fixed-capability ablation
+/// policies. Known limit: the model still credits every fused-away
+/// operator its own executor's compute capacity, while the engine runs a
+/// fused chain serially on one thread — on hosts with a core per replica
+/// this over-states chain capacity (see the ROADMAP item on chain
+/// serialization); on the oversubscribed CI baseline the core-sharing
+/// factor already dominates.
 pub fn predict_for_plan(
     machine: &Machine,
     topology: &LogicalTopology,
     plan: &ExecutionPlan,
 ) -> PlanPrediction {
     let graph = ExecutionGraph::new(topology, &plan.replication, plan.compress_ratio);
-    let evaluation = Evaluator::saturated(machine).evaluate(&graph, &plan.placement);
+    let evaluation = Evaluator::saturated(machine)
+        .with_fusion(true)
+        .evaluate(&graph, &plan.placement);
     let mut operators: Vec<OperatorPrediction> = topology
         .operators()
         .map(|(id, spec)| OperatorPrediction {

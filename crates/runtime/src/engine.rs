@@ -13,14 +13,17 @@
 //! the real hardware would charge. This keeps execution-plan shapes
 //! meaningful end to end.
 
+use crate::fusion::{FusedSinkState, FusedTarget, SinkLocal, SinkProgress};
 use crate::operator::{
     AppRuntime, BoltContext, Collector, EngineClock, OperatorRuntime, OutputEdge, SpoutStatus,
 };
 use crate::partition::Partitioner;
 use crate::queue::{QueueKind, ReplicaQueue};
-use crate::spsc::Backoff;
+use crate::spsc::{Backoff, BackoffProfile};
 use crate::tuple::JumboTuple;
-use brisk_dag::{ExecutionGraph, ExecutionPlan, LogicalTopology, OperatorKind, Partitioning};
+use brisk_dag::{
+    ExecutionGraph, ExecutionPlan, FusionPlan, LogicalTopology, OperatorKind, Partitioning,
+};
 use brisk_metrics::Histogram;
 use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -67,8 +70,15 @@ pub struct EngineConfig {
     /// Optional virtual-NUMA fetch penalty.
     pub numa_penalty: Option<NumaPenalty>,
     /// Artificial extra cost per consumed tuple, in nanoseconds — lets tests
-    /// and examples emulate heavier (distributed-style) engines.
+    /// and examples emulate heavier (distributed-style) engines. Charged on
+    /// the queue pop path, so fused edges (which never cross a queue) skip
+    /// it, like they skip the NUMA penalty.
     pub extra_cost_ns_per_tuple: u64,
+    /// Operator-chain fusion (default on): 1:1 collocated producer→consumer
+    /// chains collapse into a single executor calling the downstream
+    /// operator inline instead of routing through a queue (see
+    /// [`brisk_dag::FusionPlan`] for eligibility). Disable for A/B runs.
+    pub fusion: bool,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +91,7 @@ impl Default for EngineConfig {
             flush_every: 256,
             numa_penalty: None,
             extra_cost_ns_per_tuple: 0,
+            fusion: true,
         }
     }
 }
@@ -105,7 +116,15 @@ pub struct RunReport {
     pub emitted: Vec<u64>,
     /// Queue-pressure events per operator: jumbo flushes that found a
     /// destination queue full, i.e. the producer stalled on back-pressure.
+    /// Counted once per stalled flush (one jumbo to one destination
+    /// queue), so a broadcast edge with several slow consumers records one
+    /// stall per consumer queue.
     pub queue_full_events: Vec<u64>,
+    /// Queue crossings per operator: jumbo tuples this operator pushed to
+    /// consumer queues. Fused edges deliver inline and never count here —
+    /// the fused-vs-unfused A/B reads this to verify fusion actually
+    /// removed crossings.
+    pub queue_pushes: Vec<u64>,
 }
 
 impl RunReport {
@@ -127,25 +146,12 @@ impl RunReport {
     }
 }
 
-/// Shared, relaxed sink progress counter — only used so `run_until_events`
-/// can poll from the driver thread. The authoritative per-replica metrics
-/// ([`SinkLocal`]) are thread-local and merged after join, so sink replicas
-/// never contend on a shared histogram lock.
-struct SinkProgress {
-    events: AtomicU64,
-}
-
-/// Per-sink-replica metrics, owned by the replica thread for the whole run
-/// and merged into the [`RunReport`] after the thread joins.
-#[derive(Default)]
-struct SinkLocal {
-    events: u64,
-    latency: Histogram,
-}
-
 struct InputPort {
     queue: Arc<ReplicaQueue<JumboTuple>>,
-    producer_replica: usize,
+    /// Output bytes per tuple of the producing operator (Formula 2's `N`).
+    /// The producing *replica* is read per jumbo from
+    /// [`JumboTuple::producer`], since fan-in (MPSC) ports carry jumbos
+    /// from several producer replicas.
     producer_bytes: f64,
 }
 
@@ -238,36 +244,82 @@ impl Engine {
         };
         let total_replicas: usize = self.replication.iter().sum();
 
-        // Queues per logical edge: [producer replica][consumer replica].
+        // Operator-chain fusion: 1:1 collocated chains collapse into their
+        // host executor; fused edges get no queues at all.
+        let fusion = if self.config.fusion {
+            FusionPlan::compute(topology, &self.replication, self.replica_sockets())
+        } else {
+            FusionPlan::disabled(topology)
+        };
+        let spawned_replicas = total_replicas - fusion.fused_op_count();
+        // Oversubscription-aware wait ladder: when replica threads
+        // outnumber hardware cores, spinning burns the timeslices the
+        // counterpart threads need, so waiters park almost immediately.
+        let backoff_profile = BackoffProfile::detect(spawned_replicas, self.config.poll_backoff);
+
+        // Queues per unfused logical edge. Output edges are grouped per
+        // (operator, local replica) because fused-away operators emit from
+        // their host's thread rather than a replica of their own.
         let mut inputs: Vec<Vec<InputPort>> = (0..total_replicas).map(|_| Vec::new()).collect();
-        let mut outputs: Vec<Vec<OutputEdge>> = (0..total_replicas).map(|_| Vec::new()).collect();
+        let mut op_outputs: Vec<Vec<Vec<OutputEdge>>> = self
+            .replication
+            .iter()
+            .map(|&r| (0..r).map(|_| Vec::new()).collect())
+            .collect();
         for (lei, edge) in topology.edges().iter().enumerate() {
+            if fusion.is_edge_fused(lei) {
+                continue; // delivered inline by the host executor
+            }
             let np = self.replication[edge.from.0];
             let nc = match edge.partitioning {
                 Partitioning::Global => 1,
                 _ => self.replication[edge.to.0],
             };
             let producer_bytes = topology.operator(edge.from).cost.output_bytes;
-            for p in 0..np {
-                let pg = replica_base[edge.from.0] + p;
+            if matches!(edge.partitioning, Partitioning::Global) && np > 1 {
+                // Funnel: several producer replicas feed the one consumer
+                // replica. Sharing an SpscQueue between producers would be
+                // a data race, so the wiring upgrades to the fan-in (MPSC)
+                // fabric and the consumer polls a single port.
+                let kind = self.config.queue_kind.for_producers(np);
+                let q = Arc::new(ReplicaQueue::with_profile(
+                    kind,
+                    self.config.queue_capacity,
+                    backoff_profile,
+                ));
+                inputs[replica_base[edge.to.0]].push(InputPort {
+                    queue: Arc::clone(&q),
+                    producer_bytes,
+                });
+                for outputs in op_outputs[edge.from.0].iter_mut().take(np) {
+                    outputs.push(OutputEdge {
+                        logical_edge: lei,
+                        stream: edge.stream.clone(),
+                        partitioner: Partitioner::new(edge.partitioning, 1),
+                        queues: vec![Arc::clone(&q)],
+                        buffers: vec![Vec::new()],
+                    });
+                }
+                continue;
+            }
+            for outputs in op_outputs[edge.from.0].iter_mut().take(np) {
                 let mut queues = Vec::with_capacity(nc);
                 for c in 0..nc {
                     let cg = replica_base[edge.to.0] + c;
                     // One producer replica, one consumer replica: the SPSC
                     // fabric's contract holds by construction.
-                    let q = Arc::new(ReplicaQueue::with_park(
+                    let q = Arc::new(ReplicaQueue::with_profile(
                         self.config.queue_kind,
                         self.config.queue_capacity,
-                        self.config.poll_backoff,
+                        backoff_profile,
                     ));
                     inputs[cg].push(InputPort {
                         queue: Arc::clone(&q),
-                        producer_replica: pg,
                         producer_bytes,
                     });
                     queues.push(q);
                 }
-                outputs[pg].push(OutputEdge {
+                outputs.push(OutputEdge {
                     logical_edge: lei,
                     stream: edge.stream.clone(),
                     partitioner: Partitioner::new(edge.partitioning, nc),
@@ -294,37 +346,90 @@ impl Engine {
             Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
         let queue_full: Arc<Vec<AtomicU64>> =
             Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
-        // Replicas still running, across all operators: lets the driver stop
-        // waiting early when finite (sized) spouts exhaust and the whole
-        // pipeline drains before the event target or deadline is reached.
-        let live_replicas = Arc::new(AtomicUsize::new(total_replicas));
+        let queue_pushes: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
+        // Replica *threads* still running: lets the driver stop waiting
+        // early when finite (sized) spouts exhaust and the whole pipeline
+        // drains before the event target or deadline is reached. Fused-away
+        // operators have no thread of their own.
+        let live_replicas = Arc::new(AtomicUsize::new(spawned_replicas));
         let sink_progress = Arc::new(SinkProgress {
             events: AtomicU64::new(0),
         });
 
+        // Build fused targets bottom-up (reverse topological order), so a
+        // chain's tail exists before the operator that hosts it. Each
+        // fused-away operator gets its one instance and its own collector;
+        // the whole subtree then attaches to the chain host's collector.
+        let mut pending_fused: Vec<Vec<FusedTarget>> = (0..n_ops).map(|_| Vec::new()).collect();
+        for &op in topology.topological_order().iter().rev() {
+            if !fusion.is_fused_away(op) {
+                continue;
+            }
+            let spec = topology.operator(op);
+            let ctx = BoltContext {
+                replica: 0,
+                replicas: 1,
+            };
+            let bolt = match self.app.runtime(op) {
+                OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(ctx),
+                OperatorRuntime::Spout(_) => unreachable!("spouts are never fused away"),
+            };
+            let collector = Collector::new(
+                replica_base[op.0],
+                self.config.jumbo_size,
+                std::mem::take(&mut op_outputs[op.0][0]),
+                Arc::clone(&clock),
+            )
+            .with_fused(std::mem::take(&mut pending_fused[op.0]));
+            let streams: Vec<String> = topology
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|&(lei, e)| e.to == op && fusion.is_edge_fused(lei))
+                .map(|(_, e)| e.stream.clone())
+                .collect();
+            let sink = (spec.kind == OperatorKind::Sink)
+                .then(|| FusedSinkState::new(Arc::clone(&sink_progress)));
+            pending_fused[fusion.direct_host_of(op).0].push(FusedTarget {
+                op_index: op.0,
+                streams,
+                bolt,
+                collector,
+                processed: 0,
+                sink,
+            });
+        }
+
         let started = Instant::now();
-        let mut handles = Vec::with_capacity(total_replicas);
+        let mut handles = Vec::with_capacity(spawned_replicas);
 
         // Spawn in reverse topological order so consumers are polling before
         // producers start pushing (not required for correctness, helps
         // startup latency).
         let spawn_order: Vec<brisk_dag::OperatorId> =
             topology.topological_order().iter().rev().copied().collect();
-        let mut outputs_by_replica: Vec<Option<Vec<OutputEdge>>> =
-            outputs.into_iter().map(Some).collect();
         let mut inputs_by_replica: Vec<Option<Vec<InputPort>>> =
             inputs.into_iter().map(Some).collect();
 
         for op in spawn_order {
+            if fusion.is_fused_away(op) {
+                continue; // runs inline inside its chain host
+            }
             let spec = topology.operator(op);
-            for r in 0..self.replication[op.0] {
+            for (r, outputs) in op_outputs[op.0].iter_mut().enumerate() {
                 let global = replica_base[op.0] + r;
-                let collector = Collector::new(
+                let mut collector = Collector::new(
                     global,
                     self.config.jumbo_size,
-                    outputs_by_replica[global].take().expect("outputs once"),
+                    std::mem::take(outputs),
                     Arc::clone(&clock),
                 );
+                if r == 0 {
+                    // Chain hosts are single-replica by the fusion rules,
+                    // so the fused subtree always rides on replica 0.
+                    collector = collector.with_fused(std::mem::take(&mut pending_fused[op.0]));
+                }
                 let ports = inputs_by_replica[global].take().expect("inputs once");
                 let ctx = BoltContext {
                     replica: r,
@@ -337,6 +442,7 @@ impl Engine {
                 let processed = Arc::clone(&processed);
                 let emitted = Arc::clone(&emitted);
                 let queue_full = Arc::clone(&queue_full);
+                let queue_pushes = Arc::clone(&queue_pushes);
                 let live_replicas = Arc::clone(&live_replicas);
                 let sink_progress = Arc::clone(&sink_progress);
                 let clock = Arc::clone(&clock);
@@ -364,10 +470,12 @@ impl Engine {
                             processed,
                             emitted,
                             queue_full,
+                            queue_pushes,
                             live_replicas,
                             sink_progress,
                             clock,
                             config,
+                            backoff_profile,
                         })
                     })
                     .expect("thread spawn");
@@ -411,6 +519,7 @@ impl Engine {
             processed: load_all(&processed),
             emitted: load_all(&emitted),
             queue_full_events: load_all(&queue_full),
+            queue_pushes: load_all(&queue_pushes),
         }
     }
 }
@@ -456,25 +565,49 @@ struct ReplicaArgs {
     processed: Arc<Vec<AtomicU64>>,
     emitted: Arc<Vec<AtomicU64>>,
     queue_full: Arc<Vec<AtomicU64>>,
+    queue_pushes: Arc<Vec<AtomicU64>>,
     live_replicas: Arc<AtomicUsize>,
     sink_progress: Arc<SinkProgress>,
     clock: Arc<EngineClock>,
     config: EngineConfig,
+    backoff_profile: BackoffProfile,
 }
 
 fn run_replica(mut args: ReplicaArgs) -> Option<SinkLocal> {
-    let sink_local = match args.kind {
+    let mut sink_local = match args.kind {
         OperatorKind::Spout => {
             run_spout(&mut args);
             None
         }
         OperatorKind::Bolt | OperatorKind::Sink => run_bolt(&mut args),
     };
+    // Let fused chain operators emit their final results, then flush every
+    // buffer in the chain (depth-first, so tail emissions are shipped too).
+    args.collector.finish_fused();
     args.collector.flush_all();
     // Merge the collector's thread-local output-side counters (kept local
     // for the whole run so the hot path never touches shared cache lines).
     args.emitted[args.op_index].fetch_add(args.collector.emitted, Ordering::Relaxed);
     args.queue_full[args.op_index].fetch_add(args.collector.stalled_flushes, Ordering::Relaxed);
+    args.queue_pushes[args.op_index].fetch_add(args.collector.flushes, Ordering::Relaxed);
+    // Merge every fused operator's counters and sink metrics, then release
+    // its `op_done` latch — a fused operator has exactly one instance, and
+    // this host ran it.
+    for mut target in args.collector.take_fused() {
+        args.processed[target.op_index].fetch_add(target.processed, Ordering::Relaxed);
+        args.emitted[target.op_index].fetch_add(target.collector.emitted, Ordering::Relaxed);
+        args.queue_full[target.op_index]
+            .fetch_add(target.collector.stalled_flushes, Ordering::Relaxed);
+        args.queue_pushes[target.op_index].fetch_add(target.collector.flushes, Ordering::Relaxed);
+        if let Some(state) = target.sink.take() {
+            let local = sink_local.get_or_insert_with(SinkLocal::default);
+            local.events += state.local.events;
+            local.latency.merge(&state.local.latency);
+        }
+        if args.op_live[target.op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
+            args.op_done[target.op_index].store(true, Ordering::Release);
+        }
+    }
     // Last replica out marks the operator done, releasing consumers.
     if args.op_live[args.op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
         args.op_done[args.op_index].store(true, Ordering::Release);
@@ -490,7 +623,7 @@ fn run_spout(args: &mut ReplicaArgs) {
         _ => unreachable!("kind checked by validate()"),
     };
     let mut since_flush = 0u32;
-    let mut backoff = Backoff::new(args.config.poll_backoff);
+    let mut backoff = Backoff::with_profile(args.backoff_profile);
     loop {
         if args.stop.load(Ordering::Relaxed) || args.collector.output_closed {
             break;
@@ -563,20 +696,21 @@ fn run_bolt(args: &mut ReplicaArgs) -> Option<SinkLocal> {
     };
     let mut sink_local = (args.kind == OperatorKind::Sink).then(SinkLocal::default);
     let mut cursor = PortCursor::new(args.ports.len());
-    let mut backoff = Backoff::new(args.config.poll_backoff);
+    let mut backoff = Backoff::with_profile(args.backoff_profile);
     let mut batch: Vec<JumboTuple> = Vec::with_capacity(POP_BATCH);
     let mut since_flush = 0u32;
     loop {
         match cursor.poll(&args.ports, &mut batch, POP_BATCH) {
             Some(port_idx) => {
                 backoff.reset();
-                let producer_replica = args.ports[port_idx].producer_replica;
                 let producer_bytes = args.ports[port_idx].producer_bytes;
                 for jumbo in batch.drain(..) {
-                    // Injected virtual-NUMA fetch penalty (Formula 2).
+                    // Injected virtual-NUMA fetch penalty (Formula 2). The
+                    // producing replica is read off the jumbo header, since
+                    // fan-in (MPSC) ports interleave several producers.
                     if let Some(p) = &args.config.numa_penalty {
                         let ns = p.fetch_ns(
-                            producer_replica,
+                            jumbo.producer,
                             args.collector.replica(),
                             producer_bytes,
                             jumbo.len(),
@@ -719,8 +853,12 @@ mod tests {
 
     #[test]
     fn latency_is_recorded() {
+        // [1,2,1] keeps real queue crossings in the pipeline (the bolt's
+        // replication blocks fusion on both edges), so sink latency
+        // reflects genuine queue dwell time. Fused-sink latency recording
+        // is covered by `fusion_ab_is_equivalent_and_removes_every_crossing`.
         let engine =
-            Engine::new(app(500), vec![1, 1, 1], EngineConfig::default()).expect("valid engine");
+            Engine::new(app(500), vec![1, 2, 1], EngineConfig::default()).expect("valid engine");
         let report = engine.run_until_events(1000, Duration::from_secs(20));
         assert_eq!(report.latency_ns.count(), 1000);
         assert!(report.latency_ns.percentile(99.0) > 0.0);
@@ -812,6 +950,136 @@ mod tests {
         // replicas x 10 inputs, doubled by the bolt).
         let report = engine.run_until_events(u64::MAX, Duration::from_secs(20));
         assert_eq!(report.sink_events, 40);
+    }
+
+    #[test]
+    fn fusion_ab_is_equivalent_and_removes_every_crossing() {
+        // [1,1,1] fuses the whole pipeline into one executor. The A/B must
+        // agree on every per-operator counter while the fused run performs
+        // zero queue crossings. Running under debug assertions, this also
+        // exercises the SPSC tripwires over the rewired graph.
+        let run = |fusion: bool| {
+            let config = EngineConfig {
+                fusion,
+                ..EngineConfig::default()
+            };
+            let engine = Engine::new(app(1000), vec![1, 1, 1], config).expect("valid engine");
+            engine.run_until_events(2000, Duration::from_secs(20))
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        for report in [&fused, &unfused] {
+            assert_eq!(report.sink_events, 2000);
+            assert_eq!(report.processed, vec![0, 1000, 2000]);
+            assert_eq!(report.emitted, vec![1000, 2000, 0]);
+        }
+        assert_eq!(
+            fused.queue_pushes.iter().sum::<u64>(),
+            0,
+            "a fully fused chain crosses no queue"
+        );
+        assert!(
+            unfused.queue_pushes.iter().sum::<u64>() > 0,
+            "the unfused run must pay real crossings"
+        );
+        assert_eq!(fused.latency_ns.count(), 2000, "fused sink records latency");
+    }
+
+    #[test]
+    fn fused_chain_feeds_unfused_consumer_through_queues() {
+        // s(1) -> x(1) fuses; x -> k(2) stays queued, pushed from the host
+        // thread on behalf of the fused x. The sink replicas must shut down
+        // cleanly via x's op_done latch (released by the host).
+        let engine =
+            Engine::new(app(500), vec![1, 1, 2], EngineConfig::default()).expect("valid engine");
+        let report = engine.run_until_events(1000, Duration::from_secs(20));
+        assert_eq!(report.sink_events, 1000);
+        assert_eq!(report.processed, vec![0, 500, 1000]);
+        assert_eq!(report.emitted, vec![500, 1000, 0]);
+        assert_eq!(report.queue_pushes[0], 0, "spout->x edge is fused");
+        assert!(report.queue_pushes[1] > 0, "x->k edges stay queued");
+    }
+
+    fn global_funnel_app(limit: u64) -> AppRuntime {
+        let mut b = TopologyBuilder::new("funnel");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, k, brisk_dag::Partitioning::Global);
+        let t = b.build().expect("valid");
+        let (s, k) = (t.find("s").expect("s"), t.find("k").expect("k"));
+        AppRuntime::new(t)
+            .spout(s, move |ctx| CountingSpout {
+                next: ctx.replica as u64 * limit,
+                limit: (ctx.replica as u64 + 1) * limit,
+            })
+            .sink(k, |_| NullSink)
+    }
+
+    #[test]
+    fn global_funnel_routes_multiple_producers_through_the_mpsc_fabric() {
+        // Three spout replicas funnel into one sink replica over a Global
+        // edge: under the SPSC preference the engine must upgrade the
+        // shared queue to the MPSC ring — the debug tripwires would panic
+        // if an SpscQueue ever saw two producers. Every tuple arrives
+        // exactly once.
+        for kind in [QueueKind::Spsc, QueueKind::Mutex, QueueKind::Mpsc] {
+            let config = EngineConfig {
+                queue_kind: kind,
+                ..EngineConfig::default()
+            };
+            let engine =
+                Engine::new(global_funnel_app(400), vec![3, 1], config).expect("valid engine");
+            let report = engine.run_until_events(1200, Duration::from_secs(20));
+            assert_eq!(report.sink_events, 1200, "{kind}");
+            assert_eq!(report.emitted[0], 1200, "{kind}");
+            assert_eq!(report.processed[1], 1200, "{kind}");
+        }
+    }
+
+    struct BroadcastSpout {
+        next: u64,
+        limit: u64,
+    }
+    impl DynSpout for BroadcastSpout {
+        fn next(&mut self, c: &mut Collector) -> SpoutStatus {
+            if self.next >= self.limit {
+                return SpoutStatus::Exhausted;
+            }
+            let now = c.now_ns();
+            c.emit(DEFAULT_STREAM, Tuple::keyed(self.next, now, self.next));
+            self.next += 1;
+            SpoutStatus::Emitted(1)
+        }
+    }
+
+    #[test]
+    fn broadcast_counts_emitted_once_per_tuple_and_processed_per_copy() {
+        // Pins the RunReport accounting semantics on Broadcast fan-out:
+        // the producer's `emitted` counts each logical tuple ONCE (not once
+        // per target replica), while the consumer side counts every
+        // delivered copy — so a 3-replica broadcast shows emitted = N and
+        // processed = sink_events = 3N.
+        let mut b = TopologyBuilder::new("bc");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, k, brisk_dag::Partitioning::Broadcast);
+        let t = b.build().expect("valid");
+        let (s, k) = (t.find("s").expect("s"), t.find("k").expect("k"));
+        let app = AppRuntime::new(t)
+            .spout(s, |_| BroadcastSpout {
+                next: 0,
+                limit: 600,
+            })
+            .sink(k, |_| NullSink);
+        let engine = Engine::new(app, vec![1, 3], EngineConfig::default()).expect("valid engine");
+        let report = engine.run_until_events(1800, Duration::from_secs(20));
+        assert_eq!(report.emitted[0], 600, "one count per tuple, not per copy");
+        assert_eq!(report.processed[1], 1800, "each replica counts its copy");
+        assert_eq!(report.sink_events, 1800);
+        // Crossings ship per (jumbo, target queue): three consumer queues
+        // mean at least three pushes, and never fewer than the stalls.
+        assert!(report.queue_pushes[0] >= 3);
+        assert!(report.queue_full_events[0] <= report.queue_pushes[0]);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Executor-level operator fusion: run a fused-away consumer inline.
+//!
+//! When a [`brisk_dag::FusionPlan`] collapses a 1:1 collocated
+//! producer→consumer edge, the consumer stops being an executor of its own:
+//! its operator instance moves *into the producer's thread* as a
+//! [`FusedTarget`] attached to the producer's [`Collector`]. An emit on a
+//! fused stream then calls the downstream operator's `execute` directly —
+//! no jumbo accumulation, no queue push/pop, no poll/back-off loop, no
+//! fetch-cost injection — while the downstream operator keeps its **own**
+//! collector for everything it emits, so chains compose (a fused bolt can
+//! itself host further fused targets) and unfused downstream edges keep
+//! their normal queue wiring.
+//!
+//! Accounting stays per logical operator: each target tracks the tuples it
+//! consumed inline and (for sinks) its latency histogram; the engine merges
+//! these into the [`crate::engine::RunReport`] after the host thread joins,
+//! exactly as it does for real replicas. Because a fused operator always
+//! has exactly one instance (fusion requires single-replica endpoints),
+//! the host also releases the fused operator's `op_done` latch on exit so
+//! unfused downstream consumers shut down in topological order.
+
+use crate::operator::{Collector, DynBolt};
+use crate::tuple::Tuple;
+use brisk_metrics::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, relaxed sink progress counter — only used so
+/// `Engine::run_until_events` can poll from the driver thread. The
+/// authoritative per-replica metrics ([`SinkLocal`]) are thread-local (or
+/// fused-target-local) and merged after join.
+pub(crate) struct SinkProgress {
+    pub(crate) events: AtomicU64,
+}
+
+/// Per-sink metrics owned by one replica thread (or one fused sink target)
+/// for the whole run and merged into the report after the thread joins.
+#[derive(Default)]
+pub(crate) struct SinkLocal {
+    pub(crate) events: u64,
+    pub(crate) latency: Histogram,
+}
+
+/// Sink bookkeeping of a fused-away sink operator.
+pub(crate) struct FusedSinkState {
+    pub(crate) local: SinkLocal,
+    pub(crate) progress: Arc<SinkProgress>,
+    /// Clock value shared by a batch of deliveries: the queued sink path
+    /// reads the clock once per jumbo (64 tuples by default) and stamps
+    /// the whole batch with it; refreshing every [`CLOCK_BATCH`] inline
+    /// deliveries keeps the fused path's latency resolution — and its
+    /// per-tuple cost — equivalent instead of paying one `Instant::now`
+    /// per tuple on the hottest path.
+    cached_now_ns: u64,
+    until_refresh: u32,
+}
+
+/// Deliveries per clock refresh on the fused sink path; mirrors the
+/// default jumbo size the queued path amortizes its clock read over.
+const CLOCK_BATCH: u32 = 64;
+
+impl FusedSinkState {
+    pub(crate) fn new(progress: Arc<SinkProgress>) -> FusedSinkState {
+        FusedSinkState {
+            local: SinkLocal::default(),
+            progress,
+            cached_now_ns: 0,
+            until_refresh: 0,
+        }
+    }
+}
+
+/// A fused-away consumer operator, hosted inline by a producer's
+/// [`Collector`].
+pub(crate) struct FusedTarget {
+    /// Logical operator index of the fused-away consumer.
+    pub(crate) op_index: usize,
+    /// Stream names of the fused producer→consumer edges — one entry per
+    /// fused logical edge, so parallel edges on the same stream deliver
+    /// once per edge, mirroring queue wiring.
+    pub(crate) streams: Vec<String>,
+    /// The consumer's operator instance, executed inline.
+    pub(crate) bolt: Box<dyn DynBolt>,
+    /// The consumer's own output stage (recurses into further fused
+    /// targets down the chain).
+    pub(crate) collector: Collector,
+    /// Input-side tuples consumed inline (merged into
+    /// `RunReport::processed`).
+    pub(crate) processed: u64,
+    /// Present when the fused consumer is a sink.
+    pub(crate) sink: Option<FusedSinkState>,
+}
+
+impl FusedTarget {
+    /// Consume one tuple inline: record sink metrics (if terminal) and run
+    /// the operator. The tuple is passed by reference — fusion's whole
+    /// point is that nothing crosses a queue here.
+    pub(crate) fn deliver(&mut self, tuple: &Tuple) {
+        self.processed += 1;
+        if let Some(sink) = &mut self.sink {
+            if sink.until_refresh == 0 {
+                sink.cached_now_ns = self.collector.now_ns();
+                sink.until_refresh = CLOCK_BATCH;
+            }
+            sink.until_refresh -= 1;
+            sink.local
+                .latency
+                .record(sink.cached_now_ns.saturating_sub(tuple.event_ns) as f64);
+            sink.local.events += 1;
+            // Relaxed aggregate so `run_until_events` can poll.
+            sink.progress.events.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bolt.execute(tuple, &mut self.collector);
+    }
+}

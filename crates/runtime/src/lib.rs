@@ -16,15 +16,24 @@
 //! * **Bounded queues with back-pressure**: when a consumer falls behind,
 //!   its input queues fill and producers block, eventually throttling the
 //!   spout so the system settles at its maximum sustainable rate
-//!   (Section 6.1, footnote 2). Because the engine wires exactly one
-//!   producer replica to each queue, the default fabric is a **lock-free
-//!   cache-conscious SPSC ring** ([`SpscQueue`]); the mutex+condvar
+//!   (Section 6.1, footnote 2). Where the engine wires exactly one
+//!   producer replica to a queue, the default fabric is a **lock-free
+//!   cache-conscious SPSC ring** ([`SpscQueue`]); genuinely multi-producer
+//!   wiring (a multi-replica `Global` funnel) automatically upgrades to the
+//!   **CAS-claimed MPSC ring** ([`MpscQueue`]), and the mutex+condvar
 //!   [`BoundedQueue`] remains available via [`QueueKind`] for A/B
 //!   comparison. Idle executors and blocked producers wait on an adaptive
-//!   **spin → yield → park** ladder ([`Backoff`]) instead of fixed sleeps.
+//!   **spin → yield → park** ladder ([`Backoff`]) whose rung layout
+//!   ([`BackoffProfile`]) turns park-dominant when replica threads
+//!   outnumber hardware cores.
 //! * **Partition controller**: every task routes each emitted tuple to one
 //!   output buffer per consumer replica according to the edge's partitioning
 //!   strategy (shuffle / key-by / broadcast / global).
+//! * **Operator-chain fusion** ([`fusion`], [`brisk_dag::FusionPlan`]):
+//!   1:1 collocated producer→consumer chains collapse into one executor
+//!   that runs the downstream operator inline in the producer's thread —
+//!   no jumbo batching, queue crossing, poll loop, or fetch-cost injection
+//!   on fused edges ([`EngineConfig::fusion`], default on).
 //!
 //! The engine executes a [`brisk_dag::LogicalTopology`] under a
 //! [`brisk_dag::ExecutionPlan`]; socket placement is honoured as bookkeeping
@@ -33,6 +42,8 @@
 //! development hosts that lack real multi-socket hardware.
 
 pub mod engine;
+pub mod fusion;
+pub mod mpsc;
 pub mod operator;
 pub mod partition;
 pub mod queue;
@@ -40,10 +51,11 @@ pub mod spsc;
 pub mod tuple;
 
 pub use engine::{plan_replica_sockets, Engine, EngineConfig, NumaPenalty, RunReport};
+pub use mpsc::MpscQueue;
 pub use operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
 };
 pub use partition::Partitioner;
 pub use queue::{BoundedQueue, QueueKind, ReplicaQueue};
-pub use spsc::{Backoff, PushError, SpscQueue};
+pub use spsc::{Backoff, BackoffProfile, PushError, SpscQueue};
 pub use tuple::{JumboTuple, Tuple};

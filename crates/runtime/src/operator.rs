@@ -7,6 +7,7 @@
 //! output buffering stage: emitted tuples are routed per edge strategy and
 //! accumulated into jumbo tuples that are flushed to the consumer queues.
 
+use crate::fusion::FusedTarget;
 use crate::partition::Partitioner;
 use crate::queue::{QueueKind, ReplicaQueue};
 use crate::tuple::{JumboTuple, Tuple};
@@ -170,19 +171,29 @@ pub(crate) struct OutputEdge {
     pub buffers: Vec<Vec<Tuple>>,
 }
 
-/// The task-side emit interface: routes, batches and ships tuples.
+/// The task-side emit interface: routes, batches and ships tuples — and,
+/// when operator fusion is active, runs fused-away consumers inline.
 pub struct Collector {
     producer_replica: usize,
     jumbo_size: usize,
     edges: Vec<OutputEdge>,
+    /// Fused-away consumers executed inline on emit (operator fusion).
+    fused: Vec<FusedTarget>,
     clock: Arc<EngineClock>,
     /// Tuples emitted by this task (all streams).
     pub emitted: u64,
+    /// Jumbo tuples successfully pushed to destination queues — the queue
+    /// crossings operator fusion exists to eliminate (fused edges never
+    /// touch this counter).
+    pub flushes: u64,
     /// Queue-pressure counter: jumbo flushes that found their destination
     /// queue already full, i.e. moments this task was (about to be) blocked
-    /// by back-pressure from a slow consumer.
+    /// by back-pressure from a slow consumer. Counted once per stalled
+    /// flush (one jumbo to one destination queue), so a broadcast edge
+    /// with `n` slow consumers records `n` distinct stalls per sweep.
     pub stalled_flushes: u64,
-    /// True once any destination queue is closed (engine shutting down).
+    /// True once any destination queue is closed (engine shutting down),
+    /// including queues downstream of a fused chain.
     pub output_closed: bool,
 }
 
@@ -197,11 +208,19 @@ impl Collector {
             producer_replica,
             jumbo_size,
             edges,
+            fused: Vec::new(),
             clock,
             emitted: 0,
+            flushes: 0,
             stalled_flushes: 0,
             output_closed: false,
         }
+    }
+
+    /// Attach fused-away consumers to run inline on emit.
+    pub(crate) fn with_fused(mut self, fused: Vec<FusedTarget>) -> Collector {
+        self.fused = fused;
+        self
     }
 
     /// Nanoseconds since engine start (used by spouts to stamp event time).
@@ -216,6 +235,8 @@ impl Collector {
 
     /// Emit `tuple` on `stream`. Routing, batching and back-pressure are
     /// handled here; the call may block when a destination queue is full.
+    /// Fused edges bypass all of that: the downstream operator runs inline
+    /// on a borrowed tuple, right here in the producer's thread.
     pub fn emit(&mut self, stream: &str, tuple: Tuple) {
         self.emitted += 1;
         for ei in 0..self.edges.len() {
@@ -228,6 +249,23 @@ impl Collector {
                 if self.edges[ei].buffers[t].len() >= self.jumbo_size {
                     self.flush_one(ei, t);
                 }
+            }
+        }
+        for fi in 0..self.fused.len() {
+            let deliveries = self.fused[fi]
+                .streams
+                .iter()
+                .filter(|s| s.as_str() == stream)
+                .count();
+            if deliveries == 0 {
+                continue;
+            }
+            let target = &mut self.fused[fi];
+            for _ in 0..deliveries {
+                target.deliver(&tuple);
+            }
+            if target.collector.output_closed {
+                self.output_closed = true;
             }
         }
     }
@@ -249,20 +287,53 @@ impl Collector {
             tuples,
         };
         match e.queues[consumer].push_tracked(jumbo) {
-            Ok(true) => self.stalled_flushes += 1,
-            Ok(false) => {}
+            Ok(stalled) => {
+                self.flushes += 1;
+                if stalled {
+                    self.stalled_flushes += 1;
+                }
+            }
             Err(_) => self.output_closed = true,
         }
     }
 
     /// Flush every partially filled buffer (periodic timeout flush and final
-    /// drain).
+    /// drain), recursing through fused chains so their queue-bound output
+    /// buffers flush on the host's cadence too.
     pub fn flush_all(&mut self) {
         for ei in 0..self.edges.len() {
             for t in 0..self.edges[ei].buffers.len() {
                 self.flush_one(ei, t);
             }
         }
+        for target in &mut self.fused {
+            target.collector.flush_all();
+            if target.collector.output_closed {
+                self.output_closed = true;
+            }
+        }
+    }
+
+    /// Call `finish` on every fused operator, depth-first down the chain,
+    /// so stateful fused bolts can emit their final results at shutdown
+    /// (their emissions land before the host's final [`Collector::flush_all`]).
+    pub(crate) fn finish_fused(&mut self) {
+        for target in &mut self.fused {
+            target.bolt.finish(&mut target.collector);
+            target.collector.finish_fused();
+        }
+    }
+
+    /// Detach the whole fused-target tree (children before parents) so the
+    /// engine can merge per-operator counters and sink metrics after the
+    /// host thread finishes.
+    pub(crate) fn take_fused(&mut self) -> Vec<FusedTarget> {
+        let mut out = Vec::new();
+        for mut target in std::mem::take(&mut self.fused) {
+            out.extend(target.collector.take_fused());
+            out.push(target);
+        }
+        out
     }
 }
 

@@ -44,7 +44,12 @@ impl Partitioner {
                 self.rr_cursor = (self.rr_cursor + 1) % self.consumers;
                 RouteTargets::One(t)
             }
-            Partitioning::KeyBy => RouteTargets::One((tuple.key % self.consumers as u64) as usize),
+            // Mix the key through FNV before the modulo: raw `key % n`
+            // aliases with strided key spaces (e.g. all-even keys on two
+            // consumers idle one replica entirely). See `Tuple::mix_key`.
+            Partitioning::KeyBy => {
+                RouteTargets::One((Tuple::mix_key(tuple.key) % self.consumers as u64) as usize)
+            }
             Partitioning::Broadcast => RouteTargets::All(self.consumers),
             Partitioning::Global => RouteTargets::One(0),
         }
@@ -99,6 +104,32 @@ mod tests {
         let _ = p.route(&tuple_with_key(7));
         let a2 = p.route(&tuple_with_key(42));
         assert_eq!(a1, a2, "same key must hit the same replica");
+    }
+
+    #[test]
+    fn keyby_spreads_strided_key_spaces() {
+        // Regression: raw `key % consumers` sent every all-even key to
+        // replica 0, idling half the operator. The FNV mix must spread
+        // strided spaces across all replicas.
+        for consumers in [2usize, 3, 4] {
+            for stride in [2u64, 4, 10] {
+                let mut p = Partitioner::new(Partitioning::KeyBy, consumers);
+                let mut counts = vec![0usize; consumers];
+                for i in 0..600 {
+                    match p.route(&tuple_with_key(i * stride)) {
+                        RouteTargets::One(t) => counts[t] += 1,
+                        RouteTargets::All(_) => panic!("keyby routes to one"),
+                    }
+                }
+                for (replica, &c) in counts.iter().enumerate() {
+                    assert!(
+                        c > 0,
+                        "stride {stride} x {consumers} consumers idles replica \
+                         {replica}: {counts:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,17 +7,21 @@
 //! everything is empty); `close` wakes all blocked producers so the
 //! engine can shut down cleanly.
 //!
-//! Two interchangeable fabrics implement these semantics, selected by
+//! Three interchangeable fabrics implement these semantics, selected by
 //! [`QueueKind`] and dispatched through [`ReplicaQueue`]:
 //!
 //! * [`SpscQueue`](crate::spsc::SpscQueue) — the default: a lock-free
 //!   cache-conscious ring exploiting the engine's one-producer /
 //!   one-consumer wiring (see `crate::spsc` for the design).
+//! * [`MpscQueue`](crate::mpsc::MpscQueue) — the lock-free CAS-claimed
+//!   fan-in ring the engine upgrades to automatically
+//!   ([`QueueKind::for_producers`]) whenever a queue has more than one
+//!   pushing thread, so an `SpscQueue` is never shared between producers.
 //! * [`BoundedQueue`] — the original mutex + condvar MPSC queue, kept for
-//!   A/B benchmarking and for callers that genuinely need multiple
-//!   producers on one queue.
+//!   A/B benchmarking.
 
-use crate::spsc::SpscQueue;
+use crate::mpsc::MpscQueue;
+use crate::spsc::{BackoffProfile, SpscQueue};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -188,6 +192,24 @@ pub enum QueueKind {
     /// exact for the engine's one-queue-per-replica-pair wiring.
     #[default]
     Spsc,
+    /// The lock-free CAS-claimed [`MpscQueue`] — the fan-in fabric the
+    /// engine selects automatically for queues with more than one
+    /// producing thread (e.g. several replicas funnelling into one
+    /// consumer over a `Global` edge once fusion rewires the graph).
+    Mpsc,
+}
+
+impl QueueKind {
+    /// The fabric actually wired for a queue with `producers` pushing
+    /// threads: a multi-producer queue can never be an [`SpscQueue`], so
+    /// the SPSC preference upgrades to the MPSC ring (the mutex fabric is
+    /// already MPSC-capable and stays as-is).
+    pub fn for_producers(self, producers: usize) -> QueueKind {
+        match self {
+            QueueKind::Spsc if producers > 1 => QueueKind::Mpsc,
+            kind => kind,
+        }
+    }
 }
 
 impl std::fmt::Display for QueueKind {
@@ -195,6 +217,7 @@ impl std::fmt::Display for QueueKind {
         match self {
             QueueKind::Mutex => write!(f, "mutex"),
             QueueKind::Spsc => write!(f, "spsc"),
+            QueueKind::Mpsc => write!(f, "mpsc"),
         }
     }
 }
@@ -212,6 +235,8 @@ pub enum ReplicaQueue<T> {
     Mutex(BoundedQueue<T>),
     /// Lock-free SPSC ring fabric.
     Spsc(SpscQueue<T>),
+    /// Lock-free CAS-claimed MPSC ring fabric.
+    Mpsc(MpscQueue<T>),
 }
 
 impl<T> ReplicaQueue<T> {
@@ -223,6 +248,7 @@ impl<T> ReplicaQueue<T> {
         match kind {
             QueueKind::Mutex => ReplicaQueue::Mutex(BoundedQueue::new(capacity)),
             QueueKind::Spsc => ReplicaQueue::Spsc(SpscQueue::new(capacity)),
+            QueueKind::Mpsc => ReplicaQueue::Mpsc(MpscQueue::new(capacity)),
         }
     }
 
@@ -234,9 +260,25 @@ impl<T> ReplicaQueue<T> {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn with_park(kind: QueueKind, capacity: usize, park: Duration) -> ReplicaQueue<T> {
+        ReplicaQueue::with_profile(kind, capacity, BackoffProfile::dedicated(park))
+    }
+
+    /// Queue with an explicit wait-ladder shape ([`BackoffProfile`]) for
+    /// blocked producers (the mutex fabric wakes producers via condvar and
+    /// ignores it). The engine passes its oversubscription-aware profile
+    /// here.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_profile(
+        kind: QueueKind,
+        capacity: usize,
+        profile: BackoffProfile,
+    ) -> ReplicaQueue<T> {
         match kind {
             QueueKind::Mutex => ReplicaQueue::Mutex(BoundedQueue::new(capacity)),
-            QueueKind::Spsc => ReplicaQueue::Spsc(SpscQueue::with_park(capacity, park)),
+            QueueKind::Spsc => ReplicaQueue::Spsc(SpscQueue::with_profile(capacity, profile)),
+            QueueKind::Mpsc => ReplicaQueue::Mpsc(MpscQueue::with_profile(capacity, profile)),
         }
     }
 
@@ -245,6 +287,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(_) => QueueKind::Mutex,
             ReplicaQueue::Spsc(_) => QueueKind::Spsc,
+            ReplicaQueue::Mpsc(_) => QueueKind::Mpsc,
         }
     }
 
@@ -253,6 +296,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.capacity(),
             ReplicaQueue::Spsc(q) => q.capacity(),
+            ReplicaQueue::Mpsc(q) => q.capacity(),
         }
     }
 
@@ -261,6 +305,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.push(item),
             ReplicaQueue::Spsc(q) => q.push(item),
+            ReplicaQueue::Mpsc(q) => q.push(item),
         }
     }
 
@@ -270,6 +315,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.push_tracked(item),
             ReplicaQueue::Spsc(q) => q.push_tracked(item),
+            ReplicaQueue::Mpsc(q) => q.push_tracked(item),
         }
     }
 
@@ -279,6 +325,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.push_timeout(item, timeout),
             ReplicaQueue::Spsc(q) => q.push_timeout(item, timeout),
+            ReplicaQueue::Mpsc(q) => q.push_timeout(item, timeout),
         }
     }
 
@@ -287,6 +334,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.push_n(items),
             ReplicaQueue::Spsc(q) => q.push_n(items),
+            ReplicaQueue::Mpsc(q) => q.push_n(items),
         }
     }
 
@@ -295,6 +343,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.try_pop(),
             ReplicaQueue::Spsc(q) => q.try_pop(),
+            ReplicaQueue::Mpsc(q) => q.try_pop(),
         }
     }
 
@@ -303,6 +352,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.pop_n(out, max),
             ReplicaQueue::Spsc(q) => q.pop_n(out, max),
+            ReplicaQueue::Mpsc(q) => q.pop_n(out, max),
         }
     }
 
@@ -311,6 +361,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.len(),
             ReplicaQueue::Spsc(q) => q.len(),
+            ReplicaQueue::Mpsc(q) => q.len(),
         }
     }
 
@@ -319,6 +370,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.is_empty(),
             ReplicaQueue::Spsc(q) => q.is_empty(),
+            ReplicaQueue::Mpsc(q) => q.is_empty(),
         }
     }
 
@@ -328,6 +380,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.close(),
             ReplicaQueue::Spsc(q) => q.close(),
+            ReplicaQueue::Mpsc(q) => q.close(),
         }
     }
 
@@ -336,6 +389,7 @@ impl<T> ReplicaQueue<T> {
         match self {
             ReplicaQueue::Mutex(q) => q.is_closed(),
             ReplicaQueue::Spsc(q) => q.is_closed(),
+            ReplicaQueue::Mpsc(q) => q.is_closed(),
         }
     }
 }
@@ -424,8 +478,8 @@ mod tests {
     }
 
     #[test]
-    fn replica_queue_dispatches_both_fabrics() {
-        for kind in [QueueKind::Mutex, QueueKind::Spsc] {
+    fn replica_queue_dispatches_all_fabrics() {
+        for kind in [QueueKind::Mutex, QueueKind::Spsc, QueueKind::Mpsc] {
             let q: ReplicaQueue<u32> = ReplicaQueue::new(kind, 4);
             assert_eq!(q.kind(), kind);
             assert_eq!(q.capacity(), 4);
@@ -444,8 +498,16 @@ mod tests {
     }
 
     #[test]
-    fn push_tracked_reports_stalls_on_both_fabrics() {
-        for kind in [QueueKind::Mutex, QueueKind::Spsc] {
+    fn spsc_preference_upgrades_to_mpsc_for_multiple_producers() {
+        assert_eq!(QueueKind::Spsc.for_producers(1), QueueKind::Spsc);
+        assert_eq!(QueueKind::Spsc.for_producers(4), QueueKind::Mpsc);
+        assert_eq!(QueueKind::Mutex.for_producers(4), QueueKind::Mutex);
+        assert_eq!(QueueKind::Mpsc.for_producers(1), QueueKind::Mpsc);
+    }
+
+    #[test]
+    fn push_tracked_reports_stalls_on_all_fabrics() {
+        for kind in [QueueKind::Mutex, QueueKind::Spsc, QueueKind::Mpsc] {
             let q: Arc<ReplicaQueue<u32>> = Arc::new(ReplicaQueue::new(kind, 1));
             // Uncontended push: no stall.
             assert!(!q.push_tracked(1).expect("open"), "{kind}");

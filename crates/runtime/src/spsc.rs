@@ -48,8 +48,10 @@ use std::time::{Duration, Instant};
 
 /// Pad-and-align wrapper keeping a value on its own cache line (128 bytes
 /// covers the spatial-prefetcher pair on x86 and big.LITTLE lines on arm).
+/// Shared with the MPSC ring ([`crate::mpsc`]), which reuses this padded
+/// ring skeleton with CAS-claimed slots.
 #[repr(align(128))]
-struct CachePadded<T>(T);
+pub(crate) struct CachePadded<T>(pub(crate) T);
 
 /// Producer-owned index line: the real tail plus a stale copy of head.
 struct ProducerSide {
@@ -87,8 +89,8 @@ pub struct SpscQueue<T> {
     mask: usize,
     /// User-visible capacity (back-pressure bound, ≤ ring size).
     capacity: usize,
-    /// Park interval for blocking-push waits (the ladder's deepest rung).
-    park: Duration,
+    /// Wait-ladder shape for blocking-push waits.
+    profile: BackoffProfile,
     producer: CachePadded<ProducerSide>,
     consumer: CachePadded<ConsumerSide>,
     closed: AtomicBool,
@@ -147,6 +149,17 @@ impl<T> SpscQueue<T> {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn with_park(capacity: usize, park: Duration) -> SpscQueue<T> {
+        SpscQueue::with_profile(capacity, BackoffProfile::dedicated(park))
+    }
+
+    /// Ring with an explicit wait-ladder shape ([`BackoffProfile`]) for
+    /// blocking-push waits — the engine passes its oversubscription-aware
+    /// profile here so blocked producers park promptly when replica
+    /// threads outnumber cores.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_profile(capacity: usize, profile: BackoffProfile) -> SpscQueue<T> {
         assert!(capacity > 0, "queue capacity must be positive");
         let ring = capacity.next_power_of_two();
         let slots = (0..ring)
@@ -157,7 +170,7 @@ impl<T> SpscQueue<T> {
             slots,
             mask: ring - 1,
             capacity,
-            park,
+            profile,
             producer: CachePadded(ProducerSide {
                 tail: AtomicUsize::new(0),
                 cached_head: UnsafeCell::new(0),
@@ -232,7 +245,7 @@ impl<T> SpscQueue<T> {
             Err(PushError::Closed(i)) => return Err(i),
             Err(PushError::Full(i)) => i,
         };
-        let mut backoff = Backoff::new(self.park);
+        let mut backoff = Backoff::with_profile(self.profile);
         loop {
             backoff.snooze();
             match self.try_push(item) {
@@ -251,7 +264,7 @@ impl<T> SpscQueue<T> {
     pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), T> {
         let deadline = Instant::now() + timeout;
         let mut item = item;
-        let mut backoff = Backoff::new(self.park);
+        let mut backoff = Backoff::with_profile(self.profile);
         loop {
             match self.try_push(item) {
                 Ok(()) => return Ok(()),
@@ -278,7 +291,7 @@ impl<T> SpscQueue<T> {
         if iter.len() == 0 {
             return Ok(());
         }
-        let mut backoff = Backoff::new(self.park);
+        let mut backoff = Backoff::with_profile(self.profile);
         loop {
             if self.closed.load(Ordering::Acquire) {
                 return Err(iter.collect());
@@ -419,54 +432,117 @@ impl<T> Drop for SpscQueue<T> {
 /// the same ballpark as the old condvar wake.
 const DEFAULT_PARK: Duration = Duration::from_micros(100);
 
-/// Spin rungs of the ladder: 1, 2, 4, 8 `spin_loop` hints. Kept short —
-/// oversubscribed hosts (more replicas than cores) waste every spin.
+/// Spin rungs of the dedicated-core ladder: 1, 2, 4, 8 `spin_loop` hints.
 const SPIN_STEPS: u32 = 4;
-/// Cumulative boundary step: steps `SPIN_STEPS..YIELD_STEPS` yield (4
-/// rungs), and from `YIELD_STEPS` on the ladder parks.
+/// Cumulative boundary step of the dedicated-core ladder: steps
+/// `SPIN_STEPS..YIELD_STEPS` yield (4 rungs), then the ladder parks.
 const YIELD_STEPS: u32 = 8;
+
+/// Shape of the spin → yield → park ladder: how many rungs are spent
+/// spinning and yielding before a waiter parks.
+///
+/// On a machine with a core per replica, spinning briefly is the
+/// lowest-latency way to ride out a momentary stall. When the engine runs
+/// **oversubscribed** — more replica threads than hardware cores (the
+/// documented 1-vCPU fabric inversion in the ROADMAP) — every spin burns a
+/// timeslice the *counterpart* thread needs to make progress, so the
+/// oversubscribed profile skips straight past the spin rungs and parks
+/// after a single yield: parked waits donate the CPU instead of fighting
+/// for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffProfile {
+    /// Rungs spent issuing `spin_loop` hints (1 << step hints per rung).
+    pub spin_steps: u32,
+    /// Cumulative rung index after which the ladder parks; rungs in
+    /// `spin_steps..yield_steps` call `yield_now`.
+    pub yield_steps: u32,
+    /// Park interval of the deepest rung.
+    pub park: Duration,
+}
+
+impl BackoffProfile {
+    /// The dedicated-core ladder: 4 spin rungs, 4 yield rungs, then park.
+    pub fn dedicated(park: Duration) -> BackoffProfile {
+        BackoffProfile {
+            spin_steps: SPIN_STEPS,
+            yield_steps: YIELD_STEPS,
+            park,
+        }
+    }
+
+    /// The oversubscribed ladder: no spinning, one yield, then park — a
+    /// waiting thread gets out of the runnable set as fast as possible so
+    /// shared timeslices go to whoever has actual work.
+    pub fn oversubscribed(park: Duration) -> BackoffProfile {
+        BackoffProfile {
+            spin_steps: 0,
+            yield_steps: 1,
+            park,
+        }
+    }
+
+    /// Pick the profile for running `threads` busy threads on this host:
+    /// oversubscribed when they exceed `std::thread::available_parallelism`.
+    pub fn detect(threads: usize, park: Duration) -> BackoffProfile {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if threads > cores {
+            BackoffProfile::oversubscribed(park)
+        } else {
+            BackoffProfile::dedicated(park)
+        }
+    }
+}
 
 /// Adaptive spin → yield → park wait ladder.
 ///
-/// Shared by the queue's blocking push and the engine's idle executors:
-/// short waits burn a few pipeline hints (latency ≈ ns), medium waits
-/// donate the timeslice (`yield_now`), and sustained waits park the thread
-/// for a bounded interval so an idle system costs ~0 CPU while still
+/// Shared by the queue fabrics' blocking pushes and the engine's idle
+/// executors: short waits burn a few pipeline hints (latency ≈ ns), medium
+/// waits donate the timeslice (`yield_now`), and sustained waits park the
+/// thread for a bounded interval so an idle system costs ~0 CPU while still
 /// observing `close`/new-work promptly. Call [`Backoff::reset`] after
-/// useful work to drop back to the cheap rungs.
+/// useful work to drop back to the cheap rungs. The rung layout comes from
+/// a [`BackoffProfile`]; oversubscribed hosts should use
+/// [`BackoffProfile::oversubscribed`] so parked waits dominate.
 pub struct Backoff {
     step: u32,
-    park: Duration,
+    profile: BackoffProfile,
 }
 
 impl Backoff {
-    /// Ladder whose park rung sleeps `park` per step.
+    /// Dedicated-core ladder whose park rung sleeps `park` per step.
     pub fn new(park: Duration) -> Backoff {
-        Backoff { step: 0, park }
+        Backoff::with_profile(BackoffProfile::dedicated(park))
     }
 
-    /// Back to the spin rungs (call after making progress).
+    /// Ladder with an explicit rung layout.
+    pub fn with_profile(profile: BackoffProfile) -> Backoff {
+        Backoff { step: 0, profile }
+    }
+
+    /// Back to the cheapest rungs (call after making progress).
     pub fn reset(&mut self) {
         self.step = 0;
     }
 
     /// Wait one rung and advance the ladder.
     pub fn snooze(&mut self) {
-        if self.step < SPIN_STEPS {
+        if self.step < self.profile.spin_steps {
             for _ in 0..(1u32 << self.step) {
                 std::hint::spin_loop();
             }
-        } else if self.step < YIELD_STEPS {
+        } else if self.step < self.profile.yield_steps {
             std::thread::yield_now();
         } else {
-            std::thread::park_timeout(self.park);
+            std::thread::park_timeout(self.profile.park);
         }
         self.step = self.step.saturating_add(1);
     }
 
     /// Whether the ladder has escalated to the parking rung.
     pub fn is_parking(&self) -> bool {
-        self.step > YIELD_STEPS
+        self.step > self.profile.yield_steps
     }
 }
 
@@ -605,5 +681,27 @@ mod tests {
         assert!(b.is_parking());
         b.reset();
         assert!(!b.is_parking());
+    }
+
+    #[test]
+    fn oversubscribed_profile_parks_almost_immediately() {
+        let park = Duration::from_micros(1);
+        let mut b = Backoff::with_profile(BackoffProfile::oversubscribed(park));
+        // One yield rung, then straight to parking — no spin phase at all.
+        b.snooze();
+        b.snooze();
+        assert!(
+            b.is_parking(),
+            "second rung of the oversubscribed ladder must park"
+        );
+        let dedicated = BackoffProfile::dedicated(park);
+        assert!(dedicated.spin_steps > 0 && dedicated.yield_steps > dedicated.spin_steps);
+        // Detection: a single thread never oversubscribes; more threads
+        // than any real host has cores always does.
+        assert_eq!(BackoffProfile::detect(1, park), dedicated);
+        assert_eq!(
+            BackoffProfile::detect(usize::MAX, park),
+            BackoffProfile::oversubscribed(park)
+        );
     }
 }

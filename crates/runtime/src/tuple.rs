@@ -57,6 +57,17 @@ impl Tuple {
         }
         h
     }
+
+    /// Re-mix an already-numeric partitioning key through the FNV-1a hash.
+    ///
+    /// Key-by routing must not take `key % consumers` on a raw key:
+    /// strided key spaces (all-even sensor ids, multiples of a shard
+    /// count) alias with the consumer count and park entire replicas.
+    /// Mixing the key bytes first spreads any arithmetic structure across
+    /// the whole 64-bit space, while staying deterministic per key.
+    pub fn mix_key(key: u64) -> u64 {
+        Tuple::hash_key(&key.to_le_bytes())
+    }
 }
 
 impl std::fmt::Debug for Tuple {

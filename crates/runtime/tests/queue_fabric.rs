@@ -1,17 +1,19 @@
 //! Property + stress tests for the queue fabrics.
 //!
-//! Both [`QueueKind`]s must agree on the contract the engine depends on:
+//! All [`QueueKind`]s must agree on the contract the engine depends on:
 //! FIFO order, a hard capacity bound (back-pressure), and close/drain
 //! semantics (pushes fail after close, queued items still pop). The
 //! properties replay randomized push/pop interleavings against a
-//! `VecDeque` model; the stress test moves 100k tuples across a real
-//! 2-thread producer/consumer pair under each fabric.
+//! `VecDeque` model; the stress tests move 100k tuples across real
+//! producer/consumer threads under each fabric, and the MPSC ring
+//! additionally proves exactly-once + FIFO-per-producer under genuine
+//! multi-producer contention.
 
-use brisk_runtime::{QueueKind, ReplicaQueue};
+use brisk_runtime::{MpscQueue, QueueKind, ReplicaQueue};
 use proptest::prelude::*;
 use std::sync::Arc;
 
-const KINDS: [QueueKind; 2] = [QueueKind::Mutex, QueueKind::Spsc];
+const KINDS: [QueueKind; 3] = [QueueKind::Mutex, QueueKind::Spsc, QueueKind::Mpsc];
 
 /// Apply a randomized op sequence to a queue and a `VecDeque` model,
 /// checking they agree step by step. Ops: even = try-style push (via
@@ -173,5 +175,54 @@ fn two_thread_stress_exactly_once_100k() {
             assert_eq!(*v, i as u64, "{kind}: order violated at {i}");
         }
         assert!(q.is_empty(), "{kind}: ring should be fully drained");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// MPSC ring vs a per-producer model: 4 real producer threads push
+    /// disjoint tagged sequences of random lengths through a small ring;
+    /// the consumer must observe every item exactly once and each
+    /// producer's items in program order, with the ring fully drained.
+    #[test]
+    fn mpsc_four_producers_exactly_once_fifo_per_producer(
+        capacity in 1usize..24,
+        lens in (100usize..400, 100usize..400, 100usize..400, 100usize..400),
+    ) {
+        let lens = [lens.0, lens.1, lens.2, lens.3];
+        let q: Arc<MpscQueue<(usize, u32)>> = Arc::new(MpscQueue::new(capacity));
+        let mut handles = Vec::new();
+        for (p, &len) in lens.iter().enumerate() {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..len as u32 {
+                    q.push((p, i)).expect("open");
+                }
+            }));
+        }
+        let expect: usize = lens.iter().sum();
+        let mut seen: [Vec<u32>; 4] = Default::default();
+        let mut got = Vec::new();
+        let mut count = 0usize;
+        while count < expect {
+            let n = q.pop_n(&mut got, 8);
+            if n == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            for (p, i) in got.drain(..) {
+                seen[p].push(i);
+                count += 1;
+            }
+        }
+        for h in handles {
+            h.join().expect("producer ok");
+        }
+        prop_assert!(q.is_empty(), "ring fully drained");
+        for (p, s) in seen.iter().enumerate() {
+            let model: Vec<u32> = (0..lens[p] as u32).collect();
+            prop_assert!(s == &model, "producer {} lost order or items", p);
+        }
     }
 }
