@@ -41,10 +41,16 @@ pub fn topology() -> LogicalTopology {
         "sink",
         CostProfile::from_ns_at_ghz(45.0, 10.0, 64.0, 16.0, ghz),
     );
-    b.connect_shuffle(spout, parser);
-    // Per-account state: key partitioning on the account id.
+    // The parser is a stateless filter, so which replica sees a
+    // transaction is irrelevant: local forwarding pins spout replica i to
+    // parser replica i, and at equal replica counts the pair fuses into
+    // one executor (pairwise operator fusion) instead of crossing a queue.
+    b.connect(spout, DEFAULT_STREAM, parser, Partitioning::Forward);
+    // Per-account state: key partitioning on the account id. The parser
+    // re-emits its input tuple verbatim, so it preserves the account key.
     b.connect(parser, DEFAULT_STREAM, predictor, Partitioning::KeyBy);
     b.connect_shuffle(predictor, sink);
+    b.set_key_preserving(parser);
     b.build().expect("FD topology is valid")
 }
 

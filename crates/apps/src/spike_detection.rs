@@ -55,6 +55,12 @@ pub fn topology() -> LogicalTopology {
         Partitioning::KeyBy,
     );
     b.connect_shuffle(spike_detect, sink);
+    // Both bolts emit under the device id their input arrived with, so
+    // the back-to-back KeyBy edges are *aligned*: at equal replica counts
+    // every moving-average replica feeds its own spike-detect twin, and
+    // the pair fuses into one executor (pairwise operator fusion).
+    b.set_key_preserving(parser);
+    b.set_key_preserving(moving_average);
     b.build().expect("SD topology is valid")
 }
 

@@ -56,6 +56,11 @@ pub fn topology() -> LogicalTopology {
     b.connect_shuffle(counter, sink);
     // Each sentence splits into ten words.
     b.set_selectivity(splitter, None, DEFAULT_STREAM, WORDS_PER_SENTENCE as f64);
+    // The counter emits (word, count) under the word's own key — keyed
+    // exactly like its input (the splitter's hash), so a downstream KeyBy
+    // at equal counts would align. The parser forwards tuples verbatim.
+    b.set_key_preserving(parser);
+    b.set_key_preserving(counter);
     b.build().expect("WC topology is valid")
 }
 

@@ -56,8 +56,10 @@ pub struct E2eOptions {
     pub event_budget: u64,
     /// Per-operator samples for live profiling.
     pub profile_samples: usize,
-    /// Replica budget floor for RLAS; each app gets at least
-    /// `operator_count + 1` so every operator can be replicated.
+    /// Executor-thread budget floor for RLAS (fused-away replicas ride
+    /// their hosts free, so replica counts may exceed this); each app gets
+    /// at least one thread more than its all-ones plan spawns, so every
+    /// topology is feasible and has replication headroom.
     pub replica_budget: usize,
     /// Per-run wall-clock cap (runs normally end by draining the sized
     /// spouts well before this).
@@ -108,10 +110,18 @@ impl E2eOptions {
         }
     }
 
-    fn scaling_options(&self, operator_count: usize) -> ScalingOptions {
+    fn scaling_options(&self, topology: &brisk_dag::LogicalTopology) -> ScalingOptions {
+        // The budget is in executor threads (see `brisk_rlas::ScalingOptions::
+        // max_total_replicas`): the floor is what the all-ones plan spawns
+        // once its chains fuse, plus one thread of growth headroom — for
+        // Linear Road that keeps plans chain-dense (a handful of threads
+        // hosting 12 operators) instead of letting freed budget balloon
+        // the thread count past what any host gains from.
+        let all_ones = vec![1usize; topology.operator_count()];
+        let floor = brisk_rlas::spawned_executors(topology, &all_ones) + 1;
         ScalingOptions {
             compress_ratio: self.compress_ratio,
-            max_total_replicas: Some(self.replica_budget.max(operator_count + 1)),
+            max_total_replicas: Some(self.replica_budget.max(floor)),
             placement: PlacementOptions {
                 max_nodes: self.plan_node_budget,
                 ..PlacementOptions::default()
@@ -159,8 +169,15 @@ pub struct MeasuredRun {
 #[derive(Debug, Clone)]
 pub struct FusionAB {
     /// Operators the plan's [`FusionPlan`] fuses away (0 = no fusable
-    /// chain under this replication/placement).
+    /// chain under this replication/placement). Counts operator-level
+    /// chains AND pairwise-fused operators (equal-count Forward / aligned
+    /// KeyBy edges).
     pub fused_ops: usize,
+    /// Logical edges delivered inline (no queue) under the plan.
+    pub fused_edges: usize,
+    /// Executor threads the fused engine spawns (total replicas minus
+    /// fused-away replicas — what the RLAS executor budget constrained).
+    pub spawned_executors: usize,
     /// Measured throughput with fusion on.
     pub fused_throughput: f64,
     /// Measured throughput with fusion forced off.
@@ -264,7 +281,7 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
     let calibrated = instantiate(&topology, &mut profiles, opts.machine.clock_hz());
 
     // 2. Optimize under the virtual machine.
-    let scaling = opts.scaling_options(calibrated.operator_count());
+    let scaling = opts.scaling_options(&calibrated);
     let rlas = optimize(&opts.machine, &calibrated, &scaling)
         .ok_or_else(|| format!("{abbrev}: no feasible plan"))?;
 
@@ -287,7 +304,11 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
     );
     // Exact gate: an operator with outgoing edges that are ALL fused must
     // push nothing in the fused run — if fusion silently stopped rewiring,
-    // this trips deterministically, with no run-to-run flush noise.
+    // this trips deterministically, with no run-to-run flush noise. Since
+    // `FusionPlan::compute` covers pairwise fusion (equal-count Forward /
+    // aligned KeyBy), a multi-replica producer whose only edge pairs off
+    // (e.g. FD's spout → parser) is held to the same zero-push bar as the
+    // old single-replica chains.
     let fused_edges_silent = calibrated
         .operators()
         .filter(|&(op, _)| {
@@ -302,6 +323,8 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
         .all(|(op, _)| fused.per_operator_queue_pushes[op.0] == 0);
     let fusion = FusionAB {
         fused_ops: fusion_plan.fused_op_count(),
+        fused_edges: fusion_plan.fused_edge_count(),
+        spawned_executors: fusion_plan.spawned_executors(&rlas.plan.replication),
         fused_throughput: fused.throughput,
         unfused_throughput: unfused.throughput,
         fused_over_unfused: fused.throughput / unfused.throughput.max(f64::MIN_POSITIVE),
@@ -464,11 +487,14 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
         }
         out.push_str("      },\n");
         out.push_str(&format!(
-            "      \"fusion\": {{\"fused_ops\": {}, \"fused_throughput\": {}, \
+            "      \"fusion\": {{\"fused_ops\": {}, \"fused_edges\": {}, \
+             \"spawned_executors\": {}, \"fused_throughput\": {}, \
              \"unfused_throughput\": {}, \"fused_over_unfused\": {}, \
              \"queue_crossings\": {{\"fused\": {}, \"unfused\": {}}}, \
              \"fused_edges_silent\": {}}},\n",
             r.fusion.fused_ops,
+            r.fusion.fused_edges,
+            r.fusion.spawned_executors,
             num(r.fusion.fused_throughput),
             num(r.fusion.unfused_throughput),
             ratio(r.fusion.fused_over_unfused),
@@ -573,6 +599,8 @@ mod tests {
             }],
             fusion: FusionAB {
                 fused_ops: 1,
+                fused_edges: 1,
+                spawned_executors: 1,
                 fused_throughput: 999.25,
                 unfused_throughput: 800.0,
                 fused_over_unfused: 1.25,

@@ -93,13 +93,26 @@ impl BriskStream {
             .ok_or(PlanError::NoFeasiblePlan)
     }
 
-    /// Evaluate an arbitrary plan (not necessarily RLAS's) under the model.
+    /// Evaluate an arbitrary plan (not necessarily RLAS's) under the model
+    /// — the same fusion-aware objective [`BriskStream::submit`] optimizes
+    /// (serialized fused chains, queue-crossing costs on unfused edges).
     pub fn evaluate(&self, topology: &LogicalTopology, plan: &ExecutionPlan) -> Evaluation {
         let graph = ExecutionGraph::new(topology, &plan.replication, plan.compress_ratio);
-        Evaluator::saturated(&self.machine).evaluate(&graph, &plan.placement)
+        Evaluator::saturated(&self.machine)
+            .fused_engine()
+            .evaluate(&graph, &plan.placement)
     }
 
     /// "Measure" a plan by simulating it on the virtual machine.
+    ///
+    /// The discrete-event simulator models **unfused** execution: every
+    /// replica is its own pipelined executor with real queues, exactly
+    /// what the engine runs with `EngineConfig::fusion` disabled. For
+    /// plans where the engine would fuse chains, expect the simulated
+    /// rate to exceed the fusion-aware prediction from
+    /// [`BriskStream::submit`]/[`BriskStream::evaluate`] (serialized
+    /// chains are slower than pipelined ones, queue costs aside) —
+    /// simulating fusion itself is an open ROADMAP item.
     pub fn simulate(
         &self,
         topology: &LogicalTopology,

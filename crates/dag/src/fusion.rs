@@ -23,21 +23,33 @@
 //!
 //! * every incoming edge of `v` originates at `u` (single upstream
 //!   operator — otherwise `v` would need to live in two executors);
-//! * `u` and `v` both run exactly one replica, so each fused edge is a
-//!   genuine 1:1 replica pairing. With one consumer replica every
-//!   partitioning strategy (Shuffle, KeyBy, Broadcast, Global) degenerates
-//!   to "deliver to replica 0", so routing semantics are preserved
-//!   verbatim;
-//! * the two replicas are placed on the same socket (unplaced replicas
+//! * `u` and `v` run the **same replica count** `n`, and every `u → v`
+//!   edge routes replica `i` to replica `i` — a genuine 1:1 replica
+//!   pairing, so the engine can run `v`'s replica `i` inline inside `u`'s
+//!   replica `i`:
+//!   * `n == 1`: every partitioning strategy (Shuffle, KeyBy, Broadcast,
+//!     Global, Forward) degenerates to "deliver to replica 0";
+//!   * `n > 1` (**pairwise fusion**): the edge must be
+//!     [`Partitioning::Forward`] (`i → i` by definition), or an **aligned
+//!     KeyBy**: `u` is *key-confined* — each of its replicas only ever
+//!     holds tuples whose key hashes to its own index, because every path
+//!     into `u` is KeyBy (or Forward from an equally-replicated, confined,
+//!     key-preserving producer) — and `u` is declared
+//!     [key-preserving](crate::topology::OperatorSpec::is_key_preserving),
+//!     so its emissions re-hash to the same index under the consumer's
+//!     identical `mix_key(key) % n` router;
+//! * every replica pair `(u_i, v_i)` shares a socket (unplaced replicas
 //!   count as collocated, matching the model's bounding relaxation).
 //!
 //! Chains compose transitively: if `s → a` and `a → b` both fuse, the
-//! three operators form one executor rooted at `s` (the chain *host*).
+//! three operators form one executor (per replica pair) rooted at `s`
+//! (the chain *host*); a fused edge requires equal replica counts, so a
+//! whole chain shares one count and pairs index-wise end to end.
 //! Spouts are never fused away (they have no producer); sinks may be.
 
 use crate::graph::ExecutionGraph;
 use crate::plan::Placement;
-use crate::topology::{LogicalTopology, OperatorId};
+use crate::topology::{LogicalTopology, OperatorId, Partitioning};
 use brisk_numa::SocketId;
 
 /// Which operators fuse into which producers, and which logical edges
@@ -76,6 +88,21 @@ impl FusionPlan {
         replication: &[usize],
         replica_sockets: Option<&[SocketId]>,
     ) -> FusionPlan {
+        let known: Option<Vec<Option<SocketId>>> =
+            replica_sockets.map(|sockets| sockets.iter().map(|&s| Some(s)).collect());
+        FusionPlan::compute_partial(topology, replication, known.as_deref())
+    }
+
+    /// [`FusionPlan::compute`] for *partially known* placements: `None`
+    /// entries are replicas whose socket is undecided and count as
+    /// collocated with anything (the bounding relaxation) — but replica
+    /// pairs whose sockets are both known and **differ** still block
+    /// fusion, unlike the all-or-nothing `compute` wrapper.
+    pub fn compute_partial(
+        topology: &LogicalTopology,
+        replication: &[usize],
+        replica_sockets: Option<&[Option<SocketId>]>,
+    ) -> FusionPlan {
         assert_eq!(
             replication.len(),
             topology.operator_count(),
@@ -91,11 +118,30 @@ impl FusionPlan {
             *base = acc;
             acc += replication[op];
         }
-        // Socket of an operator's replica 0 (only queried for single-replica
-        // operators below).
-        let socket_of = |op: usize| -> Option<SocketId> {
-            replica_sockets.map(|sockets| sockets[replica_base[op]])
-        };
+
+        // Key confinement per operator (see module docs): replica `i` only
+        // ever holds tuples with `mix_key(key) % n == i`. True when every
+        // incoming edge is KeyBy (the router itself partitions the key
+        // space over the operator's n replicas), or Forward from an
+        // equally-replicated producer that is itself confined and
+        // key-preserving (the pairing relays the confinement unchanged).
+        // Computed in topological order so producers resolve first.
+        let mut confined = vec![false; replication.len()];
+        for &op in topology.topological_order() {
+            let mut edges = topology.incoming_edges(op).peekable();
+            if edges.peek().is_none() {
+                continue; // spouts emit arbitrary keys
+            }
+            confined[op.0] = edges.all(|e| match e.partitioning {
+                Partitioning::KeyBy => true,
+                Partitioning::Forward => {
+                    replication[e.from.0] == replication[op.0]
+                        && confined[e.from.0]
+                        && topology.operator(e.from).is_key_preserving()
+                }
+                _ => false,
+            });
+        }
 
         let mut plan = FusionPlan::disabled(topology);
         for (v, _) in topology.operators() {
@@ -117,12 +163,39 @@ impl FusionPlan {
                 }
                 edge_indices.push(lei);
             }
-            if !single_upstream || replication[u.0] != 1 || replication[v.0] != 1 {
+            let n = replication[v.0];
+            if !single_upstream || replication[u.0] != n {
                 continue;
             }
-            // Same-socket check; unplaced/unknown counts as collocated.
-            if let (Some(su), Some(sv)) = (socket_of(u.0), socket_of(v.0)) {
-                if su != sv {
+            // With one replica pair every strategy delivers to replica 0;
+            // at n > 1 only Forward and aligned KeyBy pin the i -> i map.
+            let pairs_one_to_one = n == 1
+                || edge_indices
+                    .iter()
+                    .all(|&lei| match topology.edges()[lei].partitioning {
+                        Partitioning::Forward => true,
+                        Partitioning::KeyBy => {
+                            confined[u.0] && topology.operator(u).is_key_preserving()
+                        }
+                        _ => false,
+                    });
+            if !pairs_one_to_one {
+                continue;
+            }
+            // Same-socket check per replica pair; a pair is collocated
+            // unless both sockets are known and differ (unplaced/unknown
+            // counts as collocated).
+            if let Some(sockets) = replica_sockets {
+                let collocated = (0..n).all(|r| {
+                    match (
+                        sockets[replica_base[u.0] + r],
+                        sockets[replica_base[v.0] + r],
+                    ) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => true,
+                    }
+                });
+                if !collocated {
                     continue;
                 }
             }
@@ -136,38 +209,21 @@ impl FusionPlan {
 
     /// Compute fusion groups from a (possibly compressed, possibly
     /// partially placed) execution graph — the model-side entry point.
-    /// Unplaced vertices count as collocated, matching the evaluator's
-    /// bounding relaxation.
+    /// Unplaced vertices count as collocated (the bounding relaxation),
+    /// but pairs the placement explicitly splits across sockets still
+    /// block fusion even when other vertices remain unplaced.
     pub fn from_graph(graph: &ExecutionGraph<'_>, placement: &Placement) -> FusionPlan {
         let topology = graph.topology();
-        let sockets: Option<Vec<SocketId>> = {
-            // Per-replica sockets exist only when every single-replica
-            // operator's vertex is placed; rather than require that, map
-            // unplaced vertices to a sentinel handled as collocated by
-            // running the per-operator check here and passing `None`
-            // upward when anything is unplaced.
-            let mut sockets = Vec::with_capacity(graph.total_replicas());
-            let mut all_placed = true;
-            for (op, _) in topology.operators() {
-                for &v in graph.vertices_of(op) {
-                    match placement.socket_of(v) {
-                        Some(s) => {
-                            for _ in 0..graph.vertex(v).multiplicity {
-                                sockets.push(s);
-                            }
-                        }
-                        None => {
-                            all_placed = false;
-                            for _ in 0..graph.vertex(v).multiplicity {
-                                sockets.push(SocketId(0));
-                            }
-                        }
-                    }
+        let mut sockets: Vec<Option<SocketId>> = Vec::with_capacity(graph.total_replicas());
+        for (op, _) in topology.operators() {
+            for &v in graph.vertices_of(op) {
+                let socket = placement.socket_of(v);
+                for _ in 0..graph.vertex(v).multiplicity {
+                    sockets.push(socket);
                 }
             }
-            all_placed.then_some(sockets)
-        };
-        FusionPlan::compute(topology, graph.replication(), sockets.as_deref())
+        }
+        FusionPlan::compute_partial(topology, graph.replication(), Some(&sockets))
     }
 
     /// Whether logical edge `lei` is fused (travels inline, no queue).
@@ -208,6 +264,28 @@ impl FusionPlan {
     /// Number of logical edges carried inline.
     pub fn fused_edge_count(&self) -> usize {
         self.fused_edges.iter().filter(|&&f| f).count()
+    }
+
+    /// Executor threads the engine spawns under `replication` with this
+    /// plan: fused-away operators ride their hosts' threads, so each of
+    /// their replicas is one thread saved. This is the quantity the RLAS
+    /// replica budget constrains — fusion frees budget that can buy
+    /// replication elsewhere.
+    ///
+    /// # Panics
+    /// Panics if `replication` does not cover every operator.
+    pub fn spawned_executors(&self, replication: &[usize]) -> usize {
+        assert_eq!(
+            replication.len(),
+            self.host.len(),
+            "replication must cover every operator"
+        );
+        self.host
+            .iter()
+            .enumerate()
+            .filter(|&(op, &h)| h == op)
+            .map(|(op, _)| replication[op])
+            .sum()
     }
 
     /// Fusion chains with more than one operator, each listed root-first.
@@ -345,6 +423,109 @@ mod tests {
         assert_eq!(unfused.fused_op_count(), 0);
     }
 
+    /// spout -> a (Forward) -> sink, replication [n, n, 1].
+    fn forward3() -> LogicalTopology {
+        let mut b = TopologyBuilder::new("fwd");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let a = b.add_bolt("a", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, a, Partitioning::Forward);
+        b.connect_shuffle(a, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn forward_edge_fuses_pairwise_at_equal_counts() {
+        let t = forward3();
+        let plan = FusionPlan::compute(&t, &[3, 3, 1], None);
+        assert!(plan.is_fused_away(OperatorId(1)), "3:3 Forward pairs fuse");
+        assert!(plan.is_edge_fused(0));
+        assert!(!plan.is_fused_away(OperatorId(2)), "3:1 shuffle tail stays");
+        assert_eq!(plan.spawned_executors(&[3, 3, 1]), 4, "3 hosts + 1 sink");
+        // Count mismatch breaks the pairing even on a Forward edge.
+        let unequal = FusionPlan::compute(&t, &[3, 2, 1], None);
+        assert_eq!(unequal.fused_op_count(), 0);
+        // Any split replica pair blocks the whole fusion.
+        let sockets = [0, 0, 1, 0, 1, 0, 0].map(SocketId);
+        let split = FusionPlan::compute(&t, &[3, 3, 1], Some(&sockets));
+        assert!(
+            !split.is_fused_away(OperatorId(1)),
+            "pair 1 crosses sockets"
+        );
+        // Pairwise-collocated placement fuses even across busy sockets.
+        let paired = [0, 1, 0, 0, 1, 0, 1].map(SocketId);
+        let ok = FusionPlan::compute(&t, &[3, 3, 1], Some(&paired));
+        assert!(ok.is_fused_away(OperatorId(1)));
+    }
+
+    /// spout -> a (KeyBy) -> b (KeyBy) -> sink; `a` optionally
+    /// key-preserving.
+    fn keyed4(preserving: bool) -> LogicalTopology {
+        let mut b = TopologyBuilder::new("keyed");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let a = b.add_bolt("a", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, a, Partitioning::KeyBy);
+        b.connect(a, DEFAULT_STREAM, x, Partitioning::KeyBy);
+        b.connect_shuffle(x, k);
+        if preserving {
+            b.set_key_preserving(a);
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn aligned_keyby_fuses_only_when_confined_and_preserving() {
+        // a's replicas are key-confined (its only input is KeyBy over the
+        // same 2 replicas) and a preserves keys: a -> x pairs i -> i.
+        let plan = FusionPlan::compute(&keyed4(true), &[1, 2, 2, 1], None);
+        assert!(plan.is_fused_away(OperatorId(2)), "aligned KeyBy fuses");
+        assert!(plan.is_edge_fused(1));
+        assert!(!plan.is_fused_away(OperatorId(1)), "1:2 head stays queued");
+        // Without the key-preserving promise the alignment cannot be proven.
+        let unproven = FusionPlan::compute(&keyed4(false), &[1, 2, 2, 1], None);
+        assert!(!unproven.is_fused_away(OperatorId(2)));
+        // A shuffled input breaks confinement even with the promise.
+        let mut b = TopologyBuilder::new("shuffled");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let a = b.add_bolt("a", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect_shuffle(s, a);
+        b.connect(a, DEFAULT_STREAM, x, Partitioning::KeyBy);
+        b.connect_shuffle(x, k);
+        b.set_key_preserving(a);
+        let t = b.build().expect("valid");
+        let plan = FusionPlan::compute(&t, &[1, 2, 2, 1], None);
+        assert!(!plan.is_fused_away(OperatorId(2)), "unconfined producer");
+    }
+
+    #[test]
+    fn forward_relays_confinement_through_a_fused_pair() {
+        // s -> a (KeyBy) -> x (Forward) -> y (KeyBy) -> k: x receives a's
+        // confined keys 1:1 and preserves them, so x -> y is aligned too
+        // and the whole a-chain fuses pairwise.
+        let mut b = TopologyBuilder::new("relay");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let a = b.add_bolt("a", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let y = b.add_bolt("y", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, a, Partitioning::KeyBy);
+        b.connect(a, DEFAULT_STREAM, x, Partitioning::Forward);
+        b.connect(x, DEFAULT_STREAM, y, Partitioning::KeyBy);
+        b.connect_shuffle(y, k);
+        b.set_key_preserving(a);
+        b.set_key_preserving(x);
+        let t = b.build().expect("valid");
+        let plan = FusionPlan::compute(&t, &[1, 2, 2, 2, 1], None);
+        assert!(plan.is_fused_away(OperatorId(2)));
+        assert!(plan.is_fused_away(OperatorId(3)), "confinement relayed");
+        assert_eq!(plan.root_host_of(OperatorId(3)), OperatorId(1));
+        assert_eq!(plan.spawned_executors(&[1, 2, 2, 2, 1]), 4);
+    }
+
     #[test]
     fn disabled_plan_is_identity() {
         let t = linear4();
@@ -371,6 +552,16 @@ mod tests {
         let partial = Placement::empty(graph.vertex_count());
         let relaxed = FusionPlan::from_graph(&graph, &partial);
         assert_eq!(relaxed.fused_op_count(), 3);
+        // ... but a pair the placement explicitly splits must NOT fuse,
+        // even while unrelated vertices remain unplaced: s on socket 0,
+        // a on socket 1, x/k undecided -> only s->a is blocked.
+        let mut mixed = Placement::empty(graph.vertex_count());
+        mixed.place(VertexId(0), SocketId(0));
+        mixed.place(VertexId(1), SocketId(1));
+        let strict = FusionPlan::from_graph(&graph, &mixed);
+        assert!(!strict.is_fused_away(OperatorId(1)), "split pair blocked");
+        assert!(strict.is_fused_away(OperatorId(2)), "a->x relaxed");
+        assert!(strict.is_fused_away(OperatorId(3)));
         // Round-trip via an ExecutionPlan, multiplicity > 1 on one op.
         let graph2 = ExecutionGraph::new(&t, &[1, 3, 1, 1], 3);
         let plan2 = ExecutionPlan {

@@ -49,6 +49,16 @@ pub enum Partitioning {
     Broadcast,
     /// All tuples funnel into replica 0 of the consumer.
     Global,
+    /// Local forwarding: with **equal replica counts**, producer replica
+    /// `i` delivers to consumer replica `i` — a strict 1:1 pairing, the
+    /// shape pairwise operator fusion collapses (see
+    /// `brisk_dag::FusionPlan`). With unequal counts the pairing is
+    /// meaningless, so the edge **degrades to Shuffle** (engine,
+    /// simulator and model all treat it identically, keeping the
+    /// work-conserving capacity pooling exact). Only meaningful where the
+    /// consumer is indifferent to which replica sees a tuple (stateless,
+    /// or state keyed the same way the producer already is).
+    Forward,
 }
 
 /// A selectivity rule: tuples arriving on `input_stream` produce
@@ -75,6 +85,7 @@ pub struct OperatorSpec {
     /// Profiled cost (Te, Others, M, N).
     pub cost: CostProfile,
     selectivity: Vec<SelectivityRule>,
+    key_preserving: bool,
 }
 
 impl OperatorSpec {
@@ -100,6 +111,15 @@ impl OperatorSpec {
     /// All explicit selectivity rules.
     pub fn selectivity_rules(&self) -> &[SelectivityRule] {
         &self.selectivity
+    }
+
+    /// Whether the application promises this operator emits every output
+    /// tuple under the **same key** as the input tuple that produced it
+    /// (declared via [`TopologyBuilder::set_key_preserving`]). Pairwise
+    /// fusion relies on this to prove that consecutive KeyBy edges with
+    /// equal replica counts route every tuple `i → i` ("aligned KeyBy").
+    pub fn is_key_preserving(&self) -> bool {
+        self.key_preserving
     }
 }
 
@@ -317,6 +337,7 @@ impl TopologyBuilder {
             kind,
             cost,
             selectivity: Vec::new(),
+            key_preserving: false,
         });
         id
     }
@@ -351,6 +372,18 @@ impl TopologyBuilder {
             output_stream: output_stream.to_string(),
             ratio,
         });
+        self
+    }
+
+    /// Promise that `op` emits each output tuple under the same key as the
+    /// input tuple that produced it (e.g. a filter that re-emits its input,
+    /// or a per-key aggregate keyed identically). This is an application
+    /// assertion the builder cannot verify; it unlocks aligned-KeyBy
+    /// pairwise fusion (see `brisk_dag::FusionPlan`) and is ignored
+    /// otherwise. Spouts have no input key, so the flag is meaningless
+    /// (and harmless) on them.
+    pub fn set_key_preserving(&mut self, op: OperatorId) -> &mut Self {
+        self.operators[op.0].key_preserving = true;
         self
     }
 

@@ -1,0 +1,185 @@
+//! Property tests for [`brisk_dag::FusionPlan`] invariants.
+//!
+//! Random linear pipelines with random partitionings, replica counts,
+//! key-preserving flags and per-replica socket assignments; the plan must
+//! always satisfy:
+//!
+//! * a fused edge never crosses a replica-count mismatch — producer and
+//!   consumer counts are equal (the aligned pairwise rule subsumes the old
+//!   1:1 rule);
+//! * at counts above one, a fused edge is Forward or KeyBy (the only
+//!   strategies that can pin the `i → i` pairing);
+//! * fused edges only connect per-replica-collocated pairs;
+//! * spouts never fuse away;
+//! * chains are acyclic: following `direct_host_of` reaches a fixed point
+//!   within `operator_count` hops, and `root_host_of` agrees with it;
+//! * fused sets are disjoint across hosts: every fused-away operator
+//!   appears in exactly one chain, hosts appear only as chain roots.
+
+use brisk_dag::{CostProfile, FusionPlan, OperatorId, Partitioning, TopologyBuilder};
+use brisk_numa::SocketId;
+use proptest::prelude::*;
+
+const STRATEGIES: [Partitioning; 5] = [
+    Partitioning::Shuffle,
+    Partitioning::KeyBy,
+    Partitioning::Broadcast,
+    Partitioning::Global,
+    Partitioning::Forward,
+];
+
+/// Deterministically expand the drawn parameters into a pipeline topology.
+fn pipeline(
+    n_ops: usize,
+    strategy_picks: &[usize],
+    preserving_picks: &[bool],
+) -> brisk_dag::LogicalTopology {
+    let mut b = TopologyBuilder::new("prop");
+    let mut prev = b.add_spout("op0", CostProfile::trivial());
+    for i in 1..n_ops {
+        let op = if i + 1 == n_ops {
+            b.add_sink(format!("op{i}"), CostProfile::trivial())
+        } else {
+            b.add_bolt(format!("op{i}"), CostProfile::trivial())
+        };
+        let strategy = STRATEGIES[strategy_picks[i - 1] % STRATEGIES.len()];
+        b.connect(prev, brisk_dag::DEFAULT_STREAM, op, strategy);
+        if preserving_picks[i - 1] {
+            b.set_key_preserving(op);
+        }
+        prev = op;
+    }
+    b.build().expect("valid pipeline")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fusion_plan_invariants_hold(
+        n_ops in 3usize..7,
+        strategy_picks in prop::collection::vec(0usize..5, 6),
+        preserving_picks in prop::collection::vec(0usize..2, 6),
+        replication_picks in prop::collection::vec(1usize..4, 7),
+        socket_picks in prop::collection::vec(0usize..2, 24),
+    ) {
+        let preserving: Vec<bool> = preserving_picks.iter().map(|&p| p == 1).collect();
+        let topology = pipeline(n_ops, &strategy_picks, &preserving);
+        let replication: Vec<usize> = (0..n_ops).map(|i| replication_picks[i]).collect();
+        let total: usize = replication.iter().sum();
+        let sockets: Vec<SocketId> =
+            (0..total).map(|i| SocketId(socket_picks[i % 24])).collect();
+        let plan = FusionPlan::compute(&topology, &replication, Some(&sockets));
+
+        let replica_base: Vec<usize> = {
+            let mut base = vec![0usize; n_ops];
+            let mut acc = 0;
+            for (op, b) in base.iter_mut().enumerate() {
+                *b = acc;
+                acc += replication[op];
+            }
+            base
+        };
+
+        // Per-edge invariants.
+        for (lei, edge) in topology.edges().iter().enumerate() {
+            if !plan.is_edge_fused(lei) {
+                continue;
+            }
+            let (u, v) = (edge.from.0, edge.to.0);
+            prop_assert!(
+                replication[u] == replication[v],
+                "fused edge {} crosses a replica-count mismatch", lei
+            );
+            if replication[v] > 1 {
+                prop_assert!(
+                    matches!(edge.partitioning, Partitioning::Forward | Partitioning::KeyBy),
+                    "pairwise-fused edge {} uses {:?}", lei, edge.partitioning
+                );
+            }
+            for r in 0..replication[v] {
+                prop_assert!(
+                    sockets[replica_base[u] + r] == sockets[replica_base[v] + r],
+                    "fused edge {} pairs replicas across sockets", lei
+                );
+            }
+            prop_assert!(
+                plan.is_fused_away(edge.to),
+                "edge {} fused but consumer keeps its executor", lei
+            );
+        }
+
+        // Spouts never fuse away; chains terminate and stay consistent.
+        let mut seen_in_chains = vec![0usize; n_ops];
+        for (op, spec) in topology.operators() {
+            if spec.kind == brisk_dag::OperatorKind::Spout {
+                prop_assert!(!plan.is_fused_away(op), "spout fused away");
+            }
+            // Following direct hosts must reach a fixed point within n hops.
+            let mut cur = op;
+            for _ in 0..n_ops {
+                let next = plan.direct_host_of(cur);
+                if next == cur {
+                    break;
+                }
+                cur = next;
+            }
+            prop_assert!(plan.direct_host_of(cur) == cur, "host chain cycles");
+            prop_assert!(plan.root_host_of(op) == cur, "root disagrees with walk");
+            prop_assert!(!plan.is_fused_away(cur), "chain root must keep its executor");
+        }
+        for chain in plan.chains() {
+            prop_assert!(chain.len() > 1);
+            prop_assert_eq!(plan.root_host_of(chain[0]), chain[0]);
+            for &member in &chain {
+                seen_in_chains[member.0] += 1;
+            }
+        }
+        for (op, _) in topology.operators() {
+            // Fused-away operators are listed by exactly one chain; a host
+            // appears only as its own chain's root; everyone else nowhere.
+            let is_root = plan.chains().iter().any(|c| c[0] == op);
+            let expected = usize::from(plan.is_fused_away(op) || is_root);
+            prop_assert!(
+                seen_in_chains[op.0] == expected,
+                "operator {:?} appears in the wrong number of chains", op
+            );
+        }
+
+        // Executor accounting: spawned + fused-away replicas == total.
+        let fused_replicas: usize = (0..n_ops)
+            .filter(|&i| plan.is_fused_away(OperatorId(i)))
+            .map(|i| replication[i])
+            .sum();
+        prop_assert_eq!(plan.spawned_executors(&replication) + fused_replicas, total);
+    }
+
+    /// The all-collocated relaxation (`replica_sockets = None`) fuses a
+    /// superset of what any concrete socket assignment allows.
+    #[test]
+    fn unplaced_relaxation_is_a_superset(
+        n_ops in 3usize..7,
+        strategy_picks in prop::collection::vec(0usize..5, 6),
+        preserving_picks in prop::collection::vec(0usize..2, 6),
+        replication_picks in prop::collection::vec(1usize..4, 7),
+        socket_picks in prop::collection::vec(0usize..2, 24),
+    ) {
+        let preserving: Vec<bool> = preserving_picks.iter().map(|&p| p == 1).collect();
+        let topology = pipeline(n_ops, &strategy_picks, &preserving);
+        let replication: Vec<usize> = (0..n_ops).map(|i| replication_picks[i]).collect();
+        let total: usize = replication.iter().sum();
+        let sockets: Vec<SocketId> =
+            (0..total).map(|i| SocketId(socket_picks[i % 24])).collect();
+        let placed = FusionPlan::compute(&topology, &replication, Some(&sockets));
+        let relaxed = FusionPlan::compute(&topology, &replication, None);
+        for lei in 0..topology.edges().len() {
+            if placed.is_edge_fused(lei) {
+                prop_assert!(relaxed.is_edge_fused(lei), "placement fused more than the relaxation");
+            }
+        }
+        prop_assert!(relaxed.fused_op_count() >= placed.fused_op_count());
+        prop_assert!(
+            relaxed.spawned_executors(&replication) <= placed.spawned_executors(&replication)
+        );
+    }
+}

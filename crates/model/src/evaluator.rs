@@ -32,6 +32,19 @@ use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
 /// tolerance (guards against float jitter at exact saturation).
 pub const BOTTLENECK_TOLERANCE: f64 = 1e-6;
 
+/// Default per-tuple cost of one queue crossing, in nanoseconds — the
+/// engine-side work a *fused* edge skips: cloning the tuple into the
+/// output buffer, routing, jumbo assembly, the ring push/pop (the
+/// `BENCH_queue.json` sync cost is the small part: ~0.3–2.5 ns/tuple
+/// amortized over a 64-tuple jumbo) and the consumer's poll/iterate loop.
+/// An engineering estimate anchored to the queue-fabric microbench and
+/// the Linear Road fused-vs-unfused A/B rather than a profiled quantity;
+/// override with [`Evaluator::with_queue_overhead`] when a host has been
+/// measured. Charged by fusion-aware scorers so "fuse or split" ties
+/// break the way the engine actually performs: splitting a chain must
+/// buy enough pipeline parallelism to repay the crossings it re-adds.
+pub const DEFAULT_QUEUE_OVERHEAD_NS: f64 = 25.0;
+
 /// External ingress configuration for the spouts.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Ingress {
@@ -74,6 +87,10 @@ pub struct VertexRates {
     pub overhead_ns: f64,
     /// Average remote-fetch time `Tf` per tuple under this placement, ns.
     pub tf_ns: f64,
+    /// Average queue-crossing overhead per tuple, ns — zero unless the
+    /// evaluator charges [`Evaluator::with_queue_overhead`]; fused edges
+    /// never pay it.
+    pub queue_ns: f64,
     /// Whether the operator this vertex belongs to would be over-supplied
     /// were the spouts unthrottled (Case 1) — a pipeline bottleneck.
     pub bottleneck: bool,
@@ -82,7 +99,7 @@ pub struct VertexRates {
 impl VertexRates {
     /// Full per-tuple handling time `T(p)` in ns.
     pub fn total_ns(&self) -> f64 {
-        self.exec_ns + self.overhead_ns + self.tf_ns
+        self.exec_ns + self.overhead_ns + self.tf_ns + self.queue_ns
     }
 }
 
@@ -140,14 +157,27 @@ pub struct Evaluator<'m> {
     pub ingress: Ingress,
     /// Fetch-cost policy (RLAS vs the fixed-capability ablations).
     pub tf_policy: TfPolicy,
-    /// Model operator-chain fusion: edges a [`FusionPlan`] collapses
-    /// travel inside one executor and drop their Formula-2 communication
-    /// term entirely, regardless of `tf_policy`. Off by default so the
-    /// RLAS search keeps its (cheaper, identical under
-    /// [`TfPolicy::RelativeLocation`] + collocation) evaluation; the
-    /// plan-level prediction path turns it on to stay honest about what
-    /// the fused engine executes.
+    /// Model operator-chain fusion, matching the engine default: edges a
+    /// [`FusionPlan`] collapses travel inside one executor, so they drop
+    /// their Formula-2 communication term (regardless of `tf_policy`) AND
+    /// the chain pays the **serialized-chain cost** — each replica pair is
+    /// one thread running every member's per-tuple time back to back, so
+    /// the chain's capacity is `1e9 / Σ member demand-weighted T(m)`, not
+    /// one phantom executor per member. Fused-away replicas also stop
+    /// counting against core occupancy (they spawn no thread).
+    ///
+    /// Off by default: partial-placement *bounds* must stay fusion-free to
+    /// remain admissible (an unfused completion can out-run a serialized
+    /// chain), so the B&B turns this on only when scoring complete
+    /// placements, and `predict_for_plan` turns it on for the plan-level
+    /// prediction.
     pub fusion: bool,
+    /// Per-tuple queue-crossing cost charged to consumers on every
+    /// *unfused* edge, ns (see [`DEFAULT_QUEUE_OVERHEAD_NS`]). Zero by
+    /// default, keeping the paper's pure Formula-2 semantics for bounds
+    /// and ablations; fusion-aware scorers set it so splitting a fusable
+    /// chain is not modelled as free.
+    pub queue_overhead_ns: f64,
 }
 
 impl<'m> Evaluator<'m> {
@@ -158,6 +188,7 @@ impl<'m> Evaluator<'m> {
             ingress: Ingress::Saturated,
             tf_policy: TfPolicy::RelativeLocation,
             fusion: false,
+            queue_overhead_ns: 0.0,
         }
     }
 
@@ -174,6 +205,24 @@ impl<'m> Evaluator<'m> {
     /// Same evaluator with fusion modelling switched on or off.
     pub fn with_fusion(self, fusion: bool) -> Evaluator<'m> {
         Evaluator { fusion, ..self }
+    }
+
+    /// Same evaluator charging `queue_overhead_ns` per tuple on unfused
+    /// edges (fused edges always ride free).
+    pub fn with_queue_overhead(self, queue_overhead_ns: f64) -> Evaluator<'m> {
+        Evaluator {
+            queue_overhead_ns,
+            ..self
+        }
+    }
+
+    /// The honest engine objective: fusion modelled (serialized chains,
+    /// freed threads) and unfused edges charged the default queue-crossing
+    /// cost — what RLAS scores complete plans with and what
+    /// `predict_for_plan` reports.
+    pub fn fused_engine(self) -> Evaluator<'m> {
+        self.with_fusion(true)
+            .with_queue_overhead(DEFAULT_QUEUE_OVERHEAD_NS)
     }
 
     /// Fetch cost in ns for one tuple of `bytes` bytes produced on `from`
@@ -239,6 +288,7 @@ impl<'m> Evaluator<'m> {
         let mut out_factor = vec![0.0f64; nv]; // output per unit spout output
         let mut edge_factor = vec![0.0f64; graph.edge_count()];
         let mut weighted_tf = vec![0.0f64; nv]; // Σ factor × Tf(producer)
+        let mut weighted_queue = vec![0.0f64; nv]; // Σ factor × queue cost
 
         for &v in &spout_vertices {
             out_factor[v.0] = graph.vertex(v).multiplicity as f64 / total_spout_mult.max(1) as f64;
@@ -288,7 +338,12 @@ impl<'m> Evaluator<'m> {
                     let cv = e.edge.to;
                     let cmult = graph.vertex(cv).multiplicity as f64;
                     let share = match out.partitioning {
-                        Partitioning::Shuffle | Partitioning::KeyBy => {
+                        // Forward pairs replica i with replica i at equal
+                        // counts (an exact even spread across the
+                        // consumer's identically-shaped vertex groups) and
+                        // degrades to Shuffle otherwise — either way the
+                        // even spread below is what the engine executes.
+                        Partitioning::Shuffle | Partitioning::KeyBy | Partitioning::Forward => {
                             stream_factor * cmult / total_mult as f64
                         }
                         Partitioning::Broadcast => stream_factor * cmult,
@@ -299,19 +354,30 @@ impl<'m> Evaluator<'m> {
                     let fused = fusion
                         .as_ref()
                         .is_some_and(|f| f.is_edge_fused(e.edge.logical_edge));
-                    let tf = if fused {
-                        0.0
+                    // Fused edges travel inline: no fetch, no crossing.
+                    let (tf, queue) = if fused {
+                        (0.0, 0.0)
                     } else {
-                        self.fetch_ns(bytes, from_socket, placement.socket_of(cv))
+                        (
+                            self.fetch_ns(bytes, from_socket, placement.socket_of(cv)),
+                            self.queue_overhead_ns,
+                        )
                     };
                     weighted_tf[cv.0] += share * tf;
+                    weighted_queue[cv.0] += share * queue;
                 }
             }
         }
 
         // ---- Pass 2: per-vertex capacities. ----
+        // Core occupancy counts *executor threads*: a fused-away replica
+        // rides its host's thread, so (with fusion modelled) it does not
+        // claim a core of its own — exactly the engine's spawn behaviour.
         let mut socket_replicas = vec![0usize; self.machine.sockets()];
         for (vid, vertex) in graph.vertices() {
+            if fusion.as_ref().is_some_and(|f| f.is_fused_away(vertex.op)) {
+                continue;
+            }
             if let Some(s) = placement.socket_of(vid) {
                 socket_replicas[s.0] += vertex.multiplicity;
             }
@@ -329,22 +395,78 @@ impl<'m> Evaluator<'m> {
         let mut exec_ns = vec![0.0f64; nv];
         let mut overhead_ns = vec![0.0f64; nv];
         let mut tf_ns = vec![0.0f64; nv];
+        let mut queue_ns = vec![0.0f64; nv];
         let mut capacity = vec![0.0f64; nv];
         for (vid, vertex) in graph.vertices() {
             let spec = graph.spec_of(vid);
             exec_ns[vid.0] = spec.cost.exec_cycles / clock * 1e9;
             overhead_ns[vid.0] = spec.cost.overhead_cycles / clock * 1e9;
-            tf_ns[vid.0] = if in_factor[vid.0] > 0.0 {
-                weighted_tf[vid.0] / in_factor[vid.0]
-            } else {
-                0.0
-            };
-            let t = exec_ns[vid.0] + overhead_ns[vid.0] + tf_ns[vid.0];
+            if in_factor[vid.0] > 0.0 {
+                tf_ns[vid.0] = weighted_tf[vid.0] / in_factor[vid.0];
+                queue_ns[vid.0] = weighted_queue[vid.0] / in_factor[vid.0];
+            }
+            let t = exec_ns[vid.0] + overhead_ns[vid.0] + tf_ns[vid.0] + queue_ns[vid.0];
             capacity[vid.0] = if t > 0.0 {
                 vertex.multiplicity as f64 * 1e9 / t * share_factor(placement.socket_of(vid))
             } else {
                 f64::INFINITY
             };
+        }
+
+        // Serialized-chain cost: a fused chain's replica pair is ONE
+        // thread running every member's per-tuple work back to back, so
+        // the chain sustains the spout-output rate `p_chain` at which the
+        // members' demands exactly fill the host thread:
+        //
+        //   Σ_member demand_factor(m) × T(m) × p_chain = mult × 1e9 × share
+        //
+        // (demand_factor = tuples a member handles per unit of aggregate
+        // spout output). Every member's capacity becomes its own share of
+        // `p_chain`, so the operator-pooled back-pressure pass below sees
+        // the chain saturate as one unit instead of crediting each
+        // fused-away operator a phantom executor.
+        if let Some(f) = &fusion {
+            let demand = |vid: VertexId| -> f64 {
+                if graph.spec_of(vid).kind == OperatorKind::Spout {
+                    out_factor[vid.0]
+                } else {
+                    in_factor[vid.0]
+                }
+            };
+            for chain in f.chains() {
+                let root_vs = graph.vertices_of(chain[0]);
+                // Equal replication along a chain + one compress ratio
+                // means every member splits into identical vertex groups.
+                debug_assert!(chain
+                    .iter()
+                    .all(|&op| graph.vertices_of(op).len() == root_vs.len()));
+                for (g, &root_v) in root_vs.iter().enumerate() {
+                    let busy_per_p: f64 = chain
+                        .iter()
+                        .map(|&op| {
+                            let v = graph.vertices_of(op)[g];
+                            demand(v)
+                                * (exec_ns[v.0] + overhead_ns[v.0] + tf_ns[v.0] + queue_ns[v.0])
+                        })
+                        .sum();
+                    let budget_ns = graph.vertex(root_v).multiplicity as f64
+                        * 1e9
+                        * share_factor(placement.socket_of(root_v));
+                    let p_chain = if busy_per_p > 0.0 {
+                        budget_ns / busy_per_p
+                    } else {
+                        f64::INFINITY
+                    };
+                    for &op in &chain {
+                        let v = graph.vertices_of(op)[g];
+                        capacity[v.0] = if p_chain.is_finite() {
+                            demand(v) * p_chain
+                        } else {
+                            f64::INFINITY
+                        };
+                    }
+                }
+            }
         }
 
         // ---- Pass 3: the sustainable spout output p*. ----
@@ -408,6 +530,7 @@ impl<'m> Evaluator<'m> {
                 exec_ns: 0.0,
                 overhead_ns: 0.0,
                 tf_ns: 0.0,
+                queue_ns: 0.0,
                 bottleneck: false,
             };
             nv
@@ -449,6 +572,7 @@ impl<'m> Evaluator<'m> {
                 exec_ns: exec_ns[vid.0],
                 overhead_ns: overhead_ns[vid.0],
                 tf_ns: tf_ns[vid.0],
+                queue_ns: queue_ns[vid.0],
                 bottleneck: pressure[vertex.op.0] > 1.0 + BOTTLENECK_TOLERANCE,
             };
         }
@@ -587,13 +711,9 @@ mod tests {
         assert!((unfused.vertices[1].tf_ns - 200.0).abs() < 1e-9);
         assert_eq!(fused.vertices[1].tf_ns, 0.0);
         assert_eq!(fused.vertices[2].tf_ns, 0.0);
+        // Serialized chain (350 ns/tuple, 2.857M) still beats the bolt
+        // paying the 200 ns always-remote fetch (400 ns, 2.5M).
         assert!(fused.throughput > unfused.throughput);
-        // Under the standard relative-location policy fusion coincides
-        // with collocation: same numbers with the flag on or off.
-        let rl = Evaluator::saturated(&m);
-        let a = rl.evaluate(&g, &placement);
-        let b = rl.with_fusion(true).evaluate(&g, &placement);
-        assert_eq!(a.throughput, b.throughput);
         // A replicated bolt breaks the chain: fusion must not drop the
         // fetch term on unfused (1:2) edges.
         let g2 = ExecutionGraph::new(&t, &[1, 2, 1], 1);
@@ -603,6 +723,85 @@ mod tests {
             (fused2.vertices[1].tf_ns - 200.0).abs() < 1e-9,
             "unfused edge keeps paying AlwaysRemote"
         );
+    }
+
+    #[test]
+    fn serialized_chain_replaces_the_per_operator_executor_credit() {
+        // Golden regression for the serialized-chain cost: on a
+        // dedicated-core host (4 cores, 3 replicas — no time-sharing), the
+        // fully fused [1,1,1] chain is ONE thread running
+        // 100 + 200 + 50 = 350 ns per tuple, so the prediction must be
+        // exactly 1e9/350 ≈ 2.857M — NOT the 5M the bolt-gated pipeline
+        // sustains when every operator is credited its own executor. If a
+        // refactor re-introduces the per-operator credit, fused == unfused
+        // and this fails loudly.
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let ev = Evaluator::saturated(&m);
+        let unfused = ev.evaluate(&g, &placement);
+        let fused = ev.with_fusion(true).evaluate(&g, &placement);
+        assert!((unfused.throughput - 5e6).abs() < 1.0);
+        let golden = 1e9 / 350.0;
+        assert!(
+            (fused.throughput - golden).abs() < 1.0,
+            "serialized chain must predict {golden}, got {}",
+            fused.throughput
+        );
+        assert!(
+            fused.throughput <= unfused.throughput,
+            "a fused prediction can never exceed the independent-executor one \
+             on a dedicated-core host"
+        );
+        // Every chain member reports the same saturation point: capacity ==
+        // its own demand share of p_chain.
+        for v in 0..3 {
+            assert!(
+                (fused.vertices[v].capacity - golden).abs() < 1.0,
+                "vertex {v} capacity {}",
+                fused.vertices[v].capacity
+            );
+        }
+        // No member is flagged over-supplied: the chain throttles itself.
+        assert!(fused.bottlenecks().is_empty());
+    }
+
+    #[test]
+    fn pairwise_fused_chain_serializes_per_replica_pair() {
+        // s -> a (KeyBy) -> b (KeyBy), a key-preserving, replication
+        // [1, 2, 2]: the a->b edge fuses pairwise, so each of the two
+        // a-threads also runs b inline: pooled chain capacity
+        // 2e9/(200+50) = 8M, gated by the spout at 10M -> p* = 8M.
+        let m = toy_machine();
+        let mut b = TopologyBuilder::new("pair");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let a = b.add_bolt("a", CostProfile::new(200.0, 0.0, 64.0, 64.0));
+        let x = b.add_bolt("x", CostProfile::new(50.0, 0.0, 64.0, 64.0));
+        let k = b.add_sink("k", CostProfile::new(0.0, 0.0, 16.0, 16.0));
+        b.connect(s, DEFAULT_STREAM, a, brisk_dag::Partitioning::KeyBy);
+        b.connect(a, DEFAULT_STREAM, x, brisk_dag::Partitioning::KeyBy);
+        b.connect_shuffle(x, k);
+        b.set_key_preserving(a);
+        let t = b.build().expect("valid");
+        let g = ExecutionGraph::new(&t, &[1, 2, 2, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let ev = Evaluator::saturated(&m);
+        let unfused = ev.evaluate(&g, &placement);
+        let fused = ev.with_fusion(true).evaluate(&g, &placement);
+        // Unfused: 6 replica threads share the socket's 4 cores
+        // (share 2/3), so the 10M spout/bolt balance lands at 6.67M.
+        assert!((unfused.throughput - 1e7 * 4.0 / 6.0).abs() < 10.0);
+        // Fused: x rides a's two threads (4 executors, no time-sharing);
+        // each serialized a+x pair is 250 ns -> pooled 8M. Fusion *wins*
+        // here precisely because the freed threads stop core-sharing.
+        assert!(
+            (fused.throughput - 8e6).abs() < 10.0,
+            "{}",
+            fused.throughput
+        );
+        let a_v = &fused.vertices[1];
+        assert!((a_v.capacity - 4e6).abs() < 1.0, "per-pair share");
     }
 
     #[test]

@@ -37,5 +37,8 @@ pub mod predict;
 
 pub use comm::comm_cost_matrix;
 pub use constraints::{ConstraintReport, Violation};
-pub use evaluator::{Evaluation, Evaluator, Ingress, TfPolicy, VertexRates, BOTTLENECK_TOLERANCE};
+pub use evaluator::{
+    Evaluation, Evaluator, Ingress, TfPolicy, VertexRates, BOTTLENECK_TOLERANCE,
+    DEFAULT_QUEUE_OVERHEAD_NS,
+};
 pub use predict::{predict_for_plan, OperatorPrediction, PlanPrediction};

@@ -44,6 +44,7 @@ pub use brisk_model::TfPolicy;
 pub use placement::{optimize_placement, PlacementOptions, PlacementResult};
 pub use random::{random_plans, RandomPlanOptions};
 pub use scaling::{
-    balanced_replication, optimize, optimize_with_policy, OptimizedPlan, ScalingOptions,
+    balanced_replication, optimize, optimize_with_policy, spawned_executors, OptimizedPlan,
+    ScalingOptions,
 };
 pub use strategies::{place_with_strategy, PlacementStrategy};

@@ -22,7 +22,7 @@
 //!   so only the lowest-indexed empty socket is branched ("S1 is identical
 //!   to S0 at this point", Figure 5).
 
-use brisk_dag::{ExecutionGraph, Placement, VertexId};
+use brisk_dag::{ExecutionGraph, FusionPlan, Placement, VertexId};
 use brisk_model::{ConstraintReport, Evaluation, Evaluator};
 use brisk_numa::SocketId;
 use std::collections::hash_map::DefaultHasher;
@@ -35,6 +35,13 @@ pub struct PlacementOptions {
     /// Hard cap on explored nodes; the best solution found so far is
     /// returned when the budget runs out.
     pub max_nodes: usize,
+    /// Executor-thread budget: solutions whose placement spawns more
+    /// threads than this are infeasible. Placement decides which fusable
+    /// pairs collocate (and therefore fuse away their threads), so without
+    /// this the search would happily split every fused chain to buy
+    /// parallelism the machine's thread budget cannot pay for. `None`
+    /// disables the check (the per-socket core capacity still binds).
+    pub max_executors: Option<usize>,
     /// Enable the best-fit heuristic (heuristic 2, first half).
     pub best_fit: bool,
     /// Enable visited-state deduplication (heuristic 2, second half).
@@ -49,6 +56,7 @@ impl Default for PlacementOptions {
     fn default() -> Self {
         PlacementOptions {
             max_nodes: 200_000,
+            max_executors: None,
             best_fit: true,
             redundancy_elimination: true,
             seed_first_fit: false,
@@ -96,9 +104,43 @@ pub fn optimize_placement(
         return None;
     }
 
+    // Complete placements are scored under the fusion-aware model: the
+    // engine fuses eligible chains by default, so the honest objective
+    // serializes fused chains, credits their freed threads, and charges
+    // unfused edges the per-tuple queue-crossing cost (splitting a chain
+    // is not free). Bounds and best-fit ranking stay fusion-free — a
+    // partial placement's "unplaced = collocated" relaxation would fuse
+    // everything and under-state completions, while the unfused
+    // zero-queue-cost bound remains admissible (in-search placements
+    // never oversubscribe a socket, so the fused objective only removes
+    // capacity versus the bound's model).
+    let scorer = evaluator.fused_engine();
+    // Thread-budget feasibility of a complete placement: fused-away
+    // replicas ride their hosts, everyone else costs a thread. (The
+    // fused scorer re-derives the same FusionPlan inside `evaluate`; the
+    // duplication is accepted — this check is the cheap early-out that
+    // skips the full evaluation for over-budget solutions, and both are
+    // O(V+E) against a node-capped search.)
+    let within_thread_budget = |placement: &Placement| -> bool {
+        match options.max_executors {
+            None => true,
+            Some(cap) => {
+                FusionPlan::from_graph(graph, placement).spawned_executors(graph.replication())
+                    <= cap
+            }
+        }
+    };
+
     // Collocation decision list: every directly connected vertex pair, in
     // deterministic (producer-topo, consumer-topo) order.
     let decisions = build_decisions(graph);
+
+    // Edges that fuse when their replica pairs collocate (optimistic:
+    // placement unknown). Placing such a pair apart versus together flips
+    // between queued-parallel and serialized-inline execution — a genuine
+    // objective trade-off the best-fit heuristic's unfused ranking cannot
+    // see, so those decisions keep their full branch set.
+    let optimistic_fusion = FusionPlan::compute(graph.topology(), graph.replication(), None);
 
     let mut best: Option<(Placement, f64, Evaluation)> = None;
     let mut explored = 0usize;
@@ -107,8 +149,8 @@ pub fn optimize_placement(
 
     if options.seed_first_fit {
         if let Some(p) = crate::strategies::first_fit(graph, machine) {
-            let eval = evaluator.evaluate(graph, &p);
-            if ConstraintReport::check(machine, graph, &p, &eval).ok() {
+            let eval = scorer.evaluate(graph, &p);
+            if ConstraintReport::check(machine, graph, &p, &eval).ok() && within_thread_budget(&p) {
                 solutions += 1;
                 best = Some((p, eval.throughput, eval));
             }
@@ -151,7 +193,10 @@ pub fn optimize_placement(
             if !placement.is_complete() {
                 continue; // could not fit the leftovers
             }
-            let eval = evaluator.evaluate(graph, &placement);
+            if !within_thread_budget(&placement) {
+                continue; // splits too many fusable pairs: over thread budget
+            }
+            let eval = scorer.evaluate(graph, &placement);
             if !ConstraintReport::check(machine, graph, &placement, &eval).ok() {
                 continue;
             }
@@ -173,8 +218,13 @@ pub fn optimize_placement(
         }
 
         // Best-fit: if every predecessor of p (and of c except p) is placed,
-        // the pair's rate is determined — keep only the best child.
-        if options.best_fit && best_fit_applies(graph, &node.placement, p, c) {
+        // the pair's rate is determined — keep only the best child. Skipped
+        // for fusable pairs, where apart-vs-together changes the execution
+        // shape, not just the fetch cost.
+        let fusable_pair = graph
+            .outgoing_edges(p)
+            .any(|e| e.edge.to == c && optimistic_fusion.is_edge_fused(e.edge.logical_edge));
+        if options.best_fit && !fusable_pair && best_fit_applies(graph, &node.placement, p, c) {
             let mut ranked: Vec<(f64, usize, usize)> = children
                 .iter()
                 .enumerate()
@@ -442,7 +492,8 @@ mod tests {
             for (i, &s) in assignment.iter().enumerate() {
                 p.place(VertexId(i), SocketId(s));
             }
-            let eval = evaluator.evaluate(graph, &p);
+            // Same objective the B&B scores solutions under: fusion-aware.
+            let eval = evaluator.fused_engine().evaluate(graph, &p);
             if ConstraintReport::check(evaluator.machine, graph, &p, &eval).ok() {
                 let better = best
                     .as_ref()
@@ -501,16 +552,40 @@ mod tests {
 
     #[test]
     fn collocates_when_it_fits() {
-        // Plenty of cores on one socket: optimal plan is fully collocated
-        // (no fetch cost at all).
+        // Plenty of cores on one socket and no fusable chain (the bolts
+        // are replicated): the optimal plan is fully collocated — no
+        // fetch cost at all.
         let m = machine(2, 8);
         let t = pipeline(2);
-        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let g = ExecutionGraph::new(&t, &[1, 2, 2, 1], 1);
         let ev = Evaluator::saturated(&m);
         let r = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
         let sockets = r.placement.sockets_used();
         assert_eq!(sockets.len(), 1, "expected full collocation: {:?}", sockets);
         assert!(r.evaluation.vertices.iter().all(|v| v.tf_ns == 0.0));
+    }
+
+    #[test]
+    fn splits_a_fusable_chain_when_serialization_binds() {
+        // [1,1,1,1] fuses end to end when collocated: one thread running
+        // 200+400+400+100 = 1100 ns (0.91M). With spare cores around, the
+        // honest objective breaks the chain across sockets — paying one
+        // fetch hop to win back pipeline parallelism — so full collocation
+        // is no longer optimal for a fully fusable chain.
+        let m = machine(2, 8);
+        let t = pipeline(2);
+        let g = ExecutionGraph::new(&t, &[1, 1, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let r = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
+        let all_on_0 = Placement::all_on(g.vertex_count(), SocketId(0));
+        let serialized = ev.with_fusion(true).evaluate(&g, &all_on_0).throughput;
+        assert!((serialized - 1e9 / 1100.0).abs() < 1.0);
+        assert!(
+            r.throughput > serialized * 1.2,
+            "splitting should clearly beat the serialized chain: {} vs {serialized}",
+            r.throughput
+        );
+        assert_eq!(r.placement.sockets_used().len(), 2, "chain must break");
     }
 
     #[test]

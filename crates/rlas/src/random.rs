@@ -40,7 +40,9 @@ pub fn random_plans(
     options: &RandomPlanOptions,
 ) -> Vec<(ExecutionPlan, f64)> {
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let evaluator = Evaluator::saturated(machine);
+    // Fusion-aware scoring: random plans run on the same fusing engine
+    // RLAS plans do, so they are modelled under the same objective.
+    let evaluator = Evaluator::saturated(machine).fused_engine();
     let budget = options
         .max_total_replicas
         .unwrap_or_else(|| machine.total_cores());
@@ -49,16 +51,21 @@ pub fn random_plans(
 
     for _ in 0..options.count {
         // Random replication: start at 1 each, bump random operators until
-        // the budget is hit (or a random early stop).
+        // the executor budget is hit (or a random early stop). The budget
+        // is in spawned threads, exactly like RLAS's — replicas that fuse
+        // away ride free — so the Monte-Carlo baseline draws from the same
+        // plan space the optimizer searches.
         let mut replication = vec![1usize; ops];
-        let mut total = ops;
-        while total < budget {
+        while crate::scaling::spawned_executors(topology, &replication) < budget {
             if rng.gen_ratio(1, 32) {
                 break; // occasional smaller plan
             }
             let op = rng.gen_range(0..ops);
             replication[op] += 1;
-            total += 1;
+            if crate::scaling::spawned_executors(topology, &replication) > budget {
+                replication[op] -= 1; // bump broke a fused pair: revert
+                break;
+            }
         }
 
         let graph = ExecutionGraph::new(topology, &replication, 1);
@@ -147,7 +154,11 @@ mod tests {
                 ..RandomPlanOptions::default()
             },
         );
-        assert!(plans.iter().all(|(p, _)| p.total_replicas() <= 6));
+        // The budget is in executor threads, matching RLAS: replicas a
+        // fused chain rides for free may push the raw count above it.
+        assert!(plans
+            .iter()
+            .all(|(p, _)| crate::scaling::spawned_executors(&t, &p.replication) <= 6));
     }
 
     #[test]

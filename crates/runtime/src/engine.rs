@@ -244,14 +244,15 @@ impl Engine {
         };
         let total_replicas: usize = self.replication.iter().sum();
 
-        // Operator-chain fusion: 1:1 collocated chains collapse into their
-        // host executor; fused edges get no queues at all.
+        // Operator-chain fusion: 1:1 replica-paired collocated chains
+        // (single-replica chains, Forward edges, aligned KeyBy) collapse
+        // into their host executors; fused edges get no queues at all.
         let fusion = if self.config.fusion {
             FusionPlan::compute(topology, &self.replication, self.replica_sockets())
         } else {
             FusionPlan::disabled(topology)
         };
-        let spawned_replicas = total_replicas - fusion.fused_op_count();
+        let spawned_replicas = fusion.spawned_executors(&self.replication);
         // Oversubscription-aware wait ladder: when replica threads
         // outnumber hardware cores, spinning burns the timeslices the
         // counterpart threads need, so waiters park almost immediately.
@@ -297,6 +298,36 @@ impl Engine {
                         stream: edge.stream.clone(),
                         partitioner: Partitioner::new(edge.partitioning, 1),
                         queues: vec![Arc::clone(&q)],
+                        buffers: vec![Vec::new()],
+                    });
+                }
+                continue;
+            }
+            if matches!(edge.partitioning, Partitioning::Forward) && np == nc {
+                // Local forwarding at equal counts pins producer replica r
+                // to consumer replica r, so only that one queue exists per
+                // producer. (At unequal counts the pairing is meaningless
+                // and the edge falls through to the general wiring below,
+                // where the Forward partitioner degrades to Shuffle — the
+                // model's even-spread, work-conserving treatment is then
+                // exact.)
+                for (r, outputs) in op_outputs[edge.from.0].iter_mut().enumerate().take(np) {
+                    let cg = replica_base[edge.to.0] + r;
+                    let q = Arc::new(ReplicaQueue::with_profile(
+                        self.config.queue_kind,
+                        self.config.queue_capacity,
+                        backoff_profile,
+                    ));
+                    inputs[cg].push(InputPort {
+                        queue: Arc::clone(&q),
+                        producer_bytes,
+                    });
+                    outputs.push(OutputEdge {
+                        logical_edge: lei,
+                        stream: edge.stream.clone(),
+                        // One queue: the router degenerates to "target 0".
+                        partitioner: Partitioner::new(edge.partitioning, 1),
+                        queues: vec![q],
                         buffers: vec![Vec::new()],
                     });
                 }
@@ -358,30 +389,21 @@ impl Engine {
         });
 
         // Build fused targets bottom-up (reverse topological order), so a
-        // chain's tail exists before the operator that hosts it. Each
-        // fused-away operator gets its one instance and its own collector;
-        // the whole subtree then attaches to the chain host's collector.
-        let mut pending_fused: Vec<Vec<FusedTarget>> = (0..n_ops).map(|_| Vec::new()).collect();
+        // chain's tail exists before the operator that hosts it. Fusion
+        // pairs replicas index-wise (a fused edge requires equal replica
+        // counts), so each fused-away operator gets one instance *per
+        // replica pair*, each with its own collector; replica r's subtree
+        // then attaches to the chain host's replica-r collector.
+        let mut pending_fused: Vec<Vec<Vec<FusedTarget>>> = self
+            .replication
+            .iter()
+            .map(|&r| (0..r).map(|_| Vec::new()).collect())
+            .collect();
         for &op in topology.topological_order().iter().rev() {
             if !fusion.is_fused_away(op) {
                 continue;
             }
             let spec = topology.operator(op);
-            let ctx = BoltContext {
-                replica: 0,
-                replicas: 1,
-            };
-            let bolt = match self.app.runtime(op) {
-                OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(ctx),
-                OperatorRuntime::Spout(_) => unreachable!("spouts are never fused away"),
-            };
-            let collector = Collector::new(
-                replica_base[op.0],
-                self.config.jumbo_size,
-                std::mem::take(&mut op_outputs[op.0][0]),
-                Arc::clone(&clock),
-            )
-            .with_fused(std::mem::take(&mut pending_fused[op.0]));
             let streams: Vec<String> = topology
                 .edges()
                 .iter()
@@ -389,16 +411,34 @@ impl Engine {
                 .filter(|&(lei, e)| e.to == op && fusion.is_edge_fused(lei))
                 .map(|(_, e)| e.stream.clone())
                 .collect();
-            let sink = (spec.kind == OperatorKind::Sink)
-                .then(|| FusedSinkState::new(Arc::clone(&sink_progress)));
-            pending_fused[fusion.direct_host_of(op).0].push(FusedTarget {
-                op_index: op.0,
-                streams,
-                bolt,
-                collector,
-                processed: 0,
-                sink,
-            });
+            let host = fusion.direct_host_of(op);
+            for r in 0..self.replication[op.0] {
+                let ctx = BoltContext {
+                    replica: r,
+                    replicas: self.replication[op.0],
+                };
+                let bolt = match self.app.runtime(op) {
+                    OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(ctx),
+                    OperatorRuntime::Spout(_) => unreachable!("spouts are never fused away"),
+                };
+                let collector = Collector::new(
+                    replica_base[op.0] + r,
+                    self.config.jumbo_size,
+                    std::mem::take(&mut op_outputs[op.0][r]),
+                    Arc::clone(&clock),
+                )
+                .with_fused(std::mem::take(&mut pending_fused[op.0][r]));
+                let sink = (spec.kind == OperatorKind::Sink)
+                    .then(|| FusedSinkState::new(Arc::clone(&sink_progress)));
+                pending_fused[host.0][r].push(FusedTarget {
+                    op_index: op.0,
+                    streams: streams.clone(),
+                    bolt,
+                    collector,
+                    processed: 0,
+                    sink,
+                });
+            }
         }
 
         let started = Instant::now();
@@ -419,17 +459,15 @@ impl Engine {
             let spec = topology.operator(op);
             for (r, outputs) in op_outputs[op.0].iter_mut().enumerate() {
                 let global = replica_base[op.0] + r;
-                let mut collector = Collector::new(
+                // Replica r hosts the replica-r instances of its fused
+                // subtree (index-aligned pairing).
+                let collector = Collector::new(
                     global,
                     self.config.jumbo_size,
                     std::mem::take(outputs),
                     Arc::clone(&clock),
-                );
-                if r == 0 {
-                    // Chain hosts are single-replica by the fusion rules,
-                    // so the fused subtree always rides on replica 0.
-                    collector = collector.with_fused(std::mem::take(&mut pending_fused[op.0]));
-                }
+                )
+                .with_fused(std::mem::take(&mut pending_fused[op.0][r]));
                 let ports = inputs_by_replica[global].take().expect("inputs once");
                 let ctx = BoltContext {
                     replica: r,
@@ -590,9 +628,10 @@ fn run_replica(mut args: ReplicaArgs) -> Option<SinkLocal> {
     args.emitted[args.op_index].fetch_add(args.collector.emitted, Ordering::Relaxed);
     args.queue_full[args.op_index].fetch_add(args.collector.stalled_flushes, Ordering::Relaxed);
     args.queue_pushes[args.op_index].fetch_add(args.collector.flushes, Ordering::Relaxed);
-    // Merge every fused operator's counters and sink metrics, then release
-    // its `op_done` latch — a fused operator has exactly one instance, and
-    // this host ran it.
+    // Merge every fused operator instance's counters and sink metrics,
+    // then retire it from `op_live` — a fused operator has one instance
+    // per host replica, and the last host out releases its `op_done`
+    // latch, exactly like real replicas do below.
     for mut target in args.collector.take_fused() {
         args.processed[target.op_index].fetch_add(target.processed, Ordering::Relaxed);
         args.emitted[target.op_index].fetch_add(target.collector.emitted, Ordering::Relaxed);
@@ -1080,6 +1119,135 @@ mod tests {
         // mean at least three pushes, and never fewer than the stalls.
         assert!(report.queue_pushes[0] >= 3);
         assert!(report.queue_full_events[0] <= report.queue_pushes[0]);
+    }
+
+    fn forward_app(limit: u64) -> AppRuntime {
+        // spout -> x over Forward (pairwise-fusable at equal counts),
+        // x -> k over Shuffle.
+        let mut b = TopologyBuilder::new("fwd");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let x = b.add_bolt("x", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, x, brisk_dag::Partitioning::Forward);
+        b.connect_shuffle(x, k);
+        let t = b.build().expect("valid");
+        let (s, x, k) = (
+            t.find("s").expect("s"),
+            t.find("x").expect("x"),
+            t.find("k").expect("k"),
+        );
+        AppRuntime::new(t)
+            .spout(s, move |ctx| CountingSpout {
+                next: ctx.replica as u64 * limit,
+                limit: (ctx.replica as u64 + 1) * limit,
+            })
+            .bolt(x, |_| DoublingBolt)
+            .sink(k, |_| NullSink)
+    }
+
+    #[test]
+    fn forward_pairwise_fusion_ab_matches_and_silences_the_edge() {
+        // 3:3 Forward pairs fuse: the A/B must agree on every counter
+        // while the fused run's spout pushes nothing (its only edge is
+        // fused); the hosted x instances still push to the sink queue.
+        let run = |fusion: bool| {
+            let config = EngineConfig {
+                fusion,
+                ..EngineConfig::default()
+            };
+            let engine =
+                Engine::new(forward_app(400), vec![3, 3, 1], config).expect("valid engine");
+            engine.run_until_events(2400, Duration::from_secs(20))
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        for report in [&fused, &unfused] {
+            assert_eq!(report.sink_events, 2400);
+            assert_eq!(report.processed, vec![0, 1200, 2400]);
+            assert_eq!(report.emitted, vec![1200, 2400, 0]);
+        }
+        assert_eq!(fused.queue_pushes[0], 0, "fused Forward edge is silent");
+        assert!(fused.queue_pushes[1] > 0, "hosted x still pushes to k");
+        assert!(unfused.queue_pushes[0] > 0, "unfused pairs pay crossings");
+    }
+
+    #[test]
+    fn forward_with_unequal_counts_degrades_to_shuffle_without_fusing() {
+        // 4 producers into 2 consumers: the pairing is meaningless, so the
+        // edge degrades to Shuffle's even spread — every tuple arrives
+        // exactly once, nothing fuses (counts differ), and the model's
+        // work-conserving pooling matches what the engine executes.
+        let engine =
+            Engine::new(forward_app(250), vec![4, 2, 1], EngineConfig::default()).expect("valid");
+        let report = engine.run_until_events(2000, Duration::from_secs(20));
+        assert_eq!(report.sink_events, 2000);
+        assert_eq!(report.processed[1], 1000);
+        assert!(report.queue_pushes[0] > 0, "4:2 Forward stays queued");
+    }
+
+    /// Sink that asserts every tuple it sees hashes to its own replica
+    /// index — the aligned-KeyBy pairing contract.
+    struct ResidueAssertingSink {
+        replica: usize,
+        replicas: usize,
+    }
+    impl DynBolt for ResidueAssertingSink {
+        fn execute(&mut self, t: &Tuple, _c: &mut Collector) {
+            assert_eq!(
+                (Tuple::mix_key(t.key) % self.replicas as u64) as usize,
+                self.replica,
+                "key {} leaked to replica {}",
+                t.key,
+                self.replica
+            );
+        }
+    }
+
+    /// Bolt that re-emits its input under the same key (key-preserving).
+    struct KeyKeepingBolt;
+    impl DynBolt for KeyKeepingBolt {
+        fn execute(&mut self, t: &Tuple, c: &mut Collector) {
+            let v = *t.value::<u64>().expect("u64 payload");
+            c.emit(DEFAULT_STREAM, Tuple::keyed(v + 1, t.event_ns, t.key));
+        }
+    }
+
+    #[test]
+    fn aligned_keyby_pairwise_fusion_preserves_key_routing() {
+        // s -> a (KeyBy) -> k (KeyBy), a key-preserving, [1, 2, 2]: the
+        // a->k edge fuses pairwise, and every inline delivery must carry a
+        // key belonging to that replica's shard — the sink instances
+        // assert it tuple by tuple (a violation panics the host thread).
+        let mut b = TopologyBuilder::new("aligned");
+        let s = b.add_spout("s", CostProfile::trivial());
+        let a = b.add_bolt("a", CostProfile::trivial());
+        let k = b.add_sink("k", CostProfile::trivial());
+        b.connect(s, DEFAULT_STREAM, a, brisk_dag::Partitioning::KeyBy);
+        b.connect(a, DEFAULT_STREAM, k, brisk_dag::Partitioning::KeyBy);
+        b.set_key_preserving(a);
+        let t = b.build().expect("valid");
+        let (s, a, k) = (
+            t.find("s").expect("s"),
+            t.find("a").expect("a"),
+            t.find("k").expect("k"),
+        );
+        let app = AppRuntime::new(t)
+            .spout(s, |_| CountingSpout {
+                next: 0,
+                limit: 1000,
+            })
+            .bolt(a, |_| KeyKeepingBolt)
+            .sink(k, |ctx| ResidueAssertingSink {
+                replica: ctx.replica,
+                replicas: ctx.replicas,
+            });
+        let engine = Engine::new(app, vec![1, 2, 2], EngineConfig::default()).expect("valid");
+        let report = engine.run_until_events(1000, Duration::from_secs(20));
+        assert_eq!(report.sink_events, 1000);
+        assert_eq!(report.processed, vec![0, 1000, 1000]);
+        assert_eq!(report.queue_pushes[1], 0, "a->k fused pairwise");
+        assert!(report.queue_pushes[0] > 0, "1:2 head stays queued");
+        assert_eq!(report.latency_ns.count(), 1000, "fused sinks record");
     }
 
     #[test]

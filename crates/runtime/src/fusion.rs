@@ -14,10 +14,14 @@
 //! Accounting stays per logical operator: each target tracks the tuples it
 //! consumed inline and (for sinks) its latency histogram; the engine merges
 //! these into the [`crate::engine::RunReport`] after the host thread joins,
-//! exactly as it does for real replicas. Because a fused operator always
-//! has exactly one instance (fusion requires single-replica endpoints),
-//! the host also releases the fused operator's `op_done` latch on exit so
-//! unfused downstream consumers shut down in topological order.
+//! exactly as it does for real replicas. A fused operator has one instance
+//! **per replica pair** (fusion requires equal replica counts; the
+//! single-replica chain is the n = 1 case), each riding host replica `i`'s
+//! collector. Shutdown therefore counts instances down through the shared
+//! `op_live` counter exactly like real replicas do — only the **last**
+//! host replica to exit releases the fused operator's `op_done` latch, so
+//! unfused downstream consumers never stop while a sibling pair is still
+//! emitting.
 
 use crate::operator::{Collector, DynBolt};
 use crate::tuple::Tuple;

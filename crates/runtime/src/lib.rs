@@ -28,11 +28,13 @@
 //!   outnumber hardware cores.
 //! * **Partition controller**: every task routes each emitted tuple to one
 //!   output buffer per consumer replica according to the edge's partitioning
-//!   strategy (shuffle / key-by / broadcast / global).
+//!   strategy (shuffle / key-by / broadcast / global / forward).
 //! * **Operator-chain fusion** ([`fusion`], [`brisk_dag::FusionPlan`]):
-//!   1:1 collocated producer→consumer chains collapse into one executor
-//!   that runs the downstream operator inline in the producer's thread —
-//!   no jumbo batching, queue crossing, poll loop, or fetch-cost injection
+//!   collocated producer→consumer pairs wired 1:1 at the replica level —
+//!   single-replica chains, equal-count `Forward` edges, aligned KeyBy —
+//!   collapse into host executors that run the downstream operator
+//!   inline, one instance per replica pair, in the producer's thread: no
+//!   jumbo batching, queue crossing, poll loop, or fetch-cost injection
 //!   on fused edges ([`EngineConfig::fusion`], default on).
 //!
 //! The engine executes a [`brisk_dag::LogicalTopology`] under a

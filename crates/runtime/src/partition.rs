@@ -39,7 +39,12 @@ impl Partitioner {
     /// broadcast, which returns all of them.
     pub fn route(&mut self, tuple: &Tuple) -> RouteTargets {
         match self.strategy {
-            Partitioning::Shuffle => {
+            // Forward at equal replica counts is wired as one pinned queue
+            // per producer (`consumers == 1`, routed here trivially); at
+            // unequal counts the pairing is meaningless and the edge
+            // degrades to Shuffle's even round-robin spread, matching the
+            // model's work-conserving treatment exactly.
+            Partitioning::Shuffle | Partitioning::Forward => {
                 let t = self.rr_cursor;
                 self.rr_cursor = (self.rr_cursor + 1) % self.consumers;
                 RouteTargets::One(t)
@@ -145,6 +150,26 @@ mod tests {
         for k in 0..20 {
             assert_eq!(p.route(&tuple_with_key(k)), RouteTargets::One(0));
         }
+    }
+
+    #[test]
+    fn forward_routes_like_its_wiring() {
+        // The pinned (equal-count) wiring hands the router exactly one
+        // consumer: every tuple goes there.
+        let mut pinned = Partitioner::new(Partitioning::Forward, 1);
+        for k in 0..10 {
+            assert_eq!(pinned.route(&tuple_with_key(k)), RouteTargets::One(0));
+        }
+        // Degraded (unequal-count) wiring spreads evenly, like Shuffle.
+        let mut degraded = Partitioner::new(Partitioning::Forward, 3);
+        let mut counts = [0usize; 3];
+        for k in 0..99 {
+            match degraded.route(&tuple_with_key(k)) {
+                RouteTargets::One(i) => counts[i] += 1,
+                RouteTargets::All(_) => panic!("forward routes to one"),
+            }
+        }
+        assert_eq!(counts, [33, 33, 33]);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Engine conformance suite: exactly-once tuple accounting for all four
+//! benchmark applications across the full fabric × fusion matrix
+//! {Spsc, Mutex, Mpsc} × {fusion on, fusion off}.
+//!
+//! Every cell runs a deterministic sized workload to exhaustion and checks
+//! the conservation laws the engine must never violate, whatever the queue
+//! fabric or execution shape (queued replicas, MPSC funnels, fused chains,
+//! pairwise-fused replica pairs):
+//!
+//! * the spouts emit exactly the configured input budget (the sized
+//!   generators split it across replicas without loss or duplication);
+//! * every *checkable* edge conserves tuples — for a consumer all of whose
+//!   producers emit on a single stream, input-side `processed` equals the
+//!   sum of its producers' `emitted` (once per copy for Broadcast edges);
+//!   multi-stream producers (LR's dispatcher) make per-edge delivery
+//!   unattributable from per-operator counters, so their consumers are
+//!   skipped;
+//! * `sink_events` equals the input-side count of the sink operators, and
+//!   every sink tuple has a latency sample;
+//! * for the linear apps (WC/FD/SD — every operator emits a
+//!   content-deterministic number of tuples per input), the full
+//!   per-operator `processed`/`emitted` vectors are **identical across
+//!   all six matrix cells**: the fabric and the execution shape may change
+//!   where tuples flow, never how many. (LR's accident detector emits
+//!   based on cross-replica arrival interleaving, so LR asserts the
+//!   conservation laws per cell instead.)
+
+use brisk_apps::app_sized;
+use brisk_dag::{OperatorKind, Partitioning};
+use brisk_runtime::{Engine, EngineConfig, QueueKind, RunReport};
+use std::time::Duration;
+
+const KINDS: [QueueKind; 3] = [QueueKind::Spsc, QueueKind::Mutex, QueueKind::Mpsc];
+
+struct Cell {
+    kind: QueueKind,
+    fusion: bool,
+    report: RunReport,
+}
+
+fn run_matrix(abbrev: &str, replication: Vec<usize>, budget: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for kind in KINDS {
+        for fusion in [true, false] {
+            let app = app_sized(abbrev, budget).expect("known app");
+            let config = EngineConfig {
+                queue_kind: kind,
+                fusion,
+                ..EngineConfig::default()
+            };
+            let engine =
+                Engine::new(app, replication.clone(), config).expect("valid engine config");
+            let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
+            cells.push(Cell {
+                kind,
+                fusion,
+                report,
+            });
+        }
+    }
+    cells
+}
+
+/// Assert the conservation laws on one run.
+fn check_conservation(abbrev: &str, replication: &[usize], budget: u64, cell: &Cell) {
+    let topology = brisk_apps::all_topologies()
+        .into_iter()
+        .find(|(a, _)| *a == abbrev)
+        .map(|(_, t)| t)
+        .expect("known app");
+    let ctx = format!("{abbrev} {} fusion={}", cell.kind, cell.fusion);
+    let r = &cell.report;
+
+    // Spouts emit exactly the input budget.
+    let spout_emitted: u64 = topology
+        .operators()
+        .filter(|(_, s)| s.kind == OperatorKind::Spout)
+        .map(|(id, _)| r.emitted[id.0])
+        .sum();
+    assert_eq!(spout_emitted, budget, "{ctx}: spout emission != budget");
+
+    // Edge conservation wherever per-operator counters can attribute it.
+    for (v, _) in topology.operators() {
+        let incoming: Vec<_> = topology.incoming_edges(v).collect();
+        if incoming.is_empty() {
+            continue; // spout
+        }
+        let checkable = incoming.iter().all(|e| {
+            let mut streams: Vec<&str> = topology
+                .outgoing_edges(e.from)
+                .map(|oe| oe.stream.as_str())
+                .collect();
+            streams.dedup();
+            streams.len() == 1
+        });
+        if !checkable {
+            continue;
+        }
+        let expected: u64 = incoming
+            .iter()
+            .map(|e| {
+                let copies = match e.partitioning {
+                    Partitioning::Broadcast => replication[v.0] as u64,
+                    _ => 1,
+                };
+                r.emitted[e.from.0] * copies
+            })
+            .sum();
+        assert_eq!(
+            r.processed[v.0],
+            expected,
+            "{ctx}: operator {} lost or duplicated tuples",
+            topology.operator(v).name
+        );
+    }
+
+    // Sinks: input-side count == sink_events == latency samples.
+    let sink_processed: u64 = topology
+        .operators()
+        .filter(|(_, s)| s.kind == OperatorKind::Sink)
+        .map(|(id, _)| r.processed[id.0])
+        .sum();
+    assert_eq!(r.sink_events, sink_processed, "{ctx}: sink accounting");
+    assert_eq!(
+        r.latency_ns.count(),
+        r.sink_events,
+        "{ctx}: every sink tuple records latency"
+    );
+}
+
+/// Assert all six cells produced identical per-operator counter vectors
+/// (content-deterministic apps only).
+fn check_cross_config_determinism(abbrev: &str, cells: &[Cell]) {
+    let reference = &cells[0];
+    for cell in &cells[1..] {
+        assert_eq!(
+            cell.report.processed, reference.report.processed,
+            "{abbrev}: processed differs between {} fusion={} and {} fusion={}",
+            cell.kind, cell.fusion, reference.kind, reference.fusion
+        );
+        assert_eq!(
+            cell.report.emitted, reference.report.emitted,
+            "{abbrev}: emitted differs between {} fusion={} and {} fusion={}",
+            cell.kind, cell.fusion, reference.kind, reference.fusion
+        );
+        assert_eq!(
+            cell.report.sink_events, reference.report.sink_events,
+            "{abbrev}: sink_events differ"
+        );
+    }
+}
+
+fn conformance(abbrev: &str, replication: Vec<usize>, budget: u64, deterministic: bool) {
+    let cells = run_matrix(abbrev, replication.clone(), budget);
+    for cell in &cells {
+        check_conservation(abbrev, &replication, budget, cell);
+    }
+    if deterministic {
+        check_cross_config_determinism(abbrev, &cells);
+    }
+}
+
+#[test]
+fn word_count_conforms_across_the_matrix() {
+    // Multi-replica splitter/counter: KeyBy fan-out plus a 1:1 fused head.
+    conformance("WC", vec![1, 1, 3, 2, 1], 1200, true);
+}
+
+#[test]
+fn fraud_detection_conforms_across_the_matrix() {
+    // 2:2 Forward head — pairwise fusion in the fusion=on cells — feeding
+    // a 3-replica KeyBy predictor.
+    conformance("FD", vec![2, 2, 3, 1], 2000, true);
+}
+
+#[test]
+fn spike_detection_conforms_across_the_matrix() {
+    // The aligned-KeyBy pair: moving_average(2) → spike_detect(2) fuses
+    // pairwise when fusion is on; parser funnels 2 spouts' tuples.
+    conformance("SD", vec![2, 1, 2, 2, 1], 2000, true);
+}
+
+#[test]
+fn linear_road_conforms_across_the_matrix() {
+    // 12 operators, multi-stream dispatcher, long fusable chains. The
+    // accident path's emissions depend on cross-replica interleaving, so
+    // LR pins the conservation laws per cell rather than cross-config
+    // equality.
+    conformance("LR", vec![2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1], 1500, false);
+}

@@ -351,12 +351,21 @@ impl<'a> World<'a> {
                 .collect();
             let out_ports: Vec<(usize, &brisk_dag::LogicalEdge)> =
                 topology.outgoing_edge_refs(op).collect();
-            for &rid in &replicas_of_op[op.0] {
+            for (local, &rid) in replicas_of_op[op.0].iter().enumerate() {
                 let mut outs = Vec::with_capacity(out_ports.len());
                 for &(lei, edge) in &out_ports {
                     let consumers: Vec<u32> = match edge.partitioning {
                         Partitioning::Global => {
                             vec![replicas_of_op[edge.to.0][0]]
+                        }
+                        // Local forwarding pins this producer replica to
+                        // the index-aligned consumer replica — only at
+                        // equal replica counts; otherwise the edge
+                        // degrades to Shuffle's full consumer list.
+                        Partitioning::Forward
+                            if replicas_of_op[edge.to.0].len() == replicas_of_op[op.0].len() =>
+                        {
+                            vec![replicas_of_op[edge.to.0][local]]
                         }
                         _ => replicas_of_op[edge.to.0].clone(),
                     };
@@ -710,6 +719,13 @@ impl<'a> World<'a> {
                         batch: out_batch,
                         fixed_target: None,
                     }],
+                    // Degraded (unequal-count) Forward was wired with the
+                    // full consumer list: defer like Shuffle.
+                    Partitioning::Forward if port.consumers.len() > 1 => vec![Pending {
+                        port: oi,
+                        batch: out_batch,
+                        fixed_target: None,
+                    }],
                     Partitioning::Broadcast => port
                         .consumers
                         .iter()
@@ -719,7 +735,10 @@ impl<'a> World<'a> {
                             fixed_target: Some(t),
                         })
                         .collect(),
-                    Partitioning::Global => vec![Pending {
+                    // Global and equal-count Forward both carry a single
+                    // pre-resolved target (the funnel head / the
+                    // index-aligned pair).
+                    Partitioning::Global | Partitioning::Forward => vec![Pending {
                         port: oi,
                         batch: out_batch,
                         fixed_target: Some(port.consumers[0]),

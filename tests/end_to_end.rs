@@ -81,7 +81,11 @@ fn rlas_plan_beats_heuristic_placements_under_the_model() {
         &report.plan.replication,
         report.plan.compress_ratio,
     );
-    let evaluator = Evaluator::saturated(&machine);
+    // Score the alternatives under the same fusion-aware engine objective
+    // RLAS optimizes (serialized fused chains + queue-crossing costs) —
+    // comparing a queue-cost-free score against RLAS's honest one would
+    // stack the deck for the heuristics.
+    let evaluator = Evaluator::saturated(&machine).fused_engine();
     for strategy in [
         briskstream::rlas::PlacementStrategy::Os { seed: 3 },
         briskstream::rlas::PlacementStrategy::FirstFit,

@@ -214,7 +214,8 @@ fn server_b_plans_are_feasible_and_rlas_dominates() {
     let topology = word_count::topology();
     let rlas = optimize(&machine, &topology, &options()).expect("plan");
     let graph = ExecutionGraph::new(&topology, &rlas.plan.replication, rlas.plan.compress_ratio);
-    let evaluator = briskstream::model::Evaluator::saturated(&machine);
+    // Same fusion-aware objective RLAS optimizes — see end_to_end.rs.
+    let evaluator = briskstream::model::Evaluator::saturated(&machine).fused_engine();
     for strategy in [
         briskstream::rlas::PlacementStrategy::Os { seed: 11 },
         briskstream::rlas::PlacementStrategy::RoundRobin,
