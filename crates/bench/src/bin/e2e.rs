@@ -63,11 +63,13 @@ fn main() {
         match run_app(app, &opts) {
             Ok(r) => {
                 println!(
-                    "measured {:.1}k ev/s (predicted {:.1}k, rlas/rr {:.2}, fused/unfused {:.2})",
+                    "measured {:.1}k ev/s (predicted {:.1}k, rlas/rr {:.2}, fused/unfused {:.2}, \
+                     pool/thread {:.2})",
                     r.measured.first().map(|m| m.throughput).unwrap_or(0.0) / 1e3,
                     r.predicted_throughput / 1e3,
                     r.rlas_over_rr,
-                    r.fusion.fused_over_unfused
+                    r.fusion.fused_over_unfused,
+                    r.scheduler.core_pool_over_thread
                 );
                 // Zero-throughput smoke covers every fused run (the
                 // per-fabric measurements) AND the fusion-disabled A/B leg.
@@ -81,6 +83,10 @@ fn main() {
                 }
                 if r.fusion.unfused_throughput <= 0.0 || !r.fusion.unfused_throughput.is_finite() {
                     failures.push(format!("{app}: zero throughput with fusion disabled"));
+                }
+                let pool = r.scheduler.core_pool_throughput;
+                if pool <= 0.0 || !pool.is_finite() {
+                    failures.push(format!("{app}: zero throughput under the core pool"));
                 }
                 // Deterministic gate: fully fused producers must have
                 // pushed nothing. (The total-crossings delta also appears
@@ -118,6 +124,7 @@ fn main() {
                     format!("{:.2}", r.rlas_over_rr),
                     format!("{}", r.fusion.fused_ops),
                     format!("{:.2}", r.fusion.fused_over_unfused),
+                    format!("{:.2}", r.scheduler.core_pool_over_thread),
                 ]
             })
             .collect();
@@ -134,7 +141,8 @@ fn main() {
                     "RR k ev/s",
                     "RLAS/RR",
                     "fused ops",
-                    "fused/unfused"
+                    "fused/unfused",
+                    "pool/thread"
                 ],
                 &rows
             )

@@ -39,7 +39,7 @@ use brisk_numa::Machine;
 use brisk_rlas::{
     optimize, place_with_strategy, PlacementOptions, PlacementStrategy, ScalingOptions,
 };
-use brisk_runtime::{plan_replica_sockets, Engine, EngineConfig, QueueKind, RunReport};
+use brisk_runtime::{plan_replica_sockets, Engine, EngineConfig, QueueKind, RunReport, Scheduler};
 use std::time::Duration;
 
 /// The four paper applications, in harness order.
@@ -195,6 +195,24 @@ pub struct FusionAB {
     pub fused_edges_silent: bool,
 }
 
+/// The scheduler A/B for one application: the same RLAS plan run on the
+/// default fabric under thread-per-replica execution and under the
+/// work-stealing core pool ([`Scheduler::CorePool`], auto-sized).
+#[derive(Debug, Clone)]
+pub struct SchedulerAB {
+    /// Worker threads the auto-sized pool resolved to on this host.
+    pub pool_workers: usize,
+    /// Executor threads the thread-per-replica run spawns for comparison.
+    pub spawned_executors: usize,
+    /// Measured throughput under thread-per-replica execution.
+    pub thread_throughput: f64,
+    /// Measured throughput under the core pool.
+    pub core_pool_throughput: f64,
+    /// `core_pool_throughput / thread_throughput` — the acceptance gate
+    /// asks the pool to stay within 10% of (or beat) dedicated threads.
+    pub core_pool_over_thread: f64,
+}
+
 /// Full measured-vs-predicted result for one application.
 #[derive(Debug, Clone)]
 pub struct AppE2e {
@@ -216,6 +234,8 @@ pub struct AppE2e {
     pub measured: Vec<MeasuredRun>,
     /// The fused-vs-unfused A/B on the default fabric.
     pub fusion: FusionAB,
+    /// The thread-per-replica vs core-pool A/B on the default fabric.
+    pub scheduler: SchedulerAB,
     /// Measured throughput of the round-robin placement of the same
     /// replication, default fabric.
     pub rr_throughput: f64,
@@ -230,22 +250,24 @@ fn measure(
     prediction: &PlanPrediction,
     kind: QueueKind,
     fusion: bool,
+    scheduler: Scheduler,
     opts: &E2eOptions,
 ) -> Result<MeasuredRun, String> {
     let app =
         app_sized(abbrev, opts.event_budget).ok_or_else(|| format!("unknown app {abbrev}"))?;
     let topology = app.topology.clone();
-    let config = EngineConfig {
-        queue_kind: kind,
-        fusion,
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder()
+        .queue_kind(kind)
+        .fusion(fusion)
+        .scheduler(scheduler)
+        .build();
     let engine = Engine::with_plan(app, plan, &opts.machine, config)?;
     let report: RunReport = engine.run_until_events(u64::MAX, opts.timeout);
+    let per_op = report.per_operator();
     let input_events: u64 = topology
         .operators()
         .filter(|(_, spec)| spec.kind == OperatorKind::Spout)
-        .map(|(id, _)| report.emitted[id.0])
+        .map(|(id, _)| per_op[id.0].emitted)
         .sum();
     let per_operator_output_rate = topology
         .operators()
@@ -259,9 +281,9 @@ fn measure(
         throughput: report.throughput,
         p50_latency_us: report.latency_ns.percentile(50.0) / 1e3,
         p99_latency_us: report.latency_ns.percentile(99.0) / 1e3,
-        queue_full_events: report.queue_full_events.iter().sum(),
-        queue_crossings: report.queue_pushes.iter().sum(),
-        per_operator_queue_pushes: report.queue_pushes.clone(),
+        queue_full_events: per_op.iter().map(|o| o.queue_full_events).sum(),
+        queue_crossings: per_op.iter().map(|o| o.queue_pushes).sum(),
+        per_operator_queue_pushes: per_op.iter().map(|o| o.queue_pushes).collect(),
         per_operator_output_rate,
         measured_over_predicted: report.throughput / prediction.throughput.max(f64::MIN_POSITIVE),
     })
@@ -290,12 +312,28 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
     let prediction = predict_for_plan(&opts.machine, &calibrated, &rlas.plan);
     let mut measured = Vec::new();
     for &kind in &opts.queue_kinds {
-        measured.push(measure(abbrev, &rlas.plan, &prediction, kind, true, opts)?);
+        measured.push(measure(
+            abbrev,
+            &rlas.plan,
+            &prediction,
+            kind,
+            true,
+            Scheduler::ThreadPerReplica,
+            opts,
+        )?);
     }
 
     // Fused-vs-unfused A/B: same plan, default fabric, fusion forced off.
     let ab_kind = *opts.queue_kinds.first().unwrap_or(&QueueKind::Spsc);
-    let unfused = measure(abbrev, &rlas.plan, &prediction, ab_kind, false, opts)?;
+    let unfused = measure(
+        abbrev,
+        &rlas.plan,
+        &prediction,
+        ab_kind,
+        false,
+        Scheduler::ThreadPerReplica,
+        opts,
+    )?;
     let fused = measured.first().cloned().unwrap_or_else(|| unfused.clone());
     let fusion_plan = FusionPlan::compute(
         &calibrated,
@@ -333,6 +371,49 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
         fused_edges_silent,
     };
 
+    // Scheduler A/B: the same plan on the default fabric, driven by the
+    // auto-sized work-stealing pool instead of one thread per replica. The
+    // pool decouples replica counts from thread counts, so on a small host
+    // it is the execution mode the paper's many-replica plans actually get.
+    // Each leg is best-of-2, applied symmetrically: a single run on a
+    // shared (often 1-vCPU) host carries enough OS-scheduling noise to
+    // swing a throughput ratio by ±50%, and taking each scheduler's best
+    // run compares their capability rather than one draw of the noise.
+    let pool_sched = Scheduler::CorePool { workers: 0 };
+    let thread_rerun = measure(
+        abbrev,
+        &rlas.plan,
+        &prediction,
+        ab_kind,
+        true,
+        Scheduler::ThreadPerReplica,
+        opts,
+    )?;
+    let mut pool_throughput = f64::MIN_POSITIVE;
+    for _ in 0..2 {
+        let run = measure(
+            abbrev,
+            &rlas.plan,
+            &prediction,
+            ab_kind,
+            true,
+            pool_sched,
+            opts,
+        )?;
+        pool_throughput = pool_throughput.max(run.throughput);
+    }
+    let thread_throughput = fused.throughput.max(thread_rerun.throughput);
+    let scheduler = SchedulerAB {
+        pool_workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(fusion.spawned_executors.max(1)),
+        spawned_executors: fusion.spawned_executors,
+        thread_throughput,
+        core_pool_throughput: pool_throughput,
+        core_pool_over_thread: pool_throughput / thread_throughput.max(f64::MIN_POSITIVE),
+    };
+
     // Round-robin placement of the same replication: the paper's
     // directional baseline (Table 6 / Figure 13), measured for real.
     let graph = ExecutionGraph::new(
@@ -345,7 +426,15 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
         compress_ratio: rlas.plan.compress_ratio,
         placement: place_with_strategy(&graph, &opts.machine, PlacementStrategy::RoundRobin),
     };
-    let rr = measure(abbrev, &rr_plan, &prediction, ab_kind, true, opts)?;
+    let rr = measure(
+        abbrev,
+        &rr_plan,
+        &prediction,
+        ab_kind,
+        true,
+        Scheduler::ThreadPerReplica,
+        opts,
+    )?;
     let rlas_default = measured.first().map(|m| m.throughput).unwrap_or(f64::NAN);
 
     Ok(AppE2e {
@@ -366,6 +455,7 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
             .map(|o| o.name.clone()),
         measured,
         fusion,
+        scheduler,
         rr_throughput: rr.throughput,
         rlas_over_rr: rlas_default / rr.throughput.max(f64::MIN_POSITIVE),
     })
@@ -503,6 +593,16 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
             r.fusion.fused_edges_silent,
         ));
         out.push_str(&format!(
+            "      \"scheduler\": {{\"pool_workers\": {}, \"spawned_executors\": {}, \
+             \"thread_throughput\": {}, \"core_pool_throughput\": {}, \
+             \"core_pool_over_thread\": {}}},\n",
+            r.scheduler.pool_workers,
+            r.scheduler.spawned_executors,
+            num(r.scheduler.thread_throughput),
+            num(r.scheduler.core_pool_throughput),
+            ratio(r.scheduler.core_pool_over_thread),
+        ));
+        out.push_str(&format!(
             "      \"round_robin\": {{\"throughput\": {}, \"rlas_over_rr\": {}}}\n",
             num(r.rr_throughput),
             ratio(r.rlas_over_rr)
@@ -536,8 +636,18 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
         .all(|r| r.fusion.fused_ops == 0 || r.fusion.fused_crossings < r.fusion.unfused_crossings);
     out.push_str(&format!(
         "  \"fusion_acceptance\": \"fusion reduces queue crossings on every app with a \
-         fusable chain: {}\"\n",
+         fusable chain: {}\",\n",
         if fusion_ok { "PASS" } else { "FAIL" }
+    ));
+    // The pool time-shares workers where thread-per-replica gets dedicated
+    // threads, so parity (within 10%) is the bar, not a win.
+    let scheduler_ok = results
+        .iter()
+        .all(|r| r.scheduler.core_pool_over_thread >= 0.9);
+    out.push_str(&format!(
+        "  \"scheduler_acceptance\": \"core pool within 10% of thread-per-replica on every \
+         app: {}\"\n",
+        if scheduler_ok { "PASS" } else { "FAIL" }
     ));
     out.push_str("}\n");
     out
@@ -607,6 +717,13 @@ mod tests {
                 fused_crossings: 7,
                 unfused_crossings: 11,
                 fused_edges_silent: true,
+            },
+            scheduler: SchedulerAB {
+                pool_workers: 1,
+                spawned_executors: 1,
+                thread_throughput: 999.25,
+                core_pool_throughput: 950.0,
+                core_pool_over_thread: 0.9507,
             },
             rr_throughput: 500.0,
             rlas_over_rr: 1.99,

@@ -76,6 +76,13 @@ impl PlanPrediction {
 /// prediction on a dedicated-core host (pinned by the model's golden
 /// regression test), and can legitimately exceed it on an oversubscribed
 /// socket, where the saved threads stop time-sharing.
+///
+/// The serialized-chain cost is scheduler-independent: under the
+/// work-stealing core pool (`brisk_runtime::Scheduler::CorePool`) a fused
+/// chain still executes inline inside its host's *task*, so chain members
+/// remain serialized on one schedulable unit exactly as they are on one
+/// thread — the pool changes how executors map to cores, never how many
+/// executors a plan needs or what each sustains.
 pub fn predict_for_plan(
     machine: &Machine,
     topology: &LogicalTopology,

@@ -46,10 +46,21 @@ pub struct ScalingOptions {
     /// Replicas fused per scheduling unit (heuristic 3). The paper uses 5
     /// as a good throughput/runtime trade-off (Table 7).
     pub compress_ratio: usize,
-    /// Executor-thread budget; defaults to the machine's total core count.
+    /// Executor budget; defaults to the machine's total core count.
     /// Counted against [`spawned_executors`], not raw replicas: replicas a
-    /// [`FusionPlan`] fuses away ride their hosts' threads for free, so
-    /// fusing a chain frees budget for replication elsewhere.
+    /// [`FusionPlan`] fuses away ride their hosts for free, so fusing a
+    /// chain frees budget for replication elsewhere.
+    ///
+    /// The budget is a *concurrency* constraint, not literally a thread
+    /// count: under thread-per-replica execution every spawned executor is
+    /// one OS thread, while under the work-stealing core pool
+    /// (`brisk_runtime::Scheduler::CorePool`) it is one schedulable task
+    /// and the pool's worker count caps how many run at once. Either way a
+    /// spawned executor only sustains its modelled rate when it
+    /// effectively owns a core, so the machine's core count remains the
+    /// right default budget for both schedulers — the pool just degrades
+    /// gracefully (time-sharing instead of oversubscribing) when a plan
+    /// exceeds it.
     pub max_total_replicas: Option<usize>,
     /// Maximum scaling iterations (safety bound; the replica budget normally
     /// terminates the loop first).

@@ -15,10 +15,12 @@
 
 use crate::fusion::{FusedSinkState, FusedTarget, SinkLocal, SinkProgress};
 use crate::operator::{
-    AppRuntime, BoltContext, Collector, EngineClock, OperatorRuntime, OutputEdge, SpoutStatus,
+    AppRuntime, BoltContext, Collector, DynBolt, EngineClock, OperatorRuntime, OutputEdge,
+    SpoutStatus,
 };
 use crate::partition::Partitioner;
 use crate::queue::{QueueKind, ReplicaQueue};
+use crate::scheduler::{self, PoolRun, Scheduler, WakeHub};
 use crate::spsc::{Backoff, BackoffProfile};
 use crate::tuple::JumboTuple;
 use brisk_dag::{
@@ -53,7 +55,24 @@ impl NumaPenalty {
 }
 
 /// Engine tuning knobs.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`EngineConfig::builder`] (or start from [`EngineConfig::default`] and
+/// assign fields), so new knobs — like [`EngineConfig::scheduler`] — stop
+/// being breaking changes.
+///
+/// ```
+/// use brisk_runtime::{EngineConfig, QueueKind, Scheduler};
+///
+/// let config = EngineConfig::builder()
+///     .queue_kind(QueueKind::Mpsc)
+///     .fusion(false)
+///     .scheduler(Scheduler::CorePool { workers: 4 })
+///     .build();
+/// assert_eq!(config.scheduler, Scheduler::CorePool { workers: 4 });
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Which queue fabric wires replica pairs (default: lock-free SPSC).
     pub queue_kind: QueueKind,
@@ -79,6 +98,9 @@ pub struct EngineConfig {
     /// operator inline instead of routing through a queue (see
     /// [`brisk_dag::FusionPlan`] for eligibility). Disable for A/B runs.
     pub fusion: bool,
+    /// How replicas map onto OS threads: one thread per replica (default)
+    /// or the work-stealing core pool (see [`Scheduler`]).
+    pub scheduler: Scheduler,
 }
 
 impl Default for EngineConfig {
@@ -92,7 +114,85 @@ impl Default for EngineConfig {
             numa_penalty: None,
             extra_cost_ns_per_tuple: 0,
             fusion: true,
+            scheduler: Scheduler::default(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// Chainable builder starting from [`EngineConfig::default`].
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Chainable builder for [`EngineConfig`]; see [`EngineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Queue fabric wiring replica pairs ([`EngineConfig::queue_kind`]).
+    pub fn queue_kind(mut self, kind: QueueKind) -> Self {
+        self.config.queue_kind = kind;
+        self
+    }
+
+    /// Queue capacity in jumbos ([`EngineConfig::queue_capacity`]).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Tuples per jumbo ([`EngineConfig::jumbo_size`]).
+    pub fn jumbo_size(mut self, size: usize) -> Self {
+        self.config.jumbo_size = size;
+        self
+    }
+
+    /// Park ceiling of the wait ladder ([`EngineConfig::poll_backoff`]).
+    pub fn poll_backoff(mut self, interval: Duration) -> Self {
+        self.config.poll_backoff = interval;
+        self
+    }
+
+    /// Emit-side flush cadence ([`EngineConfig::flush_every`]).
+    pub fn flush_every(mut self, invocations: u32) -> Self {
+        self.config.flush_every = invocations;
+        self
+    }
+
+    /// Inject a virtual-NUMA fetch penalty ([`EngineConfig::numa_penalty`]).
+    pub fn numa_penalty(mut self, penalty: NumaPenalty) -> Self {
+        self.config.numa_penalty = Some(penalty);
+        self
+    }
+
+    /// Artificial per-tuple consume cost
+    /// ([`EngineConfig::extra_cost_ns_per_tuple`]).
+    pub fn extra_cost_ns_per_tuple(mut self, ns: u64) -> Self {
+        self.config.extra_cost_ns_per_tuple = ns;
+        self
+    }
+
+    /// Toggle operator-chain fusion ([`EngineConfig::fusion`]).
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.config.fusion = enabled;
+        self
+    }
+
+    /// Select the execution scheduler ([`EngineConfig::scheduler`]).
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Finish the chain.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -108,51 +208,98 @@ pub struct RunReport {
     /// End-to-end latency (spout emit → sink receive), nanoseconds.
     pub latency_ns: Histogram,
     /// Input-side tuples consumed per operator. Spouts have no input and
-    /// report 0 here — their emission counts are in [`RunReport::emitted`],
+    /// report 0 here — their emission counts are in `emitted`,
     /// so spout emission rate and sink consumption rate are distinguishable.
+    #[deprecated(note = "use `RunReport::operator(op).processed` instead")]
     pub processed: Vec<u64>,
     /// Output-side tuples emitted per operator across all streams (sinks
     /// normally 0; spouts: their generation count).
+    #[deprecated(note = "use `RunReport::operator(op).emitted` instead")]
     pub emitted: Vec<u64>,
     /// Queue-pressure events per operator: jumbo flushes that found a
     /// destination queue full, i.e. the producer stalled on back-pressure.
     /// Counted once per stalled flush (one jumbo to one destination
     /// queue), so a broadcast edge with several slow consumers records one
     /// stall per consumer queue.
+    #[deprecated(note = "use `RunReport::operator(op).queue_full_events` instead")]
     pub queue_full_events: Vec<u64>,
     /// Queue crossings per operator: jumbo tuples this operator pushed to
     /// consumer queues. Fused edges deliver inline and never count here —
     /// the fused-vs-unfused A/B reads this to verify fusion actually
     /// removed crossings.
+    #[deprecated(note = "use `RunReport::operator(op).queue_pushes` instead")]
     pub queue_pushes: Vec<u64>,
 }
 
+/// Per-operator slice of a [`RunReport`], indexed by logical operator (see
+/// [`RunReport::operator`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Input-side tuples this operator consumed (0 for spouts).
+    pub processed: u64,
+    /// Output-side tuples this operator emitted across all streams.
+    pub emitted: u64,
+    /// Jumbo flushes that found a destination queue full (back-pressure
+    /// stalls charged to this operator as a producer).
+    pub queue_full_events: u64,
+    /// Jumbo tuples this operator pushed to consumer queues (fused edges
+    /// deliver inline and never count).
+    pub queue_pushes: u64,
+}
+
+#[allow(deprecated)]
 impl RunReport {
     /// Throughput in the paper's unit (k events/s).
     pub fn k_events_per_sec(&self) -> f64 {
         self.throughput / 1e3
     }
 
+    /// All counters of one logical operator, by operator index — the
+    /// supported replacement for indexing the deprecated parallel vectors.
+    pub fn operator(&self, op: usize) -> OpStats {
+        OpStats {
+            processed: self.processed[op],
+            emitted: self.emitted[op],
+            queue_full_events: self.queue_full_events[op],
+            queue_pushes: self.queue_pushes[op],
+        }
+    }
+
+    /// Number of logical operators covered by this report.
+    pub fn operator_count(&self) -> usize {
+        self.processed.len()
+    }
+
+    /// Every operator's counters, in operator order — convenient for
+    /// whole-topology assertions (e.g. cross-configuration determinism).
+    pub fn per_operator(&self) -> Vec<OpStats> {
+        (0..self.operator_count())
+            .map(|i| self.operator(i))
+            .collect()
+    }
+
     /// Measured input-side processing rate of one operator, tuples/sec
     /// (0 for spouts — see [`RunReport::output_rate`]).
     pub fn input_rate(&self, op: usize) -> f64 {
-        self.processed[op] as f64 / self.elapsed.as_secs_f64()
+        self.operator(op).processed as f64 / self.elapsed.as_secs_f64()
     }
 
     /// Measured output-side emission rate of one operator, tuples/sec
     /// (the measured counterpart of the model's per-operator `ro`).
     pub fn output_rate(&self, op: usize) -> f64 {
-        self.emitted[op] as f64 / self.elapsed.as_secs_f64()
+        self.operator(op).emitted as f64 / self.elapsed.as_secs_f64()
     }
 }
 
-struct InputPort {
-    queue: Arc<ReplicaQueue<JumboTuple>>,
+/// One wired input of a replica: the queue plus the Formula 2 bookkeeping
+/// the consumer charges per pop.
+pub(crate) struct InputPort {
+    pub(crate) queue: Arc<ReplicaQueue<JumboTuple>>,
     /// Output bytes per tuple of the producing operator (Formula 2's `N`).
     /// The producing *replica* is read per jumbo from
     /// [`JumboTuple::producer`], since fan-in (MPSC) ports carry jumbos
     /// from several producer replicas.
-    producer_bytes: f64,
+    pub(crate) producer_bytes: f64,
 }
 
 /// The wired, ready-to-run engine.
@@ -218,19 +365,99 @@ impl Engine {
         self.replication.iter().sum()
     }
 
-    /// Run until `deadline` elapses, then drain and report.
+    /// Run the wired topology until `limit` is reached, then drain every
+    /// in-flight tuple and report. This is the single execution surface:
+    /// [`Engine::run_for`] and [`Engine::run_until_events`] are thin
+    /// wrappers over the two [`RunLimit`] variants.
+    ///
+    /// # Example
+    ///
+    /// Build a tiny spout → bolt → sink app, pick the queue fabric, fusion
+    /// and scheduler through the config builder, and run to exhaustion:
+    ///
+    /// ```
+    /// use brisk_dag::{CostProfile, TopologyBuilder, DEFAULT_STREAM};
+    /// use brisk_runtime::{
+    ///     AppRuntime, Collector, DynBolt, DynSpout, Engine, EngineConfig, QueueKind, RunLimit,
+    ///     Scheduler, SpoutStatus, Tuple,
+    /// };
+    /// use std::time::Duration;
+    ///
+    /// struct Nums(u64);
+    /// impl DynSpout for Nums {
+    ///     fn next(&mut self, c: &mut Collector) -> SpoutStatus {
+    ///         if self.0 == 0 {
+    ///             return SpoutStatus::Exhausted;
+    ///         }
+    ///         self.0 -= 1;
+    ///         let now = c.now_ns();
+    ///         c.emit(DEFAULT_STREAM, Tuple::keyed(self.0, now, self.0));
+    ///         SpoutStatus::Emitted(1)
+    ///     }
+    /// }
+    /// struct Relay;
+    /// impl DynBolt for Relay {
+    ///     fn execute(&mut self, t: &Tuple, c: &mut Collector) {
+    ///         c.emit(DEFAULT_STREAM, t.clone());
+    ///     }
+    /// }
+    /// struct Discard;
+    /// impl DynBolt for Discard {
+    ///     fn execute(&mut self, _t: &Tuple, _c: &mut Collector) {}
+    /// }
+    ///
+    /// let mut b = TopologyBuilder::new("quick");
+    /// let s = b.add_spout("nums", CostProfile::trivial());
+    /// let x = b.add_bolt("relay", CostProfile::trivial());
+    /// let k = b.add_sink("sink", CostProfile::trivial());
+    /// b.connect_shuffle(s, x);
+    /// b.connect_shuffle(x, k);
+    /// let topology = b.build().unwrap();
+    /// let (s, x, k) = (
+    ///     topology.find("nums").unwrap(),
+    ///     topology.find("relay").unwrap(),
+    ///     topology.find("sink").unwrap(),
+    /// );
+    /// let app = AppRuntime::new(topology)
+    ///     .spout(s, |_| Nums(200))
+    ///     .bolt(x, |_| Relay)
+    ///     .sink(k, |_| Discard);
+    ///
+    /// let config = EngineConfig::builder()
+    ///     .queue_kind(QueueKind::Spsc)
+    ///     .fusion(true)
+    ///     .scheduler(Scheduler::CorePool { workers: 2 })
+    ///     .build();
+    /// let engine = Engine::new(app, vec![1, 1, 1], config).unwrap();
+    /// let report = engine.run(RunLimit::Events {
+    ///     events: 200,
+    ///     timeout: Duration::from_secs(60),
+    /// });
+    /// assert_eq!(report.sink_events, 200);
+    /// assert_eq!(report.operator(1).processed, 200);
+    /// ```
+    ///
+    /// Plan-driven runs work the same way: build via [`Engine::with_plan`]
+    /// (which charges the plan's NUMA fetch costs) and call
+    /// `run(...)` / [`Engine::run_until_events`] on the result.
+    pub fn run(&self, limit: RunLimit) -> RunReport {
+        self.run_inner(limit)
+    }
+
+    /// Run until `deadline` elapses, then drain and report
+    /// (`RunLimit::Duration` convenience).
     pub fn run_for(&self, deadline: Duration) -> RunReport {
-        self.run_inner(StopCondition::After(deadline))
+        self.run(RunLimit::Duration(deadline))
     }
 
     /// Run until the sinks have received at least `events` tuples (or
-    /// `timeout` elapses), then drain and report. Deterministic-ish runs for
-    /// tests.
+    /// `timeout` elapses), then drain and report
+    /// (`RunLimit::Events` convenience). Deterministic-ish runs for tests.
     pub fn run_until_events(&self, events: u64, timeout: Duration) -> RunReport {
-        self.run_inner(StopCondition::Events { events, timeout })
+        self.run(RunLimit::Events { events, timeout })
     }
 
-    fn run_inner(&self, condition: StopCondition) -> RunReport {
+    fn run_inner(&self, condition: RunLimit) -> RunReport {
         let topology = &self.app.topology;
         let n_ops = topology.operator_count();
         let replica_base: Vec<usize> = {
@@ -253,10 +480,19 @@ impl Engine {
             FusionPlan::disabled(topology)
         };
         let spawned_replicas = fusion.spawned_executors(&self.replication);
-        // Oversubscription-aware wait ladder: when replica threads
+        // Scheduler selection: `Some(n)` means the core pool drives every
+        // task on `n` workers; `None` keeps one OS thread per replica.
+        let pool_workers = self.config.scheduler.pool_workers(spawned_replicas);
+        // Oversubscription-aware wait ladder: when runtime threads
         // outnumber hardware cores, spinning burns the timeslices the
         // counterpart threads need, so waiters park almost immediately.
-        let backoff_profile = BackoffProfile::detect(spawned_replicas, self.config.poll_backoff);
+        // The pool never oversubscribes by construction — its thread count
+        // is the worker count, not the replica count.
+        let backoff_profile = BackoffProfile::detect(
+            pool_workers.unwrap_or(spawned_replicas),
+            self.config.poll_backoff,
+        );
+        let wake_hub = pool_workers.map(|_| Arc::new(WakeHub::new(total_replicas)));
 
         // Queues per unfused logical edge. Output edges are grouped per
         // (operator, local replica) because fused-away operators emit from
@@ -298,6 +534,7 @@ impl Engine {
                         stream: edge.stream.clone(),
                         partitioner: Partitioner::new(edge.partitioning, 1),
                         queues: vec![Arc::clone(&q)],
+                        consumers: vec![replica_base[edge.to.0]],
                         buffers: vec![Vec::new()],
                     });
                 }
@@ -328,6 +565,7 @@ impl Engine {
                         // One queue: the router degenerates to "target 0".
                         partitioner: Partitioner::new(edge.partitioning, 1),
                         queues: vec![q],
+                        consumers: vec![cg],
                         buffers: vec![Vec::new()],
                     });
                 }
@@ -335,6 +573,7 @@ impl Engine {
             }
             for outputs in op_outputs[edge.from.0].iter_mut().take(np) {
                 let mut queues = Vec::with_capacity(nc);
+                let mut consumers = Vec::with_capacity(nc);
                 for c in 0..nc {
                     let cg = replica_base[edge.to.0] + c;
                     // One producer replica, one consumer replica: the SPSC
@@ -349,43 +588,45 @@ impl Engine {
                         producer_bytes,
                     });
                     queues.push(q);
+                    consumers.push(cg);
                 }
                 outputs.push(OutputEdge {
                     logical_edge: lei,
                     stream: edge.stream.clone(),
                     partitioner: Partitioner::new(edge.partitioning, nc),
                     queues,
+                    consumers,
                     buffers: (0..nc).map(|_| Vec::new()).collect(),
                 });
             }
         }
 
-        // Shared run state.
+        // Shared run state. `live_replicas` counts tasks still running:
+        // it lets the driver stop waiting early when finite (sized) spouts
+        // exhaust and the whole pipeline drains before the event target or
+        // deadline is reached, and tells pool workers when to exit.
+        // Fused-away operators have no task of their own.
         let clock = Arc::new(EngineClock::new());
-        let stop = Arc::new(AtomicBool::new(false));
-        let op_done: Arc<Vec<AtomicBool>> =
-            Arc::new((0..n_ops).map(|_| AtomicBool::new(false)).collect());
-        let op_live: Arc<Vec<AtomicUsize>> = Arc::new(
-            self.replication
+        let shared = Arc::new(EngineShared {
+            app: Arc::clone(&self.app),
+            config: self.config.clone(),
+            backoff_profile,
+            clock: Arc::clone(&clock),
+            stop: AtomicBool::new(false),
+            op_done: (0..n_ops).map(|_| AtomicBool::new(false)).collect(),
+            op_live: self
+                .replication
                 .iter()
                 .map(|&r| AtomicUsize::new(r))
                 .collect(),
-        );
-        let processed: Arc<Vec<AtomicU64>> =
-            Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
-        let emitted: Arc<Vec<AtomicU64>> =
-            Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
-        let queue_full: Arc<Vec<AtomicU64>> =
-            Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
-        let queue_pushes: Arc<Vec<AtomicU64>> =
-            Arc::new((0..n_ops).map(|_| AtomicU64::new(0)).collect());
-        // Replica *threads* still running: lets the driver stop waiting
-        // early when finite (sized) spouts exhaust and the whole pipeline
-        // drains before the event target or deadline is reached. Fused-away
-        // operators have no thread of their own.
-        let live_replicas = Arc::new(AtomicUsize::new(spawned_replicas));
-        let sink_progress = Arc::new(SinkProgress {
-            events: AtomicU64::new(0),
+            processed: (0..n_ops).map(|_| AtomicU64::new(0)).collect(),
+            emitted: (0..n_ops).map(|_| AtomicU64::new(0)).collect(),
+            queue_full: (0..n_ops).map(|_| AtomicU64::new(0)).collect(),
+            queue_pushes: (0..n_ops).map(|_| AtomicU64::new(0)).collect(),
+            live_replicas: AtomicUsize::new(spawned_replicas),
+            sink_progress: Arc::new(SinkProgress {
+                events: AtomicU64::new(0),
+            }),
         });
 
         // Build fused targets bottom-up (reverse topological order), so a
@@ -421,15 +662,18 @@ impl Engine {
                     OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(ctx),
                     OperatorRuntime::Spout(_) => unreachable!("spouts are never fused away"),
                 };
-                let collector = Collector::new(
+                let mut collector = Collector::new(
                     replica_base[op.0] + r,
                     self.config.jumbo_size,
                     std::mem::take(&mut op_outputs[op.0][r]),
                     Arc::clone(&clock),
                 )
                 .with_fused(std::mem::take(&mut pending_fused[op.0][r]));
+                if let Some(hub) = &wake_hub {
+                    collector = collector.with_wake_hub(Arc::clone(hub));
+                }
                 let sink = (spec.kind == OperatorKind::Sink)
-                    .then(|| FusedSinkState::new(Arc::clone(&sink_progress)));
+                    .then(|| FusedSinkState::new(Arc::clone(&shared.sink_progress)));
                 pending_fused[host.0][r].push(FusedTarget {
                     op_index: op.0,
                     streams: streams.clone(),
@@ -441,17 +685,15 @@ impl Engine {
             }
         }
 
-        let started = Instant::now();
-        let mut handles = Vec::with_capacity(spawned_replicas);
-
-        // Spawn in reverse topological order so consumers are polling before
-        // producers start pushing (not required for correctness, helps
-        // startup latency).
+        // Seed every spawned replica as a task, in reverse topological
+        // order so consumers come up (or sit early in the pool's run
+        // queues) before producers start pushing — not required for
+        // correctness, helps startup latency.
         let spawn_order: Vec<brisk_dag::OperatorId> =
             topology.topological_order().iter().rev().copied().collect();
         let mut inputs_by_replica: Vec<Option<Vec<InputPort>>> =
             inputs.into_iter().map(Some).collect();
-
+        let mut seeds: Vec<TaskSeed> = Vec::with_capacity(spawned_replicas);
         for op in spawn_order {
             if fusion.is_fused_away(op) {
                 continue; // runs inline inside its chain host
@@ -461,87 +703,89 @@ impl Engine {
                 let global = replica_base[op.0] + r;
                 // Replica r hosts the replica-r instances of its fused
                 // subtree (index-aligned pairing).
-                let collector = Collector::new(
+                let mut collector = Collector::new(
                     global,
                     self.config.jumbo_size,
                     std::mem::take(outputs),
                     Arc::clone(&clock),
                 )
                 .with_fused(std::mem::take(&mut pending_fused[op.0][r]));
-                let ports = inputs_by_replica[global].take().expect("inputs once");
-                let ctx = BoltContext {
-                    replica: r,
-                    replicas: self.replication[op.0],
-                };
-                let app = Arc::clone(&self.app);
-                let stop = Arc::clone(&stop);
-                let op_done = Arc::clone(&op_done);
-                let op_live = Arc::clone(&op_live);
-                let processed = Arc::clone(&processed);
-                let emitted = Arc::clone(&emitted);
-                let queue_full = Arc::clone(&queue_full);
-                let queue_pushes = Arc::clone(&queue_pushes);
-                let live_replicas = Arc::clone(&live_replicas);
-                let sink_progress = Arc::clone(&sink_progress);
-                let clock = Arc::clone(&clock);
-                let config = self.config.clone();
-                let kind = spec.kind;
-                let op_index = op.0;
-                let producer_ops: Vec<usize> =
-                    topology.producers_of(op).iter().map(|p| p.0).collect();
-                let name = format!("{}#{r}", spec.name);
-
-                let handle = std::thread::Builder::new()
-                    .name(name)
-                    .spawn(move || {
-                        run_replica(ReplicaArgs {
-                            app,
-                            kind,
-                            op_index,
-                            ctx,
-                            collector,
-                            ports,
-                            producer_ops,
-                            stop,
-                            op_done,
-                            op_live,
-                            processed,
-                            emitted,
-                            queue_full,
-                            queue_pushes,
-                            live_replicas,
-                            sink_progress,
-                            clock,
-                            config,
-                            backoff_profile,
-                        })
-                    })
-                    .expect("thread spawn");
-                handles.push(handle);
+                if let Some(hub) = &wake_hub {
+                    collector = collector.with_wake_hub(Arc::clone(hub));
+                }
+                seeds.push(TaskSeed {
+                    global,
+                    op_index: op.0,
+                    kind: spec.kind,
+                    ctx: BoltContext {
+                        replica: r,
+                        replicas: self.replication[op.0],
+                    },
+                    collector,
+                    ports: inputs_by_replica[global].take().expect("inputs once"),
+                    producer_ops: topology.producers_of(op).iter().map(|p| p.0).collect(),
+                    name: format!("{}#{r}", spec.name),
+                });
             }
         }
 
+        enum Running {
+            Threads(Vec<std::thread::JoinHandle<Option<SinkLocal>>>),
+            Pool(PoolRun),
+        }
+
+        let started = Instant::now();
+        let running = match (&wake_hub, pool_workers) {
+            (Some(hub), Some(workers)) => Running::Pool(scheduler::spawn_pool(
+                seeds,
+                Arc::clone(hub),
+                Arc::clone(&shared),
+                workers,
+            )),
+            _ => Running::Threads(
+                seeds
+                    .into_iter()
+                    .map(|seed| {
+                        let shared = Arc::clone(&shared);
+                        std::thread::Builder::new()
+                            .name(seed.name.clone())
+                            .spawn(move || run_replica(seed, &shared))
+                            .expect("thread spawn")
+                    })
+                    .collect(),
+            ),
+        };
+
         // Drive the stop condition.
         match condition {
-            StopCondition::After(d) => std::thread::sleep(d),
-            StopCondition::Events { events, timeout } => {
+            RunLimit::Duration(d) => std::thread::sleep(d),
+            RunLimit::Events { events, timeout } => {
                 let deadline = Instant::now() + timeout;
-                while sink_progress.events.load(Ordering::Relaxed) < events
-                    && live_replicas.load(Ordering::Relaxed) > 0
+                while shared.sink_progress.events.load(Ordering::Relaxed) < events
+                    && shared.live_replicas.load(Ordering::Relaxed) > 0
                     && Instant::now() < deadline
                 {
                     std::thread::sleep(Duration::from_millis(1));
                 }
             }
         }
-        stop.store(true, Ordering::SeqCst);
-        // Merge each sink replica's thread-local metrics after join — the
-        // run itself never serialized replicas on a shared histogram.
+        shared.stop.store(true, Ordering::SeqCst);
+        // Merge each sink task's local metrics after join — the run itself
+        // never serialized replicas on a shared histogram.
         let mut sink_events = 0u64;
         let mut latency_ns = Histogram::new();
-        for h in handles {
-            if let Some(local) = h.join().expect("replica thread panicked") {
-                sink_events += local.events;
+        match running {
+            Running::Threads(handles) => {
+                for h in handles {
+                    if let Some(local) = h.join().expect("replica thread panicked") {
+                        sink_events += local.events;
+                        latency_ns.merge(&local.latency);
+                    }
+                }
+            }
+            Running::Pool(run) => {
+                let local = run.join();
+                sink_events = local.events;
                 latency_ns.merge(&local.latency);
             }
         }
@@ -549,16 +793,18 @@ impl Engine {
         let elapsed = started.elapsed();
         let load_all =
             |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|c| c.load(Ordering::Relaxed)).collect() };
-        RunReport {
+        #[allow(deprecated)]
+        let report = RunReport {
             elapsed,
             sink_events,
             throughput: sink_events as f64 / elapsed.as_secs_f64(),
             latency_ns,
-            processed: load_all(&processed),
-            emitted: load_all(&emitted),
-            queue_full_events: load_all(&queue_full),
-            queue_pushes: load_all(&queue_pushes),
-        }
+            processed: load_all(&shared.processed),
+            emitted: load_all(&shared.emitted),
+            queue_full_events: load_all(&shared.queue_full),
+            queue_pushes: load_all(&shared.queue_pushes),
+        };
+        report
     }
 }
 
@@ -584,100 +830,142 @@ pub fn plan_replica_sockets(topology: &LogicalTopology, plan: &ExecutionPlan) ->
     replica_socket
 }
 
-enum StopCondition {
-    After(Duration),
-    Events { events: u64, timeout: Duration },
+/// Stop condition for [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Run for a fixed wall-clock duration, then drain and report.
+    Duration(Duration),
+    /// Run until the sinks have received at least `events` tuples, the
+    /// pipeline drains (finite spouts), or `timeout` elapses — whichever
+    /// comes first.
+    Events {
+        /// Sink-event target.
+        events: u64,
+        /// Wall-clock safety net.
+        timeout: Duration,
+    },
 }
 
-struct ReplicaArgs {
-    app: Arc<AppRuntime>,
-    kind: OperatorKind,
-    op_index: usize,
-    ctx: BoltContext,
-    collector: Collector,
-    ports: Vec<InputPort>,
-    producer_ops: Vec<usize>,
-    stop: Arc<AtomicBool>,
-    op_done: Arc<Vec<AtomicBool>>,
-    op_live: Arc<Vec<AtomicUsize>>,
-    processed: Arc<Vec<AtomicU64>>,
-    emitted: Arc<Vec<AtomicU64>>,
-    queue_full: Arc<Vec<AtomicU64>>,
-    queue_pushes: Arc<Vec<AtomicU64>>,
-    live_replicas: Arc<AtomicUsize>,
-    sink_progress: Arc<SinkProgress>,
-    clock: Arc<EngineClock>,
-    config: EngineConfig,
-    backoff_profile: BackoffProfile,
+/// Engine state shared by every task of one run, whichever scheduler
+/// drives them.
+pub(crate) struct EngineShared {
+    pub(crate) app: Arc<AppRuntime>,
+    pub(crate) config: EngineConfig,
+    pub(crate) backoff_profile: BackoffProfile,
+    pub(crate) clock: Arc<EngineClock>,
+    pub(crate) stop: AtomicBool,
+    /// Per-operator "every replica retired" latches (consumers drain and
+    /// exit once all their producers latch).
+    pub(crate) op_done: Vec<AtomicBool>,
+    /// Per-operator live instance counts (replicas + fused instances).
+    pub(crate) op_live: Vec<AtomicUsize>,
+    pub(crate) processed: Vec<AtomicU64>,
+    pub(crate) emitted: Vec<AtomicU64>,
+    pub(crate) queue_full: Vec<AtomicU64>,
+    pub(crate) queue_pushes: Vec<AtomicU64>,
+    /// Tasks still running — the driver's early-exit signal and the pool
+    /// workers' shutdown condition.
+    pub(crate) live_replicas: AtomicUsize,
+    pub(crate) sink_progress: Arc<SinkProgress>,
 }
 
-fn run_replica(mut args: ReplicaArgs) -> Option<SinkLocal> {
-    let mut sink_local = match args.kind {
+/// Everything one spawned replica needs to run, produced by the engine's
+/// wiring phase and consumed either by a dedicated thread
+/// ([`Scheduler::ThreadPerReplica`]) or as a pool task
+/// ([`Scheduler::CorePool`]).
+pub(crate) struct TaskSeed {
+    /// Global replica index — doubles as the pool's task id.
+    pub(crate) global: usize,
+    pub(crate) op_index: usize,
+    pub(crate) kind: OperatorKind,
+    pub(crate) ctx: BoltContext,
+    pub(crate) collector: Collector,
+    pub(crate) ports: Vec<InputPort>,
+    pub(crate) producer_ops: Vec<usize>,
+    /// Thread name under thread-per-replica execution.
+    pub(crate) name: String,
+}
+
+fn run_replica(mut seed: TaskSeed, shared: &EngineShared) -> Option<SinkLocal> {
+    let sink_local = match seed.kind {
         OperatorKind::Spout => {
-            run_spout(&mut args);
+            run_spout(&mut seed, shared);
             None
         }
-        OperatorKind::Bolt | OperatorKind::Sink => run_bolt(&mut args),
+        OperatorKind::Bolt | OperatorKind::Sink => run_bolt(&mut seed, shared),
     };
     // Let fused chain operators emit their final results, then flush every
     // buffer in the chain (depth-first, so tail emissions are shipped too).
-    args.collector.finish_fused();
-    args.collector.flush_all();
-    // Merge the collector's thread-local output-side counters (kept local
-    // for the whole run so the hot path never touches shared cache lines).
-    args.emitted[args.op_index].fetch_add(args.collector.emitted, Ordering::Relaxed);
-    args.queue_full[args.op_index].fetch_add(args.collector.stalled_flushes, Ordering::Relaxed);
-    args.queue_pushes[args.op_index].fetch_add(args.collector.flushes, Ordering::Relaxed);
+    seed.collector.finish_fused();
+    seed.collector.flush_all();
+    merge_and_retire(&mut seed.collector, seed.op_index, sink_local, shared)
+}
+
+/// Merge a finished task's collector-local counters (and its fused
+/// subtree's) into the shared report state, then retire the task: release
+/// `op_done` latches and decrement the live-task count. The collector must
+/// be fully flushed. Shared by both schedulers.
+pub(crate) fn merge_and_retire(
+    collector: &mut Collector,
+    op_index: usize,
+    mut sink_local: Option<SinkLocal>,
+    shared: &EngineShared,
+) -> Option<SinkLocal> {
+    // Collector counters stay task-local for the whole run so the hot path
+    // never touches shared cache lines.
+    shared.emitted[op_index].fetch_add(collector.emitted, Ordering::Relaxed);
+    shared.queue_full[op_index].fetch_add(collector.stalled_flushes, Ordering::Relaxed);
+    shared.queue_pushes[op_index].fetch_add(collector.flushes, Ordering::Relaxed);
     // Merge every fused operator instance's counters and sink metrics,
     // then retire it from `op_live` — a fused operator has one instance
     // per host replica, and the last host out releases its `op_done`
     // latch, exactly like real replicas do below.
-    for mut target in args.collector.take_fused() {
-        args.processed[target.op_index].fetch_add(target.processed, Ordering::Relaxed);
-        args.emitted[target.op_index].fetch_add(target.collector.emitted, Ordering::Relaxed);
-        args.queue_full[target.op_index]
+    for mut target in collector.take_fused() {
+        shared.processed[target.op_index].fetch_add(target.processed, Ordering::Relaxed);
+        shared.emitted[target.op_index].fetch_add(target.collector.emitted, Ordering::Relaxed);
+        shared.queue_full[target.op_index]
             .fetch_add(target.collector.stalled_flushes, Ordering::Relaxed);
-        args.queue_pushes[target.op_index].fetch_add(target.collector.flushes, Ordering::Relaxed);
+        shared.queue_pushes[target.op_index].fetch_add(target.collector.flushes, Ordering::Relaxed);
         if let Some(state) = target.sink.take() {
             let local = sink_local.get_or_insert_with(SinkLocal::default);
             local.events += state.local.events;
             local.latency.merge(&state.local.latency);
         }
-        if args.op_live[target.op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
-            args.op_done[target.op_index].store(true, Ordering::Release);
+        if shared.op_live[target.op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.op_done[target.op_index].store(true, Ordering::Release);
         }
     }
     // Last replica out marks the operator done, releasing consumers.
-    if args.op_live[args.op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
-        args.op_done[args.op_index].store(true, Ordering::Release);
+    if shared.op_live[op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.op_done[op_index].store(true, Ordering::Release);
     }
-    args.live_replicas.fetch_sub(1, Ordering::Relaxed);
+    shared.live_replicas.fetch_sub(1, Ordering::Relaxed);
     sink_local
 }
 
-fn run_spout(args: &mut ReplicaArgs) {
-    let op = brisk_dag::OperatorId(args.op_index);
-    let mut spout = match args.app.runtime(op) {
-        OperatorRuntime::Spout(f) => f(args.ctx),
+fn run_spout(seed: &mut TaskSeed, shared: &EngineShared) {
+    let op = brisk_dag::OperatorId(seed.op_index);
+    let mut spout = match shared.app.runtime(op) {
+        OperatorRuntime::Spout(f) => f(seed.ctx),
         _ => unreachable!("kind checked by validate()"),
     };
     let mut since_flush = 0u32;
-    let mut backoff = Backoff::with_profile(args.backoff_profile);
+    let mut backoff = Backoff::with_profile(shared.backoff_profile);
     loop {
-        if args.stop.load(Ordering::Relaxed) || args.collector.output_closed {
+        if shared.stop.load(Ordering::Relaxed) || seed.collector.output_closed {
             break;
         }
-        match spout.next(&mut args.collector) {
+        match spout.next(&mut seed.collector) {
             SpoutStatus::Emitted(_) => {
                 backoff.reset();
                 since_flush += 1;
-                if since_flush >= args.config.flush_every {
-                    args.collector.flush_all();
+                if since_flush >= shared.config.flush_every {
+                    seed.collector.flush_all();
                     since_flush = 0;
                 }
             }
             SpoutStatus::Idle => {
-                args.collector.flush_all();
+                seed.collector.flush_all();
                 since_flush = 0;
                 backoff.snooze();
             }
@@ -688,23 +976,23 @@ fn run_spout(args: &mut ReplicaArgs) {
 
 /// Jumbos drained from one port per consumer poll: enough to amortize the
 /// ring's index publish, small enough to keep round-robin port fairness.
-const POP_BATCH: usize = 4;
+pub(crate) const POP_BATCH: usize = 4;
 
 /// Round-robin scan state over a replica's input ports, shared by the poll
 /// loop and the shutdown drain check.
-struct PortCursor {
+pub(crate) struct PortCursor {
     n_ports: usize,
     next: usize,
 }
 
 impl PortCursor {
-    fn new(n_ports: usize) -> PortCursor {
+    pub(crate) fn new(n_ports: usize) -> PortCursor {
         PortCursor { n_ports, next: 0 }
     }
 
     /// Pop up to `max` jumbos from the first non-empty port at or after the
     /// cursor. Returns the port index served, advancing the cursor past it.
-    fn poll(
+    pub(crate) fn poll(
         &mut self,
         ports: &[InputPort],
         out: &mut Vec<JumboTuple>,
@@ -722,74 +1010,116 @@ impl PortCursor {
 
     /// Whether every port is empty (lock-free reads; exact once the
     /// producers have finished).
-    fn drained(&self, ports: &[InputPort]) -> bool {
+    pub(crate) fn drained(&self, ports: &[InputPort]) -> bool {
         ports.iter().all(|p| p.queue.is_empty())
     }
 }
 
-fn run_bolt(args: &mut ReplicaArgs) -> Option<SinkLocal> {
-    let op = brisk_dag::OperatorId(args.op_index);
-    let mut bolt = match args.app.runtime(op) {
-        OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(args.ctx),
+/// A bolt's consume-side working state — the locals of the classic replica
+/// thread loop, boxed up so a pool task can persist them across slices.
+pub(crate) struct BoltState {
+    pub(crate) bolt: Box<dyn DynBolt>,
+    pub(crate) cursor: PortCursor,
+    pub(crate) batch: Vec<JumboTuple>,
+    pub(crate) sink_local: Option<SinkLocal>,
+    pub(crate) since_flush: u32,
+}
+
+impl BoltState {
+    pub(crate) fn new(bolt: Box<dyn DynBolt>, kind: OperatorKind, n_ports: usize) -> BoltState {
+        BoltState {
+            bolt,
+            cursor: PortCursor::new(n_ports),
+            batch: Vec::with_capacity(POP_BATCH),
+            sink_local: (kind == OperatorKind::Sink).then(SinkLocal::default),
+            since_flush: 0,
+        }
+    }
+}
+
+/// Consume the jumbos just popped from `ports[port_idx]` (sitting in
+/// `state.batch`): charge fetch costs, record sink metrics, execute the
+/// bolt, and flush on the configured cadence. The shared inner loop of
+/// both schedulers' bolt paths.
+pub(crate) fn consume_batch(
+    state: &mut BoltState,
+    port_idx: usize,
+    ports: &[InputPort],
+    collector: &mut Collector,
+    op_index: usize,
+    shared: &EngineShared,
+) {
+    let producer_bytes = ports[port_idx].producer_bytes;
+    for jumbo in state.batch.drain(..) {
+        // Injected virtual-NUMA fetch penalty (Formula 2). The producing
+        // replica is read off the jumbo header, since fan-in (MPSC) ports
+        // interleave several producers.
+        if let Some(p) = &shared.config.numa_penalty {
+            let ns = p.fetch_ns(
+                jumbo.producer,
+                collector.replica(),
+                producer_bytes,
+                jumbo.len(),
+            );
+            spin_ns(ns);
+        }
+        if shared.config.extra_cost_ns_per_tuple > 0 {
+            spin_ns(shared.config.extra_cost_ns_per_tuple * jumbo.len() as u64);
+        }
+        if let Some(local) = state.sink_local.as_mut() {
+            let now = shared.clock.now_ns();
+            for t in &jumbo.tuples {
+                local.latency.record(now.saturating_sub(t.event_ns) as f64);
+            }
+            local.events += jumbo.len() as u64;
+            // Relaxed aggregate so `run_until_events` can poll.
+            shared
+                .sink_progress
+                .events
+                .fetch_add(jumbo.len() as u64, Ordering::Relaxed);
+        }
+        for t in &jumbo.tuples {
+            state.bolt.execute(t, collector);
+        }
+        shared.processed[op_index].fetch_add(jumbo.len() as u64, Ordering::Relaxed);
+        state.since_flush += 1;
+        if state.since_flush >= shared.config.flush_every {
+            collector.flush_all();
+            state.since_flush = 0;
+        }
+    }
+}
+
+fn run_bolt(seed: &mut TaskSeed, shared: &EngineShared) -> Option<SinkLocal> {
+    let op = brisk_dag::OperatorId(seed.op_index);
+    let bolt = match shared.app.runtime(op) {
+        OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(seed.ctx),
         OperatorRuntime::Spout(_) => unreachable!("kind checked by validate()"),
     };
-    let mut sink_local = (args.kind == OperatorKind::Sink).then(SinkLocal::default);
-    let mut cursor = PortCursor::new(args.ports.len());
-    let mut backoff = Backoff::with_profile(args.backoff_profile);
-    let mut batch: Vec<JumboTuple> = Vec::with_capacity(POP_BATCH);
-    let mut since_flush = 0u32;
+    let mut state = BoltState::new(bolt, seed.kind, seed.ports.len());
+    let mut backoff = Backoff::with_profile(shared.backoff_profile);
     loop {
-        match cursor.poll(&args.ports, &mut batch, POP_BATCH) {
+        match state.cursor.poll(&seed.ports, &mut state.batch, POP_BATCH) {
             Some(port_idx) => {
                 backoff.reset();
-                let producer_bytes = args.ports[port_idx].producer_bytes;
-                for jumbo in batch.drain(..) {
-                    // Injected virtual-NUMA fetch penalty (Formula 2). The
-                    // producing replica is read off the jumbo header, since
-                    // fan-in (MPSC) ports interleave several producers.
-                    if let Some(p) = &args.config.numa_penalty {
-                        let ns = p.fetch_ns(
-                            jumbo.producer,
-                            args.collector.replica(),
-                            producer_bytes,
-                            jumbo.len(),
-                        );
-                        spin_ns(ns);
-                    }
-                    if args.config.extra_cost_ns_per_tuple > 0 {
-                        spin_ns(args.config.extra_cost_ns_per_tuple * jumbo.len() as u64);
-                    }
-                    if let Some(local) = sink_local.as_mut() {
-                        let now = args.clock.now_ns();
-                        for t in &jumbo.tuples {
-                            local.latency.record(now.saturating_sub(t.event_ns) as f64);
-                        }
-                        local.events += jumbo.len() as u64;
-                        // Relaxed aggregate so `run_until_events` can poll.
-                        args.sink_progress
-                            .events
-                            .fetch_add(jumbo.len() as u64, Ordering::Relaxed);
-                    }
-                    for t in &jumbo.tuples {
-                        bolt.execute(t, &mut args.collector);
-                    }
-                    args.processed[args.op_index].fetch_add(jumbo.len() as u64, Ordering::Relaxed);
-                    since_flush += 1;
-                    if since_flush >= args.config.flush_every {
-                        args.collector.flush_all();
-                        since_flush = 0;
-                    }
-                }
+                consume_batch(
+                    &mut state,
+                    port_idx,
+                    &seed.ports,
+                    &mut seed.collector,
+                    seed.op_index,
+                    shared,
+                );
             }
             None => {
-                args.collector.flush_all();
-                since_flush = 0;
-                let producers_done = args
+                seed.collector.flush_all();
+                state.since_flush = 0;
+                let producers_done = seed
                     .producer_ops
                     .iter()
-                    .all(|&p| args.op_done[p].load(Ordering::Acquire));
+                    .all(|&p| shared.op_done[p].load(Ordering::Acquire));
                 if producers_done {
-                    if cursor.drained(&args.ports) {
+                    if state.cursor.drained(&seed.ports) {
                         break;
                     }
                 } else {
@@ -798,8 +1128,8 @@ fn run_bolt(args: &mut ReplicaArgs) -> Option<SinkLocal> {
             }
         }
     }
-    bolt.finish(&mut args.collector);
-    sink_local
+    state.bolt.finish(&mut seed.collector);
+    state.sink_local
 }
 
 /// Busy-wait for approximately `ns` nanoseconds.
@@ -870,6 +1200,21 @@ mod tests {
             .sink(k, |_| NullSink)
     }
 
+    /// Per-operator input-side counts via the supported accessor.
+    fn processed(r: &RunReport) -> Vec<u64> {
+        r.per_operator().iter().map(|o| o.processed).collect()
+    }
+
+    /// Per-operator output-side counts via the supported accessor.
+    fn emitted(r: &RunReport) -> Vec<u64> {
+        r.per_operator().iter().map(|o| o.emitted).collect()
+    }
+
+    /// Total queue crossings across all operators.
+    fn total_pushes(r: &RunReport) -> u64 {
+        r.per_operator().iter().map(|o| o.queue_pushes).sum()
+    }
+
     #[test]
     fn pipeline_delivers_every_tuple_exactly_doubled() {
         let engine =
@@ -878,16 +1223,65 @@ mod tests {
         assert_eq!(report.sink_events, 2000, "1000 inputs doubled");
         // Input side: spouts consume nothing, the bolt sees every sentence,
         // the sink consumes the doubled stream.
-        assert_eq!(report.processed[0], 0);
-        assert_eq!(report.processed[1], 1000);
-        assert_eq!(report.processed[2], 2000);
+        assert_eq!(processed(&report), vec![0, 1000, 2000]);
         // Output side: spout emission and sink consumption are reported
         // separately and the doubling shows up between them.
-        assert_eq!(report.emitted[0], 1000);
-        assert_eq!(report.emitted[1], 2000);
-        assert_eq!(report.emitted[2], 0);
+        assert_eq!(emitted(&report), vec![1000, 2000, 0]);
         assert!(report.output_rate(0) > 0.0);
         assert!(report.input_rate(2) >= report.output_rate(0));
+    }
+
+    #[test]
+    fn core_pool_delivers_exactly_like_thread_per_replica() {
+        // The scheduler may change where and when tasks run — never how
+        // many tuples flow. A 2-worker pool over 5 tasks must produce the
+        // exact counter vectors of the threaded run above.
+        let config = EngineConfig::builder()
+            .scheduler(Scheduler::CorePool { workers: 2 })
+            .build();
+        let engine = Engine::new(app(1000), vec![1, 2, 2], config).expect("valid engine");
+        let report = engine.run_until_events(2000, Duration::from_secs(60));
+        assert_eq!(report.sink_events, 2000);
+        assert_eq!(processed(&report), vec![0, 1000, 2000]);
+        assert_eq!(emitted(&report), vec![1000, 2000, 0]);
+        assert_eq!(report.latency_ns.count(), 2000, "sinks record latency");
+    }
+
+    #[test]
+    fn single_worker_pool_survives_back_pressure_without_deadlock() {
+        // One worker drives the whole pipeline through tiny queues: every
+        // producer task hits back-pressure with nobody else to drain it.
+        // Non-blocking flushes + task yield must keep the pool live (a
+        // blocking push here would deadlock the lone worker forever).
+        let config = EngineConfig::builder()
+            .queue_capacity(2)
+            .jumbo_size(8)
+            .scheduler(Scheduler::CorePool { workers: 1 })
+            .build();
+        let engine = Engine::new(app(2000), vec![1, 2, 2], config).expect("valid engine");
+        let report = engine.run_until_events(4000, Duration::from_secs(60));
+        assert_eq!(report.sink_events, 4000);
+        assert_eq!(processed(&report), vec![0, 2000, 4000]);
+        let stalls: u64 = report
+            .per_operator()
+            .iter()
+            .map(|o| o.queue_full_events)
+            .sum();
+        assert!(stalls > 0, "tiny queues must exercise the yield path");
+    }
+
+    #[test]
+    fn auto_sized_pool_runs_oversubscribed_plans() {
+        // workers = 0 sizes the pool to the host; 9 replicas on (possibly)
+        // one core still drain to exhaustion.
+        let config = EngineConfig::builder()
+            .scheduler(Scheduler::CorePool { workers: 0 })
+            .build();
+        // Each of the 3 spout replicas feeds 600 sentences: 1800 in, 3600 out.
+        let engine = Engine::new(app(600), vec![3, 3, 3], config).expect("valid engine");
+        let report = engine.run_until_events(3600, Duration::from_secs(60));
+        assert_eq!(report.sink_events, 3600);
+        assert_eq!(processed(&report), vec![0, 1800, 3600]);
     }
 
     #[test]
@@ -905,10 +1299,7 @@ mod tests {
 
     #[test]
     fn small_jumbo_still_correct() {
-        let config = EngineConfig {
-            jumbo_size: 1,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::builder().jumbo_size(1).build();
         let engine = Engine::new(app(300), vec![1, 1, 1], config).expect("valid engine");
         let report = engine.run_until_events(600, Duration::from_secs(20));
         assert_eq!(report.sink_events, 600);
@@ -933,10 +1324,7 @@ mod tests {
                 replica_socket: sockets.iter().map(|&s| SocketId(s)).collect(),
                 scale: 1.0,
             };
-            let config = EngineConfig {
-                numa_penalty: Some(penalty),
-                ..EngineConfig::default()
-            };
+            let config = EngineConfig::builder().numa_penalty(penalty).build();
             Engine::new(app(3000), vec![1, 1, 1], config).expect("valid engine")
         };
         let local = mk_engine([0, 0, 0]).run_until_events(6000, Duration::from_secs(30));
@@ -998,10 +1386,7 @@ mod tests {
         // zero queue crossings. Running under debug assertions, this also
         // exercises the SPSC tripwires over the rewired graph.
         let run = |fusion: bool| {
-            let config = EngineConfig {
-                fusion,
-                ..EngineConfig::default()
-            };
+            let config = EngineConfig::builder().fusion(fusion).build();
             let engine = Engine::new(app(1000), vec![1, 1, 1], config).expect("valid engine");
             engine.run_until_events(2000, Duration::from_secs(20))
         };
@@ -1009,16 +1394,16 @@ mod tests {
         let unfused = run(false);
         for report in [&fused, &unfused] {
             assert_eq!(report.sink_events, 2000);
-            assert_eq!(report.processed, vec![0, 1000, 2000]);
-            assert_eq!(report.emitted, vec![1000, 2000, 0]);
+            assert_eq!(processed(report), vec![0, 1000, 2000]);
+            assert_eq!(emitted(report), vec![1000, 2000, 0]);
         }
         assert_eq!(
-            fused.queue_pushes.iter().sum::<u64>(),
+            total_pushes(&fused),
             0,
             "a fully fused chain crosses no queue"
         );
         assert!(
-            unfused.queue_pushes.iter().sum::<u64>() > 0,
+            total_pushes(&unfused) > 0,
             "the unfused run must pay real crossings"
         );
         assert_eq!(fused.latency_ns.count(), 2000, "fused sink records latency");
@@ -1033,10 +1418,13 @@ mod tests {
             Engine::new(app(500), vec![1, 1, 2], EngineConfig::default()).expect("valid engine");
         let report = engine.run_until_events(1000, Duration::from_secs(20));
         assert_eq!(report.sink_events, 1000);
-        assert_eq!(report.processed, vec![0, 500, 1000]);
-        assert_eq!(report.emitted, vec![500, 1000, 0]);
-        assert_eq!(report.queue_pushes[0], 0, "spout->x edge is fused");
-        assert!(report.queue_pushes[1] > 0, "x->k edges stay queued");
+        assert_eq!(processed(&report), vec![0, 500, 1000]);
+        assert_eq!(emitted(&report), vec![500, 1000, 0]);
+        assert_eq!(report.operator(0).queue_pushes, 0, "spout->x edge is fused");
+        assert!(
+            report.operator(1).queue_pushes > 0,
+            "x->k edges stay queued"
+        );
     }
 
     fn global_funnel_app(limit: u64) -> AppRuntime {
@@ -1062,16 +1450,13 @@ mod tests {
         // if an SpscQueue ever saw two producers. Every tuple arrives
         // exactly once.
         for kind in [QueueKind::Spsc, QueueKind::Mutex, QueueKind::Mpsc] {
-            let config = EngineConfig {
-                queue_kind: kind,
-                ..EngineConfig::default()
-            };
+            let config = EngineConfig::builder().queue_kind(kind).build();
             let engine =
                 Engine::new(global_funnel_app(400), vec![3, 1], config).expect("valid engine");
             let report = engine.run_until_events(1200, Duration::from_secs(20));
             assert_eq!(report.sink_events, 1200, "{kind}");
-            assert_eq!(report.emitted[0], 1200, "{kind}");
-            assert_eq!(report.processed[1], 1200, "{kind}");
+            assert_eq!(report.operator(0).emitted, 1200, "{kind}");
+            assert_eq!(report.operator(1).processed, 1200, "{kind}");
         }
     }
 
@@ -1112,13 +1497,21 @@ mod tests {
             .sink(k, |_| NullSink);
         let engine = Engine::new(app, vec![1, 3], EngineConfig::default()).expect("valid engine");
         let report = engine.run_until_events(1800, Duration::from_secs(20));
-        assert_eq!(report.emitted[0], 600, "one count per tuple, not per copy");
-        assert_eq!(report.processed[1], 1800, "each replica counts its copy");
+        assert_eq!(
+            report.operator(0).emitted,
+            600,
+            "one count per tuple, not per copy"
+        );
+        assert_eq!(
+            report.operator(1).processed,
+            1800,
+            "each replica counts its copy"
+        );
         assert_eq!(report.sink_events, 1800);
         // Crossings ship per (jumbo, target queue): three consumer queues
         // mean at least three pushes, and never fewer than the stalls.
-        assert!(report.queue_pushes[0] >= 3);
-        assert!(report.queue_full_events[0] <= report.queue_pushes[0]);
+        assert!(report.operator(0).queue_pushes >= 3);
+        assert!(report.operator(0).queue_full_events <= report.operator(0).queue_pushes);
     }
 
     fn forward_app(limit: u64) -> AppRuntime {
@@ -1151,10 +1544,7 @@ mod tests {
         // while the fused run's spout pushes nothing (its only edge is
         // fused); the hosted x instances still push to the sink queue.
         let run = |fusion: bool| {
-            let config = EngineConfig {
-                fusion,
-                ..EngineConfig::default()
-            };
+            let config = EngineConfig::builder().fusion(fusion).build();
             let engine =
                 Engine::new(forward_app(400), vec![3, 3, 1], config).expect("valid engine");
             engine.run_until_events(2400, Duration::from_secs(20))
@@ -1163,12 +1553,22 @@ mod tests {
         let unfused = run(false);
         for report in [&fused, &unfused] {
             assert_eq!(report.sink_events, 2400);
-            assert_eq!(report.processed, vec![0, 1200, 2400]);
-            assert_eq!(report.emitted, vec![1200, 2400, 0]);
+            assert_eq!(processed(report), vec![0, 1200, 2400]);
+            assert_eq!(emitted(report), vec![1200, 2400, 0]);
         }
-        assert_eq!(fused.queue_pushes[0], 0, "fused Forward edge is silent");
-        assert!(fused.queue_pushes[1] > 0, "hosted x still pushes to k");
-        assert!(unfused.queue_pushes[0] > 0, "unfused pairs pay crossings");
+        assert_eq!(
+            fused.operator(0).queue_pushes,
+            0,
+            "fused Forward edge is silent"
+        );
+        assert!(
+            fused.operator(1).queue_pushes > 0,
+            "hosted x still pushes to k"
+        );
+        assert!(
+            unfused.operator(0).queue_pushes > 0,
+            "unfused pairs pay crossings"
+        );
     }
 
     #[test]
@@ -1181,8 +1581,11 @@ mod tests {
             Engine::new(forward_app(250), vec![4, 2, 1], EngineConfig::default()).expect("valid");
         let report = engine.run_until_events(2000, Duration::from_secs(20));
         assert_eq!(report.sink_events, 2000);
-        assert_eq!(report.processed[1], 1000);
-        assert!(report.queue_pushes[0] > 0, "4:2 Forward stays queued");
+        assert_eq!(report.operator(1).processed, 1000);
+        assert!(
+            report.operator(0).queue_pushes > 0,
+            "4:2 Forward stays queued"
+        );
     }
 
     /// Sink that asserts every tuple it sees hashes to its own replica
@@ -1244,9 +1647,9 @@ mod tests {
         let engine = Engine::new(app, vec![1, 2, 2], EngineConfig::default()).expect("valid");
         let report = engine.run_until_events(1000, Duration::from_secs(20));
         assert_eq!(report.sink_events, 1000);
-        assert_eq!(report.processed, vec![0, 1000, 1000]);
-        assert_eq!(report.queue_pushes[1], 0, "a->k fused pairwise");
-        assert!(report.queue_pushes[0] > 0, "1:2 head stays queued");
+        assert_eq!(processed(&report), vec![0, 1000, 1000]);
+        assert_eq!(report.operator(1).queue_pushes, 0, "a->k fused pairwise");
+        assert!(report.operator(0).queue_pushes > 0, "1:2 head stays queued");
         assert_eq!(report.latency_ns.count(), 1000, "fused sinks record");
     }
 

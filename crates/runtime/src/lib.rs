@@ -37,11 +37,19 @@
 //!   jumbo batching, queue crossing, poll loop, or fetch-cost injection
 //!   on fused edges ([`EngineConfig::fusion`], default on).
 //!
+//! * **Execution schedulers** ([`scheduler`]): replicas run either one per
+//!   OS thread ([`Scheduler::ThreadPerReplica`], the paper's executor
+//!   model) or as *tasks* multiplexed onto a fixed pool of workers through
+//!   work-stealing run queues with wake-on-push
+//!   ([`Scheduler::CorePool`]) — decoupling replica counts from thread
+//!   counts, so heavily replicated plans no longer oversubscribe the host.
+//!
 //! The engine executes a [`brisk_dag::LogicalTopology`] under a
 //! [`brisk_dag::ExecutionPlan`]; socket placement is honoured as bookkeeping
 //! (and, optionally, as an injected NUMA fetch delay via
 //! [`EngineConfig::numa_penalty`]) so that plan shapes remain meaningful on
 //! development hosts that lack real multi-socket hardware.
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod fusion;
@@ -49,15 +57,20 @@ pub mod mpsc;
 pub mod operator;
 pub mod partition;
 pub mod queue;
+pub mod scheduler;
 pub mod spsc;
 pub mod tuple;
 
-pub use engine::{plan_replica_sockets, Engine, EngineConfig, NumaPenalty, RunReport};
+pub use engine::{
+    plan_replica_sockets, Engine, EngineConfig, EngineConfigBuilder, NumaPenalty, OpStats,
+    RunLimit, RunReport,
+};
 pub use mpsc::MpscQueue;
 pub use operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
 };
 pub use partition::Partitioner;
 pub use queue::{BoundedQueue, QueueKind, ReplicaQueue};
+pub use scheduler::Scheduler;
 pub use spsc::{Backoff, BackoffProfile, PushError, SpscQueue};
 pub use tuple::{JumboTuple, Tuple};

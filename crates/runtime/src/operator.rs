@@ -10,6 +10,8 @@
 use crate::fusion::FusedTarget;
 use crate::partition::Partitioner;
 use crate::queue::{QueueKind, ReplicaQueue};
+use crate::scheduler::WakeHub;
+use crate::spsc::PushError;
 use crate::tuple::{JumboTuple, Tuple};
 use brisk_dag::{LogicalTopology, OperatorId, OperatorKind};
 use std::sync::Arc;
@@ -167,8 +169,25 @@ pub(crate) struct OutputEdge {
     /// replica). Each queue has this task as its only producer, which is
     /// what makes the SPSC fabric exact.
     pub queues: Vec<Arc<ReplicaQueue<JumboTuple>>>,
+    /// Global replica index of the consumer behind each queue — the
+    /// core-pool scheduler's wake-on-push target (unused, but cheap to
+    /// carry, under thread-per-replica execution).
+    pub consumers: Vec<usize>,
     /// Per-consumer accumulation buffers.
     pub buffers: Vec<Vec<Tuple>>,
+}
+
+/// How [`Collector::flush_one`] treats a full destination queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlushMode {
+    /// Thread-per-replica execution: the producer thread blocks on the
+    /// queue's wait ladder — blocking *is* the back-pressure signal.
+    Blocking,
+    /// Core-pool execution: the push is non-blocking; a full queue hands
+    /// the jumbo back, the tuples return to their buffer, and the task
+    /// reports [`Collector::is_backpressured`] so its worker can yield to
+    /// other tasks instead of stalling the whole pool.
+    NonBlocking,
 }
 
 /// The task-side emit interface: routes, batches and ships tuples — and,
@@ -180,6 +199,19 @@ pub struct Collector {
     /// Fused-away consumers executed inline on emit (operator fusion).
     fused: Vec<FusedTarget>,
     clock: Arc<EngineClock>,
+    /// Full-queue policy: block the thread (thread-per-replica) or hand
+    /// the jumbo back so the task can yield (core pool).
+    mode: FlushMode,
+    /// Core-pool wake hub: a successful push marks the consumer's task
+    /// ready. `None` under thread-per-replica execution.
+    wake_hub: Option<Arc<WakeHub>>,
+    /// True while some destination buffer could not flush (non-blocking
+    /// mode only); cleared when [`Collector::flush_all`] gets everything
+    /// through.
+    backpressured: bool,
+    /// Tracks a contiguous back-pressure episode so `stalled_flushes`
+    /// counts each episode once, not once per retry sweep.
+    in_stall: bool,
     /// Tuples emitted by this task (all streams).
     pub emitted: u64,
     /// Jumbo tuples successfully pushed to destination queues — the queue
@@ -210,6 +242,10 @@ impl Collector {
             edges,
             fused: Vec::new(),
             clock,
+            mode: FlushMode::Blocking,
+            wake_hub: None,
+            backpressured: false,
+            in_stall: false,
             emitted: 0,
             flushes: 0,
             stalled_flushes: 0,
@@ -221,6 +257,22 @@ impl Collector {
     pub(crate) fn with_fused(mut self, fused: Vec<FusedTarget>) -> Collector {
         self.fused = fused;
         self
+    }
+
+    /// Switch to core-pool flushing: non-blocking pushes plus wake-on-push
+    /// through `hub`. Applied to every collector in a task's fused subtree
+    /// by the engine when the `CorePool` scheduler is selected.
+    pub(crate) fn with_wake_hub(mut self, hub: Arc<WakeHub>) -> Collector {
+        self.mode = FlushMode::NonBlocking;
+        self.wake_hub = Some(hub);
+        self
+    }
+
+    /// Whether some destination buffer is waiting on a full queue
+    /// (non-blocking mode), anywhere in this collector's fused subtree.
+    /// The owning task must yield instead of consuming more input.
+    pub(crate) fn is_backpressured(&self) -> bool {
+        self.backpressured || self.fused.iter().any(|t| t.collector.is_backpressured())
     }
 
     /// Nanoseconds since engine start (used by spouts to stamp event time).
@@ -246,7 +298,11 @@ impl Collector {
             let targets = self.edges[ei].partitioner.route(&tuple);
             for t in targets.iter() {
                 self.edges[ei].buffers[t].push(tuple.clone());
-                if self.edges[ei].buffers[t].len() >= self.jumbo_size {
+                // While non-blocking back-pressure is active, skip the
+                // per-emit flush attempt: the buffer absorbs the rest of
+                // the task's bounded slice and the task-level flush_all
+                // retries once the queue drains.
+                if self.edges[ei].buffers[t].len() >= self.jumbo_size && !self.backpressured {
                     self.flush_one(ei, t);
                 }
             }
@@ -286,25 +342,54 @@ impl Collector {
             logical_edge: e.logical_edge,
             tuples,
         };
-        match e.queues[consumer].push_tracked(jumbo) {
-            Ok(stalled) => {
-                self.flushes += 1;
-                if stalled {
-                    self.stalled_flushes += 1;
+        match self.mode {
+            FlushMode::Blocking => match e.queues[consumer].push_tracked(jumbo) {
+                Ok(stalled) => {
+                    self.flushes += 1;
+                    if stalled {
+                        self.stalled_flushes += 1;
+                    }
                 }
-            }
-            Err(_) => self.output_closed = true,
+                Err(_) => self.output_closed = true,
+            },
+            FlushMode::NonBlocking => match e.queues[consumer].try_push(jumbo) {
+                Ok(()) => {
+                    self.flushes += 1;
+                    if let Some(hub) = &self.wake_hub {
+                        hub.wake(e.consumers[consumer]);
+                    }
+                }
+                Err(PushError::Full(jumbo)) => {
+                    // Hand the tuples back to their buffer (nothing was
+                    // appended since the take above) and report the stall
+                    // once per back-pressure episode — the blocking path's
+                    // analogue counts once per jumbo that had to wait.
+                    e.buffers[consumer] = jumbo.tuples;
+                    if !self.in_stall {
+                        self.stalled_flushes += 1;
+                        self.in_stall = true;
+                    }
+                    self.backpressured = true;
+                }
+                Err(PushError::Closed(_)) => self.output_closed = true,
+            },
         }
     }
 
     /// Flush every partially filled buffer (periodic timeout flush and final
     /// drain), recursing through fused chains so their queue-bound output
-    /// buffers flush on the host's cadence too.
+    /// buffers flush on the host's cadence too. In non-blocking mode this
+    /// re-attempts stalled buffers and recomputes the back-pressure flag:
+    /// it clears only when every buffer ships.
     pub fn flush_all(&mut self) {
+        self.backpressured = false;
         for ei in 0..self.edges.len() {
             for t in 0..self.edges[ei].buffers.len() {
                 self.flush_one(ei, t);
             }
+        }
+        if !self.backpressured {
+            self.in_stall = false;
         }
         for target in &mut self.fused {
             target.collector.flush_all();
@@ -367,6 +452,7 @@ impl Collector {
                 stream: edge.stream.clone(),
                 partitioner: Partitioner::new(edge.partitioning, 1),
                 queues: vec![queue],
+                consumers: vec![0],
                 buffers: vec![Vec::new()],
             });
         }
@@ -455,6 +541,7 @@ mod tests {
             stream: DEFAULT_STREAM.to_string(),
             partitioner: Partitioner::new(Partitioning::Shuffle, 1),
             queues: vec![Arc::clone(&q)],
+            consumers: vec![0],
             buffers: vec![Vec::new()],
         };
         let mut c = Collector::new(0, 4, vec![edge], Arc::new(EngineClock::new()));

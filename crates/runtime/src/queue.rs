@@ -21,7 +21,7 @@
 //!   A/B benchmarking.
 
 use crate::mpsc::MpscQueue;
-use crate::spsc::{BackoffProfile, SpscQueue};
+use crate::spsc::{BackoffProfile, PushError, SpscQueue};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -64,6 +64,21 @@ impl<T> BoundedQueue<T> {
     /// Returns `Err(item)` if the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), T> {
         self.push_tracked(item).map(|_| ())
+    }
+
+    /// Non-blocking push: hands the item back instead of waiting — the
+    /// cooperative-scheduler flush path, where a task must yield rather
+    /// than block its worker thread.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        Ok(())
     }
 
     /// Blocking push that additionally reports whether it found the queue
@@ -316,6 +331,18 @@ impl<T> ReplicaQueue<T> {
             ReplicaQueue::Mutex(q) => q.push_tracked(item),
             ReplicaQueue::Spsc(q) => q.push_tracked(item),
             ReplicaQueue::Mpsc(q) => q.push_tracked(item),
+        }
+    }
+
+    /// Non-blocking push: `Err(PushError::Full)` hands the item back when
+    /// the queue is at capacity instead of waiting (the core-pool
+    /// scheduler's flush path — a task yields its worker on back-pressure
+    /// rather than blocking it).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        match self {
+            ReplicaQueue::Mutex(q) => q.try_push(item),
+            ReplicaQueue::Spsc(q) => q.try_push(item),
+            ReplicaQueue::Mpsc(q) => q.try_push(item),
         }
     }
 

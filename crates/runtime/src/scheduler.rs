@@ -1,0 +1,575 @@
+//! Execution schedulers: thread-per-replica and the work-stealing core pool.
+//!
+//! BriskStream's RLAS optimizer places *replicas* on cores, but mapping one
+//! OS thread per replica couples the two decisions: a fused chain
+//! serializes onto a single host thread even when neighbouring cores idle,
+//! and oversubscribed plans lean on the detect-and-park ladder. The
+//! [`Scheduler::CorePool`] mode decouples them, in the spirit of
+//! timely-dataflow's worker model: a fixed set of workers multiplexes
+//! per-replica operator *tasks* through work-stealing run queues.
+//!
+//! # Task lifecycle
+//!
+//! Every spawned replica (fused-away operators ride their chain host)
+//! becomes one task, identified by its global replica index. A task holds
+//! the replica's operator instance, collector (with its fused subtree) and
+//! input ports, and moves through an atomic state machine:
+//!
+//! ```text
+//!            pop by worker              slice ran dry
+//! READY ───────────────────▶ RUNNING ───────────────▶ IDLE
+//!   ▲                          │  │                     │
+//!   │      yield (requeue)     │  │    exhausted        │ wake-on-push /
+//!   └──────────────────────────┘  └──▶ DONE             │ producers done
+//!   └───────────────────────────────────────────────────┘
+//! ```
+//!
+//! A *slice* drains up to a bounded number of jumbos from the task's input
+//! ports (or invokes a spout a bounded number of times), runs the operator
+//! — including its whole fused subtree, inline, exactly as under
+//! thread-per-replica execution — and flushes. Bounding the slice keeps one
+//! hot replica from starving the rest of a worker's run queue.
+//!
+//! Queue pushes wake the consumer's task through the [`WakeHub`]: a
+//! compare-and-swap from `IDLE` to `READY` enqueues the task on the shared
+//! injector, so only genuinely sleeping tasks pay the wake cost. The
+//! classic lost-wakeup race (producer pushes while the consumer's slice is
+//! deciding to sleep) is closed on the sleep path: the worker publishes
+//! `IDLE` *first*, then re-checks the task's input queues and producer
+//! latches, and re-wakes the task itself if work slipped in.
+//!
+//! # Stealing policy
+//!
+//! Each worker owns a run queue and serves it round-robin (pop front, run
+//! a slice, requeue at the back). Freshly woken tasks on the shared
+//! injector take priority over the worker's own queue — a yielding task
+//! requeues itself every slice, so the reverse order would let one
+//! back-pressured producer starve its just-woken consumers on a small
+//! pool. A dry worker then steals from the *back* of sibling queues —
+//! the slot its owner would reach last. A worker with
+//! no task anywhere falls back to the same adaptive spin → yield → park
+//! ladder ([`Backoff`]) that idle executors use under thread-per-replica
+//! execution, so an idle pool costs what an idle executor pool costs.
+//!
+//! Back-pressure cannot block a worker: pool collectors run in
+//! non-blocking flush mode, so a full destination queue hands the jumbo
+//! back, the task reports itself back-pressured and *yields* its worker
+//! instead of parking it — the single-worker pool therefore cannot
+//! deadlock on a producer→consumer cycle through a bounded queue.
+
+use crate::engine::{
+    consume_batch, merge_and_retire, BoltState, EngineShared, TaskSeed, POP_BATCH,
+};
+use crate::fusion::SinkLocal;
+use crate::operator::{Collector, DynSpout, OperatorRuntime, SpoutStatus};
+use crate::queue::ReplicaQueue;
+use crate::spsc::Backoff;
+use crate::tuple::JumboTuple;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle, Thread};
+
+/// How the engine maps operator replicas onto OS threads
+/// ([`crate::EngineConfig::scheduler`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// One OS thread per spawned replica — the paper's executor model.
+    /// Replica counts and thread counts are coupled; oversubscribed plans
+    /// rely on the adaptive park ladder.
+    #[default]
+    ThreadPerReplica,
+    /// A fixed pool of workers drives per-replica tasks through
+    /// work-stealing run queues (see the [module docs](self)). Replica
+    /// counts no longer dictate thread counts, so a plan with hundreds of
+    /// replicas runs on as many workers as the host has cores.
+    CorePool {
+        /// Worker-thread count; `0` sizes the pool to the host's available
+        /// parallelism. Always clamped to the number of spawned tasks.
+        workers: usize,
+    },
+}
+
+impl fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheduler::ThreadPerReplica => write!(f, "thread_per_replica"),
+            Scheduler::CorePool { workers: 0 } => write!(f, "core_pool(auto)"),
+            Scheduler::CorePool { workers } => write!(f, "core_pool({workers})"),
+        }
+    }
+}
+
+impl Scheduler {
+    /// Resolved pool width for `tasks` spawned replicas: `None` under
+    /// thread-per-replica execution, otherwise at least one worker and at
+    /// most one per task.
+    pub(crate) fn pool_workers(&self, tasks: usize) -> Option<usize> {
+        match *self {
+            Scheduler::ThreadPerReplica => None,
+            Scheduler::CorePool { workers } => {
+                let w = if workers == 0 {
+                    thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    workers
+                };
+                Some(w.clamp(1, tasks.max(1)))
+            }
+        }
+    }
+}
+
+/// Task states (one `AtomicU8` per global replica index).
+const IDLE: u8 = 0;
+const READY: u8 = 1;
+const RUNNING: u8 = 2;
+const DONE: u8 = 3;
+
+/// Wake-on-push hub shared by the pool's workers and every pool-mode
+/// [`Collector`]: task states plus the injector queue freshly woken tasks
+/// land on. Fused-away replicas keep the `DONE` state they are born with,
+/// so waking them is a no-op.
+pub(crate) struct WakeHub {
+    states: Vec<AtomicU8>,
+    injector: Mutex<VecDeque<usize>>,
+    /// Workers currently inside the idle back-off ladder; wakes unpark
+    /// them so a freshly readied task is picked up within one rung.
+    idle_workers: AtomicUsize,
+    /// Every worker's thread handle, registered at worker startup.
+    sleepers: Mutex<Vec<Thread>>,
+}
+
+impl WakeHub {
+    pub(crate) fn new(total_replicas: usize) -> WakeHub {
+        WakeHub {
+            states: (0..total_replicas).map(|_| AtomicU8::new(DONE)).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle_workers: AtomicUsize::new(0),
+            sleepers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Mark `task` ready if it is sleeping. Exactly one waker wins the
+    /// `IDLE → READY` transition, so a task is never enqueued twice.
+    pub(crate) fn wake(&self, task: usize) {
+        if self.states[task]
+            .compare_exchange(IDLE, READY, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.injector.lock().push_back(task);
+            self.unpark_idle();
+        }
+    }
+
+    /// Wake every sleeping task — used when an operator retires, which may
+    /// release consumers parked on its `op_done` latch.
+    fn wake_all(&self) {
+        for t in 0..self.states.len() {
+            self.wake(t);
+        }
+    }
+
+    fn unpark_idle(&self) {
+        if self.idle_workers.load(Ordering::Acquire) > 0 {
+            for t in self.sleepers.lock().iter() {
+                t.unpark();
+            }
+        }
+    }
+}
+
+/// Sleep-path recheck data, kept outside the task slot so the lost-wakeup
+/// guard can inspect a task's inputs *after* returning it to its slot.
+struct TaskMeta {
+    queues: Vec<Arc<ReplicaQueue<JumboTuple>>>,
+    producer_ops: Vec<usize>,
+}
+
+/// One schedulable replica: the operator instance plus everything its
+/// thread owned under thread-per-replica execution.
+struct Task {
+    op_index: usize,
+    body: TaskBody,
+    collector: Collector,
+    ports: Vec<crate::engine::InputPort>,
+    producer_ops: Vec<usize>,
+    /// Operator `finish` hooks already ran; the task only drains
+    /// back-pressured output buffers before retiring.
+    finished: bool,
+}
+
+enum TaskBody {
+    Spout {
+        spout: Box<dyn DynSpout>,
+        since_flush: u32,
+    },
+    Bolt(BoltState),
+}
+
+/// Spout invocations per slice. Sized to keep the spout's working set hot
+/// for several flush batches before the worker switches tasks (a switch
+/// costs cache and branch locality, not just the queue hops); back-pressure
+/// still ends a slice immediately, so consumers on the same worker are
+/// never starved — a saturating spout runs out of queue space long before
+/// it runs out of slice.
+const SPOUT_SLICE: u32 = 1024;
+
+/// Port polls per bolt slice (each poll drains up to [`POP_BATCH`] jumbos).
+/// Like [`SPOUT_SLICE`], deliberately generous: an empty poll or
+/// back-pressure ends the slice early, so the budget only bounds how long a
+/// saturated bolt keeps its state hot before yielding the worker.
+const BOLT_SLICE_POLLS: usize = 64;
+
+enum SliceOutcome {
+    /// The task stays runnable: requeue it. `progressed` is false when the
+    /// slice did no useful work (back-pressured or an idle spout), which
+    /// feeds the worker's whole-pool-idle detector.
+    Yield { progressed: bool },
+    /// A bolt with live producers and empty inputs: park until a push (or
+    /// a producer retiring) wakes it.
+    Sleep,
+    /// The task retired; counters are merged, sink metrics returned.
+    Finished(Option<SinkLocal>),
+}
+
+enum Step {
+    Yield(bool),
+    Sleep,
+    Finish,
+}
+
+fn run_slice(task: &mut Task, shared: &EngineShared) -> SliceOutcome {
+    if task.finished {
+        return finish_task(task, shared);
+    }
+    // Ship stalled output before consuming any more input.
+    if task.collector.is_backpressured() {
+        task.collector.flush_all();
+        if task.collector.is_backpressured() {
+            return SliceOutcome::Yield { progressed: false };
+        }
+    }
+    let step = match &mut task.body {
+        TaskBody::Spout { spout, since_flush } => {
+            let mut step = Step::Yield(false);
+            for _ in 0..SPOUT_SLICE {
+                if shared.stop.load(Ordering::Relaxed) || task.collector.output_closed {
+                    step = Step::Finish;
+                    break;
+                }
+                match spout.next(&mut task.collector) {
+                    SpoutStatus::Emitted(_) => {
+                        step = Step::Yield(true);
+                        *since_flush += 1;
+                        if *since_flush >= shared.config.flush_every {
+                            task.collector.flush_all();
+                            *since_flush = 0;
+                        }
+                        if task.collector.is_backpressured() {
+                            break;
+                        }
+                    }
+                    SpoutStatus::Idle => {
+                        // Nothing to emit right now. Spouts have no input
+                        // queues, so no push will ever wake them: they stay
+                        // runnable and the worker's idle detector paces the
+                        // polling.
+                        task.collector.flush_all();
+                        *since_flush = 0;
+                        break;
+                    }
+                    SpoutStatus::Exhausted => {
+                        step = Step::Finish;
+                        break;
+                    }
+                }
+            }
+            step
+        }
+        TaskBody::Bolt(state) => {
+            let mut progressed = false;
+            let mut step = Step::Yield(false);
+            for _ in 0..BOLT_SLICE_POLLS {
+                match state.cursor.poll(&task.ports, &mut state.batch, POP_BATCH) {
+                    Some(port_idx) => {
+                        progressed = true;
+                        consume_batch(
+                            state,
+                            port_idx,
+                            &task.ports,
+                            &mut task.collector,
+                            task.op_index,
+                            shared,
+                        );
+                        if task.collector.is_backpressured() {
+                            break;
+                        }
+                    }
+                    None => {
+                        task.collector.flush_all();
+                        state.since_flush = 0;
+                        if task.collector.is_backpressured() {
+                            // Consumers never signal "space freed", so a
+                            // stalled task must poll-retry, not sleep.
+                            break;
+                        }
+                        let producers_done = task
+                            .producer_ops
+                            .iter()
+                            .all(|&p| shared.op_done[p].load(Ordering::Acquire));
+                        if producers_done {
+                            if state.cursor.drained(&task.ports) {
+                                step = Step::Finish;
+                            }
+                            // A straggler jumbo is still in flight: stay
+                            // runnable and drain it next slice.
+                        } else if !progressed {
+                            step = Step::Sleep;
+                        }
+                        break;
+                    }
+                }
+            }
+            if let Step::Yield(_) = step {
+                step = Step::Yield(progressed);
+            }
+            step
+        }
+    };
+    match step {
+        Step::Finish => finish_task(task, shared),
+        Step::Sleep => SliceOutcome::Sleep,
+        Step::Yield(progressed) => SliceOutcome::Yield { progressed },
+    }
+}
+
+/// Run the operator's `finish` hooks (once), then drain every output
+/// buffer; with back-pressure the task yields and keeps draining on later
+/// slices until all residue ships, and only then merges its counters.
+fn finish_task(task: &mut Task, shared: &EngineShared) -> SliceOutcome {
+    if !task.finished {
+        if let TaskBody::Bolt(state) = &mut task.body {
+            state.bolt.finish(&mut task.collector);
+        }
+        task.collector.finish_fused();
+        task.finished = true;
+    }
+    task.collector.flush_all();
+    if task.collector.is_backpressured() && !task.collector.output_closed {
+        return SliceOutcome::Yield { progressed: true };
+    }
+    let sink_local = match &mut task.body {
+        TaskBody::Bolt(state) => state.sink_local.take(),
+        TaskBody::Spout { .. } => None,
+    };
+    SliceOutcome::Finished(merge_and_retire(
+        &mut task.collector,
+        task.op_index,
+        sink_local,
+        shared,
+    ))
+}
+
+/// The pool's shared spine: per-worker run queues, task slots, and the
+/// run's merged sink metrics.
+struct PoolShared {
+    hub: Arc<WakeHub>,
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Task storage by global replica index; `None` while a worker runs
+    /// the task (and forever once it retires or for fused-away replicas).
+    slots: Vec<Mutex<Option<Task>>>,
+    /// Sleep-path recheck data (input queues + producer latches).
+    meta: Vec<Option<TaskMeta>>,
+    sink: Mutex<SinkLocal>,
+}
+
+/// A running worker pool; [`PoolRun::join`] blocks until every task
+/// retired and returns the merged sink metrics.
+pub(crate) struct PoolRun {
+    workers: Vec<JoinHandle<()>>,
+    pool: Arc<PoolShared>,
+}
+
+impl PoolRun {
+    pub(crate) fn join(self) -> SinkLocal {
+        for h in self.workers {
+            h.join().expect("pool worker panicked");
+        }
+        std::mem::take(&mut self.pool.sink.lock())
+    }
+}
+
+/// Instantiate every seed as a task, seed the run queues round-robin (in
+/// the given order — the engine passes reverse-topological, so consumers
+/// land early), and spawn `workers` pool workers.
+pub(crate) fn spawn_pool(
+    seeds: Vec<TaskSeed>,
+    hub: Arc<WakeHub>,
+    shared: Arc<EngineShared>,
+    workers: usize,
+) -> PoolRun {
+    let total = hub.states.len();
+    let slots: Vec<Mutex<Option<Task>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let mut meta: Vec<Option<TaskMeta>> = (0..total).map(|_| None).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, seed) in seeds.into_iter().enumerate() {
+        let t = seed.global;
+        meta[t] = Some(TaskMeta {
+            queues: seed.ports.iter().map(|p| Arc::clone(&p.queue)).collect(),
+            producer_ops: seed.producer_ops.clone(),
+        });
+        let op = brisk_dag::OperatorId(seed.op_index);
+        let body = match shared.app.runtime(op) {
+            OperatorRuntime::Spout(f) => TaskBody::Spout {
+                spout: f(seed.ctx),
+                since_flush: 0,
+            },
+            OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => {
+                TaskBody::Bolt(BoltState::new(f(seed.ctx), seed.kind, seed.ports.len()))
+            }
+        };
+        *slots[t].lock() = Some(Task {
+            op_index: seed.op_index,
+            body,
+            collector: seed.collector,
+            ports: seed.ports,
+            producer_ops: seed.producer_ops,
+            finished: false,
+        });
+        hub.states[t].store(READY, Ordering::Release);
+        deques[i % workers].lock().push_back(t);
+    }
+    let pool = Arc::new(PoolShared {
+        hub,
+        deques,
+        slots,
+        meta,
+        sink: Mutex::new(SinkLocal::default()),
+    });
+    let handles = (0..workers)
+        .map(|w| {
+            let pool = Arc::clone(&pool);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("brisk-worker#{w}"))
+                .spawn(move || worker_loop(w, &pool, &shared))
+                .expect("worker spawn")
+        })
+        .collect();
+    PoolRun {
+        workers: handles,
+        pool,
+    }
+}
+
+/// Next task for worker `w`: the injector first (freshly woken tasks —
+/// and a yielding task requeues onto its worker's own deque every slice,
+/// so own-deque-first would let one back-pressured producer starve woken
+/// consumers forever on a small pool), then the own queue front, then
+/// steal from the back of sibling queues.
+fn next_task(w: usize, pool: &PoolShared) -> Option<usize> {
+    if let Some(t) = pool.hub.injector.lock().pop_front() {
+        return Some(t);
+    }
+    if let Some(t) = pool.deques[w].lock().pop_front() {
+        return Some(t);
+    }
+    let n = pool.deques.len();
+    for off in 1..n {
+        if let Some(t) = pool.deques[(w + off) % n].lock().pop_back() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn worker_loop(w: usize, pool: &PoolShared, shared: &EngineShared) {
+    pool.hub.sleepers.lock().push(thread::current());
+    let mut backoff = Backoff::with_profile(shared.backoff_profile);
+    // Consecutive slices (across any tasks) that did no useful work; once
+    // the streak covers every live task the whole pool looks idle and the
+    // worker drops onto the back-off ladder.
+    let mut unproductive = 0usize;
+    loop {
+        match next_task(w, pool) {
+            Some(t) => {
+                if pool.hub.states[t]
+                    .compare_exchange(READY, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    continue; // stale id; the state machine owns the truth
+                }
+                let mut task = pool.slots[t].lock().take().expect("claimed task present");
+                match run_slice(&mut task, shared) {
+                    SliceOutcome::Yield { progressed } => {
+                        // Slot first, then state, then queue: a task id in
+                        // a run queue always has its task in its slot.
+                        *pool.slots[t].lock() = Some(task);
+                        pool.hub.states[t].store(READY, Ordering::Release);
+                        pool.deques[w].lock().push_back(t);
+                        if progressed {
+                            unproductive = 0;
+                            backoff.reset();
+                        } else {
+                            unproductive += 1;
+                            if unproductive >= shared.live_replicas.load(Ordering::Relaxed).max(1) {
+                                snooze_idle(pool, &mut backoff);
+                                unproductive = 0;
+                            }
+                        }
+                    }
+                    SliceOutcome::Sleep => {
+                        let meta = pool.meta[t].as_ref().expect("meta for live task");
+                        *pool.slots[t].lock() = Some(task);
+                        // Publish IDLE *before* rechecking: a producer that
+                        // pushed after our slice saw empty queues either
+                        // wins the wake CAS itself or its push is visible
+                        // to the recheck below — never neither.
+                        pool.hub.states[t].store(IDLE, Ordering::SeqCst);
+                        let work_appeared = meta.queues.iter().any(|q| !q.is_empty())
+                            || meta
+                                .producer_ops
+                                .iter()
+                                .all(|&p| shared.op_done[p].load(Ordering::Acquire));
+                        if work_appeared {
+                            pool.hub.wake(t);
+                        }
+                        unproductive += 1;
+                    }
+                    SliceOutcome::Finished(sink) => {
+                        if let Some(s) = sink {
+                            let mut agg = pool.sink.lock();
+                            agg.events += s.events;
+                            agg.latency.merge(&s.latency);
+                        }
+                        pool.hub.states[t].store(DONE, Ordering::Release);
+                        // Retiring may have released an `op_done` latch
+                        // consumers sleep on; let them re-evaluate.
+                        pool.hub.wake_all();
+                        unproductive = 0;
+                        backoff.reset();
+                    }
+                }
+            }
+            None => {
+                if shared.live_replicas.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                snooze_idle(pool, &mut backoff);
+            }
+        }
+    }
+}
+
+/// One rung of the idle ladder, with the worker registered as idle so
+/// wakes unpark it instead of waiting out the park interval.
+fn snooze_idle(pool: &PoolShared, backoff: &mut Backoff) {
+    pool.hub.idle_workers.fetch_add(1, Ordering::AcqRel);
+    backoff.snooze();
+    pool.hub.idle_workers.fetch_sub(1, Ordering::AcqRel);
+}

@@ -1,11 +1,12 @@
 //! Engine conformance suite: exactly-once tuple accounting for all four
-//! benchmark applications across the full fabric × fusion matrix
-//! {Spsc, Mutex, Mpsc} × {fusion on, fusion off}.
+//! benchmark applications across the full scheduler × fabric × fusion
+//! matrix {ThreadPerReplica, CorePool} × {Spsc, Mutex, Mpsc} × {fusion
+//! on, fusion off}.
 //!
 //! Every cell runs a deterministic sized workload to exhaustion and checks
 //! the conservation laws the engine must never violate, whatever the queue
 //! fabric or execution shape (queued replicas, MPSC funnels, fused chains,
-//! pairwise-fused replica pairs):
+//! pairwise-fused replica pairs, work-stealing pool workers):
 //!
 //! * the spouts emit exactly the configured input budget (the sized
 //!   generators split it across replicas without loss or duplication);
@@ -20,19 +21,24 @@
 //! * for the linear apps (WC/FD/SD — every operator emits a
 //!   content-deterministic number of tuples per input), the full
 //!   per-operator `processed`/`emitted` vectors are **identical across
-//!   all six matrix cells**: the fabric and the execution shape may change
-//!   where tuples flow, never how many. (LR's accident detector emits
-//!   based on cross-replica arrival interleaving, so LR asserts the
-//!   conservation laws per cell instead.)
+//!   all twelve matrix cells**: the scheduler, the fabric and the
+//!   execution shape may change where and when tuples flow, never how
+//!   many. (LR's accident detector emits based on cross-replica arrival
+//!   interleaving, so LR asserts the conservation laws per cell instead.)
 
 use brisk_apps::app_sized;
 use brisk_dag::{OperatorKind, Partitioning};
-use brisk_runtime::{Engine, EngineConfig, QueueKind, RunReport};
+use brisk_runtime::{Engine, EngineConfig, QueueKind, RunReport, Scheduler};
 use std::time::Duration;
 
 const KINDS: [QueueKind; 3] = [QueueKind::Spsc, QueueKind::Mutex, QueueKind::Mpsc];
+const SCHEDULERS: [Scheduler; 2] = [
+    Scheduler::ThreadPerReplica,
+    Scheduler::CorePool { workers: 2 },
+];
 
 struct Cell {
+    scheduler: Scheduler,
     kind: QueueKind,
     fusion: bool,
     report: RunReport,
@@ -40,22 +46,25 @@ struct Cell {
 
 fn run_matrix(abbrev: &str, replication: Vec<usize>, budget: u64) -> Vec<Cell> {
     let mut cells = Vec::new();
-    for kind in KINDS {
-        for fusion in [true, false] {
-            let app = app_sized(abbrev, budget).expect("known app");
-            let config = EngineConfig {
-                queue_kind: kind,
-                fusion,
-                ..EngineConfig::default()
-            };
-            let engine =
-                Engine::new(app, replication.clone(), config).expect("valid engine config");
-            let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
-            cells.push(Cell {
-                kind,
-                fusion,
-                report,
-            });
+    for scheduler in SCHEDULERS {
+        for kind in KINDS {
+            for fusion in [true, false] {
+                let app = app_sized(abbrev, budget).expect("known app");
+                let config = EngineConfig::builder()
+                    .scheduler(scheduler)
+                    .queue_kind(kind)
+                    .fusion(fusion)
+                    .build();
+                let engine =
+                    Engine::new(app, replication.clone(), config).expect("valid engine config");
+                let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
+                cells.push(Cell {
+                    scheduler,
+                    kind,
+                    fusion,
+                    report,
+                });
+            }
         }
     }
     cells
@@ -68,14 +77,17 @@ fn check_conservation(abbrev: &str, replication: &[usize], budget: u64, cell: &C
         .find(|(a, _)| *a == abbrev)
         .map(|(_, t)| t)
         .expect("known app");
-    let ctx = format!("{abbrev} {} fusion={}", cell.kind, cell.fusion);
+    let ctx = format!(
+        "{abbrev} {} {} fusion={}",
+        cell.scheduler, cell.kind, cell.fusion
+    );
     let r = &cell.report;
 
     // Spouts emit exactly the input budget.
     let spout_emitted: u64 = topology
         .operators()
         .filter(|(_, s)| s.kind == OperatorKind::Spout)
-        .map(|(id, _)| r.emitted[id.0])
+        .map(|(id, _)| r.operator(id.0).emitted)
         .sum();
     assert_eq!(spout_emitted, budget, "{ctx}: spout emission != budget");
 
@@ -103,11 +115,11 @@ fn check_conservation(abbrev: &str, replication: &[usize], budget: u64, cell: &C
                     Partitioning::Broadcast => replication[v.0] as u64,
                     _ => 1,
                 };
-                r.emitted[e.from.0] * copies
+                r.operator(e.from.0).emitted * copies
             })
             .sum();
         assert_eq!(
-            r.processed[v.0],
+            r.operator(v.0).processed,
             expected,
             "{ctx}: operator {} lost or duplicated tuples",
             topology.operator(v).name
@@ -118,7 +130,7 @@ fn check_conservation(abbrev: &str, replication: &[usize], budget: u64, cell: &C
     let sink_processed: u64 = topology
         .operators()
         .filter(|(_, s)| s.kind == OperatorKind::Sink)
-        .map(|(id, _)| r.processed[id.0])
+        .map(|(id, _)| r.operator(id.0).processed)
         .sum();
     assert_eq!(r.sink_events, sink_processed, "{ctx}: sink accounting");
     assert_eq!(
@@ -128,20 +140,41 @@ fn check_conservation(abbrev: &str, replication: &[usize], budget: u64, cell: &C
     );
 }
 
-/// Assert all six cells produced identical per-operator counter vectors
+/// Assert all twelve cells produced identical per-operator counter vectors
 /// (content-deterministic apps only).
 fn check_cross_config_determinism(abbrev: &str, cells: &[Cell]) {
+    let counts = |r: &RunReport| -> (Vec<u64>, Vec<u64>) {
+        let per_op = r.per_operator();
+        (
+            per_op.iter().map(|o| o.processed).collect(),
+            per_op.iter().map(|o| o.emitted).collect(),
+        )
+    };
     let reference = &cells[0];
+    let (ref_processed, ref_emitted) = counts(&reference.report);
     for cell in &cells[1..] {
+        let (processed, emitted) = counts(&cell.report);
         assert_eq!(
-            cell.report.processed, reference.report.processed,
-            "{abbrev}: processed differs between {} fusion={} and {} fusion={}",
-            cell.kind, cell.fusion, reference.kind, reference.fusion
+            processed,
+            ref_processed,
+            "{abbrev}: processed differs between {} {} fusion={} and {} {} fusion={}",
+            cell.scheduler,
+            cell.kind,
+            cell.fusion,
+            reference.scheduler,
+            reference.kind,
+            reference.fusion
         );
         assert_eq!(
-            cell.report.emitted, reference.report.emitted,
-            "{abbrev}: emitted differs between {} fusion={} and {} fusion={}",
-            cell.kind, cell.fusion, reference.kind, reference.fusion
+            emitted,
+            ref_emitted,
+            "{abbrev}: emitted differs between {} {} fusion={} and {} {} fusion={}",
+            cell.scheduler,
+            cell.kind,
+            cell.fusion,
+            reference.scheduler,
+            reference.kind,
+            reference.fusion
         );
         assert_eq!(
             cell.report.sink_events, reference.report.sink_events,

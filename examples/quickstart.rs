@@ -103,10 +103,7 @@ fn main() {
             .execute(
                 app,
                 &host_plan.plan,
-                EngineConfig {
-                    queue_kind,
-                    ..EngineConfig::default()
-                },
+                EngineConfig::builder().queue_kind(queue_kind).build(),
                 Duration::from_millis(500),
             )
             .expect("engine runs");

@@ -130,17 +130,25 @@ fn threaded_engine_runs_the_real_word_count() {
     let sink = topology.find("sink").expect("sink exists");
     // Spout emission and sink consumption are reported separately: the
     // spout emits sentences (no input side), the sink consumes words.
-    assert_eq!(run.processed[spout.0], 0, "spouts have no input side");
-    assert!(run.emitted[spout.0] > 0, "spout emissions recorded");
-    assert_eq!(run.processed[sink.0], run.sink_events);
+    assert_eq!(
+        run.operator(spout.0).processed,
+        0,
+        "spouts have no input side"
+    );
+    assert!(
+        run.operator(spout.0).emitted > 0,
+        "spout emissions recorded"
+    );
+    assert_eq!(run.operator(sink.0).processed, run.sink_events);
     // The splitter consumes each sentence once...
-    let consumed = run.processed[splitter.0] as f64 / run.emitted[spout.0] as f64;
+    let consumed = run.operator(splitter.0).processed as f64 / run.operator(spout.0).emitted as f64;
     assert!(
         (0.5..=1.5).contains(&consumed),
         "splitter consumes each sentence once (ratio {consumed})"
     );
     // ...and its measured selectivity is the paper's 10 words/sentence.
-    let selectivity = run.emitted[splitter.0] as f64 / run.processed[splitter.0].max(1) as f64;
+    let selectivity =
+        run.operator(splitter.0).emitted as f64 / run.operator(splitter.0).processed.max(1) as f64;
     assert!(
         (9.0..=11.0).contains(&selectivity),
         "splitter fan-out should be ~10 (measured {selectivity})"
@@ -177,6 +185,42 @@ fn threaded_engine_runs_fraud_detection_and_spike_detection() {
             run.sink_events
         );
     }
+}
+
+#[test]
+fn core_pool_decouples_rlas_replicas_from_worker_threads() {
+    // RLAS budgets *executors* (schedulable units), not OS threads: the
+    // same plan the thread-per-replica engine spawns one thread per
+    // executor for must run unchanged on a 2-worker core pool, even when
+    // the plan's executor count exceeds the pool. The serialized-chain
+    // model and the counters hold regardless of the mapping.
+    let mut system = BriskStream::with_options(
+        Machine::server_a().restrict_sockets(1),
+        ScalingOptions {
+            compress_ratio: 1,
+            max_total_replicas: Some(6),
+            ..small_options()
+        },
+    );
+    let topology = word_count::topology();
+    let report = system.submit(&topology).expect("feasible plan");
+    let config = EngineConfig::builder()
+        .scheduler(briskstream::runtime::Scheduler::CorePool { workers: 2 })
+        .build();
+    let run = system
+        .execute(
+            word_count::app(),
+            &report.plan,
+            config,
+            Duration::from_millis(300),
+        )
+        .expect("engine runs");
+    assert!(run.sink_events > 1000, "only {} events", run.sink_events);
+    let spout = topology.find("spout").expect("spout exists");
+    let sink = topology.find("sink").expect("sink exists");
+    assert!(run.operator(spout.0).emitted > 0);
+    assert_eq!(run.operator(sink.0).processed, run.sink_events);
+    assert_eq!(run.latency_ns.count(), run.sink_events);
 }
 
 #[test]

@@ -76,10 +76,7 @@ fn quickstart_pipeline_runs_under_each_queue_fabric() {
             .execute(
                 word_count::app(),
                 &report.plan,
-                EngineConfig {
-                    queue_kind,
-                    ..EngineConfig::default()
-                },
+                EngineConfig::builder().queue_kind(queue_kind).build(),
                 Duration::from_millis(250),
             )
             .expect("engine runs");
