@@ -7,23 +7,84 @@
 //!
 //! ```text
 //! cargo run --release -p brisk-bench --bin e2e -- [--smoke|--full] \
-//!     [--out PATH] [--apps WC,FD,SD,LR]
+//!     [--out PATH] [--apps WC,FD,SD,LR] \
+//!     [--inject spout-panic|mid-bolt-panic|sink-panic]
 //! ```
+//!
+//! With `--inject`, the harness instead runs each app once with a
+//! deterministic panic injected into the selected operator under a bounded
+//! restart policy, and gates on surviving it: nonzero throughput plus a
+//! nonempty fault summary.
 
-use brisk_bench::e2e::{run_app, to_json, AppE2e, E2eOptions, APPS};
+use brisk_bench::e2e::{run_app, run_injected, to_json, AppE2e, E2eOptions, APPS, INJECT_MODES};
 use brisk_bench::harness::markdown_table;
+
+/// `--inject MODE`: run every requested app once with a deterministic
+/// panic injected into the selected operator, under a bounded restart
+/// policy. The gate: every run must survive (nonzero throughput) and
+/// report the fault (nonempty fault summary with ≥ 1 restart).
+fn run_inject_mode(inject: &str, apps: &[&'static str], opts: &E2eOptions) -> i32 {
+    println!(
+        "# e2e supervised fault injection ({inject}, {} input events/app)\n",
+        opts.event_budget
+    );
+    let mut failures = Vec::new();
+    for &app in apps {
+        match run_injected(app, inject, opts) {
+            Ok(r) => {
+                println!(
+                    "{app}: {:.1}k ev/s through an injected {} panic \
+                     ({} restarts, {} quarantined) — {}",
+                    r.throughput / 1e3,
+                    r.injected_op_name,
+                    r.restarts,
+                    r.quarantined,
+                    r.fault_summary.replace('\n', "; ")
+                );
+                if r.throughput <= 0.0 || !r.throughput.is_finite() {
+                    failures.push(format!("{app}: zero throughput under injected fault"));
+                }
+                if r.fault_count == 0 || r.fault_summary.is_empty() {
+                    failures.push(format!("{app}: injected fault left no fault summary"));
+                }
+                if r.restarts == 0 {
+                    failures.push(format!("{app}: injected fault triggered no restart"));
+                }
+            }
+            Err(e) => failures.push(format!("{app}: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        return 0;
+    }
+    eprintln!("\ne2e fault-injection failures:");
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    1
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = "smoke".to_string();
     let mut out_path = "BENCH_e2e.json".to_string();
     let mut apps: Vec<&'static str> = APPS.to_vec();
+    let mut inject: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => mode = "smoke".into(),
             "--full" => mode = "full".into(),
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--inject" => {
+                let m = it.next().expect("--inject needs a mode").clone();
+                assert!(
+                    INJECT_MODES.contains(&m.as_str()),
+                    "unknown inject mode '{m}' (use {})",
+                    INJECT_MODES.join("|")
+                );
+                inject = Some(m);
+            }
             "--apps" => {
                 let list = it.next().expect("--apps needs a list");
                 apps = list
@@ -38,7 +99,11 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: e2e [--smoke|--full] [--out PATH] [--apps WC,FD,SD,LR]");
+                eprintln!(
+                    "usage: e2e [--smoke|--full] [--out PATH] [--apps WC,FD,SD,LR] \
+                     [--inject {}]",
+                    INJECT_MODES.join("|")
+                );
                 std::process::exit(2);
             }
         }
@@ -47,6 +112,10 @@ fn main() {
         "full" => E2eOptions::full(),
         _ => E2eOptions::smoke(),
     };
+
+    if let Some(inject) = inject {
+        std::process::exit(run_inject_mode(&inject, &apps, &opts));
+    }
 
     println!(
         "# e2e measured vs predicted ({mode} mode, {} input events/app, machine: {})\n",

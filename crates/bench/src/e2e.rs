@@ -39,7 +39,10 @@ use brisk_numa::Machine;
 use brisk_rlas::{
     optimize, place_with_strategy, PlacementOptions, PlacementStrategy, ScalingOptions,
 };
-use brisk_runtime::{plan_replica_sockets, Engine, EngineConfig, QueueKind, RunReport, Scheduler};
+use brisk_runtime::{
+    plan_replica_sockets, silence_injected_panics, Engine, EngineConfig, FaultPlan, QueueKind,
+    RestartPolicy, RunReport, Scheduler,
+};
 use std::time::Duration;
 
 /// The four paper applications, in harness order.
@@ -464,6 +467,100 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
 /// Run the harness over all four applications.
 pub fn run_all(opts: &E2eOptions) -> Result<Vec<AppE2e>, String> {
     APPS.iter().map(|a| run_app(a, opts)).collect()
+}
+
+/// Injected-fault smoke modes accepted by [`run_injected`] (and the
+/// driver's `--inject` flag): which operator of each app the deterministic
+/// panic lands on.
+pub const INJECT_MODES: [&str; 3] = ["spout-panic", "mid-bolt-panic", "sink-panic"];
+
+/// One supervised engine run with a deterministic injected fault.
+#[derive(Debug, Clone)]
+pub struct InjectedRun {
+    /// Paper abbreviation (WC/FD/SD/LR).
+    pub app: &'static str,
+    /// Logical operator index the panic was injected into.
+    pub injected_op: usize,
+    /// Name of that operator.
+    pub injected_op_name: String,
+    /// Sink events per second — must stay nonzero: supervision's whole
+    /// point is that one poisoned tuple does not zero a run.
+    pub throughput: f64,
+    /// Tuples the sinks received.
+    pub sink_events: u64,
+    /// Restarts granted across the run (≥ 1: the fault fired and the
+    /// bounded policy recovered the replica).
+    pub restarts: u64,
+    /// Tuples quarantined across the run.
+    pub quarantined: u64,
+    /// Structured fault records observed.
+    pub fault_count: usize,
+    /// Rendered [`brisk_runtime::FaultSummary`] (nonempty on success).
+    pub fault_summary: String,
+}
+
+/// Run one application under a bounded restart policy with a deterministic
+/// panic injected into the operator `mode` selects (see [`INJECT_MODES`]):
+/// the supervision smoke leg. All-ones replication, default fabric — the
+/// leg gates fault *handling*, not planning, so it skips the
+/// profile/optimize loop.
+pub fn run_injected(
+    abbrev: &'static str,
+    mode: &str,
+    opts: &E2eOptions,
+) -> Result<InjectedRun, String> {
+    silence_injected_panics();
+    let app =
+        app_sized(abbrev, opts.event_budget).ok_or_else(|| format!("unknown app {abbrev}"))?;
+    let topology = app.topology.clone();
+    let pick = |kind: OperatorKind| -> Option<usize> {
+        topology
+            .operators()
+            .find(|(_, spec)| spec.kind == kind)
+            .map(|(id, _)| id.0)
+    };
+    let injected_op = match mode {
+        "spout-panic" => pick(OperatorKind::Spout),
+        "mid-bolt-panic" => pick(OperatorKind::Bolt),
+        "sink-panic" => pick(OperatorKind::Sink),
+        other => {
+            return Err(format!(
+                "unknown inject mode '{other}' (use {})",
+                INJECT_MODES.join("|")
+            ))
+        }
+    }
+    .ok_or_else(|| format!("{abbrev}: no operator for inject mode {mode}"))?;
+    let injected_op_name = topology
+        .operator(brisk_dag::OperatorId(injected_op))
+        .name
+        .clone();
+
+    let plan = FaultPlan::new().panic_on_nth(injected_op, 0, 25);
+    let config = EngineConfig::builder()
+        .restart(RestartPolicy::Bounded {
+            max_restarts: 3,
+            backoff: Duration::from_millis(5),
+        })
+        .build();
+    let engine = Engine::new(
+        plan.instrument(app),
+        vec![1; topology.operator_count()],
+        config,
+    )?;
+    let report = engine.run_until_events(u64::MAX, opts.timeout);
+    let summary = report.fault_summary();
+    Ok(InjectedRun {
+        app: abbrev,
+        injected_op,
+        injected_op_name,
+        throughput: report.throughput,
+        sink_events: report.sink_events,
+        restarts: summary.restarts,
+        quarantined: summary.quarantined,
+        fault_count: report.faults().len(),
+        fault_summary: summary.to_string(),
+    })
 }
 
 // ---- JSON serialization ----------------------------------------------------

@@ -3,7 +3,7 @@
 //! invariants CI's full smoke run gates (non-zero throughput, sane report
 //! wiring, well-formed JSON with a guard section).
 
-use brisk_bench::e2e::{extract_guard, run_app, to_json, E2eOptions};
+use brisk_bench::e2e::{extract_guard, run_app, run_injected, to_json, E2eOptions, INJECT_MODES};
 
 #[test]
 fn wc_measured_vs_predicted_loop_closes() {
@@ -46,4 +46,27 @@ fn wc_measured_vs_predicted_loop_closes() {
     assert_eq!(guard.len(), 1);
     assert_eq!(guard[0].0, "wc");
     assert!(guard[0].1 > 0.0);
+}
+
+#[test]
+fn injected_faults_leave_survivable_reported_runs() {
+    // The `--inject` smoke leg's contract, at tiny scale: each mode's
+    // deterministic panic is survived (nonzero throughput), restarted,
+    // and reported in a nonempty fault summary.
+    let opts = E2eOptions::tiny();
+    for mode in INJECT_MODES {
+        let r = run_injected("WC", mode, &opts).expect("injected run completes");
+        assert!(r.throughput > 0.0, "{mode}: zero throughput");
+        assert!(r.sink_events > 0, "{mode}");
+        assert_eq!(r.restarts, 1, "{mode}: one granted restart");
+        assert_eq!(r.fault_count, 1, "{mode}: one structured fault");
+        assert!(!r.fault_summary.is_empty(), "{mode}: empty summary");
+        // The spout fires before generating and recovers its cursor;
+        // bolt/sink faults quarantine exactly the poison tuple.
+        let expected_quarantined = if mode == "spout-panic" { 0 } else { 1 };
+        assert_eq!(r.quarantined, expected_quarantined, "{mode}");
+    }
+
+    let err = run_injected("WC", "nonsense", &opts).unwrap_err();
+    assert!(err.contains("unknown inject mode"), "{err}");
 }

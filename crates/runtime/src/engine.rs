@@ -15,19 +15,26 @@
 
 use crate::fusion::{FusedSinkState, FusedTarget, SinkLocal, SinkProgress};
 use crate::operator::{
-    AppRuntime, BoltContext, Collector, DynBolt, EngineClock, OperatorRuntime, OutputEdge,
-    SpoutStatus,
+    AppRuntime, BoltContext, Collector, DynBolt, DynSpout, EngineClock, OperatorRuntime,
+    OutputEdge, SpoutStatus,
 };
 use crate::partition::Partitioner;
 use crate::queue::{QueueKind, ReplicaQueue};
 use crate::scheduler::{self, PoolRun, Scheduler, WakeHub};
 use crate::spsc::{Backoff, BackoffProfile};
-use crate::tuple::JumboTuple;
+use crate::supervise::{
+    self, panic_message, FaultKind, FaultSummary, ReplicaFault, RestartPolicy, StallEvent,
+    WatchEntry,
+};
+use crate::tuple::{JumboTuple, Tuple};
 use brisk_dag::{
-    ExecutionGraph, ExecutionPlan, FusionPlan, LogicalTopology, OperatorKind, Partitioning,
+    ExecutionGraph, ExecutionPlan, FusionPlan, LogicalTopology, OperatorId, OperatorKind,
+    Partitioning,
 };
 use brisk_metrics::Histogram;
 use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -101,6 +108,19 @@ pub struct EngineConfig {
     /// How replicas map onto OS threads: one thread per replica (default)
     /// or the work-stealing core pool (see [`Scheduler`]).
     pub scheduler: Scheduler,
+    /// What happens when a replica's operator panics: retire it on first
+    /// fault (default) or restart it with exponential backoff (see
+    /// [`RestartPolicy`]). Either way the panic is contained, the faulting
+    /// tuple (when attributable) is quarantined, and the run terminates
+    /// cleanly with the fault in [`RunReport::faults`].
+    pub restart: RestartPolicy,
+    /// Optional stall watchdog: when set, a supervisor thread samples
+    /// per-replica progress counters and records a [`StallEvent`] for any
+    /// bolt/sink replica that makes no progress within the deadline while
+    /// input is pending and no output queue is full (back-pressured
+    /// replicas are never flagged). Observation only — no replica is ever
+    /// killed by the watchdog.
+    pub stall_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +135,8 @@ impl Default for EngineConfig {
             extra_cost_ns_per_tuple: 0,
             fusion: true,
             scheduler: Scheduler::default(),
+            restart: RestartPolicy::default(),
+            stall_deadline: None,
         }
     }
 }
@@ -190,6 +212,19 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Replica restart policy on operator panic
+    /// ([`EngineConfig::restart`]).
+    pub fn restart(mut self, policy: RestartPolicy) -> Self {
+        self.config.restart = policy;
+        self
+    }
+
+    /// Arm the stall watchdog ([`EngineConfig::stall_deadline`]).
+    pub fn stall_deadline(mut self, deadline: Duration) -> Self {
+        self.config.stall_deadline = Some(deadline);
+        self
+    }
+
     /// Finish the chain.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -229,6 +264,16 @@ pub struct RunReport {
     /// removed crossings.
     #[deprecated(note = "use `RunReport::operator(op).queue_pushes` instead")]
     pub queue_pushes: Vec<u64>,
+    /// Replica restarts per operator (supervision).
+    op_restarts: Vec<u64>,
+    /// Quarantined (dead-lettered) tuples per operator.
+    op_quarantined: Vec<u64>,
+    /// Faults attributed per operator.
+    op_fault_counts: Vec<u64>,
+    /// Every structured fault of the run, in occurrence order.
+    faults: Vec<ReplicaFault>,
+    /// Every watchdog stall observation of the run.
+    stalls: Vec<StallEvent>,
 }
 
 /// Per-operator slice of a [`RunReport`], indexed by logical operator (see
@@ -245,6 +290,16 @@ pub struct OpStats {
     /// Jumbo tuples this operator pushed to consumer queues (fused edges
     /// deliver inline and never count).
     pub queue_pushes: u64,
+    /// Replica restarts granted to this operator by the
+    /// [`RestartPolicy`].
+    pub restarts: u64,
+    /// Tuples quarantined (dead-lettered) at this operator: each poison
+    /// tuple whose `execute` panicked, plus any tuple delivered to a dead
+    /// fused instance. At-most-once for these; exactly-once otherwise.
+    pub quarantined: u64,
+    /// Faults attributed to this operator (each restart or death records
+    /// one).
+    pub faults: u64,
 }
 
 #[allow(deprecated)]
@@ -262,6 +317,9 @@ impl RunReport {
             emitted: self.emitted[op],
             queue_full_events: self.queue_full_events[op],
             queue_pushes: self.queue_pushes[op],
+            restarts: self.op_restarts[op],
+            quarantined: self.op_quarantined[op],
+            faults: self.op_fault_counts[op],
         }
     }
 
@@ -288,6 +346,29 @@ impl RunReport {
     /// (the measured counterpart of the model's per-operator `ro`).
     pub fn output_rate(&self, op: usize) -> f64 {
         self.operator(op).emitted as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Every structured fault of the run, in occurrence order (empty on a
+    /// clean run).
+    pub fn faults(&self) -> &[ReplicaFault] {
+        &self.faults
+    }
+
+    /// Every watchdog stall observation (empty unless
+    /// [`EngineConfig::stall_deadline`] was armed and a replica stalled).
+    pub fn stalls(&self) -> &[StallEvent] {
+        &self.stalls
+    }
+
+    /// Aggregated fault view of the run: faults, stalls, and run-wide
+    /// restart/quarantine totals.
+    pub fn fault_summary(&self) -> FaultSummary {
+        FaultSummary {
+            faults: self.faults.clone(),
+            stalls: self.stalls.clone(),
+            restarts: self.op_restarts.iter().sum(),
+            quarantined: self.op_quarantined.iter().sum(),
+        }
     }
 }
 
@@ -627,6 +708,15 @@ impl Engine {
             sink_progress: Arc::new(SinkProgress {
                 events: AtomicU64::new(0),
             }),
+            restarts: (0..n_ops).map(|_| AtomicU64::new(0)).collect(),
+            quarantined: (0..n_ops).map(|_| AtomicU64::new(0)).collect(),
+            op_faults: (0..n_ops).map(|_| AtomicU64::new(0)).collect(),
+            faults: Mutex::new(Vec::new()),
+            stalls: Mutex::new(Vec::new()),
+            progress: (0..total_replicas).map(|_| AtomicU64::new(0)).collect(),
+            replica_done: (0..total_replicas)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
         });
 
         // Build fused targets bottom-up (reverse topological order), so a
@@ -681,6 +771,11 @@ impl Engine {
                     collector,
                     processed: 0,
                     sink,
+                    ctx,
+                    shared: Arc::clone(&shared),
+                    host_op: host.0,
+                    attempts: 0,
+                    dead: false,
                 });
             }
         }
@@ -730,9 +825,29 @@ impl Engine {
         }
 
         enum Running {
-            Threads(Vec<std::thread::JoinHandle<Option<SinkLocal>>>),
+            /// Per-thread handles tagged `(op_index, replica)` so a join
+            /// error can still be attributed in the fault report.
+            Threads(Vec<(usize, usize, std::thread::JoinHandle<Option<SinkLocal>>)>),
             Pool(PoolRun),
         }
+
+        // Arm the stall watchdog before the seeds move into their
+        // executors: it observes bolts/sinks only (spouts have no input to
+        // stall on) through shared progress counters and live queue handles.
+        let watchdog = self.config.stall_deadline.map(|deadline| {
+            let entries: Vec<WatchEntry> = seeds
+                .iter()
+                .filter(|s| s.kind != OperatorKind::Spout)
+                .map(|s| WatchEntry {
+                    global: s.global,
+                    op_index: s.op_index,
+                    replica: s.ctx.replica,
+                    inputs: s.ports.iter().map(|p| Arc::clone(&p.queue)).collect(),
+                    outputs: s.collector.queue_handles(),
+                })
+                .collect();
+            supervise::spawn_watchdog(entries, Arc::clone(&shared), deadline)
+        });
 
         let started = Instant::now();
         let running = match (&wake_hub, pool_workers) {
@@ -747,10 +862,37 @@ impl Engine {
                     .into_iter()
                     .map(|seed| {
                         let shared = Arc::clone(&shared);
-                        std::thread::Builder::new()
+                        let (op_index, replica) = (seed.op_index, seed.ctx.replica);
+                        // Pre-captured for the emergency backstop: if the
+                        // supervised body itself unwinds (a bug outside any
+                        // guarded operator call), the thread still retires
+                        // its accounting so the run can wind down.
+                        let global = seed.global;
+                        let hosted = seed.collector.hosted_ops();
+                        let input_queues: Vec<Arc<ReplicaQueue<JumboTuple>>> =
+                            seed.ports.iter().map(|p| Arc::clone(&p.queue)).collect();
+                        let handle = std::thread::Builder::new()
                             .name(seed.name.clone())
-                            .spawn(move || run_replica(seed, &shared))
-                            .expect("thread spawn")
+                            .spawn(move || {
+                                match catch_unwind(AssertUnwindSafe(|| run_replica(seed, &shared)))
+                                {
+                                    Ok(local) => local,
+                                    Err(payload) => {
+                                        emergency_retire(
+                                            &shared,
+                                            op_index,
+                                            replica,
+                                            global,
+                                            &hosted,
+                                            &input_queues,
+                                            panic_message(payload.as_ref()),
+                                        );
+                                        None
+                                    }
+                                }
+                            })
+                            .expect("thread spawn");
+                        (op_index, replica, handle)
                     })
                     .collect(),
             ),
@@ -776,18 +918,35 @@ impl Engine {
         let mut latency_ns = Histogram::new();
         match running {
             Running::Threads(handles) => {
-                for h in handles {
-                    if let Some(local) = h.join().expect("replica thread panicked") {
-                        sink_events += local.events;
-                        latency_ns.merge(&local.latency);
+                for (op_index, replica, h) in handles {
+                    match h.join() {
+                        Ok(Some(local)) => {
+                            sink_events += local.events;
+                            latency_ns.merge(&local.latency);
+                        }
+                        Ok(None) => {}
+                        // The backstop inside the thread body already
+                        // retired the replica's accounting before
+                        // re-raising; a join error past it means even the
+                        // backstop unwound. Record, never re-panic.
+                        Err(payload) => shared.record_fault(
+                            op_index,
+                            replica,
+                            FaultKind::ExecutorLoss,
+                            panic_message(payload.as_ref()),
+                            false,
+                        ),
                     }
                 }
             }
             Running::Pool(run) => {
-                let local = run.join();
+                let local = run.join(&shared);
                 sink_events = local.events;
                 latency_ns.merge(&local.latency);
             }
+        }
+        if let Some(w) = watchdog {
+            let _ = w.join();
         }
 
         let elapsed = started.elapsed();
@@ -803,6 +962,11 @@ impl Engine {
             emitted: load_all(&shared.emitted),
             queue_full_events: load_all(&shared.queue_full),
             queue_pushes: load_all(&shared.queue_pushes),
+            op_restarts: load_all(&shared.restarts),
+            op_quarantined: load_all(&shared.quarantined),
+            op_fault_counts: load_all(&shared.op_faults),
+            faults: std::mem::take(&mut *shared.faults.lock()),
+            stalls: std::mem::take(&mut *shared.stalls.lock()),
         };
         report
     }
@@ -867,6 +1031,84 @@ pub(crate) struct EngineShared {
     /// workers' shutdown condition.
     pub(crate) live_replicas: AtomicUsize,
     pub(crate) sink_progress: Arc<SinkProgress>,
+    /// Per-operator replica restarts granted by the restart policy.
+    pub(crate) restarts: Vec<AtomicU64>,
+    /// Per-operator quarantined (dead-lettered) tuple counts.
+    pub(crate) quarantined: Vec<AtomicU64>,
+    /// Per-operator fault counts (mirrors `faults` for cheap per-op reads).
+    pub(crate) op_faults: Vec<AtomicU64>,
+    /// Structured fault records, in occurrence order.
+    pub(crate) faults: Mutex<Vec<ReplicaFault>>,
+    /// Watchdog stall observations.
+    pub(crate) stalls: Mutex<Vec<StallEvent>>,
+    /// Per-global-replica progress heartbeat sampled by the watchdog:
+    /// bolts/sinks bump theirs once per consumed jumbo (and per backoff
+    /// chunk while awaiting restart). Spouts never bump — the watchdog
+    /// does not observe them.
+    pub(crate) progress: Vec<AtomicU64>,
+    /// Per-global-replica retirement flags so the watchdog skips finished
+    /// replicas.
+    pub(crate) replica_done: Vec<AtomicBool>,
+}
+
+impl EngineShared {
+    /// Operator name for fault attribution (`"<executor>"` when the fault
+    /// is not attributable to an operator).
+    pub(crate) fn op_name(&self, op_index: usize) -> String {
+        if op_index == usize::MAX {
+            return "<executor>".to_string();
+        }
+        self.app
+            .topology
+            .operator(OperatorId(op_index))
+            .name
+            .clone()
+    }
+
+    /// Record a structured fault (and charge the per-operator counter when
+    /// attributable).
+    pub(crate) fn record_fault(
+        &self,
+        op_index: usize,
+        replica: usize,
+        kind: FaultKind,
+        message: String,
+        restarted: bool,
+    ) {
+        if op_index != usize::MAX {
+            self.op_faults[op_index].fetch_add(1, Ordering::Relaxed);
+        }
+        self.faults.lock().push(ReplicaFault {
+            op_index,
+            op_name: self.op_name(op_index),
+            replica,
+            kind,
+            message,
+            restarted,
+        });
+    }
+
+    /// Fresh bolt/sink instance from the registered factory — the restart
+    /// path's re-instantiation (used when `recover()` declines the state
+    /// handoff).
+    pub(crate) fn new_bolt_instance(&self, op_index: usize, ctx: BoltContext) -> Box<dyn DynBolt> {
+        match self.app.runtime(OperatorId(op_index)) {
+            OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(ctx),
+            OperatorRuntime::Spout(_) => unreachable!("spouts restart through their own path"),
+        }
+    }
+
+    /// Fresh spout instance from the registered factory (restart path).
+    pub(crate) fn new_spout_instance(
+        &self,
+        op_index: usize,
+        ctx: BoltContext,
+    ) -> Box<dyn DynSpout> {
+        match self.app.runtime(OperatorId(op_index)) {
+            OperatorRuntime::Spout(f) => f(ctx),
+            _ => unreachable!("kind checked by validate()"),
+        }
+    }
 }
 
 /// Everything one spawned replica needs to run, produced by the engine's
@@ -889,16 +1131,63 @@ pub(crate) struct TaskSeed {
 fn run_replica(mut seed: TaskSeed, shared: &EngineShared) -> Option<SinkLocal> {
     let sink_local = match seed.kind {
         OperatorKind::Spout => {
-            run_spout(&mut seed, shared);
+            run_spout_supervised(&mut seed, shared);
             None
         }
-        OperatorKind::Bolt | OperatorKind::Sink => run_bolt(&mut seed, shared),
+        OperatorKind::Bolt | OperatorKind::Sink => run_bolt_supervised(&mut seed, shared),
     };
     // Let fused chain operators emit their final results, then flush every
     // buffer in the chain (depth-first, so tail emissions are shipped too).
     seed.collector.finish_fused();
     seed.collector.flush_all();
     merge_and_retire(&mut seed.collector, seed.op_index, sink_local, shared)
+}
+
+/// Force-retire a replica whose executor was lost (a panic that escaped
+/// every operator guard, or a dead pool worker): record the fault, close
+/// its *input* queues so blocked producers fail fast instead of parking
+/// forever, and release its — and its fused subtree's — `op_live` latches
+/// so downstream consumers drain and exit. Output queues are left open for
+/// still-live consumers.
+pub(crate) fn emergency_retire(
+    shared: &EngineShared,
+    op_index: usize,
+    replica: usize,
+    global: usize,
+    hosted_ops: &[usize],
+    input_queues: &[Arc<ReplicaQueue<JumboTuple>>],
+    message: String,
+) {
+    shared.record_fault(op_index, replica, FaultKind::ExecutorLoss, message, false);
+    for q in input_queues {
+        q.close();
+    }
+    for &op in hosted_ops {
+        if shared.op_live[op].fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.op_done[op].store(true, Ordering::Release);
+        }
+    }
+    if shared.op_live[op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.op_done[op_index].store(true, Ordering::Release);
+    }
+    shared.replica_done[global].store(true, Ordering::Relaxed);
+    shared.live_replicas.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Sleep a restart backoff in stop-aware chunks, bumping the replica's
+/// progress heartbeat so the watchdog never flags a replica that is merely
+/// waiting out its own backoff.
+fn supervised_sleep(total: Duration, shared: &EngineShared, global: usize) {
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let chunk = remaining.min(Duration::from_millis(10));
+        std::thread::sleep(chunk);
+        remaining = remaining.saturating_sub(chunk);
+        shared.progress[global].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Merge a finished task's collector-local counters (and its fused
@@ -939,23 +1228,79 @@ pub(crate) fn merge_and_retire(
     if shared.op_live[op_index].fetch_sub(1, Ordering::AcqRel) == 1 {
         shared.op_done[op_index].store(true, Ordering::Release);
     }
+    shared.replica_done[collector.replica()].store(true, Ordering::Relaxed);
     shared.live_replicas.fetch_sub(1, Ordering::Relaxed);
     sink_local
 }
 
-fn run_spout(seed: &mut TaskSeed, shared: &EngineShared) {
+/// Thread-per-replica spout supervisor: run the generation loop, and on a
+/// contained panic consult the restart policy — back off and re-instance
+/// (or keep the instance when `recover()` opts in), or retire the replica
+/// on first fault / exhausted budget.
+fn run_spout_supervised(seed: &mut TaskSeed, shared: &EngineShared) {
     let op = brisk_dag::OperatorId(seed.op_index);
-    let mut spout = match shared.app.runtime(op) {
-        OperatorRuntime::Spout(f) => f(seed.ctx),
-        _ => unreachable!("kind checked by validate()"),
+    let ctx = seed.ctx;
+    let new_instance = || -> Box<dyn DynSpout> {
+        match shared.app.runtime(op) {
+            OperatorRuntime::Spout(f) => f(ctx),
+            _ => unreachable!("kind checked by validate()"),
+        }
     };
+    let mut spout = new_instance();
+    let mut attempts = 0u32;
+    loop {
+        match run_spout_loop(spout.as_mut(), seed, shared) {
+            Ok(()) => break,
+            Err(message) => {
+                attempts += 1;
+                match shared.config.restart.delay_for(attempts) {
+                    Some(delay) => {
+                        shared.record_fault(
+                            seed.op_index,
+                            ctx.replica,
+                            FaultKind::OperatorPanic,
+                            message,
+                            true,
+                        );
+                        shared.restarts[seed.op_index].fetch_add(1, Ordering::Relaxed);
+                        supervised_sleep(delay, shared, seed.global);
+                        if !spout.recover() {
+                            spout = new_instance();
+                        }
+                    }
+                    None => {
+                        shared.record_fault(
+                            seed.op_index,
+                            ctx.replica,
+                            FaultKind::OperatorPanic,
+                            message,
+                            false,
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One supervised stretch of the spout generation loop; returns `Err` with
+/// the rendered panic payload when a `next` call unwinds.
+fn run_spout_loop(
+    spout: &mut dyn DynSpout,
+    seed: &mut TaskSeed,
+    shared: &EngineShared,
+) -> Result<(), String> {
     let mut since_flush = 0u32;
     let mut backoff = Backoff::with_profile(shared.backoff_profile);
     loop {
         if shared.stop.load(Ordering::Relaxed) || seed.collector.output_closed {
-            break;
+            return Ok(());
         }
-        match spout.next(&mut seed.collector) {
+        let collector = &mut seed.collector;
+        let status = catch_unwind(AssertUnwindSafe(|| spout.next(collector)))
+            .map_err(|payload| panic_message(payload.as_ref()))?;
+        match status {
             SpoutStatus::Emitted(_) => {
                 backoff.reset();
                 since_flush += 1;
@@ -969,7 +1314,7 @@ fn run_spout(seed: &mut TaskSeed, shared: &EngineShared) {
                 since_flush = 0;
                 backoff.snooze();
             }
-            SpoutStatus::Exhausted => break,
+            SpoutStatus::Exhausted => return Ok(()),
         }
     }
 }
@@ -1021,6 +1366,14 @@ pub(crate) struct BoltState {
     pub(crate) bolt: Box<dyn DynBolt>,
     pub(crate) cursor: PortCursor,
     pub(crate) batch: Vec<JumboTuple>,
+    /// Port the jumbos in `batch` were popped from — so a batch interrupted
+    /// by a contained panic resumes against the right fetch-cost bookkeeping
+    /// after a restart.
+    pub(crate) batch_port: usize,
+    /// Tuples from a panic-interrupted jumbo that were *not* executed and
+    /// are *not* the poison tuple: replayed first after a restart, so a
+    /// contained panic loses exactly the one quarantined tuple.
+    pub(crate) pending: Vec<Tuple>,
     pub(crate) sink_local: Option<SinkLocal>,
     pub(crate) since_flush: u32,
 }
@@ -1031,26 +1384,34 @@ impl BoltState {
             bolt,
             cursor: PortCursor::new(n_ports),
             batch: Vec::with_capacity(POP_BATCH),
+            batch_port: 0,
+            pending: Vec::new(),
             sink_local: (kind == OperatorKind::Sink).then(SinkLocal::default),
             since_flush: 0,
         }
     }
 }
 
-/// Consume the jumbos just popped from `ports[port_idx]` (sitting in
-/// `state.batch`): charge fetch costs, record sink metrics, execute the
-/// bolt, and flush on the configured cadence. The shared inner loop of
-/// both schedulers' bolt paths.
+/// Consume the jumbos sitting in `state.batch` (popped from
+/// `ports[state.batch_port]`): charge fetch costs, execute the bolt under
+/// a panic guard, record sink metrics, and flush on the configured cadence.
+/// The shared inner loop of both schedulers' bolt paths.
+///
+/// A panic inside `execute` returns `Err` with the rendered payload after
+/// quarantining exactly the poison tuple: everything executed before it is
+/// already counted, everything after it moves to `state.pending` for
+/// replay once the supervisor restarts the operator, and the remaining
+/// jumbos stay in `state.batch`.
 pub(crate) fn consume_batch(
     state: &mut BoltState,
-    port_idx: usize,
     ports: &[InputPort],
     collector: &mut Collector,
     op_index: usize,
     shared: &EngineShared,
-) {
-    let producer_bytes = ports[port_idx].producer_bytes;
-    for jumbo in state.batch.drain(..) {
+) -> Result<(), String> {
+    let producer_bytes = ports[state.batch_port].producer_bytes;
+    while !state.batch.is_empty() {
+        let jumbo = state.batch.remove(0);
         // Injected virtual-NUMA fetch penalty (Formula 2). The producing
         // replica is read off the jumbo header, since fan-in (MPSC) ports
         // interleave several producers.
@@ -1066,50 +1427,196 @@ pub(crate) fn consume_batch(
         if shared.config.extra_cost_ns_per_tuple > 0 {
             spin_ns(shared.config.extra_cost_ns_per_tuple * jumbo.len() as u64);
         }
-        if let Some(local) = state.sink_local.as_mut() {
-            let now = shared.clock.now_ns();
-            for t in &jumbo.tuples {
-                local.latency.record(now.saturating_sub(t.event_ns) as f64);
+        let total = jumbo.len();
+        let now_ns = if state.sink_local.is_some() {
+            shared.clock.now_ns()
+        } else {
+            0
+        };
+        // One guard per jumbo, not per tuple: catch_unwind is free on the
+        // non-panic path, and `done` pins the poison tuple on unwind.
+        let mut done = 0usize;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            while done < total {
+                let t = &jumbo.tuples[done];
+                state.bolt.execute(t, collector);
+                if let Some(local) = state.sink_local.as_mut() {
+                    local
+                        .latency
+                        .record(now_ns.saturating_sub(t.event_ns) as f64);
+                    local.events += 1;
+                    // Relaxed aggregate so `run_until_events` can poll.
+                    shared.sink_progress.events.fetch_add(1, Ordering::Relaxed);
+                }
+                done += 1;
             }
-            local.events += jumbo.len() as u64;
-            // Relaxed aggregate so `run_until_events` can poll.
-            shared
-                .sink_progress
-                .events
-                .fetch_add(jumbo.len() as u64, Ordering::Relaxed);
-        }
-        for t in &jumbo.tuples {
-            state.bolt.execute(t, collector);
-        }
-        shared.processed[op_index].fetch_add(jumbo.len() as u64, Ordering::Relaxed);
-        state.since_flush += 1;
-        if state.since_flush >= shared.config.flush_every {
-            collector.flush_all();
-            state.since_flush = 0;
+        }));
+        shared.progress[collector.replica()].fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(()) => {
+                shared.processed[op_index].fetch_add(total as u64, Ordering::Relaxed);
+                state.since_flush += 1;
+                if state.since_flush >= shared.config.flush_every {
+                    collector.flush_all();
+                    state.since_flush = 0;
+                }
+            }
+            Err(payload) => {
+                // `done` tuples executed and count as processed; tuple
+                // `done` is the poison tuple — quarantined, never retried;
+                // the tail replays after restart.
+                shared.processed[op_index].fetch_add(done as u64, Ordering::Relaxed);
+                shared.quarantined[op_index].fetch_add(1, Ordering::Relaxed);
+                state
+                    .pending
+                    .extend(jumbo.tuples.into_iter().skip(done + 1));
+                return Err(panic_message(payload.as_ref()));
+            }
         }
     }
+    Ok(())
 }
 
-fn run_bolt(seed: &mut TaskSeed, shared: &EngineShared) -> Option<SinkLocal> {
-    let op = brisk_dag::OperatorId(seed.op_index);
-    let bolt = match shared.app.runtime(op) {
-        OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(seed.ctx),
-        OperatorRuntime::Spout(_) => unreachable!("kind checked by validate()"),
-    };
-    let mut state = BoltState::new(bolt, seed.kind, seed.ports.len());
+/// Replay tuples left over from a panic-interrupted jumbo (everything
+/// after the quarantined poison tuple), one guarded call each — a repeat
+/// offender quarantines again rather than wedging the replica.
+pub(crate) fn replay_pending(
+    state: &mut BoltState,
+    collector: &mut Collector,
+    op_index: usize,
+    shared: &EngineShared,
+) -> Result<(), String> {
+    while !state.pending.is_empty() {
+        let t = state.pending.remove(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            state.bolt.execute(&t, collector);
+            if let Some(local) = state.sink_local.as_mut() {
+                let now = shared.clock.now_ns();
+                local.latency.record(now.saturating_sub(t.event_ns) as f64);
+                local.events += 1;
+                shared.sink_progress.events.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        shared.progress[collector.replica()].fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(()) => {
+                shared.processed[op_index].fetch_add(1, Ordering::Relaxed);
+            }
+            Err(payload) => {
+                shared.quarantined[op_index].fetch_add(1, Ordering::Relaxed);
+                return Err(panic_message(payload.as_ref()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Thread-per-replica bolt/sink supervisor: drive the consume loop, and on
+/// a contained panic consult the restart policy. A granted restart backs
+/// off, re-instances the operator (unless `recover()` keeps it) and
+/// resumes against the same queues, collector and fused subtree; a denied
+/// one closes the replica's *input* queues (producers fail fast; output
+/// queues stay open for live consumers) and retires it through the normal
+/// accounting path.
+fn run_bolt_supervised(seed: &mut TaskSeed, shared: &EngineShared) -> Option<SinkLocal> {
+    let ctx = seed.ctx;
+    let mut state = BoltState::new(
+        shared.new_bolt_instance(seed.op_index, ctx),
+        seed.kind,
+        seed.ports.len(),
+    );
+    let mut attempts = 0u32;
+    let mut died = false;
+    loop {
+        match run_bolt_loop(&mut state, seed, shared) {
+            Ok(()) => break,
+            Err(message) => {
+                attempts += 1;
+                match shared.config.restart.delay_for(attempts) {
+                    Some(delay) => {
+                        shared.record_fault(
+                            seed.op_index,
+                            ctx.replica,
+                            FaultKind::OperatorPanic,
+                            message,
+                            true,
+                        );
+                        shared.restarts[seed.op_index].fetch_add(1, Ordering::Relaxed);
+                        supervised_sleep(delay, shared, seed.global);
+                        if !state.bolt.recover() {
+                            state.bolt = shared.new_bolt_instance(seed.op_index, ctx);
+                        }
+                    }
+                    None => {
+                        shared.record_fault(
+                            seed.op_index,
+                            ctx.replica,
+                            FaultKind::OperatorPanic,
+                            message,
+                            false,
+                        );
+                        // Fail fast upstream; never close our own outputs.
+                        for p in &seed.ports {
+                            p.queue.close();
+                        }
+                        died = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if !died {
+        if let Err(payload) =
+            catch_unwind(AssertUnwindSafe(|| state.bolt.finish(&mut seed.collector)))
+        {
+            shared.record_fault(
+                seed.op_index,
+                ctx.replica,
+                FaultKind::OperatorPanic,
+                panic_message(payload.as_ref()),
+                false,
+            );
+        }
+    }
+    state.sink_local
+}
+
+/// One supervised stretch of the bolt consume loop; returns `Err` with the
+/// rendered panic payload when an `execute` call unwinds (the supervisor
+/// decides restart vs. death).
+fn run_bolt_loop(
+    state: &mut BoltState,
+    seed: &mut TaskSeed,
+    shared: &EngineShared,
+) -> Result<(), String> {
     let mut backoff = Backoff::with_profile(shared.backoff_profile);
     loop {
+        // Restart housekeeping first: replay the interrupted jumbo's tail,
+        // then finish any jumbos still batched from before the fault.
+        replay_pending(state, &mut seed.collector, seed.op_index, shared)?;
+        if !state.batch.is_empty() {
+            backoff.reset();
+            consume_batch(
+                state,
+                &seed.ports,
+                &mut seed.collector,
+                seed.op_index,
+                shared,
+            )?;
+            continue;
+        }
         match state.cursor.poll(&seed.ports, &mut state.batch, POP_BATCH) {
             Some(port_idx) => {
                 backoff.reset();
+                state.batch_port = port_idx;
                 consume_batch(
-                    &mut state,
-                    port_idx,
+                    state,
                     &seed.ports,
                     &mut seed.collector,
                     seed.op_index,
                     shared,
-                );
+                )?;
             }
             None => {
                 seed.collector.flush_all();
@@ -1120,7 +1627,7 @@ fn run_bolt(seed: &mut TaskSeed, shared: &EngineShared) -> Option<SinkLocal> {
                     .all(|&p| shared.op_done[p].load(Ordering::Acquire));
                 if producers_done {
                     if state.cursor.drained(&seed.ports) {
-                        break;
+                        return Ok(());
                     }
                 } else {
                     backoff.snooze();
@@ -1128,8 +1635,6 @@ fn run_bolt(seed: &mut TaskSeed, shared: &EngineShared) -> Option<SinkLocal> {
             }
         }
     }
-    state.bolt.finish(&mut seed.collector);
-    state.sink_local
 }
 
 /// Busy-wait for approximately `ns` nanoseconds.

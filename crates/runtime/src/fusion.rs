@@ -23,9 +23,12 @@
 //! unfused downstream consumers never stop while a sibling pair is still
 //! emitting.
 
-use crate::operator::{Collector, DynBolt};
+use crate::engine::EngineShared;
+use crate::operator::{BoltContext, Collector, DynBolt};
+use crate::supervise::{panic_message, FaultKind};
 use crate::tuple::Tuple;
 use brisk_metrics::Histogram;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -93,27 +96,107 @@ pub(crate) struct FusedTarget {
     pub(crate) processed: u64,
     /// Present when the fused consumer is a sink.
     pub(crate) sink: Option<FusedSinkState>,
+    /// Construction context of the fused operator instance — the restart
+    /// path re-instances through the registered factory with it.
+    pub(crate) ctx: BoltContext,
+    /// Shared run state: fault records and quarantine counters.
+    pub(crate) shared: Arc<EngineShared>,
+    /// Logical operator index of the chain host (fault attribution names
+    /// the fused op, with the host recorded alongside).
+    pub(crate) host_op: usize,
+    /// Contained panics so far, checked against the restart policy.
+    pub(crate) attempts: u32,
+    /// Restart budget exhausted: deliveries dead-letter (quarantine) and
+    /// the host winds down via its `output_closed` check.
+    pub(crate) dead: bool,
 }
 
 impl FusedTarget {
-    /// Consume one tuple inline: record sink metrics (if terminal) and run
-    /// the operator. The tuple is passed by reference — fusion's whole
-    /// point is that nothing crosses a queue here.
+    /// Consume one tuple inline: run the operator under a panic guard and
+    /// record sink metrics (if terminal). The tuple is passed by reference
+    /// — fusion's whole point is that nothing crosses a queue here.
+    ///
+    /// A contained panic quarantines the tuple and attributes a
+    /// [`FaultKind::FusedPanic`] to the *fused* operator, not the host.
+    /// Restart is inline (re-instance or `recover()`) with no backoff: a
+    /// fused target runs on its host's thread, and sleeping here would
+    /// stall the host and everything it feeds.
     pub(crate) fn deliver(&mut self, tuple: &Tuple) {
-        self.processed += 1;
-        if let Some(sink) = &mut self.sink {
-            if sink.until_refresh == 0 {
-                sink.cached_now_ns = self.collector.now_ns();
-                sink.until_refresh = CLOCK_BATCH;
-            }
-            sink.until_refresh -= 1;
-            sink.local
-                .latency
-                .record(sink.cached_now_ns.saturating_sub(tuple.event_ns) as f64);
-            sink.local.events += 1;
-            // Relaxed aggregate so `run_until_events` can poll.
-            sink.progress.events.fetch_add(1, Ordering::Relaxed);
+        if self.dead {
+            // Dead-letter accounting keeps conservation exact: every tuple
+            // the producer emitted is either processed or quarantined.
+            self.shared.quarantined[self.op_index].fetch_add(1, Ordering::Relaxed);
+            return;
         }
-        self.bolt.execute(tuple, &mut self.collector);
+        let bolt = &mut self.bolt;
+        let collector = &mut self.collector;
+        match catch_unwind(AssertUnwindSafe(|| bolt.execute(tuple, collector))) {
+            Ok(()) => {
+                self.processed += 1;
+                if let Some(sink) = &mut self.sink {
+                    if sink.until_refresh == 0 {
+                        sink.cached_now_ns = self.collector.now_ns();
+                        sink.until_refresh = CLOCK_BATCH;
+                    }
+                    sink.until_refresh -= 1;
+                    sink.local
+                        .latency
+                        .record(sink.cached_now_ns.saturating_sub(tuple.event_ns) as f64);
+                    sink.local.events += 1;
+                    // Relaxed aggregate so `run_until_events` can poll.
+                    sink.progress.events.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                self.shared.quarantined[self.op_index].fetch_add(1, Ordering::Relaxed);
+                self.attempts += 1;
+                let granted = self
+                    .shared
+                    .config
+                    .restart
+                    .delay_for(self.attempts)
+                    .is_some();
+                self.shared.record_fault(
+                    self.op_index,
+                    self.ctx.replica,
+                    FaultKind::FusedPanic {
+                        host_op: self.host_op,
+                    },
+                    message,
+                    granted,
+                );
+                if granted {
+                    self.shared.restarts[self.op_index].fetch_add(1, Ordering::Relaxed);
+                    if !self.bolt.recover() {
+                        self.bolt = self.shared.new_bolt_instance(self.op_index, self.ctx);
+                    }
+                } else {
+                    self.dead = true;
+                }
+            }
+        }
+    }
+
+    /// Shutdown `finish` for the fused operator, panic-guarded so a faulty
+    /// finalizer is recorded instead of unwinding through the host's
+    /// teardown. Skipped for a dead instance.
+    pub(crate) fn finish(&mut self) {
+        if self.dead {
+            return;
+        }
+        let bolt = &mut self.bolt;
+        let collector = &mut self.collector;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| bolt.finish(collector))) {
+            self.shared.record_fault(
+                self.op_index,
+                self.ctx.replica,
+                FaultKind::FusedPanic {
+                    host_op: self.host_op,
+                },
+                panic_message(payload.as_ref()),
+                false,
+            );
+        }
     }
 }

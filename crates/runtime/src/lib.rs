@@ -44,6 +44,16 @@
 //!   ([`Scheduler::CorePool`]) — decoupling replica counts from thread
 //!   counts, so heavily replicated plans no longer oversubscribe the host.
 //!
+//! * **Supervised execution** ([`supervise`]): every user-operator call is
+//!   panic-contained; a panicking replica becomes a structured
+//!   [`ReplicaFault`], the poison tuple is quarantined (at-most-once for
+//!   it, exactly-once for everything else), and a [`RestartPolicy`] decides
+//!   between bounded exponential-backoff restarts and clean retirement.
+//!   An optional stall watchdog ([`EngineConfig::stall_deadline`]) flags
+//!   no-progress replicas without ever killing one, and the deterministic
+//!   [`FaultPlan`] harness ([`faultinject`]) drives fault-conformance
+//!   testing across schedulers, fabrics and fusion settings.
+//!
 //! The engine executes a [`brisk_dag::LogicalTopology`] under a
 //! [`brisk_dag::ExecutionPlan`]; socket placement is honoured as bookkeeping
 //! (and, optionally, as an injected NUMA fetch delay via
@@ -52,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faultinject;
 pub mod fusion;
 pub mod mpsc;
 pub mod operator;
@@ -59,12 +70,14 @@ pub mod partition;
 pub mod queue;
 pub mod scheduler;
 pub mod spsc;
+pub mod supervise;
 pub mod tuple;
 
 pub use engine::{
     plan_replica_sockets, Engine, EngineConfig, EngineConfigBuilder, NumaPenalty, OpStats,
     RunLimit, RunReport,
 };
+pub use faultinject::{silence_injected_panics, FaultPlan, INJECTED_PANIC_PREFIX};
 pub use mpsc::MpscQueue;
 pub use operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
@@ -73,4 +86,7 @@ pub use partition::Partitioner;
 pub use queue::{BoundedQueue, QueueKind, ReplicaQueue};
 pub use scheduler::Scheduler;
 pub use spsc::{Backoff, BackoffProfile, PushError, SpscQueue};
+pub use supervise::{
+    FaultKind, FaultSummary, ReplicaFault, RestartPolicy, StallEvent, MAX_RESTART_BACKOFF,
+};
 pub use tuple::{JumboTuple, Tuple};

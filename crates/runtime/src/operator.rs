@@ -31,6 +31,14 @@ pub enum SpoutStatus {
 pub trait DynSpout: Send {
     /// Produce the next tuple(s) into `collector`.
     fn next(&mut self, collector: &mut Collector) -> SpoutStatus;
+
+    /// Called after this replica panicked and the restart policy granted a
+    /// restart. Return `true` to keep this instance (explicit state
+    /// handoff); the default `false` discards it and the supervisor builds
+    /// a fresh instance from the operator factory.
+    fn recover(&mut self) -> bool {
+        false
+    }
 }
 
 /// A processing (bolt) or terminal (sink) operator replica.
@@ -40,6 +48,14 @@ pub trait DynBolt: Send {
 
     /// Called once at shutdown so stateful bolts can emit final results.
     fn finish(&mut self, _collector: &mut Collector) {}
+
+    /// Called after this replica panicked and the restart policy granted a
+    /// restart. Return `true` to keep this instance (explicit state
+    /// handoff); the default `false` discards it and the supervisor builds
+    /// a fresh instance from the operator factory.
+    fn recover(&mut self) -> bool {
+        false
+    }
 }
 
 /// Construction context handed to operator factories.
@@ -76,7 +92,7 @@ impl OperatorRuntime {
 pub struct AppRuntime {
     /// The application DAG.
     pub topology: LogicalTopology,
-    runtimes: Vec<Option<OperatorRuntime>>,
+    pub(crate) runtimes: Vec<Option<OperatorRuntime>>,
 }
 
 impl AppRuntime {
@@ -320,7 +336,10 @@ impl Collector {
             for _ in 0..deliveries {
                 target.deliver(&tuple);
             }
-            if target.collector.output_closed {
+            // A dead fused target (restart budget exhausted) can no longer
+            // make progress: treat it like a closed output so the host
+            // winds down instead of feeding a black hole forever.
+            if target.collector.output_closed || target.dead {
                 self.output_closed = true;
             }
         }
@@ -402,11 +421,41 @@ impl Collector {
     /// Call `finish` on every fused operator, depth-first down the chain,
     /// so stateful fused bolts can emit their final results at shutdown
     /// (their emissions land before the host's final [`Collector::flush_all`]).
+    /// Panic-guarded per target: a faulty `finish` is recorded against the
+    /// fused op and does not take the host's teardown down with it.
     pub(crate) fn finish_fused(&mut self) {
         for target in &mut self.fused {
-            target.bolt.finish(&mut target.collector);
+            target.finish();
             target.collector.finish_fused();
         }
+    }
+
+    /// Logical operator indexes hosted inline by this collector's fused
+    /// subtree (recursive) — the ops whose accounting an emergency teardown
+    /// must force-retire alongside the host's own.
+    pub(crate) fn hosted_ops(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for target in &self.fused {
+            out.push(target.op_index);
+            out.extend(target.collector.hosted_ops());
+        }
+        out
+    }
+
+    /// Every destination queue reachable from this collector, including
+    /// queues owned by fused targets down the chain — the stall watchdog's
+    /// back-pressure disambiguation set.
+    pub(crate) fn queue_handles(&self) -> Vec<Arc<ReplicaQueue<JumboTuple>>> {
+        let mut out = Vec::new();
+        for e in &self.edges {
+            for q in &e.queues {
+                out.push(Arc::clone(q));
+            }
+        }
+        for target in &self.fused {
+            out.extend(target.collector.queue_handles());
+        }
+        out
     }
 
     /// Detach the whole fused-target tree (children before parents) so the

@@ -58,19 +58,23 @@
 //! deadlock on a producer→consumer cycle through a bounded queue.
 
 use crate::engine::{
-    consume_batch, merge_and_retire, BoltState, EngineShared, TaskSeed, POP_BATCH,
+    consume_batch, emergency_retire, merge_and_retire, replay_pending, BoltState, EngineShared,
+    InputPort, TaskSeed, POP_BATCH,
 };
 use crate::fusion::SinkLocal;
-use crate::operator::{Collector, DynSpout, OperatorRuntime, SpoutStatus};
+use crate::operator::{BoltContext, Collector, DynSpout, OperatorRuntime, SpoutStatus};
 use crate::queue::ReplicaQueue;
 use crate::spsc::Backoff;
+use crate::supervise::{panic_message, FaultKind};
 use crate::tuple::JumboTuple;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle, Thread};
+use std::time::Instant;
 
 /// How the engine maps operator replicas onto OS threads
 /// ([`crate::EngineConfig::scheduler`]).
@@ -195,11 +199,22 @@ struct Task {
     op_index: usize,
     body: TaskBody,
     collector: Collector,
-    ports: Vec<crate::engine::InputPort>,
+    ports: Vec<InputPort>,
     producer_ops: Vec<usize>,
     /// Operator `finish` hooks already ran; the task only drains
     /// back-pressured output buffers before retiring.
     finished: bool,
+    /// Construction context — the restart path re-instances the operator
+    /// through its factory with it.
+    ctx: BoltContext,
+    /// Contained panics so far, checked against the restart policy.
+    attempts: u32,
+    /// Restart backoff in pool clothing: instead of sleeping a worker, the
+    /// task yields unproductively until this instant passes.
+    resume_at: Option<Instant>,
+    /// Restart budget exhausted: skip the operator's `finish`, drain
+    /// buffers, retire.
+    dead: bool,
 }
 
 enum TaskBody {
@@ -240,11 +255,25 @@ enum Step {
     Yield(bool),
     Sleep,
     Finish,
+    /// A contained operator panic (rendered payload); the supervisor
+    /// decides restart vs. death.
+    Fault(String),
 }
 
 fn run_slice(task: &mut Task, shared: &EngineShared) -> SliceOutcome {
     if task.finished {
         return finish_task(task, shared);
+    }
+    // Restart backoff, pool style: the task stays runnable but does no
+    // work until its resume instant passes — a sleeping worker would
+    // starve every other task on its deque.
+    if let Some(at) = task.resume_at {
+        if Instant::now() < at {
+            // Backing off is liveness, not a stall.
+            shared.progress[task.collector.replica()].fetch_add(1, Ordering::Relaxed);
+            return SliceOutcome::Yield { progressed: false };
+        }
+        task.resume_at = None;
     }
     // Ship stalled output before consuming any more input.
     if task.collector.is_backpressured() {
@@ -255,95 +284,180 @@ fn run_slice(task: &mut Task, shared: &EngineShared) -> SliceOutcome {
     }
     let step = match &mut task.body {
         TaskBody::Spout { spout, since_flush } => {
-            let mut step = Step::Yield(false);
-            for _ in 0..SPOUT_SLICE {
-                if shared.stop.load(Ordering::Relaxed) || task.collector.output_closed {
-                    step = Step::Finish;
-                    break;
-                }
-                match spout.next(&mut task.collector) {
-                    SpoutStatus::Emitted(_) => {
-                        step = Step::Yield(true);
-                        *since_flush += 1;
-                        if *since_flush >= shared.config.flush_every {
-                            task.collector.flush_all();
-                            *since_flush = 0;
-                        }
-                        if task.collector.is_backpressured() {
-                            break;
-                        }
-                    }
-                    SpoutStatus::Idle => {
-                        // Nothing to emit right now. Spouts have no input
-                        // queues, so no push will ever wake them: they stay
-                        // runnable and the worker's idle detector paces the
-                        // polling.
-                        task.collector.flush_all();
-                        *since_flush = 0;
-                        break;
-                    }
-                    SpoutStatus::Exhausted => {
-                        step = Step::Finish;
-                        break;
-                    }
-                }
-            }
-            step
+            run_spout_slice(spout.as_mut(), since_flush, &mut task.collector, shared)
         }
-        TaskBody::Bolt(state) => {
-            let mut progressed = false;
-            let mut step = Step::Yield(false);
-            for _ in 0..BOLT_SLICE_POLLS {
-                match state.cursor.poll(&task.ports, &mut state.batch, POP_BATCH) {
-                    Some(port_idx) => {
-                        progressed = true;
-                        consume_batch(
-                            state,
-                            port_idx,
-                            &task.ports,
-                            &mut task.collector,
-                            task.op_index,
-                            shared,
-                        );
-                        if task.collector.is_backpressured() {
-                            break;
-                        }
-                    }
-                    None => {
-                        task.collector.flush_all();
-                        state.since_flush = 0;
-                        if task.collector.is_backpressured() {
-                            // Consumers never signal "space freed", so a
-                            // stalled task must poll-retry, not sleep.
-                            break;
-                        }
-                        let producers_done = task
-                            .producer_ops
-                            .iter()
-                            .all(|&p| shared.op_done[p].load(Ordering::Acquire));
-                        if producers_done {
-                            if state.cursor.drained(&task.ports) {
-                                step = Step::Finish;
-                            }
-                            // A straggler jumbo is still in flight: stay
-                            // runnable and drain it next slice.
-                        } else if !progressed {
-                            step = Step::Sleep;
-                        }
-                        break;
-                    }
-                }
-            }
-            if let Step::Yield(_) = step {
-                step = Step::Yield(progressed);
-            }
-            step
-        }
+        TaskBody::Bolt(state) => run_bolt_slice(
+            state,
+            &task.ports,
+            &mut task.collector,
+            &task.producer_ops,
+            task.op_index,
+            shared,
+        ),
+    };
+    let step = match step {
+        Step::Fault(message) => handle_fault(task, message, shared),
+        other => other,
     };
     match step {
         Step::Finish => finish_task(task, shared),
         Step::Sleep => SliceOutcome::Sleep,
         Step::Yield(progressed) => SliceOutcome::Yield { progressed },
+        Step::Fault(_) => unreachable!("handle_fault resolves faults"),
+    }
+}
+
+/// One spout slice: bounded `next` calls, each under a panic guard.
+fn run_spout_slice(
+    spout: &mut dyn DynSpout,
+    since_flush: &mut u32,
+    collector: &mut Collector,
+    shared: &EngineShared,
+) -> Step {
+    let mut step = Step::Yield(false);
+    for _ in 0..SPOUT_SLICE {
+        if shared.stop.load(Ordering::Relaxed) || collector.output_closed {
+            return Step::Finish;
+        }
+        let status = match catch_unwind(AssertUnwindSafe(|| spout.next(collector))) {
+            Ok(status) => status,
+            Err(payload) => return Step::Fault(panic_message(payload.as_ref())),
+        };
+        match status {
+            SpoutStatus::Emitted(_) => {
+                step = Step::Yield(true);
+                *since_flush += 1;
+                if *since_flush >= shared.config.flush_every {
+                    collector.flush_all();
+                    *since_flush = 0;
+                }
+                if collector.is_backpressured() {
+                    break;
+                }
+            }
+            SpoutStatus::Idle => {
+                // Nothing to emit right now. Spouts have no input
+                // queues, so no push will ever wake them: they stay
+                // runnable and the worker's idle detector paces the
+                // polling.
+                collector.flush_all();
+                *since_flush = 0;
+                break;
+            }
+            SpoutStatus::Exhausted => return Step::Finish,
+        }
+    }
+    step
+}
+
+/// One bolt slice: restart housekeeping (replay the interrupted jumbo's
+/// tail, finish leftover batched jumbos), then bounded input polls.
+fn run_bolt_slice(
+    state: &mut BoltState,
+    ports: &[InputPort],
+    collector: &mut Collector,
+    producer_ops: &[usize],
+    op_index: usize,
+    shared: &EngineShared,
+) -> Step {
+    if let Err(m) = replay_pending(state, collector, op_index, shared) {
+        return Step::Fault(m);
+    }
+    let mut progressed = false;
+    if !state.batch.is_empty() {
+        progressed = true;
+        if let Err(m) = consume_batch(state, ports, collector, op_index, shared) {
+            return Step::Fault(m);
+        }
+        if collector.is_backpressured() {
+            return Step::Yield(true);
+        }
+    }
+    for _ in 0..BOLT_SLICE_POLLS {
+        match state.cursor.poll(ports, &mut state.batch, POP_BATCH) {
+            Some(port_idx) => {
+                progressed = true;
+                state.batch_port = port_idx;
+                if let Err(m) = consume_batch(state, ports, collector, op_index, shared) {
+                    return Step::Fault(m);
+                }
+                if collector.is_backpressured() {
+                    break;
+                }
+            }
+            None => {
+                collector.flush_all();
+                state.since_flush = 0;
+                if collector.is_backpressured() {
+                    // Consumers never signal "space freed", so a
+                    // stalled task must poll-retry, not sleep.
+                    break;
+                }
+                let producers_done = producer_ops
+                    .iter()
+                    .all(|&p| shared.op_done[p].load(Ordering::Acquire));
+                if producers_done {
+                    if state.cursor.drained(ports) {
+                        return Step::Finish;
+                    }
+                    // A straggler jumbo is still in flight: stay
+                    // runnable and drain it next slice.
+                } else if !progressed {
+                    return Step::Sleep;
+                }
+                break;
+            }
+        }
+    }
+    Step::Yield(progressed)
+}
+
+/// Pool-side restart supervisor: on a granted restart, re-instance the
+/// operator (unless `recover()` keeps it) and schedule the backoff as a
+/// yield-until instant; on a denied one, close the task's *input* queues
+/// (producers fail fast; outputs stay open for live consumers) and retire
+/// it through [`finish_task`]'s normal accounting.
+fn handle_fault(task: &mut Task, message: String, shared: &EngineShared) -> Step {
+    task.attempts += 1;
+    match shared.config.restart.delay_for(task.attempts) {
+        Some(delay) => {
+            shared.record_fault(
+                task.op_index,
+                task.ctx.replica,
+                FaultKind::OperatorPanic,
+                message,
+                true,
+            );
+            shared.restarts[task.op_index].fetch_add(1, Ordering::Relaxed);
+            task.resume_at = Some(Instant::now() + delay);
+            match &mut task.body {
+                TaskBody::Spout { spout, .. } => {
+                    if !spout.recover() {
+                        *spout = shared.new_spout_instance(task.op_index, task.ctx);
+                    }
+                }
+                TaskBody::Bolt(state) => {
+                    if !state.bolt.recover() {
+                        state.bolt = shared.new_bolt_instance(task.op_index, task.ctx);
+                    }
+                }
+            }
+            Step::Yield(true)
+        }
+        None => {
+            shared.record_fault(
+                task.op_index,
+                task.ctx.replica,
+                FaultKind::OperatorPanic,
+                message,
+                false,
+            );
+            for p in &task.ports {
+                p.queue.close();
+            }
+            task.dead = true;
+            Step::Finish
+        }
     }
 }
 
@@ -352,8 +466,20 @@ fn run_slice(task: &mut Task, shared: &EngineShared) -> SliceOutcome {
 /// slices until all residue ships, and only then merges its counters.
 fn finish_task(task: &mut Task, shared: &EngineShared) -> SliceOutcome {
     if !task.finished {
-        if let TaskBody::Bolt(state) = &mut task.body {
-            state.bolt.finish(&mut task.collector);
+        if let (false, TaskBody::Bolt(state)) = (task.dead, &mut task.body) {
+            // Panic-guarded: a faulty `finish` is recorded, never restarted
+            // (the operator is retiring anyway), and never poisons teardown.
+            let bolt = &mut state.bolt;
+            let collector = &mut task.collector;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| bolt.finish(collector))) {
+                shared.record_fault(
+                    task.op_index,
+                    task.ctx.replica,
+                    FaultKind::OperatorPanic,
+                    panic_message(payload.as_ref()),
+                    false,
+                );
+            }
         }
         task.collector.finish_fused();
         task.finished = true;
@@ -395,9 +521,21 @@ pub(crate) struct PoolRun {
 }
 
 impl PoolRun {
-    pub(crate) fn join(self) -> SinkLocal {
+    pub(crate) fn join(self, shared: &EngineShared) -> SinkLocal {
         for h in self.workers {
-            h.join().expect("pool worker panicked");
+            // Worker bodies are backstopped, so a join error means even
+            // the backstop unwound: record the executor loss (it is not
+            // attributable to an operator) instead of double-panicking
+            // during teardown.
+            if let Err(payload) = h.join() {
+                shared.record_fault(
+                    usize::MAX,
+                    0,
+                    FaultKind::ExecutorLoss,
+                    panic_message(payload.as_ref()),
+                    false,
+                );
+            }
         }
         std::mem::take(&mut self.pool.sink.lock())
     }
@@ -440,6 +578,10 @@ pub(crate) fn spawn_pool(
             ports: seed.ports,
             producer_ops: seed.producer_ops,
             finished: false,
+            ctx: seed.ctx,
+            attempts: 0,
+            resume_at: None,
+            dead: false,
         });
         hub.states[t].store(READY, Ordering::Release);
         deques[i % workers].lock().push_back(t);
@@ -505,7 +647,34 @@ fn worker_loop(w: usize, pool: &PoolShared, shared: &EngineShared) {
                     continue; // stale id; the state machine owns the truth
                 }
                 let mut task = pool.slots[t].lock().take().expect("claimed task present");
-                match run_slice(&mut task, shared) {
+                // Backstop: a panic that escapes every operator guard (a
+                // runtime bug, not an operator fault) must not kill the
+                // worker — force-retire the task's accounting so the rest
+                // of the run winds down, and keep serving other tasks.
+                let outcome = match catch_unwind(AssertUnwindSafe(|| run_slice(&mut task, shared)))
+                {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        let hosted = task.collector.hosted_ops();
+                        let input_queues: Vec<Arc<ReplicaQueue<JumboTuple>>> =
+                            task.ports.iter().map(|p| Arc::clone(&p.queue)).collect();
+                        emergency_retire(
+                            shared,
+                            task.op_index,
+                            task.ctx.replica,
+                            t,
+                            &hosted,
+                            &input_queues,
+                            panic_message(payload.as_ref()),
+                        );
+                        pool.hub.states[t].store(DONE, Ordering::Release);
+                        pool.hub.wake_all();
+                        unproductive = 0;
+                        backoff.reset();
+                        continue;
+                    }
+                };
+                match outcome {
                     SliceOutcome::Yield { progressed } => {
                         // Slot first, then state, then queue: a task id in
                         // a run queue always has its task in its slot.

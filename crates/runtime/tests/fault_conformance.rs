@@ -1,0 +1,237 @@
+//! Fault-injection conformance: supervision must be *execution-shape
+//! invariant*. Under the same deterministic injected fault, every cell of
+//! the {ThreadPerReplica, CorePool} × {Spsc, Mutex, Mpsc} × {fusion on,
+//! fusion off} matrix must produce identical per-operator counter vectors
+//! — processed, emitted, quarantined, restarts and sink totals — and obey
+//! exactly-once-minus-quarantined conservation on every attributable edge.
+//!
+//! Word Count pins cross-config equality (all its operators have
+//! content-deterministic 1:1-or-derivable arity, so the aggregate effect
+//! of quarantining the Nth tuple of a replica is the same whatever fabric
+//! or schedule delivered it). Linear Road — multi-stream dispatcher,
+//! interleaving-dependent accident path — instead pins the conservation
+//! laws, fault attribution and clean termination per cell.
+//!
+//! Each cell builds its own [`FaultPlan`]: trigger state (the `seen` /
+//! `fired` atomics) is shared across every app an instance instruments, by
+//! design — restarts must not re-fire a panic — so reusing one plan across
+//! cells would fire its faults in the first cell only.
+
+use brisk_apps::app_sized;
+use brisk_runtime::{
+    silence_injected_panics, Engine, EngineConfig, FaultPlan, QueueKind, RestartPolicy, RunReport,
+    Scheduler,
+};
+use std::time::Duration;
+
+const KINDS: [QueueKind; 3] = [QueueKind::Spsc, QueueKind::Mutex, QueueKind::Mpsc];
+const SCHEDULERS: [Scheduler; 2] = [
+    Scheduler::ThreadPerReplica,
+    Scheduler::CorePool { workers: 2 },
+];
+
+/// WC replication: spout(0) parser(1) splitter(2)x3 counter(3)x2 sink(4).
+/// The 3→2 KeyBy edge keeps counter and sink real replicas in every cell;
+/// the 1:1 head fuses in the fusion=on cells.
+fn wc_replication() -> Vec<usize> {
+    vec![1, 1, 3, 2, 1]
+}
+
+struct Cell {
+    scheduler: Scheduler,
+    kind: QueueKind,
+    fusion: bool,
+    report: RunReport,
+}
+
+impl Cell {
+    fn label(&self) -> String {
+        format!("{} {} fusion={}", self.scheduler, self.kind, self.fusion)
+    }
+}
+
+/// One run per matrix cell, each with a freshly built plan.
+fn run_wc_matrix(plan_for_cell: impl Fn() -> FaultPlan, budget: u64) -> Vec<Cell> {
+    silence_injected_panics();
+    let mut cells = Vec::new();
+    for scheduler in SCHEDULERS {
+        for kind in KINDS {
+            for fusion in [true, false] {
+                let app = plan_for_cell().instrument(app_sized("WC", budget).expect("known app"));
+                let config = EngineConfig::builder()
+                    .scheduler(scheduler)
+                    .queue_kind(kind)
+                    .fusion(fusion)
+                    .restart(RestartPolicy::Bounded {
+                        max_restarts: 3,
+                        backoff: Duration::from_millis(5),
+                    })
+                    .build();
+                let engine =
+                    Engine::new(app, wc_replication(), config).expect("valid engine config");
+                let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
+                cells.push(Cell {
+                    scheduler,
+                    kind,
+                    fusion,
+                    report,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The five counter vectors conformance compares across cells.
+fn vectors(r: &RunReport) -> (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>, u64) {
+    let per_op = r.per_operator();
+    (
+        per_op.iter().map(|o| o.processed).collect(),
+        per_op.iter().map(|o| o.emitted).collect(),
+        per_op.iter().map(|o| o.quarantined).collect(),
+        per_op.iter().map(|o| o.restarts).collect(),
+        r.sink_events,
+    )
+}
+
+/// WC is a pure chain on single streams: every edge is attributable, and
+/// each consumer must account for its producer's full output as processed
+/// or quarantined.
+fn check_wc_conservation(cell: &Cell) {
+    let r = &cell.report;
+    for op in 1..=4 {
+        let upstream = r.operator(op - 1).emitted;
+        let me = r.operator(op);
+        assert_eq!(
+            upstream,
+            me.processed + me.quarantined,
+            "{}: edge {}→{} must conserve tuples",
+            cell.label(),
+            op - 1,
+            op
+        );
+    }
+}
+
+fn check_identical(cells: &[Cell], what: &str) {
+    let reference = vectors(&cells[0].report);
+    for cell in &cells[1..] {
+        assert_eq!(
+            vectors(&cell.report),
+            reference,
+            "{what}: {} diverged from {}",
+            cell.label(),
+            cells[0].label()
+        );
+    }
+}
+
+#[test]
+fn wc_spout_panic_matches_the_fault_free_baseline() {
+    let budget = 600;
+    let baseline = run_wc_matrix(FaultPlan::new, budget);
+    let injected = run_wc_matrix(|| FaultPlan::new().panic_on_nth(0, 0, 50), budget);
+    check_identical(&baseline, "baseline");
+    check_identical(&injected, "spout-panic");
+    // The spout panics before generating and recovers its cursor: the
+    // injected matrix reproduces the fault-free tuple flow exactly.
+    let (bp, be, bq, _, bs) = vectors(&baseline[0].report);
+    let (ip, ie, iq, ir, is_) = vectors(&injected[0].report);
+    assert_eq!(ip, bp, "processed unchanged by a recovered spout fault");
+    assert_eq!(ie, be, "emitted unchanged by a recovered spout fault");
+    assert_eq!(is_, bs, "sink total unchanged by a recovered spout fault");
+    assert_eq!(iq, bq, "nothing quarantined: the fault predates the tuple");
+    assert_eq!(ir[0], 1, "exactly one spout restart");
+    for cell in &injected {
+        check_wc_conservation(cell);
+        assert_eq!(cell.report.faults().len(), 1, "{}", cell.label());
+        assert!(cell.report.faults()[0].restarted, "{}", cell.label());
+    }
+}
+
+#[test]
+fn wc_mid_bolt_panic_is_identical_across_the_matrix() {
+    // Counter (op 3) replica 0 loses its 30th tuple in every cell. The
+    // counter is a real (unfused) replica in all twelve cells, so this
+    // exercises both schedulers' restart paths over every fabric.
+    let cells = run_wc_matrix(|| FaultPlan::new().panic_on_nth(3, 0, 30), 600);
+    check_identical(&cells, "mid-bolt-panic");
+    for cell in &cells {
+        check_wc_conservation(cell);
+        let counter = cell.report.operator(3);
+        assert_eq!(counter.quarantined, 1, "{}", cell.label());
+        assert_eq!(counter.restarts, 1, "{}", cell.label());
+        assert_eq!(counter.faults, 1, "{}", cell.label());
+        assert_eq!(
+            cell.report.operator(2).emitted,
+            counter.processed + 1,
+            "{}: exactly the poison tuple is missing",
+            cell.label()
+        );
+        assert!(cell.report.sink_events > 0, "{}", cell.label());
+    }
+}
+
+#[test]
+fn wc_sink_panic_is_identical_across_the_matrix() {
+    let cells = run_wc_matrix(|| FaultPlan::new().panic_on_nth(4, 0, 40), 600);
+    check_identical(&cells, "sink-panic");
+    for cell in &cells {
+        check_wc_conservation(cell);
+        let sink = cell.report.operator(4);
+        assert_eq!(sink.quarantined, 1, "{}", cell.label());
+        assert_eq!(sink.restarts, 1, "{}", cell.label());
+        assert_eq!(
+            cell.report.sink_events,
+            cell.report.operator(3).emitted - 1,
+            "{}: sink total is exactly-once minus the quarantined tuple",
+            cell.label()
+        );
+    }
+}
+
+#[test]
+fn lr_faults_conserve_and_terminate_under_both_schedulers() {
+    silence_injected_panics();
+    let budget = 800;
+    // spout head, fused-chain parser, multi-producer funnel sink.
+    for scheduler in SCHEDULERS {
+        for (op, nth) in [(0usize, 40u64), (1, 30), (11, 25)] {
+            let plan = FaultPlan::new().panic_on_nth(op, 0, nth);
+            let app = plan.instrument(app_sized("LR", budget).expect("known app"));
+            let config = EngineConfig::builder()
+                .scheduler(scheduler)
+                .restart(RestartPolicy::Bounded {
+                    max_restarts: 3,
+                    backoff: Duration::from_millis(5),
+                })
+                .build();
+            let engine = Engine::new(app, vec![1; 12], config).expect("valid engine config");
+            let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
+            let ctx = format!("LR {scheduler} op={op}");
+
+            assert!(report.sink_events > 0, "{ctx}: run survived the fault");
+            assert_eq!(report.faults().len(), 1, "{ctx}");
+            let fault = &report.faults()[0];
+            assert_eq!(fault.op_index, op, "{ctx}: fault attributed to op");
+            assert!(fault.restarted, "{ctx}");
+            assert_eq!(report.operator(op).restarts, 1, "{ctx}");
+
+            // Parser (op 1) emits on a single stream: its edge from the
+            // spout stays attributable whatever else the fault disturbed.
+            let parser = report.operator(1);
+            assert_eq!(
+                report.operator(0).emitted,
+                parser.processed + parser.quarantined,
+                "{ctx}: spout→parser conservation"
+            );
+            assert_eq!(report.operator(0).emitted, budget, "{ctx}: full budget");
+            let quarantined = report.fault_summary().quarantined;
+            if op == 0 {
+                assert_eq!(quarantined, 0, "{ctx}: spout fault predates the tuple");
+            } else {
+                assert_eq!(quarantined, 1, "{ctx}: exactly the poison tuple");
+            }
+        }
+    }
+}
