@@ -14,7 +14,7 @@
 use crate::generators::{Transaction, TransactionGenerator};
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, TupleView};
 use std::collections::HashMap;
 
 /// Operator names, in pipeline order.
@@ -68,7 +68,7 @@ impl DynSpout for FdSpout {
         let txn = self.generator.next_transaction();
         let key = txn.account as u64;
         let now = collector.now_ns();
-        collector.emit_default(Tuple::keyed(txn, now, key));
+        collector.send_default(txn, now, key);
         SpoutStatus::Emitted(1)
     }
 }
@@ -76,12 +76,12 @@ impl DynSpout for FdSpout {
 struct FdParser;
 
 impl DynBolt for FdParser {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(txn) = tuple.value::<Transaction>() else {
             return;
         };
         if txn.amount > 0 {
-            collector.emit_default(tuple.clone());
+            collector.send_default(*txn, tuple.event_ns, tuple.key);
         }
     }
 }
@@ -126,7 +126,7 @@ fn encode_state(category: u16, band: u16) -> u16 {
 }
 
 impl DynBolt for FdPredictor {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(txn) = tuple.value::<Transaction>() else {
             return;
         };
@@ -141,7 +141,7 @@ impl DynBolt for FdPredictor {
         let score = seen as f64 / total as f64;
         *last = new_state;
         // A signal is emitted whether or not fraud triggered (selectivity 1).
-        collector.emit_default(Tuple::keyed(
+        collector.send_default(
             FraudSignal {
                 account: txn.account,
                 score,
@@ -149,14 +149,14 @@ impl DynBolt for FdPredictor {
             },
             tuple.event_ns,
             txn.account as u64,
-        ));
+        );
     }
 }
 
 struct FdSink;
 
 impl DynBolt for FdSink {
-    fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
+    fn execute(&mut self, _tuple: &TupleView<'_>, _collector: &mut Collector) {}
 }
 
 /// The runnable FD application, generating transactions until stopped.

@@ -77,7 +77,7 @@ impl SentenceGenerator {
 }
 
 /// A credit-card style transaction record (the FD workload).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transaction {
     /// Account identifier.
     pub account: u32,

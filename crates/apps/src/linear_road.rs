@@ -15,7 +15,7 @@
 use crate::generators::{LrEvent, LrGenerator};
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, TupleView};
 use std::collections::{HashMap, HashSet};
 
 /// Output stream names (Table 8).
@@ -258,7 +258,7 @@ impl DynSpout for LrSpout {
             | LrEvent::AccountBalance { vehicle }
             | LrEvent::DailyExpenditure { vehicle } => vehicle as u64,
         };
-        collector.emit_default(Tuple::keyed(event, now, key));
+        collector.send_default(event, now, key);
         SpoutStatus::Emitted(1)
     }
 }
@@ -266,9 +266,9 @@ impl DynSpout for LrSpout {
 struct LrParser;
 
 impl DynBolt for LrParser {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
-        if tuple.value::<LrEvent>().is_some() {
-            collector.emit_default(tuple.clone());
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
+        if let Some(event) = tuple.value::<LrEvent>() {
+            collector.send_default(*event, tuple.event_ns, tuple.key);
         }
     }
 }
@@ -276,7 +276,7 @@ impl DynBolt for LrParser {
 struct LrDispatcher;
 
 impl DynBolt for LrDispatcher {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(event) = tuple.value::<LrEvent>() else {
             return;
         };
@@ -286,27 +286,23 @@ impl DynBolt for LrDispatcher {
                 speed,
                 segment,
                 lane,
-            } => collector.emit(
+            } => collector.send(
                 streams::POSITION,
-                Tuple::keyed(
-                    PositionReport {
-                        vehicle,
-                        speed,
-                        segment,
-                        lane,
-                    },
-                    tuple.event_ns,
-                    segment as u64,
-                ),
+                PositionReport {
+                    vehicle,
+                    speed,
+                    segment,
+                    lane,
+                },
+                tuple.event_ns,
+                segment as u64,
             ),
-            LrEvent::AccountBalance { vehicle } => collector.emit(
-                streams::BALANCE,
-                Tuple::keyed(vehicle, tuple.event_ns, vehicle as u64),
-            ),
-            LrEvent::DailyExpenditure { vehicle } => collector.emit(
-                streams::DAILY,
-                Tuple::keyed(vehicle, tuple.event_ns, vehicle as u64),
-            ),
+            LrEvent::AccountBalance { vehicle } => {
+                collector.send(streams::BALANCE, vehicle, tuple.event_ns, vehicle as u64)
+            }
+            LrEvent::DailyExpenditure { vehicle } => {
+                collector.send(streams::DAILY, vehicle, tuple.event_ns, vehicle as u64)
+            }
         }
     }
 }
@@ -317,23 +313,21 @@ struct LrAvgSpeed {
 }
 
 impl DynBolt for LrAvgSpeed {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(p) = tuple.value::<PositionReport>() else {
             return;
         };
         let e = self.acc.entry(p.segment).or_insert((0.0, 0));
         e.0 += p.speed as f64;
         e.1 += 1;
-        collector.emit(
+        collector.send(
             streams::AVG,
-            Tuple::keyed(
-                SegmentSpeed {
-                    segment: p.segment,
-                    mph: e.0 / e.1 as f64,
-                },
-                tuple.event_ns,
-                p.segment as u64,
-            ),
+            SegmentSpeed {
+                segment: p.segment,
+                mph: e.0 / e.1 as f64,
+            },
+            tuple.event_ns,
+            p.segment as u64,
         );
     }
 }
@@ -343,7 +337,7 @@ struct LrLastAvgSpeed {
 }
 
 impl DynBolt for LrLastAvgSpeed {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(s) = tuple.value::<SegmentSpeed>() else {
             return;
         };
@@ -352,16 +346,14 @@ impl DynBolt for LrLastAvgSpeed {
         let prev = self.last.get(&s.segment).copied().unwrap_or(s.mph);
         let smoothed = 0.75 * prev + 0.25 * s.mph;
         self.last.insert(s.segment, smoothed);
-        collector.emit(
+        collector.send(
             streams::LAS,
-            Tuple::keyed(
-                SegmentSpeed {
-                    segment: s.segment,
-                    mph: smoothed,
-                },
-                tuple.event_ns,
-                s.segment as u64,
-            ),
+            SegmentSpeed {
+                segment: s.segment,
+                mph: smoothed,
+            },
+            tuple.event_ns,
+            s.segment as u64,
         );
     }
 }
@@ -372,7 +364,7 @@ struct LrAccidentDetect {
 }
 
 impl DynBolt for LrAccidentDetect {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(p) = tuple.value::<PositionReport>() else {
             return;
         };
@@ -383,16 +375,14 @@ impl DynBolt for LrAccidentDetect {
                 // Four consecutive stopped reports in one segment = accident
                 // (the LR benchmark's rule).
                 if e.1 == 4 {
-                    collector.emit(
+                    collector.send(
                         streams::DETECT,
-                        Tuple::keyed(
-                            AccidentAlert {
-                                segment: p.segment,
-                                vehicle: p.vehicle,
-                            },
-                            tuple.event_ns,
-                            p.segment as u64,
-                        ),
+                        AccidentAlert {
+                            segment: p.segment,
+                            vehicle: p.vehicle,
+                        },
+                        tuple.event_ns,
+                        p.segment as u64,
                     );
                 }
             } else {
@@ -409,22 +399,20 @@ struct LrCountVehicle {
 }
 
 impl DynBolt for LrCountVehicle {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(p) = tuple.value::<PositionReport>() else {
             return;
         };
         let set = self.seen.entry(p.segment).or_default();
         set.insert(p.vehicle);
-        collector.emit(
+        collector.send(
             streams::COUNTS,
-            Tuple::keyed(
-                SegmentCount {
-                    segment: p.segment,
-                    vehicles: set.len() as u32,
-                },
-                tuple.event_ns,
-                p.segment as u64,
-            ),
+            SegmentCount {
+                segment: p.segment,
+                vehicles: set.len() as u32,
+            },
+            tuple.event_ns,
+            p.segment as u64,
         );
     }
 }
@@ -434,7 +422,7 @@ struct LrAccidentNotify {
 }
 
 impl DynBolt for LrAccidentNotify {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         if let Some(a) = tuple.value::<AccidentAlert>() {
             self.accident_segments.insert(a.segment);
             return;
@@ -442,10 +430,7 @@ impl DynBolt for LrAccidentNotify {
         if let Some(p) = tuple.value::<PositionReport>() {
             // Notify vehicles entering a segment with a known accident.
             if self.accident_segments.contains(&p.segment) {
-                collector.emit(
-                    streams::NOTIFY,
-                    Tuple::keyed(*p, tuple.event_ns, p.vehicle as u64),
-                );
+                collector.send(streams::NOTIFY, *p, tuple.event_ns, p.vehicle as u64);
             }
         }
     }
@@ -475,49 +460,43 @@ impl LrTollNotify {
 }
 
 impl DynBolt for LrTollNotify {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         if let Some(p) = tuple.value::<PositionReport>() {
             let toll = self.toll_for(p.segment);
-            collector.emit(
+            collector.send(
                 streams::TOLL,
-                Tuple::keyed(
-                    TollNotification {
-                        vehicle: p.vehicle,
-                        toll,
-                    },
-                    tuple.event_ns,
-                    p.vehicle as u64,
-                ),
+                TollNotification {
+                    vehicle: p.vehicle,
+                    toll,
+                },
+                tuple.event_ns,
+                p.vehicle as u64,
             );
             return;
         }
         if let Some(c) = tuple.value::<SegmentCount>() {
             self.counts.insert(c.segment, c.vehicles);
-            collector.emit(
+            collector.send(
                 streams::TOLL,
-                Tuple::keyed(
-                    TollNotification {
-                        vehicle: 0,
-                        toll: self.toll_for(c.segment),
-                    },
-                    tuple.event_ns,
-                    c.segment as u64,
-                ),
+                TollNotification {
+                    vehicle: 0,
+                    toll: self.toll_for(c.segment),
+                },
+                tuple.event_ns,
+                c.segment as u64,
             );
             return;
         }
         if let Some(s) = tuple.value::<SegmentSpeed>() {
             self.speeds.insert(s.segment, s.mph);
-            collector.emit(
+            collector.send(
                 streams::TOLL,
-                Tuple::keyed(
-                    TollNotification {
-                        vehicle: 0,
-                        toll: self.toll_for(s.segment),
-                    },
-                    tuple.event_ns,
-                    s.segment as u64,
-                ),
+                TollNotification {
+                    vehicle: 0,
+                    toll: self.toll_for(s.segment),
+                },
+                tuple.event_ns,
+                s.segment as u64,
             );
             return;
         }
@@ -532,13 +511,13 @@ struct LrDailyExpen {
 }
 
 impl DynBolt for LrDailyExpen {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(vehicle) = tuple.value::<u32>() else {
             return;
         };
         let total = self.totals.entry(*vehicle).or_insert(0);
         *total += 1;
-        collector.emit_default(Tuple::keyed(*total, tuple.event_ns, *vehicle as u64));
+        collector.send_default(*total, tuple.event_ns, *vehicle as u64);
     }
 }
 
@@ -547,20 +526,20 @@ struct LrAccountBalance {
 }
 
 impl DynBolt for LrAccountBalance {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(vehicle) = tuple.value::<u32>() else {
             return;
         };
         let balance = self.balances.entry(*vehicle).or_insert(10_000);
         *balance -= 25;
-        collector.emit_default(Tuple::keyed(*balance, tuple.event_ns, *vehicle as u64));
+        collector.send_default(*balance, tuple.event_ns, *vehicle as u64);
     }
 }
 
 struct LrSink;
 
 impl DynBolt for LrSink {
-    fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
+    fn execute(&mut self, _tuple: &TupleView<'_>, _collector: &mut Collector) {}
 }
 
 /// The runnable LR application, generating events until stopped.

@@ -9,7 +9,7 @@
 use crate::generators::{SensorGenerator, SensorReading};
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, TupleView};
 use std::collections::{HashMap, VecDeque};
 
 /// Operator names, in pipeline order.
@@ -97,7 +97,7 @@ impl DynSpout for SdSpout {
         self.remaining -= 1;
         let r = self.generator.next_reading();
         let now = collector.now_ns();
-        collector.emit_default(Tuple::keyed(r, now, r.device as u64));
+        collector.send_default(r, now, r.device as u64);
         SpoutStatus::Emitted(1)
     }
 }
@@ -105,12 +105,12 @@ impl DynSpout for SdSpout {
 struct SdParser;
 
 impl DynBolt for SdParser {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(r) = tuple.value::<SensorReading>() else {
             return;
         };
         if r.value.is_finite() {
-            collector.emit_default(tuple.clone());
+            collector.send_default(*r, tuple.event_ns, tuple.key);
         }
     }
 }
@@ -120,7 +120,7 @@ struct SdMovingAverage {
 }
 
 impl DynBolt for SdMovingAverage {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(r) = tuple.value::<SensorReading>() else {
             return;
         };
@@ -130,25 +130,25 @@ impl DynBolt for SdMovingAverage {
             window.pop_front();
         }
         let average = window.iter().sum::<f64>() / window.len() as f64;
-        collector.emit_default(Tuple::keyed(
+        collector.send_default(
             AveragedReading {
                 reading: *r,
                 average,
             },
             tuple.event_ns,
             r.device as u64,
-        ));
+        );
     }
 }
 
 struct SdSpikeDetect;
 
 impl DynBolt for SdSpikeDetect {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(a) = tuple.value::<AveragedReading>() else {
             return;
         };
-        collector.emit_default(Tuple::keyed(
+        collector.send_default(
             SpikeSignal {
                 device: a.reading.device,
                 value: a.reading.value,
@@ -156,14 +156,14 @@ impl DynBolt for SdSpikeDetect {
             },
             tuple.event_ns,
             a.reading.device as u64,
-        ));
+        );
     }
 }
 
 struct SdSink;
 
 impl DynBolt for SdSink {
-    fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
+    fn execute(&mut self, _tuple: &TupleView<'_>, _collector: &mut Collector) {}
 }
 
 /// The runnable SD application, generating readings until stopped.

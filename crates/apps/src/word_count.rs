@@ -15,7 +15,7 @@
 use crate::generators::SentenceGenerator;
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple, TupleView};
 use std::collections::HashMap;
 
 /// Operator names, in pipeline order.
@@ -77,7 +77,7 @@ impl DynSpout for WcSpout {
         self.remaining -= 1;
         let sentence = self.generator.next_sentence();
         let now = collector.now_ns();
-        collector.emit_default(Tuple::new(sentence, now));
+        collector.send_default(sentence, now, 0);
         SpoutStatus::Emitted(1)
     }
 }
@@ -85,13 +85,13 @@ impl DynSpout for WcSpout {
 struct WcParser;
 
 impl DynBolt for WcParser {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(sentence) = tuple.value::<String>() else {
             return;
         };
         // Drop invalid (empty) tuples; selectivity is 1 on this workload.
         if !sentence.is_empty() {
-            collector.emit_default(tuple.clone());
+            collector.send_default(sentence.clone(), tuple.event_ns, tuple.key);
         }
     }
 }
@@ -99,13 +99,13 @@ impl DynBolt for WcParser {
 struct WcSplitter;
 
 impl DynBolt for WcSplitter {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(sentence) = tuple.value::<String>() else {
             return;
         };
         for word in sentence.split(' ') {
             let key = Tuple::hash_key(word.as_bytes());
-            collector.emit_default(Tuple::keyed(word.to_string(), tuple.event_ns, key));
+            collector.send_default(word.to_string(), tuple.event_ns, key);
         }
     }
 }
@@ -115,24 +115,20 @@ struct WcCounter {
 }
 
 impl DynBolt for WcCounter {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let Some(word) = tuple.value::<String>() else {
             return;
         };
         let count = self.counts.entry(word.clone()).or_insert(0);
         *count += 1;
-        collector.emit_default(Tuple::keyed(
-            (word.clone(), *count),
-            tuple.event_ns,
-            tuple.key,
-        ));
+        collector.send_default((word.clone(), *count), tuple.event_ns, tuple.key);
     }
 }
 
 struct WcSink;
 
 impl DynBolt for WcSink {
-    fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
+    fn execute(&mut self, _tuple: &TupleView<'_>, _collector: &mut Collector) {}
 }
 
 /// The runnable WC application (threaded engine form), generating sentences

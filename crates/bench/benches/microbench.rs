@@ -7,7 +7,7 @@ use brisk_dag::{ExecutionGraph, Placement};
 use brisk_model::Evaluator;
 use brisk_numa::{Machine, SocketId};
 use brisk_rlas::{optimize_placement, PlacementOptions};
-use brisk_runtime::{BoundedQueue, JumboTuple, Tuple};
+use brisk_runtime::{Batch, BoundedQueue, JumboTuple};
 use brisk_sim::{SimConfig, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -25,13 +25,11 @@ fn bench_queue(c: &mut Criterion) {
     });
     g.bench_function("jumbo_push_pop_64", |b| {
         let q: BoundedQueue<JumboTuple> = BoundedQueue::new(64);
+        // One shared slab, cloned per iteration: the queue moves a batch
+        // handle, the payloads never move (the zero-copy fast path).
+        let batch = Batch::from_rows((0..64).map(|i| (i as u64, 0, i as u64)));
         b.iter(|| {
-            let jumbo = JumboTuple {
-                producer: 0,
-                logical_edge: 0,
-                tuples: (0..64).map(|i| Tuple::new(i as u64, 0)).collect(),
-            };
-            q.push(jumbo).expect("open");
+            q.push(JumboTuple::new(0, 0, batch.clone())).expect("open");
             std::hint::black_box(q.try_pop())
         });
     });

@@ -10,6 +10,12 @@
 //! * `push_pop_u64` — minimal element, the raw fabric floor.
 //! * `jumbo_push_pop_64` — one [`JumboTuple`] of 64 tuples per crossing
 //!   (the default `jumbo_size`); throughput is reported per *tuple*.
+//! * `jumbo64_payload64B` / `jumbo64_payload1KB` — the same crossing with
+//!   64-byte and 1-KiB payloads behind the batch handle. Under the
+//!   zero-copy fabric the queue moves a `(slab, start, len)` handle, so
+//!   these should price like the u64 jumbo row — that invariance (not the
+//!   absolute number) is what the rows gate. A fabric that copied payloads
+//!   would scale with payload size and show up immediately here.
 //! * `batch8_jumbo64` — `push_n`/`pop_n` moving 8 jumbos per index
 //!   publish, the grouped flush/drain path.
 //! * `xcore_pingpong_jumbo64` — the **2-thread** variant: a dedicated
@@ -25,16 +31,39 @@
 //! edges. Results are recorded in `BENCH_queue.json` at the repo root; the
 //! SPSC ring must beat the mutex queue by ≥2× on `jumbo_push_pop_64`.
 
-use brisk_runtime::{JumboTuple, QueueKind, ReplicaQueue, Tuple};
+use brisk_runtime::{Batch, JumboTuple, QueueKind, ReplicaQueue};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 
 fn jumbo(n: usize) -> JumboTuple {
-    JumboTuple {
-        producer: 0,
-        logical_edge: 0,
-        tuples: (0..n).map(|i| Tuple::new(i as u64, 0)).collect(),
-    }
+    JumboTuple::new(
+        0,
+        0,
+        Batch::from_rows((0..n).map(|i| (i as u64, 0, i as u64))),
+    )
+}
+
+/// A jumbo of `n` tuples each carrying a `BYTES`-byte opaque payload in
+/// the shared slab.
+fn payload_jumbo<const BYTES: usize>(n: usize) -> JumboTuple {
+    JumboTuple::new(
+        0,
+        0,
+        Batch::from_rows((0..n).map(|i| ([0u8; BYTES], 0, i as u64))),
+    )
+}
+
+/// Ping-pong `carried` through a fresh queue of `kind` (push then pop per
+/// iteration): pure queue overhead for whatever payload sits behind the
+/// batch handle.
+fn pingpong_jumbo(b: &mut criterion::Bencher, kind: QueueKind, seed: JumboTuple) {
+    let q: ReplicaQueue<JumboTuple> = ReplicaQueue::new(kind, 64);
+    let mut carried = Some(seed);
+    b.iter(|| {
+        q.push(carried.take().expect("carried")).expect("open");
+        carried = q.try_pop();
+        std::hint::black_box(carried.is_some())
+    });
 }
 
 fn bench_kind(c: &mut Criterion, kind: QueueKind) {
@@ -54,15 +83,19 @@ fn bench_kind(c: &mut Criterion, kind: QueueKind) {
 
     g.throughput(Throughput::Elements(64));
     g.bench_function("jumbo_push_pop_64", |b| {
-        let q: ReplicaQueue<JumboTuple> = ReplicaQueue::new(kind, 64);
         // Ping-pong one pre-built jumbo: measures queue overhead per
         // 64-tuple group, not tuple construction.
-        let mut carried = Some(jumbo(64));
-        b.iter(|| {
-            q.push(carried.take().expect("carried")).expect("open");
-            carried = q.try_pop();
-            std::hint::black_box(carried.is_some())
-        });
+        pingpong_jumbo(b, kind, jumbo(64));
+    });
+
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("jumbo64_payload64B", |b| {
+        pingpong_jumbo(b, kind, payload_jumbo::<64>(64));
+    });
+
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("jumbo64_payload1KB", |b| {
+        pingpong_jumbo(b, kind, payload_jumbo::<1024>(64));
     });
 
     g.throughput(Throughput::Elements(8 * 64));

@@ -147,6 +147,10 @@ pub struct MeasuredRun {
     pub elapsed: Duration,
     /// Sink events per second.
     pub throughput: f64,
+    /// Inverse throughput: nanoseconds of wall-clock per sink tuple. The
+    /// zero-copy batch fabric's headline number — broadcast and fused
+    /// delivery are refcount bumps, so this is what they move.
+    pub per_tuple_ns: f64,
     /// Median end-to-end latency, microseconds.
     pub p50_latency_us: f64,
     /// Tail end-to-end latency, microseconds.
@@ -282,6 +286,7 @@ fn measure(
         sink_events: report.sink_events,
         elapsed: report.elapsed,
         throughput: report.throughput,
+        per_tuple_ns: 1e9 / report.throughput.max(f64::MIN_POSITIVE),
         p50_latency_us: report.latency_ns.percentile(50.0) / 1e3,
         p99_latency_us: report.latency_ns.percentile(99.0) / 1e3,
         queue_full_events: per_op.iter().map(|o| o.queue_full_events).sum(),
@@ -653,13 +658,15 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
         out.push_str("      \"measured\": {\n");
         for (j, m) in r.measured.iter().enumerate() {
             out.push_str(&format!(
-                "        \"{}\": {{\"throughput\": {}, \"input_events\": {}, \"sink_events\": {}, \
+                "        \"{}\": {{\"throughput\": {}, \"per_tuple_ns\": {}, \
+                 \"input_events\": {}, \"sink_events\": {}, \
                  \"elapsed_secs\": {:.3}, \"p50_latency_us\": {}, \"p99_latency_us\": {}, \
                  \"queue_full_events\": {}, \"queue_crossings\": {}, \
                  \"measured_over_predicted\": {}, \
                  \"per_operator_output_rate\": {}}}{}\n",
                 m.queue_kind,
                 num(m.throughput),
+                num(m.per_tuple_ns),
                 m.input_events,
                 m.sink_events,
                 m.elapsed.as_secs_f64(),
@@ -796,6 +803,7 @@ mod tests {
                 sink_events: 100,
                 elapsed: Duration::from_millis(10),
                 throughput: 999.25,
+                per_tuple_ns: 1e9 / 999.25,
                 p50_latency_us: 1.0,
                 p99_latency_us: 2.0,
                 queue_full_events: 0,

@@ -20,7 +20,7 @@
 
 use brisk_dag::{CostProfile, LogicalTopology, OperatorId, OperatorKind, TopologyBuilder};
 use brisk_metrics::Cdf;
-use brisk_runtime::{AppRuntime, Collector, OperatorRuntime, SpoutStatus, Tuple};
+use brisk_runtime::{AppRuntime, Collector, OperatorRuntime, SpoutStatus, Tuple, TupleView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,8 +111,9 @@ pub fn live_profile(app: &AppRuntime, samples: usize) -> Vec<OperatorProfile> {
                 let mut bolt = factory(ctx);
                 let sample_input = &inputs[op.0];
                 for tuple in sample_input.iter().take(samples) {
+                    let view = TupleView::of_tuple(tuple);
                     let t0 = std::time::Instant::now();
-                    bolt.execute(tuple, &mut collector);
+                    bolt.execute(&view, &mut collector);
                     cdf.add(t0.elapsed().as_nanos() as f64);
                 }
             }
@@ -127,7 +128,7 @@ pub fn live_profile(app: &AppRuntime, samples: usize) -> Vec<OperatorProfile> {
                 .collect();
             while let Some(jumbo) = queue.try_pop() {
                 for c in &consumers {
-                    inputs[c.0].extend(jumbo.tuples.iter().cloned());
+                    inputs[c.0].extend((0..jumbo.batch.len()).map(|i| jumbo.batch.to_tuple(i)));
                 }
             }
         }

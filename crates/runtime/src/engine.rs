@@ -13,6 +13,7 @@
 //! the real hardware would charge. This keeps execution-plan shapes
 //! meaningful end to end.
 
+use crate::batch::{Batch, BatchCursor, SlabPool, SlabStats};
 use crate::fusion::{FusedSinkState, FusedTarget, SinkLocal, SinkProgress};
 use crate::operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, EngineClock, OperatorRuntime,
@@ -26,7 +27,7 @@ use crate::supervise::{
     self, panic_message, FaultKind, FaultSummary, ReplicaFault, RestartPolicy, StallEvent,
     WatchEntry,
 };
-use crate::tuple::{JumboTuple, Tuple};
+use crate::tuple::JumboTuple;
 use brisk_dag::{
     ExecutionGraph, ExecutionPlan, FusionPlan, LogicalTopology, OperatorId, OperatorKind,
     Partitioning,
@@ -264,6 +265,13 @@ pub struct RunReport {
     /// removed crossings.
     #[deprecated(note = "use `RunReport::operator(op).queue_pushes` instead")]
     pub queue_pushes: Vec<u64>,
+    /// Payload slabs freshly allocated by the batch fabric over the whole
+    /// run (pool misses). Steady state should be dominated by
+    /// [`RunReport::slab_recycled`] instead.
+    pub slab_allocs: u64,
+    /// Payload slabs reused from a producer arena pool (pool hits) — the
+    /// zero-allocation steady-state path.
+    pub slab_recycled: u64,
     /// Replica restarts per operator (supervision).
     op_restarts: Vec<u64>,
     /// Quarantined (dead-lettered) tuples per operator.
@@ -460,7 +468,7 @@ impl Engine {
     /// use brisk_dag::{CostProfile, TopologyBuilder, DEFAULT_STREAM};
     /// use brisk_runtime::{
     ///     AppRuntime, Collector, DynBolt, DynSpout, Engine, EngineConfig, QueueKind, RunLimit,
-    ///     Scheduler, SpoutStatus, Tuple,
+    ///     Scheduler, SpoutStatus, TupleView,
     /// };
     /// use std::time::Duration;
     ///
@@ -472,19 +480,20 @@ impl Engine {
     ///         }
     ///         self.0 -= 1;
     ///         let now = c.now_ns();
-    ///         c.emit(DEFAULT_STREAM, Tuple::keyed(self.0, now, self.0));
+    ///         c.send_default(self.0, now, self.0);
     ///         SpoutStatus::Emitted(1)
     ///     }
     /// }
     /// struct Relay;
     /// impl DynBolt for Relay {
-    ///     fn execute(&mut self, t: &Tuple, c: &mut Collector) {
-    ///         c.emit(DEFAULT_STREAM, t.clone());
+    ///     fn execute(&mut self, t: &TupleView<'_>, c: &mut Collector) {
+    ///         let v = *t.value::<u64>().expect("u64 payloads");
+    ///         c.send_default(v, t.event_ns, t.key);
     ///     }
     /// }
     /// struct Discard;
     /// impl DynBolt for Discard {
-    ///     fn execute(&mut self, _t: &Tuple, _c: &mut Collector) {}
+    ///     fn execute(&mut self, _t: &TupleView<'_>, _c: &mut Collector) {}
     /// }
     ///
     /// let mut b = TopologyBuilder::new("quick");
@@ -575,6 +584,20 @@ impl Engine {
         );
         let wake_hub = pool_workers.map(|_| Arc::new(WakeHub::new(total_replicas)));
 
+        // Slab arenas for the zero-copy batch fabric: one pool per
+        // (operator, replica) producer, all reporting into one engine-wide
+        // stats sink so teardown can assert every slab came home.
+        let slab_stats = Arc::new(SlabStats::default());
+        let pools: Vec<Vec<Arc<SlabPool>>> = self
+            .replication
+            .iter()
+            .map(|&r| {
+                (0..r)
+                    .map(|_| SlabPool::new(Arc::clone(&slab_stats)))
+                    .collect()
+            })
+            .collect();
+
         // Queues per unfused logical edge. Output edges are grouped per
         // (operator, local replica) because fused-away operators emit from
         // their host's thread rather than a replica of their own.
@@ -609,15 +632,15 @@ impl Engine {
                     queue: Arc::clone(&q),
                     producer_bytes,
                 });
-                for outputs in op_outputs[edge.from.0].iter_mut().take(np) {
-                    outputs.push(OutputEdge {
-                        logical_edge: lei,
-                        stream: edge.stream.clone(),
-                        partitioner: Partitioner::new(edge.partitioning, 1),
-                        queues: vec![Arc::clone(&q)],
-                        consumers: vec![replica_base[edge.to.0]],
-                        buffers: vec![Vec::new()],
-                    });
+                for (r, outputs) in op_outputs[edge.from.0].iter_mut().enumerate().take(np) {
+                    outputs.push(OutputEdge::new(
+                        lei,
+                        edge.stream.clone(),
+                        Partitioner::new(edge.partitioning, 1),
+                        vec![Arc::clone(&q)],
+                        vec![replica_base[edge.to.0]],
+                        &pools[edge.from.0][r],
+                    ));
                 }
                 continue;
             }
@@ -640,19 +663,19 @@ impl Engine {
                         queue: Arc::clone(&q),
                         producer_bytes,
                     });
-                    outputs.push(OutputEdge {
-                        logical_edge: lei,
-                        stream: edge.stream.clone(),
-                        // One queue: the router degenerates to "target 0".
-                        partitioner: Partitioner::new(edge.partitioning, 1),
-                        queues: vec![q],
-                        consumers: vec![cg],
-                        buffers: vec![Vec::new()],
-                    });
+                    // One queue: the router degenerates to "target 0".
+                    outputs.push(OutputEdge::new(
+                        lei,
+                        edge.stream.clone(),
+                        Partitioner::new(edge.partitioning, 1),
+                        vec![q],
+                        vec![cg],
+                        &pools[edge.from.0][r],
+                    ));
                 }
                 continue;
             }
-            for outputs in op_outputs[edge.from.0].iter_mut().take(np) {
+            for (r, outputs) in op_outputs[edge.from.0].iter_mut().enumerate().take(np) {
                 let mut queues = Vec::with_capacity(nc);
                 let mut consumers = Vec::with_capacity(nc);
                 for c in 0..nc {
@@ -671,14 +694,14 @@ impl Engine {
                     queues.push(q);
                     consumers.push(cg);
                 }
-                outputs.push(OutputEdge {
-                    logical_edge: lei,
-                    stream: edge.stream.clone(),
-                    partitioner: Partitioner::new(edge.partitioning, nc),
+                outputs.push(OutputEdge::new(
+                    lei,
+                    edge.stream.clone(),
+                    Partitioner::new(edge.partitioning, nc),
                     queues,
                     consumers,
-                    buffers: (0..nc).map(|_| Vec::new()).collect(),
-                });
+                    &pools[edge.from.0][r],
+                ));
             }
         }
 
@@ -949,6 +972,17 @@ impl Engine {
             let _ = w.join();
         }
 
+        // Every queue, collector and pending batch dropped with its task,
+        // so every slab checked out of an arena must be home again. Debug
+        // tripwire: a nonzero count is a refcount leak in the batch fabric.
+        drop(pools);
+        debug_assert_eq!(
+            slab_stats.outstanding(),
+            0,
+            "slab leak at engine teardown: {} slab(s) still outstanding",
+            slab_stats.outstanding()
+        );
+
         let elapsed = started.elapsed();
         let load_all =
             |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|c| c.load(Ordering::Relaxed)).collect() };
@@ -965,6 +999,8 @@ impl Engine {
             op_restarts: load_all(&shared.restarts),
             op_quarantined: load_all(&shared.quarantined),
             op_fault_counts: load_all(&shared.op_faults),
+            slab_allocs: slab_stats.allocated(),
+            slab_recycled: slab_stats.recycled(),
             faults: std::mem::take(&mut *shared.faults.lock()),
             stalls: std::mem::take(&mut *shared.stalls.lock()),
         };
@@ -1370,10 +1406,11 @@ pub(crate) struct BoltState {
     /// by a contained panic resumes against the right fetch-cost bookkeeping
     /// after a restart.
     pub(crate) batch_port: usize,
-    /// Tuples from a panic-interrupted jumbo that were *not* executed and
-    /// are *not* the poison tuple: replayed first after a restart, so a
-    /// contained panic loses exactly the one quarantined tuple.
-    pub(crate) pending: Vec<Tuple>,
+    /// Remainders of panic-interrupted batches — everything after the
+    /// quarantined poison tuple, kept as zero-copy slices of the shared
+    /// slab: replayed first after a restart, so a contained panic loses
+    /// exactly the one quarantined tuple.
+    pub(crate) pending: Vec<Batch>,
     pub(crate) sink_local: Option<SinkLocal>,
     pub(crate) since_flush: u32,
 }
@@ -1433,27 +1470,35 @@ pub(crate) fn consume_batch(
         } else {
             0
         };
-        // One guard per jumbo, not per tuple: catch_unwind is free on the
-        // non-panic path, and `done` pins the poison tuple on unwind.
-        let mut done = 0usize;
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            while done < total {
-                let t = &jumbo.tuples[done];
-                state.bolt.execute(t, collector);
-                if let Some(local) = state.sink_local.as_mut() {
-                    local
-                        .latency
-                        .record(now_ns.saturating_sub(t.event_ns) as f64);
-                    local.events += 1;
-                    // Relaxed aggregate so `run_until_events` can poll.
-                    shared.sink_progress.events.fetch_add(1, Ordering::Relaxed);
-                }
-                done += 1;
-            }
-        }));
+        // One guard per batch, not per tuple: catch_unwind is free on the
+        // non-panic path, and the cursor pins the poison tuple on unwind.
+        let batch = jumbo.batch;
+        let cursor = BatchCursor::new(&batch);
+        let bolt = &mut state.bolt;
+        let result = catch_unwind(AssertUnwindSafe(|| bolt.consume(&cursor, collector)));
         shared.progress[collector.replica()].fetch_add(1, Ordering::Relaxed);
+        // Sink metrics are recorded post-hoc off the batch's event-time
+        // lane (completed prefix only, on a fault) — one clock read per
+        // batch, same resolution as before, no per-tuple bookkeeping
+        // inside the hot loop.
+        let record_sink = |state: &mut BoltState, upto: usize| {
+            if let Some(local) = state.sink_local.as_mut() {
+                for &ev in &batch.event_ns_lane()[..upto] {
+                    local.latency.record(now_ns.saturating_sub(ev) as f64);
+                }
+                local.events += upto as u64;
+                // Relaxed aggregate so `run_until_events` can poll.
+                shared
+                    .sink_progress
+                    .events
+                    .fetch_add(upto as u64, Ordering::Relaxed);
+            }
+        };
         match result {
             Ok(()) => {
+                // Returning normally from `consume` counts the whole batch
+                // as processed (the documented contract).
+                record_sink(state, total);
                 shared.processed[op_index].fetch_add(total as u64, Ordering::Relaxed);
                 state.since_flush += 1;
                 if state.since_flush >= shared.config.flush_every {
@@ -1462,14 +1507,18 @@ pub(crate) fn consume_batch(
                 }
             }
             Err(payload) => {
-                // `done` tuples executed and count as processed; tuple
+                // `done` tuples completed and count as processed; tuple
                 // `done` is the poison tuple — quarantined, never retried;
-                // the tail replays after restart.
+                // the tail replays after restart as a zero-copy slice of
+                // the same slab (no payload clones to quarantine out of a
+                // shared batch).
+                let done = cursor.done().min(total);
+                record_sink(state, done);
                 shared.processed[op_index].fetch_add(done as u64, Ordering::Relaxed);
                 shared.quarantined[op_index].fetch_add(1, Ordering::Relaxed);
-                state
-                    .pending
-                    .extend(jumbo.tuples.into_iter().skip(done + 1));
+                if done + 1 < total {
+                    state.pending.push(batch.slice(done + 1, total - done - 1));
+                }
                 return Err(panic_message(payload.as_ref()));
             }
         }
@@ -1486,20 +1535,32 @@ pub(crate) fn replay_pending(
     op_index: usize,
     shared: &EngineShared,
 ) -> Result<(), String> {
-    while !state.pending.is_empty() {
-        let t = state.pending.remove(0);
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            state.bolt.execute(&t, collector);
-            if let Some(local) = state.sink_local.as_mut() {
-                let now = shared.clock.now_ns();
-                local.latency.record(now.saturating_sub(t.event_ns) as f64);
-                local.events += 1;
-                shared.sink_progress.events.fetch_add(1, Ordering::Relaxed);
-            }
-        }));
+    while let Some(front) = state.pending.first_mut() {
+        // Detach one single-tuple slice off the front — a refcount bump on
+        // the shared slab, never a payload clone. Replaying through
+        // `consume` (not `execute`) keeps per-tuple semantics for batch
+        // consumers and fault-injection wrappers alike.
+        let one = front.slice(0, 1);
+        if front.len() == 1 {
+            state.pending.remove(0);
+        } else {
+            let rest = front.slice(1, front.len() - 1);
+            *front = rest;
+        }
+        let cursor = BatchCursor::new(&one);
+        let bolt = &mut state.bolt;
+        let result = catch_unwind(AssertUnwindSafe(|| bolt.consume(&cursor, collector)));
         shared.progress[collector.replica()].fetch_add(1, Ordering::Relaxed);
         match result {
             Ok(()) => {
+                if let Some(local) = state.sink_local.as_mut() {
+                    let now = shared.clock.now_ns();
+                    local
+                        .latency
+                        .record(now.saturating_sub(one.event_ns(0)) as f64);
+                    local.events += 1;
+                    shared.sink_progress.events.fetch_add(1, Ordering::Relaxed);
+                }
                 shared.processed[op_index].fetch_add(1, Ordering::Relaxed);
             }
             Err(payload) => {
@@ -1652,6 +1713,7 @@ fn spin_ns(ns: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::TupleView;
     use crate::operator::{DynBolt, DynSpout, SpoutStatus};
     use crate::tuple::Tuple;
     use brisk_dag::{CostProfile, TopologyBuilder, DEFAULT_STREAM};
@@ -1666,7 +1728,7 @@ mod tests {
                 return SpoutStatus::Exhausted;
             }
             let now = c.now_ns();
-            c.emit(DEFAULT_STREAM, Tuple::keyed(self.next, now, self.next));
+            c.send_default(self.next, now, self.next);
             self.next += 1;
             SpoutStatus::Emitted(1)
         }
@@ -1674,16 +1736,16 @@ mod tests {
 
     struct DoublingBolt;
     impl DynBolt for DoublingBolt {
-        fn execute(&mut self, t: &Tuple, c: &mut Collector) {
+        fn execute(&mut self, t: &TupleView<'_>, c: &mut Collector) {
             let v = *t.value::<u64>().expect("u64 payload");
-            c.emit(DEFAULT_STREAM, Tuple::keyed(v, t.event_ns, t.key));
-            c.emit(DEFAULT_STREAM, Tuple::keyed(v, t.event_ns, t.key));
+            c.send_default(v, t.event_ns, t.key);
+            c.send_default(v, t.event_ns, t.key);
         }
     }
 
     struct NullSink;
     impl DynBolt for NullSink {
-        fn execute(&mut self, _t: &Tuple, _c: &mut Collector) {}
+        fn execute(&mut self, _t: &TupleView<'_>, _c: &mut Collector) {}
     }
 
     fn app(limit: u64) -> AppRuntime {
@@ -1975,7 +2037,7 @@ mod tests {
                 return SpoutStatus::Exhausted;
             }
             let now = c.now_ns();
-            c.emit(DEFAULT_STREAM, Tuple::keyed(self.next, now, self.next));
+            c.send_default(self.next, now, self.next);
             self.next += 1;
             SpoutStatus::Emitted(1)
         }
@@ -2017,6 +2079,17 @@ mod tests {
         // mean at least three pushes, and never fewer than the stalls.
         assert!(report.operator(0).queue_pushes >= 3);
         assert!(report.operator(0).queue_full_events <= report.operator(0).queue_pushes);
+        // Broadcast is a refcount bump: each sealed slab feeds all three
+        // replicas, so slab seals are bounded by the *logical* tuple count
+        // — a fabric that copied per destination would need 3× the slabs.
+        assert!(report.slab_allocs > 0, "the run used the batch fabric");
+        assert!(
+            report.slab_allocs + report.slab_recycled <= 600,
+            "slab seals scale with logical tuples, not destination copies \
+             (allocs {} + recycled {})",
+            report.slab_allocs,
+            report.slab_recycled
+        );
     }
 
     fn forward_app(limit: u64) -> AppRuntime {
@@ -2100,7 +2173,7 @@ mod tests {
         replicas: usize,
     }
     impl DynBolt for ResidueAssertingSink {
-        fn execute(&mut self, t: &Tuple, _c: &mut Collector) {
+        fn execute(&mut self, t: &TupleView<'_>, _c: &mut Collector) {
             assert_eq!(
                 (Tuple::mix_key(t.key) % self.replicas as u64) as usize,
                 self.replica,
@@ -2114,9 +2187,9 @@ mod tests {
     /// Bolt that re-emits its input under the same key (key-preserving).
     struct KeyKeepingBolt;
     impl DynBolt for KeyKeepingBolt {
-        fn execute(&mut self, t: &Tuple, c: &mut Collector) {
+        fn execute(&mut self, t: &TupleView<'_>, c: &mut Collector) {
             let v = *t.value::<u64>().expect("u64 payload");
-            c.emit(DEFAULT_STREAM, Tuple::keyed(v + 1, t.event_ns, t.key));
+            c.send_default(v + 1, t.event_ns, t.key);
         }
     }
 

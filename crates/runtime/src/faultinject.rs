@@ -15,10 +15,10 @@
 //! a restart keeps the inner operator instance — and, for spouts, the
 //! generation cursor — making post-fault counter vectors deterministic.
 
+use crate::batch::TupleView;
 use crate::operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
 };
-use crate::tuple::Tuple;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 use std::time::Duration;
@@ -230,10 +230,15 @@ struct InjectedBolt {
 }
 
 impl DynBolt for InjectedBolt {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         tick(&self.panics, &self.delays);
         self.inner.execute(tuple, collector);
     }
+
+    // `consume` is intentionally NOT forwarded to the inner bolt: the
+    // default drains the batch through `execute` above, which is what
+    // makes the fault trigger fire once per *tuple* (deterministic
+    // ordinals) rather than once per batch.
 
     fn finish(&mut self, collector: &mut Collector) {
         self.inner.finish(collector);

@@ -23,10 +23,10 @@
 //! unfused downstream consumers never stop while a sibling pair is still
 //! emitting.
 
+use crate::batch::TupleView;
 use crate::engine::EngineShared;
 use crate::operator::{BoltContext, Collector, DynBolt};
 use crate::supervise::{panic_message, FaultKind};
-use crate::tuple::Tuple;
 use brisk_metrics::Histogram;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -113,15 +113,16 @@ pub(crate) struct FusedTarget {
 
 impl FusedTarget {
     /// Consume one tuple inline: run the operator under a panic guard and
-    /// record sink metrics (if terminal). The tuple is passed by reference
-    /// — fusion's whole point is that nothing crosses a queue here.
+    /// record sink metrics (if terminal). The tuple arrives as a borrowed
+    /// [`TupleView`] straight off the producer's stack — fusion's whole
+    /// point is that nothing crosses a queue (or touches a slab) here.
     ///
     /// A contained panic quarantines the tuple and attributes a
     /// [`FaultKind::FusedPanic`] to the *fused* operator, not the host.
     /// Restart is inline (re-instance or `recover()`) with no backoff: a
     /// fused target runs on its host's thread, and sleeping here would
     /// stall the host and everything it feeds.
-    pub(crate) fn deliver(&mut self, tuple: &Tuple) {
+    pub(crate) fn deliver(&mut self, tuple: &TupleView<'_>) {
         if self.dead {
             // Dead-letter accounting keeps conservation exact: every tuple
             // the producer emitted is either processed or quarantined.

@@ -7,12 +7,16 @@
 //!
 //! * **Operator-per-thread**: each replica of each operator is one task run
 //!   by one OS thread inside a single process, so tuples are passed **by
-//!   reference** — producers store tuples locally and enqueue only pointers
-//!   ([`Tuple`] wraps an `Arc` payload).
-//! * **Jumbo tuples**: output tuples headed for the same consumer are
-//!   buffered and combined into one [`JumboTuple`] that shares a single
-//!   header and costs a single queue insertion, amortizing communication
-//!   overhead (Section 5.2).
+//!   reference** — producers store payloads in shared slabs and enqueue
+//!   only container handles.
+//! * **Jumbo tuples over a zero-copy batch fabric** ([`batch`]): output
+//!   tuples headed for the same consumer accumulate in a typed,
+//!   arena-backed [`Batch`] (contiguous payloads + parallel event-time /
+//!   key lanes over one refcounted slab) and ship as one [`JumboTuple`]
+//!   container handle — a single queue insertion moves the whole batch
+//!   (Section 5.2), broadcast is a refcount bump, and slab storage
+//!   recycles through per-producer [`SlabPool`] arenas so the steady
+//!   state allocates nothing.
 //! * **Bounded queues with back-pressure**: when a consumer falls behind,
 //!   its input queues fill and producers block, eventually throttling the
 //!   spout so the system settles at its maximum sustainable rate
@@ -61,6 +65,7 @@
 //! development hosts that lack real multi-socket hardware.
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod faultinject;
 pub mod fusion;
@@ -73,6 +78,7 @@ pub mod spsc;
 pub mod supervise;
 pub mod tuple;
 
+pub use batch::{Batch, BatchBuilder, BatchCursor, SlabPool, SlabStats, TupleView};
 pub use engine::{
     plan_replica_sockets, Engine, EngineConfig, EngineConfigBuilder, NumaPenalty, OpStats,
     RunLimit, RunReport,

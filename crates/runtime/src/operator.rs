@@ -4,16 +4,21 @@
 //! Applications implement [`DynSpout`] for sources and [`DynBolt`] for
 //! bolts/sinks, and register a *factory* per operator so each replica gets
 //! its own state. The [`Collector`] is the task's partition controller +
-//! output buffering stage: emitted tuples are routed per edge strategy and
-//! accumulated into jumbo tuples that are flushed to the consumer queues.
+//! output batching stage: values sent through the typed
+//! [`Collector::send`] path are routed per edge strategy and accumulated
+//! into arena-backed [`crate::batch::Batch`]es that ship to the consumer
+//! queues as [`JumboTuple`] container handles.
 
+use crate::batch::{Batch, BatchBuilder, BatchCursor, SlabPool, TupleView};
 use crate::fusion::FusedTarget;
-use crate::partition::Partitioner;
+use crate::partition::{Partitioner, RouteTargets};
 use crate::queue::{QueueKind, ReplicaQueue};
 use crate::scheduler::WakeHub;
 use crate::spsc::PushError;
 use crate::tuple::{JumboTuple, Tuple};
 use brisk_dag::{LogicalTopology, OperatorId, OperatorKind};
+use std::any::Any;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Result of one spout invocation.
@@ -42,9 +47,25 @@ pub trait DynSpout: Send {
 }
 
 /// A processing (bolt) or terminal (sink) operator replica.
+///
+/// Input arrives batch-at-a-time through [`DynBolt::consume`]; the default
+/// implementation drains the batch cursor through the per-tuple
+/// [`DynBolt::execute`], so most operators only implement `execute`.
+/// Batch-wholesale operators (e.g. a parser that wants the whole `&[T]`
+/// payload slice with a single per-batch downcast) override `consume`
+/// instead and honor the [`BatchCursor`] completion contract.
 pub trait DynBolt: Send {
     /// Process one input tuple, emitting zero or more outputs.
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector);
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector);
+
+    /// Process one input batch. Returning normally counts the entire batch
+    /// as processed; on panic, the cursor's [`BatchCursor::done`] count
+    /// pins the poison tuple for quarantine and the remainder is replayed.
+    fn consume(&mut self, input: &BatchCursor<'_>, collector: &mut Collector) {
+        while let Some(view) = input.next() {
+            self.execute(&view, collector);
+        }
+    }
 
     /// Called once at shutdown so stateful bolts can emit final results.
     fn finish(&mut self, _collector: &mut Collector) {}
@@ -172,7 +193,7 @@ impl AppRuntime {
     }
 }
 
-/// One output buffer: the partitioner plus per-consumer jumbo accumulation
+/// One output buffer: the partitioner plus per-consumer batch accumulation
 /// and the destination queues.
 pub(crate) struct OutputEdge {
     /// Index into `LogicalTopology::edges`.
@@ -189,8 +210,42 @@ pub(crate) struct OutputEdge {
     /// core-pool scheduler's wake-on-push target (unused, but cheap to
     /// carry, under thread-per-replica execution).
     pub consumers: Vec<usize>,
-    /// Per-consumer accumulation buffers.
-    pub buffers: Vec<Vec<Tuple>>,
+    /// Broadcast edges accumulate into *one* shared builder: the sealed
+    /// slab is shared across every consumer by refcount bump.
+    pub broadcast: bool,
+    /// Open typed accumulation: one builder per consumer, or a single
+    /// shared builder on broadcast edges.
+    pub builders: Vec<BatchBuilder>,
+    /// Sealed batches awaiting a successful queue push, per consumer
+    /// (non-blocking mode parks stalled jumbos here; order is preserved).
+    pub sealed: Vec<VecDeque<JumboTuple>>,
+}
+
+impl OutputEdge {
+    pub(crate) fn new(
+        logical_edge: usize,
+        stream: String,
+        partitioner: Partitioner,
+        queues: Vec<Arc<ReplicaQueue<JumboTuple>>>,
+        consumers: Vec<usize>,
+        pool: &Arc<SlabPool>,
+    ) -> OutputEdge {
+        let n = queues.len();
+        let broadcast = partitioner.is_broadcast();
+        let builder_count = if broadcast { 1 } else { n };
+        OutputEdge {
+            logical_edge,
+            stream,
+            partitioner,
+            queues,
+            consumers,
+            broadcast,
+            builders: (0..builder_count)
+                .map(|_| BatchBuilder::new(Arc::clone(pool)))
+                .collect(),
+            sealed: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
 }
 
 /// How [`Collector::flush_one`] treats a full destination queue.
@@ -301,28 +356,64 @@ impl Collector {
         self.producer_replica
     }
 
-    /// Emit `tuple` on `stream`. Routing, batching and back-pressure are
-    /// handled here; the call may block when a destination queue is full.
-    /// Fused edges bypass all of that: the downstream operator runs inline
-    /// on a borrowed tuple, right here in the producer's thread.
+    /// Send `value` on `stream` with explicit event time and partitioning
+    /// key — the typed batch path. The value lands directly in a typed,
+    /// arena-backed batch builder (no per-tuple `Arc`); routing, batching
+    /// and back-pressure are handled here, and the call may block when a
+    /// destination queue is full. Fused edges bypass all of that: the
+    /// downstream operator runs inline on a borrowed view, right here in
+    /// the producer's thread.
+    pub fn send<T: Any + Send + Sync + Clone>(
+        &mut self,
+        stream: &str,
+        value: T,
+        event_ns: u64,
+        key: u64,
+    ) {
+        self.send_impl(stream, value, event_ns, key);
+    }
+
+    /// Send on the default stream (key 0 is conventional for un-keyed
+    /// values, but any key works).
+    pub fn send_default<T: Any + Send + Sync + Clone>(
+        &mut self,
+        value: T,
+        event_ns: u64,
+        key: u64,
+    ) {
+        self.send_impl(brisk_dag::DEFAULT_STREAM, value, event_ns, key);
+    }
+
+    /// Emit a pre-wrapped legacy tuple on `stream`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the typed batch path: `Collector::send(stream, value, event_ns, key)`"
+    )]
     pub fn emit(&mut self, stream: &str, tuple: Tuple) {
+        let (event_ns, key) = (tuple.event_ns, tuple.key);
+        self.send_impl(stream, tuple, event_ns, key);
+    }
+
+    /// Emit a pre-wrapped legacy tuple on the default stream.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the typed batch path: `Collector::send_default(value, event_ns, key)`"
+    )]
+    pub fn emit_default(&mut self, tuple: Tuple) {
+        let (event_ns, key) = (tuple.event_ns, tuple.key);
+        self.send_impl(brisk_dag::DEFAULT_STREAM, tuple, event_ns, key);
+    }
+
+    fn send_impl<T: Any + Send + Sync + Clone>(
+        &mut self,
+        stream: &str,
+        value: T,
+        event_ns: u64,
+        key: u64,
+    ) {
         self.emitted += 1;
-        for ei in 0..self.edges.len() {
-            if self.edges[ei].stream != stream {
-                continue;
-            }
-            let targets = self.edges[ei].partitioner.route(&tuple);
-            for t in targets.iter() {
-                self.edges[ei].buffers[t].push(tuple.clone());
-                // While non-blocking back-pressure is active, skip the
-                // per-emit flush attempt: the buffer absorbs the rest of
-                // the task's bounded slice and the task-level flush_all
-                // retries once the queue drains.
-                if self.edges[ei].buffers[t].len() >= self.jumbo_size && !self.backpressured {
-                    self.flush_one(ei, t);
-                }
-            }
-        }
+        // Fused consumers run first, on a borrowed view — after this the
+        // value is moved into a batch builder.
         for fi in 0..self.fused.len() {
             let deliveries = self.fused[fi]
                 .streams
@@ -332,9 +423,10 @@ impl Collector {
             if deliveries == 0 {
                 continue;
             }
+            let view = TupleView::of_value(&value, event_ns, key);
             let target = &mut self.fused[fi];
             for _ in 0..deliveries {
-                target.deliver(&tuple);
+                target.deliver(&view);
             }
             // A dead fused target (restart budget exhausted) can no longer
             // make progress: treat it like a closed output so the host
@@ -343,67 +435,153 @@ impl Collector {
                 self.output_closed = true;
             }
         }
-    }
-
-    /// Emit on the default stream.
-    pub fn emit_default(&mut self, tuple: Tuple) {
-        self.emit(brisk_dag::DEFAULT_STREAM, tuple);
-    }
-
-    fn flush_one(&mut self, edge: usize, consumer: usize) {
-        let e = &mut self.edges[edge];
-        if e.buffers[consumer].is_empty() {
+        // Queue edges: move the value into the last subscribing edge,
+        // clone only for the earlier ones (single-subscriber streams — the
+        // common case — never clone).
+        let mut remaining = self.edges.iter().filter(|e| e.stream == stream).count();
+        if remaining == 0 {
             return;
         }
-        let tuples = std::mem::take(&mut e.buffers[consumer]);
-        let jumbo = JumboTuple {
-            producer: self.producer_replica,
-            logical_edge: e.logical_edge,
-            tuples,
-        };
-        match self.mode {
-            FlushMode::Blocking => match e.queues[consumer].push_tracked(jumbo) {
-                Ok(stalled) => {
-                    self.flushes += 1;
-                    if stalled {
-                        self.stalled_flushes += 1;
-                    }
-                }
-                Err(_) => self.output_closed = true,
-            },
-            FlushMode::NonBlocking => match e.queues[consumer].try_push(jumbo) {
-                Ok(()) => {
-                    self.flushes += 1;
-                    if let Some(hub) = &self.wake_hub {
-                        hub.wake(e.consumers[consumer]);
-                    }
-                }
-                Err(PushError::Full(jumbo)) => {
-                    // Hand the tuples back to their buffer (nothing was
-                    // appended since the take above) and report the stall
-                    // once per back-pressure episode — the blocking path's
-                    // analogue counts once per jumbo that had to wait.
-                    e.buffers[consumer] = jumbo.tuples;
-                    if !self.in_stall {
-                        self.stalled_flushes += 1;
-                        self.in_stall = true;
-                    }
-                    self.backpressured = true;
-                }
-                Err(PushError::Closed(_)) => self.output_closed = true,
-            },
+        let mut value = Some(value);
+        for ei in 0..self.edges.len() {
+            if self.edges[ei].stream != stream {
+                continue;
+            }
+            remaining -= 1;
+            let v = if remaining == 0 {
+                value.take().expect("last subscriber takes the value")
+            } else {
+                value.as_ref().expect("value present").clone()
+            };
+            self.push_value(ei, v, event_ns, key);
         }
     }
 
-    /// Flush every partially filled buffer (periodic timeout flush and final
-    /// drain), recursing through fused chains so their queue-bound output
-    /// buffers flush on the host's cadence too. In non-blocking mode this
-    /// re-attempts stalled buffers and recomputes the back-pressure flag:
-    /// it clears only when every buffer ships.
+    /// Append one value to edge `ei`'s builder for its routed consumer,
+    /// sealing/shipping when a slab fills (or changes element type).
+    fn push_value<T: Any + Send + Sync + Clone>(
+        &mut self,
+        ei: usize,
+        value: T,
+        event_ns: u64,
+        key: u64,
+    ) {
+        let slot = {
+            let e = &mut self.edges[ei];
+            if e.broadcast {
+                0 // the single shared builder
+            } else {
+                match e.partitioner.route(key) {
+                    RouteTargets::One(t) => t,
+                    // Non-broadcast strategies always route to one target.
+                    RouteTargets::All(_) => unreachable!("broadcast handled above"),
+                }
+            }
+        };
+        if let Some(batch) = self.edges[ei].builders[slot].push(value, event_ns, key) {
+            // Heterogeneous stream: the previous (differently typed) slab
+            // sealed early. Ship it ahead to preserve order.
+            self.enqueue_batch(ei, slot, batch);
+        }
+        // While non-blocking back-pressure is active, skip the per-send
+        // flush attempt: the sealed backlog absorbs the rest of the task's
+        // bounded slice and the task-level flush_all retries once the
+        // queue drains.
+        if self.edges[ei].builders[slot].len() >= self.jumbo_size && !self.backpressured {
+            if let Some(batch) = self.edges[ei].builders[slot].seal() {
+                self.enqueue_batch(ei, slot, batch);
+            }
+            self.flush_routed(ei, slot);
+        }
+    }
+
+    /// Wrap a sealed batch into jumbo(s) on the sealed queue(s). On
+    /// broadcast edges every consumer receives a handle to the *same* slab
+    /// — the copy is a refcount bump.
+    fn enqueue_batch(&mut self, ei: usize, slot: usize, batch: Batch) {
+        let producer = self.producer_replica;
+        let e = &mut self.edges[ei];
+        if e.broadcast {
+            let last = e.queues.len() - 1;
+            for t in 0..last {
+                e.sealed[t].push_back(JumboTuple::new(producer, e.logical_edge, batch.clone()));
+            }
+            e.sealed[last].push_back(JumboTuple::new(producer, e.logical_edge, batch));
+        } else {
+            e.sealed[slot].push_back(JumboTuple::new(producer, e.logical_edge, batch));
+        }
+    }
+
+    /// Flush the consumer(s) a sealed batch from builder `slot` landed on.
+    fn flush_routed(&mut self, ei: usize, slot: usize) {
+        if self.edges[ei].broadcast {
+            for t in 0..self.edges[ei].queues.len() {
+                self.flush_one(ei, t);
+            }
+        } else {
+            self.flush_one(ei, slot);
+        }
+    }
+
+    /// Drain consumer `consumer`'s sealed backlog into its queue.
+    fn flush_one(&mut self, edge: usize, consumer: usize) {
+        while let Some(jumbo) = self.edges[edge].sealed[consumer].pop_front() {
+            match self.mode {
+                FlushMode::Blocking => {
+                    match self.edges[edge].queues[consumer].push_tracked(jumbo) {
+                        Ok(stalled) => {
+                            self.flushes += 1;
+                            if stalled {
+                                self.stalled_flushes += 1;
+                            }
+                        }
+                        Err(_) => self.output_closed = true,
+                    }
+                }
+                FlushMode::NonBlocking => {
+                    let e = &mut self.edges[edge];
+                    match e.queues[consumer].try_push(jumbo) {
+                        Ok(()) => {
+                            self.flushes += 1;
+                            if let Some(hub) = &self.wake_hub {
+                                hub.wake(e.consumers[consumer]);
+                            }
+                        }
+                        Err(PushError::Full(jumbo)) => {
+                            // Park the jumbo back at the front (order is
+                            // preserved) and report the stall once per
+                            // back-pressure episode — the blocking path's
+                            // analogue counts once per jumbo that had to
+                            // wait.
+                            e.sealed[consumer].push_front(jumbo);
+                            if !self.in_stall {
+                                self.stalled_flushes += 1;
+                                self.in_stall = true;
+                            }
+                            self.backpressured = true;
+                            return;
+                        }
+                        Err(PushError::Closed(_)) => self.output_closed = true,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush every partially filled builder and sealed backlog (periodic
+    /// timeout flush and final drain), recursing through fused chains so
+    /// their queue-bound output buffers flush on the host's cadence too.
+    /// In non-blocking mode this re-attempts stalled jumbos and recomputes
+    /// the back-pressure flag: it clears only when everything ships.
     pub fn flush_all(&mut self) {
         self.backpressured = false;
         for ei in 0..self.edges.len() {
-            for t in 0..self.edges[ei].buffers.len() {
+            for slot in 0..self.edges[ei].builders.len() {
+                if let Some(batch) = self.edges[ei].builders[slot].seal() {
+                    self.enqueue_batch(ei, slot, batch);
+                }
+            }
+            for t in 0..self.edges[ei].queues.len() {
                 self.flush_one(ei, t);
             }
         }
@@ -488,6 +666,7 @@ impl Collector {
         op: OperatorId,
         capacity: usize,
     ) -> (Collector, CaptureTaps) {
+        let pool = SlabPool::standalone();
         let mut edges = Vec::new();
         let mut taps = Vec::new();
         for (lei, edge) in topology.edges().iter().enumerate() {
@@ -496,14 +675,14 @@ impl Collector {
             }
             let queue = Arc::new(ReplicaQueue::new(QueueKind::default(), capacity));
             taps.push((edge.stream.clone(), Arc::clone(&queue)));
-            edges.push(OutputEdge {
-                logical_edge: lei,
-                stream: edge.stream.clone(),
-                partitioner: Partitioner::new(edge.partitioning, 1),
-                queues: vec![queue],
-                consumers: vec![0],
-                buffers: vec![Vec::new()],
-            });
+            edges.push(OutputEdge::new(
+                lei,
+                edge.stream.clone(),
+                Partitioner::new(edge.partitioning, 1),
+                vec![queue],
+                vec![0],
+                &pool,
+            ));
         }
         (
             Collector::new(0, 1, edges, Arc::new(EngineClock::new())),
@@ -542,7 +721,7 @@ mod tests {
     }
     struct NullBolt;
     impl DynBolt for NullBolt {
-        fn execute(&mut self, _t: &Tuple, _c: &mut Collector) {}
+        fn execute(&mut self, _t: &TupleView<'_>, _c: &mut Collector) {}
     }
 
     fn topology() -> LogicalTopology {
@@ -582,20 +761,24 @@ mod tests {
         assert!(app.validate().is_ok());
     }
 
+    fn shuffle_edge(q: &Arc<ReplicaQueue<JumboTuple>>) -> OutputEdge {
+        OutputEdge::new(
+            0,
+            DEFAULT_STREAM.to_string(),
+            Partitioner::new(Partitioning::Shuffle, 1),
+            vec![Arc::clone(q)],
+            vec![0],
+            &crate::batch::SlabPool::standalone(),
+        )
+    }
+
     #[test]
     fn collector_batches_into_jumbos() {
         let q = Arc::new(ReplicaQueue::new(QueueKind::default(), 16));
-        let edge = OutputEdge {
-            logical_edge: 0,
-            stream: DEFAULT_STREAM.to_string(),
-            partitioner: Partitioner::new(Partitioning::Shuffle, 1),
-            queues: vec![Arc::clone(&q)],
-            consumers: vec![0],
-            buffers: vec![Vec::new()],
-        };
+        let edge = shuffle_edge(&q);
         let mut c = Collector::new(0, 4, vec![edge], Arc::new(EngineClock::new()));
         for i in 0..10u32 {
-            c.emit(DEFAULT_STREAM, Tuple::new(i, 0));
+            c.send_default(i, 0, 0);
         }
         // 10 tuples at jumbo size 4: two full jumbos shipped, 2 residual.
         assert_eq!(q.len(), 2);
@@ -603,6 +786,8 @@ mod tests {
         assert_eq!(q.len(), 3);
         let j1 = q.try_pop().expect("jumbo");
         assert_eq!(j1.len(), 4);
+        // The payloads are a contiguous typed slice: one downcast per batch.
+        assert_eq!(j1.batch.payloads::<u32>().expect("typed"), &[0, 1, 2, 3]);
         let j3_len: usize = {
             q.try_pop();
             q.try_pop().expect("residual").len()
@@ -612,9 +797,92 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_emit_rides_the_batch_fabric() {
+        let q = Arc::new(ReplicaQueue::new(QueueKind::default(), 16));
+        let edge = shuffle_edge(&q);
+        let mut c = Collector::new(0, 2, vec![edge], Arc::new(EngineClock::new()));
+        #[allow(deprecated)]
+        for i in 0..2u32 {
+            c.emit(DEFAULT_STREAM, Tuple::keyed(i, 7, 3));
+        }
+        let j = q.try_pop().expect("jumbo");
+        // Views reach through the legacy tuple's inner Arc payload.
+        assert_eq!(j.batch.view(1).value::<u32>(), Some(&1));
+        assert_eq!(j.batch.event_ns(0), 7);
+        assert_eq!(j.batch.key(1), 3);
+    }
+
+    #[test]
+    fn heterogeneous_stream_seals_per_type_in_order() {
+        let q = Arc::new(ReplicaQueue::new(QueueKind::default(), 16));
+        let edge = shuffle_edge(&q);
+        let mut c = Collector::new(0, 64, vec![edge], Arc::new(EngineClock::new()));
+        c.send_default(1u32, 0, 0);
+        c.send_default(2u32, 0, 0);
+        c.send_default(String::from("x"), 0, 0);
+        c.send_default(3u32, 0, 0);
+        c.flush_all();
+        // Type switches seal early: three ordered, type-homogeneous batches.
+        assert_eq!(
+            q.try_pop().expect("u32s").batch.payloads::<u32>(),
+            Some(&[1, 2][..])
+        );
+        assert!(q
+            .try_pop()
+            .expect("string")
+            .batch
+            .payloads::<String>()
+            .is_some());
+        assert_eq!(
+            q.try_pop().expect("tail").batch.payloads::<u32>(),
+            Some(&[3][..])
+        );
+    }
+
+    #[test]
+    fn broadcast_is_a_refcount_bump() {
+        // One slab allocation feeds N destinations: the jumbos popped off
+        // the three queues all view the same slab, per-copy accounting
+        // (one queue push per destination) is unchanged, and the sealed
+        // storage recycles once every handle drops.
+        let pool = crate::batch::SlabPool::standalone();
+        let queues: Vec<Arc<ReplicaQueue<JumboTuple>>> = (0..3)
+            .map(|_| Arc::new(ReplicaQueue::new(QueueKind::default(), 16)))
+            .collect();
+        let edge = OutputEdge::new(
+            0,
+            DEFAULT_STREAM.to_string(),
+            Partitioner::new(Partitioning::Broadcast, 3),
+            queues.clone(),
+            vec![0, 1, 2],
+            &pool,
+        );
+        let mut c = Collector::new(0, 4, vec![edge], Arc::new(EngineClock::new()));
+        for i in 0..4u64 {
+            c.send_default(i, 0, i);
+        }
+        assert_eq!(c.emitted, 4, "emitted counts logical tuples, not copies");
+        assert_eq!(c.flushes, 3, "one queue crossing per destination");
+        assert_eq!(pool.stats().allocated(), 1, "one slab for all copies");
+        let jumbos: Vec<JumboTuple> = queues
+            .iter()
+            .map(|q| q.try_pop().expect("jumbo delivered"))
+            .collect();
+        let slab = jumbos[0].batch.slab_id();
+        for j in &jumbos {
+            assert_eq!(j.batch.slab_id(), slab, "copies share one slab");
+            assert_eq!(j.batch.payloads::<u64>().expect("typed"), &[0, 1, 2, 3]);
+        }
+        assert_eq!(pool.stats().outstanding(), 1);
+        drop(jumbos);
+        drop(c);
+        assert_eq!(pool.stats().outstanding(), 0, "storage recycled");
+    }
+
+    #[test]
     fn collector_ignores_unknown_stream() {
         let mut c = Collector::new(0, 4, Vec::new(), Arc::new(EngineClock::new()));
-        c.emit("nowhere", Tuple::new(1u8, 0));
+        c.send("nowhere", 1u8, 0, 0);
         assert_eq!(c.emitted, 1); // counted but dropped (no subscriber)
     }
 }

@@ -35,9 +35,17 @@ impl Partitioner {
         self.consumers
     }
 
-    /// Consumer replica indices for `tuple`. At most one target except for
-    /// broadcast, which returns all of them.
-    pub fn route(&mut self, tuple: &Tuple) -> RouteTargets {
+    /// Whether this edge broadcasts (the collector shares one batch
+    /// builder — and one slab — across every consumer on broadcast edges).
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self.strategy, Partitioning::Broadcast)
+    }
+
+    /// Consumer replica indices for a tuple with partitioning key `key`
+    /// (batches carry keys in a dedicated lane, so routing needs only the
+    /// key, not a whole tuple). At most one target except for broadcast,
+    /// which returns all of them.
+    pub fn route(&mut self, key: u64) -> RouteTargets {
         match self.strategy {
             // Forward at equal replica counts is wired as one pinned queue
             // per producer (`consumers == 1`, routed here trivially); at
@@ -53,7 +61,7 @@ impl Partitioner {
             // aliases with strided key spaces (e.g. all-even keys on two
             // consumers idle one replica entirely). See `Tuple::mix_key`.
             Partitioning::KeyBy => {
-                RouteTargets::One((Tuple::mix_key(tuple.key) % self.consumers as u64) as usize)
+                RouteTargets::One((Tuple::mix_key(key) % self.consumers as u64) as usize)
             }
             Partitioning::Broadcast => RouteTargets::All(self.consumers),
             Partitioning::Global => RouteTargets::One(0),
@@ -85,16 +93,12 @@ impl RouteTargets {
 mod tests {
     use super::*;
 
-    fn tuple_with_key(key: u64) -> Tuple {
-        Tuple::keyed((), 0, key)
-    }
-
     #[test]
     fn shuffle_round_robins_evenly() {
         let mut p = Partitioner::new(Partitioning::Shuffle, 3);
         let mut counts = [0usize; 3];
         for _ in 0..99 {
-            match p.route(&tuple_with_key(0)) {
+            match p.route(0) {
                 RouteTargets::One(i) => counts[i] += 1,
                 RouteTargets::All(_) => panic!("shuffle routes to one"),
             }
@@ -105,9 +109,9 @@ mod tests {
     #[test]
     fn keyby_is_sticky() {
         let mut p = Partitioner::new(Partitioning::KeyBy, 4);
-        let a1 = p.route(&tuple_with_key(42));
-        let _ = p.route(&tuple_with_key(7));
-        let a2 = p.route(&tuple_with_key(42));
+        let a1 = p.route(42);
+        let _ = p.route(7);
+        let a2 = p.route(42);
         assert_eq!(a1, a2, "same key must hit the same replica");
     }
 
@@ -121,7 +125,7 @@ mod tests {
                 let mut p = Partitioner::new(Partitioning::KeyBy, consumers);
                 let mut counts = vec![0usize; consumers];
                 for i in 0..600 {
-                    match p.route(&tuple_with_key(i * stride)) {
+                    match p.route(i * stride) {
                         RouteTargets::One(t) => counts[t] += 1,
                         RouteTargets::All(_) => panic!("keyby routes to one"),
                     }
@@ -140,7 +144,7 @@ mod tests {
     #[test]
     fn broadcast_hits_everyone() {
         let mut p = Partitioner::new(Partitioning::Broadcast, 5);
-        let targets: Vec<usize> = p.route(&tuple_with_key(1)).iter().collect();
+        let targets: Vec<usize> = p.route(1).iter().collect();
         assert_eq!(targets, vec![0, 1, 2, 3, 4]);
     }
 
@@ -148,7 +152,7 @@ mod tests {
     fn global_always_zero() {
         let mut p = Partitioner::new(Partitioning::Global, 7);
         for k in 0..20 {
-            assert_eq!(p.route(&tuple_with_key(k)), RouteTargets::One(0));
+            assert_eq!(p.route(k), RouteTargets::One(0));
         }
     }
 
@@ -158,13 +162,13 @@ mod tests {
         // consumer: every tuple goes there.
         let mut pinned = Partitioner::new(Partitioning::Forward, 1);
         for k in 0..10 {
-            assert_eq!(pinned.route(&tuple_with_key(k)), RouteTargets::One(0));
+            assert_eq!(pinned.route(k), RouteTargets::One(0));
         }
         // Degraded (unequal-count) wiring spreads evenly, like Shuffle.
         let mut degraded = Partitioner::new(Partitioning::Forward, 3);
         let mut counts = [0usize; 3];
         for k in 0..99 {
-            match degraded.route(&tuple_with_key(k)) {
+            match degraded.route(k) {
                 RouteTargets::One(i) => counts[i] += 1,
                 RouteTargets::All(_) => panic!("forward routes to one"),
             }

@@ -1,19 +1,24 @@
 //! Tuples and jumbo tuples.
 //!
-//! BriskStream passes tuples by reference: the payload lives in one `Arc`
-//! allocation owned by the producer, and only the (cheaply clonable) handle
-//! crosses the communication queue. A [`JumboTuple`] bundles many tuples
-//! from the same producer to the same consumer under one shared header, so
-//! per-tuple metadata is not duplicated and one queue insertion moves a
-//! whole batch (Section 5.2 and Figure 17).
+//! BriskStream passes tuples by reference (Section 5.2, Figure 17). Since
+//! the zero-copy batch fabric landed, the unit of exchange is a typed,
+//! arena-backed [`crate::batch::Batch`]: payloads live contiguously in one
+//! refcounted slab, and a [`JumboTuple`] — one batch under a shared header
+//! — costs a single queue insertion to move. The legacy [`Tuple`] (one
+//! `Arc` handle per tuple) remains as the owned bridge type for profiling
+//! and the `#[deprecated]` emit shims.
 
+use crate::batch::Batch;
 use std::any::Any;
 use std::sync::Arc;
 
-/// A single stream tuple: shared payload + minimal per-tuple metadata.
+/// A single owned stream tuple: shared payload + minimal per-tuple
+/// metadata. Since the batch fabric, operators read tuples through
+/// [`crate::batch::TupleView`]; `Tuple` survives as the owned bridge for
+/// profiling, capture and the deprecated emit path.
 #[derive(Clone)]
 pub struct Tuple {
-    /// The payload, shared by reference. Downcast with [`Tuple::value`].
+    /// The payload, shared by reference.
     pub payload: Arc<dyn Any + Send + Sync>,
     /// Event origination time, nanoseconds since engine start (set when the
     /// spout emits; carried through so sinks can report end-to-end latency).
@@ -24,6 +29,10 @@ pub struct Tuple {
 
 impl Tuple {
     /// Wrap `value` as a tuple with key 0.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the typed batch path: `Collector::send_default(value, event_ns, 0)`"
+    )]
     pub fn new<T: Any + Send + Sync>(value: T, event_ns: u64) -> Tuple {
         Tuple {
             payload: Arc::new(value),
@@ -33,6 +42,10 @@ impl Tuple {
     }
 
     /// Wrap `value` with an explicit partitioning key.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the typed batch path: `Collector::send(stream, value, event_ns, key)`"
+    )]
     pub fn keyed<T: Any + Send + Sync>(value: T, event_ns: u64, key: u64) -> Tuple {
         Tuple {
             payload: Arc::new(value),
@@ -42,6 +55,11 @@ impl Tuple {
     }
 
     /// Downcast the payload.
+    #[deprecated(
+        since = "0.8.0",
+        note = "operators receive `TupleView`s — use `TupleView::value` (or \
+                `Batch::payloads` for the per-batch downcast)"
+    )]
     pub fn value<T: Any + Send + Sync>(&self) -> Option<&T> {
         self.payload.downcast_ref::<T>()
     }
@@ -80,7 +98,8 @@ impl std::fmt::Debug for Tuple {
 }
 
 /// A batch of tuples sharing one header: same producer replica, same logical
-/// output stream, same destination.
+/// output stream, same destination. The payload is a refcounted
+/// [`Batch`] view — broadcast clones of a jumbo share one slab.
 #[derive(Debug)]
 pub struct JumboTuple {
     /// Global replica index of the producer.
@@ -89,22 +108,32 @@ pub struct JumboTuple {
     /// tuples travel on.
     pub logical_edge: usize,
     /// The batched tuples.
-    pub tuples: Vec<Tuple>,
+    pub batch: Batch,
 }
 
 impl JumboTuple {
+    /// Bundle `batch` under a producer/edge header.
+    pub fn new(producer: usize, logical_edge: usize, batch: Batch) -> JumboTuple {
+        JumboTuple {
+            producer,
+            logical_edge,
+            batch,
+        }
+    }
+
     /// Number of tuples in the batch.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.batch.len()
     }
 
     /// Whether the batch is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.batch.is_empty()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -137,12 +166,14 @@ mod tests {
 
     #[test]
     fn jumbo_len() {
-        let j = JumboTuple {
-            producer: 0,
-            logical_edge: 0,
-            tuples: vec![Tuple::new(1u8, 0), Tuple::new(2u8, 0)],
-        };
+        let j = JumboTuple::new(
+            0,
+            0,
+            Batch::from_tuples(vec![Tuple::new(1u8, 0), Tuple::new(2u8, 0)]),
+        );
         assert_eq!(j.len(), 2);
         assert!(!j.is_empty());
+        // The batch shares its slab with clones of the jumbo's view.
+        assert_eq!(j.batch.clone().slab_id(), j.batch.slab_id());
     }
 }

@@ -27,8 +27,11 @@
 //!   interleaving, so LR asserts the conservation laws per cell instead.)
 
 use brisk_apps::app_sized;
-use brisk_dag::{OperatorKind, Partitioning};
-use brisk_runtime::{Engine, EngineConfig, QueueKind, RunReport, Scheduler};
+use brisk_dag::{CostProfile, OperatorKind, Partitioning, TopologyBuilder, DEFAULT_STREAM};
+use brisk_runtime::{
+    AppRuntime, Collector, DynBolt, DynSpout, Engine, EngineConfig, QueueKind, RunReport,
+    Scheduler, SpoutStatus, TupleView,
+};
 use std::time::Duration;
 
 const KINDS: [QueueKind; 3] = [QueueKind::Spsc, QueueKind::Mutex, QueueKind::Mpsc];
@@ -211,6 +214,84 @@ fn spike_detection_conforms_across_the_matrix() {
     // The aligned-KeyBy pair: moving_average(2) → spike_detect(2) fuses
     // pairwise when fusion is on; parser funnels 2 spouts' tuples.
     conformance("SD", vec![2, 1, 2, 2, 1], 2000, true);
+}
+
+struct SeqSpout {
+    next: u64,
+    limit: u64,
+}
+impl DynSpout for SeqSpout {
+    fn next(&mut self, c: &mut Collector) -> SpoutStatus {
+        if self.next >= self.limit {
+            return SpoutStatus::Exhausted;
+        }
+        let now = c.now_ns();
+        c.send_default(self.next, now, self.next);
+        self.next += 1;
+        SpoutStatus::Emitted(1)
+    }
+}
+
+struct NullSink;
+impl DynBolt for NullSink {
+    fn execute(&mut self, _t: &TupleView<'_>, _c: &mut Collector) {}
+}
+
+/// Broadcast fan-out across the full matrix: each sealed slab is shared
+/// by all three sink replicas, and the per-copy accounting must be the
+/// same whether that slab travelled an SPSC ring, the mutex queue, the
+/// MPSC funnel or a fused edge — emitted once per logical tuple,
+/// processed once per delivered copy, with slab seals bounded by the
+/// *logical* tuple count (a payload-copying fabric would need one slab
+/// per copy, 3× more).
+#[test]
+fn broadcast_shared_batches_conform_across_the_matrix() {
+    let budget = 600u64;
+    let mut reports = Vec::new();
+    for scheduler in SCHEDULERS {
+        for kind in KINDS {
+            for fusion in [true, false] {
+                let mut b = TopologyBuilder::new("bc");
+                let s = b.add_spout("src", CostProfile::trivial());
+                let k = b.add_sink("out", CostProfile::trivial());
+                b.connect(s, DEFAULT_STREAM, k, Partitioning::Broadcast);
+                let t = b.build().expect("valid topology");
+                let (s, k) = (t.find("src").expect("src"), t.find("out").expect("out"));
+                let app = AppRuntime::new(t)
+                    .spout(s, move |_| SeqSpout {
+                        next: 0,
+                        limit: budget,
+                    })
+                    .sink(k, |_| NullSink);
+                let config = EngineConfig::builder()
+                    .scheduler(scheduler)
+                    .queue_kind(kind)
+                    .fusion(fusion)
+                    .build();
+                let engine = Engine::new(app, vec![1, 3], config).expect("valid engine config");
+                let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
+                let ctx = format!("bc {scheduler} {kind} fusion={fusion}");
+                assert_eq!(report.operator(0).emitted, budget, "{ctx}");
+                assert_eq!(report.operator(1).processed, budget * 3, "{ctx}");
+                assert_eq!(report.sink_events, budget * 3, "{ctx}");
+                assert!(
+                    report.slab_allocs + report.slab_recycled <= budget,
+                    "{ctx}: slab seals must not scale with broadcast copies"
+                );
+                reports.push((ctx, report));
+            }
+        }
+    }
+    let reference: Vec<u64> = reports[0]
+        .1
+        .per_operator()
+        .iter()
+        .map(|o| o.processed)
+        .collect();
+    for (ctx, r) in &reports[1..] {
+        let processed: Vec<u64> = r.per_operator().iter().map(|o| o.processed).collect();
+        assert_eq!(&processed, &reference, "{ctx} diverged");
+    }
 }
 
 #[test]

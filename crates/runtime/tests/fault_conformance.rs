@@ -18,9 +18,10 @@
 //! cells would fire its faults in the first cell only.
 
 use brisk_apps::app_sized;
+use brisk_dag::{CostProfile, Partitioning, TopologyBuilder, DEFAULT_STREAM};
 use brisk_runtime::{
-    silence_injected_panics, Engine, EngineConfig, FaultPlan, QueueKind, RestartPolicy, RunReport,
-    Scheduler,
+    silence_injected_panics, AppRuntime, Collector, DynBolt, DynSpout, Engine, EngineConfig,
+    FaultPlan, QueueKind, RestartPolicy, RunReport, Scheduler, SpoutStatus, TupleView,
 };
 use std::time::Duration;
 
@@ -187,6 +188,109 @@ fn wc_sink_panic_is_identical_across_the_matrix() {
             "{}: sink total is exactly-once minus the quarantined tuple",
             cell.label()
         );
+    }
+}
+
+struct SeqSpout {
+    next: u64,
+    limit: u64,
+}
+impl DynSpout for SeqSpout {
+    fn next(&mut self, c: &mut Collector) -> SpoutStatus {
+        if self.next >= self.limit {
+            return SpoutStatus::Exhausted;
+        }
+        let now = c.now_ns();
+        c.send_default(self.next, now, self.next);
+        self.next += 1;
+        SpoutStatus::Emitted(1)
+    }
+}
+
+struct NullSink;
+impl DynBolt for NullSink {
+    fn execute(&mut self, _t: &TupleView<'_>, _c: &mut Collector) {}
+}
+
+/// spout(1) → sink(3) over Broadcast: every jumbo's slab is shared by all
+/// three sink replicas when the fault fires.
+fn broadcast_app(budget: u64) -> AppRuntime {
+    let mut b = TopologyBuilder::new("bc-fault");
+    let s = b.add_spout("src", CostProfile::trivial());
+    let k = b.add_sink("out", CostProfile::trivial());
+    b.connect(s, DEFAULT_STREAM, k, Partitioning::Broadcast);
+    let t = b.build().expect("valid topology");
+    let (s, k) = (t.find("src").expect("src"), t.find("out").expect("out"));
+    AppRuntime::new(t)
+        .spout(s, move |_| SeqSpout {
+            next: 0,
+            limit: budget,
+        })
+        .sink(k, |_| NullSink)
+}
+
+/// Quarantining a tuple out of a batch whose slab is *shared* across
+/// broadcast replicas must stay exact: one copy lost on the faulted
+/// replica, every other replica's copies intact, and the counter vectors
+/// identical across the whole scheduler × fabric × fusion matrix. This is
+/// the shared-batch half of poison-tuple conservation — the quarantine
+/// path keeps the un-poisoned remainder as a slice of the shared slab, so
+/// any cross-replica interference (or a slab clone that forked the
+/// accounting) would break either equality below. The debug slab tripwire
+/// at engine teardown also asserts the quarantined tuple's slab handle
+/// was released.
+#[test]
+fn broadcast_quarantine_conserves_shared_batches() {
+    silence_injected_panics();
+    let budget = 600u64;
+    let replicas = 3u64;
+    let mut cells = Vec::new();
+    for scheduler in SCHEDULERS {
+        for kind in KINDS {
+            for fusion in [true, false] {
+                // Sink replica 0 panics on its 30th delivered copy; the
+                // slab under that copy is shared with replicas 1 and 2.
+                let plan = FaultPlan::new().panic_on_nth(1, 0, 30);
+                let app = plan.instrument(broadcast_app(budget));
+                let config = EngineConfig::builder()
+                    .scheduler(scheduler)
+                    .queue_kind(kind)
+                    .fusion(fusion)
+                    .restart(RestartPolicy::Bounded {
+                        max_restarts: 3,
+                        backoff: Duration::from_millis(5),
+                    })
+                    .build();
+                let engine = Engine::new(app, vec![1, 3], config).expect("valid engine config");
+                let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
+                cells.push(Cell {
+                    scheduler,
+                    kind,
+                    fusion,
+                    report,
+                });
+            }
+        }
+    }
+    check_identical(&cells, "broadcast-quarantine");
+    for cell in &cells {
+        let r = &cell.report;
+        let sink = r.operator(1);
+        assert_eq!(r.operator(0).emitted, budget, "{}", cell.label());
+        assert_eq!(
+            sink.quarantined,
+            1,
+            "{}: exactly the poison copy",
+            cell.label()
+        );
+        assert_eq!(
+            sink.processed + sink.quarantined,
+            budget * replicas,
+            "{}: every broadcast copy accounted, none cloned or lost",
+            cell.label()
+        );
+        assert_eq!(sink.restarts, 1, "{}", cell.label());
+        assert_eq!(r.sink_events, budget * replicas - 1, "{}", cell.label());
     }
 }
 

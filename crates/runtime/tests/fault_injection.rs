@@ -11,7 +11,7 @@
 use brisk_dag::{CostProfile, Partitioning, TopologyBuilder, DEFAULT_STREAM};
 use brisk_runtime::{
     silence_injected_panics, AppRuntime, Collector, DynBolt, DynSpout, Engine, EngineConfig,
-    FaultKind, FaultPlan, RestartPolicy, RunReport, Scheduler, SpoutStatus, Tuple,
+    FaultKind, FaultPlan, RestartPolicy, RunReport, Scheduler, SpoutStatus, TupleView,
 };
 use std::time::{Duration, Instant};
 
@@ -30,7 +30,7 @@ impl DynSpout for SeqSpout {
             return SpoutStatus::Exhausted;
         }
         let now = c.now_ns();
-        c.emit(DEFAULT_STREAM, Tuple::keyed(self.next, now, self.next));
+        c.send_default(self.next, now, self.next);
         self.next += 1;
         SpoutStatus::Emitted(1)
     }
@@ -40,15 +40,15 @@ impl DynSpout for SeqSpout {
 /// tuple the fault lands on.
 struct Relay;
 impl DynBolt for Relay {
-    fn execute(&mut self, t: &Tuple, c: &mut Collector) {
+    fn execute(&mut self, t: &TupleView<'_>, c: &mut Collector) {
         let v = *t.value::<u64>().expect("u64 payload");
-        c.emit(DEFAULT_STREAM, Tuple::keyed(v, t.event_ns, t.key));
+        c.send_default(v, t.event_ns, t.key);
     }
 }
 
 struct NullSink;
 impl DynBolt for NullSink {
-    fn execute(&mut self, _t: &Tuple, _c: &mut Collector) {}
+    fn execute(&mut self, _t: &TupleView<'_>, _c: &mut Collector) {}
 }
 
 /// spout(0) → relay(1) → sink(2), all single-replica. `forward` wires

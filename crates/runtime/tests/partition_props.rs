@@ -9,7 +9,7 @@
 //! round-robin cursor never favours a replica.
 
 use brisk_dag::Partitioning;
-use brisk_runtime::{Partitioner, QueueKind, ReplicaQueue, Tuple};
+use brisk_runtime::{Partitioner, QueueKind, ReplicaQueue};
 use proptest::prelude::*;
 
 const STRATEGIES: [Partitioning; 4] = [
@@ -18,10 +18,6 @@ const STRATEGIES: [Partitioning; 4] = [
     Partitioning::Broadcast,
     Partitioning::Global,
 ];
-
-fn tuple_with_key(key: u64) -> Tuple {
-    Tuple::keyed((), 0, key)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -36,7 +32,7 @@ proptest! {
             let mut p = Partitioner::new(strategy, consumers);
             prop_assert_eq!(p.consumers(), consumers);
             for &k in &keys {
-                for target in p.route(&tuple_with_key(k)).iter() {
+                for target in p.route(k).iter() {
                     prop_assert!(
                         target < consumers,
                         "{:?} routed {} with {} consumers",
@@ -56,16 +52,16 @@ proptest! {
         noise in prop::collection::vec(0u64..u64::MAX, 0..50),
     ) {
         let mut p = Partitioner::new(Partitioning::KeyBy, consumers);
-        let first: Vec<usize> = p.route(&tuple_with_key(key)).iter().collect();
+        let first: Vec<usize> = p.route(key).iter().collect();
         for &n in &noise {
-            p.route(&tuple_with_key(n));
+            p.route(n);
         }
-        let again: Vec<usize> = p.route(&tuple_with_key(key)).iter().collect();
+        let again: Vec<usize> = p.route(key).iter().collect();
         prop_assert!(first == again, "key {} moved replicas", key);
         // A fresh router agrees too: routing is a function of the key
         // alone, not of router history.
         let mut fresh = Partitioner::new(Partitioning::KeyBy, consumers);
-        let independent: Vec<usize> = fresh.route(&tuple_with_key(key)).iter().collect();
+        let independent: Vec<usize> = fresh.route(key).iter().collect();
         prop_assert_eq!(first, independent);
     }
 
@@ -79,7 +75,7 @@ proptest! {
         let mut p = Partitioner::new(Partitioning::Shuffle, consumers);
         let mut counts = vec![0usize; consumers];
         for i in 0..window {
-            for t in p.route(&tuple_with_key(i as u64)).iter() {
+            for t in p.route(i as u64).iter() {
                 counts[t] += 1;
             }
             let lo = counts.iter().min().expect("nonempty");
@@ -106,7 +102,7 @@ proptest! {
         let mut p = Partitioner::new(Partitioning::KeyBy, consumers);
         for i in 0..256u64 {
             let key = i * stride;
-            for t in p.route(&tuple_with_key(key)).iter() {
+            for t in p.route(key).iter() {
                 queues[t].push(key).expect("open");
             }
         }

@@ -9,7 +9,7 @@ use briskstream::core::BriskStream;
 use briskstream::dag::{CostProfile, TopologyBuilder};
 use briskstream::numa::Machine;
 use briskstream::runtime::{
-    AppRuntime, Collector, DynBolt, DynSpout, EngineConfig, QueueKind, SpoutStatus, Tuple,
+    AppRuntime, Collector, DynBolt, DynSpout, EngineConfig, QueueKind, SpoutStatus, TupleView,
 };
 use briskstream::sim::SimConfig;
 use std::time::Duration;
@@ -21,7 +21,7 @@ struct NumberSpout {
 impl DynSpout for NumberSpout {
     fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
         let now = collector.now_ns();
-        collector.emit_default(Tuple::keyed(self.next, now, self.next));
+        collector.send_default(self.next, now, self.next);
         self.next += 1;
         SpoutStatus::Emitted(1)
     }
@@ -30,16 +30,16 @@ impl DynSpout for NumberSpout {
 struct SquareBolt;
 
 impl DynBolt for SquareBolt {
-    fn execute(&mut self, tuple: &Tuple, collector: &mut Collector) {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
         let v = *tuple.value::<u64>().expect("u64 payload");
-        collector.emit_default(Tuple::keyed(v.wrapping_mul(v), tuple.event_ns, tuple.key));
+        collector.send_default(v.wrapping_mul(v), tuple.event_ns, tuple.key);
     }
 }
 
 struct NullSink;
 
 impl DynBolt for NullSink {
-    fn execute(&mut self, _tuple: &Tuple, _collector: &mut Collector) {}
+    fn execute(&mut self, _tuple: &TupleView<'_>, _collector: &mut Collector) {}
 }
 
 fn main() {
