@@ -14,7 +14,7 @@
 use crate::generators::{Transaction, TransactionGenerator};
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, TupleView};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, StateEntry, TupleView};
 use std::collections::HashMap;
 
 /// Operator names, in pipeline order.
@@ -55,6 +55,9 @@ pub fn topology() -> LogicalTopology {
 }
 
 struct FdSpout {
+    replica: u64,
+    seed: u64,
+    emitted: u64,
     generator: TransactionGenerator,
     remaining: u64,
 }
@@ -65,11 +68,33 @@ impl DynSpout for FdSpout {
             return SpoutStatus::Exhausted;
         }
         self.remaining -= 1;
+        self.emitted += 1;
         let txn = self.generator.next_transaction();
         let key = txn.account as u64;
         let now = collector.now_ns();
         collector.send_default(txn, now, key);
         SpoutStatus::Emitted(1)
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        Some(vec![(
+            self.replica,
+            crate::spout_state::encode(self.seed, self.emitted, self.remaining),
+        )])
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        if let Some((seed, emitted, remaining)) = crate::spout_state::merge(&entries) {
+            self.seed = seed;
+            self.emitted = emitted;
+            self.generator = TransactionGenerator::new(seed, 4096);
+            self.generator.skip_transactions(emitted);
+            self.remaining = remaining;
+        } else {
+            // Empty hand-off: this replica got no share of the migrated
+            // budget. Keeping the factory default would emit it twice.
+            self.remaining = 0;
+        }
     }
 }
 
@@ -173,9 +198,15 @@ pub fn app_sized(total_events: u64) -> AppRuntime {
         .map(|n| t.find(n).expect("operator exists"))
         .collect();
     AppRuntime::new(t)
-        .spout(ids[0], move |ctx| FdSpout {
-            generator: TransactionGenerator::new(0xFD ^ ctx.replica as u64, 4096),
-            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+        .spout(ids[0], move |ctx| {
+            let seed = 0xFD ^ ctx.replica as u64;
+            FdSpout {
+                replica: ctx.replica as u64,
+                seed,
+                emitted: 0,
+                generator: TransactionGenerator::new(seed, 4096),
+                remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+            }
         })
         .bolt(ids[1], |_| FdParser)
         .bolt(ids[2], |_| FdPredictor {

@@ -49,6 +49,10 @@ pub struct SentenceGenerator {
     zipf: Zipf,
     words_per_sentence: usize,
     rng: StdRng,
+    produced: u64,
+    // (after_sentences, new_exponent): drifting-workload hook that shifts
+    // which keys are hot mid-run.
+    shift: Option<(u64, f64)>,
 }
 
 impl SentenceGenerator {
@@ -60,11 +64,36 @@ impl SentenceGenerator {
             zipf: Zipf::new(vocab, 1.0),
             words_per_sentence,
             rng: StdRng::seed_from_u64(seed),
+            produced: 0,
+            shift: None,
+        }
+    }
+
+    /// Schedule a key-skew shift: after this generator has produced `after`
+    /// sentences, the vocabulary distribution is rebuilt with Zipf exponent
+    /// `exponent`. The shift is part of the deterministic stream — replaying
+    /// the same seed with the same shift reproduces the same sentences.
+    pub fn with_skew_shift(mut self, after: u64, exponent: f64) -> SentenceGenerator {
+        self.shift = Some((after, exponent));
+        self
+    }
+
+    /// Sentences produced so far (including skipped ones).
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn apply_shift(&mut self) {
+        if let Some((after, exponent)) = self.shift {
+            if self.produced == after {
+                self.zipf = Zipf::new(self.vocabulary.len(), exponent);
+            }
         }
     }
 
     /// Next sentence.
     pub fn next_sentence(&mut self) -> String {
+        self.apply_shift();
         let mut s = String::with_capacity(self.words_per_sentence * 9);
         for i in 0..self.words_per_sentence {
             if i > 0 {
@@ -72,7 +101,22 @@ impl SentenceGenerator {
             }
             s.push_str(&self.vocabulary[self.zipf.sample(&mut self.rng)]);
         }
+        self.produced += 1;
         s
+    }
+
+    /// Advance the stream by `n` sentences without materialising them —
+    /// samples the same RNG draws as [`next_sentence`](Self::next_sentence)
+    /// but skips string building. Used to replay a migrated spout's position
+    /// cheaply.
+    pub fn skip_sentences(&mut self, n: u64) {
+        for _ in 0..n {
+            self.apply_shift();
+            for _ in 0..self.words_per_sentence {
+                self.zipf.sample(&mut self.rng);
+            }
+            self.produced += 1;
+        }
     }
 }
 
@@ -132,6 +176,14 @@ impl TransactionGenerator {
             seq: self.seq,
         }
     }
+
+    /// Advance the stream by `n` transactions, discarding them (replays a
+    /// migrated spout's position; transactions are cheap Copy records).
+    pub fn skip_transactions(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_transaction();
+        }
+    }
 }
 
 /// A sensor reading (the SD workload).
@@ -167,6 +219,13 @@ impl SensorGenerator {
         SensorReading {
             device: self.rng.gen_range(0..self.devices),
             value: if spike { base * 10.0 } else { base },
+        }
+    }
+
+    /// Advance the stream by `n` readings, discarding them.
+    pub fn skip_readings(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_reading();
         }
     }
 }
@@ -232,6 +291,13 @@ impl LrGenerator {
             LrEvent::DailyExpenditure { vehicle }
         }
     }
+
+    /// Advance the stream by `n` events, discarding them.
+    pub fn skip_events(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_event();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +333,67 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.next_sentence(), b.next_sentence());
         }
+    }
+
+    #[test]
+    fn skip_sentences_matches_generation() {
+        let mut a = SentenceGenerator::new(42, 100, 10);
+        let mut b = SentenceGenerator::new(42, 100, 10);
+        for _ in 0..25 {
+            a.next_sentence();
+        }
+        b.skip_sentences(25);
+        assert_eq!(a.produced(), b.produced());
+        for _ in 0..10 {
+            assert_eq!(a.next_sentence(), b.next_sentence());
+        }
+    }
+
+    #[test]
+    fn skew_shift_is_deterministic_across_skip() {
+        let mut a = SentenceGenerator::new(7, 200, 10).with_skew_shift(20, 2.0);
+        let mut b = SentenceGenerator::new(7, 200, 10).with_skew_shift(20, 2.0);
+        for _ in 0..30 {
+            a.next_sentence();
+        }
+        b.skip_sentences(30);
+        for _ in 0..10 {
+            assert_eq!(a.next_sentence(), b.next_sentence());
+        }
+    }
+
+    #[test]
+    fn skew_shift_changes_the_hot_set() {
+        // A strong exponent concentrates mass on rank 0 much harder than 1.0.
+        let mut g = SentenceGenerator::new(3, 100, 10).with_skew_shift(2_000, 3.0);
+        let count_hot = |g: &mut SentenceGenerator, n: u64| {
+            let mut hot = 0usize;
+            for _ in 0..n {
+                hot += g
+                    .next_sentence()
+                    .split(' ')
+                    .filter(|w| *w == "word0000")
+                    .count();
+            }
+            hot
+        };
+        let before = count_hot(&mut g, 2_000);
+        let after = count_hot(&mut g, 2_000);
+        assert!(
+            after > before * 2,
+            "hot-word mass should jump after the shift: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn transaction_skip_matches_generation() {
+        let mut a = TransactionGenerator::new(5, 100);
+        let mut b = TransactionGenerator::new(5, 100);
+        for _ in 0..40 {
+            a.next_transaction();
+        }
+        b.skip_transactions(40);
+        assert_eq!(a.next_transaction(), b.next_transaction());
     }
 
     #[test]

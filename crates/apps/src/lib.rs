@@ -52,6 +52,53 @@ pub fn replica_share(total: u64, replica: usize, replicas: usize) -> u64 {
     total / n + u64::from((replica as u64) < total % n)
 }
 
+/// Shared wire format for migratable spout state.
+///
+/// Every benchmark spout is a deterministic seeded generator plus an input
+/// budget, so its whole state is three numbers: the RNG `seed`, how many
+/// events it has `emitted`, and how many `remaining` before exhaustion. A
+/// successor replica rebuilds the generator from the seed and replays
+/// `emitted` draws (via the generators' cheap `skip_*` methods) to land on
+/// the exact same stream position — no tuple is re-emitted or lost.
+pub(crate) mod spout_state {
+    use brisk_runtime::StateEntry;
+
+    /// `seed | emitted | remaining`, little-endian u64s.
+    pub fn encode(seed: u64, emitted: u64, remaining: u64) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&seed.to_le_bytes());
+        bytes.extend_from_slice(&emitted.to_le_bytes());
+        bytes.extend_from_slice(&remaining.to_le_bytes());
+        bytes
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<(u64, u64, u64)> {
+        if bytes.len() != 24 {
+            return None;
+        }
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8"));
+        Some((word(0), word(1), word(2)))
+    }
+
+    /// Merge harvested entries into one stream position: continue the first
+    /// entry's stream (its seed and replay offset), carrying the *summed*
+    /// remaining budget so rescaled migrations conserve the total event
+    /// count exactly.
+    pub fn merge(entries: &[StateEntry]) -> Option<(u64, u64, u64)> {
+        let mut merged: Option<(u64, u64, u64)> = None;
+        for (_, bytes) in entries {
+            let Some((seed, emitted, remaining)) = decode(bytes) else {
+                continue;
+            };
+            merged = Some(match merged {
+                None => (seed, emitted, remaining),
+                Some((s, e, r)) => (s, e, r.saturating_add(remaining)),
+            });
+        }
+        merged
+    }
+}
+
 /// A runnable, *size-parameterized* application by paper abbreviation: the
 /// spouts generate exactly `total_events` input events (split across
 /// replicas via [`replica_share`]) and then exhaust, so a run drains

@@ -15,7 +15,7 @@
 use crate::generators::{LrEvent, LrGenerator};
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, TupleView};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, StateEntry, TupleView};
 use std::collections::{HashMap, HashSet};
 
 /// Output stream names (Table 8).
@@ -241,6 +241,9 @@ pub struct TollNotification {
 // ---- operators -------------------------------------------------------------
 
 struct LrSpout {
+    replica: u64,
+    seed: u64,
+    emitted: u64,
     generator: LrGenerator,
     remaining: u64,
 }
@@ -251,6 +254,7 @@ impl DynSpout for LrSpout {
             return SpoutStatus::Exhausted;
         }
         self.remaining -= 1;
+        self.emitted += 1;
         let event = self.generator.next_event();
         let now = collector.now_ns();
         let key = match event {
@@ -260,6 +264,27 @@ impl DynSpout for LrSpout {
         };
         collector.send_default(event, now, key);
         SpoutStatus::Emitted(1)
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        Some(vec![(
+            self.replica,
+            crate::spout_state::encode(self.seed, self.emitted, self.remaining),
+        )])
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        if let Some((seed, emitted, remaining)) = crate::spout_state::merge(&entries) {
+            self.seed = seed;
+            self.emitted = emitted;
+            self.generator = LrGenerator::new(seed, 10_000);
+            self.generator.skip_events(emitted);
+            self.remaining = remaining;
+        } else {
+            // Empty hand-off: this replica got no share of the migrated
+            // budget. Keeping the factory default would emit it twice.
+            self.remaining = 0;
+        }
     }
 }
 
@@ -561,9 +586,15 @@ pub fn app_sized(total_events: u64) -> AppRuntime {
     );
     let (daily, balance, sink) = (id("daily_expen"), id("account_balance"), id("sink"));
     AppRuntime::new(t)
-        .spout(spout, move |ctx| LrSpout {
-            generator: LrGenerator::new(0x14 ^ ctx.replica as u64, 10_000),
-            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+        .spout(spout, move |ctx| {
+            let seed = 0x14 ^ ctx.replica as u64;
+            LrSpout {
+                replica: ctx.replica as u64,
+                seed,
+                emitted: 0,
+                generator: LrGenerator::new(seed, 10_000),
+                remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+            }
         })
         .bolt(parser, |_| LrParser)
         .bolt(dispatcher, |_| LrDispatcher)

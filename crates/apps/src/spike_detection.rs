@@ -9,7 +9,7 @@
 use crate::generators::{SensorGenerator, SensorReading};
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, TupleView};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, StateEntry, TupleView};
 use std::collections::{HashMap, VecDeque};
 
 /// Operator names, in pipeline order.
@@ -85,6 +85,9 @@ pub struct SpikeSignal {
 }
 
 struct SdSpout {
+    replica: u64,
+    seed: u64,
+    emitted: u64,
     generator: SensorGenerator,
     remaining: u64,
 }
@@ -95,10 +98,32 @@ impl DynSpout for SdSpout {
             return SpoutStatus::Exhausted;
         }
         self.remaining -= 1;
+        self.emitted += 1;
         let r = self.generator.next_reading();
         let now = collector.now_ns();
         collector.send_default(r, now, r.device as u64);
         SpoutStatus::Emitted(1)
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        Some(vec![(
+            self.replica,
+            crate::spout_state::encode(self.seed, self.emitted, self.remaining),
+        )])
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        if let Some((seed, emitted, remaining)) = crate::spout_state::merge(&entries) {
+            self.seed = seed;
+            self.emitted = emitted;
+            self.generator = SensorGenerator::new(seed, 256);
+            self.generator.skip_readings(emitted);
+            self.remaining = remaining;
+        } else {
+            // Empty hand-off: this replica got no share of the migrated
+            // budget. Keeping the factory default would emit it twice.
+            self.remaining = 0;
+        }
     }
 }
 
@@ -180,9 +205,15 @@ pub fn app_sized(total_events: u64) -> AppRuntime {
         .map(|n| t.find(n).expect("operator exists"))
         .collect();
     AppRuntime::new(t)
-        .spout(ids[0], move |ctx| SdSpout {
-            generator: SensorGenerator::new(0x5D ^ ctx.replica as u64, 256),
-            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+        .spout(ids[0], move |ctx| {
+            let seed = 0x5D ^ ctx.replica as u64;
+            SdSpout {
+                replica: ctx.replica as u64,
+                seed,
+                emitted: 0,
+                generator: SensorGenerator::new(seed, 256),
+                remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+            }
         })
         .bolt(ids[1], |_| SdParser)
         .bolt(ids[2], |_| SdMovingAverage {

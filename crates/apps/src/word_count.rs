@@ -15,7 +15,9 @@
 use crate::generators::SentenceGenerator;
 use crate::CALIBRATION_GHZ;
 use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
-use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, Tuple, TupleView};
+use brisk_runtime::{
+    AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, StateEntry, Tuple, TupleView,
+};
 use std::collections::HashMap;
 
 /// Operator names, in pipeline order.
@@ -65,8 +67,21 @@ pub fn topology() -> LogicalTopology {
 }
 
 struct WcSpout {
+    replica: u64,
+    seed: u64,
+    skew_shift: Option<(u64, f64)>,
     generator: SentenceGenerator,
     remaining: u64,
+}
+
+impl WcSpout {
+    fn build_generator(seed: u64, skew_shift: Option<(u64, f64)>) -> SentenceGenerator {
+        let g = SentenceGenerator::new(seed, 1000, WORDS_PER_SENTENCE);
+        match skew_shift {
+            Some((after, exponent)) => g.with_skew_shift(after, exponent),
+            None => g,
+        }
+    }
 }
 
 impl DynSpout for WcSpout {
@@ -79,6 +94,26 @@ impl DynSpout for WcSpout {
         let now = collector.now_ns();
         collector.send_default(sentence, now, 0);
         SpoutStatus::Emitted(1)
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        Some(vec![(
+            self.replica,
+            crate::spout_state::encode(self.seed, self.generator.produced(), self.remaining),
+        )])
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        if let Some((seed, emitted, remaining)) = crate::spout_state::merge(&entries) {
+            self.seed = seed;
+            self.generator = Self::build_generator(seed, self.skew_shift);
+            self.generator.skip_sentences(emitted);
+            self.remaining = remaining;
+        } else {
+            // Empty hand-off: this replica got no share of the migrated
+            // budget. Keeping the factory default would emit it twice.
+            self.remaining = 0;
+        }
     }
 }
 
@@ -123,6 +158,35 @@ impl DynBolt for WcCounter {
         *count += 1;
         collector.send_default((word.clone(), *count), tuple.event_ns, tuple.key);
     }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        // One entry per word, keyed exactly like the splitter keys the
+        // word's tuples, so redistribution lands each count on the replica
+        // that will keep counting that word under the new plan.
+        Some(
+            self.counts
+                .drain()
+                .map(|(word, count)| {
+                    let mut bytes = count.to_le_bytes().to_vec();
+                    bytes.extend_from_slice(word.as_bytes());
+                    (Tuple::hash_key(word.as_bytes()), bytes)
+                })
+                .collect(),
+        )
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        for (_, bytes) in entries {
+            if bytes.len() < 8 {
+                continue;
+            }
+            let count = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+            let Ok(word) = std::str::from_utf8(&bytes[8..]) else {
+                continue;
+            };
+            *self.counts.entry(word.to_string()).or_insert(0) += count;
+        }
+    }
 }
 
 struct WcSink;
@@ -141,19 +205,30 @@ pub fn app() -> AppRuntime {
 /// spouts emit exactly `total_events` sentences in total (split across
 /// replicas), then exhaust.
 pub fn app_sized(total_events: u64) -> AppRuntime {
+    app_sized_skewed(total_events, None)
+}
+
+/// [`app_sized`] with an optional mid-run key-skew shift: after each spout
+/// replica has produced `after` sentences, its word distribution is rebuilt
+/// with Zipf exponent `exponent` (the default is 1.0), moving the hot keys'
+/// load between counter replicas — the drifting workload the elastic
+/// runtime's skew-aware re-weighting reacts to.
+pub fn app_sized_skewed(total_events: u64, skew_shift: Option<(u64, f64)>) -> AppRuntime {
     let t = topology();
     let ids: Vec<_> = OPERATORS
         .iter()
         .map(|n| t.find(n).expect("operator exists"))
         .collect();
     AppRuntime::new(t)
-        .spout(ids[0], move |ctx| WcSpout {
-            generator: SentenceGenerator::new(
-                0x5747_u64 ^ ctx.replica as u64,
-                1000,
-                WORDS_PER_SENTENCE,
-            ),
-            remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+        .spout(ids[0], move |ctx| {
+            let seed = 0x5747_u64 ^ ctx.replica as u64;
+            WcSpout {
+                replica: ctx.replica as u64,
+                seed,
+                skew_shift,
+                generator: WcSpout::build_generator(seed, skew_shift),
+                remaining: crate::replica_share(total_events, ctx.replica, ctx.replicas),
+            }
         })
         .bolt(ids[1], |_| WcParser)
         .bolt(ids[2], |_| WcSplitter)

@@ -105,14 +105,16 @@ impl BriskStream {
 
     /// "Measure" a plan by simulating it on the virtual machine.
     ///
-    /// The discrete-event simulator models **unfused** execution: every
-    /// replica is its own pipelined executor with real queues, exactly
-    /// what the engine runs with `EngineConfig::fusion` disabled. For
-    /// plans where the engine would fuse chains, expect the simulated
-    /// rate to exceed the fusion-aware prediction from
-    /// [`BriskStream::submit`]/[`BriskStream::evaluate`] (serialized
-    /// chains are slower than pipelined ones, queue costs aside) —
-    /// simulating fusion itself is an open ROADMAP item.
+    /// With `config.fusion` set, the discrete-event simulator collapses
+    /// the plan's fusion chains exactly like the engine does (fused
+    /// members run serialized inside their host's executor, no queue or
+    /// fetch stall on fused edges), so the simulated rate tracks the
+    /// fusion-aware prediction from [`BriskStream::submit`]/
+    /// [`BriskStream::evaluate`]. With it clear (the default), every
+    /// replica is its own pipelined executor with real queues — the
+    /// engine with `EngineConfig::fusion` disabled — and the simulated
+    /// rate can exceed the fusion-aware prediction on fusable plans
+    /// (pipelined chains out-run serialized ones, queue costs aside).
     pub fn simulate(
         &self,
         topology: &LogicalTopology,
@@ -204,6 +206,44 @@ mod tests {
         assert!(
             rel < 0.15,
             "sim {} vs predicted {} (rel {rel})",
+            sim.throughput,
+            report.predicted_throughput
+        );
+    }
+
+    #[test]
+    fn fused_simulation_tracks_the_fused_prediction() {
+        // submit() scores plans with the fused-engine objective; a
+        // simulation that collapses the same chains must land near that
+        // prediction even when the plan fuses aggressively (compression 1
+        // keeps single-replica chains fusable).
+        let mut sys = BriskStream::with_options(
+            Machine::server_b().restrict_sockets(2),
+            ScalingOptions {
+                compress_ratio: 2,
+                ..ScalingOptions::default()
+            },
+        );
+        let t = pipeline();
+        let report = sys.submit(&t).expect("feasible");
+        let sim = sys
+            .simulate(
+                &t,
+                &report.plan,
+                SimConfig {
+                    noise_sigma: 0.0,
+                    horizon_ns: 50_000_000,
+                    warmup_ns: 10_000_000,
+                    fusion: true,
+                    ..SimConfig::default()
+                },
+            )
+            .expect("simulates");
+        let rel =
+            (sim.throughput - report.predicted_throughput).abs() / report.predicted_throughput;
+        assert!(
+            rel < 0.15,
+            "fused sim {} vs predicted {} (rel {rel})",
             sim.throughput,
             report.predicted_throughput
         );

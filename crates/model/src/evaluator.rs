@@ -178,6 +178,16 @@ pub struct Evaluator<'m> {
     /// and ablations; fusion-aware scorers set it so splitting a fusable
     /// chain is not modelled as free.
     pub queue_overhead_ns: f64,
+    /// Bound-mode refinement of the queue charge: when set, an edge the
+    /// *optimistic* fusion plan (replica alignment only, placement
+    /// ignored) could still collapse rides free, and only edges **no**
+    /// completion can fuse pay `queue_overhead_ns`. The optimistic fused
+    /// set is a superset of every complete placement's fused set —
+    /// placement decisions only *break* collocation — so charging exactly
+    /// the never-fusable complement keeps the bound admissible against the
+    /// fused-engine objective while pricing in crossings every completion
+    /// must pay. Off by default; [`Evaluator::bounding`] turns it on.
+    pub fusable_edges_ride_free: bool,
 }
 
 impl<'m> Evaluator<'m> {
@@ -189,6 +199,7 @@ impl<'m> Evaluator<'m> {
             tf_policy: TfPolicy::RelativeLocation,
             fusion: false,
             queue_overhead_ns: 0.0,
+            fusable_edges_ride_free: false,
         }
     }
 
@@ -221,8 +232,29 @@ impl<'m> Evaluator<'m> {
     /// cost — what RLAS scores complete plans with and what
     /// `predict_for_plan` reports.
     pub fn fused_engine(self) -> Evaluator<'m> {
-        self.with_fusion(true)
-            .with_queue_overhead(DEFAULT_QUEUE_OVERHEAD_NS)
+        Evaluator {
+            fusion: true,
+            queue_overhead_ns: DEFAULT_QUEUE_OVERHEAD_NS,
+            fusable_edges_ride_free: false,
+            ..self
+        }
+    }
+
+    /// The tightened admissible B&B bounding configuration: capacities stay
+    /// fusion-free (every member keeps its own parallel executor — an upper
+    /// bound on the serialized chain), but edges that can never fuse under
+    /// *any* placement are charged the queue-crossing cost every completion
+    /// pays on them. Strictly at or below the legacy zero-queue bound, and
+    /// still at or above every completion's [`Evaluator::fused_engine`]
+    /// score (pinned by the property tests), so B&B prunes more without
+    /// ever pruning the optimum.
+    pub fn bounding(self) -> Evaluator<'m> {
+        Evaluator {
+            fusion: false,
+            queue_overhead_ns: DEFAULT_QUEUE_OVERHEAD_NS,
+            fusable_edges_ride_free: true,
+            ..self
+        }
     }
 
     /// Fetch cost in ns for one tuple of `bytes` bytes produced on `from`
@@ -276,6 +308,11 @@ impl<'m> Evaluator<'m> {
         let fusion = self
             .fusion
             .then(|| FusionPlan::from_graph(graph, placement));
+        // Bound-mode refinement: the optimistic (placement-free) fusion
+        // plan — edges outside it can never fuse, so every completion pays
+        // their crossing cost and the bound may charge it too.
+        let optimistic_fusion = (self.fusable_edges_ride_free && self.queue_overhead_ns > 0.0)
+            .then(|| FusionPlan::compute(graph.topology(), graph.replication(), None));
 
         // ---- Pass 1: relative flow factors (per unit of aggregate spout
         // output) and fetch-cost mixes. ----
@@ -358,9 +395,13 @@ impl<'m> Evaluator<'m> {
                     let (tf, queue) = if fused {
                         (0.0, 0.0)
                     } else {
+                        let crossing = match &optimistic_fusion {
+                            Some(of) if of.is_edge_fused(e.edge.logical_edge) => 0.0,
+                            _ => self.queue_overhead_ns,
+                        };
                         (
                             self.fetch_ns(bytes, from_socket, placement.socket_of(cv)),
-                            self.queue_overhead_ns,
+                            crossing,
                         )
                     };
                     weighted_tf[cv.0] += share * tf;
@@ -828,6 +869,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tightened_bound_is_admissible_and_prunes_harder() {
+        // [1,2,1]: both edges are 1:2 / 2:1, which no placement can fuse,
+        // so the bounding evaluator charges them the crossing cost — the
+        // bound drops strictly below the legacy zero-queue bound while
+        // staying at or above every completion's fused-engine score.
+        let m = toy_machine();
+        let t = linear_topology();
+        let g = ExecutionGraph::new(&t, &[1, 2, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let mut partial = Placement::empty(g.vertex_count());
+        partial.place(brisk_dag::VertexId(0), SocketId(0));
+        let legacy = ev.bound(&g, &partial);
+        let tightened = ev.bounding().bound(&g, &partial);
+        assert!(
+            tightened < legacy,
+            "never-fusable edges must be charged: {tightened} !< {legacy}"
+        );
+        for b1 in 0..2 {
+            for b2 in 0..2 {
+                for s in 0..2 {
+                    let mut full = partial.clone();
+                    full.place(brisk_dag::VertexId(1), SocketId(b1));
+                    full.place(brisk_dag::VertexId(2), SocketId(b2));
+                    full.place(brisk_dag::VertexId(3), SocketId(s));
+                    let got = ev.fused_engine().evaluate(&g, &full).throughput;
+                    assert!(
+                        got <= tightened + 1e-6,
+                        "completion beat the tightened bound: {got} > {tightened}"
+                    );
+                }
+            }
+        }
+        // On a fully fusable chain the optimistic plan covers every edge,
+        // so the tightened bound coincides with the legacy one.
+        let g1 = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let empty = Placement::empty(g1.vertex_count());
+        assert_eq!(ev.bounding().bound(&g1, &empty), ev.bound(&g1, &empty));
     }
 
     #[test]

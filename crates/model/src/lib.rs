@@ -34,6 +34,7 @@ pub mod comm;
 pub mod constraints;
 pub mod evaluator;
 pub mod predict;
+pub mod recalibrate;
 
 pub use comm::comm_cost_matrix;
 pub use constraints::{ConstraintReport, Violation};
@@ -42,3 +43,6 @@ pub use evaluator::{
     DEFAULT_QUEUE_OVERHEAD_NS,
 };
 pub use predict::{predict_for_plan, OperatorPrediction, PlanPrediction};
+pub use recalibrate::{
+    recalibrate_from_measurement, MeasuredOperator, Recalibration, MIN_CALIBRATION_TUPLES,
+};

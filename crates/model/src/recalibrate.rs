@@ -1,0 +1,340 @@
+//! Online cost recalibration: re-fit operator profiles to measured
+//! service times.
+//!
+//! The paper profiles each operator once, offline, and trusts the profile
+//! for the lifetime of the plan. An elastic runtime cannot: workload drift
+//! (a cost step, a selectivity shift) silently invalidates `Te`, and every
+//! re-optimization on the stale profile reproduces the stale plan. This
+//! module closes the loop. Given the per-operator *measured* signals an
+//! engine run exposes — tuples handled and nanoseconds spent inside
+//! `consume` (`brisk_runtime::ReplicaRate`) — it compares measured
+//! per-tuple service time against the model's prediction for the same
+//! plan, separates a *host-speed* miscalibration (every operator off by
+//! the same factor: the machine spec's clock does not match reality) from
+//! *per-operator* drift (one operator's ratio departing from the rest),
+//! and returns a topology whose `exec_cycles` are re-fit so the model
+//! reproduces the measurement.
+//!
+//! Known limits, by design:
+//!
+//! * Spouts are not instrumented (generation is not bracketed by a timer),
+//!   so their profiles are never re-fit — spout cost rarely binds, and the
+//!   back-pressured spout rate is observable directly.
+//! * Measured busy time includes time blocked pushing into a full
+//!   downstream queue, so operators *upstream of* a saturated bottleneck
+//!   read inflated. The bottleneck itself never blocks (its consumers are
+//!   starved) and operators downstream of it are idle-but-clean, so the
+//!   binding profile — the one re-planning acts on — is measured honestly.
+//! * Operators fused away into a host chain have tuples but no busy time
+//!   of their own; the host's busy covers the whole chain. The chain's
+//!   budget is redistributed over its members in proportion to
+//!   tuples × modelled service, keeping the chain total right even though
+//!   within-chain attribution follows the (possibly stale) model.
+
+use crate::evaluator::Evaluator;
+use brisk_dag::{
+    CostProfile, ExecutionGraph, ExecutionPlan, FusionPlan, LogicalTopology, OperatorId,
+    OperatorKind,
+};
+use brisk_numa::Machine;
+
+/// Operators with fewer measured tuples than this keep their profile: a
+/// starved replica's service-time quotient is noise, not signal.
+pub const MIN_CALIBRATION_TUPLES: u64 = 500;
+
+/// Pooled online measurements for one logical operator, summed over its
+/// replicas (the per-operator pooling of `ReplicaRate` rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeasuredOperator {
+    /// Tuples the operator handled during the sampling window (spouts:
+    /// emitted; bolts/sinks: consumed, inline fused deliveries included).
+    pub tuples: u64,
+    /// Nanoseconds its replicas spent inside `consume` (0 for spouts and
+    /// fused-away operators, whose work is timed at their chain host).
+    pub busy_ns: u64,
+}
+
+/// A recalibrated topology plus the diagnostics the controller logs.
+#[derive(Debug, Clone)]
+pub struct Recalibration {
+    /// Copy of the input topology with per-operator `exec_cycles` re-fit
+    /// to the host-normalized measured service times.
+    pub topology: LogicalTopology,
+    /// Smallest measured/modelled service-time ratio over operators with
+    /// signal — the host-speed correction. Both known measurement biases
+    /// (cost drift and time blocked on a saturated consumer) inflate an
+    /// operator's ratio, never deflate it, so the cleanest host estimate
+    /// is the least-inflated operator. 1.0 when nothing measured.
+    pub host_factor: f64,
+    /// Per-operator measured/modelled service ratio (1.0 = on-model or no
+    /// signal). An entry far above `host_factor` is genuine per-operator
+    /// drift.
+    pub ratios: Vec<f64>,
+    /// Whether each operator produced a usable measurement (enough tuples
+    /// and instrumented busy time).
+    pub signal: Vec<bool>,
+}
+
+impl Recalibration {
+    /// Largest per-operator drift after removing the host factor —
+    /// `max_i |ratios[i]/host_factor - 1|` over measured operators — the
+    /// scalar the controller compares against its re-plan threshold.
+    pub fn max_drift(&self) -> f64 {
+        self.ratios
+            .iter()
+            .zip(&self.signal)
+            .filter(|&(_, &s)| s)
+            .map(|(r, _)| (r / self.host_factor - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Per-operator modelled per-tuple times under `plan`:
+/// `(exec_ns, total_ns)`, pooled over the operator's vertices weighted by
+/// their modelled processed rate.
+fn modelled_service_ns(
+    machine: &Machine,
+    topology: &LogicalTopology,
+    plan: &ExecutionPlan,
+) -> Vec<(f64, f64)> {
+    let graph = ExecutionGraph::new(topology, &plan.replication, plan.compress_ratio);
+    let eval = Evaluator::saturated(machine)
+        .fused_engine()
+        .evaluate(&graph, &plan.placement);
+    let n = topology.operator_count();
+    let mut exec = vec![0.0f64; n];
+    let mut total = vec![0.0f64; n];
+    let mut weight = vec![0.0f64; n];
+    for (vid, vertex) in graph.vertices() {
+        let r = &eval.vertices[vid.0];
+        let w = r.processed_rate.max(f64::MIN_POSITIVE);
+        exec[vertex.op.0] += w * r.exec_ns;
+        total[vertex.op.0] += w * r.total_ns();
+        weight[vertex.op.0] += w;
+    }
+    (0..n)
+        .map(|op| {
+            let w = weight[op].max(f64::MIN_POSITIVE);
+            (exec[op] / w, total[op] / w)
+        })
+        .collect()
+}
+
+/// Re-fit `topology`'s per-operator execution costs from a measured run of
+/// `plan`. See the module docs for the signal model and its limits.
+pub fn recalibrate_from_measurement(
+    machine: &Machine,
+    topology: &LogicalTopology,
+    plan: &ExecutionPlan,
+    measured: &[MeasuredOperator],
+) -> Recalibration {
+    let n = topology.operator_count();
+    assert_eq!(measured.len(), n, "one measurement row per operator");
+    let service = modelled_service_ns(machine, topology, plan);
+
+    // Redistribute chain-host busy time over fused chain members in
+    // proportion to tuples × modelled service, so members regain a
+    // per-operator signal and hosts stop over-reading.
+    let graph = ExecutionGraph::new(topology, &plan.replication, plan.compress_ratio);
+    let fusion = FusionPlan::from_graph(&graph, &plan.placement);
+    let mut busy: Vec<f64> = measured.iter().map(|m| m.busy_ns as f64).collect();
+    for chain in fusion.chains() {
+        if chain.len() < 2 {
+            continue;
+        }
+        let host = chain[0];
+        if topology.operator(host).kind == OperatorKind::Spout {
+            // Spout-hosted chains are uninstrumented end to end.
+            continue;
+        }
+        let pool: f64 = chain.iter().map(|op| busy[op.0]).sum();
+        let weights: Vec<f64> = chain
+            .iter()
+            .map(|op| measured[op.0].tuples as f64 * service[op.0].1)
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        if pool <= 0.0 || total_w <= 0.0 {
+            continue;
+        }
+        for (op, w) in chain.iter().zip(weights) {
+            busy[op.0] = pool * w / total_w;
+        }
+    }
+
+    // Measured/modelled service ratio per operator with signal.
+    let mut ratios = vec![1.0f64; n];
+    let mut has_signal = vec![false; n];
+    let mut sampled: Vec<f64> = Vec::new();
+    for op in 0..n {
+        let m = &measured[op];
+        if m.tuples < MIN_CALIBRATION_TUPLES || busy[op] <= 0.0 || service[op].1 <= 0.0 {
+            continue;
+        }
+        let measured_service = busy[op] / m.tuples as f64;
+        let r = measured_service / service[op].1;
+        if r.is_finite() && r > 0.0 {
+            ratios[op] = r;
+            has_signal[op] = true;
+            sampled.push(r);
+        }
+    }
+    let min_ratio = sampled.iter().copied().fold(f64::INFINITY, f64::min);
+    let host_factor = if min_ratio.is_finite() {
+        min_ratio
+    } else {
+        1.0
+    };
+
+    // Re-fit exec_cycles: the host-normalized measured service, minus the
+    // model's non-execution components (overhead, fetch, queue crossing),
+    // converted back to cycles. Floor at 5% of the normalized service so a
+    // measurement below the modelled overheads never zeroes a profile.
+    let clock = machine.clock_hz();
+    let mut recal = topology.clone();
+    for op in 0..n {
+        if !has_signal[op] {
+            continue; // no signal: keep the profile
+        }
+        let normalized = ratios[op] * service[op].1 / host_factor;
+        let non_exec = service[op].1 - service[op].0;
+        let new_exec_ns = (normalized - non_exec).max(0.05 * normalized);
+        let id = OperatorId(op);
+        let old = topology.operator(id).cost;
+        recal.set_cost(
+            id,
+            CostProfile::new(
+                new_exec_ns * clock / 1e9,
+                old.overhead_cycles,
+                old.mem_bytes_per_tuple,
+                old.output_bytes,
+            ),
+        );
+    }
+
+    Recalibration {
+        topology: recal,
+        host_factor,
+        ratios,
+        signal: has_signal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_dag::{Placement, TopologyBuilder};
+    use brisk_numa::{MachineBuilder, SocketId};
+
+    fn toy_machine() -> Machine {
+        MachineBuilder::new("toy")
+            .sockets(2)
+            .cores_per_socket(4)
+            .clock_ghz(1.0)
+            .local_latency_ns(50.0)
+            .one_hop_latency_ns(200.0)
+            .max_hop_latency_ns(200.0)
+            .build()
+    }
+
+    fn linear_topology() -> LogicalTopology {
+        let mut b = TopologyBuilder::new("lin");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let x = b.add_bolt("bolt", CostProfile::new(200.0, 0.0, 64.0, 64.0));
+        let k = b.add_sink("sink", CostProfile::new(50.0, 0.0, 64.0, 64.0));
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, k);
+        b.build().expect("valid")
+    }
+
+    fn plan_121() -> ExecutionPlan {
+        ExecutionPlan {
+            replication: vec![1, 2, 1],
+            compress_ratio: 1,
+            placement: Placement::all_on(4, SocketId(0)),
+        }
+    }
+
+    /// Synthesize a measurement where each operator runs `factor[i]` times
+    /// slower than the model says.
+    fn synth(
+        m: &Machine,
+        t: &LogicalTopology,
+        plan: &ExecutionPlan,
+        factor: &[f64],
+    ) -> Vec<MeasuredOperator> {
+        let service = modelled_service_ns(m, t, plan);
+        factor
+            .iter()
+            .enumerate()
+            .map(|(op, f)| {
+                if t.operator(OperatorId(op)).kind == OperatorKind::Spout {
+                    return MeasuredOperator {
+                        tuples: 100_000,
+                        busy_ns: 0,
+                    };
+                }
+                let tuples = 100_000u64;
+                MeasuredOperator {
+                    tuples,
+                    busy_ns: (tuples as f64 * service[op].1 * f) as u64,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_slowdown_is_absorbed_by_the_host_factor() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let plan = plan_121();
+        let measured = synth(&m, &t, &plan, &[1.0, 2.0, 2.0]);
+        let r = recalibrate_from_measurement(&m, &t, &plan, &measured);
+        assert!((r.host_factor - 2.0).abs() < 0.01, "{}", r.host_factor);
+        assert!(r.max_drift() < 0.01, "{}", r.max_drift());
+        // Host-normalized profiles stay put.
+        for op in [1usize, 2] {
+            let before = t.operator(OperatorId(op)).cost.exec_cycles;
+            let after = r.topology.operator(OperatorId(op)).cost.exec_cycles;
+            assert!(
+                (after - before).abs() / before < 0.02,
+                "op {op}: {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn locally_slow_operator_gets_its_cost_rescaled() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let plan = plan_121();
+        // The bolt drifted 3x; the sink is on-model.
+        let measured = synth(&m, &t, &plan, &[1.0, 3.0, 1.0]);
+        let r = recalibrate_from_measurement(&m, &t, &plan, &measured);
+        let before = t.operator(OperatorId(1)).cost.exec_cycles;
+        let after = r.topology.operator(OperatorId(1)).cost.exec_cycles;
+        assert!(
+            after > 2.0 * before,
+            "drifted bolt must get costlier: {before} -> {after}"
+        );
+        assert!(r.max_drift() > 0.5, "{}", r.max_drift());
+        // The spout (uninstrumented) keeps its profile bit-exact.
+        assert_eq!(
+            t.operator(OperatorId(0)).cost.exec_cycles,
+            r.topology.operator(OperatorId(0)).cost.exec_cycles
+        );
+    }
+
+    #[test]
+    fn starved_operators_keep_their_profile() {
+        let m = toy_machine();
+        let t = linear_topology();
+        let plan = plan_121();
+        let mut measured = synth(&m, &t, &plan, &[1.0, 5.0, 1.0]);
+        measured[1].tuples = MIN_CALIBRATION_TUPLES - 1; // starved: noise
+        let r = recalibrate_from_measurement(&m, &t, &plan, &measured);
+        assert_eq!(
+            t.operator(OperatorId(1)).cost.exec_cycles,
+            r.topology.operator(OperatorId(1)).cost.exec_cycles
+        );
+    }
+}

@@ -41,7 +41,9 @@ pub mod scaling;
 pub mod strategies;
 
 pub use brisk_model::TfPolicy;
-pub use placement::{optimize_placement, PlacementOptions, PlacementResult};
+pub use placement::{
+    optimize_placement, optimize_placement_seeded, PlacementOptions, PlacementResult,
+};
 pub use random::{random_plans, RandomPlanOptions};
 pub use scaling::{
     balanced_replication, optimize, optimize_with_policy, spawned_executors, OptimizedPlan,

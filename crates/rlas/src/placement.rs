@@ -95,6 +95,23 @@ pub fn optimize_placement(
     graph: &ExecutionGraph<'_>,
     options: &PlacementOptions,
 ) -> Option<PlacementResult> {
+    optimize_placement_seeded(evaluator, graph, options, None)
+}
+
+/// [`optimize_placement`] with an optional *warm-start* incumbent: a known
+/// complete placement (typically the plan currently executing) is scored
+/// first and installed as the incumbent before the search opens. Every
+/// node whose bound cannot beat it is pruned immediately, so a re-search
+/// after a small cost-model recalibration touches a fraction of the tree,
+/// and the result is never worse than the seed under the current model.
+/// A seed whose vertex count does not match `graph`, or that violates the
+/// resource or executor-thread constraints, is silently ignored.
+pub fn optimize_placement_seeded(
+    evaluator: &Evaluator<'_>,
+    graph: &ExecutionGraph<'_>,
+    options: &PlacementOptions,
+    seed: Option<&Placement>,
+) -> Option<PlacementResult> {
     let machine = evaluator.machine;
     let cores = machine.cores_per_socket();
     let sockets = machine.sockets();
@@ -110,11 +127,15 @@ pub fn optimize_placement(
     // unfused edges the per-tuple queue-crossing cost (splitting a chain
     // is not free). Bounds and best-fit ranking stay fusion-free — a
     // partial placement's "unplaced = collocated" relaxation would fuse
-    // everything and under-state completions, while the unfused
-    // zero-queue-cost bound remains admissible (in-search placements
-    // never oversubscribe a socket, so the fused objective only removes
-    // capacity versus the bound's model).
+    // everything and under-state completions, while the unfused bound
+    // remains admissible (in-search placements never oversubscribe a
+    // socket, so the fused objective only removes capacity versus the
+    // bound's model). The bound is tightened fusion-aware: edges *no*
+    // placement can fuse (replica counts or partitioning already rule it
+    // out) are charged the queue-crossing cost every completion pays on
+    // them, pruning harder with no risk to optimality.
     let scorer = evaluator.fused_engine();
+    let bounder = evaluator.bounding();
     // Thread-budget feasibility of a complete placement: fused-away
     // replicas ride their hosts, everyone else costs a thread. (The
     // fused scorer re-derives the same FusionPlan inside `evaluate`; the
@@ -147,18 +168,30 @@ pub fn optimize_placement(
     let mut pruned = 0usize;
     let mut solutions = 0usize;
 
+    let mut try_seed = |p: Placement, best: &mut Option<(Placement, f64, Evaluation)>| {
+        if p.len() != graph.vertex_count() || !p.is_complete() {
+            return;
+        }
+        let eval = scorer.evaluate(graph, &p);
+        if ConstraintReport::check(machine, graph, &p, &eval).ok() && within_thread_budget(&p) {
+            let better = best.as_ref().map(|&(_, t, _)| eval.throughput > t);
+            if better.unwrap_or(true) {
+                solutions += 1;
+                *best = Some((p, eval.throughput, eval));
+            }
+        }
+    };
+    if let Some(seed) = seed {
+        try_seed(seed.clone(), &mut best);
+    }
     if options.seed_first_fit {
         if let Some(p) = crate::strategies::first_fit(graph, machine) {
-            let eval = scorer.evaluate(graph, &p);
-            if ConstraintReport::check(machine, graph, &p, &eval).ok() && within_thread_budget(&p) {
-                solutions += 1;
-                best = Some((p, eval.throughput, eval));
-            }
+            try_seed(p, &mut best);
         }
     }
 
     let root = Node {
-        bound: evaluator.bound(graph, &Placement::empty(graph.vertex_count())),
+        bound: bounder.bound(graph, &Placement::empty(graph.vertex_count())),
         placement: Placement::empty(graph.vertex_count()),
     };
     let mut stack = vec![root];
@@ -260,7 +293,7 @@ pub fn optimize_placement(
                     continue;
                 }
             }
-            let bound = evaluator.bound(graph, &cand);
+            let bound = bounder.bound(graph, &cand);
             if let Some((_, incumbent, _)) = &best {
                 if bound <= *incumbent {
                     pruned += 1;
@@ -655,6 +688,31 @@ mod tests {
         let ev = Evaluator::saturated(&m).with_ingress(Ingress::Rate(1e5));
         let r = optimize_placement(&ev, &g, &PlacementOptions::default()).expect("plan");
         assert!((r.throughput - 1e5).abs() < 1.0);
+    }
+
+    #[test]
+    fn warm_seed_placement_never_worse_than_seed() {
+        let m = machine(4, 2);
+        let t = pipeline(2);
+        let g = ExecutionGraph::new(&t, &[1, 2, 1, 1], 1);
+        let ev = Evaluator::saturated(&m);
+        let options = PlacementOptions::default();
+        let cold = optimize_placement(&ev, &g, &options).expect("plan");
+        // Seed with a deliberately mediocre first-fit placement: the search
+        // must return something at least that good, and — because the seed
+        // counts as a solution — at least one solution even under a
+        // starved node budget.
+        let seed = crate::strategies::first_fit(&g, &m).expect("fits");
+        let seed_score = ev.fused_engine().evaluate(&g, &seed).throughput;
+        let starved = PlacementOptions {
+            max_nodes: 1,
+            ..options
+        };
+        let r = optimize_placement_seeded(&ev, &g, &starved, Some(&seed)).expect("seed survives");
+        assert!(r.throughput >= seed_score * (1.0 - 1e-9));
+        // With the full budget the seeded search matches the cold optimum.
+        let full = optimize_placement_seeded(&ev, &g, &options, Some(&seed)).expect("plan");
+        assert!((full.throughput - cold.throughput).abs() / cold.throughput < 1e-9);
     }
 
     #[test]

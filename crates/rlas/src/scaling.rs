@@ -15,7 +15,9 @@
 //! 4. Repeat until placement fails (machine full), nothing is over-supplied,
 //!    or the replica budget is exhausted.
 
-use crate::placement::{optimize_placement, PlacementOptions, PlacementResult};
+use crate::placement::{
+    optimize_placement, optimize_placement_seeded, PlacementOptions, PlacementResult,
+};
 use brisk_dag::{ExecutionGraph, ExecutionPlan, FusionPlan, LogicalTopology};
 use brisk_model::{Evaluation, Evaluator, TfPolicy};
 use brisk_numa::Machine;
@@ -68,6 +70,16 @@ pub struct ScalingOptions {
     /// Warm-start replication per operator (Appendix D: "start from a
     /// reasonably large DAG configuration").
     pub initial_replication: Option<Vec<usize>>,
+    /// Warm-start *plan* for incremental re-search: the scaling loop starts
+    /// from this plan's replication (unless [`initial_replication`] is also
+    /// set, which wins) and, whenever the candidate replication and
+    /// compress ratio match the warm plan's, its placement is installed as
+    /// the B&B incumbent before the search opens — re-optimization after a
+    /// cost-model recalibration then prunes against the running plan from
+    /// node one and can never return anything the model scores worse.
+    ///
+    /// [`initial_replication`]: ScalingOptions::initial_replication
+    pub warm_start: Option<ExecutionPlan>,
     /// Final refinement: up to this many hill-climb steps, each either a
     /// single-replica shift from a low-pressure operator towards the
     /// binding one, or — when no shift improves and budget remains — a
@@ -84,6 +96,7 @@ impl Default for ScalingOptions {
             max_total_replicas: None,
             max_iterations: 256,
             initial_replication: None,
+            warm_start: None,
             hill_climb_steps: 4,
             placement: PlacementOptions::default(),
         }
@@ -143,8 +156,19 @@ pub fn optimize_with_policy(
     let mut replication = options
         .initial_replication
         .clone()
+        .or_else(|| options.warm_start.as_ref().map(|w| w.replication.clone()))
         .unwrap_or_else(|| vec![1; topology.operator_count()]);
     assert_eq!(replication.len(), topology.operator_count());
+
+    // The warm placement seeds the B&B incumbent whenever a candidate's
+    // shape matches the warm plan's — usually iteration 0, where it makes
+    // the re-search incremental.
+    let warm_seed = |replication: &[usize]| -> Option<&brisk_dag::Placement> {
+        options.warm_start.as_ref().and_then(|w| {
+            (w.replication == *replication && w.compress_ratio == options.compress_ratio)
+                .then_some(&w.placement)
+        })
+    };
 
     // The whole search — greedy scaling, balanced candidate, hill-climb —
     // scores plans under the *search policy's own* model, so every policy
@@ -164,7 +188,12 @@ pub fn optimize_with_policy(
 
     for iteration in 0..options.max_iterations {
         let graph = ExecutionGraph::new(topology, &replication, options.compress_ratio);
-        let Some(result) = optimize_placement(&evaluator, &graph, &placement_options) else {
+        let Some(result) = optimize_placement_seeded(
+            &evaluator,
+            &graph,
+            &placement_options,
+            warm_seed(&replication),
+        ) else {
             break; // no valid placement: machine or thread budget is full
         };
         explored_total += result.explored;
@@ -683,6 +712,46 @@ mod tests {
         // bookkeeping step while still requiring comparable convergence.
         assert!(warm.iterations <= cold.iterations + 1);
         assert!(warm.throughput >= cold.throughput * 0.9);
+    }
+
+    #[test]
+    fn warm_started_research_not_worse_than_incumbent() {
+        // Elastic re-planning path: optimize cold, perturb the cost model
+        // (as recalibration would), re-optimize warm-started from the
+        // incumbent plan. The warm search must score at least the incumbent
+        // under the *new* model and not regress the cold re-search.
+        let m = machine(2, 8);
+        let t = unbalanced();
+        let opts = ScalingOptions {
+            compress_ratio: 1,
+            ..ScalingOptions::default()
+        };
+        let cold = optimize(&m, &t, &opts).expect("plan");
+
+        let mut drifted = t.clone();
+        let bolt = t.find("bolt").expect("exists");
+        let profile = t.operator(bolt).cost;
+        drifted.set_cost(bolt, profile.scaled(3.0, 1.0));
+
+        let warm = optimize(
+            &m,
+            &drifted,
+            &ScalingOptions {
+                warm_start: Some(cold.plan.clone()),
+                ..opts.clone()
+            },
+        )
+        .expect("plan");
+
+        // Incumbent re-scored under the drifted model is the warm floor.
+        let graph = ExecutionGraph::new(&drifted, &cold.plan.replication, opts.compress_ratio);
+        let incumbent = Evaluator::saturated(&m)
+            .fused_engine()
+            .evaluate(&graph, &cold.plan.placement)
+            .throughput;
+        assert!(warm.throughput >= incumbent * (1.0 - 1e-9));
+        let drifted_cold = optimize(&m, &drifted, &opts).expect("plan");
+        assert!(warm.throughput >= drifted_cold.throughput * 0.95);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::batch::{Batch, BatchCursor, SlabPool, SlabStats};
 use crate::fusion::{FusedSinkState, FusedTarget, SinkLocal, SinkProgress};
 use crate::operator::{
     AppRuntime, BoltContext, Collector, DynBolt, DynSpout, EngineClock, OperatorRuntime,
-    OutputEdge, SpoutStatus,
+    OutputEdge, SpoutStatus, StateEntry,
 };
 use crate::partition::Partitioner;
 use crate::queue::{QueueKind, ReplicaQueue};
@@ -35,6 +35,7 @@ use brisk_dag::{
 use brisk_metrics::Histogram;
 use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -282,6 +283,45 @@ pub struct RunReport {
     faults: Vec<ReplicaFault>,
     /// Every watchdog stall observation of the run.
     stalls: Vec<StallEvent>,
+    /// Tuples handled per global replica (spouts: emitted; bolts/sinks:
+    /// consumed, including inline fused deliveries).
+    replica_tuples: Vec<u64>,
+    /// Nanoseconds each global replica spent inside its operator's
+    /// `consume` (bolts/sinks only; spout slots stay 0).
+    replica_busy: Vec<u64>,
+    /// `(operator index, replica index)` of every global replica slot, in
+    /// global-index order.
+    replica_map: Vec<(usize, usize)>,
+}
+
+/// One replica's measured tuple rate — the per-replica signal the elastic
+/// controller (and users, via [`RunReport::replica_rates`] or the live
+/// [`EngineHandle::rates`]) reads to detect workload drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaRate {
+    /// Logical operator index.
+    pub op: usize,
+    /// Replica index within the operator.
+    pub replica: usize,
+    /// Tuples this replica handled: emitted for spout replicas, consumed
+    /// (queued pops plus inline fused deliveries) for bolts and sinks.
+    pub tuples: u64,
+    /// `tuples` divided by the sampling window, per second.
+    pub rate: f64,
+    /// Nanoseconds spent inside the operator's `consume` calls — execution
+    /// plus emission, including time blocked pushing to full downstream
+    /// queues, and including inline work of fused targets riding this
+    /// replica. Spout replicas report 0 (generation is not instrumented).
+    pub busy_ns: u64,
+}
+
+impl ReplicaRate {
+    /// Measured service time per tuple in nanoseconds — the online
+    /// counterpart of the cost model's per-tuple `T(p)`; `None` when the
+    /// replica has no instrumented busy time (spouts, starved replicas).
+    pub fn service_ns(&self) -> Option<f64> {
+        (self.busy_ns > 0 && self.tuples > 0).then(|| self.busy_ns as f64 / self.tuples as f64)
+    }
 }
 
 /// Per-operator slice of a [`RunReport`], indexed by logical operator (see
@@ -368,6 +408,26 @@ impl RunReport {
         &self.stalls
     }
 
+    /// Measured per-replica tuple rates over the whole run, in global
+    /// replica order (operator-major). Spout replicas report their emission
+    /// rate; bolt and sink replicas their consumption rate, counting inline
+    /// fused deliveries against the fused operator's replica — the same
+    /// per-replica signal [`EngineHandle::rates`] exposes live.
+    pub fn replica_rates(&self) -> Vec<ReplicaRate> {
+        let secs = self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.replica_map
+            .iter()
+            .zip(self.replica_tuples.iter().zip(&self.replica_busy))
+            .map(|(&(op, replica), (&tuples, &busy_ns))| ReplicaRate {
+                op,
+                replica,
+                tuples,
+                rate: tuples as f64 / secs,
+                busy_ns,
+            })
+            .collect()
+    }
+
     /// Aggregated fault view of the run: faults, stalls, and run-wide
     /// restart/quarantine totals.
     pub fn fault_summary(&self) -> FaultSummary {
@@ -396,12 +456,35 @@ pub struct Engine {
     app: Arc<AppRuntime>,
     replication: Vec<usize>,
     config: EngineConfig,
+    /// When set, *any* stop (run limit, drain, migration request) harvests
+    /// operator state through `extract_state` instead of running `finish` —
+    /// the deterministic migration-pause mode the elastic controller and
+    /// the migration conformance tests use.
+    capture_state_on_stop: bool,
+    /// State handed over from a predecessor engine, installed into the
+    /// matching replicas at start. Consumed by the first `start`.
+    preload: Mutex<Vec<(usize, usize, Vec<StateEntry>)>>,
+    /// Skew-aware KeyBy routing weights per *consumer* operator index
+    /// (one weight per consumer replica), fed into the partitioners of
+    /// every unfused KeyBy edge into that operator.
+    keyby_weights: HashMap<usize, Vec<f64>>,
 }
 
 impl Engine {
     /// Build an engine running `replication[op]` replicas of each operator.
     pub fn new(
         app: AppRuntime,
+        replication: Vec<usize>,
+        config: EngineConfig,
+    ) -> Result<Engine, String> {
+        Engine::from_shared(Arc::new(app), replication, config)
+    }
+
+    /// Like [`Engine::new`] but sharing an already-wrapped [`AppRuntime`] —
+    /// successive migration epochs rebuild the engine around the same app
+    /// without re-registering operator factories.
+    pub fn from_shared(
+        app: Arc<AppRuntime>,
         replication: Vec<usize>,
         config: EngineConfig,
     ) -> Result<Engine, String> {
@@ -417,10 +500,67 @@ impl Engine {
             return Err(format!("{total} replicas exceed the 512-thread safety cap"));
         }
         Ok(Engine {
-            app: Arc::new(app),
+            app,
             replication,
             config,
+            capture_state_on_stop: false,
+            preload: Mutex::new(Vec::new()),
+            keyby_weights: HashMap::new(),
         })
+    }
+
+    /// Harvest operator state on *every* stop — run limit, natural drain or
+    /// migration request — instead of running `finish` hooks. The harvested
+    /// entries come back through [`EngineHandle::join_with_state`]. This is
+    /// the migration-pause mode: `finish` finals belong to the true end of
+    /// the stream, which only the last epoch's (non-capturing) engine
+    /// reaches.
+    pub fn capture_state_on_stop(&mut self, capture: bool) {
+        self.capture_state_on_stop = capture;
+    }
+
+    /// Stage migrated state for `replica` of operator `op`, installed via
+    /// `install_state` right after the replica's operator is constructed
+    /// (before it produces or consumes anything). Consumed by the first
+    /// [`Engine::start`]; a restarted replica re-instances from the plain
+    /// factory, exactly as before.
+    pub fn preload_state(
+        &self,
+        op: usize,
+        replica: usize,
+        entries: Vec<StateEntry>,
+    ) -> Result<(), String> {
+        if op >= self.replication.len() {
+            return Err(format!("operator index {op} out of range"));
+        }
+        if replica >= self.replication[op] {
+            return Err(format!(
+                "replica {replica} out of range for operator {op} ({} replicas)",
+                self.replication[op]
+            ));
+        }
+        self.preload.lock().push((op, replica, entries));
+        Ok(())
+    }
+
+    /// Skew-aware KeyBy routing: weight the key-space share of each replica
+    /// of consumer operator `op` (one weight per replica, relative). Fed
+    /// into every unfused KeyBy edge into `op`; fused KeyBy edges keep the
+    /// uniform aligned routing their pairing was computed for. See
+    /// [`crate::partition::keyby_slot_table`] for the slot semantics.
+    pub fn set_keyby_weights(&mut self, op: usize, weights: Vec<f64>) -> Result<(), String> {
+        if op >= self.replication.len() {
+            return Err(format!("operator index {op} out of range"));
+        }
+        if weights.len() != self.replication[op] {
+            return Err(format!(
+                "expected {} weights for operator {op}, got {}",
+                self.replication[op],
+                weights.len()
+            ));
+        }
+        self.keyby_weights.insert(op, weights);
+        Ok(())
     }
 
     /// Build an engine from an optimized [`ExecutionPlan`], charging the
@@ -531,7 +671,7 @@ impl Engine {
     /// (which charges the plan's NUMA fetch costs) and call
     /// `run(...)` / [`Engine::run_until_events`] on the result.
     pub fn run(&self, limit: RunLimit) -> RunReport {
-        self.run_inner(limit)
+        self.start(limit).join()
     }
 
     /// Run until `deadline` elapses, then drain and report
@@ -547,7 +687,13 @@ impl Engine {
         self.run(RunLimit::Events { events, timeout })
     }
 
-    fn run_inner(&self, condition: RunLimit) -> RunReport {
+    /// Wire and spawn the topology, returning a live [`EngineHandle`]
+    /// without blocking on the run limit. The handle exposes live
+    /// per-replica rates ([`EngineHandle::rates`]) and the migration pause
+    /// ([`EngineHandle::request_migration`]);
+    /// [`EngineHandle::join`] drives the limit and reports — `run(limit)`
+    /// is exactly `start(limit).join()`.
+    pub fn start(&self, condition: RunLimit) -> EngineHandle {
         let topology = &self.app.topology;
         let n_ops = topology.operator_count();
         let replica_base: Vec<usize> = {
@@ -694,10 +840,16 @@ impl Engine {
                     queues.push(q);
                     consumers.push(cg);
                 }
+                // Skew-aware KeyBy re-weighting: the controller's measured
+                // per-replica load lands here as a weighted slot table.
+                let mut partitioner = Partitioner::new(edge.partitioning, nc);
+                if let Some(w) = self.keyby_weights.get(&edge.to.0) {
+                    partitioner = partitioner.with_weights(w);
+                }
                 outputs.push(OutputEdge::new(
                     lei,
                     edge.stream.clone(),
-                    Partitioner::new(edge.partitioning, nc),
+                    partitioner,
                     queues,
                     consumers,
                     &pools[edge.from.0][r],
@@ -740,6 +892,46 @@ impl Engine {
             replica_done: (0..total_replicas)
                 .map(|_| AtomicBool::new(false))
                 .collect(),
+            harvest: AtomicBool::new(self.capture_state_on_stop),
+            harvested: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            preload: {
+                let slots: Vec<Mutex<Option<Vec<StateEntry>>>> =
+                    (0..total_replicas).map(|_| Mutex::new(None)).collect();
+                let mut covered = vec![false; n_ops];
+                for (op, replica, entries) in std::mem::take(&mut *self.preload.lock()) {
+                    covered[op] = true;
+                    *slots[replica_base[op] + replica].lock() = Some(entries);
+                }
+                // A migrated operator's hand-off must reach EVERY replica:
+                // one that received no entries still gets an (empty)
+                // install so it learns the migration happened — a
+                // budget-sharded spout would otherwise re-derive a fresh
+                // factory share next to peers carrying the real positions,
+                // duplicating input.
+                for (op, &covered) in covered.iter().enumerate() {
+                    if !covered {
+                        continue;
+                    }
+                    for r in 0..self.replication[op] {
+                        let slot = &slots[replica_base[op] + r];
+                        let mut guard = slot.lock();
+                        if guard.is_none() {
+                            *guard = Some(Vec::new());
+                        }
+                    }
+                }
+                slots
+            },
+            replica_tuples: (0..total_replicas).map(|_| AtomicU64::new(0)).collect(),
+            replica_busy_ns: (0..total_replicas).map(|_| AtomicU64::new(0)).collect(),
+            replica_base: replica_base.clone(),
+            replica_map: self
+                .replication
+                .iter()
+                .enumerate()
+                .flat_map(|(op, &r)| (0..r).map(move |i| (op, i)))
+                .collect(),
         });
 
         // Build fused targets bottom-up (reverse topological order), so a
@@ -771,10 +963,13 @@ impl Engine {
                     replica: r,
                     replicas: self.replication[op.0],
                 };
-                let bolt = match self.app.runtime(op) {
+                let mut bolt = match self.app.runtime(op) {
                     OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(ctx),
                     OperatorRuntime::Spout(_) => unreachable!("spouts are never fused away"),
                 };
+                if let Some(entries) = shared.take_preload(replica_base[op.0] + r) {
+                    bolt.install_state(entries);
+                }
                 let mut collector = Collector::new(
                     replica_base[op.0] + r,
                     self.config.jumbo_size,
@@ -847,13 +1042,6 @@ impl Engine {
             }
         }
 
-        enum Running {
-            /// Per-thread handles tagged `(op_index, replica)` so a join
-            /// error can still be attributed in the fault report.
-            Threads(Vec<(usize, usize, std::thread::JoinHandle<Option<SinkLocal>>)>),
-            Pool(PoolRun),
-        }
-
         // Arm the stall watchdog before the seeds move into their
         // executors: it observes bolts/sinks only (spouts have no input to
         // stall on) through shared progress counters and live queue handles.
@@ -920,15 +1108,162 @@ impl Engine {
                     .collect(),
             ),
         };
+        EngineHandle {
+            shared,
+            running,
+            watchdog,
+            pools,
+            slab_stats,
+            limit: condition,
+            started,
+        }
+    }
+}
 
-        // Drive the stop condition.
-        match condition {
-            RunLimit::Duration(d) => std::thread::sleep(d),
+/// The two executor shapes a run can be driven by, held by the
+/// [`EngineHandle`] until join.
+enum Running {
+    /// Per-thread handles tagged `(op_index, replica)` so a join
+    /// error can still be attributed in the fault report.
+    Threads(Vec<(usize, usize, std::thread::JoinHandle<Option<SinkLocal>>)>),
+    Pool(PoolRun),
+}
+
+/// State harvested from one engine at a migration pause: one
+/// `(operator index, replica index, entries)` record per replica whose
+/// operator returned `Some` from `extract_state`.
+pub type HarvestedState = Vec<(usize, usize, Vec<StateEntry>)>;
+
+/// A live, running engine: the handle [`Engine::start`] returns before the
+/// run limit is reached.
+///
+/// The handle is the elastic runtime's control surface — it exposes live
+/// per-replica rates ([`EngineHandle::rates`]), sink progress, and the
+/// tuple-safe migration pause: [`EngineHandle::request_migration`] flips
+/// the engine into harvest mode and stops it; spouts exit at the next
+/// emission boundary, bolts drain every in-flight tuple (a bolt only exits
+/// once all its producers retired *and* its input queues are empty), and
+/// each drained replica hands its state out through `extract_state`
+/// instead of running `finish`. [`EngineHandle::join_with_state`] then
+/// returns both the report and the harvested state for re-installation
+/// into a successor engine.
+pub struct EngineHandle {
+    shared: Arc<EngineShared>,
+    running: Running,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+    pools: Vec<Vec<Arc<SlabPool>>>,
+    slab_stats: Arc<SlabStats>,
+    limit: RunLimit,
+    started: Instant,
+}
+
+impl EngineHandle {
+    /// Live per-replica tuple rates since start, in global replica order
+    /// (operator-major): spout replicas report emission, bolt/sink replicas
+    /// consumption (inline fused deliveries count against the fused
+    /// operator's own replica). The controller samples this to detect
+    /// drift; [`RunReport::replica_rates`] is the post-run equivalent.
+    pub fn rates(&self) -> Vec<ReplicaRate> {
+        let secs = self.started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        self.shared
+            .replica_map
+            .iter()
+            .zip(
+                self.shared
+                    .replica_tuples
+                    .iter()
+                    .zip(&self.shared.replica_busy_ns),
+            )
+            .map(|(&(op, replica), (tuples, busy))| {
+                let tuples = tuples.load(Ordering::Relaxed);
+                ReplicaRate {
+                    op,
+                    replica,
+                    tuples,
+                    rate: tuples as f64 / secs,
+                    busy_ns: busy.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// Tuples received by sink operators so far (relaxed, monotone).
+    pub fn sink_events(&self) -> u64 {
+        self.shared.sink_progress.events.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the engine started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Whether every replica has retired (the pipeline drained or the run
+    /// was stopped). [`EngineHandle::join`] returns promptly once true.
+    pub fn is_finished(&self) -> bool {
+        self.shared.live_replicas.load(Ordering::Relaxed) == 0
+    }
+
+    /// Stop the run before its limit: spouts exit at the next emission
+    /// boundary and the pipeline drains — exactly the limit-reached path.
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Begin a migration pause: harvest mode on, then stop. Every replica
+    /// drains its inputs (nothing in flight is dropped), hands its state
+    /// out via `extract_state` instead of running `finish`, and retires.
+    /// Collect the state with [`EngineHandle::join_with_state`].
+    pub fn request_migration(&self) {
+        self.shared.harvest.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Drive the run limit, then drain, join every executor and report.
+    pub fn join(self) -> RunReport {
+        self.join_inner().0
+    }
+
+    /// [`EngineHandle::join`] plus the state harvested at the stop (empty
+    /// unless harvest mode was on — via [`Engine::capture_state_on_stop`]
+    /// or [`EngineHandle::request_migration`]).
+    pub fn join_with_state(self) -> (RunReport, HarvestedState) {
+        self.join_inner()
+    }
+
+    fn join_inner(self) -> (RunReport, HarvestedState) {
+        let EngineHandle {
+            shared,
+            running,
+            watchdog,
+            pools,
+            slab_stats,
+            limit,
+            started,
+        } = self;
+        // Drive the stop condition; an external request_stop /
+        // request_migration short-circuits either limit.
+        match limit {
+            RunLimit::Duration(d) => {
+                let deadline = started + d;
+                loop {
+                    if shared.stop.load(Ordering::Relaxed)
+                        || shared.live_replicas.load(Ordering::Relaxed) == 0
+                    {
+                        break; // stopped early, or finite spouts drained
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(Duration::from_millis(1)));
+                }
+            }
             RunLimit::Events { events, timeout } => {
-                let deadline = Instant::now() + timeout;
+                let deadline = started + timeout;
                 while shared.sink_progress.events.load(Ordering::Relaxed) < events
                     && shared.live_replicas.load(Ordering::Relaxed) > 0
                     && Instant::now() < deadline
+                    && !shared.stop.load(Ordering::Relaxed)
                 {
                     std::thread::sleep(Duration::from_millis(1));
                 }
@@ -1003,8 +1338,23 @@ impl Engine {
             slab_recycled: slab_stats.recycled(),
             faults: std::mem::take(&mut *shared.faults.lock()),
             stalls: std::mem::take(&mut *shared.stalls.lock()),
+            replica_tuples: load_all(&shared.replica_tuples),
+            replica_busy: load_all(&shared.replica_busy_ns),
+            replica_map: shared.replica_map.clone(),
         };
-        report
+        let mut harvested = std::mem::take(&mut *shared.harvested.lock());
+        // A spout that exhausted its budget before the pause request flipped
+        // the harvest flag exited without harvesting; its parked position is
+        // still part of the migration hand-off (without it the successor's
+        // fresh factories would re-derive full budget shares and duplicate
+        // input). Retired state is dropped on a plain (non-migrating) stop.
+        if shared.harvesting() {
+            harvested.append(&mut *shared.retired.lock());
+        }
+        // Deterministic order for redistribution and tests: push order is
+        // whatever thread interleaving the drain produced.
+        harvested.sort_by_key(|h| (h.0, h.1));
+        (report, harvested)
     }
 }
 
@@ -1085,6 +1435,32 @@ pub(crate) struct EngineShared {
     /// Per-global-replica retirement flags so the watchdog skips finished
     /// replicas.
     pub(crate) replica_done: Vec<AtomicBool>,
+    /// Migration-pause mode: when set at stop time, draining replicas hand
+    /// their state out via `extract_state` instead of running `finish`.
+    pub(crate) harvest: AtomicBool,
+    /// State harvested at a migration pause: `(op, replica, entries)`.
+    pub(crate) harvested: Mutex<Vec<(usize, usize, Vec<StateEntry>)>>,
+    /// Final state of spouts that retired *before* any harvest was
+    /// requested (a budget-sharded source drains long before a slow
+    /// downstream finishes). Folded into `harvested` when the stop turns
+    /// out to be a migration pause, discarded otherwise — without it, a
+    /// migration racing spout exhaustion would lose the "budget spent"
+    /// position and the successor's spouts would re-derive fresh shares.
+    pub(crate) retired: Mutex<Vec<(usize, usize, Vec<StateEntry>)>>,
+    /// Per-global-replica migrated-state install slots, taken exactly once
+    /// at first instantiation (a restart re-instances stateless, as ever).
+    pub(crate) preload: Vec<Mutex<Option<Vec<StateEntry>>>>,
+    /// Per-global-replica tuple counters behind [`EngineHandle::rates`]:
+    /// spout replicas count emissions, bolt/sink replicas consumed tuples
+    /// (queued and inline-fused alike).
+    pub(crate) replica_tuples: Vec<AtomicU64>,
+    /// Nanoseconds each global replica spent inside `consume` (bolts/sinks
+    /// only) — the online service-time signal cost recalibration reads.
+    pub(crate) replica_busy_ns: Vec<AtomicU64>,
+    /// First global replica index of each operator.
+    pub(crate) replica_base: Vec<usize>,
+    /// `(op, replica)` of every global replica index.
+    pub(crate) replica_map: Vec<(usize, usize)>,
 }
 
 impl EngineShared {
@@ -1131,6 +1507,43 @@ impl EngineShared {
         match self.app.runtime(OperatorId(op_index)) {
             OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => f(ctx),
             OperatorRuntime::Spout(_) => unreachable!("spouts restart through their own path"),
+        }
+    }
+
+    /// Whether the run is stopping into a migration pause (state harvest)
+    /// rather than a final shutdown (`finish` hooks).
+    pub(crate) fn harvesting(&self) -> bool {
+        self.harvest.load(Ordering::Acquire)
+    }
+
+    /// Claim the migrated state staged for a global replica, once.
+    pub(crate) fn take_preload(&self, global: usize) -> Option<Vec<StateEntry>> {
+        self.preload[global].lock().take()
+    }
+
+    /// Record one replica's extracted state (no-op for `None`: the
+    /// operator declared itself stateless).
+    pub(crate) fn harvest_state(
+        &self,
+        op_index: usize,
+        replica: usize,
+        entries: Option<Vec<StateEntry>>,
+    ) {
+        if let Some(entries) = entries {
+            self.harvested.lock().push((op_index, replica, entries));
+        }
+    }
+
+    /// Park the final state of a spout that retired before any harvest was
+    /// requested (see the `retired` field).
+    pub(crate) fn park_retired(
+        &self,
+        op_index: usize,
+        replica: usize,
+        entries: Option<Vec<StateEntry>>,
+    ) {
+        if let Some(entries) = entries {
+            self.retired.lock().push((op_index, replica, entries));
         }
     }
 
@@ -1283,7 +1696,11 @@ fn run_spout_supervised(seed: &mut TaskSeed, shared: &EngineShared) {
         }
     };
     let mut spout = new_instance();
+    if let Some(entries) = shared.take_preload(seed.global) {
+        spout.install_state(entries);
+    }
     let mut attempts = 0u32;
+    let mut died = false;
     loop {
         match run_spout_loop(spout.as_mut(), seed, shared) {
             Ok(()) => break,
@@ -1312,10 +1729,37 @@ fn run_spout_supervised(seed: &mut TaskSeed, shared: &EngineShared) {
                             message,
                             false,
                         );
+                        died = true;
                         break;
                     }
                 }
             }
+        }
+    }
+    // Migration pause: hand the source position to the successor engine.
+    // A dead spout's position is unknown — its state stays unharvested,
+    // consistent with the quarantine accounting.
+    if !died {
+        match catch_unwind(AssertUnwindSafe(|| spout.extract_state())) {
+            Ok(entries) => {
+                if shared.harvesting() {
+                    shared.harvest_state(seed.op_index, ctx.replica, entries);
+                } else {
+                    // Not (yet) a migration: this spout exhausted its budget
+                    // or the run stopped normally. Park the final position
+                    // anyway — if a migration pause lands after this exit,
+                    // join folds the parked state into the harvest so the
+                    // successor does not re-derive a fresh budget share.
+                    shared.park_retired(seed.op_index, ctx.replica, entries);
+                }
+            }
+            Err(payload) => shared.record_fault(
+                seed.op_index,
+                ctx.replica,
+                FaultKind::OperatorPanic,
+                panic_message(payload.as_ref()),
+                false,
+            ),
         }
     }
 }
@@ -1337,7 +1781,8 @@ fn run_spout_loop(
         let status = catch_unwind(AssertUnwindSafe(|| spout.next(collector)))
             .map_err(|payload| panic_message(payload.as_ref()))?;
         match status {
-            SpoutStatus::Emitted(_) => {
+            SpoutStatus::Emitted(n) => {
+                shared.replica_tuples[seed.global].fetch_add(n as u64, Ordering::Relaxed);
                 backoff.reset();
                 since_flush += 1;
                 if since_flush >= shared.config.flush_every {
@@ -1475,7 +1920,13 @@ pub(crate) fn consume_batch(
         let batch = jumbo.batch;
         let cursor = BatchCursor::new(&batch);
         let bolt = &mut state.bolt;
+        // Service-time instrumentation brackets only the consume call (the
+        // injected NUMA spin above is modelled separately as `Tf`): one
+        // clock pair per jumbo, amortized over the whole batch.
+        let busy_start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| bolt.consume(&cursor, collector)));
+        shared.replica_busy_ns[collector.replica()]
+            .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.progress[collector.replica()].fetch_add(1, Ordering::Relaxed);
         // Sink metrics are recorded post-hoc off the batch's event-time
         // lane (completed prefix only, on a fault) — one clock read per
@@ -1500,6 +1951,8 @@ pub(crate) fn consume_batch(
                 // as processed (the documented contract).
                 record_sink(state, total);
                 shared.processed[op_index].fetch_add(total as u64, Ordering::Relaxed);
+                shared.replica_tuples[collector.replica()]
+                    .fetch_add(total as u64, Ordering::Relaxed);
                 state.since_flush += 1;
                 if state.since_flush >= shared.config.flush_every {
                     collector.flush_all();
@@ -1515,6 +1968,8 @@ pub(crate) fn consume_batch(
                 let done = cursor.done().min(total);
                 record_sink(state, done);
                 shared.processed[op_index].fetch_add(done as u64, Ordering::Relaxed);
+                shared.replica_tuples[collector.replica()]
+                    .fetch_add(done as u64, Ordering::Relaxed);
                 shared.quarantined[op_index].fetch_add(1, Ordering::Relaxed);
                 if done + 1 < total {
                     state.pending.push(batch.slice(done + 1, total - done - 1));
@@ -1549,7 +2004,10 @@ pub(crate) fn replay_pending(
         }
         let cursor = BatchCursor::new(&one);
         let bolt = &mut state.bolt;
+        let busy_start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| bolt.consume(&cursor, collector)));
+        shared.replica_busy_ns[collector.replica()]
+            .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.progress[collector.replica()].fetch_add(1, Ordering::Relaxed);
         match result {
             Ok(()) => {
@@ -1562,6 +2020,7 @@ pub(crate) fn replay_pending(
                     shared.sink_progress.events.fetch_add(1, Ordering::Relaxed);
                 }
                 shared.processed[op_index].fetch_add(1, Ordering::Relaxed);
+                shared.replica_tuples[collector.replica()].fetch_add(1, Ordering::Relaxed);
             }
             Err(payload) => {
                 shared.quarantined[op_index].fetch_add(1, Ordering::Relaxed);
@@ -1586,6 +2045,9 @@ fn run_bolt_supervised(seed: &mut TaskSeed, shared: &EngineShared) -> Option<Sin
         seed.kind,
         seed.ports.len(),
     );
+    if let Some(entries) = shared.take_preload(seed.global) {
+        state.bolt.install_state(entries);
+    }
     let mut attempts = 0u32;
     let mut died = false;
     loop {
@@ -1628,7 +2090,22 @@ fn run_bolt_supervised(seed: &mut TaskSeed, shared: &EngineShared) -> Option<Sin
         }
     }
     if !died {
-        if let Err(payload) =
+        if shared.harvesting() {
+            // Migration pause: extract state instead of finishing — finals
+            // belong to the true end of stream, which only the last
+            // (non-harvesting) epoch reaches.
+            let bolt = &mut state.bolt;
+            match catch_unwind(AssertUnwindSafe(|| bolt.extract_state())) {
+                Ok(entries) => shared.harvest_state(seed.op_index, ctx.replica, entries),
+                Err(payload) => shared.record_fault(
+                    seed.op_index,
+                    ctx.replica,
+                    FaultKind::OperatorPanic,
+                    panic_message(payload.as_ref()),
+                    false,
+                ),
+            }
+        } else if let Err(payload) =
             catch_unwind(AssertUnwindSafe(|| state.bolt.finish(&mut seed.collector)))
         {
             shared.record_fault(

@@ -134,6 +134,12 @@ impl FusedTarget {
         match catch_unwind(AssertUnwindSafe(|| bolt.execute(tuple, collector))) {
             Ok(()) => {
                 self.processed += 1;
+                // Per-replica rate signal for the elastic controller: an
+                // inline delivery counts against the fused operator's own
+                // replica, exactly like a queued pop would.
+                self.shared.replica_tuples
+                    [self.shared.replica_base[self.op_index] + self.ctx.replica]
+                    .fetch_add(1, Ordering::Relaxed);
                 if let Some(sink) = &mut self.sink {
                     if sink.until_refresh == 0 {
                         sink.cached_now_ns = self.collector.now_ns();
@@ -181,12 +187,31 @@ impl FusedTarget {
 
     /// Shutdown `finish` for the fused operator, panic-guarded so a faulty
     /// finalizer is recorded instead of unwinding through the host's
-    /// teardown. Skipped for a dead instance.
+    /// teardown. Skipped for a dead instance. During a migration pause the
+    /// instance hands its state out via `extract_state` instead — same
+    /// contract as a real replica's drain.
     pub(crate) fn finish(&mut self) {
         if self.dead {
             return;
         }
         let bolt = &mut self.bolt;
+        if self.shared.harvesting() {
+            match catch_unwind(AssertUnwindSafe(|| bolt.extract_state())) {
+                Ok(entries) => self
+                    .shared
+                    .harvest_state(self.op_index, self.ctx.replica, entries),
+                Err(payload) => self.shared.record_fault(
+                    self.op_index,
+                    self.ctx.replica,
+                    FaultKind::FusedPanic {
+                        host_op: self.host_op,
+                    },
+                    panic_message(payload.as_ref()),
+                    false,
+                ),
+            }
+            return;
+        }
         let collector = &mut self.collector;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| bolt.finish(collector))) {
             self.shared.record_fault(

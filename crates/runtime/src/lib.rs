@@ -58,6 +58,17 @@
 //!   [`FaultPlan`] harness ([`faultinject`]) drives fault-conformance
 //!   testing across schedulers, fabrics and fusion settings.
 //!
+//! * **Elastic execution** ([`elastic`]): the profile → optimize → execute
+//!   life cycle runs continuously. An [`ElasticEngine`] samples live
+//!   per-replica rates ([`EngineHandle::rates`]), detects drift against
+//!   the cost model's prediction for the running plan, re-calibrates the
+//!   model from measurement, re-runs RLAS warm-started from the incumbent
+//!   plan, and migrates the running engine onto a sufficiently better plan
+//!   through a tuple-safe pause → drain → hand-off-state → rewire → resume
+//!   protocol ([`EngineHandle::request_migration`],
+//!   [`Engine::preload_state`]). Skew-aware KeyBy re-weighting
+//!   ([`Engine::set_keyby_weights`]) rides the same migration path.
+//!
 //! The engine executes a [`brisk_dag::LogicalTopology`] under a
 //! [`brisk_dag::ExecutionPlan`]; socket placement is honoured as bookkeeping
 //! (and, optionally, as an injected NUMA fetch delay via
@@ -66,6 +77,8 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod drift;
+pub mod elastic;
 pub mod engine;
 pub mod faultinject;
 pub mod fusion;
@@ -79,16 +92,18 @@ pub mod supervise;
 pub mod tuple;
 
 pub use batch::{Batch, BatchBuilder, BatchCursor, SlabPool, SlabStats, TupleView};
+pub use drift::DriftPlan;
+pub use elastic::{ElasticEngine, ElasticOptions, ElasticReport};
 pub use engine::{
-    plan_replica_sockets, Engine, EngineConfig, EngineConfigBuilder, NumaPenalty, OpStats,
-    RunLimit, RunReport,
+    plan_replica_sockets, Engine, EngineConfig, EngineConfigBuilder, EngineHandle, HarvestedState,
+    NumaPenalty, OpStats, ReplicaRate, RunLimit, RunReport,
 };
 pub use faultinject::{silence_injected_panics, FaultPlan, INJECTED_PANIC_PREFIX};
 pub use mpsc::MpscQueue;
 pub use operator::{
-    AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus,
+    AppRuntime, BoltContext, Collector, DynBolt, DynSpout, OperatorRuntime, SpoutStatus, StateEntry,
 };
-pub use partition::Partitioner;
+pub use partition::{keyby_slot_table, route_keyed, Partitioner, KEYBY_SLOTS_PER_CONSUMER};
 pub use queue::{BoundedQueue, QueueKind, ReplicaQueue};
 pub use scheduler::Scheduler;
 pub use spsc::{Backoff, BackoffProfile, PushError, SpscQueue};

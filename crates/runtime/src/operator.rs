@@ -21,6 +21,17 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// One unit of migratable operator state: a routing key plus an opaque
+/// byte payload the operator itself encodes/decodes.
+///
+/// The key is what plan migration routes on: for keyed (KeyBy) operators
+/// it must be the same `u64` partition key the operator's *input* tuples
+/// carry, so redistributing entries with the partitioner's routing
+/// function lands each entry on the replica that will receive that key's
+/// tuples under the new plan. Spouts use their replica index as the key —
+/// a source's stream position is bound to the replica, not to a tuple key.
+pub type StateEntry = (u64, Vec<u8>);
+
 /// Result of one spout invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpoutStatus {
@@ -44,6 +55,21 @@ pub trait DynSpout: Send {
     fn recover(&mut self) -> bool {
         false
     }
+
+    /// Hand this replica's source position out for plan migration
+    /// (generalizing [`DynSpout::recover`]'s in-place handoff to an
+    /// across-engines one): called after the replica drains during a
+    /// migration pause. Return `Some` to move the state (the entries are
+    /// re-installed via [`DynSpout::install_state`] into the successor
+    /// engine's replica); the default `None` marks the spout stateless for
+    /// migration purposes.
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        None
+    }
+
+    /// Install migrated state into a freshly constructed replica, before it
+    /// produces anything. The default ignores the entries.
+    fn install_state(&mut self, _entries: Vec<StateEntry>) {}
 }
 
 /// A processing (bolt) or terminal (sink) operator replica.
@@ -77,6 +103,23 @@ pub trait DynBolt: Send {
     fn recover(&mut self) -> bool {
         false
     }
+
+    /// Hand this replica's accumulated state out for plan migration: called
+    /// instead of [`DynBolt::finish`] after the replica drains during a
+    /// migration pause (finals belong to the true end of stream, which the
+    /// successor engine reaches). Keyed operators must key each entry by
+    /// the partition key of the input tuples it was built from, so
+    /// redistribution tracks the new plan's routing. The default `None`
+    /// marks the bolt stateless for migration purposes.
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        None
+    }
+
+    /// Install migrated state into a freshly constructed replica, before it
+    /// processes anything. A replica may receive entries harvested from
+    /// several predecessor replicas (rescaling), so implementations should
+    /// merge rather than overwrite. The default ignores the entries.
+    fn install_state(&mut self, _entries: Vec<StateEntry>) {}
 }
 
 /// Construction context handed to operator factories.

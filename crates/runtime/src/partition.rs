@@ -8,12 +8,84 @@
 use crate::tuple::Tuple;
 use brisk_dag::Partitioning;
 
+/// Hash-slot granularity of skew-aware KeyBy routing: each consumer
+/// replica owns a multiple of this many slots in the weighted table, so
+/// re-weighting can shift load in 1/([`KEYBY_SLOTS_PER_CONSUMER`] × n)
+/// increments of the key space.
+pub const KEYBY_SLOTS_PER_CONSUMER: usize = 8;
+
+/// Build the skew-aware KeyBy slot table: `consumers × KEYBY_SLOTS_PER_CONSUMER`
+/// hash slots apportioned to replicas by `weights` (largest remainder), with
+/// every replica guaranteed at least one slot so no consumer is starved of
+/// input outright. Non-finite or non-positive weights count as zero; an
+/// all-zero weight vector degrades to uniform.
+pub fn keyby_slot_table(consumers: usize, weights: &[f64]) -> Vec<usize> {
+    assert_eq!(weights.len(), consumers, "one weight per consumer replica");
+    let slots = consumers * KEYBY_SLOTS_PER_CONSUMER;
+    let sanitized: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    let total: f64 = sanitized.iter().sum();
+    let share = |w: f64| {
+        if total > 0.0 {
+            w / total
+        } else {
+            1.0 / consumers as f64
+        }
+    };
+    // Floor of each exact share (but at least 1 slot), then hand the
+    // leftover slots to the largest fractional remainders.
+    let mut counts: Vec<usize> = sanitized
+        .iter()
+        .map(|&w| ((share(w) * slots as f64).floor() as usize).max(1))
+        .collect();
+    while counts.iter().sum::<usize>() > slots {
+        // Over-full only via the ≥1 floor: take back from the largest.
+        let i = (0..consumers)
+            .max_by(|&a, &b| counts[a].cmp(&counts[b]))
+            .expect("nonempty");
+        counts[i] -= 1;
+    }
+    while counts.iter().sum::<usize>() < slots {
+        let i = (0..consumers)
+            .max_by(|&a, &b| {
+                let ra = share(sanitized[a]) * slots as f64 - counts[a] as f64;
+                let rb = share(sanitized[b]) * slots as f64 - counts[b] as f64;
+                ra.partial_cmp(&rb).expect("finite remainders")
+            })
+            .expect("nonempty");
+        counts[i] += 1;
+    }
+    let mut table = Vec::with_capacity(slots);
+    for (replica, &c) in counts.iter().enumerate() {
+        table.extend(std::iter::repeat(replica).take(c));
+    }
+    table
+}
+
+/// The KeyBy replica for `key` over `consumers` replicas — the single
+/// routing function shared by the live [`Partitioner`] and by migration's
+/// state redistribution, so a harvested entry always lands on the replica
+/// that will receive its key's tuples. `table`, when present, is a
+/// [`keyby_slot_table`] for the same consumer count.
+pub fn route_keyed(key: u64, consumers: usize, table: Option<&[usize]>) -> usize {
+    match table {
+        Some(t) => t[(Tuple::mix_key(key) % t.len() as u64) as usize],
+        None => (Tuple::mix_key(key) % consumers as u64) as usize,
+    }
+}
+
 /// Stateful router for one (producer replica, logical edge) pair.
 #[derive(Debug, Clone)]
 pub struct Partitioner {
     strategy: Partitioning,
     consumers: usize,
     rr_cursor: usize,
+    /// Skew-aware KeyBy slot table ([`keyby_slot_table`]); `None` routes
+    /// uniformly (`mix_key % consumers`), byte-identical to the historical
+    /// path.
+    slot_table: Option<Vec<usize>>,
 }
 
 impl Partitioner {
@@ -27,7 +99,20 @@ impl Partitioner {
             strategy,
             consumers,
             rr_cursor: 0,
+            slot_table: None,
         }
+    }
+
+    /// Attach skew-aware routing weights (KeyBy edges only; other
+    /// strategies ignore them). `weights[r]` is the share of the key space
+    /// replica `r` should receive — the elastic controller passes the
+    /// *inverse* of each replica's measured load so hot replicas shed
+    /// slots.
+    pub fn with_weights(mut self, weights: &[f64]) -> Partitioner {
+        if matches!(self.strategy, Partitioning::KeyBy) {
+            self.slot_table = Some(keyby_slot_table(self.consumers, weights));
+        }
+        self
     }
 
     /// Number of consumer replicas routed over.
@@ -61,7 +146,7 @@ impl Partitioner {
             // aliases with strided key spaces (e.g. all-even keys on two
             // consumers idle one replica entirely). See `Tuple::mix_key`.
             Partitioning::KeyBy => {
-                RouteTargets::One((Tuple::mix_key(key) % self.consumers as u64) as usize)
+                RouteTargets::One(route_keyed(key, self.consumers, self.slot_table.as_deref()))
             }
             Partitioning::Broadcast => RouteTargets::All(self.consumers),
             Partitioning::Global => RouteTargets::One(0),
@@ -180,5 +265,89 @@ mod tests {
     #[should_panic]
     fn zero_consumers_rejected() {
         Partitioner::new(Partitioning::Shuffle, 0);
+    }
+
+    #[test]
+    fn default_routing_is_the_historical_mix_modulo() {
+        // No weights attached: the partitioner must stay byte-identical to
+        // the pre-skew-aware path (`mix_key % consumers`) — conformance
+        // cross-config determinism depends on it.
+        let mut plain = Partitioner::new(Partitioning::KeyBy, 3);
+        for k in 0..500u64 {
+            assert_eq!(
+                plain.route(k),
+                RouteTargets::One((Tuple::mix_key(k) % 3) as usize)
+            );
+            assert_eq!(
+                plain.route(k),
+                RouteTargets::One(route_keyed(k, 3, None)),
+                "redistribution helper agrees with the default path"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_routing_shifts_load_toward_heavy_weights() {
+        let weights = [3.0, 1.0];
+        let table = keyby_slot_table(2, &weights);
+        assert_eq!(table.len(), 2 * KEYBY_SLOTS_PER_CONSUMER);
+        let slots0 = table.iter().filter(|&&r| r == 0).count();
+        assert_eq!(slots0, 12, "3:1 weights over 16 slots: 12 vs 4");
+        let mut p = Partitioner::new(Partitioning::KeyBy, 2).with_weights(&weights);
+        let mut counts = [0usize; 2];
+        for k in 0..4000u64 {
+            match p.route(k) {
+                RouteTargets::One(t) => counts[t] += 1,
+                RouteTargets::All(_) => panic!("keyby routes to one"),
+            }
+        }
+        assert!(
+            counts[0] > counts[1] * 2,
+            "replica 0 should carry ~3x the keys: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_routing_is_sticky_and_total() {
+        let mut p = Partitioner::new(Partitioning::KeyBy, 4).with_weights(&[1.0, 2.0, 0.5, 1.5]);
+        for k in 0..200u64 {
+            let a = p.route(k);
+            let b = p.route(k);
+            assert_eq!(a, b, "same key, same replica");
+            match a {
+                RouteTargets::One(t) => assert!(t < 4),
+                RouteTargets::All(_) => panic!("keyby routes to one"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_replica_keeps_at_least_one_slot() {
+        // Extreme skew must not starve a replica completely: routing a
+        // replica zero slots would strand any state redistributed to it.
+        let table = keyby_slot_table(4, &[1000.0, 0.0, 0.0, 0.0]);
+        for r in 0..4 {
+            assert!(
+                table.contains(&r),
+                "replica {r} starved by extreme weights: {table:?}"
+            );
+        }
+        // Degenerate inputs degrade to uniform.
+        let t2 = keyby_slot_table(2, &[f64::NAN, -3.0]);
+        assert_eq!(t2.iter().filter(|&&r| r == 0).count(), 8);
+    }
+
+    #[test]
+    fn state_redistribution_routes_like_the_partitioner() {
+        let weights = [1.0, 4.0, 2.0];
+        let table = keyby_slot_table(3, &weights);
+        let mut p = Partitioner::new(Partitioning::KeyBy, 3).with_weights(&weights);
+        for k in 0..300u64 {
+            assert_eq!(
+                p.route(k),
+                RouteTargets::One(route_keyed(k, 3, Some(&table))),
+                "migration redistribution must agree with live routing"
+            );
+        }
     }
 }

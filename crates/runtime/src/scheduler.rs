@@ -324,7 +324,8 @@ fn run_spout_slice(
             Err(payload) => return Step::Fault(panic_message(payload.as_ref())),
         };
         match status {
-            SpoutStatus::Emitted(_) => {
+            SpoutStatus::Emitted(n) => {
+                shared.replica_tuples[collector.replica()].fetch_add(n as u64, Ordering::Relaxed);
                 step = Step::Yield(true);
                 *since_flush += 1;
                 if *since_flush >= shared.config.flush_every {
@@ -466,19 +467,66 @@ fn handle_fault(task: &mut Task, message: String, shared: &EngineShared) -> Step
 /// slices until all residue ships, and only then merges its counters.
 fn finish_task(task: &mut Task, shared: &EngineShared) -> SliceOutcome {
     if !task.finished {
-        if let (false, TaskBody::Bolt(state)) = (task.dead, &mut task.body) {
-            // Panic-guarded: a faulty `finish` is recorded, never restarted
-            // (the operator is retiring anyway), and never poisons teardown.
-            let bolt = &mut state.bolt;
-            let collector = &mut task.collector;
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| bolt.finish(collector))) {
-                shared.record_fault(
+        if !task.dead && shared.harvesting() {
+            // Migration pause: hand state out instead of finishing —
+            // `finish` finals belong to the true end of stream, which only
+            // the last (non-harvesting) epoch reaches.
+            let extracted = match &mut task.body {
+                TaskBody::Spout { spout, .. } => {
+                    catch_unwind(AssertUnwindSafe(|| spout.extract_state()))
+                }
+                TaskBody::Bolt(state) => {
+                    let bolt = &mut state.bolt;
+                    catch_unwind(AssertUnwindSafe(|| bolt.extract_state()))
+                }
+            };
+            match extracted {
+                Ok(entries) => shared.harvest_state(task.op_index, task.ctx.replica, entries),
+                Err(payload) => shared.record_fault(
                     task.op_index,
                     task.ctx.replica,
                     FaultKind::OperatorPanic,
                     panic_message(payload.as_ref()),
                     false,
-                );
+                ),
+            }
+        } else if !task.dead {
+            match &mut task.body {
+                TaskBody::Spout { spout, .. } => {
+                    // Exhausted before any harvest was requested: park the
+                    // final source position so a migration pause that races
+                    // this retirement still hands the spent budget over
+                    // (join folds parked state into the harvest).
+                    match catch_unwind(AssertUnwindSafe(|| spout.extract_state())) {
+                        Ok(entries) => {
+                            shared.park_retired(task.op_index, task.ctx.replica, entries)
+                        }
+                        Err(payload) => shared.record_fault(
+                            task.op_index,
+                            task.ctx.replica,
+                            FaultKind::OperatorPanic,
+                            panic_message(payload.as_ref()),
+                            false,
+                        ),
+                    }
+                }
+                TaskBody::Bolt(state) => {
+                    // Panic-guarded: a faulty `finish` is recorded, never
+                    // restarted (the operator is retiring anyway), and never
+                    // poisons teardown.
+                    let bolt = &mut state.bolt;
+                    let collector = &mut task.collector;
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| bolt.finish(collector)))
+                    {
+                        shared.record_fault(
+                            task.op_index,
+                            task.ctx.replica,
+                            FaultKind::OperatorPanic,
+                            panic_message(payload.as_ref()),
+                            false,
+                        );
+                    }
+                }
             }
         }
         task.collector.finish_fused();
@@ -563,12 +611,22 @@ pub(crate) fn spawn_pool(
         });
         let op = brisk_dag::OperatorId(seed.op_index);
         let body = match shared.app.runtime(op) {
-            OperatorRuntime::Spout(f) => TaskBody::Spout {
-                spout: f(seed.ctx),
-                since_flush: 0,
-            },
+            OperatorRuntime::Spout(f) => {
+                let mut spout = f(seed.ctx);
+                if let Some(entries) = shared.take_preload(t) {
+                    spout.install_state(entries);
+                }
+                TaskBody::Spout {
+                    spout,
+                    since_flush: 0,
+                }
+            }
             OperatorRuntime::Bolt(f) | OperatorRuntime::Sink(f) => {
-                TaskBody::Bolt(BoltState::new(f(seed.ctx), seed.kind, seed.ports.len()))
+                let mut bolt = f(seed.ctx);
+                if let Some(entries) = shared.take_preload(t) {
+                    bolt.install_state(entries);
+                }
+                TaskBody::Bolt(BoltState::new(bolt, seed.kind, seed.ports.len()))
             }
         };
         *slots[t].lock() = Some(Task {

@@ -9,7 +9,7 @@
 //! Formula 2 remote-fetch stall.
 
 use crate::report::{ReplicaStats, SimReport};
-use brisk_dag::{ExecutionGraph, OperatorKind, Partitioning, Placement};
+use brisk_dag::{ExecutionGraph, FusionPlan, OperatorId, OperatorKind, Partitioning, Placement};
 use brisk_metrics::Histogram;
 use brisk_model::Ingress;
 use brisk_numa::{Machine, SocketId, CACHE_LINE_BYTES};
@@ -49,6 +49,15 @@ pub struct SimConfig {
     /// estimates exceed measurements for large tuples — exactly the
     /// Splitter effect the paper reports in Table 3.
     pub prefetch_factor: f64,
+    /// Simulate operator-chain fusion (`EngineConfig::fusion` semantics):
+    /// fused-away operators stop being simulation entities — their
+    /// serialized per-tuple work folds into the chain host's service time,
+    /// their external out-edges become ports of the host, and fused-away
+    /// sinks count events at the host's completion. No queue, fetch stall
+    /// or scheduling happens on fused edges. Off by default, preserving
+    /// the legacy all-pipelined simulation; note that with fusion on,
+    /// fused-away operators report no per-replica stats of their own.
+    pub fusion: bool,
 }
 
 impl Default for SimConfig {
@@ -65,6 +74,7 @@ impl Default for SimConfig {
             bandwidth_model: true,
             usable_cores: None,
             prefetch_factor: 0.6,
+            fusion: false,
         }
     }
 }
@@ -114,9 +124,15 @@ struct OutPort {
     pending: f64,
     /// Earliest origination time folded into `pending`.
     earliest_ns: u64,
-    /// Selectivity per *input logical edge index* (position matches the
-    /// replica's `in_selectivity` table); for spouts a single wildcard entry.
+    /// Effective selectivity per *input logical edge index of the host*
+    /// (position matches the in-slot stamped on arriving batches); for
+    /// spouts a single wildcard entry. Under fusion this folds the whole
+    /// chain's compounded per-stream selectivities from the host's input
+    /// down to the emitting member's external edge.
     selectivity: Vec<f64>,
+    /// Output bytes per tuple on this port (the emitting member's profile —
+    /// differs from the host's own when the port belongs to a fused member).
+    out_bytes: f64,
 }
 
 struct Replica {
@@ -139,6 +155,14 @@ struct Replica {
     others_ns: f64,
     out_bytes: f64,
     mem_bytes: f64,
+    // Serialized fused-chain work riding this host, per input slot (empty
+    // when nothing fuses in): extra exec/overhead ns per input tuple, and
+    // sink deliveries per input tuple when the chain swallowed a sink.
+    inline_te: Vec<f64>,
+    inline_oh: Vec<f64>,
+    sink_mult: Vec<f64>,
+    /// Fractional fused-sink deliveries carried to the next service.
+    sink_pending: f64,
     // Current service bookkeeping.
     svc_batch: Option<Batch>,
     svc_exec_ns: u64,
@@ -283,6 +307,12 @@ impl<'a> World<'a> {
     ) -> World<'a> {
         let clock = machine.clock_hz();
         let topology = graph.topology();
+        // Which edges collapse inline; fused-away operators spawn nothing.
+        let fusion = config
+            .fusion
+            .then(|| FusionPlan::from_graph(graph, placement));
+        let fused_away = |op: OperatorId| fusion.as_ref().is_some_and(|f| f.is_fused_away(op));
+        let edge_fused = |lei: usize| fusion.as_ref().is_some_and(|f| f.is_edge_fused(lei));
 
         // Expand vertices into replicas; assign cores round-robin per socket.
         let usable: Vec<usize> = match &config.usable_cores {
@@ -304,6 +334,9 @@ impl<'a> World<'a> {
         let mut replicas: Vec<Replica> = Vec::new();
         let mut replicas_of_op: Vec<Vec<u32>> = vec![Vec::new(); topology.operator_count()];
         for (op, spec) in topology.operators() {
+            if fused_away(op) {
+                continue; // rides its host's replicas
+            }
             for &v in graph.vertices_of(op) {
                 let socket = placement.socket_of(v).expect("complete placement");
                 for _ in 0..graph.vertex(v).multiplicity {
@@ -326,6 +359,10 @@ impl<'a> World<'a> {
                         others_ns: spec.cost.overhead_cycles / clock * 1e9,
                         out_bytes: spec.cost.output_bytes,
                         mem_bytes: spec.cost.mem_bytes_per_tuple,
+                        inline_te: Vec::new(),
+                        inline_oh: Vec::new(),
+                        sink_mult: Vec::new(),
+                        sink_pending: 0.0,
                         svc_batch: None,
                         svc_exec_ns: 0,
                         svc_overhead_ns: 0,
@@ -340,8 +377,20 @@ impl<'a> World<'a> {
             }
         }
 
-        // Wire output ports: one per (operator replica, logical out-edge).
+        // Wire output ports. Each simulated replica is a fusion-chain host
+        // (trivially a chain of one when nothing fuses into it): the flow
+        // of every chain member is propagated per *host input slot* along
+        // fused edges, members' serialized work folds into the host's
+        // inline vectors, and members' unfused out-edges become ports of
+        // the host with compounded selectivities.
+        let chain_of: std::collections::HashMap<usize, Vec<OperatorId>> = fusion
+            .as_ref()
+            .map(|f| f.chains().into_iter().map(|c| (c[0].0, c)).collect())
+            .unwrap_or_default();
         for (op, spec) in topology.operators() {
+            if fused_away(op) {
+                continue;
+            }
             let in_edge_indices: Vec<usize> = topology
                 .edges()
                 .iter()
@@ -349,19 +398,106 @@ impl<'a> World<'a> {
                 .filter(|(_, e)| e.to == op)
                 .map(|(i, _)| i)
                 .collect();
-            let out_ports: Vec<(usize, &brisk_dag::LogicalEdge)> =
-                topology.outgoing_edge_refs(op).collect();
+            let slots = if spec.kind == OperatorKind::Spout {
+                1
+            } else {
+                in_edge_indices.len().max(1)
+            };
+            let chain = chain_of.get(&op.0).cloned().unwrap_or_else(|| vec![op]);
+            // Members in topological order so producers resolve first.
+            let order: Vec<OperatorId> = topology
+                .topological_order()
+                .iter()
+                .copied()
+                .filter(|o| chain.contains(o))
+                .collect();
+            // Per fused logical edge: tuples travelling on it per host
+            // input tuple, by host input slot.
+            let mut arr: std::collections::HashMap<usize, Vec<f64>> =
+                std::collections::HashMap::new();
+            // Unfused out-edges of chain members: (member, lei, flow/slot).
+            let mut external: Vec<(OperatorId, usize, Vec<f64>)> = Vec::new();
+            let mut inline_te = vec![0.0f64; slots];
+            let mut inline_oh = vec![0.0f64; slots];
+            let mut sink_mult = vec![0.0f64; slots];
+            for &m in &order {
+                let mspec = topology.operator(m);
+                // (input stream, arrivals per host tuple by slot).
+                let inputs: Vec<(Option<&str>, Vec<f64>)> = if m == op {
+                    if spec.kind == OperatorKind::Spout {
+                        vec![(None, vec![1.0])]
+                    } else {
+                        in_edge_indices
+                            .iter()
+                            .enumerate()
+                            .map(|(s, &lei)| {
+                                let mut v = vec![0.0; slots];
+                                v[s] = 1.0;
+                                (Some(topology.edges()[lei].stream.as_str()), v)
+                            })
+                            .collect()
+                    }
+                } else {
+                    topology
+                        .edges()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.to == m)
+                        .map(|(lei, e)| {
+                            (
+                                Some(e.stream.as_str()),
+                                arr.get(&lei).cloned().unwrap_or_else(|| vec![0.0; slots]),
+                            )
+                        })
+                        .collect()
+                };
+                if m != op {
+                    for s in 0..slots {
+                        let processed: f64 = inputs.iter().map(|(_, a)| a[s]).sum();
+                        inline_te[s] += processed * mspec.cost.exec_cycles / clock * 1e9;
+                        inline_oh[s] += processed * mspec.cost.overhead_cycles / clock * 1e9;
+                        if mspec.kind == OperatorKind::Sink {
+                            sink_mult[s] += processed;
+                        }
+                    }
+                }
+                for (lei, edge) in topology
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.from == m)
+                {
+                    let flow: Vec<f64> = (0..slots)
+                        .map(|s| {
+                            inputs
+                                .iter()
+                                .map(|(st, a)| a[s] * mspec.selectivity(*st, &edge.stream))
+                                .sum()
+                        })
+                        .collect();
+                    if edge_fused(lei) {
+                        arr.insert(lei, flow);
+                    } else {
+                        external.push((m, lei, flow));
+                    }
+                }
+            }
+            let fused_in = inline_te.iter().any(|&t| t > 0.0)
+                || inline_oh.iter().any(|&t| t > 0.0)
+                || sink_mult.iter().any(|&t| t > 0.0);
             for (local, &rid) in replicas_of_op[op.0].iter().enumerate() {
-                let mut outs = Vec::with_capacity(out_ports.len());
-                for &(lei, edge) in &out_ports {
+                let mut outs = Vec::with_capacity(external.len());
+                for (member, lei, flow) in &external {
+                    let edge = &topology.edges()[*lei];
                     let consumers: Vec<u32> = match edge.partitioning {
                         Partitioning::Global => {
                             vec![replicas_of_op[edge.to.0][0]]
                         }
                         // Local forwarding pins this producer replica to
                         // the index-aligned consumer replica — only at
-                        // equal replica counts; otherwise the edge
-                        // degrades to Shuffle's full consumer list.
+                        // equal replica counts (a fused member shares the
+                        // host's count by the chain invariant); otherwise
+                        // the edge degrades to Shuffle's full list.
                         Partitioning::Forward
                             if replicas_of_op[edge.to.0].len() == replicas_of_op[op.0].len() =>
                         {
@@ -374,22 +510,8 @@ impl<'a> World<'a> {
                         .iter()
                         .enumerate()
                         .filter(|(_, e)| e.to == edge.to)
-                        .position(|(i, _)| i == lei)
+                        .position(|(i, _)| i == *lei)
                         .unwrap_or(0) as u16;
-                    // Selectivity per input edge; spouts use one wildcard.
-                    let selectivity = if spec.kind == OperatorKind::Spout {
-                        vec![spec.selectivity(None, &edge.stream)]
-                    } else {
-                        in_edge_indices
-                            .iter()
-                            .map(|&ie| {
-                                spec.selectivity(
-                                    Some(topology.edges()[ie].stream.as_str()),
-                                    &edge.stream,
-                                )
-                            })
-                            .collect()
-                    };
                     outs.push(OutPort {
                         consumers,
                         partitioning: edge.partitioning,
@@ -397,12 +519,18 @@ impl<'a> World<'a> {
                         cursor: (rid as usize) % usize::MAX,
                         pending: 0.0,
                         earliest_ns: u64::MAX,
-                        selectivity,
+                        selectivity: flow.clone(),
+                        out_bytes: topology.operator(*member).cost.output_bytes,
                     });
                 }
                 let r = &mut replicas[rid as usize];
                 r.outs = outs;
                 r.in_edges = in_edge_indices.clone();
+                if fused_in {
+                    r.inline_te = inline_te.clone();
+                    r.inline_oh = inline_oh.clone();
+                    r.sink_mult = sink_mult.clone();
+                }
             }
         }
 
@@ -536,7 +664,10 @@ impl<'a> World<'a> {
                 let noise = self.noise();
                 let r = &mut self.replicas[rid as usize];
                 let b = self.config.batch_size as f64;
-                let work = b * (r.te_ns + r.others_ns) * noise + self.config.dispatch_overhead_ns;
+                // Fused members run serialized inside this thread.
+                let chain_te = r.te_ns + r.inline_te.first().copied().unwrap_or(0.0);
+                let chain_oh = r.others_ns + r.inline_oh.first().copied().unwrap_or(0.0);
+                let work = b * (chain_te + chain_oh) * noise + self.config.dispatch_overhead_ns;
                 let dur = work.max(self.spout_pace_ns) as u64;
                 r.svc_batch = Some(Batch {
                     tuples: self.config.batch_size,
@@ -545,7 +676,7 @@ impl<'a> World<'a> {
                     bytes_per_tuple: r.out_bytes as f32,
                     in_slot: 0,
                 });
-                r.svc_exec_ns = (b * r.te_ns * noise) as u64;
+                r.svc_exec_ns = (b * chain_te * noise) as u64;
                 r.svc_overhead_ns = dur.saturating_sub(r.svc_exec_ns);
                 r.svc_fetch_ns = 0;
                 self.set_state(rid, State::Running, now);
@@ -608,8 +739,11 @@ impl<'a> World<'a> {
                 }
 
                 let r = &mut self.replicas[rid as usize];
-                let exec = n * r.te_ns * noise * local_factor;
-                let overhead = n * r.others_ns * noise + self.config.dispatch_overhead_ns;
+                let slot = batch.in_slot as usize;
+                let chain_te = r.te_ns + r.inline_te.get(slot).copied().unwrap_or(0.0);
+                let chain_oh = r.others_ns + r.inline_oh.get(slot).copied().unwrap_or(0.0);
+                let exec = n * chain_te * noise * local_factor;
+                let overhead = n * chain_oh * noise + self.config.dispatch_overhead_ns;
                 r.svc_batch = Some(batch);
                 r.svc_exec_ns = exec as u64;
                 r.svc_overhead_ns = overhead as u64;
@@ -649,6 +783,31 @@ impl<'a> World<'a> {
                 );
             }
         } else {
+            // A sink fused into this host delivers inline: count its share
+            // of the batch here (fractional remainders carry over).
+            if measured {
+                let whole = {
+                    let r = &mut self.replicas[rid as usize];
+                    let mult = r
+                        .sink_mult
+                        .get(batch.in_slot as usize)
+                        .copied()
+                        .unwrap_or(0.0);
+                    if mult > 0.0 {
+                        r.sink_pending += batch.tuples as f64 * mult;
+                        let whole = r.sink_pending as u64;
+                        r.sink_pending -= whole as f64;
+                        whole
+                    } else {
+                        0
+                    }
+                };
+                if whole > 0 {
+                    self.sink_events += whole;
+                    self.latency
+                        .record_n(now.saturating_sub(batch.created_ns) as f64, whole);
+                }
+            }
             self.accumulate_outputs(rid, &batch, kind, now);
         }
 
@@ -699,7 +858,7 @@ impl<'a> World<'a> {
                         tuples: b,
                         created_ns: port.earliest_ns,
                         from_socket: r.socket,
-                        bytes_per_tuple: r.out_bytes as f32,
+                        bytes_per_tuple: port.out_bytes as f32,
                         in_slot: port.consumer_slot,
                     },
                 ));
@@ -1035,6 +1194,118 @@ mod tests {
             (ratio - 10.0).abs() < 1.5,
             "sink/spout ratio {ratio} should approach the selectivity 10"
         );
+    }
+
+    #[test]
+    fn fused_chain_matches_serialized_model() {
+        // [1,1,1] collocated: the whole pipeline fuses into one executor
+        // running 100 + 200 + 50 = 350 ns per tuple. The fusion-aware
+        // model predicts exactly 1e9/350 ≈ 2.857M; the fused simulation
+        // must land there — NOT at the 5M the pipelined (unfused) sim
+        // sustains when the bolt alone gates.
+        let m = machine();
+        let t = linear();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let p = Placement::all_on(g.vertex_count(), SocketId(0));
+        let config = SimConfig {
+            fusion: true,
+            ..quiet_config()
+        };
+        let report = Simulator::new(&m, &g, &p, config).expect("valid").run();
+        let model = Evaluator::saturated(&m).with_fusion(true).evaluate(&g, &p);
+        let rel = (report.throughput - model.throughput).abs() / model.throughput;
+        assert!(
+            rel < 0.10,
+            "fused sim {} vs fused model {} (rel {rel})",
+            report.throughput,
+            model.throughput
+        );
+        // And it trails the unfused (pipelined) simulation, as serialized
+        // chains must.
+        let unfused = Simulator::new(&m, &g, &p, quiet_config())
+            .expect("valid")
+            .run();
+        assert!(report.throughput < unfused.throughput * 0.8);
+        // The fused-away sink still counts events and records latency.
+        assert!(report.sink_events > 0);
+        assert!(report.latency_ns.count() > 0);
+    }
+
+    #[test]
+    fn fused_chain_skips_the_remote_fetch() {
+        // Everything on one socket fuses end to end, so even AlwaysRemote-
+        // style cross-socket costs cannot appear: compare against a split
+        // placement where the bolt sits remote and the chain breaks.
+        let m = machine();
+        let t = linear();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let local = Placement::all_on(g.vertex_count(), SocketId(0));
+        let mut split = local.clone();
+        split.place(brisk_dag::VertexId(1), SocketId(1));
+        let config = SimConfig {
+            fusion: true,
+            ..quiet_config()
+        };
+        let fused = Simulator::new(&m, &g, &local, config.clone())
+            .expect("valid")
+            .run();
+        let broken = Simulator::new(&m, &g, &split, config).expect("valid").run();
+        // The split bolt keeps its own executor and pays Formula 2.
+        assert!(broken.breakdown(1).rma_ns > 0.0);
+        // The fused run has no bolt replica at all (it rides the spout).
+        assert_eq!(fused.operator_processed(1), 0);
+    }
+
+    #[test]
+    fn selectivity_compounds_through_a_fused_chain() {
+        let m = machine();
+        let mut b = TopologyBuilder::new("sel");
+        let s = b.add_spout("s", CostProfile::new(1000.0, 0.0, 16.0, 64.0));
+        let x = b.add_bolt("split", CostProfile::new(100.0, 0.0, 16.0, 64.0));
+        let k = b.add_sink("k", CostProfile::new(10.0, 0.0, 16.0, 64.0));
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, k);
+        b.set_selectivity(x, None, brisk_dag::DEFAULT_STREAM, 10.0);
+        let t = b.build().expect("valid");
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let p = Placement::all_on(g.vertex_count(), SocketId(0));
+        let config = SimConfig {
+            fusion: true,
+            ..quiet_config()
+        };
+        let report = Simulator::new(&m, &g, &p, config).expect("valid").run();
+        // The fused sink sees 10 deliveries per generated tuple.
+        let ratio = report.sink_events as f64 / report.operator_processed(0) as f64;
+        assert!(
+            (ratio - 10.0).abs() < 0.5,
+            "fused sink/spout ratio {ratio} should be the selectivity 10"
+        );
+    }
+
+    #[test]
+    fn replication_breaks_fusion_back_to_pipelining() {
+        // [1,2,1]: no edge pairs 1:1, so the fused and unfused simulations
+        // are the same world and must agree exactly (same seed).
+        let m = machine();
+        let t = linear();
+        let g = ExecutionGraph::new(&t, &[1, 2, 1], 1);
+        let p = Placement::all_on(g.vertex_count(), SocketId(0));
+        let fused = Simulator::new(
+            &m,
+            &g,
+            &p,
+            SimConfig {
+                fusion: true,
+                ..quiet_config()
+            },
+        )
+        .expect("valid")
+        .run();
+        let unfused = Simulator::new(&m, &g, &p, quiet_config())
+            .expect("valid")
+            .run();
+        assert_eq!(fused.sink_events, unfused.sink_events);
+        assert_eq!(fused.throughput, unfused.throughput);
     }
 
     #[test]
