@@ -22,7 +22,9 @@
 pub mod fraud_detection;
 pub mod generators;
 pub mod linear_road;
+pub mod shared_index;
 pub mod spike_detection;
+pub mod stream_join;
 pub mod word_count;
 
 use brisk_dag::LogicalTopology;
@@ -32,13 +34,16 @@ use brisk_runtime::AppRuntime;
 /// measured at: Server A's Xeon E7-8890 runs at 1.2 GHz.
 pub const CALIBRATION_GHZ: f64 = 1.2;
 
-/// All four applications by paper abbreviation, for experiment sweeps.
+/// All applications by abbreviation, for experiment sweeps: the four
+/// paper benchmarks plus the join-shaped workload tier (SJ/SI).
 pub fn all_topologies() -> Vec<(&'static str, LogicalTopology)> {
     vec![
         ("WC", word_count::topology()),
         ("FD", fraud_detection::topology()),
         ("SD", spike_detection::topology()),
         ("LR", linear_road::topology()),
+        ("SJ", stream_join::topology()),
+        ("SI", shared_index::topology()),
     ]
 }
 
@@ -110,6 +115,8 @@ pub fn app_sized(abbrev: &str, total_events: u64) -> Option<AppRuntime> {
         "FD" => Some(fraud_detection::app_sized(total_events)),
         "SD" => Some(spike_detection::app_sized(total_events)),
         "LR" => Some(linear_road::app_sized(total_events)),
+        "SJ" => Some(stream_join::app_sized(total_events)),
+        "SI" => Some(shared_index::app_sized(total_events)),
         _ => None,
     }
 }
@@ -121,7 +128,7 @@ mod tests {
     #[test]
     fn all_topologies_build_and_validate() {
         let apps = all_topologies();
-        assert_eq!(apps.len(), 4);
+        assert_eq!(apps.len(), 6);
         for (name, t) in apps {
             assert!(t.operator_count() >= 4, "{name} too small");
             assert!(!t.spouts().is_empty(), "{name} has no spout");
@@ -135,6 +142,8 @@ mod tests {
         assert!(fraud_detection::app().validate().is_ok());
         assert!(spike_detection::app().validate().is_ok());
         assert!(linear_road::app().validate().is_ok());
+        assert!(stream_join::app().validate().is_ok());
+        assert!(shared_index::app().validate().is_ok());
     }
 
     #[test]
@@ -160,27 +169,38 @@ mod tests {
         assert!(app_sized("nope", 100).is_none());
     }
 
-    #[test]
-    fn sized_spout_exhausts_after_its_share() {
+    /// Drain every spout of a sized app (single replica each) and return
+    /// the total events emitted across all of them.
+    fn drain_all_spouts(app: &AppRuntime) -> usize {
         use brisk_runtime::{Collector, OperatorRuntime, SpoutStatus};
-        let app = word_count::app_sized(5);
-        let spout_id = app.topology.find("spout").expect("exists");
-        let OperatorRuntime::Spout(factory) = app.runtime(spout_id) else {
-            panic!("spout expected");
-        };
-        let mut spout = factory(brisk_runtime::BoltContext {
-            replica: 0,
-            replicas: 1,
-        });
-        let (mut collector, _taps) = Collector::capture(&app.topology, spout_id, 64);
         let mut emitted = 0;
-        loop {
-            match spout.next(&mut collector) {
-                SpoutStatus::Emitted(n) => emitted += n,
-                SpoutStatus::Exhausted => break,
-                SpoutStatus::Idle => {}
+        for spout_id in app.topology.spouts() {
+            let OperatorRuntime::Spout(factory) = app.runtime(spout_id) else {
+                panic!("spout expected");
+            };
+            let mut spout = factory(brisk_runtime::BoltContext {
+                replica: 0,
+                replicas: 1,
+            });
+            let (mut collector, _taps) = Collector::capture(&app.topology, spout_id, 64);
+            loop {
+                match spout.next(&mut collector) {
+                    SpoutStatus::Emitted(n) => emitted += n,
+                    SpoutStatus::Exhausted => break,
+                    SpoutStatus::Idle => {}
+                }
             }
         }
-        assert_eq!(emitted, 5);
+        emitted
+    }
+
+    #[test]
+    fn sized_spouts_exhaust_after_their_share() {
+        // Single-spout and two-spout apps alike emit exactly the budget,
+        // summed across every spout in the topology.
+        for abbrev in ["WC", "SJ", "SI"] {
+            let app = app_sized(abbrev, 5).expect("known app");
+            assert_eq!(drain_all_spouts(&app), 5, "{abbrev}");
+        }
     }
 }

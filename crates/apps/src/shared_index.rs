@@ -1,0 +1,479 @@
+//! Shared Index (SI) — one arranged index, maintained once, read by two
+//! queries, after Shared Arrangements (McSherry et al., PAPERS.md).
+//!
+//! ```text
+//! update_spout ─KeyBy─▶ arrange ─"arranged" Broadcast─▶ point_query ─▶ sink
+//!                              └─"arranged" Broadcast─▶ window_agg ──▶ sink
+//! query_spout ──────────"queries" Shuffle─────────────▶ point_query
+//! ```
+//!
+//! The `arrange` bolt maintains the authoritative keyed index (latest
+//! value per key) and republishes every accepted update on the
+//! `arranged` stream. Both downstream queries *subscribe to the same
+//! stream*: a point-lookup answering probes from a second spout, and a
+//! sliding-window per-key aggregate. Because the two `arranged` edges
+//! share one slab-backed batch builder in the collector (the shared-
+//! arrangement path of the data plane), attaching the second query does
+//! not double the maintainer's seal count — consumers hold refcounted
+//! slab handles, not copies. The conformance tier pins this: with
+//! `jumbo_size(1)` every push seals, so total slab checkouts stay at
+//! "one maintainer's worth" (`3·updates + 2·queries`) instead of the
+//! `4·updates + 2·queries` a per-edge copy would cost.
+
+use crate::CALIBRATION_GHZ;
+use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, StateEntry, TupleView};
+use std::collections::{HashMap, VecDeque};
+
+/// Operator names. `arrange` sits at index 1 so harness knobs that drift
+/// "the first bolt" target the index maintainer.
+pub const OPERATORS: [&str; 6] = [
+    "update_spout",
+    "arrange",
+    "query_spout",
+    "point_query",
+    "window_agg",
+    "sink",
+];
+
+/// Key domain of the arranged index.
+pub const NUM_KEYS: u64 = 64;
+
+/// Logical time per update index.
+pub const TICK_NS: u64 = 1_000;
+
+/// Aggregation window of `window_agg` in event-time nanoseconds.
+pub const WINDOW_NS: u64 = 128 * TICK_NS;
+
+/// Updates per probe: the query spout carries 1/4 of a sized budget.
+pub const UPDATES_PER_QUERY: u64 = 3;
+
+/// How a sized input budget splits into (updates, queries).
+pub fn side_totals(total_events: u64) -> (u64, u64) {
+    let queries = total_events / (UPDATES_PER_QUERY + 1);
+    (total_events - queries, queries)
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Key of the `index`-th update (pure function).
+pub fn update_key(index: u64) -> u64 {
+    mix64(index ^ 0x5550_4454) % NUM_KEYS
+}
+
+/// Value of the `index`-th update (pure function).
+pub fn update_value(index: u64) -> u64 {
+    mix64(index.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// Key probed by the `index`-th query (pure function).
+pub fn query_key(index: u64) -> u64 {
+    mix64(index ^ 0x5052_4f42) % NUM_KEYS
+}
+
+/// One index update flowing `update_spout → arrange → queries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexUpdate {
+    /// Index key.
+    pub key: u64,
+    /// New value.
+    pub value: u64,
+    /// Global update sequence number.
+    pub seq: u64,
+}
+
+/// One point-lookup probe from the query spout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Key to look up.
+    pub key: u64,
+    /// Global probe sequence number.
+    pub seq: u64,
+}
+
+/// Point-lookup answer (exactly one per probe; misses carry `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryResult {
+    /// The probed key.
+    pub key: u64,
+    /// Probe sequence this answers.
+    pub probe_seq: u64,
+    /// Latest arranged value, if the key was present.
+    pub value: Option<u64>,
+}
+
+/// Windowed per-key aggregate delta (one per arranged update).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggDelta {
+    /// The updated key.
+    pub key: u64,
+    /// Wrapping sum of the key's values inside the sliding window.
+    pub window_sum: u64,
+    /// Live entries in the key's window.
+    pub window_len: u32,
+}
+
+/// The SI logical topology with calibrated cost profiles.
+pub fn topology() -> LogicalTopology {
+    let ghz = CALIBRATION_GHZ;
+    let mut b = TopologyBuilder::new("shared_index");
+    let updates = b.add_spout(
+        "update_spout",
+        CostProfile::from_ns_at_ghz(300.0, 45.0, 96.0, 48.0, ghz),
+    );
+    let arrange = b.add_bolt(
+        "arrange",
+        // The state term prices the index upsert; Te covers republication.
+        CostProfile::from_ns_at_ghz(500.0, 60.0, 160.0, 48.0, ghz).with_state_access(250.0 * ghz),
+    );
+    let queries = b.add_spout(
+        "query_spout",
+        CostProfile::from_ns_at_ghz(250.0, 45.0, 64.0, 32.0, ghz),
+    );
+    let point = b.add_bolt(
+        "point_query",
+        CostProfile::from_ns_at_ghz(400.0, 55.0, 96.0, 40.0, ghz).with_state_access(150.0 * ghz),
+    );
+    let agg = b.add_bolt(
+        "window_agg",
+        CostProfile::from_ns_at_ghz(700.0, 60.0, 128.0, 40.0, ghz).with_state_access(300.0 * ghz),
+    );
+    let sink = b.add_sink(
+        "sink",
+        CostProfile::from_ns_at_ghz(45.0, 10.0, 32.0, 16.0, ghz),
+    );
+    b.connect(updates, DEFAULT_STREAM, arrange, Partitioning::KeyBy);
+    // Both queries subscribe to the SAME arranged stream: the collector
+    // maintains one shared builder for the two Broadcast edges, so the
+    // second subscriber costs a refcount bump per batch, not a copy.
+    b.connect(arrange, "arranged", point, Partitioning::Broadcast);
+    b.connect(arrange, "arranged", agg, Partitioning::Broadcast);
+    b.connect(queries, "queries", point, Partitioning::Shuffle);
+    b.connect_shuffle(point, sink);
+    b.connect_shuffle(agg, sink);
+    // Arrange republishes each accepted update under its input key.
+    b.set_key_preserving(arrange);
+    b.set_selectivity(arrange, None, "arranged", 1.0);
+    // point_query answers probes only; arranged tuples just maintain its
+    // mirror of the index.
+    b.set_selectivity(point, Some("arranged"), DEFAULT_STREAM, 0.0);
+    b.set_selectivity(point, Some("queries"), DEFAULT_STREAM, 1.0);
+    b.build().expect("SI topology is valid")
+}
+
+struct SiSpout<F: FnMut(u64, &mut Collector)> {
+    replica: u64,
+    stride: u64,
+    next_index: u64,
+    emitted: u64,
+    remaining: u64,
+    emit: F,
+}
+
+impl<F: FnMut(u64, &mut Collector) + Send> DynSpout for SiSpout<F> {
+    fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        if self.remaining == 0 {
+            return SpoutStatus::Exhausted;
+        }
+        self.remaining -= 1;
+        self.emitted += 1;
+        let idx = self.next_index;
+        self.next_index += self.stride;
+        (self.emit)(idx, collector);
+        SpoutStatus::Emitted(1)
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        Some(vec![(
+            self.replica,
+            crate::spout_state::encode(self.next_index, self.emitted, self.remaining),
+        )])
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        if let Some((next_index, emitted, remaining)) = crate::spout_state::merge(&entries) {
+            self.next_index = next_index;
+            self.emitted = emitted;
+            self.remaining = remaining;
+        } else {
+            self.remaining = 0;
+        }
+    }
+}
+
+/// The index maintainer: latest value per key, republished downstream.
+struct Arrange {
+    latest: HashMap<u64, (u64, u64)>,
+}
+
+impl DynBolt for Arrange {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
+        let Some(u) = tuple.value::<IndexUpdate>() else {
+            return;
+        };
+        // Last-writer-wins by sequence number, so replays and migrations
+        // converge on the same arrangement regardless of interleaving.
+        let slot = self.latest.entry(u.key).or_insert((0, 0));
+        if u.seq >= slot.0 {
+            *slot = (u.seq, u.value);
+        }
+        collector.send("arranged", *u, tuple.event_ns, u.key);
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        Some(
+            self.latest
+                .iter()
+                .map(|(&key, &(seq, value))| {
+                    let mut b = Vec::with_capacity(16);
+                    b.extend_from_slice(&seq.to_le_bytes());
+                    b.extend_from_slice(&value.to_le_bytes());
+                    (key, b)
+                })
+                .collect(),
+        )
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        for (key, bytes) in entries {
+            if bytes.len() != 16 {
+                continue;
+            }
+            let seq = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+            let value = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+            let slot = self.latest.entry(key).or_insert((0, 0));
+            if seq >= slot.0 {
+                *slot = (seq, value);
+            }
+        }
+    }
+}
+
+/// Point lookup over a broadcast mirror of the arrangement.
+struct PointQuery {
+    mirror: HashMap<u64, (u64, u64)>,
+}
+
+impl DynBolt for PointQuery {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
+        if let Some(u) = tuple.value::<IndexUpdate>() {
+            let slot = self.mirror.entry(u.key).or_insert((0, 0));
+            if u.seq >= slot.0 {
+                *slot = (u.seq, u.value);
+            }
+        } else if let Some(p) = tuple.value::<Probe>() {
+            collector.send_default(
+                QueryResult {
+                    key: p.key,
+                    probe_seq: p.seq,
+                    value: self.mirror.get(&p.key).map(|&(_, v)| v),
+                },
+                tuple.event_ns,
+                p.key,
+            );
+        }
+    }
+}
+
+/// Sliding-window per-key sum over the arranged stream.
+struct WindowAgg {
+    windows: HashMap<u64, VecDeque<(u64, u64)>>,
+}
+
+impl DynBolt for WindowAgg {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
+        let Some(u) = tuple.value::<IndexUpdate>() else {
+            return;
+        };
+        let window = self.windows.entry(u.key).or_default();
+        window.push_back((tuple.event_ns, u.value));
+        // Updates for one key arrive in event-time order from the single
+        // logical update stream, so the front is always the oldest.
+        while let Some(&(ts, _)) = window.front() {
+            if ts + WINDOW_NS <= tuple.event_ns {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+        collector.send_default(
+            AggDelta {
+                key: u.key,
+                window_sum: window.iter().fold(0u64, |a, &(_, v)| a.wrapping_add(v)),
+                window_len: window.len() as u32,
+            },
+            tuple.event_ns,
+            u.key,
+        );
+    }
+}
+
+struct SiSink;
+
+impl DynBolt for SiSink {
+    fn execute(&mut self, _tuple: &TupleView<'_>, _collector: &mut Collector) {}
+}
+
+/// The runnable SI application, streaming until stopped.
+pub fn app() -> AppRuntime {
+    app_sized(u64::MAX)
+}
+
+/// The runnable SI application with a deterministic input budget of
+/// `total_events` events split 3:1 between index updates and probes.
+pub fn app_sized(total_events: u64) -> AppRuntime {
+    let t = topology();
+    let ids: Vec<_> = OPERATORS
+        .iter()
+        .map(|n| t.find(n).expect("operator exists"))
+        .collect();
+    let (update_total, query_total) = side_totals(total_events);
+    AppRuntime::new(t)
+        .spout(ids[0], move |ctx| SiSpout {
+            replica: ctx.replica as u64,
+            stride: ctx.replicas as u64,
+            next_index: ctx.replica as u64,
+            emitted: 0,
+            remaining: crate::replica_share(update_total, ctx.replica, ctx.replicas),
+            emit: |idx, c: &mut Collector| {
+                let u = IndexUpdate {
+                    key: update_key(idx),
+                    value: update_value(idx),
+                    seq: idx,
+                };
+                c.send_default(u, (idx + 1) * TICK_NS, u.key);
+            },
+        })
+        .bolt(ids[1], |_| Arrange {
+            latest: HashMap::new(),
+        })
+        .spout(ids[2], move |ctx| SiSpout {
+            replica: ctx.replica as u64,
+            stride: ctx.replicas as u64,
+            next_index: ctx.replica as u64,
+            emitted: 0,
+            remaining: crate::replica_share(query_total, ctx.replica, ctx.replicas),
+            emit: |idx, c: &mut Collector| {
+                let p = Probe {
+                    key: query_key(idx),
+                    seq: idx,
+                };
+                c.send("queries", p, (idx + 1) * TICK_NS, p.key);
+            },
+        })
+        .bolt(ids[3], |_| PointQuery {
+            mirror: HashMap::new(),
+        })
+        .bolt(ids[4], |_| WindowAgg {
+            windows: HashMap::new(),
+        })
+        .sink(ids[5], |_| SiSink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_shape() {
+        let t = topology();
+        assert_eq!(t.operator_count(), 6);
+        let arrange = t.find("arrange").expect("exists");
+        // The arranged stream fans out to BOTH queries via Broadcast.
+        let arranged: Vec<_> = t
+            .outgoing_edges(arrange)
+            .filter(|e| e.stream == "arranged")
+            .collect();
+        assert_eq!(arranged.len(), 2);
+        assert!(arranged
+            .iter()
+            .all(|e| e.partitioning == Partitioning::Broadcast));
+        assert!(t.operator(arrange).cost.state_cycles > 0.0);
+    }
+
+    #[test]
+    fn side_totals_conserve_the_budget() {
+        for total in [0u64, 1, 4, 7, 1000] {
+            let (u, q) = side_totals(total);
+            assert_eq!(u + q, total);
+            assert!(u >= q * UPDATES_PER_QUERY);
+        }
+    }
+
+    #[test]
+    fn point_query_answers_every_probe_exactly_once() {
+        let t = topology();
+        let point = t.find("point_query").expect("exists");
+        let (mut collector, taps) = Collector::capture(&t, point, 1024);
+        let mut bolt = PointQuery {
+            mirror: HashMap::new(),
+        };
+        // Interleave updates and probes; count answers.
+        for i in 0..60u64 {
+            let u = IndexUpdate {
+                key: update_key(i),
+                value: update_value(i),
+                seq: i,
+            };
+            bolt.execute(
+                &TupleView::of_value(&u, (i + 1) * TICK_NS, u.key),
+                &mut collector,
+            );
+            if i % 3 == 0 {
+                let p = Probe {
+                    key: query_key(i),
+                    seq: i,
+                };
+                bolt.execute(
+                    &TupleView::of_value(&p, (i + 1) * TICK_NS, p.key),
+                    &mut collector,
+                );
+            }
+        }
+        collector.flush_all();
+        let mut answers = 0usize;
+        for (_, queue) in taps {
+            while let Some(jumbo) = queue.try_pop() {
+                answers += jumbo.batch.len();
+            }
+        }
+        assert_eq!(answers, 20, "one result per probe, none per update");
+    }
+
+    #[test]
+    fn window_agg_evicts_by_event_time() {
+        let t = topology();
+        let agg = t.find("window_agg").expect("exists");
+        let (mut collector, _taps) = Collector::capture(&t, agg, 1024);
+        let mut bolt = WindowAgg {
+            windows: HashMap::new(),
+        };
+        // Same key repeatedly: the window must cap at WINDOW_NS/TICK_NS.
+        for i in 0..400u64 {
+            let u = IndexUpdate {
+                key: 7,
+                value: 1,
+                seq: i,
+            };
+            bolt.execute(
+                &TupleView::of_value(&u, (i + 1) * TICK_NS, 7),
+                &mut collector,
+            );
+        }
+        let len = bolt.windows[&7].len() as u64;
+        assert_eq!(len, WINDOW_NS / TICK_NS);
+        collector.flush_all();
+    }
+
+    #[test]
+    fn app_validates() {
+        assert!(app().validate().is_ok());
+    }
+}

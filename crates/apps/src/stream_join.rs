@@ -1,0 +1,902 @@
+//! Stream Join (SJ) — an index-based sliding-window equi-join in the
+//! style of Shahvarani & Jacobsen (PAPERS.md).
+//!
+//! `left_spout ──KeyBy──▶ join ──KeyBy──▶ sink ◀──KeyBy── right_spout`
+//!
+//! Two deterministic spouts emit logically-timestamped tuples; the join
+//! bolt partitions a sliding-window hash index by the join key (KeyBy on
+//! both inputs), probes the opposite side's index before inserting its
+//! own tuple (exactly-once pair emission), and evicts entries whose
+//! timestamps can no longer fall inside the window of *any* future tuple
+//! from the opposite side.
+//!
+//! # Determinism contract
+//!
+//! Replica `r` of `R` spout replicas emits the global tuple indices
+//! `r, r + R, r + 2R, …` — the *union* over replicas is exactly
+//! `0..total` under every replication level, and tuple content is a pure
+//! function of the side and the global index. Event time is logical
+//! (`(index + 1) × TICK_NS`), so the match set
+//! `{(i, j) : left_key(i) == right_key(j) ∧ |i − j| < WINDOW_TICKS}`
+//! is a plan-independent invariant. The single-threaded [`oracle`]
+//! computes it directly; every parallel configuration must reproduce it
+//! bit-exactly, which the conformance tier checks through the
+//! order-independent [`JoinDigest`] the bolt maintains as migratable
+//! state.
+//!
+//! The contract survives **rescaling migrations** too: a spout's stream
+//! position is a set of strided cursors, and a harvested cursor resumes
+//! on the successor with its *original* stride — never re-derived from
+//! the new replica count — so the emitted index set stays exactly
+//! `0..total` even when a re-plan changes the spout replication mid-run.
+//!
+//! # Eviction safety
+//!
+//! Each tuple carries its origin — the lineage of the cursor that emitted
+//! it (epoch one's replica `r` of `R`), stable across migrations — and
+//! per-origin event times are strictly increasing (a spout hosting
+//! several cursors advances the lowest-indexed one first), so once every
+//! origin of a side has been seen the
+//! minimum of the per-origin last-seen times lower-bounds every *future*
+//! arrival from that side (the watermark). An entry on side A is evicted
+//! only when `ts + WINDOW_NS ≤ watermark(B)` — any future B-tuple is
+//! strictly newer than the watermark, hence outside A's window. Until
+//! all origins have reported, the watermark is 0 and nothing is evicted.
+
+use crate::CALIBRATION_GHZ;
+use brisk_dag::{CostProfile, LogicalTopology, Partitioning, TopologyBuilder, DEFAULT_STREAM};
+use brisk_runtime::{AppRuntime, Collector, DynBolt, DynSpout, SpoutStatus, StateEntry, TupleView};
+use std::collections::HashMap;
+
+/// Operator names. The join bolt sits at index 1 so harness knobs that
+/// drift "the first bolt" target it.
+pub const OPERATORS: [&str; 4] = ["left_spout", "join", "right_spout", "sink"];
+
+/// Logical time per stream index.
+pub const TICK_NS: u64 = 1_000;
+
+/// Window length in ticks: tuples `i` and `j` match iff `|i − j| < 64`.
+pub const WINDOW_TICKS: u64 = 64;
+
+/// Window length in event-time nanoseconds.
+pub const WINDOW_NS: u64 = WINDOW_TICKS * TICK_NS;
+
+/// Join-key domain size (controls match selectivity ≈ `127 / 32 ≈ 4`
+/// matches per interior tuple, ≈ 2 outputs per join *input*).
+pub const NUM_KEYS: u64 = 32;
+
+/// Amortization period of the eviction sweep, in processed tuples.
+pub const EVICT_PERIOD: u64 = 64;
+
+/// splitmix64 finalizer — the deterministic mixer behind keys and hashes.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Join key of the `index`-th left-stream tuple (pure function).
+pub fn left_key(index: u64) -> u64 {
+    mix64(index ^ 0x4c45_4654) % NUM_KEYS
+}
+
+/// Join key of the `index`-th right-stream tuple (pure function).
+pub fn right_key(index: u64) -> u64 {
+    mix64(index ^ 0x5249_4748) % NUM_KEYS
+}
+
+/// Logical event time of the `index`-th tuple of either stream.
+pub fn event_time(index: u64) -> u64 {
+    (index + 1) * TICK_NS
+}
+
+/// Canonical order-independent hash of one matched pair.
+pub fn pair_hash(key: u64, left_seq: u64, right_seq: u64) -> u64 {
+    mix64(
+        key.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ mix64(left_seq.wrapping_add(0x0123_4567_89ab_cdef))
+            ^ mix64(right_seq).rotate_left(21),
+    )
+}
+
+/// How a sized input budget splits across the two streams.
+pub fn side_totals(total_events: u64) -> (u64, u64) {
+    (total_events - total_events / 2, total_events / 2)
+}
+
+/// Which input stream a tuple belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The "left" stream.
+    Left,
+    /// The "right" stream.
+    Right,
+}
+
+/// One input tuple of either join stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinTuple {
+    /// Which stream this tuple belongs to.
+    pub side: JoinSide,
+    /// Join key (already reduced to the `NUM_KEYS` domain).
+    pub key: u64,
+    /// Global stream index (dense across spout replicas).
+    pub seq: u64,
+    /// Emitting spout replica.
+    pub origin: u32,
+    /// Total spout replicas on this side under the active plan.
+    pub origins: u32,
+}
+
+/// One matched pair emitted by the join bolt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinedPair {
+    /// The shared join key.
+    pub key: u64,
+    /// Left stream index.
+    pub left_seq: u64,
+    /// Right stream index.
+    pub right_seq: u64,
+}
+
+/// Order-independent accumulator over a multiset of matched pairs:
+/// pair count, XOR and wrapping sum of [`pair_hash`]es. Two runs produced
+/// the same match *multiset* iff their digests are equal (up to hash
+/// collisions engineered to be negligible).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinDigest {
+    /// Matched pairs observed.
+    pub count: u64,
+    /// XOR of pair hashes.
+    pub xor: u64,
+    /// Wrapping sum of pair hashes.
+    pub sum: u64,
+}
+
+impl JoinDigest {
+    /// Fold one matched pair in.
+    pub fn add(&mut self, pair_hash: u64) {
+        self.count += 1;
+        self.xor ^= pair_hash;
+        self.sum = self.sum.wrapping_add(pair_hash);
+    }
+
+    /// Merge another digest (disjoint pair multisets union).
+    pub fn merge(&mut self, other: &JoinDigest) {
+        self.count += other.count;
+        self.xor ^= other.xor;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Recover the total digest from harvested join-bolt state entries
+    /// (one tagged digest record per replica; other tags are skipped).
+    pub fn from_entries(entries: &[StateEntry]) -> JoinDigest {
+        let mut total = JoinDigest::default();
+        for (_, bytes) in entries {
+            if let Some(state::Record::Digest(d)) = state::decode(bytes) {
+                total.merge(&d);
+            }
+        }
+        total
+    }
+}
+
+/// Single-threaded reference oracle: the digest of the full match
+/// multiset for `left_total` × `right_total` sized streams. `O(n · 127)`
+/// — it scans only the window-reachable band of right indices per left
+/// index.
+pub fn oracle(left_total: u64, right_total: u64) -> JoinDigest {
+    let mut d = JoinDigest::default();
+    if right_total == 0 {
+        return d;
+    }
+    for i in 0..left_total {
+        let k = left_key(i);
+        let lo = i.saturating_sub(WINDOW_TICKS - 1);
+        let hi = (i + WINDOW_TICKS - 1).min(right_total - 1);
+        for j in lo..=hi {
+            if right_key(j) == k {
+                d.add(pair_hash(k, i, j));
+            }
+        }
+    }
+    d
+}
+
+/// Wire format of the join bolt's migratable state (tagged records).
+pub mod state {
+    use super::JoinDigest;
+
+    /// One decoded state record.
+    pub enum Record {
+        /// An index entry `(seq, ts)` on the left (`side == 0`) or right
+        /// (`side == 1`) side; the join key travels as the entry key.
+        Index {
+            /// 0 = left, 1 = right.
+            side: u8,
+            /// Global stream index.
+            seq: u64,
+            /// Event time.
+            ts: u64,
+        },
+        /// Per-origin watermark bookkeeping for one side.
+        Watermark {
+            /// 0 = left, 1 = right.
+            side: u8,
+            /// Origin replica.
+            origin: u32,
+            /// Total origins of that side.
+            origins: u32,
+            /// Last event time seen from the origin.
+            ts: u64,
+        },
+        /// The replica's pair digest.
+        Digest(JoinDigest),
+    }
+
+    /// Encode an index entry.
+    pub fn encode_index(side: u8, seq: u64, ts: u64) -> Vec<u8> {
+        let mut b = vec![side];
+        b.extend_from_slice(&seq.to_le_bytes());
+        b.extend_from_slice(&ts.to_le_bytes());
+        b
+    }
+
+    /// Encode a watermark record.
+    pub fn encode_watermark(side: u8, origin: u32, origins: u32, ts: u64) -> Vec<u8> {
+        let mut b = vec![2, side];
+        b.extend_from_slice(&origin.to_le_bytes());
+        b.extend_from_slice(&origins.to_le_bytes());
+        b.extend_from_slice(&ts.to_le_bytes());
+        b
+    }
+
+    /// Encode a digest record.
+    pub fn encode_digest(d: &JoinDigest) -> Vec<u8> {
+        let mut b = vec![3];
+        b.extend_from_slice(&d.count.to_le_bytes());
+        b.extend_from_slice(&d.xor.to_le_bytes());
+        b.extend_from_slice(&d.sum.to_le_bytes());
+        b
+    }
+
+    /// Decode any record (`None` on malformed bytes).
+    pub fn decode(bytes: &[u8]) -> Option<Record> {
+        let u64_at = |i: usize| -> Option<u64> {
+            bytes
+                .get(i..i + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        };
+        match *bytes.first()? {
+            side @ (0 | 1) if bytes.len() == 17 => Some(Record::Index {
+                side,
+                seq: u64_at(1)?,
+                ts: u64_at(9)?,
+            }),
+            2 if bytes.len() == 18 => Some(Record::Watermark {
+                side: bytes[1],
+                origin: u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes")),
+                origins: u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")),
+                ts: u64_at(10)?,
+            }),
+            3 if bytes.len() == 25 => Some(Record::Digest(JoinDigest {
+                count: u64_at(1)?,
+                xor: u64_at(9)?,
+                sum: u64_at(17)?,
+            })),
+            _ => None,
+        }
+    }
+}
+
+/// The SJ logical topology with calibrated cost profiles.
+pub fn topology() -> LogicalTopology {
+    let ghz = CALIBRATION_GHZ;
+    let mut b = TopologyBuilder::new("stream_join");
+    let left = b.add_spout(
+        "left_spout",
+        CostProfile::from_ns_at_ghz(300.0, 45.0, 96.0, 48.0, ghz),
+    );
+    let join = b.add_bolt(
+        "join",
+        // Te covers probe bookkeeping and pair emission; the state term
+        // prices the hash probe/insert plus the amortized eviction sweep.
+        CostProfile::from_ns_at_ghz(900.0, 70.0, 240.0, 64.0, ghz).with_state_access(350.0 * ghz),
+    );
+    let right = b.add_spout(
+        "right_spout",
+        CostProfile::from_ns_at_ghz(300.0, 45.0, 96.0, 48.0, ghz),
+    );
+    let sink = b.add_sink(
+        "sink",
+        CostProfile::from_ns_at_ghz(45.0, 10.0, 32.0, 16.0, ghz),
+    );
+    b.connect(left, "left", join, Partitioning::KeyBy);
+    b.connect(right, "right", join, Partitioning::KeyBy);
+    b.connect(join, DEFAULT_STREAM, sink, Partitioning::KeyBy);
+    // ≈ 127/32 matches per interior left tuple ⇒ ≈ 2 pairs per join input.
+    b.set_selectivity(join, None, DEFAULT_STREAM, 2.0);
+    // Pairs leave under the tuples' shared join key, so the KeyBy edge
+    // below the (key-confined) join is aligned and fuses pairwise.
+    b.set_key_preserving(join);
+    b.build().expect("SJ topology is valid")
+}
+
+/// One strided cursor through a side's global index space. A fresh spout
+/// replica owns exactly one (start `r`, stride `R`); a migrated spout may
+/// own several, carried over verbatim. A cursor never changes its stride:
+/// it keeps walking the residue class it was born with, so the union of
+/// all live cursors' futures stays exactly the un-emitted remainder of
+/// `0..total` under **any** successor replication — the match set stays
+/// bit-identical to the oracle across rescaling migrations. (Re-striding
+/// a resumed position to the new replica count would emit a different
+/// index set: overlaps duplicate matches, gaps drop them.)
+struct Cursor {
+    next_index: u64,
+    stride: u64,
+    remaining: u64,
+}
+
+/// `next_index | stride | remaining`, little-endian u64s.
+fn encode_cursor(c: &Cursor) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(24);
+    bytes.extend_from_slice(&c.next_index.to_le_bytes());
+    bytes.extend_from_slice(&c.stride.to_le_bytes());
+    bytes.extend_from_slice(&c.remaining.to_le_bytes());
+    bytes
+}
+
+fn decode_cursor(bytes: &[u8]) -> Option<Cursor> {
+    if bytes.len() != 24 {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8"));
+    Some(Cursor {
+        next_index: word(0),
+        stride: word(1),
+        remaining: word(2),
+    })
+}
+
+struct JoinSpout {
+    side: JoinSide,
+    cursors: Vec<Cursor>,
+}
+
+impl DynSpout for JoinSpout {
+    fn next(&mut self, collector: &mut Collector) -> SpoutStatus {
+        // Advance the lowest-indexed live cursor: each cursor's indices
+        // increase, so the merge order keeps this replica's event times —
+        // and, since origin identity rides the cursor, each origin's
+        // event times — monotone, which eviction safety rests on.
+        let Some(c) = self
+            .cursors
+            .iter_mut()
+            .filter(|c| c.remaining > 0)
+            .min_by_key(|c| c.next_index)
+        else {
+            return SpoutStatus::Exhausted;
+        };
+        c.remaining -= 1;
+        let idx = c.next_index;
+        // The origin is the cursor's lineage, not the hosting replica:
+        // every cursor descends from epoch one's replica `r` of `R`, so
+        // `idx % stride` and `stride` name that original (origin, origins)
+        // pair stably across any number of migrations.
+        let origin = (idx % c.stride) as u32;
+        let origins = c.stride as u32;
+        c.next_index += c.stride;
+        let (stream, key) = match self.side {
+            JoinSide::Left => ("left", left_key(idx)),
+            JoinSide::Right => ("right", right_key(idx)),
+        };
+        let t = JoinTuple {
+            side: self.side,
+            key,
+            seq: idx,
+            origin,
+            origins,
+        };
+        collector.send(stream, t, event_time(idx), key);
+        SpoutStatus::Emitted(1)
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        // One entry per cursor, keyed by its residue class so a modulo
+        // redistribution spreads resumed cursors across the successor's
+        // replicas without ever splitting or duplicating one.
+        Some(
+            self.cursors
+                .iter()
+                .map(|c| (c.next_index % c.stride, encode_cursor(c)))
+                .collect(),
+        )
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        // Replace the factory cursor wholesale: resumed cursors continue
+        // their original residue classes, and a replica handed nothing
+        // (the engine installs empty state into every replica of a
+        // migrated operator) emits nothing rather than re-deriving a
+        // fresh — already-emitted — share.
+        self.cursors = entries
+            .iter()
+            .filter_map(|(_, bytes)| decode_cursor(bytes))
+            .collect();
+    }
+}
+
+/// One side of the join's window state.
+#[derive(Default)]
+struct SideIndex {
+    /// Join key → live window entries `(seq, ts)` (arrival order; event
+    /// times interleave across origins, so eviction scans, not pops).
+    entries: HashMap<u64, Vec<(u64, u64)>>,
+    /// Origin replica → last event time seen from it.
+    last_seen: HashMap<u32, u64>,
+    /// Declared origin count (from tuple metadata), once known.
+    origins: Option<u32>,
+}
+
+impl SideIndex {
+    /// Lower bound on every future arrival from this side, or 0 while
+    /// some origin has not reported yet.
+    fn watermark(&self) -> u64 {
+        match self.origins {
+            Some(n) if self.last_seen.len() as u32 == n => {
+                self.last_seen.values().copied().min().unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    fn evict(&mut self, opposite_watermark: u64) {
+        if opposite_watermark == 0 {
+            return;
+        }
+        self.entries.retain(|_, v| {
+            v.retain(|&(_, ts)| ts + WINDOW_NS > opposite_watermark);
+            !v.is_empty()
+        });
+    }
+}
+
+/// The sliding-window hash join index of one bolt replica: both side
+/// indexes, their watermark bookkeeping, and the pair digest. Public so
+/// the property tier can replay random streams against it directly (the
+/// join bolt is a thin emission wrapper around this).
+#[derive(Default)]
+pub struct WindowJoin {
+    left: SideIndex,
+    right: SideIndex,
+    digest: JoinDigest,
+    processed: u64,
+}
+
+impl WindowJoin {
+    /// An empty join index.
+    pub fn new() -> WindowJoin {
+        WindowJoin::default()
+    }
+
+    /// Process one tuple timestamped `ts`: probe the opposite side's
+    /// index, then insert the tuple into its own — whichever tuple of a
+    /// pair reaches the index second emits it, exactly once. Matched
+    /// pairs are appended to `out`; the amortized eviction sweep runs
+    /// every [`EVICT_PERIOD`] tuples.
+    pub fn process(&mut self, t: &JoinTuple, ts: u64, out: &mut Vec<JoinedPair>) {
+        let (own, opposite) = match t.side {
+            JoinSide::Left => (&mut self.left, &mut self.right),
+            JoinSide::Right => (&mut self.right, &mut self.left),
+        };
+        own.origins.get_or_insert(t.origins);
+        let seen = own.last_seen.entry(t.origin).or_insert(0);
+        *seen = (*seen).max(ts);
+        if let Some(partners) = opposite.entries.get(&t.key) {
+            for &(seq, pts) in partners {
+                if pts.abs_diff(ts) < WINDOW_NS {
+                    let (left_seq, right_seq) = match t.side {
+                        JoinSide::Left => (t.seq, seq),
+                        JoinSide::Right => (seq, t.seq),
+                    };
+                    self.digest.add(pair_hash(t.key, left_seq, right_seq));
+                    out.push(JoinedPair {
+                        key: t.key,
+                        left_seq,
+                        right_seq,
+                    });
+                }
+            }
+        }
+        own.entries.entry(t.key).or_default().push((t.seq, ts));
+        self.processed += 1;
+        if self.processed % EVICT_PERIOD == 0 {
+            let right_wm = self.right.watermark();
+            let left_wm = self.left.watermark();
+            self.left.evict(right_wm);
+            self.right.evict(left_wm);
+        }
+    }
+
+    /// The digest of every pair this index has emitted.
+    pub fn digest(&self) -> JoinDigest {
+        self.digest
+    }
+
+    /// Live index rows across both sides (eviction observability).
+    pub fn live_entries(&self) -> usize {
+        self.left.entries.values().map(Vec::len).sum::<usize>()
+            + self.right.entries.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Serialize the whole index as tagged, key-routable state entries.
+    pub fn extract(&self) -> Vec<StateEntry> {
+        let mut out = Vec::new();
+        for (side_tag, side) in [(0u8, &self.left), (1u8, &self.right)] {
+            for (&key, entries) in &side.entries {
+                for &(seq, ts) in entries {
+                    out.push((key, state::encode_index(side_tag, seq, ts)));
+                }
+            }
+            if let Some(origins) = side.origins {
+                for (&origin, &ts) in &side.last_seen {
+                    out.push((0, state::encode_watermark(side_tag, origin, origins, ts)));
+                }
+            }
+        }
+        out.push((0, state::encode_digest(&self.digest)));
+        out
+    }
+
+    /// Merge serialized state entries into this index.
+    pub fn install(&mut self, entries: Vec<StateEntry>) {
+        for (key, bytes) in entries {
+            match state::decode(&bytes) {
+                Some(state::Record::Index { side, seq, ts }) => {
+                    let idx = if side == 0 {
+                        &mut self.left
+                    } else {
+                        &mut self.right
+                    };
+                    idx.entries.entry(key).or_default().push((seq, ts));
+                }
+                Some(state::Record::Watermark {
+                    side,
+                    origin,
+                    origins,
+                    ts,
+                }) => {
+                    let idx = if side == 0 {
+                        &mut self.left
+                    } else {
+                        &mut self.right
+                    };
+                    idx.origins = Some(origins);
+                    let seen = idx.last_seen.entry(origin).or_insert(0);
+                    *seen = (*seen).max(ts);
+                }
+                Some(state::Record::Digest(d)) => self.digest.merge(&d),
+                None => {}
+            }
+        }
+        // Merged per-key runs are no longer arrival-ordered; keep them
+        // deterministic by stream index (the digest is order-independent,
+        // this only normalizes probe emission order).
+        for idx in [&mut self.left, &mut self.right] {
+            for v in idx.entries.values_mut() {
+                v.sort_unstable();
+            }
+        }
+    }
+}
+
+struct JoinBolt {
+    index: WindowJoin,
+    matches: Vec<JoinedPair>,
+}
+
+impl JoinBolt {
+    fn new() -> JoinBolt {
+        JoinBolt {
+            index: WindowJoin::new(),
+            matches: Vec::new(),
+        }
+    }
+}
+
+impl DynBolt for JoinBolt {
+    fn execute(&mut self, tuple: &TupleView<'_>, collector: &mut Collector) {
+        let Some(t) = tuple.value::<JoinTuple>() else {
+            return;
+        };
+        self.matches.clear();
+        self.index.process(t, tuple.event_ns, &mut self.matches);
+        for p in self.matches.drain(..) {
+            collector.send_default(p, tuple.event_ns, p.key);
+        }
+    }
+
+    fn extract_state(&mut self) -> Option<Vec<StateEntry>> {
+        Some(self.index.extract())
+    }
+
+    fn install_state(&mut self, entries: Vec<StateEntry>) {
+        self.index.install(entries);
+    }
+}
+
+struct JoinSink;
+
+impl DynBolt for JoinSink {
+    fn execute(&mut self, _tuple: &TupleView<'_>, _collector: &mut Collector) {}
+}
+
+/// The runnable SJ application, streaming until stopped.
+pub fn app() -> AppRuntime {
+    app_sized(u64::MAX)
+}
+
+/// The runnable SJ application with a deterministic input budget of
+/// `total_events` tuples split across the two streams (and, within a
+/// stream, strided across spout replicas — see the module docs).
+pub fn app_sized(total_events: u64) -> AppRuntime {
+    let t = topology();
+    let ids: Vec<_> = OPERATORS
+        .iter()
+        .map(|n| t.find(n).expect("operator exists"))
+        .collect();
+    let (left_total, right_total) = side_totals(total_events);
+    let spout = move |side: JoinSide, total: u64| {
+        move |ctx: brisk_runtime::BoltContext| JoinSpout {
+            side,
+            cursors: vec![Cursor {
+                next_index: ctx.replica as u64,
+                stride: ctx.replicas as u64,
+                remaining: crate::replica_share(total, ctx.replica, ctx.replicas),
+            }],
+        }
+    };
+    AppRuntime::new(t)
+        .spout(ids[0], spout(JoinSide::Left, left_total))
+        .bolt(ids[1], |_| JoinBolt::new())
+        .spout(ids[2], spout(JoinSide::Right, right_total))
+        .sink(ids[3], |_| JoinSink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_shape() {
+        let t = topology();
+        assert_eq!(t.operator_count(), 4);
+        let join = t.find("join").expect("exists");
+        assert_eq!(t.producers_of(join).len(), 2, "two upstream spouts");
+        assert!(t.operator(join).is_key_preserving());
+        assert!(t.operator(join).cost.state_cycles > 0.0);
+    }
+
+    #[test]
+    fn oracle_matches_brute_force() {
+        let (l, r) = (200, 180);
+        let mut brute = JoinDigest::default();
+        for i in 0..l {
+            for j in 0..r {
+                if left_key(i) == right_key(j) && event_time(i).abs_diff(event_time(j)) < WINDOW_NS
+                {
+                    brute.add(pair_hash(left_key(i), i, j));
+                }
+            }
+        }
+        assert_eq!(oracle(l, r), brute);
+        assert!(brute.count > 0, "test workload must produce matches");
+        assert_eq!(oracle(10, 0), JoinDigest::default());
+    }
+
+    /// Drive a single JoinBolt replica through an interleaving and check
+    /// the digest against the oracle — the single-threaded base case of
+    /// the conformance tier.
+    #[test]
+    fn bolt_reproduces_the_oracle_single_threaded() {
+        let t = topology();
+        let join = t.find("join").expect("exists");
+        let (mut collector, taps) = Collector::capture(&t, join, 4096);
+        let mut bolt = JoinBolt::new();
+        let (l, r) = (300u64, 300u64);
+        // Alternate sides, each side in stream order (1 origin per side).
+        for i in 0..l.max(r) {
+            for (side, total, key_fn) in [
+                (JoinSide::Left, l, left_key as fn(u64) -> u64),
+                (JoinSide::Right, r, right_key as fn(u64) -> u64),
+            ] {
+                if i >= total {
+                    continue;
+                }
+                let jt = JoinTuple {
+                    side,
+                    key: key_fn(i),
+                    seq: i,
+                    origin: 0,
+                    origins: 1,
+                };
+                let view = TupleView::of_value(&jt, event_time(i), jt.key);
+                bolt.execute(&view, &mut collector);
+            }
+        }
+        collector.flush_all();
+        assert_eq!(bolt.index.digest(), oracle(l, r));
+        // The emitted pair stream carries the same multiset.
+        let mut emitted = JoinDigest::default();
+        for (stream, queue) in taps {
+            assert_eq!(stream, DEFAULT_STREAM);
+            while let Some(jumbo) = queue.try_pop() {
+                for i in 0..jumbo.batch.len() {
+                    let tup = jumbo.batch.to_tuple(i);
+                    let p = TupleView::of_tuple(&tup)
+                        .value::<JoinedPair>()
+                        .copied()
+                        .expect("pair");
+                    emitted.add(pair_hash(p.key, p.left_seq, p.right_seq));
+                }
+            }
+        }
+        assert_eq!(emitted, oracle(l, r));
+        // Eviction actually ran: the index holds far fewer than l+r rows.
+        let live = bolt.index.live_entries();
+        assert!(
+            live < 4 * WINDOW_TICKS as usize,
+            "index grew unbounded: {live}"
+        );
+    }
+
+    /// Drive one spout up to `limit` emissions, returning the emitted
+    /// global indices.
+    fn drain_spout(spout: &mut JoinSpout, limit: u64) -> Vec<u64> {
+        let t = topology();
+        let op = t.find("left_spout").expect("exists");
+        let (mut c, taps) = Collector::capture(&t, op, 8192);
+        let mut n = 0;
+        while n < limit {
+            match spout.next(&mut c) {
+                SpoutStatus::Emitted(_) => n += 1,
+                _ => break,
+            }
+        }
+        c.flush_all();
+        let mut seqs = Vec::new();
+        for (_, q) in taps {
+            while let Some(j) = q.try_pop() {
+                for i in 0..j.batch.len() {
+                    let tup = j.batch.to_tuple(i);
+                    let jt = TupleView::of_tuple(&tup)
+                        .value::<JoinTuple>()
+                        .copied()
+                        .expect("join tuple");
+                    seqs.push(jt.seq);
+                }
+            }
+        }
+        seqs
+    }
+
+    /// Cursors carried across hand-offs that GROW (2→3) and then SHRINK
+    /// (3→1) the replication still emit exactly `0..total` — no index is
+    /// duplicated or dropped, so the oracle match set survives rescaling
+    /// migrations — and a replica hosting several inherited cursors keeps
+    /// every origin's event times monotone.
+    #[test]
+    fn spout_cursors_survive_rescaling_hand_offs_exactly() {
+        let total = 101u64;
+        let fresh = |replicas: u64| -> Vec<JoinSpout> {
+            (0..replicas)
+                .map(|r| JoinSpout {
+                    side: JoinSide::Left,
+                    cursors: vec![Cursor {
+                        next_index: r,
+                        stride: replicas,
+                        remaining: crate::replica_share(total, r as usize, replicas as usize),
+                    }],
+                })
+                .collect()
+        };
+        // Epoch one: two replicas, paused mid-budget.
+        let mut spouts = fresh(2);
+        let mut emitted: Vec<u64> = Vec::new();
+        for s in &mut spouts {
+            emitted.extend(drain_spout(s, 17));
+        }
+        // Grow to three replicas: the third inherits no cursor and must
+        // emit nothing (empty install), not a fresh factory share.
+        let entries: Vec<StateEntry> = spouts
+            .iter_mut()
+            .flat_map(|s| s.extract_state().expect("stateful"))
+            .collect();
+        let mut grown = fresh(3);
+        for (r, s) in grown.iter_mut().enumerate() {
+            s.install_state(
+                entries
+                    .iter()
+                    .filter(|e| e.0 as usize % 3 == r)
+                    .cloned()
+                    .collect(),
+            );
+        }
+        assert!(drain_spout(&mut grown[2], u64::MAX).is_empty());
+        for s in &mut grown[..2] {
+            emitted.extend(drain_spout(s, 11));
+        }
+        // Shrink to one replica: it hosts both surviving cursors.
+        let entries: Vec<StateEntry> = grown
+            .iter_mut()
+            .flat_map(|s| s.extract_state().expect("stateful"))
+            .collect();
+        let mut merged = fresh(1).pop().expect("one replica");
+        merged.install_state(entries);
+        let tail = drain_spout(&mut merged, u64::MAX);
+        // Min-index merge order: each origin's (stride-2 lineage) event
+        // times keep increasing even through the shared host replica.
+        for origin in 0..2u64 {
+            let of_origin: Vec<u64> = tail.iter().filter(|&&i| i % 2 == origin).copied().collect();
+            assert!(
+                of_origin.windows(2).all(|w| w[0] < w[1]),
+                "origin {origin} went backwards: {of_origin:?}"
+            );
+        }
+        emitted.extend(tail);
+        emitted.sort_unstable();
+        assert_eq!(
+            emitted,
+            (0..total).collect::<Vec<_>>(),
+            "rescaling hand-offs must conserve the emitted index set exactly"
+        );
+    }
+
+    #[test]
+    fn bolt_state_round_trips_through_the_wire_format() {
+        let mut bolt = JoinBolt::new();
+        let c = &mut Collector::capture(&topology(), topology().find("join").expect("j"), 256).0;
+        for i in 0..50u64 {
+            for (side, key) in [
+                (JoinSide::Left, left_key(i)),
+                (JoinSide::Right, right_key(i)),
+            ] {
+                let jt = JoinTuple {
+                    side,
+                    key,
+                    seq: i,
+                    origin: 0,
+                    origins: 1,
+                };
+                bolt.execute(&TupleView::of_value(&jt, event_time(i), key), c);
+            }
+        }
+        let entries = bolt.extract_state().expect("stateful");
+        let mut restored = JoinBolt::new();
+        restored.install_state(entries);
+        assert_eq!(restored.index.digest(), bolt.index.digest());
+        assert_eq!(restored.index.left.watermark(), bolt.index.left.watermark());
+        assert_eq!(
+            restored.index.right.watermark(),
+            bolt.index.right.watermark()
+        );
+        assert_eq!(restored.index.live_entries(), bolt.index.live_entries());
+    }
+
+    #[test]
+    fn side_totals_conserve_the_budget() {
+        for total in [0u64, 1, 2, 7, 1001] {
+            let (l, r) = side_totals(total);
+            assert_eq!(l + r, total);
+            assert!(l >= r);
+        }
+    }
+
+    #[test]
+    fn app_validates() {
+        assert!(app().validate().is_ok());
+    }
+}

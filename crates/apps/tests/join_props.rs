@@ -1,0 +1,179 @@
+//! Property tests for the sliding-window join index.
+//!
+//! Random two-sided tuple streams — random keys, random origin counts,
+//! random cross-side and cross-origin interleavings — are replayed
+//! through [`WindowJoin`] and checked against a naive `O(n²)` oracle
+//! over the *same* fed tuples:
+//!
+//! * **Identical match sets** — the digest of emitted pairs equals the
+//!   oracle digest (order-independent multiset equality), so eviction
+//!   never dropped an in-window tuple before its last partner arrived.
+//! * **No cross-boundary matches** — every emitted pair's timestamps
+//!   satisfy `|tl − tr| < WINDOW_NS` strictly.
+//! * **Eviction does evict** — the live index stays within the bound a
+//!   correct watermark sweep implies, so the multiset equality above is
+//!   not earned by never evicting at all.
+
+use brisk_apps::stream_join::{
+    pair_hash, JoinDigest, JoinSide, JoinTuple, JoinedPair, WindowJoin, EVICT_PERIOD, WINDOW_NS,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One fed tuple: side, key, origin, and its event timestamp.
+#[derive(Debug, Clone, Copy)]
+struct Fed {
+    side: JoinSide,
+    key: u64,
+    seq: u64,
+    origin: u32,
+    ts: u64,
+}
+
+/// Decode fuzzer integers into a valid stream: per-(side, origin) event
+/// times are strictly increasing (the delivery-order invariant the real
+/// spouts provide), everything else is adversarial.
+fn decode(raw: &[(u8, u8, u8)], origins: [u32; 2]) -> Vec<Fed> {
+    // Per (side, origin) running clock, advanced by 1..=32 ticks of 1000.
+    let mut clocks = [
+        vec![0u64; origins[0] as usize],
+        vec![0u64; origins[1] as usize],
+    ];
+    let mut seqs = [0u64; 2];
+    raw.iter()
+        .map(|&(s, k, dt)| {
+            let side_idx = (s % 2) as usize;
+            let side = if side_idx == 0 {
+                JoinSide::Left
+            } else {
+                JoinSide::Right
+            };
+            let origin = (s as u32 / 2) % origins[side_idx];
+            let clock = &mut clocks[side_idx][origin as usize];
+            *clock += 1_000 * (1 + (dt as u64 % 32));
+            let seq = seqs[side_idx];
+            seqs[side_idx] += 1;
+            Fed {
+                side,
+                key: (k % 8) as u64,
+                seq,
+                origin,
+                ts: *clock,
+            }
+        })
+        .collect()
+}
+
+/// The naive oracle: every cross-side pair with equal keys and strictly
+/// in-window timestamps, regardless of arrival order.
+fn naive_digest(fed: &[Fed]) -> JoinDigest {
+    let mut d = JoinDigest::default();
+    for l in fed.iter().filter(|f| f.side == JoinSide::Left) {
+        for r in fed.iter().filter(|f| f.side == JoinSide::Right) {
+            if l.key == r.key && l.ts.abs_diff(r.ts) < WINDOW_NS {
+                d.add(pair_hash(l.key, l.seq, r.seq));
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The window index reproduces the naive oracle's match multiset on
+    /// any valid stream, emits no out-of-window pair, and keeps the live
+    /// index bounded.
+    #[test]
+    fn window_join_matches_naive_oracle(
+        raw in vec((0u8..=255, 0u8..=255, 0u8..=255), 1..400),
+        lo in 1u32..3,
+        ro in 1u32..3,
+    ) {
+        let origins = [lo, ro];
+        let fed = decode(&raw, origins);
+        let mut join = WindowJoin::new();
+        let mut emitted = JoinDigest::default();
+        let mut pairs: Vec<JoinedPair> = Vec::new();
+        // Timestamp lookup for the boundary check.
+        let ts_of = |side: JoinSide, seq: u64| {
+            fed.iter()
+                .find(|f| f.side == side && f.seq == seq)
+                .expect("emitted pair references a fed tuple")
+                .ts
+        };
+        for f in &fed {
+            let t = JoinTuple {
+                side: f.side,
+                key: f.key,
+                seq: f.seq,
+                origin: f.origin,
+                origins: origins[(f.side == JoinSide::Right) as usize],
+            };
+            pairs.clear();
+            join.process(&t, f.ts, &mut pairs);
+            for p in &pairs {
+                // No matches across the window boundary, ever.
+                let (tl, tr) = (ts_of(JoinSide::Left, p.left_seq), ts_of(JoinSide::Right, p.right_seq));
+                prop_assert!(tl.abs_diff(tr) < WINDOW_NS, "out-of-window pair {p:?}");
+                emitted.add(pair_hash(p.key, p.left_seq, p.right_seq));
+            }
+        }
+        // Identical match multiset: nothing in-window was evicted early,
+        // nothing was emitted twice or invented.
+        prop_assert_eq!(emitted, naive_digest(&fed));
+        prop_assert_eq!(join.digest(), emitted);
+        // Eviction keeps the index bounded: entries older than a full
+        // window beyond the opposite watermark survive at most one
+        // amortization period plus the pre-watermark warmup per origin.
+        let max_live = fed.len().min(
+            EVICT_PERIOD as usize
+                + (origins[0] + origins[1]) as usize * 2 * (WINDOW_NS as usize / 1_000),
+        );
+        prop_assert!(
+            join.live_entries() <= max_live,
+            "live {} > bound {}",
+            join.live_entries(),
+            max_live
+        );
+    }
+
+    /// extract/install round-trips preserve the digest and the live rows
+    /// under any split point mid-stream, and the restored index finishes
+    /// the stream with the exact oracle multiset.
+    #[test]
+    fn state_handoff_mid_stream_is_lossless(
+        raw in vec((0u8..=255, 0u8..=255, 0u8..=255), 2..300),
+        cut_pct in 0u8..100,
+    ) {
+        let origins = [2u32, 2];
+        let fed = decode(&raw, origins);
+        let cut = fed.len() * cut_pct as usize / 100;
+        let mut join = WindowJoin::new();
+        let mut sink = Vec::new();
+        let mut emitted = JoinDigest::default();
+        for (i, f) in fed.iter().enumerate() {
+            if i == cut {
+                // Hand the whole index off through the wire format.
+                let mut successor = WindowJoin::new();
+                successor.install(join.extract());
+                prop_assert_eq!(successor.digest(), join.digest());
+                prop_assert_eq!(successor.live_entries(), join.live_entries());
+                join = successor;
+            }
+            let t = JoinTuple {
+                side: f.side,
+                key: f.key,
+                seq: f.seq,
+                origin: f.origin,
+                origins: 2,
+            };
+            sink.clear();
+            join.process(&t, f.ts, &mut sink);
+            for p in &sink {
+                emitted.add(pair_hash(p.key, p.left_seq, p.right_seq));
+            }
+        }
+        prop_assert_eq!(emitted, naive_digest(&fed));
+    }
+}

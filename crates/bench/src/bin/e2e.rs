@@ -1,13 +1,13 @@
 //! `e2e` — the end-to-end measured-vs-predicted harness driver.
 //!
 //! Runs the profile → optimize → execute → compare loop
-//! ([`brisk_bench::e2e`]) for the four paper applications, prints a summary
+//! ([`brisk_bench::e2e`]) for the six benchmark applications, prints a summary
 //! table, and writes `BENCH_e2e.json`. Exits non-zero when any app fails to
 //! plan, panics, or measures zero throughput — the CI smoke gate.
 //!
 //! ```text
 //! cargo run --release -p brisk-bench --bin e2e -- [--smoke|--full] \
-//!     [--elastic] [--out PATH] [--apps WC,FD,SD,LR] \
+//!     [--elastic] [--out PATH] [--apps WC,FD,SD,LR,SJ,SI] \
 //!     [--inject spout-panic|mid-bolt-panic|sink-panic]
 //! ```
 //!
@@ -217,7 +217,7 @@ fn main() {
                         *APPS
                             .iter()
                             .find(|k| k.eq_ignore_ascii_case(a.trim()))
-                            .unwrap_or_else(|| panic!("unknown app '{a}' (use WC,FD,SD,LR)"))
+                            .unwrap_or_else(|| panic!("unknown app '{a}' (use WC,FD,SD,LR,SJ,SI)"))
                     })
                     .collect();
             }
@@ -225,7 +225,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: e2e [--smoke|--full] [--elastic] [--out PATH] \
-                     [--apps WC,FD,SD,LR] [--inject {}]",
+                     [--apps WC,FD,SD,LR,SJ,SI] [--inject {}]",
                     INJECT_MODES.join("|")
                 );
                 std::process::exit(2);
@@ -292,6 +292,17 @@ fn main() {
                 // pushed nothing. (The total-crossings delta also appears
                 // in the JSON, but it carries partial-flush timing noise
                 // on unfused edges, so it is reported rather than gated.)
+                // Exactly-once accounting: where the app has a
+                // content-independent expected sink count (SJ: the
+                // reference join oracle's match count), every
+                // steady-state leg must deliver it exactly.
+                if !r.sink_exact {
+                    failures.push(format!(
+                        "{app}: a steady-state leg missed the expected sink count {:?} \
+                         (SJ: the reference join oracle)",
+                        r.expected_sink_events
+                    ));
+                }
                 if r.fusion.fused_ops > 0 && !r.fusion.fused_edges_silent {
                     failures.push(format!(
                         "{app}: fusion did not silence fused edges ({} fused ops, crossings {} vs {})",

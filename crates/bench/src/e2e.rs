@@ -3,7 +3,7 @@
 //! The paper's central claim (Sections 3–5, Figure 14) is that the
 //! rate-based NUMA-aware model predicts real execution well enough for RLAS
 //! to pick winning plans. This module closes that loop on the real engine,
-//! for each of the four benchmark applications:
+//! for each of the six benchmark applications:
 //!
 //! 1. **Profile** — time the real Rust operators in isolation
 //!    ([`brisk_core::profiler::live_profile`]) and write the medians back
@@ -48,8 +48,9 @@ use brisk_runtime::{
 };
 use std::time::Duration;
 
-/// The four paper applications, in harness order.
-pub const APPS: [&str; 4] = ["WC", "FD", "SD", "LR"];
+/// The four paper applications plus the join tier (the windowed stream
+/// join and the shared-arrangement diamond), in harness order.
+pub const APPS: [&str; 6] = ["WC", "FD", "SD", "LR", "SJ", "SI"];
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -303,6 +304,15 @@ pub struct AppE2e {
     pub fusion: FusionAB,
     /// The thread-per-replica vs core-pool A/B on the default fabric.
     pub scheduler: SchedulerAB,
+    /// The content-independent expected sink count for the steady-state
+    /// legs (SJ: the single-threaded join oracle's match count), where the
+    /// app has one.
+    pub expected_sink_events: Option<u64>,
+    /// Every steady-state leg (each fabric, plus the fusion-off A/B)
+    /// delivered exactly [`AppE2e::expected_sink_events`] sink tuples —
+    /// the harness's exactly-once accounting gate. Vacuously true for
+    /// apps with no content-independent expectation.
+    pub sink_exact: bool,
     /// Measured throughput of the round-robin placement of the same
     /// replication, default fabric.
     pub rr_throughput: f64,
@@ -360,9 +370,11 @@ fn measure(
 }
 
 /// The operator whose per-tuple cost steps mid-run in the elastic leg:
-/// index 1 is the parser in every app's pipeline order, an operator cheap
-/// enough pre-drift that the initial plan gives it minimal replication —
-/// exactly the shape the controller must then grow out of.
+/// index 1 is the parser in every linear app's pipeline order — and the
+/// stateful bolt (SJ's window join, SI's arranging index) in the join
+/// tier — an operator cheap enough pre-drift that the initial plan gives
+/// it minimal replication, exactly the shape the controller must then
+/// grow out of.
 const DRIFTED_OP: usize = 1;
 
 /// The cost step: large against any parser's real per-tuple cost, so drift
@@ -402,12 +414,20 @@ fn drifting_app(abbrev: &str, budget: u64, drift_onset: u64) -> Option<AppRuntim
 /// WC's splitter emits exactly [`word_count::WORDS_PER_SENTENCE`] words
 /// per sentence and its counter is 1:1; FD's and SD's pipelines are
 /// selectivity-1 end to end (generated amounts are always positive,
-/// readings always finite). LR's sink counts depend on generated content,
-/// so only source conservation is checkable there.
+/// readings always finite); SJ's matched-pair count is the single-threaded
+/// reference oracle's, computable from the budget alone — the exactly-once
+/// join gate every leg must hit regardless of plan, fabric, or migration.
+/// LR's sink counts depend on generated content, and SI's window-aggregate
+/// deliveries scale with the plan's broadcast fan-out, so only source
+/// conservation is checkable there.
 fn expected_sink_events(abbrev: &str, budget: u64) -> Option<u64> {
     match abbrev {
         "WC" => Some(budget * word_count::WORDS_PER_SENTENCE as u64),
         "FD" | "SD" => Some(budget),
+        "SJ" => {
+            let (left, right) = brisk_apps::stream_join::side_totals(budget);
+            Some(brisk_apps::stream_join::oracle(left, right).count)
+        }
         _ => None,
     }
 }
@@ -730,6 +750,15 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
     // same initial plan the steady-state runs above executed.
     let elastic = run_elastic_with(abbrev, opts, &calibrated, &rlas.plan)?;
 
+    // Exactly-once accounting across the steady-state legs: where a
+    // content-independent sink count exists (for SJ, the reference join
+    // oracle's match count), every fabric leg and the fusion-off A/B must
+    // deliver exactly that many tuples.
+    let expected_steady = expected_sink_events(abbrev, opts.event_budget);
+    let sink_exact = expected_steady.map_or(true, |expected| {
+        measured.iter().all(|m| m.sink_events == expected) && unfused.sink_events == expected
+    });
+
     Ok(AppE2e {
         app: abbrev,
         operators: topology.operators().map(|(_, s)| s.name.clone()).collect(),
@@ -749,13 +778,15 @@ pub fn run_app(abbrev: &'static str, opts: &E2eOptions) -> Result<AppE2e, String
         measured,
         fusion,
         scheduler,
+        expected_sink_events: expected_steady,
+        sink_exact,
         rr_throughput: rr.throughput,
         rlas_over_rr: rlas_default / rr.throughput.max(f64::MIN_POSITIVE),
         elastic,
     })
 }
 
-/// Run the harness over all four applications.
+/// Run the harness over all six applications.
 pub fn run_all(opts: &E2eOptions) -> Result<Vec<AppE2e>, String> {
     APPS.iter().map(|a| run_app(a, opts)).collect()
 }
@@ -1084,6 +1115,14 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
             ratio(r.scheduler.core_pool_over_thread),
         ));
         out.push_str(&format!(
+            "      \"sink_accounting\": {{\"expected_sink_events\": {}, \"sink_exact\": {}}},\n",
+            match r.expected_sink_events {
+                Some(x) => x.to_string(),
+                None => "null".to_string(),
+            },
+            r.sink_exact,
+        ));
+        out.push_str(&format!(
             "      \"round_robin\": {{\"throughput\": {}, \"rlas_over_rr\": {}}},\n",
             num(r.rr_throughput),
             ratio(r.rlas_over_rr)
@@ -1123,6 +1162,15 @@ pub fn to_json(results: &[AppE2e], mode: &str, opts: &E2eOptions) -> String {
         "  \"fusion_acceptance\": \"fusion reduces queue crossings on every app with a \
          fusable chain: {}\",\n",
         if fusion_ok { "PASS" } else { "FAIL" }
+    ));
+    // Where a content-independent sink count exists, every steady-state leg
+    // delivered it exactly — for SJ that count is the reference join
+    // oracle's, so this line is the harness's join-conformance gate.
+    let sink_ok = results.iter().all(|r| r.sink_exact);
+    out.push_str(&format!(
+        "  \"sink_acceptance\": \"every steady-state leg delivers the content-independent \
+         expected sink count exactly (SJ: the reference join oracle's match count): {}\",\n",
+        if sink_ok { "PASS" } else { "FAIL" }
     ));
     // The pool time-shares workers where thread-per-replica gets dedicated
     // threads, so parity (within 10%) is the bar, not a win.
@@ -1225,6 +1273,12 @@ mod tests {
         assert_eq!(expected_sink_events("FD", 500), Some(500));
         assert_eq!(expected_sink_events("SD", 500), Some(500));
         assert_eq!(expected_sink_events("LR", 500), None);
+        let (left, right) = brisk_apps::stream_join::side_totals(500);
+        let oracle = brisk_apps::stream_join::oracle(left, right);
+        assert!(oracle.count > 0, "a 500-tuple budget must produce matches");
+        assert_eq!(expected_sink_events("SJ", 500), Some(oracle.count));
+        // SI's agg deliveries scale with broadcast fan-out: plan-dependent.
+        assert_eq!(expected_sink_events("SI", 500), None);
     }
 
     #[test]
@@ -1271,12 +1325,16 @@ mod tests {
                 core_pool_throughput: 950.0,
                 core_pool_over_thread: 0.9507,
             },
+            expected_sink_events: Some(100),
+            sink_exact: true,
             rr_throughput: 500.0,
             rlas_over_rr: 1.99,
             elastic: fake_elastic(),
         };
         let json = to_json(&[fake], "smoke", &E2eOptions::tiny());
         assert!(json.contains("\"guard\": {\"wc\": 999.2}"), "{json}");
+        assert!(json.contains("\"sink_acceptance\""), "{json}");
+        assert!(json.contains("\"sink_exact\": true"), "{json}");
         assert!(json.contains("\"elastic_acceptance\""), "{json}");
         assert!(json.contains("\"replans\": 1"), "{json}");
         let guard = extract_guard(&json);

@@ -154,12 +154,15 @@ pub fn instantiate(
             continue;
         }
         let te_ns = profiles[i].median_ns();
+        // The measured median replaces Te only; the declared overhead and
+        // state-access terms survive the calibration.
         let cost = CostProfile::new(
             te_ns * clock_hz / 1e9,
             spec.cost.overhead_cycles,
             spec.cost.mem_bytes_per_tuple,
             spec.cost.output_bytes,
-        );
+        )
+        .with_state_access(spec.cost.state_cycles);
         out.set_cost(op, cost);
     }
     out

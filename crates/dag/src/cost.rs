@@ -31,6 +31,13 @@ pub struct CostProfile {
     /// A downstream operator placed on a remote socket pays
     /// `ceil(N / S) * L(i,j)` nanoseconds to fetch each of them (Formula 2).
     pub output_bytes: f64,
+    /// State-access cycles per input tuple for operators that maintain an
+    /// index or window: the hash probe/insert plus the *amortized* share
+    /// of periodic eviction sweeps. Charged identically under every
+    /// placement (state lives with its replica), so it tightens the
+    /// model's capacity estimate without perturbing the B&B bound's
+    /// admissibility. Zero for stateless operators.
+    pub state_cycles: f64,
 }
 
 impl CostProfile {
@@ -50,7 +57,17 @@ impl CostProfile {
             overhead_cycles,
             mem_bytes_per_tuple,
             output_bytes,
+            state_cycles: 0.0,
         }
+    }
+
+    /// Attach a per-tuple state-access cost (probe + amortized eviction
+    /// cycles) to this profile — builder-style, so stateless call sites
+    /// keep the four-argument constructor.
+    pub fn with_state_access(mut self, state_cycles: f64) -> CostProfile {
+        assert!(state_cycles >= 0.0, "negative state-access cost");
+        self.state_cycles = state_cycles;
+        self
     }
 
     /// Profile from nanosecond measurements taken on a machine running at
@@ -78,9 +95,9 @@ impl CostProfile {
     }
 
     /// Total per-tuple CPU cycles excluding any remote-fetch penalty:
-    /// `Te + Others`.
+    /// `Te + Others + state access`.
     pub fn local_cycles(&self) -> f64 {
-        self.exec_cycles + self.overhead_cycles
+        self.exec_cycles + self.overhead_cycles + self.state_cycles
     }
 
     /// Execution time `Te` in nanoseconds at the given clock.
@@ -103,6 +120,7 @@ impl CostProfile {
             self.mem_bytes_per_tuple,
             self.output_bytes,
         )
+        .with_state_access(self.state_cycles * exec_factor)
     }
 
     /// Add flat per-tuple cycles (e.g. per-tuple serialization cost).
@@ -113,6 +131,7 @@ impl CostProfile {
             self.mem_bytes_per_tuple,
             self.output_bytes,
         )
+        .with_state_access(self.state_cycles)
     }
 
     /// Add flat per-tuple cycles to the *execution* component (e.g. the
@@ -125,6 +144,12 @@ impl CostProfile {
             self.mem_bytes_per_tuple,
             self.output_bytes,
         )
+        .with_state_access(self.state_cycles)
+    }
+
+    /// State-access time in nanoseconds at the given clock.
+    pub fn state_ns(&self, clock_hz: f64) -> f64 {
+        self.state_cycles / clock_hz * 1e9
     }
 }
 
@@ -163,5 +188,19 @@ mod tests {
     #[should_panic]
     fn negative_cost_rejected() {
         CostProfile::new(-1.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn state_access_survives_every_builder() {
+        let p = CostProfile::new(100.0, 10.0, 5.0, 64.0).with_state_access(30.0);
+        assert_eq!(p.state_cycles, 30.0);
+        assert_eq!(p.local_cycles(), 140.0);
+        assert!((p.state_ns(1.2e9) - 25.0).abs() < 1e-9);
+        // Every derived profile keeps (or consistently scales) the term.
+        assert_eq!(p.scaled(2.0, 1.0).state_cycles, 60.0);
+        assert_eq!(p.with_extra_overhead(7.0).state_cycles, 30.0);
+        assert_eq!(p.with_extra_exec(7.0).state_cycles, 30.0);
+        // Stateless call sites are unchanged.
+        assert_eq!(CostProfile::trivial().state_cycles, 0.0);
     }
 }

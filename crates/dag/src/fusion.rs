@@ -502,6 +502,40 @@ mod tests {
     }
 
     #[test]
+    fn join_shaped_keyby_confluence_is_confined_and_fuses_downstream() {
+        // Join shape: two spouts KeyBy into one index-maintaining op. The
+        // op itself can never fuse away (two upstream operators), but both
+        // of its inputs are KeyBy over the same replica set, so it IS
+        // key-confined — and when it preserves keys, its aligned-KeyBy
+        // downstream edge fuses pairwise at equal counts.
+        let build = |preserving: bool| {
+            let mut b = TopologyBuilder::new("join");
+            let l = b.add_spout("left", CostProfile::trivial());
+            let r = b.add_spout("right", CostProfile::trivial());
+            let j = b.add_bolt("join", CostProfile::trivial().with_state_access(50.0));
+            let k = b.add_sink("sink", CostProfile::trivial());
+            b.connect(l, "left", j, Partitioning::KeyBy);
+            b.connect(r, "right", j, Partitioning::KeyBy);
+            b.connect(j, DEFAULT_STREAM, k, Partitioning::KeyBy);
+            if preserving {
+                b.set_key_preserving(j);
+            }
+            b.build().expect("valid")
+        };
+        let t = build(true);
+        let j = t.find("join").expect("join");
+        let k = t.find("sink").expect("sink");
+        let plan = FusionPlan::compute(&t, &[2, 2, 3, 3], None);
+        assert!(!plan.is_fused_away(j), "two upstream operators");
+        assert!(plan.is_fused_away(k), "aligned KeyBy below the join fuses");
+        assert!(plan.is_edge_fused(2));
+        assert_eq!(plan.direct_host_of(k), j);
+        // Without the key-preserving promise the confluence stays queued.
+        let unproven = FusionPlan::compute(&build(false), &[2, 2, 3, 3], None);
+        assert!(!unproven.is_fused_away(k));
+    }
+
+    #[test]
     fn forward_relays_confinement_through_a_fused_pair() {
         // s -> a (KeyBy) -> x (Forward) -> y (KeyBy) -> k: x receives a's
         // confined keys 1:1 and preserves them, so x -> y is aligned too

@@ -85,6 +85,10 @@ pub struct VertexRates {
     pub exec_ns: f64,
     /// Average engine overhead ("Others") per tuple, ns.
     pub overhead_ns: f64,
+    /// Average state-access time per tuple (index probe + amortized
+    /// eviction) for stateful operators, ns. Placement-independent: state
+    /// lives with its replica, so every placement pays it identically.
+    pub state_ns: f64,
     /// Average remote-fetch time `Tf` per tuple under this placement, ns.
     pub tf_ns: f64,
     /// Average queue-crossing overhead per tuple, ns — zero unless the
@@ -99,7 +103,7 @@ pub struct VertexRates {
 impl VertexRates {
     /// Full per-tuple handling time `T(p)` in ns.
     pub fn total_ns(&self) -> f64 {
-        self.exec_ns + self.overhead_ns + self.tf_ns + self.queue_ns
+        self.exec_ns + self.overhead_ns + self.state_ns + self.tf_ns + self.queue_ns
     }
 }
 
@@ -435,6 +439,7 @@ impl<'m> Evaluator<'m> {
 
         let mut exec_ns = vec![0.0f64; nv];
         let mut overhead_ns = vec![0.0f64; nv];
+        let mut state_ns = vec![0.0f64; nv];
         let mut tf_ns = vec![0.0f64; nv];
         let mut queue_ns = vec![0.0f64; nv];
         let mut capacity = vec![0.0f64; nv];
@@ -442,11 +447,16 @@ impl<'m> Evaluator<'m> {
             let spec = graph.spec_of(vid);
             exec_ns[vid.0] = spec.cost.exec_cycles / clock * 1e9;
             overhead_ns[vid.0] = spec.cost.overhead_cycles / clock * 1e9;
+            state_ns[vid.0] = spec.cost.state_cycles / clock * 1e9;
             if in_factor[vid.0] > 0.0 {
                 tf_ns[vid.0] = weighted_tf[vid.0] / in_factor[vid.0];
                 queue_ns[vid.0] = weighted_queue[vid.0] / in_factor[vid.0];
             }
-            let t = exec_ns[vid.0] + overhead_ns[vid.0] + tf_ns[vid.0] + queue_ns[vid.0];
+            let t = exec_ns[vid.0]
+                + overhead_ns[vid.0]
+                + state_ns[vid.0]
+                + tf_ns[vid.0]
+                + queue_ns[vid.0];
             capacity[vid.0] = if t > 0.0 {
                 vertex.multiplicity as f64 * 1e9 / t * share_factor(placement.socket_of(vid))
             } else {
@@ -487,7 +497,11 @@ impl<'m> Evaluator<'m> {
                         .map(|&op| {
                             let v = graph.vertices_of(op)[g];
                             demand(v)
-                                * (exec_ns[v.0] + overhead_ns[v.0] + tf_ns[v.0] + queue_ns[v.0])
+                                * (exec_ns[v.0]
+                                    + overhead_ns[v.0]
+                                    + state_ns[v.0]
+                                    + tf_ns[v.0]
+                                    + queue_ns[v.0])
                         })
                         .sum();
                     let budget_ns = graph.vertex(root_v).multiplicity as f64
@@ -570,6 +584,7 @@ impl<'m> Evaluator<'m> {
                 output_rate: 0.0,
                 exec_ns: 0.0,
                 overhead_ns: 0.0,
+                state_ns: 0.0,
                 tf_ns: 0.0,
                 queue_ns: 0.0,
                 bottleneck: false,
@@ -612,6 +627,7 @@ impl<'m> Evaluator<'m> {
                 output_rate: output,
                 exec_ns: exec_ns[vid.0],
                 overhead_ns: overhead_ns[vid.0],
+                state_ns: state_ns[vid.0],
                 tf_ns: tf_ns[vid.0],
                 queue_ns: queue_ns[vid.0],
                 bottleneck: pressure[vertex.op.0] > 1.0 + BOTTLENECK_TOLERANCE,
@@ -909,6 +925,79 @@ mod tests {
         let g1 = ExecutionGraph::new(&t, &[1, 1, 1], 1);
         let empty = Placement::empty(g1.vertex_count());
         assert_eq!(ev.bounding().bound(&g1, &empty), ev.bound(&g1, &empty));
+    }
+
+    /// Like [`linear_topology`] but the bolt carries a state-access term
+    /// (index probe + amortized eviction), as the join apps do.
+    fn stateful_topology() -> brisk_dag::LogicalTopology {
+        let mut b = TopologyBuilder::new("stateful");
+        let s = b.add_spout("spout", CostProfile::new(100.0, 0.0, 64.0, 64.0));
+        let x = b.add_bolt(
+            "join",
+            CostProfile::new(200.0, 0.0, 64.0, 64.0).with_state_access(100.0),
+        );
+        let k = b.add_sink("sink", CostProfile::new(50.0, 0.0, 64.0, 64.0));
+        b.connect_shuffle(s, x);
+        b.connect_shuffle(x, k);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn state_access_cost_gates_capacity() {
+        // At 1 GHz the join bolt spends 200 ns executing + 100 ns probing
+        // its window index per tuple: capacity 1e9/300 ≈ 3.33M, strictly
+        // below the stateless variant's 5M, and the per-vertex breakdown
+        // reports the state share separately.
+        let m = toy_machine();
+        let t = stateful_topology();
+        let g = ExecutionGraph::new(&t, &[1, 1, 1], 1);
+        let placement = Placement::all_on(g.vertex_count(), SocketId(0));
+        let eval = Evaluator::saturated(&m).evaluate(&g, &placement);
+        let join = &eval.vertices[1];
+        assert!((join.state_ns - 100.0).abs() < 1e-9);
+        assert!((join.capacity - 1e9 / 300.0).abs() < 1.0);
+        assert!((join.total_ns() - 300.0).abs() < 1e-9);
+        let stateless = Evaluator::saturated(&m).evaluate(
+            &ExecutionGraph::new(&linear_topology(), &[1, 1, 1], 1),
+            &placement,
+        );
+        assert!(
+            eval.throughput < stateless.throughput,
+            "state access must cost throughput: {} !< {}",
+            eval.throughput,
+            stateless.throughput
+        );
+    }
+
+    #[test]
+    fn state_access_keeps_the_bound_admissible() {
+        // The state term is placement-independent, so the B&B bound —
+        // which relaxes only the placement-dependent fetch/queue terms —
+        // must still dominate every completion's true score.
+        let m = toy_machine();
+        let t = stateful_topology();
+        for replication in [[1usize, 1, 1], [1, 2, 1]] {
+            let g = ExecutionGraph::new(&t, &replication, 1);
+            let ev = Evaluator::saturated(&m);
+            let mut partial = Placement::empty(g.vertex_count());
+            partial.place(brisk_dag::VertexId(0), SocketId(0));
+            let bound = ev.bounding().bound(&g, &partial);
+            let nv = g.vertex_count();
+            for assignment in 0..(1usize << (nv - 1)) {
+                let mut full = partial.clone();
+                for v in 1..nv {
+                    full.place(
+                        brisk_dag::VertexId(v),
+                        SocketId((assignment >> (v - 1)) & 1),
+                    );
+                }
+                let got = ev.fused_engine().evaluate(&g, &full).throughput;
+                assert!(
+                    got <= bound + 1e-6,
+                    "completion beat the bound with state costs: {got} > {bound}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -186,6 +186,24 @@ pub fn optimize_with_policy(
         ..options.placement
     };
 
+    // Operators excluded from greedy growth. Throughput *plateaus* are
+    // tolerated — co-scaling needs them (a spout bump only pays off after
+    // the bolt behind it catches up, and the node-capped B&B makes single
+    // steps noisy) — but an operator bumped three times IN A ROW without
+    // any throughput gain is banned and its futile replicas refunded: an
+    // operator whose per-replica load replication cannot dilute (a
+    // Broadcast consumer sees the full stream in every replica) stays
+    // flagged as the bottleneck no matter how far it is grown, and would
+    // otherwise absorb the entire executor budget one useless bump at a
+    // time while the true bottleneck behind it starves.
+    let mut banned = vec![false; topology.operator_count()];
+    // Consecutive futile bumps of one operator: (op, count, replication
+    // the op had before the streak began — restored if the op is banned).
+    let mut futile_streak: Option<(usize, usize, usize)> = None;
+    // The op grown to produce the current replication, the modelled
+    // throughput it departed from, and its pre-bump replication.
+    let mut last_step: Option<(usize, f64, usize)> = None;
+
     for iteration in 0..options.max_iterations {
         let graph = ExecutionGraph::new(topology, &replication, options.compress_ratio);
         let Some(result) = optimize_placement_seeded(
@@ -217,8 +235,32 @@ pub fn optimize_with_policy(
             });
         }
 
-        match next_replication(topology, &graph, &result, &replication, budget) {
-            Some(next) => replication = next,
+        if let Some((grown_op, departed_from, repl_before)) = last_step.take() {
+            if result.throughput > departed_from * (1.0 + 1e-9) {
+                futile_streak = None; // progress: fresh plateau allowance
+            } else {
+                let (count, streak_base) = match futile_streak {
+                    Some((op, n, base)) if op == grown_op => (n + 1, base),
+                    _ => (1, repl_before),
+                };
+                if count >= 3 {
+                    // Growth provably isn't paying: stop considering the
+                    // operator and refund the executor budget the futile
+                    // streak consumed, then re-plan from the trimmed shape.
+                    banned[grown_op] = true;
+                    replication[grown_op] = streak_base;
+                    futile_streak = None;
+                    continue;
+                }
+                futile_streak = Some((grown_op, count, streak_base));
+            }
+        }
+
+        match next_replication(topology, &graph, &result, &replication, budget, &banned) {
+            Some((next, grown_op)) => {
+                last_step = Some((grown_op, result.throughput, replication[grown_op]));
+                replication = next;
+            }
             None => break, // no bottleneck to scale or budget exhausted
         }
     }
@@ -464,14 +506,18 @@ pub fn balanced_replication(topology: &LogicalTopology, budget: usize) -> Option
 }
 
 /// One scaling step: find the bottleneck operator closest to the sinks and
-/// grow its replication by `ceil(ri / ro)`.
+/// grow its replication by `ceil(ri / ro)`; returns the new replication
+/// plus the operator that was grown. Operators in `banned` — whose growth
+/// steps repeatedly failed to improve throughput — are passed over in
+/// favour of the next bottleneck.
 fn next_replication(
     topology: &LogicalTopology,
     graph: &ExecutionGraph<'_>,
     result: &PlacementResult,
     replication: &[usize],
     budget: usize,
-) -> Option<Vec<usize>> {
+    banned: &[bool],
+) -> Option<(Vec<usize>, usize)> {
     // Budget is in executor threads: fused-away replicas ride for free.
     let total = spawned_executors(topology, replication);
     if total >= budget {
@@ -481,6 +527,9 @@ fn next_replication(
 
     // Reverse topological order: scale from sink towards spout.
     for &op in topology.topological_order().iter().rev() {
+        if banned[op.0] {
+            continue;
+        }
         let Some(&(_, ratio)) = bottlenecks.iter().find(|&&(o, _)| o == op.0) else {
             continue;
         };
@@ -497,7 +546,7 @@ fn next_replication(
         }
         let mut next = replication.to_vec();
         next[op.0] = capped;
-        return Some(next);
+        return Some((next, op.0));
     }
 
     // No operator is over-supplied. Under the saturated-ingress regime the
@@ -506,7 +555,7 @@ fn next_replication(
     // bottleneck: grow it geometrically while budget remains (the best plan
     // seen so far is kept, so overshooting is harmless).
     for &op in topology.topological_order() {
-        if topology.operator(op).kind == brisk_dag::OperatorKind::Spout {
+        if topology.operator(op).kind == brisk_dag::OperatorKind::Spout && !banned[op.0] {
             let current = replication[op.0];
             let step = (current / 2).max(1).min(budget - total);
             if step == 0 {
@@ -514,7 +563,7 @@ fn next_replication(
             }
             let mut next = replication.to_vec();
             next[op.0] = current + step;
-            return Some(next);
+            return Some((next, op.0));
         }
     }
     None

@@ -310,6 +310,15 @@ pub struct Collector {
     producer_replica: usize,
     jumbo_size: usize,
     edges: Vec<OutputEdge>,
+    /// Shared-arrangement groups: for each edge, the *follower* broadcast
+    /// edges on the same stream whose consumers receive handles to this
+    /// (leader) edge's sealed slabs. Followers keep no builders of their
+    /// own — the arrangement is materialized once, however many
+    /// downstream queries subscribe.
+    shared_followers: Vec<Vec<usize>>,
+    /// Inverse map: `Some(leader)` when this edge rides another edge's
+    /// builder instead of accumulating itself.
+    follower_of: Vec<Option<usize>>,
     /// Fused-away consumers executed inline on emit (operator fusion).
     fused: Vec<FusedTarget>,
     clock: Arc<EngineClock>,
@@ -347,13 +356,41 @@ impl Collector {
     pub(crate) fn new(
         producer_replica: usize,
         jumbo_size: usize,
-        edges: Vec<OutputEdge>,
+        mut edges: Vec<OutputEdge>,
         clock: Arc<EngineClock>,
     ) -> Collector {
+        // Same-stream Broadcast edges form one shared-arrangement group:
+        // the first (leader) edge's builder accumulates the stream once
+        // and every member ships handles to the same sealed slab, so an
+        // index consumed by several downstream queries seals one
+        // maintainer's worth of slabs, not one per query.
+        let mut shared_followers: Vec<Vec<usize>> = vec![Vec::new(); edges.len()];
+        let mut follower_of: Vec<Option<usize>> = vec![None; edges.len()];
+        for i in 0..edges.len() {
+            if !edges[i].broadcast || follower_of[i].is_some() {
+                continue;
+            }
+            for j in (i + 1)..edges.len() {
+                if edges[j].broadcast
+                    && follower_of[j].is_none()
+                    && edges[j].stream == edges[i].stream
+                {
+                    follower_of[j] = Some(i);
+                    shared_followers[i].push(j);
+                }
+            }
+        }
+        for (j, leader) in follower_of.iter().enumerate() {
+            if leader.is_some() {
+                edges[j].builders.clear();
+            }
+        }
         Collector {
             producer_replica,
             jumbo_size,
             edges,
+            shared_followers,
+            follower_of,
             fused: Vec::new(),
             clock,
             mode: FlushMode::Blocking,
@@ -480,14 +517,20 @@ impl Collector {
         }
         // Queue edges: move the value into the last subscribing edge,
         // clone only for the earlier ones (single-subscriber streams — the
-        // common case — never clone).
-        let mut remaining = self.edges.iter().filter(|e| e.stream == stream).count();
+        // common case — never clone). Shared-arrangement followers don't
+        // count: their consumers are served by the leader's builder.
+        let mut remaining = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| e.stream == stream && self.follower_of[*i].is_none())
+            .count();
         if remaining == 0 {
             return;
         }
         let mut value = Some(value);
         for ei in 0..self.edges.len() {
-            if self.edges[ei].stream != stream {
+            if self.edges[ei].stream != stream || self.follower_of[ei].is_some() {
                 continue;
             }
             remaining -= 1;
@@ -540,9 +583,18 @@ impl Collector {
 
     /// Wrap a sealed batch into jumbo(s) on the sealed queue(s). On
     /// broadcast edges every consumer receives a handle to the *same* slab
-    /// — the copy is a refcount bump.
+    /// — the copy is a refcount bump — and shared-arrangement follower
+    /// edges on the same stream receive handles to that slab too, each
+    /// under its own logical-edge header.
     fn enqueue_batch(&mut self, ei: usize, slot: usize, batch: Batch) {
         let producer = self.producer_replica;
+        for fidx in 0..self.shared_followers[ei].len() {
+            let fi = self.shared_followers[ei][fidx];
+            let e = &mut self.edges[fi];
+            for t in 0..e.queues.len() {
+                e.sealed[t].push_back(JumboTuple::new(producer, e.logical_edge, batch.clone()));
+            }
+        }
         let e = &mut self.edges[ei];
         if e.broadcast {
             let last = e.queues.len() - 1;
@@ -560,6 +612,12 @@ impl Collector {
         if self.edges[ei].broadcast {
             for t in 0..self.edges[ei].queues.len() {
                 self.flush_one(ei, t);
+            }
+            for fidx in 0..self.shared_followers[ei].len() {
+                let fi = self.shared_followers[ei][fidx];
+                for t in 0..self.edges[fi].queues.len() {
+                    self.flush_one(fi, t);
+                }
             }
         } else {
             self.flush_one(ei, slot);
@@ -917,6 +975,67 @@ mod tests {
             assert_eq!(j.batch.payloads::<u64>().expect("typed"), &[0, 1, 2, 3]);
         }
         assert_eq!(pool.stats().outstanding(), 1);
+        drop(jumbos);
+        drop(c);
+        assert_eq!(pool.stats().outstanding(), 0, "storage recycled");
+    }
+
+    #[test]
+    fn shared_stream_broadcast_edges_seal_once() {
+        // Two distinct downstream operators subscribe to one arranged
+        // stream via Broadcast: the arrangement is built in ONE builder
+        // and every consumer replica across both edges pops a handle to
+        // the same slab — seals stay one maintainer's worth, however
+        // many queries attach.
+        let pool = crate::batch::SlabPool::standalone();
+        let mk = || Arc::new(ReplicaQueue::new(QueueKind::default(), 16));
+        let q_point: Vec<Arc<ReplicaQueue<JumboTuple>>> = (0..2).map(|_| mk()).collect();
+        let q_agg: Vec<Arc<ReplicaQueue<JumboTuple>>> = (0..3).map(|_| mk()).collect();
+        let point_edge = OutputEdge::new(
+            0,
+            "arranged".to_string(),
+            Partitioner::new(Partitioning::Broadcast, 2),
+            q_point.clone(),
+            vec![0, 1],
+            &pool,
+        );
+        let agg_edge = OutputEdge::new(
+            1,
+            "arranged".to_string(),
+            Partitioner::new(Partitioning::Broadcast, 3),
+            q_agg.clone(),
+            vec![2, 3, 4],
+            &pool,
+        );
+        let mut c = Collector::new(
+            0,
+            4,
+            vec![point_edge, agg_edge],
+            Arc::new(EngineClock::new()),
+        );
+        for i in 0..4u64 {
+            c.send("arranged", i, 0, i);
+        }
+        assert_eq!(c.emitted, 4, "emitted counts logical tuples");
+        assert_eq!(c.flushes, 5, "one queue crossing per consumer replica");
+        assert_eq!(
+            pool.stats().allocated() + pool.stats().recycled(),
+            1,
+            "two query edges share one maintainer's seal"
+        );
+        let jumbos: Vec<JumboTuple> = q_point
+            .iter()
+            .chain(q_agg.iter())
+            .map(|q| q.try_pop().expect("jumbo delivered"))
+            .collect();
+        let slab = jumbos[0].batch.slab_id();
+        for j in &jumbos {
+            assert_eq!(j.batch.slab_id(), slab, "all five copies share one slab");
+            assert_eq!(j.batch.payloads::<u64>().expect("typed"), &[0, 1, 2, 3]);
+        }
+        // Each consumer still sees its own logical edge on the header.
+        assert_eq!(jumbos[0].logical_edge, 0);
+        assert_eq!(jumbos[4].logical_edge, 1);
         drop(jumbos);
         drop(c);
         assert_eq!(pool.stats().outstanding(), 0, "storage recycled");

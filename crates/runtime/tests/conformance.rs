@@ -294,6 +294,125 @@ fn broadcast_shared_batches_conform_across_the_matrix() {
     }
 }
 
+/// The join-shaped workload tier: two spouts KeyBy into a stateful
+/// window-join bolt. Beyond the generic conservation laws, every cell's
+/// match *multiset* must be bit-identical to the single-threaded oracle:
+/// the sink volume equals the oracle pair count, and the join replicas'
+/// harvested digests (count ‖ xor ‖ sum of canonical pair hashes) merge
+/// to exactly the oracle digest — exactly-once match accounting under
+/// every scheduler, fabric and fusion shape.
+#[test]
+fn stream_join_conforms_and_matches_the_oracle_across_the_matrix() {
+    use brisk_apps::stream_join::{self, JoinDigest};
+    use brisk_runtime::RunLimit;
+
+    let budget = 1200u64;
+    // Sink replicated like the join: the KeyBy edge below the (key-
+    // confined, key-preserving) join is aligned, so the fusion=on cells
+    // exercise pairwise fusion of a stateful two-upstream operator.
+    let replication = vec![2usize, 3, 2, 3];
+    let (left_total, right_total) = stream_join::side_totals(budget);
+    let expected = stream_join::oracle(left_total, right_total);
+    assert!(expected.count > 0, "workload must produce matches");
+    let join_op = brisk_apps::stream_join::topology()
+        .find("join")
+        .expect("join")
+        .0;
+
+    let mut cells = Vec::new();
+    for scheduler in SCHEDULERS {
+        for kind in KINDS {
+            for fusion in [true, false] {
+                let ctx = format!("SJ {scheduler} {kind} fusion={fusion}");
+                let app = app_sized("SJ", budget).expect("known app");
+                let config = EngineConfig::builder()
+                    .scheduler(scheduler)
+                    .queue_kind(kind)
+                    .fusion(fusion)
+                    .build();
+                let mut engine =
+                    Engine::new(app, replication.clone(), config).expect("valid engine config");
+                engine.capture_state_on_stop(true);
+                let (report, state) = engine
+                    .start(RunLimit::Events {
+                        events: u64::MAX,
+                        timeout: Duration::from_secs(120),
+                    })
+                    .join_with_state();
+
+                // Every matched pair reached the sink exactly once.
+                assert_eq!(
+                    report.sink_events, expected.count,
+                    "{ctx}: sink volume != oracle match count"
+                );
+                // The replicas' merged digests reproduce the oracle's
+                // match multiset bit-exactly.
+                let mut digest = JoinDigest::default();
+                for (op, _replica, entries) in &state {
+                    if *op == join_op {
+                        digest.merge(&JoinDigest::from_entries(entries));
+                    }
+                }
+                assert_eq!(digest, expected, "{ctx}: match multiset diverged");
+
+                cells.push(Cell {
+                    scheduler,
+                    kind,
+                    fusion,
+                    report,
+                });
+            }
+        }
+    }
+    for cell in &cells {
+        check_conservation("SJ", &replication, budget, cell);
+    }
+    check_cross_config_determinism("SJ", &cells);
+}
+
+#[test]
+fn shared_index_conforms_across_the_matrix() {
+    // One arranged index broadcast to two queries: a point lookup fed by
+    // a second spout, and a windowed aggregate. Result *counts* are
+    // interleaving-independent (one answer per probe, one delta per
+    // update per aggregate replica), so the full matrix must agree.
+    conformance("SI", vec![2, 2, 1, 2, 2, 1], 1200, true);
+}
+
+/// The shared-arrangement zero-copy pin: with two queries subscribed to
+/// the arranged stream, the maintainer seals each batch ONCE — the
+/// second Broadcast edge shares the leader edge's builder and receives a
+/// refcount bump, not a copy. At `jumbo_size(1)` every push seals, so
+/// slab checkouts count builder pushes exactly: `3·updates + 2·queries`
+/// (update spout + one maintainer's worth + query spout + point
+/// results + aggregate deltas). A per-edge-copying collector would
+/// need `4·updates + 2·queries`. Engine teardown separately asserts
+/// `outstanding == 0`, so a leaked arrangement slab fails the run.
+#[test]
+fn shared_arrangement_slab_seals_do_not_double_with_two_queries() {
+    let budget = 400u64;
+    let (u, q) = brisk_apps::shared_index::side_totals(budget);
+    for kind in KINDS {
+        let app = app_sized("SI", budget).expect("known app");
+        let config = EngineConfig::builder()
+            .scheduler(Scheduler::ThreadPerReplica)
+            .queue_kind(kind)
+            .fusion(false)
+            .jumbo_size(1)
+            .build();
+        let engine = Engine::new(app, vec![1; 6], config).expect("valid engine config");
+        let report = engine.run_until_events(u64::MAX, Duration::from_secs(120));
+        let ctx = format!("SI zero-copy {kind}");
+        assert_eq!(report.sink_events, u + q, "{ctx}: sink accounting");
+        let seals = report.slab_allocs + report.slab_recycled;
+        assert_eq!(
+            seals,
+            3 * u + 2 * q,
+            "{ctx}: attaching the second query must not add a maintainer's worth of seals"
+        );
+    }
+}
+
 #[test]
 fn linear_road_conforms_across_the_matrix() {
     // 12 operators, multi-stream dispatcher, long fusable chains. The

@@ -329,6 +329,149 @@ fn word_count_state_hands_off_bit_exact() {
     );
 }
 
+/// Redistribute harvested stream-join state the way the live engine
+/// routes it: window-index entries follow the KeyBy router (`mix_key %
+/// replicas` — the replica that will receive the key's future tuples),
+/// watermark bookkeeping fans out to every replica (each successor needs
+/// the eviction lower bound; the merge takes per-origin maxima), the
+/// digest parks on replica 0 (it merges additively on the next harvest),
+/// and spout positions stay keyed by replica index.
+fn sj_redistribute(
+    state: HarvestedState,
+    replication: &[usize],
+    join_op: usize,
+) -> Vec<(usize, usize, Vec<StateEntry>)> {
+    let mut buckets: BTreeMap<(usize, usize), Vec<StateEntry>> = BTreeMap::new();
+    for (op, _old_replica, entries) in state {
+        for entry in entries {
+            if op == join_op {
+                match entry.1.first() {
+                    Some(0 | 1) => {
+                        let to = brisk_runtime::route_keyed(entry.0, replication[op], None);
+                        buckets.entry((op, to)).or_default().push(entry);
+                    }
+                    Some(2) => {
+                        for to in 0..replication[op] {
+                            buckets.entry((op, to)).or_default().push(entry.clone());
+                        }
+                    }
+                    _ => buckets.entry((op, 0)).or_default().push(entry),
+                }
+            } else {
+                let to = (entry.0 as usize) % replication[op];
+                buckets.entry((op, to)).or_default().push(entry);
+            }
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|((op, replica), entries)| (op, replica, entries))
+        .collect()
+}
+
+/// Merge every join replica's harvested digest into the run total.
+fn sj_digest(state: &HarvestedState, join_op: usize) -> brisk_apps::stream_join::JoinDigest {
+    let mut total = brisk_apps::stream_join::JoinDigest::default();
+    for (op, _replica, entries) in state {
+        if *op == join_op {
+            total.merge(&brisk_apps::stream_join::JoinDigest::from_entries(entries));
+        }
+    }
+    total
+}
+
+#[test]
+fn stream_join_index_survives_migration_bit_exact() {
+    // The migration-conformance cell for the join tier: pause a running
+    // stream_join mid-budget, hand the sliding-window index (entries,
+    // watermarks, digest) and both spouts' stream positions to a
+    // successor engine, run to exhaustion, and demand the final match
+    // digest be bit-identical to (a) a never-migrated reference run and
+    // (b) the single-threaded oracle.
+    use brisk_apps::stream_join;
+
+    let budget = scaled(1200);
+    let replication = [2usize, 3, 2, 3];
+    let (left_total, right_total) = stream_join::side_totals(budget);
+    let expected = stream_join::oracle(left_total, right_total);
+    let join_op = stream_join::topology().find("join").expect("join").0;
+    let config = cell_config(Scheduler::ThreadPerReplica, QueueKind::Spsc, false);
+
+    let mut reference = Engine::new(
+        app_sized("SJ", budget).expect("SJ"),
+        replication.to_vec(),
+        config.clone(),
+    )
+    .expect("valid engine");
+    reference.capture_state_on_stop(true);
+    let (ref_report, ref_state) = reference
+        .start(RunLimit::Events {
+            events: u64::MAX,
+            timeout: LONG,
+        })
+        .join_with_state();
+    assert_eq!(
+        sj_digest(&ref_state, join_op),
+        expected,
+        "reference run must reproduce the oracle multiset"
+    );
+    assert_eq!(ref_report.sink_events, expected.count);
+
+    // Epoch one: stop mid-budget under harvest mode.
+    let mut first = Engine::new(
+        app_sized("SJ", budget).expect("SJ"),
+        replication.to_vec(),
+        config.clone(),
+    )
+    .expect("valid engine");
+    first.capture_state_on_stop(true);
+    let (r1, state) = first
+        .start(RunLimit::Events {
+            events: expected.count / 2,
+            timeout: LONG,
+        })
+        .join_with_state();
+
+    // Epoch two: the redistributed index finishes the stream.
+    let mut second = Engine::new(
+        app_sized("SJ", budget).expect("SJ"),
+        replication.to_vec(),
+        config.clone(),
+    )
+    .expect("valid engine");
+    second.capture_state_on_stop(true);
+    for (op, replica, entries) in sj_redistribute(state, &replication, join_op) {
+        second.preload_state(op, replica, entries).expect("preload");
+    }
+    let (r2, final_state) = second
+        .start(RunLimit::Events {
+            events: u64::MAX,
+            timeout: LONG,
+        })
+        .join_with_state();
+
+    let (in1, in2) = spout_emitted("SJ", &r1, &r2);
+    assert!(
+        in1 > 0 && in1 < budget,
+        "the pause must land mid-budget (epoch one emitted {in1}/{budget})"
+    );
+    assert_eq!(
+        in1 + in2,
+        budget,
+        "migration lost or duplicated source tuples"
+    );
+    assert_eq!(
+        r1.sink_events + r2.sink_events,
+        expected.count,
+        "migration lost or duplicated matched pairs"
+    );
+    assert_eq!(
+        sj_digest(&final_state, join_op),
+        expected,
+        "migrated window index diverged from the never-migrated reference"
+    );
+}
+
 #[test]
 fn migration_racing_spout_exhaustion_conserves_the_budget() {
     // Deep (default) queues: the sized spouts flood their whole budget

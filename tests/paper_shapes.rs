@@ -205,6 +205,69 @@ fn per_tuple_cost_grows_with_numa_distance() {
     assert!(totals[3] > totals[1] * 1.15);
 }
 
+/// The two-spout join — the suite's first confluent shape — flows through
+/// the optimizer and the simulator end to end with the state-access cost
+/// term in play, and RLAS still dominates the placement heuristics.
+#[test]
+fn two_spout_join_shape_optimizes_and_rlas_dominates() {
+    let machine = Machine::server_a().restrict_sockets(2);
+    let topology = briskstream::apps::stream_join::topology();
+    let rlas = optimize(&machine, &topology, &options()).expect("plan");
+    assert!(rlas.throughput > 0.0, "planner must price the join shape");
+    let graph = ExecutionGraph::new(&topology, &rlas.plan.replication, rlas.plan.compress_ratio);
+    let evaluator = briskstream::model::Evaluator::saturated(&machine).fused_engine();
+    for strategy in [
+        briskstream::rlas::PlacementStrategy::Os { seed: 7 },
+        briskstream::rlas::PlacementStrategy::RoundRobin,
+    ] {
+        let placement = briskstream::rlas::place_with_strategy(&graph, &machine, strategy);
+        let alt = evaluator.evaluate(&graph, &placement).throughput;
+        assert!(
+            alt <= rlas.throughput * (1.0 + 1e-9),
+            "{strategy:?} beat RLAS on the join shape: {alt} vs {}",
+            rlas.throughput
+        );
+    }
+    let simulated = Simulator::new(&machine, &graph, &rlas.plan.placement, sim())
+        .expect("valid")
+        .run()
+        .throughput;
+    assert!(simulated > 0.0, "the two-spout plan must actually flow");
+}
+
+/// The shared-arrangement diamond — one arranged index broadcast to two
+/// downstream queries — plans and simulates end to end; RLAS dominates
+/// the heuristics here too.
+#[test]
+fn shared_index_diamond_shape_optimizes_and_rlas_dominates() {
+    let machine = Machine::server_a().restrict_sockets(2);
+    let topology = briskstream::apps::shared_index::topology();
+    let rlas = optimize(&machine, &topology, &options()).expect("plan");
+    assert!(
+        rlas.throughput > 0.0,
+        "planner must price the diamond shape"
+    );
+    let graph = ExecutionGraph::new(&topology, &rlas.plan.replication, rlas.plan.compress_ratio);
+    let evaluator = briskstream::model::Evaluator::saturated(&machine).fused_engine();
+    for strategy in [
+        briskstream::rlas::PlacementStrategy::Os { seed: 7 },
+        briskstream::rlas::PlacementStrategy::RoundRobin,
+    ] {
+        let placement = briskstream::rlas::place_with_strategy(&graph, &machine, strategy);
+        let alt = evaluator.evaluate(&graph, &placement).throughput;
+        assert!(
+            alt <= rlas.throughput * (1.0 + 1e-9),
+            "{strategy:?} beat RLAS on the diamond shape: {alt} vs {}",
+            rlas.throughput
+        );
+    }
+    let simulated = Simulator::new(&machine, &graph, &rlas.plan.placement, sim())
+        .expect("valid")
+        .run()
+        .throughput;
+    assert!(simulated > 0.0, "the diamond plan must actually flow");
+}
+
 /// Figure 13's direction: on the glue-assisted Server B the same
 /// application sustains plans with near-uniform remote bandwidth, and RLAS
 /// still produces a valid plan that the heuristics cannot beat.
